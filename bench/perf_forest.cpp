@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks for the ML substrate at the shapes the
+// pipeline actually uses (n ~ thousands, d = 3 * 73 = 219, K = 73).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ml/class_weight.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear_svm.hpp"
+#include "ml/random_forest.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fhc;
+
+struct Synthetic {
+  ml::Matrix x;
+  std::vector<int> y;
+  int classes;
+};
+
+/// Pipeline-shaped data: per class, the own-class column block is high and
+/// the rest low — mimics the similarity feature matrix.
+Synthetic make_data(std::size_t n, int classes, std::size_t features) {
+  fhc::util::Rng rng(42);
+  Synthetic data{ml::Matrix(n, features), std::vector<int>(n), classes};
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(classes)));
+    data.y[i] = cls;
+    for (std::size_t f = 0; f < features; ++f) {
+      const bool own = f % static_cast<std::size_t>(classes) ==
+                       static_cast<std::size_t>(cls);
+      const double base = own ? 70.0 : 8.0;
+      data.x.at(i, f) = static_cast<float>(base + rng.gaussian() * 6.0);
+    }
+  }
+  return data;
+}
+
+void BM_ForestFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Synthetic data = make_data(n, 73, 219);
+  const auto weights = ml::balanced_sample_weights(data.y);
+  ml::ForestParams params;
+  params.n_estimators = 50;
+  for (auto _ : state) {
+    ml::RandomForest forest;
+    forest.fit(data.x, data.y, data.classes, weights, params);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_ForestFit)->Arg(512)->Arg(1024)->Arg(2688)->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredictProba(benchmark::State& state) {
+  const Synthetic data = make_data(1024, 73, 219);
+  ml::RandomForest forest;
+  ml::ForestParams params;
+  params.n_estimators = 50;
+  forest.fit(data.x, data.y, data.classes, {}, params);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict_proba(data.x.row(row)));
+    row = (row + 1) % data.x.rows();
+  }
+}
+BENCHMARK(BM_ForestPredictProba);
+
+void BM_KnnPredict(benchmark::State& state) {
+  const Synthetic data = make_data(2688, 73, 219);
+  ml::KnnClassifier knn;
+  knn.fit(data.x, data.y, data.classes, ml::KnnParams{});
+  std::size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.predict_proba(data.x.row(row)));
+    row = (row + 1) % data.x.rows();
+  }
+}
+BENCHMARK(BM_KnnPredict)->Unit(benchmark::kMicrosecond);
+
+void BM_SvmFit(benchmark::State& state) {
+  const Synthetic data = make_data(1024, 16, 219);
+  const auto weights = ml::balanced_sample_weights(data.y);
+  ml::SvmParams params;
+  params.epochs = 5;
+  for (auto _ : state) {
+    ml::LinearSvm svm;
+    svm.fit(data.x, data.y, data.classes, weights, params);
+    benchmark::DoNotOptimize(svm.n_classes());
+  }
+}
+BENCHMARK(BM_SvmFit)->Unit(benchmark::kMillisecond);
+
+}  // namespace

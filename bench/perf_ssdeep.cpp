@@ -1,0 +1,111 @@
+// google-benchmark microbenchmarks for the SSDeep substrate: hashing
+// throughput, digest comparison cost (gated vs DP path), edit distances.
+// These quantify the fast-path claims made in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "ssdeep/compare.hpp"
+#include "ssdeep/edit_distance.hpp"
+#include "ssdeep/fuzzy_hash.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fhc;
+
+std::vector<std::uint8_t> random_bytes(std::uint64_t seed, std::size_t n) {
+  fhc::util::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng() & 0xff);
+  return out;
+}
+
+void BM_FuzzyHash(benchmark::State& state) {
+  const auto data = random_bytes(1, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssdeep::fuzzy_hash(std::span<const std::uint8_t>(data)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FuzzyHash)->Range(1 << 10, 1 << 22);
+
+void BM_CompareRelatedDigests(benchmark::State& state) {
+  // Related inputs: the DP edit distance actually runs.
+  auto a = random_bytes(2, 100000);
+  auto b = a;
+  for (std::size_t i = 30000; i < 40000; ++i) b[i] ^= 0x5a;
+  const auto da = ssdeep::fuzzy_hash(std::span<const std::uint8_t>(a));
+  const auto db = ssdeep::fuzzy_hash(std::span<const std::uint8_t>(b));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssdeep::compare_digests(da, db));
+  }
+}
+BENCHMARK(BM_CompareRelatedDigests);
+
+void BM_CompareUnrelatedDigests(benchmark::State& state) {
+  // Unrelated inputs: the common-7-gram gate rejects before the DP — the
+  // fast path that dominates cross-class comparisons in the pipeline.
+  const auto da = ssdeep::fuzzy_hash(std::span<const std::uint8_t>(random_bytes(3, 100000)));
+  const auto db = ssdeep::fuzzy_hash(std::span<const std::uint8_t>(random_bytes(4, 100000)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssdeep::compare_digests(da, db));
+  }
+}
+BENCHMARK(BM_CompareUnrelatedDigests);
+
+std::string random_digest_chars(std::uint64_t seed, std::size_t n) {
+  static constexpr char kAlpha[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  fhc::util::Rng rng(seed);
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(kAlpha[rng.next_below(64)]);
+  return out;
+}
+
+void BM_DamerauOsa64(benchmark::State& state) {
+  const std::string a = random_digest_chars(5, 64);
+  const std::string b = random_digest_chars(6, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssdeep::damerau_levenshtein_osa(a, b));
+  }
+}
+BENCHMARK(BM_DamerauOsa64);
+
+void BM_WeightedLevenshtein64(benchmark::State& state) {
+  const std::string a = random_digest_chars(7, 64);
+  const std::string b = random_digest_chars(8, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssdeep::weighted_levenshtein(a, b));
+  }
+}
+BENCHMARK(BM_WeightedLevenshtein64);
+
+void BM_HasCommonSubstring(benchmark::State& state) {
+  const std::string a = random_digest_chars(9, 64);
+  const std::string b = random_digest_chars(10, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssdeep::has_common_substring(a, b));
+  }
+}
+BENCHMARK(BM_HasCommonSubstring);
+
+void BM_StreamingUpdateChunks(benchmark::State& state) {
+  // Streaming in 4 KiB chunks (the Slurm-prolog collection pattern).
+  const auto data = random_bytes(11, 1 << 20);
+  for (auto _ : state) {
+    ssdeep::FuzzyHasher hasher;
+    for (std::size_t off = 0; off < data.size(); off += 4096) {
+      hasher.update(std::span<const std::uint8_t>(data).subspan(
+          off, std::min<std::size_t>(4096, data.size() - off)));
+    }
+    benchmark::DoNotOptimize(hasher.digest());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_StreamingUpdateChunks);
+
+}  // namespace

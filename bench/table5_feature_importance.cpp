@@ -1,0 +1,34 @@
+// Reproduces paper Table 5: "Feature Importance (normalized)" — the Random
+// Forest importances aggregated per fuzzy-hash feature type.
+//
+// Paper: ssdeep-file 0.0718, ssdeep-strings 0.1404, ssdeep-symbols 0.7879.
+// Expected shape: symbols >> strings > file.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "util/env.hpp"
+
+int main() {
+  using namespace fhc;
+  core::ExperimentConfig config;
+  config.scale = fhc::util::bench_scale();
+  config.seed = fhc::util::bench_seed();
+  config.tune_threshold = false;  // importances come from the outer fit only
+
+  const core::ExperimentResult result = core::run_experiment(config);
+
+  std::printf("Table 5: Feature Importance (normalized), scale %.2f\n\n", config.scale);
+  std::printf("%s\n", core::render_feature_importance(result.importance).c_str());
+
+  std::printf("paper reference:\n");
+  std::printf("  ssdeep-file      0.0718\n");
+  std::printf("  ssdeep-strings   0.1404\n");
+  std::printf("  ssdeep-symbols   0.7879\n\n");
+
+  const bool ordering_holds = result.importance[2] > result.importance[1] &&
+                              result.importance[1] > result.importance[0];
+  std::printf("symbols > strings > file ordering: %s\n",
+              ordering_holds ? "REPRODUCED" : "NOT reproduced");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Version drift: the paper's software-tracking use case (Section 1 —
+// "reporting software usage across the cluster", "analyzing performance
+// variation of jobs"). Fuzzy hashes recognize new *versions* of known
+// applications, which cryptographic hashes cannot (Section 2).
+//
+// The demo walks one application's release history, compares each release
+// against the previous one on all three channels, and contrasts fuzzy
+// matching with SHA-256 exact matching.
+//
+// Run:  ./version_drift [ClassName]   (default: Exonerate)
+#include <cstdio>
+#include <string>
+
+#include "core/features.hpp"
+#include "corpus/corpus.hpp"
+#include "ssdeep/compare.hpp"
+#include "util/sha256.hpp"
+#include "util/table.hpp"
+
+using namespace fhc;
+
+int main(int argc, char** argv) {
+  const std::string class_name = argc > 1 ? argv[1] : "Exonerate";
+  const corpus::AppClassSpec* spec =
+      corpus::find_class(corpus::paper_app_classes(), class_name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown application class: %s\n", class_name.c_str());
+    return 1;
+  }
+
+  corpus::Corpus corp({*spec}, /*seed=*/42);
+  const auto& synth = corp.synthesizer(0);
+  std::printf("Release history of %s (%zu versions)\n\n", class_name.c_str(),
+              synth.versions().size());
+
+  // Hash the first executable of every version.
+  struct Release {
+    std::string version;
+    core::FeatureHashes hashes;
+    std::string sha256;
+  };
+  std::vector<Release> releases;
+  for (const auto& ref : corp.samples()) {
+    if (ref.exec_idx != 0) continue;
+    const auto image = corp.sample_bytes(ref);
+    releases.push_back({ref.version_dir, core::extract_feature_hashes(image),
+                        fhc::util::Sha256::hex_digest(image).substr(0, 12)});
+  }
+
+  fhc::util::TextTable table(
+      {"version", "vs previous: file", "strings", "symbols", "sha256 match",
+       "sha256 (prefix)"},
+      {fhc::util::Align::Left, fhc::util::Align::Right, fhc::util::Align::Right,
+       fhc::util::Align::Right, fhc::util::Align::Left, fhc::util::Align::Left});
+  for (std::size_t i = 0; i < releases.size(); ++i) {
+    if (i == 0) {
+      table.add_row({releases[0].version, "-", "-", "-", "-", releases[0].sha256});
+      continue;
+    }
+    const auto& prev = releases[i - 1];
+    const auto& curr = releases[i];
+    const int file = ssdeep::compare_digests(prev.hashes.file, curr.hashes.file);
+    const int strings =
+        ssdeep::compare_digests(prev.hashes.strings, curr.hashes.strings);
+    const int symbols =
+        ssdeep::compare_digests(prev.hashes.symbols, curr.hashes.symbols);
+    table.add_row({curr.version, std::to_string(file), std::to_string(strings),
+                   std::to_string(symbols),
+                   prev.sha256 == curr.sha256 ? "yes" : "NO",
+                   curr.sha256});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "Reading the table:\n"
+      " * sha256 never matches across releases — cryptographic hashes only\n"
+      "   re-identify byte-identical files (the paper's Section 2 argument);\n"
+      " * ssdeep-symbols stays high across releases (stable vocabulary),\n"
+      "   ssdeep-strings drifts moderately, ssdeep-file drifts the most —\n"
+      "   the channel ordering behind the paper's Table 5.\n");
+  return 0;
+}

@@ -1,0 +1,230 @@
+#include "core/classifier.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ml/class_weight.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fhc::core {
+
+void FuzzyHashClassifier::fit(const std::vector<FeatureHashes>& train_hashes,
+                              const std::vector<int>& labels,
+                              std::vector<std::string> class_names,
+                              const ClassifierConfig& config) {
+  if (train_hashes.empty()) throw std::invalid_argument("fit: empty training set");
+  if (train_hashes.size() != labels.size()) {
+    throw std::invalid_argument("fit: hashes/labels size mismatch");
+  }
+  config_ = config;
+  index_ = std::make_unique<TrainIndex>(train_hashes, labels, std::move(class_names));
+
+  // Leave-self-out featurization of the training rows: sample i's own
+  // digests are excluded from the class maxima so no column degenerates to
+  // the constant 100.
+  std::vector<int> exclude_ids(train_hashes.size());
+  std::iota(exclude_ids.begin(), exclude_ids.end(), 0);
+  const ml::Matrix x = build_feature_matrix(*index_, train_hashes, config_.metric,
+                                            exclude_ids, config_.channels);
+
+  std::vector<double> weights;
+  if (config_.balanced_class_weights) {
+    weights = ml::balanced_sample_weights(labels);
+  }
+  forest_.fit(x, labels, index_->n_classes(), weights, config_.forest);
+}
+
+Prediction FuzzyHashClassifier::predict(const FeatureHashes& sample) const {
+  if (!fitted()) throw std::logic_error("FuzzyHashClassifier: not fitted");
+  const auto width = static_cast<std::size_t>(kFeatureTypeCount * index_->n_classes());
+  std::vector<float> row(width);
+  fill_feature_row(*index_, sample, config_.metric, /*exclude_id=*/-1, row,
+                   config_.channels);
+
+  Prediction out;
+  out.proba = forest_.predict_proba(row);
+  const auto best = std::max_element(out.proba.begin(), out.proba.end());
+  out.confidence = *best;
+  const int argmax = static_cast<int>(best - out.proba.begin());
+  out.label = out.confidence >= config_.confidence_threshold ? argmax
+                                                             : ml::kUnknownLabel;
+  return out;
+}
+
+std::vector<int> FuzzyHashClassifier::predict_batch(
+    const std::vector<FeatureHashes>& samples, ml::Matrix* out_proba) const {
+  if (!fitted()) throw std::logic_error("FuzzyHashClassifier: not fitted");
+  const ml::Matrix x =
+      build_feature_matrix(*index_, samples, config_.metric, {}, config_.channels);
+  ml::Matrix proba = forest_.predict_proba_matrix(x);
+  std::vector<int> labels = labels_from_proba(proba, config_.confidence_threshold);
+  if (out_proba != nullptr) *out_proba = std::move(proba);
+  return labels;
+}
+
+std::vector<int> FuzzyHashClassifier::labels_from_proba(const ml::Matrix& proba,
+                                                        double threshold) const {
+  std::vector<int> labels(proba.rows());
+  for (std::size_t i = 0; i < proba.rows(); ++i) {
+    const auto row = proba.row(i);
+    const auto best = std::max_element(row.begin(), row.end());
+    labels[i] = *best >= threshold
+                    ? static_cast<int>(best - row.begin())
+                    : ml::kUnknownLabel;
+  }
+  return labels;
+}
+
+std::vector<double> FuzzyHashClassifier::column_importances() const {
+  return forest_.feature_importances();
+}
+
+std::array<double, kFeatureTypeCount> FuzzyHashClassifier::feature_type_importance()
+    const {
+  const std::vector<double> columns = column_importances();
+  const auto k = static_cast<std::size_t>(index_->n_classes());
+  std::array<double, kFeatureTypeCount> grouped{};
+  for (std::size_t f = 0; f < kFeatureTypeCount; ++f) {
+    for (std::size_t c = 0; c < k; ++c) grouped[f] += columns[f * k + c];
+  }
+  const double total = grouped[0] + grouped[1] + grouped[2];
+  if (total > 0.0) {
+    for (double& g : grouped) g /= total;
+  }
+  return grouped;
+}
+
+const std::vector<std::string>& FuzzyHashClassifier::class_names() const {
+  if (!fitted()) throw std::logic_error("FuzzyHashClassifier: not fitted");
+  return index_->class_names();
+}
+
+namespace {
+constexpr const char* kModelMagic = "fhc-fuzzy-hash-classifier-v1";
+}  // namespace
+
+void FuzzyHashClassifier::save(std::ostream& out) const {
+  if (!fitted()) throw std::logic_error("save: not fitted");
+  out << kModelMagic << '\n';
+  out << "metric " << static_cast<int>(config_.metric) << '\n';
+  out << "threshold " << config_.confidence_threshold << '\n';
+  out << "balanced " << (config_.balanced_class_weights ? 1 : 0) << '\n';
+  out << "channels " << config_.channels[0] << ' ' << config_.channels[1] << ' '
+      << config_.channels[2] << '\n';
+
+  const int k = index_->n_classes();
+  out << "classes " << k << '\n';
+  // Class names may contain spaces ("Celera Assembler"): one per line.
+  for (const std::string& name : index_->class_names()) out << name << '\n';
+
+  // Reference digests, reconstructed in original training order so a
+  // load/save roundtrip is byte-stable. Digest text is space-free.
+  out << "train " << index_->train_size() << '\n';
+  std::vector<std::string> rows(index_->train_size());
+  for (int c = 0; c < k; ++c) {
+    const auto& ids = index_->train_ids(c);
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      std::ostringstream row;
+      row << c;
+      for (int f = 0; f < kFeatureTypeCount; ++f) {
+        row << ' ' << index_->digests(static_cast<FeatureType>(f), c)[j].to_string();
+      }
+      rows[static_cast<std::size_t>(ids[j])] = row.str();
+    }
+  }
+  for (const std::string& row : rows) out << row << '\n';
+
+  forest_.save(out);
+}
+
+void FuzzyHashClassifier::load(std::istream& in) {
+  std::string magic;
+  if (!std::getline(in, magic) || magic != kModelMagic) {
+    throw std::runtime_error("FuzzyHashClassifier::load: bad magic/version");
+  }
+  std::string tag;
+  int metric = 0;
+  int balanced = 0;
+  ClassifierConfig config;
+  if (!(in >> tag >> metric) || tag != "metric" ||
+      !(in >> tag >> config.confidence_threshold) || tag != "threshold" ||
+      !(in >> tag >> balanced) || tag != "balanced") {
+    throw std::runtime_error("FuzzyHashClassifier::load: bad config block");
+  }
+  config.metric = static_cast<ssdeep::EditMetric>(metric);
+  config.balanced_class_weights = balanced != 0;
+  if (!(in >> tag) || tag != "channels") {
+    throw std::runtime_error("FuzzyHashClassifier::load: bad channels");
+  }
+  for (auto& channel : config.channels) {
+    int value = 0;
+    if (!(in >> value)) throw std::runtime_error("load: bad channel flag");
+    channel = value != 0;
+  }
+
+  int k = 0;
+  if (!(in >> tag >> k) || tag != "classes" || k <= 0) {
+    throw std::runtime_error("FuzzyHashClassifier::load: bad class count");
+  }
+  in.ignore();  // consume newline before getline
+  std::vector<std::string> names(static_cast<std::size_t>(k));
+  for (std::string& name : names) {
+    if (!std::getline(in, name) || name.empty()) {
+      throw std::runtime_error("FuzzyHashClassifier::load: bad class name");
+    }
+  }
+
+  std::size_t n_train = 0;
+  if (!(in >> tag >> n_train) || tag != "train" || n_train == 0) {
+    throw std::runtime_error("FuzzyHashClassifier::load: bad train block");
+  }
+  std::vector<FeatureHashes> hashes(n_train);
+  std::vector<int> labels(n_train);
+  for (std::size_t i = 0; i < n_train; ++i) {
+    std::string file_text;
+    std::string strings_text;
+    std::string symbols_text;
+    if (!(in >> labels[i] >> file_text >> strings_text >> symbols_text)) {
+      throw std::runtime_error("FuzzyHashClassifier::load: truncated digests");
+    }
+    const auto file = ssdeep::parse_digest(file_text);
+    const auto strings = ssdeep::parse_digest(strings_text);
+    const auto symbols = ssdeep::parse_digest(symbols_text);
+    if (!file || !strings || !symbols) {
+      throw std::runtime_error("FuzzyHashClassifier::load: bad digest");
+    }
+    hashes[i].file = *file;
+    hashes[i].strings = *strings;
+    hashes[i].symbols = *symbols;
+    hashes[i].has_symbols = !symbols->part1.empty();
+  }
+
+  forest_.load(in);
+  if (forest_.n_classes() != k) {
+    throw std::runtime_error("FuzzyHashClassifier::load: forest/class mismatch");
+  }
+  index_ = std::make_unique<TrainIndex>(hashes, labels, std::move(names));
+  config_ = config;
+}
+
+void FuzzyHashClassifier::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("save_file: cannot open " + path);
+  save(out);
+  if (!out) throw std::runtime_error("save_file: write failed for " + path);
+}
+
+FuzzyHashClassifier FuzzyHashClassifier::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_file: cannot open " + path);
+  FuzzyHashClassifier clf;
+  clf.load(in);
+  return clf;
+}
+
+}  // namespace fhc::core

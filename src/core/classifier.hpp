@@ -1,0 +1,98 @@
+// The Fuzzy Hash Classifier — the paper's contribution.
+//
+// fit():      train hashes + labels -> reference TrainIndex, leave-self-out
+//             similarity feature matrix, balanced class weights, Random
+//             Forest.
+// predict():  hashes -> similarity features vs the index -> forest
+//             probabilities -> argmax label, demoted to kUnknownLabel when
+//             the winning probability is below the confidence threshold.
+//
+// The confidence threshold is a *deployment* knob: it trades unknown-
+// detection recall against known-class accuracy (paper Figure 3); tune it
+// with the pipeline's inner grid search, or set it manually for stricter
+// screening (paper Section 5, "Confidence Threshold").
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/feature_matrix.hpp"
+#include "core/features.hpp"
+#include "ml/dataset.hpp"
+#include "ml/random_forest.hpp"
+#include "ssdeep/compare.hpp"
+
+namespace fhc::core {
+
+struct ClassifierConfig {
+  ml::ForestParams forest;
+  ssdeep::EditMetric metric = ssdeep::EditMetric::kDamerauOsa;
+  double confidence_threshold = 0.50;
+  bool balanced_class_weights = true;      // paper: inverse-frequency weights
+  ChannelMask channels = kAllChannels;     // feature-ablation knob
+};
+
+/// One prediction with its evidence.
+struct Prediction {
+  int label = ml::kUnknownLabel;  // model label or kUnknownLabel
+  double confidence = 0.0;        // winning class probability
+  std::vector<double> proba;      // full distribution over known classes
+};
+
+class FuzzyHashClassifier {
+ public:
+  /// `labels[i]` in 0..K-1 (known classes only); `class_names.size() == K`.
+  void fit(const std::vector<FeatureHashes>& train_hashes,
+           const std::vector<int>& labels, std::vector<std::string> class_names,
+           const ClassifierConfig& config);
+
+  bool fitted() const noexcept { return index_ != nullptr; }
+
+  /// Predict one sample from its fuzzy hashes.
+  Prediction predict(const FeatureHashes& sample) const;
+
+  /// Batch prediction (parallel). Returns labels; `out_proba`, if given,
+  /// receives the probability matrix (rows x K).
+  std::vector<int> predict_batch(const std::vector<FeatureHashes>& samples,
+                                 ml::Matrix* out_proba = nullptr) const;
+
+  /// Labels from an existing probability matrix at a given threshold —
+  /// lets threshold sweeps reuse one expensive predict_proba pass.
+  std::vector<int> labels_from_proba(const ml::Matrix& proba, double threshold) const;
+
+  /// Per-column forest importances (3*K entries).
+  std::vector<double> column_importances() const;
+
+  /// Importances aggregated to the three feature types and normalized —
+  /// exactly Table 5.
+  std::array<double, kFeatureTypeCount> feature_type_importance() const;
+
+  const TrainIndex& index() const { return *index_; }
+  const ml::RandomForest& forest() const noexcept { return forest_; }
+  const ClassifierConfig& config() const noexcept { return config_; }
+  const std::vector<std::string>& class_names() const;
+
+  /// Adjust the deployment threshold without refitting.
+  void set_confidence_threshold(double threshold) {
+    config_.confidence_threshold = threshold;
+  }
+
+  /// Serializes the fitted model (config, class names, reference digests,
+  /// forest) as versioned text — train once on a login node, classify from
+  /// a Slurm prolog without refitting. load() throws std::runtime_error on
+  /// malformed or version-mismatched input.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+  void save_file(const std::string& path) const;
+  static FuzzyHashClassifier load_file(const std::string& path);
+
+ private:
+  std::unique_ptr<TrainIndex> index_;
+  ml::RandomForest forest_;
+  ClassifierConfig config_;
+};
+
+}  // namespace fhc::core

@@ -1,0 +1,106 @@
+#include "core/feature_matrix.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace fhc::core {
+
+TrainIndex::TrainIndex(const std::vector<FeatureHashes>& train_hashes,
+                       const std::vector<int>& labels,
+                       std::vector<std::string> class_names)
+    : class_names_(std::move(class_names)) {
+  if (train_hashes.size() != labels.size()) {
+    throw std::invalid_argument("TrainIndex: size mismatch");
+  }
+  const int k = n_classes();
+  digests_.assign(kFeatureTypeCount,
+                  std::vector<std::vector<ssdeep::FuzzyDigest>>(
+                      static_cast<std::size_t>(k)));
+  ids_.assign(static_cast<std::size_t>(k), {});
+  train_sample_count_ = train_hashes.size();
+
+  for (std::size_t i = 0; i < train_hashes.size(); ++i) {
+    const int label = labels[i];
+    if (label < 0 || label >= k) {
+      throw std::invalid_argument("TrainIndex: label out of range");
+    }
+    const auto c = static_cast<std::size_t>(label);
+    for (int f = 0; f < kFeatureTypeCount; ++f) {
+      digests_[static_cast<std::size_t>(f)][c].push_back(
+          train_hashes[i].of(static_cast<FeatureType>(f)));
+    }
+    ids_[c].push_back(static_cast<int>(i));
+  }
+}
+
+const std::vector<ssdeep::FuzzyDigest>& TrainIndex::digests(FeatureType f,
+                                                            int c) const {
+  return digests_.at(static_cast<std::size_t>(f)).at(static_cast<std::size_t>(c));
+}
+
+const std::vector<int>& TrainIndex::train_ids(int c) const {
+  return ids_.at(static_cast<std::size_t>(c));
+}
+
+std::vector<std::string> TrainIndex::feature_names() const {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(kFeatureTypeCount * n_classes()));
+  for (int f = 0; f < kFeatureTypeCount; ++f) {
+    for (const std::string& cls : class_names_) {
+      names.push_back(std::string(feature_type_name(static_cast<FeatureType>(f))) +
+                      ":" + cls);
+    }
+  }
+  return names;
+}
+
+void fill_feature_row(const TrainIndex& index, const FeatureHashes& sample,
+                      ssdeep::EditMetric metric, int exclude_id,
+                      std::span<float> out_row, const ChannelMask& channels) {
+  const int k = index.n_classes();
+  if (out_row.size() != static_cast<std::size_t>(kFeatureTypeCount * k)) {
+    throw std::invalid_argument("fill_feature_row: bad row width");
+  }
+  for (int f = 0; f < kFeatureTypeCount; ++f) {
+    const auto type = static_cast<FeatureType>(f);
+    if (!channels[static_cast<std::size_t>(f)]) {
+      for (int c = 0; c < k; ++c) out_row[static_cast<std::size_t>(f * k + c)] = 0.0f;
+      continue;
+    }
+    const ssdeep::FuzzyDigest& own = sample.of(type);
+    for (int c = 0; c < k; ++c) {
+      const auto& candidates = index.digests(type, c);
+      const auto& ids = index.train_ids(c);
+      int best = 0;
+      for (std::size_t j = 0; j < candidates.size(); ++j) {
+        if (exclude_id >= 0 && ids[j] == exclude_id) continue;
+        const int score = ssdeep::compare_digests(own, candidates[j], metric);
+        if (score > best) {
+          best = score;
+          if (best == 100) break;  // cannot improve
+        }
+      }
+      out_row[static_cast<std::size_t>(f * k + c)] = static_cast<float>(best);
+    }
+  }
+}
+
+ml::Matrix build_feature_matrix(const TrainIndex& index,
+                                const std::vector<FeatureHashes>& samples,
+                                ssdeep::EditMetric metric,
+                                const std::vector<int>& exclude_ids,
+                                const ChannelMask& channels) {
+  if (!exclude_ids.empty() && exclude_ids.size() != samples.size()) {
+    throw std::invalid_argument("build_feature_matrix: exclude_ids size mismatch");
+  }
+  ml::Matrix x(samples.size(),
+               static_cast<std::size_t>(kFeatureTypeCount * index.n_classes()));
+  fhc::util::parallel_for(samples.size(), [&](std::size_t i) {
+    const int exclude = exclude_ids.empty() ? -1 : exclude_ids[i];
+    fill_feature_row(index, samples[i], metric, exclude, x.row(i), channels);
+  });
+  return x;
+}
+
+}  // namespace fhc::core

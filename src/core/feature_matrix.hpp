@@ -1,0 +1,79 @@
+// Similarity feature matrix: fuzzy hashes -> fixed-width numeric features.
+//
+// The classifier needs a fixed-dimensional representation of "how similar
+// is this sample to what we know". Column (f, c) of the matrix is the
+// maximum SSDeep similarity between the sample's channel-f digest and the
+// channel-f digests of the *training* samples of known class c:
+//
+//     x[i, f*K + c] = max_{j in train, y_j = c} sim(h_f(i), h_f(j))
+//
+// giving 3*K columns for K known classes. Feature-type importances
+// (Table 5) are recovered by summing forest importances over each f-group.
+//
+// The pairwise comparisons dominate end-to-end runtime, so the builder
+// parallelizes over samples and relies on the comparison fast path
+// (blocksize gate + common-7-gram gate) to reject most cross-class pairs
+// before the DP edit distance runs.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "ml/matrix.hpp"
+#include "ssdeep/compare.hpp"
+
+namespace fhc::core {
+
+/// The reference index: per known class, per channel, the training
+/// digests to compare against.
+class TrainIndex {
+ public:
+  /// `labels[i]` in 0..n_classes-1; `class_names.size() == n_classes`.
+  TrainIndex(const std::vector<FeatureHashes>& train_hashes,
+             const std::vector<int>& labels, std::vector<std::string> class_names);
+
+  int n_classes() const noexcept { return static_cast<int>(class_names_.size()); }
+  const std::vector<std::string>& class_names() const noexcept { return class_names_; }
+  std::size_t train_size() const noexcept { return train_sample_count_; }
+
+  /// Digests of channel `f` for class `c`, parallel to train_ids(c).
+  const std::vector<ssdeep::FuzzyDigest>& digests(FeatureType f, int c) const;
+
+  /// Original train-sample ids for class c (for exclude-self lookups).
+  const std::vector<int>& train_ids(int c) const;
+
+  /// Column labels: "ssdeep-file:<Class>", ... (3*K entries).
+  std::vector<std::string> feature_names() const;
+
+ private:
+  std::vector<std::string> class_names_;
+  // [feature][class] -> digests / original ids
+  std::vector<std::vector<std::vector<ssdeep::FuzzyDigest>>> digests_;
+  std::vector<std::vector<int>> ids_;
+  std::size_t train_sample_count_ = 0;
+};
+
+/// Which feature channels participate (all three by default); disabled
+/// channels produce constant-zero columns, which the trees never split on.
+/// Used by the feature-ablation bench.
+using ChannelMask = std::array<bool, kFeatureTypeCount>;
+inline constexpr ChannelMask kAllChannels = {true, true, true};
+
+/// Feature row for one sample. `exclude_id >= 0` skips the training sample
+/// with that id (leave-self-out when featurizing training rows).
+void fill_feature_row(const TrainIndex& index, const FeatureHashes& sample,
+                      ssdeep::EditMetric metric, int exclude_id,
+                      std::span<float> out_row,
+                      const ChannelMask& channels = kAllChannels);
+
+/// Full matrix for `samples` (parallel). `exclude_ids` is either empty or
+/// one id per sample (-1 = none).
+ml::Matrix build_feature_matrix(const TrainIndex& index,
+                                const std::vector<FeatureHashes>& samples,
+                                ssdeep::EditMetric metric,
+                                const std::vector<int>& exclude_ids = {},
+                                const ChannelMask& channels = kAllChannels);
+
+}  // namespace fhc::core

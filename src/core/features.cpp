@@ -1,0 +1,27 @@
+#include "core/features.hpp"
+
+#include "elf/strings_extract.hpp"
+#include "elf/symbols_extract.hpp"
+
+namespace fhc::core {
+
+std::string_view feature_type_name(FeatureType type) noexcept {
+  switch (type) {
+    case FeatureType::kFile: return "ssdeep-file";
+    case FeatureType::kStrings: return "ssdeep-strings";
+    case FeatureType::kSymbols: return "ssdeep-symbols";
+  }
+  return "ssdeep-file";
+}
+
+FeatureHashes extract_feature_hashes(std::span<const std::uint8_t> image) {
+  FeatureHashes hashes;
+  hashes.file = ssdeep::fuzzy_hash(image);
+  hashes.strings = ssdeep::fuzzy_hash(elf::strings_text(image));
+  const std::string symbols = elf::global_text_symbols_text(image);
+  hashes.has_symbols = !symbols.empty();
+  hashes.symbols = ssdeep::fuzzy_hash(symbols);
+  return hashes;
+}
+
+}  // namespace fhc::core

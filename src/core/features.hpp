@@ -1,0 +1,54 @@
+// Feature extraction: one executable image -> three SSDeep fuzzy hashes.
+//
+// The paper's feature set (Section 3):
+//   ssdeep-file    — fuzzy hash of the raw binary content,
+//   ssdeep-strings — fuzzy hash of the `strings` output,
+//   ssdeep-symbols — fuzzy hash of the `nm` global text symbols.
+//
+// Stripped binaries (no .symtab) yield an empty symbols channel; the
+// digest of the empty text compares as 0 to everything, so such samples
+// lean entirely on the other two channels — mirroring the limitation the
+// paper discusses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ssdeep/fuzzy_hash.hpp"
+
+namespace fhc::core {
+
+/// Index of each feature channel; also the column-group order in the
+/// feature matrix and the row order of Table 5.
+enum class FeatureType : int { kFile = 0, kStrings = 1, kSymbols = 2 };
+
+inline constexpr int kFeatureTypeCount = 3;
+
+/// Paper's feature names ("ssdeep-file", "ssdeep-strings", "ssdeep-symbols").
+std::string_view feature_type_name(FeatureType type) noexcept;
+
+/// The three fuzzy hashes of one sample.
+struct FeatureHashes {
+  ssdeep::FuzzyDigest file;
+  ssdeep::FuzzyDigest strings;
+  ssdeep::FuzzyDigest symbols;
+  bool has_symbols = true;  // false for stripped/non-ELF inputs
+
+  const ssdeep::FuzzyDigest& of(FeatureType type) const noexcept {
+    switch (type) {
+      case FeatureType::kFile: return file;
+      case FeatureType::kStrings: return strings;
+      case FeatureType::kSymbols: return symbols;
+    }
+    return file;  // unreachable
+  }
+};
+
+/// Extracts all three channels from an executable image.
+FeatureHashes extract_feature_hashes(std::span<const std::uint8_t> image);
+
+}  // namespace fhc::core

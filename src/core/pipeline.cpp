@@ -1,0 +1,396 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "ml/class_weight.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear_svm.hpp"
+#include "util/rng.hpp"
+#include "util/sha256.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fhc::core {
+
+std::vector<double> ExperimentConfig::default_threshold_grid() {
+  // Figure 3 sweeps the confidence threshold from 0 upward; 0.05 steps to
+  // 0.95 cover the full operating range.
+  std::vector<double> grid;
+  for (int i = 0; i <= 19; ++i) grid.push_back(0.05 * i);
+  return grid;
+}
+
+std::vector<FeatureHashes> ExperimentData::gather_hashes(
+    const std::vector<std::size_t>& idx) const {
+  std::vector<FeatureHashes> out;
+  out.reserve(idx.size());
+  for (const std::size_t i : idx) out.push_back(hashes[i]);
+  return out;
+}
+
+ExperimentData prepare_experiment(const ExperimentConfig& config) {
+  corpus::Corpus corp(corpus::scaled_app_classes(config.scale), config.seed);
+
+  // --- feature extraction (parallel; images regenerated then dropped) ----
+  std::vector<FeatureHashes> hashes(corp.samples().size());
+  fhc::util::parallel_for(corp.samples().size(), [&](std::size_t i) {
+    const std::vector<std::uint8_t> image = corp.sample_bytes(corp.samples()[i]);
+    hashes[i] = extract_feature_hashes(image);
+  });
+
+  // --- two-phase split ------------------------------------------------
+  std::vector<int> class_ids;
+  class_ids.reserve(corp.samples().size());
+  for (const corpus::SampleRef& ref : corp.samples()) class_ids.push_back(ref.class_idx);
+
+  std::vector<int> pinned;
+  if (config.pin_paper_unknowns) {
+    for (int c = 0; c < corp.class_count(); ++c) {
+      if (corp.specs()[static_cast<std::size_t>(c)].paper_unknown) pinned.push_back(c);
+    }
+  }
+  fhc::util::Rng split_rng(config.seed ^ 0x5eedu);
+
+  ExperimentData data{std::move(corp), std::move(hashes), {}, {}, {}, {}, {}, {}, {}};
+  data.split = ml::two_phase_split(class_ids,
+                                   static_cast<std::size_t>(data.corpus.class_count()),
+                                   config.unknown_fraction, config.test_fraction,
+                                   split_rng, pinned);
+
+  // --- model label mapping ------------------------------------------------
+  data.model_label_of_class.assign(static_cast<std::size_t>(data.corpus.class_count()),
+                                   ml::kUnknownLabel);
+  for (int c = 0; c < data.corpus.class_count(); ++c) {
+    if (!data.split.class_is_unknown[static_cast<std::size_t>(c)]) {
+      data.model_label_of_class[static_cast<std::size_t>(c)] =
+          static_cast<int>(data.model_class_names.size());
+      data.model_class_names.push_back(data.corpus.specs()[static_cast<std::size_t>(c)].name);
+    }
+  }
+
+  data.train_indices = data.split.train;
+  data.test_indices = data.split.test;
+  for (const std::size_t i : data.train_indices) {
+    data.train_labels.push_back(
+        data.model_label_of_class[static_cast<std::size_t>(class_ids[i])]);
+  }
+  for (const std::size_t i : data.test_indices) {
+    data.test_truth.push_back(
+        data.model_label_of_class[static_cast<std::size_t>(class_ids[i])]);
+  }
+  return data;
+}
+
+std::vector<ThresholdPoint> sweep_thresholds(const FuzzyHashClassifier& clf,
+                                             const ml::Matrix& proba,
+                                             const std::vector<int>& truth,
+                                             const std::vector<double>& grid) {
+  std::vector<ThresholdPoint> curve;
+  curve.reserve(grid.size());
+  for (const double threshold : grid) {
+    const std::vector<int> pred = clf.labels_from_proba(proba, threshold);
+    const ml::ClassificationReport report =
+        ml::classification_report(truth, pred, clf.class_names());
+    curve.push_back(
+        {threshold, report.micro.f1, report.macro.f1, report.weighted.f1});
+  }
+  return curve;
+}
+
+namespace {
+
+/// The nested training-set split shared by threshold tuning and the
+/// hyperparameter grid search.
+struct InnerSplit {
+  std::vector<FeatureHashes> train_hashes;
+  std::vector<int> train_labels;
+  std::vector<FeatureHashes> val_hashes;
+  std::vector<int> val_truth;  // pseudo-unknown classes carry kUnknownLabel
+  std::vector<std::string> names;
+};
+
+InnerSplit make_inner_split(const ExperimentConfig& config,
+                            const ExperimentData& data) {
+  fhc::util::Rng rng(config.seed ^ 0x17b3u);
+  const auto k_outer = static_cast<std::size_t>(data.model_class_names.size());
+  const ml::TwoPhaseSplit inner = ml::two_phase_split(
+      data.train_labels, k_outer, config.inner_unknown_fraction,
+      config.inner_test_fraction, rng);
+
+  InnerSplit out;
+  std::vector<int> inner_label_of(k_outer, ml::kUnknownLabel);
+  for (std::size_t c = 0; c < k_outer; ++c) {
+    if (!inner.class_is_unknown[c]) {
+      inner_label_of[c] = static_cast<int>(out.names.size());
+      out.names.push_back(data.model_class_names[c]);
+    }
+  }
+  for (const std::size_t t : inner.train) {
+    out.train_hashes.push_back(data.hashes[data.train_indices[t]]);
+    out.train_labels.push_back(
+        inner_label_of[static_cast<std::size_t>(data.train_labels[t])]);
+  }
+  for (const std::size_t t : inner.test) {
+    out.val_hashes.push_back(data.hashes[data.train_indices[t]]);
+    out.val_truth.push_back(
+        inner_label_of[static_cast<std::size_t>(data.train_labels[t])]);
+  }
+  return out;
+}
+
+/// Inner tuning: fits a classifier on the inner-train side and sweeps
+/// thresholds on the inner-validation side. Returns the Figure 3 curve.
+std::vector<ThresholdPoint> tune_threshold_inner(const ExperimentConfig& config,
+                                                 const ExperimentData& data) {
+  const InnerSplit inner = make_inner_split(config, data);
+  FuzzyHashClassifier inner_clf;
+  inner_clf.fit(inner.train_hashes, inner.train_labels, inner.names,
+                config.classifier);
+  ml::Matrix proba;
+  inner_clf.predict_batch(inner.val_hashes, &proba);
+  return sweep_thresholds(inner_clf, proba, inner.val_truth, config.threshold_grid);
+}
+
+}  // namespace
+
+GridSearchResult grid_search_hyperparameters(const ExperimentConfig& config,
+                                             const ExperimentData& data,
+                                             const RfGrid& grid) {
+  const InnerSplit inner = make_inner_split(config, data);
+  GridSearchResult result;
+  result.best_score = -1.0;
+
+  for (const int trees : grid.n_estimators) {
+    for (const ml::Criterion criterion : grid.criteria) {
+      for (const int depth : grid.max_depths) {
+        for (const int min_split : grid.min_samples_splits) {
+          for (const int min_leaf : grid.min_samples_leafs) {
+            for (const int features : grid.max_features) {
+              ClassifierConfig candidate = config.classifier;
+              candidate.forest.n_estimators = trees;
+              candidate.forest.tree.criterion = criterion;
+              candidate.forest.tree.max_depth = depth;
+              candidate.forest.tree.min_samples_split = min_split;
+              candidate.forest.tree.min_samples_leaf = min_leaf;
+              candidate.forest.tree.max_features = features;
+
+              FuzzyHashClassifier clf;
+              clf.fit(inner.train_hashes, inner.train_labels, inner.names,
+                      candidate);
+              ml::Matrix proba;
+              clf.predict_batch(inner.val_hashes, &proba);
+              const auto curve = sweep_thresholds(clf, proba, inner.val_truth,
+                                                  config.threshold_grid);
+              for (const ThresholdPoint& point : curve) {
+                if (point.combined() > result.best_score) {
+                  result.best_score = point.combined();
+                  result.best_threshold = point.threshold;
+                  result.best_params = candidate.forest;
+                }
+              }
+              ++result.combinations_evaluated;
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config, ExperimentData& data) {
+  ExperimentResult result;
+  result.n_samples = data.hashes.size();
+  result.n_train = data.train_indices.size();
+  result.n_test = data.test_indices.size();
+  result.n_unknown_test = data.split.unknown_test_count;
+  result.n_classes = data.corpus.class_count();
+  result.n_known_classes = static_cast<int>(data.model_class_names.size());
+
+  fhc::util::Stopwatch timer;
+
+  // --- threshold tuning (training set only) ------------------------------
+  double threshold = config.classifier.confidence_threshold;
+  if (config.tune_threshold) {
+    result.threshold_curve = tune_threshold_inner(config, data);
+    const auto best = std::max_element(
+        result.threshold_curve.begin(), result.threshold_curve.end(),
+        [](const ThresholdPoint& a, const ThresholdPoint& b) {
+          return a.combined() < b.combined();
+        });
+    if (best != result.threshold_curve.end()) threshold = best->threshold;
+  }
+  result.chosen_threshold = threshold;
+  result.seconds_tune = timer.seconds();
+  timer.restart();
+
+  // --- outer fit ----------------------------------------------------------
+  ClassifierConfig clf_config = config.classifier;
+  clf_config.confidence_threshold = threshold;
+  FuzzyHashClassifier clf;
+  clf.fit(data.gather_hashes(data.train_indices), data.train_labels,
+          data.model_class_names, clf_config);
+  result.seconds_fit = timer.seconds();
+  timer.restart();
+
+  // --- evaluation -----------------------------------------------------
+  const std::vector<int> pred = clf.predict_batch(data.gather_hashes(data.test_indices));
+  result.seconds_predict = timer.seconds();
+
+  result.report = ml::classification_report(data.test_truth, pred, clf.class_names());
+  result.importance = clf.feature_type_importance();
+  return result;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  fhc::util::Stopwatch timer;
+  ExperimentData data = prepare_experiment(config);
+  const double extract_seconds = timer.seconds();
+  ExperimentResult result = run_experiment(config, data);
+  result.seconds_extract = extract_seconds;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+
+std::string_view model_kind_name(ModelKind kind) noexcept {
+  switch (kind) {
+    case ModelKind::kRandomForest: return "RandomForest (Fuzzy Hash Classifier)";
+    case ModelKind::kKnn: return "k-NN (fuzzy-hash features)";
+    case ModelKind::kLinearSvm: return "Linear SVM (fuzzy-hash features)";
+    case ModelKind::kCryptoExact: return "SHA-256 exact match (baseline)";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Picks the threshold maximizing combined f1 on a probability matrix +
+/// truth, shared by the k-NN/SVM ablation paths.
+template <typename ProbaFn>
+double tune_generic_threshold(const ml::Matrix& proba, const std::vector<int>& truth,
+                              const std::vector<double>& grid, ProbaFn labeler) {
+  double best_threshold = 0.0;
+  double best_score = -1.0;
+  for (const double threshold : grid) {
+    const std::vector<int> pred = labeler(proba, threshold);
+    const ml::ClassificationReport report = ml::classification_report(truth, pred, {});
+    const double score = report.micro.f1 + report.macro.f1 + report.weighted.f1;
+    if (score > best_score) {
+      best_score = score;
+      best_threshold = threshold;
+    }
+  }
+  return best_threshold;
+}
+
+std::vector<int> labels_from_proba_generic(const ml::Matrix& proba, double threshold) {
+  std::vector<int> labels(proba.rows());
+  for (std::size_t i = 0; i < proba.rows(); ++i) {
+    const auto row = proba.row(i);
+    const auto best = std::max_element(row.begin(), row.end());
+    labels[i] = *best >= threshold ? static_cast<int>(best - row.begin())
+                                   : ml::kUnknownLabel;
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::vector<ModelAblationRow> run_model_ablation(const ExperimentConfig& config,
+                                                 ExperimentData& data,
+                                                 const std::vector<ModelKind>& kinds) {
+  // Shared featurization for the learned models.
+  const std::vector<FeatureHashes> train_hashes = data.gather_hashes(data.train_indices);
+  const std::vector<FeatureHashes> test_hashes = data.gather_hashes(data.test_indices);
+  TrainIndex index(train_hashes, data.train_labels, data.model_class_names);
+  std::vector<int> exclude_ids(train_hashes.size());
+  std::iota(exclude_ids.begin(), exclude_ids.end(), 0);
+  const ml::Matrix x_train = build_feature_matrix(index, train_hashes,
+                                                  config.classifier.metric, exclude_ids);
+  const ml::Matrix x_test =
+      build_feature_matrix(index, test_hashes, config.classifier.metric);
+  const int k = index.n_classes();
+
+  std::vector<ModelAblationRow> rows;
+  for (const ModelKind kind : kinds) {
+    ModelAblationRow row;
+    row.kind = kind;
+    std::vector<int> pred;
+
+    switch (kind) {
+      case ModelKind::kRandomForest: {
+        std::vector<double> weights = ml::balanced_sample_weights(data.train_labels);
+        ml::RandomForest forest;
+        forest.fit(x_train, data.train_labels, k, weights, config.classifier.forest);
+        const ml::Matrix proba = forest.predict_proba_matrix(x_test);
+        row.threshold = config.classifier.confidence_threshold;
+        pred = labels_from_proba_generic(proba, row.threshold);
+        break;
+      }
+      case ModelKind::kKnn: {
+        ml::KnnClassifier knn;
+        knn.fit(x_train, data.train_labels, k, ml::KnnParams{});
+        ml::Matrix proba(x_test.rows(), static_cast<std::size_t>(k));
+        fhc::util::parallel_for(x_test.rows(), [&](std::size_t i) {
+          const std::vector<double> p = knn.predict_proba(x_test.row(i));
+          auto out = proba.row(i);
+          for (std::size_t c = 0; c < p.size(); ++c) out[c] = static_cast<float>(p[c]);
+        });
+        row.threshold = tune_generic_threshold(proba, data.test_truth,
+                                               config.threshold_grid,
+                                               labels_from_proba_generic);
+        pred = labels_from_proba_generic(proba, row.threshold);
+        break;
+      }
+      case ModelKind::kLinearSvm: {
+        std::vector<double> weights = ml::balanced_sample_weights(data.train_labels);
+        ml::LinearSvm svm;
+        svm.fit(x_train, data.train_labels, k, weights, ml::SvmParams{});
+        ml::Matrix proba(x_test.rows(), static_cast<std::size_t>(k));
+        fhc::util::parallel_for(x_test.rows(), [&](std::size_t i) {
+          const std::vector<double> p = svm.predict_proba(x_test.row(i));
+          auto out = proba.row(i);
+          for (std::size_t c = 0; c < p.size(); ++c) out[c] = static_cast<float>(p[c]);
+        });
+        row.threshold = tune_generic_threshold(proba, data.test_truth,
+                                               config.threshold_grid,
+                                               labels_from_proba_generic);
+        pred = labels_from_proba_generic(proba, row.threshold);
+        break;
+      }
+      case ModelKind::kCryptoExact: {
+        // Cryptographic hashing matches only identical files: a sample is
+        // labelled with the class of an exact SHA-256 match in the
+        // training set, otherwise unknown (the paper's Section 1 critique).
+        std::unordered_map<std::string, int> digest_to_label;
+        for (std::size_t t = 0; t < data.train_indices.size(); ++t) {
+          const auto& ref = data.corpus.samples()[data.train_indices[t]];
+          const std::vector<std::uint8_t> image = data.corpus.sample_bytes(ref);
+          digest_to_label[fhc::util::Sha256::hex_digest(image)] = data.train_labels[t];
+        }
+        pred.assign(data.test_indices.size(), ml::kUnknownLabel);
+        fhc::util::parallel_for(data.test_indices.size(), [&](std::size_t i) {
+          const auto& ref = data.corpus.samples()[data.test_indices[i]];
+          const std::vector<std::uint8_t> image = data.corpus.sample_bytes(ref);
+          const auto it = digest_to_label.find(fhc::util::Sha256::hex_digest(image));
+          if (it != digest_to_label.end()) pred[i] = it->second;
+        });
+        break;
+      }
+    }
+
+    const ml::ClassificationReport report =
+        ml::classification_report(data.test_truth, pred, data.model_class_names);
+    row.micro_f1 = report.micro.f1;
+    row.macro_f1 = report.macro.f1;
+    row.weighted_f1 = report.weighted.f1;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace fhc::core

@@ -1,0 +1,176 @@
+// End-to-end experiment pipeline reproducing the paper's protocol:
+//
+//   1. synthesize the corpus (92 classes / 5333 samples at scale 1.0);
+//   2. extract the three fuzzy-hash channels per sample (parallel);
+//   3. two-phase split — 19 whole classes to the unknown pool (pinned to
+//      Table 3 in replication mode), stratified 60/40 on the rest;
+//   4. inner threshold tuning *inside the training set only*: a nested
+//      class-level split creates pseudo-unknown classes, one probability
+//      pass is swept over the threshold grid (Figure 3's curves), and the
+//      threshold maximizing micro+macro+weighted f1 wins;
+//   5. fit the Fuzzy Hash Classifier on the full training set and evaluate
+//      on the untouched test set -> classification report (Table 4),
+//      feature-type importances (Table 5).
+//
+// The pipeline also powers the ablation benches: feature-channel masks and
+// alternative models (k-NN, linear SVM, crypto-hash exact matching) reuse
+// the same prepared data so comparisons are apples-to-apples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "corpus/corpus.hpp"
+#include "ml/metrics.hpp"
+#include "ml/splits.hpp"
+
+namespace fhc::core {
+
+struct ExperimentConfig {
+  std::uint64_t seed = 42;
+  double scale = 1.0;  // corpus scale; 1.0 = the paper's 5333 samples
+
+  // Split protocol.
+  bool pin_paper_unknowns = true;  // use Table 3's unknown classes
+  double unknown_fraction = 0.2;   // phase 1 (when not pinned)
+  double test_fraction = 0.4;      // phase 2
+
+  // Model.
+  ClassifierConfig classifier;
+
+  // Confidence-threshold tuning (inner split, training set only).
+  bool tune_threshold = true;
+  std::vector<double> threshold_grid = default_threshold_grid();
+  double inner_unknown_fraction = 0.2;
+  double inner_test_fraction = 0.4;
+
+  static std::vector<double> default_threshold_grid();
+};
+
+/// One point of the Figure 3 sweep.
+struct ThresholdPoint {
+  double threshold = 0.0;
+  double micro_f1 = 0.0;
+  double macro_f1 = 0.0;
+  double weighted_f1 = 0.0;
+
+  double combined() const noexcept { return micro_f1 + macro_f1 + weighted_f1; }
+};
+
+/// Corpus + features + split, reusable across model variants.
+struct ExperimentData {
+  corpus::Corpus corpus;
+  std::vector<FeatureHashes> hashes;  // per corpus sample
+  ml::TwoPhaseSplit split;
+
+  // Known-class model labels: corpus class idx -> 0..K-1, or -1 (unknown pool).
+  std::vector<int> model_label_of_class;
+  std::vector<std::string> model_class_names;  // size K
+
+  // Convenience views.
+  std::vector<std::size_t> train_indices;  // == split.train
+  std::vector<int> train_labels;           // model labels (0..K-1)
+  std::vector<std::size_t> test_indices;   // == split.test
+  std::vector<int> test_truth;             // model labels; -1 for unknown pool
+
+  std::vector<FeatureHashes> gather_hashes(const std::vector<std::size_t>& idx) const;
+};
+
+struct ExperimentResult {
+  ml::ClassificationReport report;                       // Table 4
+  std::array<double, kFeatureTypeCount> importance{};    // Table 5
+  std::vector<ThresholdPoint> threshold_curve;           // Figure 3
+  double chosen_threshold = 0.0;
+
+  std::size_t n_samples = 0;
+  std::size_t n_train = 0;
+  std::size_t n_test = 0;
+  std::size_t n_unknown_test = 0;
+  int n_classes = 0;
+  int n_known_classes = 0;
+
+  double seconds_extract = 0.0;
+  double seconds_tune = 0.0;
+  double seconds_fit = 0.0;
+  double seconds_predict = 0.0;
+};
+
+/// Steps 1-3: corpus synthesis, feature extraction, two-phase split.
+ExperimentData prepare_experiment(const ExperimentConfig& config);
+
+/// Steps 4-5 on prepared data.
+ExperimentResult run_experiment(const ExperimentConfig& config, ExperimentData& data);
+
+/// Full pipeline (prepare + run).
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Threshold sweep: labels-from-probabilities at each grid point against
+/// `truth` (may contain kUnknownLabel). Reuses one probability matrix.
+std::vector<ThresholdPoint> sweep_thresholds(const FuzzyHashClassifier& clf,
+                                             const ml::Matrix& proba,
+                                             const std::vector<int>& truth,
+                                             const std::vector<double>& grid);
+
+// ---------------------------------------------------------------------------
+// Hyperparameter grid search (paper Section 3: "hyperparameter tuning
+// through grid search only within the training set", over n_estimators,
+// criterion, max_depth, min_samples_split, min_samples_leaf, max_features
+// and the confidence threshold).
+
+struct RfGrid {
+  std::vector<int> n_estimators = {100, 200};
+  std::vector<ml::Criterion> criteria = {ml::Criterion::kGini};
+  std::vector<int> max_depths = {0};           // 0 = unlimited
+  std::vector<int> min_samples_splits = {2};
+  std::vector<int> min_samples_leafs = {1};
+  std::vector<int> max_features = {-1};        // -1 = sqrt
+
+  std::size_t combination_count() const noexcept {
+    return n_estimators.size() * criteria.size() * max_depths.size() *
+           min_samples_splits.size() * min_samples_leafs.size() *
+           max_features.size();
+  }
+};
+
+struct GridSearchResult {
+  ml::ForestParams best_params;
+  double best_threshold = 0.0;
+  double best_score = 0.0;  // combined micro+macro+weighted f1, inner split
+  std::size_t combinations_evaluated = 0;
+};
+
+/// Evaluates every grid combination on the nested training-set split
+/// (pseudo-unknown classes + threshold sweep per combination) and returns
+/// the best forest parameters and threshold. Uses only `data`'s training
+/// side — the outer test set is never touched.
+GridSearchResult grid_search_hyperparameters(const ExperimentConfig& config,
+                                             const ExperimentData& data,
+                                             const RfGrid& grid);
+
+// ---------------------------------------------------------------------------
+// Model ablation (paper Section 6 comparators + the crypto-hash strawman).
+
+enum class ModelKind { kRandomForest, kKnn, kLinearSvm, kCryptoExact };
+
+std::string_view model_kind_name(ModelKind kind) noexcept;
+
+struct ModelAblationRow {
+  ModelKind kind = ModelKind::kRandomForest;
+  double micro_f1 = 0.0;
+  double macro_f1 = 0.0;
+  double weighted_f1 = 0.0;
+  double threshold = 0.0;  // tuned per model (n/a for crypto)
+};
+
+/// Evaluates each model on the same prepared data. k-NN and the SVM
+/// consume the same similarity features; the crypto baseline matches
+/// SHA-256 digests of the raw images (exact-duplicate detection only).
+std::vector<ModelAblationRow> run_model_ablation(const ExperimentConfig& config,
+                                                 ExperimentData& data,
+                                                 const std::vector<ModelKind>& kinds);
+
+}  // namespace fhc::core

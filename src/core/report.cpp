@@ -1,0 +1,162 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace fhc::core {
+
+using fhc::util::Align;
+using fhc::util::TextTable;
+using fhc::util::fixed;
+
+std::string render_class_inventory(const corpus::Corpus& corpus,
+                                   const std::string& class_name) {
+  int class_idx = -1;
+  for (int c = 0; c < corpus.class_count(); ++c) {
+    if (corpus.specs()[static_cast<std::size_t>(c)].name == class_name) {
+      class_idx = c;
+      break;
+    }
+  }
+  if (class_idx < 0) {
+    throw std::invalid_argument("render_class_inventory: unknown class " + class_name);
+  }
+  const auto& synth = corpus.synthesizer(class_idx);
+
+  TextTable table({"Class", "Application Version", "Samples"});
+  const auto& versions = synth.versions();
+  const auto& per_version = synth.samples_per_version();
+  for (std::size_t v = 0; v < versions.size(); ++v) {
+    std::vector<std::string> execs;
+    for (int e = 0; e < per_version[v]; ++e) execs.push_back(synth.exec_name(e));
+    table.add_row({v == 0 ? class_name : "", versions[v].dir_name,
+                   fhc::util::join(execs, ", ")});
+  }
+  return table.render();
+}
+
+SimilarityExample make_similarity_example(const corpus::Corpus& corpus,
+                                          const std::string& class_name,
+                                          FeatureType channel,
+                                          ssdeep::EditMetric metric) {
+  const std::vector<int> ids = [&] {
+    for (int c = 0; c < corpus.class_count(); ++c) {
+      if (corpus.specs()[static_cast<std::size_t>(c)].name == class_name) {
+        return corpus.samples_of_class(c);
+      }
+    }
+    throw std::invalid_argument("make_similarity_example: unknown class " + class_name);
+  }();
+  if (ids.size() < 2) throw std::invalid_argument("need >= 2 samples");
+
+  // First sample of the first two distinct versions.
+  const corpus::SampleRef* a = nullptr;
+  const corpus::SampleRef* b = nullptr;
+  for (const int id : ids) {
+    const corpus::SampleRef& ref = corpus.samples()[static_cast<std::size_t>(id)];
+    if (a == nullptr) {
+      a = &ref;
+    } else if (ref.version_idx != a->version_idx) {
+      b = &ref;
+      break;
+    }
+  }
+  if (b == nullptr) {  // single-version class: fall back to two execs
+    a = &corpus.samples()[static_cast<std::size_t>(ids[0])];
+    b = &corpus.samples()[static_cast<std::size_t>(ids[1])];
+  }
+
+  const FeatureHashes ha = extract_feature_hashes(corpus.sample_bytes(*a));
+  const FeatureHashes hb = extract_feature_hashes(corpus.sample_bytes(*b));
+
+  SimilarityExample example;
+  example.class_name = class_name;
+  example.version_a = a->version_dir;
+  example.version_b = b->version_dir;
+  example.digest_a = ha.of(channel).to_string();
+  example.digest_b = hb.of(channel).to_string();
+  example.similarity = ssdeep::compare_digests(ha.of(channel), hb.of(channel), metric);
+  return example;
+}
+
+std::string render_similarity_example(const SimilarityExample& example) {
+  TextTable table({"Class", "Version", "Fuzzy Hash of Symbols"});
+  table.add_row({example.class_name, example.version_a, example.digest_a});
+  table.add_row({example.class_name, example.version_b, example.digest_b});
+  std::string out = table.render();
+  out += "Similarity: " + std::to_string(example.similarity) + "\n";
+  return out;
+}
+
+std::string render_unknown_classes(const ExperimentData& data) {
+  struct Row {
+    std::string name;
+    int count = 0;
+  };
+  std::vector<Row> rows;
+  for (int c = 0; c < data.corpus.class_count(); ++c) {
+    if (!data.split.class_is_unknown[static_cast<std::size_t>(c)]) continue;
+    const auto& spec = data.corpus.specs()[static_cast<std::size_t>(c)];
+    rows.push_back({spec.name, spec.total_samples});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.name < b.name;
+  });
+
+  TextTable table({"Application Class", "Sample Count"}, {Align::Left, Align::Right});
+  int total = 0;
+  for (const Row& row : rows) {
+    table.add_row({row.name, std::to_string(row.count)});
+    total += row.count;
+  }
+  table.add_rule();
+  table.add_row({"total", std::to_string(total)});
+  return table.render();
+}
+
+std::string render_class_sizes(const std::vector<corpus::AppClassSpec>& specs) {
+  std::vector<const corpus::AppClassSpec*> sorted;
+  sorted.reserve(specs.size());
+  for (const auto& spec : specs) sorted.push_back(&spec);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->total_samples > b->total_samples; });
+
+  TextTable table({"Application Class", "Samples", "log-scale"},
+                  {Align::Left, Align::Right, Align::Left});
+  for (const auto* spec : sorted) {
+    const int bar_len = static_cast<int>(
+        std::round(8.0 * std::log10(static_cast<double>(std::max(1, spec->total_samples)))));
+    table.add_row({spec->name, std::to_string(spec->total_samples),
+                   std::string(static_cast<std::size_t>(std::max(1, bar_len)), '#')});
+  }
+  return table.render();
+}
+
+std::string render_feature_importance(
+    const std::array<double, kFeatureTypeCount>& imp) {
+  TextTable table({"Features", "Importance"}, {Align::Left, Align::Right});
+  for (int f = 0; f < kFeatureTypeCount; ++f) {
+    table.add_row({std::string(feature_type_name(static_cast<FeatureType>(f))),
+                   fixed(imp[static_cast<std::size_t>(f)], 4)});
+  }
+  return table.render();
+}
+
+std::string render_threshold_curve(const std::vector<ThresholdPoint>& curve,
+                                   double chosen) {
+  TextTable table({"Threshold", "micro f1", "macro f1", "weighted f1", ""},
+                  {Align::Right, Align::Right, Align::Right, Align::Right, Align::Left});
+  for (const ThresholdPoint& point : curve) {
+    table.add_row({fixed(point.threshold, 2), fixed(point.micro_f1, 3),
+                   fixed(point.macro_f1, 3), fixed(point.weighted_f1, 3),
+                   std::abs(point.threshold - chosen) < 1e-9 ? "<- chosen" : ""});
+  }
+  return table.render();
+}
+
+}  // namespace fhc::core

@@ -1,0 +1,47 @@
+// Rendering helpers for the bench harness: each function produces the
+// textual equivalent of one paper table/figure from experiment artifacts.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/pipeline.hpp"
+#include "corpus/corpus.hpp"
+
+namespace fhc::core {
+
+/// Table 1: versions and executables of one application class.
+std::string render_class_inventory(const corpus::Corpus& corpus,
+                                   const std::string& class_name);
+
+/// Table 2-style row: two samples' digests for one channel + similarity.
+struct SimilarityExample {
+  std::string class_name;
+  std::string version_a;
+  std::string version_b;
+  std::string digest_a;
+  std::string digest_b;
+  int similarity = 0;
+};
+SimilarityExample make_similarity_example(const corpus::Corpus& corpus,
+                                          const std::string& class_name,
+                                          FeatureType channel,
+                                          ssdeep::EditMetric metric);
+std::string render_similarity_example(const SimilarityExample& example);
+
+/// Table 3: the unknown-pool classes with sample counts (descending).
+std::string render_unknown_classes(const ExperimentData& data);
+
+/// Figure 2: per-class sample counts with a log-scaled ASCII bar.
+std::string render_class_sizes(const std::vector<corpus::AppClassSpec>& specs);
+
+/// Table 5: normalized feature importances.
+std::string render_feature_importance(const std::array<double, kFeatureTypeCount>& imp);
+
+/// Figure 3: the threshold sweep as a series table.
+std::string render_threshold_curve(const std::vector<ThresholdPoint>& curve,
+                                   double chosen);
+
+}  // namespace fhc::core

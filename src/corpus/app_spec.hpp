@@ -1,0 +1,58 @@
+// The application-class table of the reproduction dataset.
+//
+// The paper's corpus is 5333 pre-installed executables in 92 application
+// classes scraped from the sciCORE cluster. The raw dataset is not public,
+// so we reconstruct its *composition* exactly from the paper's tables:
+//
+//  * the 73 known-class names and their test supports (Table 4),
+//  * the 19 unknown-pool class names and their full counts (Table 3),
+//  * per-known-class totals chosen such that the paper's stratified 60/40
+//    sample split reproduces the reported test supports and the global
+//    counts: 4481 known + 852 unknown = 5333 samples, split 2688 train /
+//    2645 test.
+//
+// Content (symbols/strings/code) is synthesized per class by the corpus
+// generator; see synth_app.hpp for the mutation model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fhc::corpus {
+
+/// Coarse scientific domain; classes within a domain share a small library
+/// vocabulary, creating realistic cross-class similarity.
+enum class Domain { kBioinformatics, kChemistry, kPhysics, kMath, kImaging };
+
+struct AppClassSpec {
+  std::string name;            // directory name, e.g. "OpenMalaria"
+  std::string lineage;         // genome key; shared by renamed installs
+  std::string family;          // related-project group sharing library code
+                               // (e.g. "htslib": HTSlib/SAMtools/BCFtools);
+                               // empty = standalone
+  int total_samples = 3;       // full-scale sample count (all versions)
+  bool paper_unknown = false;  // in Table 3's unknown pool
+  int paper_test_support = 0;  // Table 4 support (0 for unknown classes)
+  Domain domain = Domain::kBioinformatics;
+  std::vector<std::string> version_names;  // optional explicit versions
+  std::vector<std::string> exec_names;     // optional leading exec names
+};
+
+/// The full 92-class table at paper scale (5333 samples).
+const std::vector<AppClassSpec>& paper_app_classes();
+
+/// Scales every class's sample count by `scale` (floor, min 3 — the
+/// paper's minimum versions-per-class rule). scale = 1 returns the table
+/// unchanged.
+std::vector<AppClassSpec> scaled_app_classes(double scale);
+
+/// Number of samples summed over `specs`.
+int total_sample_count(const std::vector<AppClassSpec>& specs);
+
+/// Finds a class by name (nullptr when absent).
+const AppClassSpec* find_class(const std::vector<AppClassSpec>& specs,
+                               const std::string& name);
+
+}  // namespace fhc::corpus

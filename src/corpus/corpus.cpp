@@ -1,0 +1,64 @@
+#include "corpus/corpus.hpp"
+
+#include "util/io_util.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fhc::corpus {
+
+std::string SampleRef::rel_path() const {
+  return class_name + "/" + version_dir + "/" + exec_name;
+}
+
+Corpus::Corpus(std::vector<AppClassSpec> specs, std::uint64_t seed)
+    : specs_(std::move(specs)), seed_(seed) {
+  synths_.reserve(specs_.size());
+  for (const AppClassSpec& spec : specs_) {
+    synths_.push_back(std::make_unique<SampleSynthesizer>(spec, seed_));
+  }
+
+  int global = 0;
+  for (std::size_t c = 0; c < specs_.size(); ++c) {
+    const SampleSynthesizer& synth = *synths_[c];
+    const auto& versions = synth.versions();
+    const auto& per_version = synth.samples_per_version();
+    for (std::size_t v = 0; v < versions.size(); ++v) {
+      for (int e = 0; e < per_version[v]; ++e) {
+        SampleRef ref;
+        ref.class_idx = static_cast<int>(c);
+        ref.version_idx = static_cast<int>(v);
+        ref.exec_idx = e;
+        ref.sample_idx = global++;
+        ref.class_name = specs_[c].name;
+        ref.version_dir = versions[v].dir_name;
+        ref.exec_name = synth.exec_name(e);
+        samples_.push_back(std::move(ref));
+      }
+    }
+  }
+}
+
+std::vector<std::uint8_t> Corpus::sample_bytes(const SampleRef& ref,
+                                               bool stripped) const {
+  return synths_.at(static_cast<std::size_t>(ref.class_idx))
+      ->build(ref.version_idx, ref.exec_idx, stripped);
+}
+
+std::vector<int> Corpus::samples_of_class(int class_idx) const {
+  std::vector<int> out;
+  for (const SampleRef& ref : samples_) {
+    if (ref.class_idx == class_idx) out.push_back(ref.sample_idx);
+  }
+  return out;
+}
+
+std::size_t Corpus::materialize(const std::filesystem::path& root) const {
+  // Parallel over samples; each file path is unique so writes are disjoint.
+  fhc::util::parallel_for(samples_.size(), [&](std::size_t i) {
+    const SampleRef& ref = samples_[i];
+    fhc::util::write_file(root / ref.rel_path(),
+                          std::span<const std::uint8_t>(sample_bytes(ref)));
+  });
+  return samples_.size();
+}
+
+}  // namespace fhc::corpus

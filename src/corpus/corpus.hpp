@@ -1,0 +1,71 @@
+// The corpus: enumerates every sample of every class and regenerates any
+// sample's ELF image on demand.
+//
+// Samples are *not* stored — each is a pure function of (corpus seed,
+// class, version, exec), so the corpus holds only lightweight metadata
+// (~100 bytes/sample) while the feature-extraction pass streams images
+// through the hashers in parallel and drops them immediately. The optional
+// materialize() writes the sciCORE-style directory layout
+// `<root>/<Class>/<version-toolchain>/<exec>` for the examples and for
+// inspection with real binutils.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/app_spec.hpp"
+#include "corpus/synth_app.hpp"
+
+namespace fhc::corpus {
+
+/// Identity of one sample within a Corpus.
+struct SampleRef {
+  int class_idx = 0;    // index into Corpus::specs()
+  int version_idx = 0;  // index into the class's versions
+  int exec_idx = 0;     // executable slot within the version
+  int sample_idx = 0;   // global index within Corpus::samples()
+
+  std::string class_name;
+  std::string version_dir;  // e.g. "46.0-iomkl-2019.01"
+  std::string exec_name;    // e.g. "openmalaria"
+
+  /// "Class/version-toolchain/exec" (the labelling path of the paper).
+  std::string rel_path() const;
+};
+
+class Corpus {
+ public:
+  /// Builds synthesizers for all classes and enumerates samples.
+  Corpus(std::vector<AppClassSpec> specs, std::uint64_t seed);
+
+  const std::vector<AppClassSpec>& specs() const noexcept { return specs_; }
+  const std::vector<SampleRef>& samples() const noexcept { return samples_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  int class_count() const noexcept { return static_cast<int>(specs_.size()); }
+
+  const SampleSynthesizer& synthesizer(int class_idx) const {
+    return *synths_.at(static_cast<std::size_t>(class_idx));
+  }
+
+  /// Regenerates the ELF image of `ref` (deterministic).
+  std::vector<std::uint8_t> sample_bytes(const SampleRef& ref,
+                                         bool stripped = false) const;
+
+  /// Global indices of all samples of one class.
+  std::vector<int> samples_of_class(int class_idx) const;
+
+  /// Writes every sample under `root` in the sciCORE layout. Returns the
+  /// number of files written.
+  std::size_t materialize(const std::filesystem::path& root) const;
+
+ private:
+  std::vector<AppClassSpec> specs_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<SampleSynthesizer>> synths_;
+  std::vector<SampleRef> samples_;
+};
+
+}  // namespace fhc::corpus

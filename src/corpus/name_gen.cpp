@@ -1,0 +1,360 @@
+#include "corpus/name_gen.hpp"
+
+#include <array>
+#include <cctype>
+#include <span>
+
+#include "corpus/synth_app.hpp"  // class_prefix()
+
+namespace fhc::corpus {
+
+namespace {
+
+using fhc::util::Rng;
+
+// Generic systems-programming roots every application draws from.
+constexpr std::array<const char*, 48> kCommonRoots = {
+    "init",  "parse",  "read",   "write",  "open",   "close",  "alloc",
+    "free",  "hash",   "index",  "table",  "buffer", "stream", "file",
+    "load",  "store",  "merge",  "split",  "sort",   "scan",   "map",
+    "queue", "stack",  "node",   "edge",   "graph",  "tree",   "list",
+    "count", "filter", "update", "insert", "delete", "lookup", "flush",
+    "sync",  "thread", "worker", "task",   "batch",  "chunk",  "block",
+    "cache", "config", "option", "error",  "check",  "util"};
+
+// Domain pools: classes in one domain share these, creating the moderate
+// cross-class symbol overlap seen between real tools of the same field.
+constexpr std::array<const char*, 24> kBioRoots = {
+    "seq",    "fasta",  "fastq", "kmer",   "align",  "assembl", "contig",
+    "read",   "genome", "exon",  "intron", "codon",  "protein", "dna",
+    "rna",    "variant", "snp",  "allele", "locus",  "scaffold", "basecall",
+    "primer", "motif",  "coverage"};
+constexpr std::array<const char*, 20> kChemRoots = {
+    "atom",   "bond",    "mol",     "energy",  "force",   "dipole", "orbital",
+    "basis",  "lattice", "cell",    "density", "grad",    "minimiz", "dynamics",
+    "charge", "spin",    "coupling", "solvent", "ligand",  "torsion"};
+constexpr std::array<const char*, 16> kPhysRoots = {
+    "wave",  "field",  "mesh",   "grid",   "fft",    "kpoint", "pseudo",
+    "pot",   "scf",    "diag",   "tensor", "lapack", "eigen",  "hamil",
+    "relax", "phonon"};
+constexpr std::array<const char*, 16> kMathRoots = {
+    "matrix", "vector", "solve",  "factor", "pivot",  "sparse", "dense",
+    "norm",   "rank",   "lp",     "qp",     "simplex", "branch", "bound",
+    "objective", "constraint"};
+constexpr std::array<const char*, 16> kImagingRoots = {
+    "voxel", "image",  "volume", "slice",  "render", "pixel",  "mask",
+    "region", "surface", "mesh",  "warp",  "registr", "segment", "intensity",
+    "contrast", "kernel"};
+
+constexpr std::array<const char*, 14> kMessageTemplates = {
+    "failed to open %s: %s",
+    "unable to allocate %zu bytes for %s",
+    "processing %s (%d of %d)",
+    "warning: %s is deprecated, use %s instead",
+    "error: invalid %s in line %d",
+    "writing output to %s",
+    "loaded %d records from %s",
+    "usage: %s [options] <input> <output>",
+    "elapsed time: %.2f seconds",
+    "threads: %d, memory limit: %s",
+    "unexpected end of file in %s",
+    "skipping malformed entry at offset %ld",
+    "checkpoint saved to %s",
+    "parameter %s out of range [%g, %g]",
+};
+
+std::span<const char* const> domain_pool(Domain domain) {
+  switch (domain) {
+    case Domain::kBioinformatics: return {kBioRoots.data(), kBioRoots.size()};
+    case Domain::kChemistry: return {kChemRoots.data(), kChemRoots.size()};
+    case Domain::kPhysics: return {kPhysRoots.data(), kPhysRoots.size()};
+    case Domain::kMath: return {kMathRoots.data(), kMathRoots.size()};
+    case Domain::kImaging: return {kImagingRoots.data(), kImagingRoots.size()};
+  }
+  return {kBioRoots.data(), kBioRoots.size()};
+}
+
+std::string camel(const std::string& word) {
+  std::string out = word;
+  if (!out.empty()) out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  return out;
+}
+
+}  // namespace
+
+std::string mangle_cxx(const std::string& ns, const std::string& cls,
+                       const std::string& method, int arity) {
+  std::string out = "_ZN";
+  out += std::to_string(ns.size());
+  out += ns;
+  out += std::to_string(cls.size());
+  out += cls;
+  out += std::to_string(method.size());
+  out += method;
+  out += 'E';
+  if (arity <= 0) {
+    out += 'v';
+  } else {
+    static constexpr std::array<const char*, 4> kParams = {"m", "i", "PKc", "d"};
+    for (int i = 0; i < arity && i < 4; ++i) out += kParams[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+NameGenerator::NameGenerator(std::uint64_t lineage_seed, Domain domain, std::string prefix)
+    : lineage_seed_(lineage_seed), domain_(domain), prefix_(std::move(prefix)) {}
+
+std::string NameGenerator::pick_root(Rng& rng) const {
+  // 55% generic, 45% domain-specific: measured against real `nm` output
+  // this keeps class vocabularies distinct yet plausibly overlapping.
+  if (rng.bernoulli(0.55)) {
+    return kCommonRoots[static_cast<std::size_t>(rng.next_below(kCommonRoots.size()))];
+  }
+  const auto pool = domain_pool(domain_);
+  return pool[static_cast<std::size_t>(rng.next_below(pool.size()))];
+}
+
+std::string NameGenerator::identifier(Rng& rng, NameStyle style) const {
+  const int words = static_cast<int>(rng.uniform_int(2, 3));
+  switch (style) {
+    case NameStyle::kCSnake: {
+      std::string out = prefix_;
+      for (int w = 0; w < words; ++w) {
+        out += '_';
+        out += pick_root(rng);
+      }
+      if (rng.bernoulli(0.2)) out += std::to_string(rng.uniform_int(2, 64));
+      return out;
+    }
+    case NameStyle::kCCamel: {
+      std::string out = prefix_;
+      for (int w = 0; w < words; ++w) out += camel(pick_root(rng));
+      return out;
+    }
+    case NameStyle::kCxxMangled: {
+      const std::string cls = camel(pick_root(rng)) + camel(pick_root(rng));
+      const std::string method = pick_root(rng);
+      return mangle_cxx(prefix_, cls, method, static_cast<int>(rng.uniform_int(0, 3)));
+    }
+  }
+  return prefix_;
+}
+
+namespace {
+
+/// Derives a child seed from (base, salt) without mutating either.
+std::uint64_t derive(std::uint64_t base, std::uint64_t salt) {
+  std::uint64_t s = base ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return fhc::util::splitmix64(s);
+}
+
+}  // namespace
+
+std::string NameGenerator::function_name(std::uint64_t salt) const {
+  Rng rng(derive(lineage_seed_, salt * 2 + 1));
+  const double pick = rng.uniform();
+  const NameStyle style = pick < 0.50   ? NameStyle::kCSnake
+                          : pick < 0.75 ? NameStyle::kCCamel
+                                        : NameStyle::kCxxMangled;
+  return identifier(rng, style);
+}
+
+std::string NameGenerator::object_name(std::uint64_t salt) const {
+  Rng rng(derive(lineage_seed_, salt * 2));
+  std::string out = prefix_;
+  out += '_';
+  out += pick_root(rng);
+  out += rng.bernoulli(0.5) ? "_table" : "_defaults";
+  return out;
+}
+
+std::string NameGenerator::message_string(std::uint64_t salt) const {
+  Rng rng(derive(lineage_seed_ ^ 0x5741u, salt));
+  std::string out(kMessageTemplates[static_cast<std::size_t>(
+      rng.next_below(kMessageTemplates.size()))]);
+  // Tie roughly half the messages to the application vocabulary so the
+  // strings channel carries class identity, not just libc templates.
+  if (rng.bernoulli(0.5)) {
+    out += " [";
+    out += prefix_;
+    out += '.';
+    out += pick_root(rng);
+    out += ']';
+  }
+  return out;
+}
+
+std::string NameGenerator::mutated_message(std::uint64_t salt,
+                                           std::uint64_t change_salt) const {
+  Rng rng(derive(lineage_seed_ ^ 0x6d75u, salt ^ change_salt * 0x2545f491ULL));
+  std::string base = message_string(salt);
+  // Reword: append/replace a fragment the way a bug-fix release would.
+  switch (rng.next_below(3)) {
+    case 0: base += " (retrying)"; break;
+    case 1: base.insert(0, "fatal: "); break;
+    default: base += "; see --help"; break;
+  }
+  return base;
+}
+
+std::string NameGenerator::version_banner(const std::string& app,
+                                          const std::string& version,
+                                          const std::string& toolchain) {
+  return app + " version " + version + " (built with " + toolchain + ")";
+}
+
+const std::vector<std::string>& NameGenerator::runtime_symbols() {
+  static const std::vector<std::string> symbols = {
+      "_start",         "_init",          "_fini",          "main",
+      "__bss_start",    "_edata",         "_end",           "__data_start",
+      "__libc_csu_init", "__libc_csu_fini", "frame_dummy",   "register_tm_clones",
+      "deregister_tm_clones", "__do_global_dtors_aux", "_IO_stdin_used",
+      "__gmon_start__", "abort_handler",  "atexit_wrapper", "env_lookup",
+      "arena_alloc",    "arena_free",     "log_emit",       "log_level_set",
+      "opt_parse_long", "opt_usage"};
+  return symbols;
+}
+
+const std::vector<std::string>& NameGenerator::runtime_strings() {
+  // Deliberately large: `strings` output of real executables is dominated
+  // by toolchain/runtime boilerplate shared across unrelated applications,
+  // which is what keeps the strings channel less class-discriminative than
+  // the symbol table (paper Table 5).
+  static const std::vector<std::string> strings = {
+      "/lib64/ld-linux-x86-64.so.2",
+      "GLIBC_2.2.5",
+      "GLIBC_2.17",
+      "GLIBCXX_3.4.29",
+      "CXXABI_1.3.13",
+      "libc.so.6",
+      "libm.so.6",
+      "libpthread.so.0",
+      "libgcc_s.so.1",
+      "libstdc++.so.6",
+      "libgomp.so.1",
+      "libz.so.1",
+      "out of memory",
+      "Segmentation fault handler installed",
+      "invalid option -- '%c'",
+      "%s: option requires an argument -- '%c'",
+      "POSIX",
+      "C.UTF-8",
+      "en_US.UTF-8",
+      "TMPDIR",
+      "HOME",
+      "PATH",
+      "LD_LIBRARY_PATH",
+      "OMP_NUM_THREADS",
+      "basic_string::_M_construct null not valid",
+      "terminate called after throwing an instance of",
+      "St9bad_alloc",
+      "St12out_of_range",
+      "St16invalid_argument",
+      "pure virtual method called",
+      "vector::_M_range_check: __n (which is %zu) >= this->size()",
+      "This program is free software; you can redistribute it and/or modify",
+      "it under the terms of the GNU General Public License as published by",
+      "the Free Software Foundation; either version 2 of the License, or",
+      "(at your option) any later version.",
+      "This program is distributed in the hope that it will be useful,",
+      "but WITHOUT ANY WARRANTY; without even the implied warranty of",
+      "MERCHANTABILITY or FITNESS FOR A PARTICULAR PURPOSE.  See the",
+      "GNU General Public License for more details.",
+      "Copyright (C) Free Software Foundation, Inc.",
+      "deflate 1.2.11 Copyright 1995-2017 Jean-loup Gailly and Mark Adler",
+      "inflate 1.2.11 Copyright 1995-2017 Mark Adler",
+      "assertion \"%s\" failed: file \"%s\", line %d",
+      "Unknown error %d",
+      "Success",
+      "No such file or directory",
+      "Permission denied",
+      "Cannot allocate memory",
+      "%Y-%m-%d %H:%M:%S",
+      "nan",
+      "inf",
+      "-inf"};
+  return strings;
+}
+
+std::vector<std::string> NameGenerator::build_environment_strings(
+    const std::string& app, const std::string& version_dir,
+    const std::string& toolchain) {
+  // EasyBuild-style install prefixes and build metadata: always present in
+  // real sciCORE binaries and always different between versions — a major
+  // source of per-version churn in the strings channel.
+  return {
+      "/scicore/soft/apps/" + app + "/" + version_dir + "/bin",
+      "/scicore/soft/apps/" + app + "/" + version_dir + "/lib",
+      "/scicore/soft/easybuild/build/" + app + "/" + version_dir + "/easybuild_obj",
+      "-O2 -ftree-vectorize -march=native -fno-math-errno (" + toolchain + ")",
+      "EBROOT" + class_prefix_upper(app) + "=" + "/scicore/soft/apps/" + app + "/" +
+          version_dir,
+  };
+}
+
+std::string class_prefix_upper(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+const char* domain_tag(Domain domain) {
+  switch (domain) {
+    case Domain::kBioinformatics: return "bioseq";
+    case Domain::kChemistry: return "chemlib";
+    case Domain::kPhysics: return "physlib";
+    case Domain::kMath: return "numlib";
+    case Domain::kImaging: return "imglib";
+  }
+  return "lib";
+}
+
+}  // namespace
+
+std::vector<std::string> NameGenerator::domain_library_symbols(Domain domain) {
+  // Deterministic per domain (independent of the corpus seed): these model
+  // released third-party libraries whose symbols are what they are.
+  NameGenerator lib(fhc::util::hash_string_seed(domain_tag(domain)) ^ 0xd011ab,
+                    domain, domain_tag(domain));
+  std::vector<std::string> out;
+  out.reserve(48);
+  for (std::uint64_t i = 0; i < 48; ++i) out.push_back(lib.function_name(i + 7'000));
+  return out;
+}
+
+std::vector<std::string> NameGenerator::domain_library_strings(Domain domain) {
+  NameGenerator lib(fhc::util::hash_string_seed(domain_tag(domain)) ^ 0xd05711,
+                    domain, domain_tag(domain));
+  std::vector<std::string> out;
+  out.reserve(18);
+  for (std::uint64_t i = 0; i < 18; ++i) out.push_back(lib.message_string(i + 9'000));
+  return out;
+}
+
+std::vector<std::string> NameGenerator::family_symbols(const std::string& family,
+                                                       std::uint64_t corpus_seed) {
+  NameGenerator lib(derive(corpus_seed ^ 0xfa417, fhc::util::hash_string_seed(family)),
+                    Domain::kBioinformatics, class_prefix(family));
+  std::vector<std::string> out;
+  out.reserve(40);
+  for (std::uint64_t i = 0; i < 40; ++i) out.push_back(lib.function_name(i + 11'000));
+  return out;
+}
+
+std::vector<std::string> NameGenerator::family_strings(const std::string& family,
+                                                       std::uint64_t corpus_seed) {
+  NameGenerator lib(derive(corpus_seed ^ 0xfa575, fhc::util::hash_string_seed(family)),
+                    Domain::kBioinformatics, class_prefix(family));
+  std::vector<std::string> out;
+  out.reserve(16);
+  for (std::uint64_t i = 0; i < 16; ++i) out.push_back(lib.message_string(i + 13'000));
+  return out;
+}
+
+}  // namespace fhc::corpus

@@ -1,0 +1,97 @@
+// Deterministic generation of realistic symbol names and embedded strings.
+//
+// Every name derives from seeds, never from global state, so the corpus is
+// reproducible and any single sample can be regenerated in isolation. The
+// generated material mimics what `nm`/`strings` report on real scientific
+// executables: C identifiers, Itanium-mangled C++ names, usage/error/log
+// format strings, version banners and build paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/app_spec.hpp"
+#include "util/rng.hpp"
+
+namespace fhc::corpus {
+
+/// Styles of generated symbol names.
+enum class NameStyle {
+  kCSnake,      // velvet_hash_kmer_table
+  kCCamel,      // velvetHashKmerTable
+  kCxxMangled,  // _ZN6velvet9KmerTable6insertEmm
+};
+
+class NameGenerator {
+ public:
+  /// `lineage_seed` scopes the vocabulary to one application lineage;
+  /// `domain` mixes in a domain-specific root pool shared across classes
+  /// of the same field (realistic cross-class similarity).
+  NameGenerator(std::uint64_t lineage_seed, Domain domain, std::string prefix);
+
+  /// A fresh function-symbol name; `salt` distinguishes call sites.
+  std::string function_name(std::uint64_t salt) const;
+
+  /// A fresh global-object-symbol name.
+  std::string object_name(std::uint64_t salt) const;
+
+  /// An embedded string: log/error/usage/format text.
+  std::string message_string(std::uint64_t salt) const;
+
+  /// A plausible alternative for `message` after a code change (bug fix,
+  /// reworded diagnostic); deterministic in (message salt, change salt).
+  std::string mutated_message(std::uint64_t salt, std::uint64_t change_salt) const;
+
+  /// Version banner, e.g. "OpenMalaria version 46.0 (built with foss-2021a)".
+  static std::string version_banner(const std::string& app, const std::string& version,
+                                    const std::string& toolchain);
+
+  /// Symbols every executable carries regardless of class (runtime/CRT
+  /// noise: _start, _init, __bss_start, ...).
+  static const std::vector<std::string>& runtime_symbols();
+
+  /// Strings every executable carries (libc/libstdc++ diagnostics, license
+  /// boilerplate, locale names); cross-class noise for the strings channel.
+  static const std::vector<std::string>& runtime_strings();
+
+  /// EasyBuild-style install-prefix/build-flag strings — per-version churn
+  /// for the strings channel (sciCORE embeds these in real binaries).
+  static std::vector<std::string> build_environment_strings(
+      const std::string& app, const std::string& version_dir,
+      const std::string& toolchain);
+
+  /// Statically-linked scientific-library symbols shared by all classes of
+  /// one domain (BLAS/HDF5-style). A class links a seeded subset; unknown-
+  /// pool classes thus partially resemble known classes of the same field,
+  /// which is what makes unknown detection non-trivial.
+  static std::vector<std::string> domain_library_symbols(Domain domain);
+
+  /// Library diagnostics shared within a domain (strings channel analog).
+  static std::vector<std::string> domain_library_strings(Domain domain);
+
+  /// Shared vocabulary of a related-project family (see AppClassSpec::family).
+  static std::vector<std::string> family_symbols(const std::string& family,
+                                                 std::uint64_t corpus_seed);
+  static std::vector<std::string> family_strings(const std::string& family,
+                                                 std::uint64_t corpus_seed);
+
+ private:
+  std::string pick_root(fhc::util::Rng& rng) const;
+  std::string identifier(fhc::util::Rng& rng, NameStyle style) const;
+
+  std::uint64_t lineage_seed_;
+  Domain domain_;
+  std::string prefix_;  // short class tag, e.g. "velvet"
+};
+
+/// Itanium-style mangling of a namespace + method pair (subset: nested
+/// names with simple integer/pointer params). Good enough to look like
+/// `nm` output on a C++ binary; not a full mangler.
+std::string mangle_cxx(const std::string& ns, const std::string& cls,
+                       const std::string& method, int arity);
+
+/// Uppercased alphanumeric tag of a class name ("Cell-Ranger" -> "CELLRANGER").
+std::string class_prefix_upper(const std::string& name);
+
+}  // namespace fhc::corpus

@@ -1,0 +1,452 @@
+#include "corpus/synth_app.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <numeric>
+
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace fhc::corpus {
+
+namespace {
+
+using fhc::util::Rng;
+using fhc::util::hash_string_seed;
+using fhc::util::splitmix64;
+
+std::uint64_t derive(std::uint64_t base, std::uint64_t salt) {
+  std::uint64_t s = base ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(s);
+}
+
+constexpr std::array<const char*, 8> kToolchains = {
+    "GCC-10.3.0", "foss-2021a",  "foss-2018b", "iomkl-2019.01",
+    "goolf-1.7.20", "intel-2020a", "GCC-8.3.0",  "foss-2016b"};
+
+/// Compiler banner stored in .comment, derived from the toolchain name.
+std::string toolchain_comment(const std::string& toolchain) {
+  if (toolchain.find("intel") != std::string::npos ||
+      toolchain.find("iomkl") != std::string::npos) {
+    return "Intel(R) C++ Compiler Classic for " + toolchain;
+  }
+  if (toolchain.find("GCC-") == 0) {
+    return "GCC: (GNU) " + toolchain.substr(4);
+  }
+  return "GCC: (GNU) via EasyBuild toolchain " + toolchain;
+}
+
+/// Tool-name suffixes for generated executable names of multi-tool suites.
+constexpr std::array<const char*, 20> kToolSuffixes = {
+    "index", "stats", "merge", "view",  "sort",   "call",  "plot",
+    "conv",  "filter", "query", "build", "dump",   "scan",  "pack",
+    "check", "info",  "split", "join",  "extract", "bench"};
+
+}  // namespace
+
+std::string class_prefix(const std::string& lineage) {
+  std::string prefix;
+  for (const char c : lineage) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      prefix += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  if (prefix.empty()) prefix = "app";
+  if (prefix.size() > 12) prefix.resize(12);
+  return prefix;
+}
+
+SampleSynthesizer::SampleSynthesizer(AppClassSpec spec, std::uint64_t corpus_seed)
+    : spec_(std::move(spec)),
+      corpus_seed_(corpus_seed),
+      lineage_seed_(derive(corpus_seed, hash_string_seed(spec_.lineage))),
+      class_seed_(derive(corpus_seed, hash_string_seed(spec_.name))),
+      prefix_(class_prefix(spec_.lineage)),
+      namegen_(lineage_seed_, spec_.domain, prefix_) {
+  // ~15% of classes are volatile (heavier churn between versions).
+  Rng vol_rng(derive(class_seed_, 0x701a));
+  if (vol_rng.bernoulli(0.18)) {
+    volatility_.symbol_keep = vol_rng.uniform_real(0.84, 0.91);
+    volatility_.string_reword = vol_rng.uniform_real(0.35, 0.50);
+    volatility_.string_drop = 0.08;
+    volatility_.code_change = 0.25;
+  }
+  build_versions();
+  build_genome();
+}
+
+void SampleSynthesizer::build_versions() {
+  Rng rng(derive(class_seed_, 0xfe15));
+
+  int version_count;
+  if (!spec_.version_names.empty()) {
+    version_count = static_cast<int>(spec_.version_names.size());
+  } else {
+    // 3..8 versions, but never more versions than samples (paper rule:
+    // >= 3 versions per collected class).
+    version_count = static_cast<int>(rng.uniform_int(3, 8));
+    version_count = std::min(version_count, spec_.total_samples);
+    version_count = std::max(version_count, 3);
+  }
+
+  // Semantic version stream: major.minor with occasional major bumps.
+  int major = static_cast<int>(rng.uniform_int(1, 7));
+  int minor = static_cast<int>(rng.uniform_int(0, 9));
+  versions_.reserve(static_cast<std::size_t>(version_count));
+  for (int v = 0; v < version_count; ++v) {
+    VersionInfo info;
+    if (!spec_.version_names.empty()) {
+      // Explicit names may already embed a toolchain ("1.2.10-goolf-1.4.10").
+      info.dir_name = spec_.version_names[static_cast<std::size_t>(v)];
+      const std::size_t dash = info.dir_name.find('-');
+      info.version = info.dir_name.substr(0, dash);
+      info.toolchain = dash == std::string::npos
+                           ? std::string(kToolchains[static_cast<std::size_t>(
+                                 rng.next_below(kToolchains.size()))])
+                           : info.dir_name.substr(dash + 1);
+    } else {
+      info.version = std::to_string(major) + "." + std::to_string(minor);
+      info.toolchain = kToolchains[static_cast<std::size_t>(rng.next_below(kToolchains.size()))];
+      info.dir_name = info.version + "-" + info.toolchain;
+      if (rng.bernoulli(0.2)) {
+        ++major;
+        minor = 0;
+      } else {
+        minor += static_cast<int>(rng.uniform_int(1, 3));
+      }
+    }
+    versions_.push_back(std::move(info));
+  }
+
+  // Distribute samples over versions: equal base share, remainder goes to
+  // the newest versions (suites gain tools over time).
+  const int nv = version_count;
+  const int base = spec_.total_samples / nv;
+  const int rem = spec_.total_samples % nv;
+  samples_per_version_.assign(static_cast<std::size_t>(nv), base);
+  for (int v = nv - rem; v < nv; ++v) samples_per_version_[static_cast<std::size_t>(v)] += 1;
+}
+
+void SampleSynthesizer::build_genome() {
+  Rng rng(derive(lineage_seed_, 0x6e03));
+  const int core_symbol_count = static_cast<int>(rng.uniform_int(50, 130));
+  // Class-specific strings are deliberately few relative to the shared
+  // boilerplate: the strings channel should carry weaker class identity
+  // than the symbol table (Table 5's ordering).
+  const int core_string_count = static_cast<int>(rng.uniform_int(25, 50));
+
+  genome_.core_symbols.reserve(static_cast<std::size_t>(core_symbol_count));
+  genome_.core_symbol_salts.reserve(static_cast<std::size_t>(core_symbol_count));
+  for (int i = 0; i < core_symbol_count; ++i) {
+    const auto salt = static_cast<std::uint64_t>(i) + 1000;
+    genome_.core_symbols.push_back(namegen_.function_name(salt));
+    genome_.core_symbol_salts.push_back(salt);
+  }
+  genome_.core_strings.reserve(static_cast<std::size_t>(core_string_count));
+  genome_.core_string_salts.reserve(static_cast<std::size_t>(core_string_count));
+  for (int i = 0; i < core_string_count; ++i) {
+    const auto salt = static_cast<std::uint64_t>(i) + 5000;
+    genome_.core_strings.push_back(namegen_.message_string(salt));
+    genome_.core_string_salts.push_back(salt);
+  }
+
+  // Statically-linked shared code: a seeded subset of the domain library
+  // and (when set) the related-project family pool. These enter the genome
+  // like the class's own symbols — stable across versions — but are shared
+  // with other classes, including unknown-pool ones.
+  const auto absorb = [&](const std::vector<std::string>& pool, double take_p,
+                          std::uint64_t tag) {
+    Rng take_rng(derive(lineage_seed_ ^ tag, 0x7a6e));
+    for (const std::string& name : pool) {
+      if (take_rng.bernoulli(take_p)) {
+        genome_.core_symbols.push_back(name);
+        genome_.core_symbol_salts.push_back(hash_string_seed(name));
+      }
+    }
+  };
+  absorb(NameGenerator::domain_library_symbols(spec_.domain), 0.50, 0xd0);
+  if (!spec_.family.empty()) {
+    absorb(NameGenerator::family_symbols(spec_.family, corpus_seed_), 0.60, 0xfa);
+  }
+
+  const auto absorb_strings = [&](const std::vector<std::string>& pool, double take_p,
+                                  std::uint64_t tag) {
+    Rng take_rng(derive(lineage_seed_ ^ tag, 0x57a6));
+    std::uint64_t salt = 50'000 + tag * 1000;
+    for (const std::string& text : pool) {
+      if (take_rng.bernoulli(take_p)) {
+        genome_.core_strings.push_back(text);
+        genome_.core_string_salts.push_back(salt);
+      }
+      ++salt;
+    }
+  };
+  absorb_strings(NameGenerator::domain_library_strings(spec_.domain), 0.40, 0xd1);
+  if (!spec_.family.empty()) {
+    absorb_strings(NameGenerator::family_strings(spec_.family, corpus_seed_), 0.55, 0xfb);
+  }
+}
+
+std::string SampleSynthesizer::exec_name(int exec_idx) const {
+  if (exec_idx < static_cast<int>(spec_.exec_names.size())) {
+    return spec_.exec_names[static_cast<std::size_t>(exec_idx)];
+  }
+  if (exec_idx == static_cast<int>(spec_.exec_names.size()) && exec_idx == 0) {
+    // First tool of a suite without explicit names: the bare prefix, like
+    // most single-binary applications (e.g. "openmalaria").
+    return prefix_;
+  }
+  // Deterministic unique assignment: walk a per-class shuffled suffix
+  // order, then add a numeric generation once the pool is exhausted.
+  Rng rng(derive(class_seed_ ^ 0xe8ec, 0));
+  std::vector<std::size_t> order(kToolSuffixes.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  const int base = std::max(1, static_cast<int>(spec_.exec_names.size()));
+  const auto slot = static_cast<std::size_t>(exec_idx - base);
+  std::string name = prefix_;
+  name += kToolSuffixes[order[slot % kToolSuffixes.size()]];
+  if (slot >= kToolSuffixes.size()) {
+    name += std::to_string(slot / kToolSuffixes.size() + 1);
+  }
+  return name;
+}
+
+std::vector<std::string> SampleSynthesizer::exec_symbols(int exec_idx) const {
+  Rng rng(derive(lineage_seed_ ^ 0xe5b0, static_cast<std::uint64_t>(exec_idx)));
+  const int count = static_cast<int>(rng.uniform_int(18, 45));
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(namegen_.function_name(
+        derive(0xabcd, static_cast<std::uint64_t>(exec_idx) * 1000 + static_cast<std::uint64_t>(i))));
+  }
+  return out;
+}
+
+std::vector<std::string> SampleSynthesizer::exec_strings(int exec_idx) const {
+  Rng rng(derive(lineage_seed_ ^ 0x57a7, static_cast<std::uint64_t>(exec_idx)));
+  const int count = static_cast<int>(rng.uniform_int(8, 18));
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(count) + 1);
+  out.push_back("Usage: " + exec_name(exec_idx) + " [options] <input>");
+  for (int i = 0; i < count; ++i) {
+    out.push_back(namegen_.message_string(
+        derive(0x5172, static_cast<std::uint64_t>(exec_idx) * 1000 + static_cast<std::uint64_t>(i))));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> SampleSynthesizer::function_body(
+    std::uint64_t func_salt, const VersionInfo& version) const {
+  // Code bytes are a pure function of (lineage, function, toolchain) plus
+  // a per-version perturbation for ~8% of functions: recompiling with the
+  // same toolchain keeps most bytes identical, switching toolchains
+  // regenerates everything — the raw-content churn the paper describes.
+  const std::uint64_t toolchain_seed = hash_string_seed(version.toolchain);
+  std::uint64_t code_seed = derive(lineage_seed_ ^ 0xc0de, func_salt ^ toolchain_seed);
+
+  Rng change_rng(derive(code_seed, hash_string_seed(version.version)));
+  if (change_rng.bernoulli(volatility_.code_change)) {
+    code_seed = derive(code_seed, hash_string_seed(version.version) | 1);
+  }
+
+  Rng rng(code_seed);
+  const auto length = static_cast<std::size_t>(rng.uniform_int(64, 768));
+  std::vector<std::uint8_t> body;
+  body.reserve(length + 16);
+  // x86-64-flavoured byte soup: prologue, REX-heavy stream, RET + padding.
+  body.push_back(0x55);        // push rbp
+  body.push_back(0x48);        // mov rbp, rsp
+  body.push_back(0x89);
+  body.push_back(0xe5);
+  while (body.size() < length) {
+    body.push_back(static_cast<std::uint8_t>(rng() & 0xff));
+  }
+  body.push_back(0x5d);  // pop rbp
+  body.push_back(0xc3);  // ret
+  while (body.size() % 16 != 0) body.push_back(0x90);  // NOP alignment
+
+  // Suppress accidental printable runs (>= 4 chars) so the strings channel
+  // reflects the string pool, not compiler-noise artifacts: real code
+  // sections contain far fewer printable runs than uniform random bytes.
+  std::size_t run = 0;
+  for (std::size_t i = 4; i + 2 < body.size(); ++i) {  // keep prologue/ret intact
+    if (fhc::util::is_printable_ascii(body[i])) {
+      if (++run == 4) {
+        body[i] |= 0x80;
+        run = 0;
+      }
+    } else {
+      run = 0;
+    }
+  }
+  return body;
+}
+
+elf::ElfSpec SampleSynthesizer::build_spec(int version_idx, int exec_idx,
+                                           bool stripped) const {
+  const auto& version = versions_.at(static_cast<std::size_t>(version_idx));
+  const std::uint64_t version_key = hash_string_seed(version.dir_name);
+
+  elf::ElfSpec spec;
+  spec.stripped = stripped;
+  spec.comment = toolchain_comment(version.toolchain);
+
+  // --- select this version's symbol set ---------------------------------
+  struct Func {
+    std::string name;
+    std::uint64_t salt;
+  };
+  std::vector<Func> funcs;
+
+  // Core symbols: each kept with p = 0.97 per version (independent,
+  // deterministic), so any two versions share ~94% of the core.
+  for (std::size_t i = 0; i < genome_.core_symbols.size(); ++i) {
+    Rng keep_rng(derive(lineage_seed_ ^ 0xcafe, genome_.core_symbol_salts[i] ^ version_key));
+    if (keep_rng.bernoulli(volatility_.symbol_keep)) {
+      funcs.push_back({genome_.core_symbols[i], genome_.core_symbol_salts[i]});
+    }
+  }
+  // Version-specific additions (new features): ~2% of core size.
+  {
+    const auto additions = std::max<std::size_t>(1, genome_.core_symbols.size() / 50);
+    for (std::size_t i = 0; i < additions; ++i) {
+      const std::uint64_t salt = derive(version_key, 0xadd0 + i);
+      funcs.push_back({namegen_.function_name(salt), salt});
+    }
+  }
+  // Executable-specific symbols: stable across versions.
+  for (const std::string& name : exec_symbols(exec_idx)) {
+    funcs.push_back({name, hash_string_seed(name)});
+  }
+  // Runtime/CRT noise shared by every binary on the system.
+  for (const std::string& name : NameGenerator::runtime_symbols()) {
+    funcs.push_back({name, hash_string_seed(name)});
+  }
+
+  // Deterministic layout order (independent of selection order).
+  std::sort(funcs.begin(), funcs.end(),
+            [](const Func& a, const Func& b) { return a.name < b.name; });
+  funcs.erase(std::unique(funcs.begin(), funcs.end(),
+                          [](const Func& a, const Func& b) { return a.name == b.name; }),
+              funcs.end());
+
+  // --- .text + FUNC symbols ---------------------------------------------
+  for (const Func& func : funcs) {
+    const std::vector<std::uint8_t> body = function_body(func.salt, version);
+    elf::SymbolSpec sym;
+    sym.name = func.name;
+    sym.section = elf::SymbolSection::kText;
+    sym.bind = elf::kStbGlobal;
+    sym.type = elf::kSttFunc;
+    sym.value = spec.text.size();
+    sym.size = body.size();
+    spec.symbols.push_back(std::move(sym));
+    spec.text.insert(spec.text.end(), body.begin(), body.end());
+  }
+
+  // --- string pool -> .rodata ---------------------------------------------
+  std::vector<std::string> strings;
+  strings.push_back(NameGenerator::version_banner(spec_.name, version.version,
+                                                  version.toolchain));
+  strings.push_back("build: " + version.dir_name + " " + exec_name(exec_idx));
+  for (const std::string& s : NameGenerator::build_environment_strings(
+           spec_.name, version.dir_name, version.toolchain)) {
+    strings.push_back(s);
+  }
+  for (std::size_t i = 0; i < genome_.core_strings.size(); ++i) {
+    Rng string_rng(derive(lineage_seed_ ^ 0x5717, genome_.core_string_salts[i] ^ version_key));
+    const double roll = string_rng.uniform();
+    if (roll < volatility_.string_drop) continue;  // removed in this version
+    if (roll < volatility_.string_drop + volatility_.string_reword) {
+      // Reworded in this version (bug fix / diagnostics cleanup).
+      strings.push_back(
+          namegen_.mutated_message(genome_.core_string_salts[i], version_key));
+    } else {
+      strings.push_back(genome_.core_strings[i]);
+    }
+  }
+  for (const std::string& s : exec_strings(exec_idx)) strings.push_back(s);
+  for (const std::string& s : NameGenerator::runtime_strings()) strings.push_back(s);
+
+  // Build-volatile data strings: table dumps, embedded constants, debug
+  // artifacts. They differ between versions AND between executables, so
+  // they dilute the stable part of the `strings` output (boilerplate +
+  // symbol names in .strtab) — the raw-content-style churn that keeps the
+  // strings channel less reliable than the symbol table (paper Table 5).
+  {
+    Rng data_rng(derive(class_seed_ ^ 0xda7a5,
+                        version_key ^ (static_cast<std::uint64_t>(exec_idx) << 32)));
+    const int volatile_count = static_cast<int>(data_rng.uniform_int(170, 260));
+    static constexpr std::array<const char*, 6> kDataPrefixes = {
+        "tbl", "coef", "grid", "dump", "dbg", "cfg"};
+    for (int i = 0; i < volatile_count; ++i) {
+      std::string s(kDataPrefixes[static_cast<std::size_t>(
+          data_rng.next_below(kDataPrefixes.size()))]);
+      s += '_';
+      for (int c = 0; c < 8; ++c) {
+        s += static_cast<char>('a' + data_rng.next_below(26));
+      }
+      s += " = ";
+      s += std::to_string(data_rng.uniform_real(-1000.0, 1000.0));
+      strings.push_back(std::move(s));
+    }
+  }
+
+  std::vector<std::string> object_names;
+  for (std::size_t i = 0; i < 6; ++i) {
+    object_names.push_back(namegen_.object_name(derive(0x0b1e, i)));
+  }
+
+  // .rodata layout: NUL-separated strings, then global object blobs.
+  for (const std::string& s : strings) {
+    spec.rodata.insert(spec.rodata.end(), s.begin(), s.end());
+    spec.rodata.push_back('\0');
+  }
+  {
+    Rng rodata_rng(derive(class_seed_ ^ 0xda7a, version_key));
+    for (const std::string& name : object_names) {
+      elf::SymbolSpec sym;
+      sym.name = name;
+      sym.section = elf::SymbolSection::kRodata;
+      sym.bind = elf::kStbGlobal;
+      sym.type = elf::kSttObject;
+      sym.value = spec.rodata.size();
+      const auto blob = static_cast<std::size_t>(rodata_rng.uniform_int(32, 256));
+      sym.size = blob;
+      spec.symbols.push_back(std::move(sym));
+      for (std::size_t i = 0; i < blob; ++i) {
+        // Low-entropy table data (common in scientific binaries).
+        spec.rodata.push_back(static_cast<std::uint8_t>(rodata_rng.next_below(16)));
+      }
+    }
+  }
+
+  // A few local (static) functions: present in .symtab but not in the
+  // nm -g view — exercises the extractor's binding filter.
+  {
+    Rng local_rng(derive(class_seed_ ^ 0x10ca1, version_key));
+    const int locals = static_cast<int>(local_rng.uniform_int(3, 8));
+    for (int i = 0; i < locals; ++i) {
+      elf::SymbolSpec sym;
+      sym.name = "static_helper_" + std::to_string(i) + "_" + prefix_;
+      sym.section = elf::SymbolSection::kText;
+      sym.bind = elf::kStbLocal;
+      sym.type = elf::kSttFunc;
+      sym.value = 0;
+      sym.size = 16;
+      spec.symbols.push_back(std::move(sym));
+    }
+  }
+
+  return spec;
+}
+
+std::vector<std::uint8_t> SampleSynthesizer::build(int version_idx, int exec_idx,
+                                                   bool stripped) const {
+  return elf::write_elf(build_spec(version_idx, exec_idx, stripped));
+}
+
+}  // namespace fhc::corpus

@@ -1,0 +1,118 @@
+// Application-sample synthesis: one class = one "genome", one sample =
+// genome ⊕ version mutation ⊕ executable selection, emitted as ELF64.
+//
+// Mutation model (calibrated to the paper's Section 5 observations):
+//
+//  channel        across versions of one class            across classes
+//  -------------  --------------------------------------  --------------
+//  symbols (nm)   ~97% of core symbols stable; a few per-  disjoint
+//                 version additions/renames                vocabularies
+//                                                          (+ shared CRT
+//                                                          noise + domain
+//                                                          pool overlap)
+//  strings        ~15% of messages reworded per version;   mostly distinct
+//                 version banner/toolchain lines always
+//                 change
+//  raw file       code bytes regenerate per toolchain      distinct
+//                 ("recompilation"); ~8% of functions
+//                 change even within a toolchain; rodata
+//                 and the symbol table remain similar
+//
+// This yields exactly the channel stability ordering the paper reports
+// (symbols most stable, strings intermediate, raw content least), which is
+// what drives Table 5's feature importances.
+//
+// Everything is a pure function of (corpus seed, class spec, version
+// index, exec index): any sample can be regenerated in isolation, so the
+// corpus never needs to hold all 5333 images in memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/app_spec.hpp"
+#include "corpus/name_gen.hpp"
+#include "elf/elf_writer.hpp"
+
+namespace fhc::corpus {
+
+/// One version directory of a class, e.g. "46.0-iomkl-2019.01".
+struct VersionInfo {
+  std::string version;    // "46.0"
+  std::string toolchain;  // "iomkl-2019.01"
+  std::string dir_name;   // "46.0-iomkl-2019.01"
+};
+
+class SampleSynthesizer {
+ public:
+  SampleSynthesizer(AppClassSpec spec, std::uint64_t corpus_seed);
+
+  const AppClassSpec& spec() const noexcept { return spec_; }
+
+  /// Version directories, oldest first. Count derives from the sample
+  /// total unless the spec pins explicit version names.
+  const std::vector<VersionInfo>& versions() const noexcept { return versions_; }
+
+  /// Number of samples (executables) in each version; sums to
+  /// spec.total_samples. Later versions may gain tools when the total is
+  /// not divisible by the version count.
+  const std::vector<int>& samples_per_version() const noexcept {
+    return samples_per_version_;
+  }
+
+  /// Stable executable name for slot `exec_idx` (same slot = same tool in
+  /// every version that has it).
+  std::string exec_name(int exec_idx) const;
+
+  /// Builds the ELF spec for (version, exec). `stripped` produces the
+  /// symbol-table-free variant (the paper's stated failure mode).
+  elf::ElfSpec build_spec(int version_idx, int exec_idx, bool stripped = false) const;
+
+  /// Convenience: build_spec + write_elf.
+  std::vector<std::uint8_t> build(int version_idx, int exec_idx,
+                                  bool stripped = false) const;
+
+  /// Per-class mutation intensities. Most classes are stable; a random
+  /// ~15% are "volatile" (heavier per-version churn), reproducing the
+  /// paper's observation that some applications (BigDFT, MUMmer) change
+  /// drastically between versions and classify inconsistently.
+  struct Volatility {
+    double symbol_keep = 0.97;    // P(core symbol survives a version)
+    double string_reword = 0.30;  // P(message reworded in a version)
+    double string_drop = 0.08;    // P(message removed in a version)
+    double code_change = 0.08;    // P(function recompiled differently)
+  };
+  const Volatility& volatility() const noexcept { return volatility_; }
+
+ private:
+  struct Genome {
+    std::vector<std::string> core_symbols;  // shared library core of the app
+    std::vector<std::string> core_strings;
+    std::vector<std::uint64_t> core_symbol_salts;   // code-generation seeds
+    std::vector<std::uint64_t> core_string_salts;
+  };
+
+  void build_versions();
+  void build_genome();
+  std::vector<std::string> exec_symbols(int exec_idx) const;
+  std::vector<std::string> exec_strings(int exec_idx) const;
+  std::vector<std::uint8_t> function_body(std::uint64_t func_salt,
+                                          const VersionInfo& version) const;
+
+  AppClassSpec spec_;
+  std::uint64_t corpus_seed_;
+  std::uint64_t lineage_seed_;  // shared by classes with the same lineage
+  std::uint64_t class_seed_;    // distinct even for shared lineages
+  std::string prefix_;
+  NameGenerator namegen_;
+  Genome genome_;
+  Volatility volatility_;
+  std::vector<VersionInfo> versions_;
+  std::vector<int> samples_per_version_;
+};
+
+/// Short identifier tag from a class name: "Celera Assembler" -> "celeraassembler".
+std::string class_prefix(const std::string& lineage);
+
+}  // namespace fhc::corpus

@@ -1,0 +1,110 @@
+#include "elf/elf_reader.hpp"
+
+#include <cstring>
+
+namespace fhc::elf {
+
+bool ElfReader::looks_like_elf(std::span<const std::uint8_t> image) noexcept {
+  return image.size() >= 6 && image[0] == kMag0 && image[1] == kMag1 &&
+         image[2] == kMag2 && image[3] == kMag3 && image[4] == kClass64 &&
+         image[5] == kDataLsb;
+}
+
+std::span<const std::uint8_t> ElfReader::bytes_at(std::uint64_t offset,
+                                                  std::uint64_t size) const {
+  if (offset > image_.size() || size > image_.size() - offset) {
+    throw ElfError("elf: range [" + std::to_string(offset) + ", +" +
+                   std::to_string(size) + ") exceeds image of " +
+                   std::to_string(image_.size()) + " bytes");
+  }
+  return image_.subspan(offset, size);
+}
+
+std::string_view ElfReader::cstring_at(std::span<const std::uint8_t> table,
+                                       std::uint64_t offset) const {
+  if (offset >= table.size()) throw ElfError("elf: string offset out of range");
+  const auto* begin = reinterpret_cast<const char*>(table.data() + offset);
+  const auto* end = reinterpret_cast<const char*>(table.data() + table.size());
+  const auto* terminator = static_cast<const char*>(
+      std::memchr(begin, '\0', static_cast<std::size_t>(end - begin)));
+  if (terminator == nullptr) throw ElfError("elf: unterminated string");
+  return {begin, static_cast<std::size_t>(terminator - begin)};
+}
+
+ElfReader::ElfReader(std::span<const std::uint8_t> image) : image_(image) {
+  if (!looks_like_elf(image)) throw ElfError("elf: bad magic or not ELF64-LSB");
+  const auto ehdr_bytes = bytes_at(0, sizeof(Elf64_Ehdr));
+  std::memcpy(&ehdr_, ehdr_bytes.data(), sizeof(Elf64_Ehdr));
+
+  if (ehdr_.e_shentsize != sizeof(Elf64_Shdr)) {
+    throw ElfError("elf: unexpected section header entry size");
+  }
+  if (ehdr_.e_shnum == 0) return;  // headerless image: nothing more to parse
+  if (ehdr_.e_shstrndx >= ehdr_.e_shnum) throw ElfError("elf: bad e_shstrndx");
+
+  std::vector<Elf64_Shdr> headers(ehdr_.e_shnum);
+  const auto table_bytes =
+      bytes_at(ehdr_.e_shoff, static_cast<std::uint64_t>(ehdr_.e_shnum) * sizeof(Elf64_Shdr));
+  std::memcpy(headers.data(), table_bytes.data(), table_bytes.size());
+
+  const Elf64_Shdr& shstr = headers[ehdr_.e_shstrndx];
+  const auto shstrtab = bytes_at(shstr.sh_offset, shstr.sh_size);
+
+  sections_.reserve(headers.size());
+  for (const Elf64_Shdr& shdr : headers) {
+    Section section;
+    section.header = shdr;
+    section.name = shdr.sh_name < shstrtab.size() ? cstring_at(shstrtab, shdr.sh_name)
+                                                  : std::string_view{};
+    if (shdr.sh_type != kShtNull && shdr.sh_type != kShtNobits && shdr.sh_size > 0) {
+      section.content = bytes_at(shdr.sh_offset, shdr.sh_size);
+    }
+    sections_.push_back(section);
+  }
+}
+
+std::optional<Section> ElfReader::section_by_name(std::string_view name) const {
+  for (const Section& section : sections_) {
+    if (section.name == name) return section;
+  }
+  return std::nullopt;
+}
+
+bool ElfReader::has_symtab() const {
+  for (const Section& section : sections_) {
+    if (section.header.sh_type == kShtSymtab) return true;
+  }
+  return false;
+}
+
+std::vector<Symbol> ElfReader::symbols() const {
+  std::vector<Symbol> out;
+  for (const Section& section : sections_) {
+    if (section.header.sh_type != kShtSymtab) continue;
+    if (section.header.sh_entsize != sizeof(Elf64_Sym)) {
+      throw ElfError("elf: unexpected symbol entry size");
+    }
+    if (section.header.sh_link >= sections_.size()) {
+      throw ElfError("elf: symtab sh_link out of range");
+    }
+    const Section& strtab = sections_[section.header.sh_link];
+    const std::size_t count = section.content.size() / sizeof(Elf64_Sym);
+    out.reserve(out.size() + count);
+    for (std::size_t i = 0; i < count; ++i) {
+      Elf64_Sym raw{};
+      std::memcpy(&raw, section.content.data() + i * sizeof(Elf64_Sym), sizeof(raw));
+      Symbol sym;
+      sym.name = raw.st_name != 0 ? cstring_at(strtab.content, raw.st_name)
+                                  : std::string_view{};
+      sym.bind = st_bind(raw.st_info);
+      sym.type = st_type(raw.st_info);
+      sym.shndx = raw.st_shndx;
+      sym.value = raw.st_value;
+      sym.size = raw.st_size;
+      out.push_back(sym);
+    }
+  }
+  return out;
+}
+
+}  // namespace fhc::elf

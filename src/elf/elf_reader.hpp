@@ -1,0 +1,75 @@
+// ELF64 parsing with defensive bounds checking.
+//
+// The reader never trusts offsets/sizes from the image: every access is
+// range-checked against the buffer, so corrupt or truncated executables
+// produce a clean ElfError instead of out-of-bounds reads. The reader does
+// not own the bytes; callers keep the image alive while using it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "elf/elf_types.hpp"
+
+namespace fhc::elf {
+
+class ElfError : public std::runtime_error {
+ public:
+  explicit ElfError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A parsed symbol (resolved name + raw fields).
+struct Symbol {
+  std::string_view name;
+  unsigned char bind = 0;
+  unsigned char type = 0;
+  std::uint16_t shndx = 0;
+  std::uint64_t value = 0;
+  std::uint64_t size = 0;
+};
+
+/// A parsed section (resolved name + raw header + content view).
+struct Section {
+  std::string_view name;
+  Elf64_Shdr header{};
+  std::span<const std::uint8_t> content;  // empty for SHT_NOBITS
+};
+
+class ElfReader {
+ public:
+  /// Parses headers and the section table. Throws ElfError when the image
+  /// is not a little-endian ELF64 or any header is out of bounds.
+  explicit ElfReader(std::span<const std::uint8_t> image);
+
+  const Elf64_Ehdr& header() const noexcept { return ehdr_; }
+  const std::vector<Section>& sections() const noexcept { return sections_; }
+
+  /// First section with the given name, if any.
+  std::optional<Section> section_by_name(std::string_view name) const;
+
+  /// True when the image carries a .symtab section.
+  bool has_symtab() const;
+
+  /// All symbols from .symtab (empty for stripped binaries). Symbol names
+  /// view into the image buffer.
+  std::vector<Symbol> symbols() const;
+
+  /// Quick check without construction: does `image` start with an ELF64
+  /// little-endian magic?
+  static bool looks_like_elf(std::span<const std::uint8_t> image) noexcept;
+
+ private:
+  std::span<const std::uint8_t> bytes_at(std::uint64_t offset, std::uint64_t size) const;
+  std::string_view cstring_at(std::span<const std::uint8_t> table, std::uint64_t offset) const;
+
+  std::span<const std::uint8_t> image_;
+  Elf64_Ehdr ehdr_{};
+  std::vector<Section> sections_;
+};
+
+}  // namespace fhc::elf

@@ -1,0 +1,121 @@
+// ELF64 on-disk structures and the constants this library needs.
+//
+// Only the little-endian 64-bit subset used by Linux executables is
+// modelled — enough for the writer to emit executables that `readelf`/`nm`
+// accept and for the reader to parse anything the writer (or a real
+// toolchain) produces with intact headers.
+// Reference: System V ABI, ELF-64 object file format.
+#pragma once
+
+#include <cstdint>
+
+namespace fhc::elf {
+
+// --- e_ident layout ------------------------------------------------------
+inline constexpr unsigned char kMag0 = 0x7f;
+inline constexpr unsigned char kMag1 = 'E';
+inline constexpr unsigned char kMag2 = 'L';
+inline constexpr unsigned char kMag3 = 'F';
+inline constexpr unsigned char kClass64 = 2;       // ELFCLASS64
+inline constexpr unsigned char kDataLsb = 1;       // ELFDATA2LSB
+inline constexpr unsigned char kEvCurrent = 1;     // EV_CURRENT
+inline constexpr unsigned char kOsabiSysv = 0;     // ELFOSABI_NONE
+
+// --- e_type / e_machine ---------------------------------------------------
+inline constexpr std::uint16_t kEtExec = 2;        // ET_EXEC
+inline constexpr std::uint16_t kEtDyn = 3;         // ET_DYN (PIE)
+inline constexpr std::uint16_t kEmX86_64 = 62;     // EM_X86_64
+
+// --- section types (sh_type) ----------------------------------------------
+inline constexpr std::uint32_t kShtNull = 0;
+inline constexpr std::uint32_t kShtProgbits = 1;
+inline constexpr std::uint32_t kShtSymtab = 2;
+inline constexpr std::uint32_t kShtStrtab = 3;
+inline constexpr std::uint32_t kShtNobits = 8;
+
+// --- section flags (sh_flags) ----------------------------------------------
+inline constexpr std::uint64_t kShfWrite = 0x1;
+inline constexpr std::uint64_t kShfAlloc = 0x2;
+inline constexpr std::uint64_t kShfExecinstr = 0x4;
+inline constexpr std::uint64_t kShfStrings = 0x20;
+
+// --- program header --------------------------------------------------------
+inline constexpr std::uint32_t kPtLoad = 1;
+inline constexpr std::uint32_t kPfX = 0x1;
+inline constexpr std::uint32_t kPfW = 0x2;
+inline constexpr std::uint32_t kPfR = 0x4;
+
+// --- symbols ---------------------------------------------------------------
+inline constexpr unsigned char kStbLocal = 0;
+inline constexpr unsigned char kStbGlobal = 1;
+inline constexpr unsigned char kStbWeak = 2;
+inline constexpr unsigned char kSttNotype = 0;
+inline constexpr unsigned char kSttObject = 1;
+inline constexpr unsigned char kSttFunc = 2;
+inline constexpr std::uint16_t kShnUndef = 0;
+inline constexpr std::uint16_t kShnAbs = 0xfff1;
+
+constexpr unsigned char st_info(unsigned char bind, unsigned char type) noexcept {
+  return static_cast<unsigned char>((bind << 4) | (type & 0xf));
+}
+constexpr unsigned char st_bind(unsigned char info) noexcept { return info >> 4; }
+constexpr unsigned char st_type(unsigned char info) noexcept { return info & 0xf; }
+
+// --- on-disk records (packed layout matches the ABI; all members are
+// naturally aligned so no #pragma pack is needed) ---------------------------
+
+struct Elf64_Ehdr {
+  unsigned char e_ident[16];
+  std::uint16_t e_type;
+  std::uint16_t e_machine;
+  std::uint32_t e_version;
+  std::uint64_t e_entry;
+  std::uint64_t e_phoff;
+  std::uint64_t e_shoff;
+  std::uint32_t e_flags;
+  std::uint16_t e_ehsize;
+  std::uint16_t e_phentsize;
+  std::uint16_t e_phnum;
+  std::uint16_t e_shentsize;
+  std::uint16_t e_shnum;
+  std::uint16_t e_shstrndx;
+};
+static_assert(sizeof(Elf64_Ehdr) == 64);
+
+struct Elf64_Phdr {
+  std::uint32_t p_type;
+  std::uint32_t p_flags;
+  std::uint64_t p_offset;
+  std::uint64_t p_vaddr;
+  std::uint64_t p_paddr;
+  std::uint64_t p_filesz;
+  std::uint64_t p_memsz;
+  std::uint64_t p_align;
+};
+static_assert(sizeof(Elf64_Phdr) == 56);
+
+struct Elf64_Shdr {
+  std::uint32_t sh_name;
+  std::uint32_t sh_type;
+  std::uint64_t sh_flags;
+  std::uint64_t sh_addr;
+  std::uint64_t sh_offset;
+  std::uint64_t sh_size;
+  std::uint32_t sh_link;
+  std::uint32_t sh_info;
+  std::uint64_t sh_addralign;
+  std::uint64_t sh_entsize;
+};
+static_assert(sizeof(Elf64_Shdr) == 64);
+
+struct Elf64_Sym {
+  std::uint32_t st_name;
+  unsigned char st_info;
+  unsigned char st_other;
+  std::uint16_t st_shndx;
+  std::uint64_t st_value;
+  std::uint64_t st_size;
+};
+static_assert(sizeof(Elf64_Sym) == 24);
+
+}  // namespace fhc::elf

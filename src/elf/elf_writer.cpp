@@ -1,0 +1,191 @@
+#include "elf/elf_writer.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fhc::elf {
+
+namespace {
+
+/// Appends raw bytes of a trivially-copyable record.
+template <typename T>
+void append_record(std::vector<std::uint8_t>& out, const T& record) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&record);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+void pad_to(std::vector<std::uint8_t>& out, std::size_t alignment) {
+  while (out.size() % alignment != 0) out.push_back(0);
+}
+
+/// String table builder: offset 0 is always the empty string.
+class StrTab {
+ public:
+  StrTab() : data_(1, '\0') {}
+
+  std::uint32_t add(const std::string& s) {
+    const auto offset = static_cast<std::uint32_t>(data_.size());
+    data_.insert(data_.end(), s.begin(), s.end());
+    data_.push_back('\0');
+    return offset;
+  }
+
+  const std::vector<char>& data() const noexcept { return data_; }
+
+ private:
+  std::vector<char> data_;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> write_elf(const ElfSpec& spec) {
+  for (const SymbolSpec& sym : spec.symbols) {
+    const std::uint64_t section_size =
+        sym.section == SymbolSection::kText ? spec.text.size() : spec.rodata.size();
+    if (sym.value > section_size || sym.value + sym.size > section_size) {
+      throw std::invalid_argument("write_elf: symbol '" + sym.name +
+                                  "' exceeds its section");
+    }
+  }
+
+  // Section numbering (fixed layout):
+  //   0 NULL, 1 .text, 2 .rodata, 3 .comment, [4 .symtab, 5 .strtab,]
+  //   last .shstrtab
+  const bool with_symtab = !spec.stripped;
+  const std::uint16_t text_idx = 1;
+  const std::uint16_t rodata_idx = 2;
+  const std::uint16_t shstrtab_idx = with_symtab ? 6 : 4;
+  const std::uint16_t section_count = with_symtab ? 7 : 5;
+
+  // --- build .symtab / .strtab ------------------------------------------
+  StrTab strtab;
+  std::vector<Elf64_Sym> syms;
+  std::size_t local_count = 1;  // the mandatory null symbol
+  if (with_symtab) {
+    syms.push_back(Elf64_Sym{});  // index 0: null symbol
+    // ELF requires local symbols to precede globals (sh_info = first
+    // non-local index); emit locals first, preserving relative order.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const SymbolSpec& sym : spec.symbols) {
+        const bool is_local = sym.bind == kStbLocal;
+        if ((pass == 0) != is_local) continue;
+        Elf64_Sym entry{};
+        entry.st_name = strtab.add(sym.name);
+        entry.st_info = st_info(sym.bind, sym.type);
+        entry.st_other = 0;
+        entry.st_shndx = sym.section == SymbolSection::kText ? text_idx : rodata_idx;
+        entry.st_value = spec.entry + sym.value;  // pretend-linked address
+        entry.st_size = sym.size;
+        syms.push_back(entry);
+        if (is_local) ++local_count;
+      }
+    }
+  }
+
+  // --- shstrtab ------------------------------------------------------------
+  StrTab shstrtab;
+  const std::uint32_t name_text = shstrtab.add(".text");
+  const std::uint32_t name_rodata = shstrtab.add(".rodata");
+  const std::uint32_t name_comment = shstrtab.add(".comment");
+  const std::uint32_t name_symtab = with_symtab ? shstrtab.add(".symtab") : 0;
+  const std::uint32_t name_strtab = with_symtab ? shstrtab.add(".strtab") : 0;
+  const std::uint32_t name_shstrtab = shstrtab.add(".shstrtab");
+
+  // --- lay out the file ------------------------------------------------
+  std::vector<std::uint8_t> out;
+  out.reserve(4096 + spec.text.size() + spec.rodata.size() + syms.size() * sizeof(Elf64_Sym));
+  out.resize(sizeof(Elf64_Ehdr) + sizeof(Elf64_Phdr));  // headers patched later
+
+  pad_to(out, 16);
+  const std::uint64_t text_off = out.size();
+  out.insert(out.end(), spec.text.begin(), spec.text.end());
+
+  pad_to(out, 16);
+  const std::uint64_t rodata_off = out.size();
+  out.insert(out.end(), spec.rodata.begin(), spec.rodata.end());
+
+  const std::uint64_t comment_off = out.size();
+  out.insert(out.end(), spec.comment.begin(), spec.comment.end());
+  out.push_back('\0');
+  const std::uint64_t comment_size = out.size() - comment_off;
+
+  std::uint64_t symtab_off = 0;
+  std::uint64_t strtab_off = 0;
+  if (with_symtab) {
+    pad_to(out, 8);
+    symtab_off = out.size();
+    for (const Elf64_Sym& sym : syms) append_record(out, sym);
+    strtab_off = out.size();
+    out.insert(out.end(), strtab.data().begin(), strtab.data().end());
+  }
+
+  const std::uint64_t shstrtab_off = out.size();
+  out.insert(out.end(), shstrtab.data().begin(), shstrtab.data().end());
+
+  pad_to(out, 8);
+  const std::uint64_t shoff = out.size();
+
+  // --- section headers ----------------------------------------------------
+  std::vector<Elf64_Shdr> shdrs(section_count);
+  shdrs[0] = Elf64_Shdr{};  // SHT_NULL
+
+  shdrs[text_idx] = {name_text, kShtProgbits, kShfAlloc | kShfExecinstr,
+                     spec.entry + text_off, text_off, spec.text.size(),
+                     0, 0, 16, 0};
+  shdrs[rodata_idx] = {name_rodata, kShtProgbits, kShfAlloc,
+                       spec.entry + rodata_off, rodata_off, spec.rodata.size(),
+                       0, 0, 16, 0};
+  shdrs[3] = {name_comment, kShtProgbits, 0,
+              0, comment_off, comment_size, 0, 0, 1, 0};
+  if (with_symtab) {
+    shdrs[4] = {name_symtab, kShtSymtab, 0, 0, symtab_off,
+                syms.size() * sizeof(Elf64_Sym), 5 /* link: .strtab */,
+                static_cast<std::uint32_t>(local_count), 8, sizeof(Elf64_Sym)};
+    shdrs[5] = {name_strtab, kShtStrtab, 0, 0, strtab_off,
+                strtab.data().size(), 0, 0, 1, 0};
+  }
+  shdrs[shstrtab_idx] = {name_shstrtab, kShtStrtab, 0, 0, shstrtab_off,
+                         shstrtab.data().size(), 0, 0, 1, 0};
+
+  for (const Elf64_Shdr& shdr : shdrs) append_record(out, shdr);
+
+  // --- patch headers -------------------------------------------------------
+  Elf64_Ehdr ehdr{};
+  ehdr.e_ident[0] = kMag0;
+  ehdr.e_ident[1] = kMag1;
+  ehdr.e_ident[2] = kMag2;
+  ehdr.e_ident[3] = kMag3;
+  ehdr.e_ident[4] = kClass64;
+  ehdr.e_ident[5] = kDataLsb;
+  ehdr.e_ident[6] = kEvCurrent;
+  ehdr.e_ident[7] = kOsabiSysv;
+  ehdr.e_type = kEtExec;
+  ehdr.e_machine = kEmX86_64;
+  ehdr.e_version = 1;
+  ehdr.e_entry = spec.entry + text_off;
+  ehdr.e_phoff = sizeof(Elf64_Ehdr);
+  ehdr.e_shoff = shoff;
+  ehdr.e_flags = 0;
+  ehdr.e_ehsize = sizeof(Elf64_Ehdr);
+  ehdr.e_phentsize = sizeof(Elf64_Phdr);
+  ehdr.e_phnum = 1;
+  ehdr.e_shentsize = sizeof(Elf64_Shdr);
+  ehdr.e_shnum = section_count;
+  ehdr.e_shstrndx = shstrtab_idx;
+  std::memcpy(out.data(), &ehdr, sizeof(ehdr));
+
+  Elf64_Phdr phdr{};
+  phdr.p_type = kPtLoad;
+  phdr.p_flags = kPfR | kPfX;
+  phdr.p_offset = 0;
+  phdr.p_vaddr = spec.entry;
+  phdr.p_paddr = spec.entry;
+  phdr.p_filesz = shoff;  // load everything up to the section headers
+  phdr.p_memsz = shoff;
+  phdr.p_align = 0x1000;
+  std::memcpy(out.data() + sizeof(Elf64_Ehdr), &phdr, sizeof(phdr));
+
+  return out;
+}
+
+}  // namespace fhc::elf

@@ -1,0 +1,48 @@
+// ELF64 executable synthesis.
+//
+// The corpus generator models each application sample as machine code,
+// read-only data (strings), a compiler identification note and a symbol
+// table, then emits it as a genuine ELF64 executable image through this
+// writer. The images parse cleanly with our reader (and with binutils),
+// which keeps the whole feature-extraction path — `file bytes`,
+// `strings`, `nm` — identical to what it would be on real system binaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "elf/elf_types.hpp"
+
+namespace fhc::elf {
+
+/// Where a synthesized symbol is defined.
+enum class SymbolSection { kText, kRodata };
+
+/// One symbol-table entry to synthesize.
+struct SymbolSpec {
+  std::string name;
+  SymbolSection section = SymbolSection::kText;
+  unsigned char bind = kStbGlobal;   // kStbLocal / kStbGlobal / kStbWeak
+  unsigned char type = kSttFunc;     // kSttFunc / kSttObject
+  std::uint64_t value = 0;           // offset within its section
+  std::uint64_t size = 0;
+};
+
+/// Full description of an executable to synthesize.
+struct ElfSpec {
+  std::vector<std::uint8_t> text;    // .text contents ("machine code")
+  std::vector<std::uint8_t> rodata;  // .rodata contents (string pool etc.)
+  std::string comment;               // .comment (e.g. "GCC: (GNU) 10.3.0")
+  std::vector<SymbolSpec> symbols;   // emitted in the given order
+  bool stripped = false;             // omit .symtab/.strtab entirely
+  std::uint64_t entry = 0x400000;    // e_entry and base vaddr of the image
+};
+
+/// Serializes `spec` into a valid ELF64 little-endian executable image:
+/// Ehdr, one PT_LOAD Phdr, .text, .rodata, .comment, [.symtab, .strtab,]
+/// .shstrtab and the section-header table. Throws std::invalid_argument if
+/// a symbol references space outside its section.
+std::vector<std::uint8_t> write_elf(const ElfSpec& spec);
+
+}  // namespace fhc::elf

@@ -1,0 +1,42 @@
+#include "elf/strings_extract.hpp"
+
+#include "util/string_util.hpp"
+
+namespace fhc::elf {
+
+std::vector<std::string> extract_strings(std::span<const std::uint8_t> data,
+                                         const StringsOptions& options) {
+  std::vector<std::string> out;
+  std::size_t run_start = 0;
+  std::size_t run_length = 0;
+  for (std::size_t i = 0; i <= data.size(); ++i) {
+    const bool printable = i < data.size() && fhc::util::is_printable_ascii(data[i]);
+    if (printable) {
+      if (run_length == 0) run_start = i;
+      ++run_length;
+    } else {
+      if (run_length >= options.min_length) {
+        out.emplace_back(reinterpret_cast<const char*>(data.data() + run_start),
+                         run_length);
+      }
+      run_length = 0;
+    }
+  }
+  return out;
+}
+
+std::string strings_text(std::span<const std::uint8_t> data,
+                         const StringsOptions& options) {
+  const std::vector<std::string> runs = extract_strings(data, options);
+  std::string text;
+  std::size_t total = 0;
+  for (const std::string& run : runs) total += run.size() + 1;
+  text.reserve(total);
+  for (const std::string& run : runs) {
+    text += run;
+    text.push_back('\n');
+  }
+  return text;
+}
+
+}  // namespace fhc::elf

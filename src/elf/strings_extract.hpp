@@ -1,0 +1,27 @@
+// `strings`(1) equivalent: the paper's second feature channel is the
+// SSDeep hash of "the continuous printable characters extracted using the
+// strings command". We reproduce GNU strings' default behaviour: scan the
+// whole file for runs of >= 4 printable ASCII characters and print one run
+// per line.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fhc::elf {
+
+struct StringsOptions {
+  std::size_t min_length = 4;  // GNU strings default (-n 4)
+};
+
+/// All printable runs in `data`, in file order.
+std::vector<std::string> extract_strings(std::span<const std::uint8_t> data,
+                                         const StringsOptions& options = {});
+
+/// The runs joined with '\n' — the exact text fed to the fuzzy hasher.
+std::string strings_text(std::span<const std::uint8_t> data,
+                         const StringsOptions& options = {});
+
+}  // namespace fhc::elf

@@ -1,0 +1,74 @@
+#include "elf/symbols_extract.hpp"
+
+#include <algorithm>
+
+namespace fhc::elf {
+
+char classify_symbol(const Symbol& symbol, const Elf64_Shdr* defining_section) {
+  if (symbol.shndx == kShnUndef) return 'U';
+  if (symbol.shndx == kShnAbs) return 'A';
+  if (defining_section == nullptr) return '?';
+
+  char letter = '?';
+  const std::uint64_t flags = defining_section->sh_flags;
+  if (defining_section->sh_type == kShtNobits) {
+    letter = 'B';
+  } else if ((flags & kShfExecinstr) != 0) {
+    letter = 'T';
+  } else if ((flags & kShfWrite) != 0) {
+    letter = 'D';
+  } else {
+    letter = 'R';
+  }
+  if (symbol.bind == kStbWeak) letter = 'W';
+  return letter;
+}
+
+std::vector<NmEntry> nm_global_defined(const ElfReader& reader) {
+  std::vector<NmEntry> out;
+  const auto& sections = reader.sections();
+  for (const Symbol& symbol : reader.symbols()) {
+    if (symbol.name.empty()) continue;
+    if (symbol.bind != kStbGlobal && symbol.bind != kStbWeak) continue;
+    if (symbol.shndx == kShnUndef) continue;
+    const Elf64_Shdr* shdr = symbol.shndx < sections.size()
+                                 ? &sections[symbol.shndx].header
+                                 : nullptr;
+    out.push_back(NmEntry{classify_symbol(symbol, shdr), std::string(symbol.name)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NmEntry& a, const NmEntry& b) { return a.name < b.name; });
+  return out;
+}
+
+std::string global_text_symbols_text(std::span<const std::uint8_t> image) {
+  if (!ElfReader::looks_like_elf(image)) return {};
+  try {
+    const ElfReader reader(image);
+    if (!reader.has_symtab()) return {};
+
+    std::string text;
+    for (const NmEntry& entry : nm_global_defined(reader)) {
+      if (entry.letter != 'T' && entry.letter != 'W') continue;
+      text += entry.name;
+      text.push_back('\n');
+    }
+    return text;
+  } catch (const ElfError&) {
+    // Corrupt or truncated image: this extractor sits on the screening
+    // path, so hostile input must degrade to "no symbols" (the stripped-
+    // binary behaviour), never propagate.
+    return {};
+  }
+}
+
+bool has_symbol_table(std::span<const std::uint8_t> image) noexcept {
+  if (!ElfReader::looks_like_elf(image)) return false;
+  try {
+    return ElfReader(image).has_symtab();
+  } catch (const ElfError&) {
+    return false;
+  }
+}
+
+}  // namespace fhc::elf

@@ -1,0 +1,43 @@
+// `nm`(1) equivalent: the paper's third (and most important) feature
+// channel is the SSDeep hash of "the global text symbols extracted using
+// the nm command". We reproduce the relevant nm behaviour: defined global
+// symbols, classified by the section that defines them ('T' for text, 'D'
+// for writable data, 'R' for read-only data, 'W' for weak), sorted by name
+// as nm prints them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "elf/elf_reader.hpp"
+
+namespace fhc::elf {
+
+/// One nm output line: classification letter + symbol name.
+struct NmEntry {
+  char letter = '?';
+  std::string name;
+};
+
+/// nm-style classification of one parsed symbol given its defining
+/// section header (nullptr for SHN_UNDEF/SHN_ABS). Returns 'U' for
+/// undefined, 'A' for absolute, 'T'/'D'/'R'/'B' by section flags, with
+/// weak binding lowering 'T'->'W' (nm prints 'W'/'w' for weak; we use 'W').
+char classify_symbol(const Symbol& symbol, const Elf64_Shdr* defining_section);
+
+/// All defined global (and weak) symbols, nm-sorted (by name). Throws
+/// ElfError on malformed images; returns empty for stripped binaries.
+std::vector<NmEntry> nm_global_defined(const ElfReader& reader);
+
+/// Names of global *text* symbols ('T'), sorted, joined with '\n': the
+/// exact text fed to the fuzzy hasher for the ssdeep-symbols feature.
+/// Empty when the binary is stripped — the caller decides policy (the
+/// paper notes stripped binaries defeat the approach).
+std::string global_text_symbols_text(std::span<const std::uint8_t> image);
+
+/// True when `image` is a parseable ELF that carries a symbol table.
+bool has_symbol_table(std::span<const std::uint8_t> image) noexcept;
+
+}  // namespace fhc::elf

@@ -1,0 +1,39 @@
+#include "ml/class_weight.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fhc::ml {
+
+std::vector<double> balanced_class_weights(const std::vector<int>& labels) {
+  int max_label = -1;
+  for (const int label : labels) {
+    if (label < 0) throw std::invalid_argument("balanced_class_weights: negative label");
+    max_label = std::max(max_label, label);
+  }
+  std::vector<double> counts(static_cast<std::size_t>(max_label + 1), 0.0);
+  for (const int label : labels) counts[static_cast<std::size_t>(label)] += 1.0;
+
+  std::size_t present = 0;
+  for (const double count : counts) present += count > 0.0 ? 1 : 0;
+
+  std::vector<double> weights(counts.size(), 0.0);
+  const auto n = static_cast<double>(labels.size());
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] > 0.0) {
+      weights[c] = n / (static_cast<double>(present) * counts[c]);
+    }
+  }
+  return weights;
+}
+
+std::vector<double> balanced_sample_weights(const std::vector<int>& labels) {
+  const std::vector<double> class_weights = balanced_class_weights(labels);
+  std::vector<double> out(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    out[i] = class_weights[static_cast<std::size_t>(labels[i])];
+  }
+  return out;
+}
+
+}  // namespace fhc::ml

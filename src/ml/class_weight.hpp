@@ -1,0 +1,20 @@
+// Balanced class weighting (scikit-learn's class_weight="balanced").
+//
+// The paper addresses its heavily imbalanced 92-class dataset by weighting
+// classes inversely proportional to frequency:
+//     w_c = n_samples / (n_classes * count_c)
+// so every class contributes equal total weight to the loss.
+#pragma once
+
+#include <vector>
+
+namespace fhc::ml {
+
+/// Per-class weights over labels 0..max(labels). Classes absent from
+/// `labels` get weight 0.
+std::vector<double> balanced_class_weights(const std::vector<int>& labels);
+
+/// Per-sample weights: w[i] = class weight of labels[i].
+std::vector<double> balanced_sample_weights(const std::vector<int>& labels);
+
+}  // namespace fhc::ml

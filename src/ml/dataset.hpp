@@ -1,0 +1,33 @@
+// Supervised dataset: features + integer labels + naming metadata.
+//
+// Labels are dense ints 0..K-1 for known classes; the reserved label
+// kUnknownLabel (-1) marks samples whose true class is outside the model's
+// label set (the paper's "unknown" pool). kUnknownLabel never appears in
+// training labels — it exists only as ground truth / prediction output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace fhc::ml {
+
+inline constexpr int kUnknownLabel = -1;
+
+struct Dataset {
+  Matrix x;
+  std::vector<int> y;                      // size == x.rows()
+  std::vector<std::string> class_names;    // index == label
+  std::vector<std::string> feature_names;  // index == column
+
+  std::size_t size() const noexcept { return y.size(); }
+
+  /// Display name of a label (handles kUnknownLabel).
+  std::string label_name(int label) const {
+    if (label == kUnknownLabel) return "-1";
+    return class_names.at(static_cast<std::size_t>(label));
+  }
+};
+
+}  // namespace fhc::ml

@@ -1,0 +1,315 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace fhc::ml {
+
+namespace {
+
+double impurity_from_counts(std::span<const double> counts, double total,
+                            Criterion criterion) {
+  if (total <= 0.0) return 0.0;
+  if (criterion == Criterion::kGini) {
+    double sum_sq = 0.0;
+    for (const double c : counts) sum_sq += (c / total) * (c / total);
+    return 1.0 - sum_sq;
+  }
+  double entropy = 0.0;
+  for (const double c : counts) {
+    if (c > 0.0) {
+      const double p = c / total;
+      entropy -= p * std::log2(p);
+    }
+  }
+  return entropy;
+}
+
+}  // namespace
+
+struct DecisionTree::BuildContext {
+  const Matrix& x;
+  const std::vector<int>& y;
+  std::span<const double> weight;
+  TreeParams params;
+  fhc::util::Rng& rng;
+  int n_classes;
+  int max_features;  // resolved (>=1)
+  // scratch, reused across nodes:
+  std::vector<std::pair<float, std::size_t>> sorted;  // (value, index)
+  std::vector<double> counts_left;
+  std::vector<double> counts_right;
+  std::vector<double> counts_total;
+  std::vector<std::size_t> feature_order;
+};
+
+void DecisionTree::fit(const Matrix& x, const std::vector<int>& y, int n_classes,
+                       std::span<const double> sample_weight, const TreeParams& params,
+                       fhc::util::Rng& rng) {
+  if (x.rows() != y.size()) throw std::invalid_argument("DecisionTree::fit: size mismatch");
+  if (x.rows() == 0) throw std::invalid_argument("DecisionTree::fit: empty dataset");
+  if (n_classes <= 0) throw std::invalid_argument("DecisionTree::fit: n_classes <= 0");
+  for (const int label : y) {
+    if (label < 0 || label >= n_classes) {
+      throw std::invalid_argument("DecisionTree::fit: label out of range");
+    }
+  }
+  std::vector<double> ones;
+  if (sample_weight.empty()) {
+    ones.assign(x.rows(), 1.0);
+    sample_weight = ones;
+  } else if (sample_weight.size() != x.rows()) {
+    throw std::invalid_argument("DecisionTree::fit: weight size mismatch");
+  }
+
+  nodes_.clear();
+  proba_pool_.clear();
+  importances_.assign(x.cols(), 0.0);
+  n_classes_ = n_classes;
+  depth_ = 0;
+
+  int max_features = params.max_features;
+  if (max_features == -1) {
+    max_features = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(x.cols()))));
+  } else if (max_features <= 0 || max_features > static_cast<int>(x.cols())) {
+    max_features = static_cast<int>(x.cols());
+  }
+
+  BuildContext ctx{x, y, sample_weight, params, rng, n_classes, max_features,
+                   {}, {}, {}, {}, {}};
+  ctx.counts_left.resize(static_cast<std::size_t>(n_classes));
+  ctx.counts_right.resize(static_cast<std::size_t>(n_classes));
+  ctx.counts_total.resize(static_cast<std::size_t>(n_classes));
+  ctx.feature_order.resize(x.cols());
+  std::iota(ctx.feature_order.begin(), ctx.feature_order.end(), std::size_t{0});
+
+  std::vector<std::size_t> all(x.rows());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  build_node(ctx, all, 0);
+
+  // Normalize importances to sum 1 (scikit-learn convention per tree).
+  const double total = std::accumulate(importances_.begin(), importances_.end(), 0.0);
+  if (total > 0.0) {
+    for (double& imp : importances_) imp /= total;
+  }
+}
+
+std::int32_t DecisionTree::build_node(BuildContext& ctx,
+                                      std::vector<std::size_t>& indices,
+                                      int current_depth) {
+  depth_ = std::max(depth_, current_depth);
+
+  // Weighted class histogram of this node.
+  std::fill(ctx.counts_total.begin(), ctx.counts_total.end(), 0.0);
+  double total_weight = 0.0;
+  for (const std::size_t i : indices) {
+    ctx.counts_total[static_cast<std::size_t>(ctx.y[i])] += ctx.weight[i];
+    total_weight += ctx.weight[i];
+  }
+  const double node_impurity =
+      impurity_from_counts(ctx.counts_total, total_weight, ctx.params.criterion);
+
+  const auto make_leaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.proba_offset = static_cast<std::int32_t>(proba_pool_.size());
+    for (const double count : ctx.counts_total) {
+      proba_pool_.push_back(
+          total_weight > 0.0 ? static_cast<float>(count / total_weight) : 0.0f);
+    }
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  const bool depth_reached =
+      ctx.params.max_depth > 0 && current_depth >= ctx.params.max_depth;
+  if (depth_reached || node_impurity <= 1e-12 ||
+      static_cast<int>(indices.size()) < ctx.params.min_samples_split) {
+    return make_leaf();
+  }
+
+  // --- find the best split over a random feature subset -----------------
+  // Sample max_features candidates without replacement (partial
+  // Fisher–Yates over the persistent feature_order scratch).
+  const std::size_t d = ctx.x.cols();
+  for (int f = 0; f < ctx.max_features; ++f) {
+    const std::size_t j =
+        static_cast<std::size_t>(f) +
+        static_cast<std::size_t>(ctx.rng.next_below(d - static_cast<std::size_t>(f)));
+    std::swap(ctx.feature_order[static_cast<std::size_t>(f)], ctx.feature_order[j]);
+  }
+
+  // Start below zero so zero-gain splits are still accepted (scikit-learn
+  // semantics: min_impurity_decrease defaults to 0 and ties split anyway) —
+  // this is what lets a tree work through XOR-like interactions where no
+  // single split reduces impurity.
+  double best_gain = -1.0;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+
+  for (int f = 0; f < ctx.max_features; ++f) {
+    const std::size_t feature = ctx.feature_order[static_cast<std::size_t>(f)];
+    auto& sorted = ctx.sorted;
+    sorted.clear();
+    sorted.reserve(indices.size());
+    for (const std::size_t i : indices) {
+      sorted.emplace_back(ctx.x.at(i, feature), i);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (sorted.front().first == sorted.back().first) continue;  // constant feature
+
+    std::fill(ctx.counts_left.begin(), ctx.counts_left.end(), 0.0);
+    std::copy(ctx.counts_total.begin(), ctx.counts_total.end(), ctx.counts_right.begin());
+    double weight_left = 0.0;
+    double weight_right = total_weight;
+    std::size_t n_left = 0;
+
+    for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+      const auto [value, i] = sorted[k];
+      const double w = ctx.weight[i];
+      const auto label = static_cast<std::size_t>(ctx.y[i]);
+      ctx.counts_left[label] += w;
+      ctx.counts_right[label] -= w;
+      weight_left += w;
+      weight_right -= w;
+      ++n_left;
+      if (value == sorted[k + 1].first) continue;  // can't split between equals
+      if (static_cast<int>(n_left) < ctx.params.min_samples_leaf) continue;
+      if (static_cast<int>(sorted.size() - n_left) < ctx.params.min_samples_leaf) break;
+
+      const double impurity_left =
+          impurity_from_counts(ctx.counts_left, weight_left, ctx.params.criterion);
+      const double impurity_right =
+          impurity_from_counts(ctx.counts_right, weight_right, ctx.params.criterion);
+      const double gain = node_impurity -
+                          (weight_left / total_weight) * impurity_left -
+                          (weight_right / total_weight) * impurity_right;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        // Midpoint threshold: robust to unseen values between the two.
+        best_threshold = 0.5f * (value + sorted[k + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Record importance: weighted impurity decrease at this node (clamped —
+  // zero-gain tie splits contribute nothing).
+  importances_[static_cast<std::size_t>(best_feature)] +=
+      total_weight * std::max(0.0, best_gain);
+
+  std::vector<std::size_t> left_indices;
+  std::vector<std::size_t> right_indices;
+  left_indices.reserve(indices.size());
+  right_indices.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    (ctx.x.at(i, static_cast<std::size_t>(best_feature)) <= best_threshold
+         ? left_indices
+         : right_indices)
+        .push_back(i);
+  }
+  indices.clear();
+  indices.shrink_to_fit();  // release before recursing
+
+  const std::int32_t node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{best_feature, best_threshold, -1, -1, -1});
+  const std::int32_t left_id = build_node(ctx, left_indices, current_depth + 1);
+  const std::int32_t right_id = build_node(ctx, right_indices, current_depth + 1);
+  nodes_[static_cast<std::size_t>(node_id)].left = left_id;
+  nodes_[static_cast<std::size_t>(node_id)].right = right_id;
+  return node_id;
+}
+
+std::vector<double> DecisionTree::predict_proba(std::span<const float> row) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not fitted");
+  std::size_t node = 0;
+  while (nodes_[node].proba_offset < 0) {
+    const Node& n = nodes_[node];
+    node = static_cast<std::size_t>(
+        row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right);
+  }
+  const auto offset = static_cast<std::size_t>(nodes_[node].proba_offset);
+  std::vector<double> proba(static_cast<std::size_t>(n_classes_));
+  for (std::size_t c = 0; c < proba.size(); ++c) {
+    proba[c] = proba_pool_[offset + c];
+  }
+  return proba;
+}
+
+int DecisionTree::predict(std::span<const float> row) const {
+  const std::vector<double> proba = predict_proba(row);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+void DecisionTree::save(std::ostream& out) const {
+  out << "tree " << n_classes_ << ' ' << depth_ << ' ' << nodes_.size() << ' '
+      << proba_pool_.size() << ' ' << importances_.size() << '\n';
+  out.precision(9);
+  for (const Node& node : nodes_) {
+    out << node.feature << ' ' << node.threshold << ' ' << node.left << ' '
+        << node.right << ' ' << node.proba_offset << '\n';
+  }
+  for (std::size_t i = 0; i < proba_pool_.size(); ++i) {
+    out << proba_pool_[i] << (i + 1 == proba_pool_.size() ? '\n' : ' ');
+  }
+  out.precision(17);
+  for (std::size_t i = 0; i < importances_.size(); ++i) {
+    out << importances_[i] << (i + 1 == importances_.size() ? '\n' : ' ');
+  }
+}
+
+void DecisionTree::load(std::istream& in) {
+  std::string tag;
+  std::size_t node_count = 0;
+  std::size_t pool_size = 0;
+  std::size_t importance_count = 0;
+  if (!(in >> tag >> n_classes_ >> depth_ >> node_count >> pool_size >>
+        importance_count) ||
+      tag != "tree") {
+    throw std::runtime_error("DecisionTree::load: bad header");
+  }
+  if (n_classes_ <= 0 || pool_size % static_cast<std::size_t>(n_classes_) != 0) {
+    throw std::runtime_error("DecisionTree::load: inconsistent sizes");
+  }
+  nodes_.assign(node_count, Node{});
+  for (Node& node : nodes_) {
+    if (!(in >> node.feature >> node.threshold >> node.left >> node.right >>
+          node.proba_offset)) {
+      throw std::runtime_error("DecisionTree::load: truncated nodes");
+    }
+  }
+  proba_pool_.assign(pool_size, 0.0f);
+  for (float& p : proba_pool_) {
+    if (!(in >> p)) throw std::runtime_error("DecisionTree::load: truncated pool");
+  }
+  importances_.assign(importance_count, 0.0);
+  for (double& imp : importances_) {
+    if (!(in >> imp)) throw std::runtime_error("DecisionTree::load: truncated importances");
+  }
+  // Validate links so a corrupt file cannot cause out-of-range walks.
+  for (const Node& node : nodes_) {
+    const bool is_leaf = node.proba_offset >= 0;
+    if (is_leaf) {
+      if (static_cast<std::size_t>(node.proba_offset) +
+              static_cast<std::size_t>(n_classes_) >
+          proba_pool_.size()) {
+        throw std::runtime_error("DecisionTree::load: leaf offset out of range");
+      }
+    } else {
+      if (node.left < 0 || node.right < 0 ||
+          static_cast<std::size_t>(node.left) >= nodes_.size() ||
+          static_cast<std::size_t>(node.right) >= nodes_.size()) {
+        throw std::runtime_error("DecisionTree::load: child link out of range");
+      }
+    }
+  }
+}
+
+}  // namespace fhc::ml

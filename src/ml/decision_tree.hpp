@@ -1,0 +1,84 @@
+// CART decision tree with weighted samples — the forest's base learner.
+//
+// Axis-aligned binary splits chosen by weighted Gini impurity (or entropy)
+// decrease, grown depth-first. Supports per-sample weights (how balanced
+// class weighting and bootstrap multiplicities enter), feature
+// subsampling per node (max_features, the forest's decorrelation knob) and
+// the usual stopping rules. Leaves store weighted class-probability
+// vectors so predict_proba() works exactly like scikit-learn's.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace fhc::ml {
+
+enum class Criterion { kGini, kEntropy };
+
+struct TreeParams {
+  Criterion criterion = Criterion::kGini;
+  int max_depth = 0;            // 0 = unlimited
+  int min_samples_split = 2;    // node must have >= this many samples to split
+  int min_samples_leaf = 1;     // each child must keep >= this many samples
+  int max_features = 0;         // features tried per node; 0 = all, -1 = sqrt(d)
+};
+
+class DecisionTree {
+ public:
+  /// Fits on rows of `x` with labels in 0..n_classes-1. `sample_weight`
+  /// may be empty (all ones). `rng` drives feature subsampling only.
+  void fit(const Matrix& x, const std::vector<int>& y, int n_classes,
+           std::span<const double> sample_weight, const TreeParams& params,
+           fhc::util::Rng& rng);
+
+  /// Class-probability vector for one sample (size n_classes).
+  std::vector<double> predict_proba(std::span<const float> row) const;
+
+  /// argmax of predict_proba.
+  int predict(std::span<const float> row) const;
+
+  /// Weighted-impurity-decrease importances, unnormalized (the forest
+  /// normalizes after averaging). Size = n_features.
+  const std::vector<double>& feature_importances() const noexcept {
+    return importances_;
+  }
+
+  int n_classes() const noexcept { return n_classes_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  int depth() const noexcept { return depth_; }
+
+  /// Serializes the fitted tree as whitespace-separated text (one line per
+  /// node). load() restores an equivalent predictor; throws
+  /// std::runtime_error on malformed input.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  struct Node {
+    // Internal nodes: feature/threshold and child links; leaves:
+    // probability distribution (left == -1 marks a leaf).
+    int feature = -1;
+    float threshold = 0.0f;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int32_t proba_offset = -1;  // into proba_pool_ for leaves
+  };
+
+  struct BuildContext;  // defined in the .cpp
+
+  std::int32_t build_node(BuildContext& ctx, std::vector<std::size_t>& indices,
+                          int current_depth);
+
+  std::vector<Node> nodes_;
+  std::vector<float> proba_pool_;  // concatenated leaf distributions
+  std::vector<double> importances_;
+  int n_classes_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace fhc::ml

@@ -1,0 +1,58 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fhc::ml {
+
+void KnnClassifier::fit(const Matrix& x, const std::vector<int>& y, int n_classes,
+                        const KnnParams& params) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    throw std::invalid_argument("KnnClassifier::fit: bad dataset shape");
+  }
+  if (params.k <= 0) throw std::invalid_argument("KnnClassifier::fit: k <= 0");
+  x_ = x;
+  y_ = y;
+  n_classes_ = n_classes;
+  params_ = params;
+}
+
+std::vector<double> KnnClassifier::predict_proba(std::span<const float> row) const {
+  if (y_.empty()) throw std::logic_error("KnnClassifier: not fitted");
+
+  // Collect the k smallest squared distances with a partial sort.
+  std::vector<std::pair<double, std::size_t>> dist(x_.rows());
+  for (std::size_t i = 0; i < x_.rows(); ++i) {
+    const auto train_row = x_.row(i);
+    double d2 = 0.0;
+    for (std::size_t c = 0; c < train_row.size(); ++c) {
+      const double diff = static_cast<double>(train_row[c]) - row[c];
+      d2 += diff * diff;
+    }
+    dist[i] = {d2, i};
+  }
+  const auto k = std::min<std::size_t>(static_cast<std::size_t>(params_.k), dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist.end());
+
+  std::vector<double> votes(static_cast<std::size_t>(n_classes_), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double weight =
+        params_.distance_weighted ? 1.0 / (std::sqrt(dist[i].first) + 1e-6) : 1.0;
+    votes[static_cast<std::size_t>(y_[dist[i].second])] += weight;
+    total += weight;
+  }
+  if (total > 0.0) {
+    for (double& v : votes) v /= total;
+  }
+  return votes;
+}
+
+int KnnClassifier::predict(std::span<const float> row) const {
+  const std::vector<double> proba = predict_proba(row);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+}  // namespace fhc::ml

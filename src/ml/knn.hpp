@@ -1,0 +1,37 @@
+// k-Nearest-Neighbours classifier — one of the paper's named future-work
+// comparators (Section 6). Brute-force Euclidean search over the feature
+// matrix; adequate at this dataset scale and exact, which matters for a
+// baseline.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace fhc::ml {
+
+struct KnnParams {
+  int k = 5;
+  bool distance_weighted = true;  // votes weighted by 1/(dist + eps)
+};
+
+class KnnClassifier {
+ public:
+  void fit(const Matrix& x, const std::vector<int>& y, int n_classes,
+           const KnnParams& params);
+
+  /// Class-probability vector from (weighted) neighbour votes.
+  std::vector<double> predict_proba(std::span<const float> row) const;
+  int predict(std::span<const float> row) const;
+
+  int n_classes() const noexcept { return n_classes_; }
+
+ private:
+  Matrix x_;
+  std::vector<int> y_;
+  int n_classes_ = 0;
+  KnnParams params_;
+};
+
+}  // namespace fhc::ml

@@ -1,0 +1,93 @@
+#include "ml/linear_svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fhc::ml {
+
+void LinearSvm::fit(const Matrix& x, const std::vector<int>& y, int n_classes,
+                    std::span<const double> sample_weight, const SvmParams& params) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    throw std::invalid_argument("LinearSvm::fit: bad dataset shape");
+  }
+  n_classes_ = n_classes;
+  weights_ = Matrix(static_cast<std::size_t>(n_classes), x.cols(), 0.0f);
+  bias_.assign(static_cast<std::size_t>(n_classes), 0.0);
+
+  const std::size_t n = x.rows();
+  std::vector<double> ones;
+  if (sample_weight.empty()) {
+    ones.assign(n, 1.0);
+    sample_weight = ones;
+  }
+
+  // One independent binary problem per class; they parallelize cleanly.
+  fhc::util::parallel_for(static_cast<std::size_t>(n_classes), [&](std::size_t cls) {
+    fhc::util::Rng rng(params.seed ^ (0x51ede5c4b5ca2a6fULL * (cls + 1)));
+    std::vector<double> w(x.cols(), 0.0);
+    double b = 0.0;
+    // Pegasos step with a warm-start offset t0 = 1/lambda: caps the first
+    // steps at eta <= 1 (the raw 1/(lambda*t) schedule explodes at t = 1).
+    const double t0 = 1.0 / params.lambda;
+    std::size_t t = 0;
+    for (int epoch = 0; epoch < params.epochs; ++epoch) {
+      auto order = fhc::util::random_permutation(n, rng);
+      for (const std::size_t i : order) {
+        ++t;
+        const double eta = 1.0 / (params.lambda * (static_cast<double>(t) + t0));
+        const double target = y[i] == static_cast<int>(cls) ? 1.0 : -1.0;
+        const auto row = x.row(i);
+        double margin = b;
+        for (std::size_t f = 0; f < w.size(); ++f) margin += w[f] * row[f];
+
+        // L2 shrinkage every step; hinge subgradient when violating.
+        const double shrink = 1.0 - eta * params.lambda;
+        for (double& wf : w) wf *= shrink;
+        if (target * margin < 1.0) {
+          const double step = eta * sample_weight[i] * target;
+          for (std::size_t f = 0; f < w.size(); ++f) w[f] += step * row[f];
+          b += step;
+        }
+      }
+    }
+    auto out_row = weights_.row(cls);
+    for (std::size_t f = 0; f < w.size(); ++f) out_row[f] = static_cast<float>(w[f]);
+    bias_[cls] = b;
+  });
+}
+
+std::vector<double> LinearSvm::decision_function(std::span<const float> row) const {
+  if (bias_.empty()) throw std::logic_error("LinearSvm: not fitted");
+  std::vector<double> margins(static_cast<std::size_t>(n_classes_));
+  for (std::size_t c = 0; c < margins.size(); ++c) {
+    const auto w = weights_.row(c);
+    double margin = bias_[c];
+    for (std::size_t f = 0; f < w.size(); ++f) margin += w[f] * row[f];
+    margins[c] = margin;
+  }
+  return margins;
+}
+
+std::vector<double> LinearSvm::predict_proba(std::span<const float> row) const {
+  std::vector<double> margins = decision_function(row);
+  const double max_margin = *std::max_element(margins.begin(), margins.end());
+  double total = 0.0;
+  for (double& m : margins) {
+    m = std::exp(m - max_margin);
+    total += m;
+  }
+  for (double& m : margins) m /= total;
+  return margins;
+}
+
+int LinearSvm::predict(std::span<const float> row) const {
+  const std::vector<double> margins = decision_function(row);
+  return static_cast<int>(std::max_element(margins.begin(), margins.end()) -
+                          margins.begin());
+}
+
+}  // namespace fhc::ml

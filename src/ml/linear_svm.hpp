@@ -1,0 +1,44 @@
+// Linear SVM (one-vs-rest, L2-regularized hinge loss via SGD) — the
+// paper's other named future-work comparator (Section 6).
+//
+// Pegasos-style step size (eta_t = 1 / (lambda * t)), per-sample weights
+// (so balanced class weighting composes as in the forest), and a softmax
+// over margins as the probability surrogate for the confidence-threshold
+// mechanism (documented approximation; margins are not calibrated).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace fhc::ml {
+
+struct SvmParams {
+  double lambda = 1e-4;  // L2 regularization strength
+  int epochs = 20;
+  std::uint64_t seed = 1;
+};
+
+class LinearSvm {
+ public:
+  void fit(const Matrix& x, const std::vector<int>& y, int n_classes,
+           std::span<const double> sample_weight, const SvmParams& params);
+
+  /// Raw one-vs-rest margins (w_c . x + b_c) for each class.
+  std::vector<double> decision_function(std::span<const float> row) const;
+
+  /// softmax(margins): a probability surrogate, NOT calibrated.
+  std::vector<double> predict_proba(std::span<const float> row) const;
+  int predict(std::span<const float> row) const;
+
+  int n_classes() const noexcept { return n_classes_; }
+
+ private:
+  Matrix weights_;             // n_classes x n_features
+  std::vector<double> bias_;   // n_classes
+  int n_classes_ = 0;
+};
+
+}  // namespace fhc::ml

@@ -1,0 +1,52 @@
+// Dense row-major matrix of floats — the feature-matrix container.
+//
+// Rows are samples, columns are features. Row-major keeps one sample's
+// features contiguous, which is the access pattern of tree training
+// (feature gather per node) and prediction (single-row walks).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace fhc::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const float> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// New matrix containing the given rows (in the given order).
+  Matrix gather_rows(std::span<const std::size_t> indices) const {
+    Matrix out(indices.size(), cols_);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      if (indices[i] >= rows_) throw std::out_of_range("Matrix::gather_rows");
+      const auto src = row(indices[i]);
+      std::copy(src.begin(), src.end(), out.row(i).begin());
+    }
+    return out;
+  }
+
+  const std::vector<float>& data() const noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace fhc::ml

@@ -1,0 +1,158 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "ml/dataset.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace fhc::ml {
+
+namespace {
+
+struct Counts {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+  std::size_t support = 0;
+};
+
+double safe_div(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+double f1_of(double precision, double recall) {
+  return precision + recall > 0.0 ? 2.0 * precision * recall / (precision + recall)
+                                  : 0.0;
+}
+
+}  // namespace
+
+ClassificationReport classification_report(const std::vector<int>& y_true,
+                                           const std::vector<int>& y_pred,
+                                           const std::vector<std::string>& label_names) {
+  if (y_true.size() != y_pred.size()) {
+    throw std::invalid_argument("classification_report: size mismatch");
+  }
+
+  std::map<int, Counts> counts;  // keyed by label; -1 sorts first
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const int t = y_true[i];
+    const int p = y_pred[i];
+    counts[t].support += 1;
+    if (t == p) {
+      counts[t].tp += 1;
+      ++correct;
+    } else {
+      counts[t].fn += 1;
+      counts[p].fp += 1;
+    }
+  }
+
+  ClassificationReport report;
+  report.total_support = y_true.size();
+  report.accuracy = safe_div(static_cast<double>(correct),
+                             static_cast<double>(y_true.size()));
+
+  std::size_t global_tp = 0;
+  std::size_t global_fp = 0;
+  std::size_t global_fn = 0;
+  double macro_p = 0.0;
+  double macro_r = 0.0;
+  double macro_f = 0.0;
+  double weighted_p = 0.0;
+  double weighted_r = 0.0;
+  double weighted_f = 0.0;
+
+  for (const auto& [label, c] : counts) {
+    ClassMetrics m;
+    m.label = label;
+    if (label == kUnknownLabel) {
+      m.name = "-1";
+    } else if (label >= 0 && static_cast<std::size_t>(label) < label_names.size()) {
+      m.name = label_names[static_cast<std::size_t>(label)];
+    } else {
+      m.name = std::to_string(label);
+    }
+    m.precision = safe_div(static_cast<double>(c.tp), static_cast<double>(c.tp + c.fp));
+    m.recall = safe_div(static_cast<double>(c.tp), static_cast<double>(c.tp + c.fn));
+    m.f1 = f1_of(m.precision, m.recall);
+    m.support = c.support;
+    report.per_class.push_back(m);
+
+    global_tp += c.tp;
+    global_fp += c.fp;
+    global_fn += c.fn;
+    macro_p += m.precision;
+    macro_r += m.recall;
+    macro_f += m.f1;
+    weighted_p += m.precision * static_cast<double>(m.support);
+    weighted_r += m.recall * static_cast<double>(m.support);
+    weighted_f += m.f1 * static_cast<double>(m.support);
+  }
+
+  // Sort: unknown ("-1") first, then lexicographic by name (Table 4 order).
+  std::sort(report.per_class.begin(), report.per_class.end(),
+            [](const ClassMetrics& a, const ClassMetrics& b) {
+              if ((a.label == kUnknownLabel) != (b.label == kUnknownLabel)) {
+                return a.label == kUnknownLabel;
+              }
+              return a.name < b.name;
+            });
+
+  const auto k = static_cast<double>(counts.size());
+  const auto n = static_cast<double>(y_true.size());
+  report.micro.precision =
+      safe_div(static_cast<double>(global_tp), static_cast<double>(global_tp + global_fp));
+  report.micro.recall =
+      safe_div(static_cast<double>(global_tp), static_cast<double>(global_tp + global_fn));
+  report.micro.f1 = f1_of(report.micro.precision, report.micro.recall);
+  report.macro = {safe_div(macro_p, k), safe_div(macro_r, k), safe_div(macro_f, k)};
+  report.weighted = {safe_div(weighted_p, n), safe_div(weighted_r, n),
+                     safe_div(weighted_f, n)};
+  return report;
+}
+
+std::string ClassificationReport::to_string() const {
+  using fhc::util::Align;
+  using fhc::util::fixed;
+  fhc::util::TextTable table(
+      {"Class", "Precision", "Recall", "f1-Score", "Support"},
+      {Align::Left, Align::Right, Align::Right, Align::Right, Align::Right});
+  for (const ClassMetrics& m : per_class) {
+    table.add_row({m.name, fixed(m.precision, 2), fixed(m.recall, 2), fixed(m.f1, 2),
+                   std::to_string(m.support)});
+  }
+  table.add_rule();
+  table.add_row({"micro avg", fixed(micro.precision, 2), fixed(micro.recall, 2),
+                 fixed(micro.f1, 2), std::to_string(total_support)});
+  table.add_row({"macro avg", fixed(macro.precision, 2), fixed(macro.recall, 2),
+                 fixed(macro.f1, 2), std::to_string(total_support)});
+  table.add_row({"weighted avg", fixed(weighted.precision, 2), fixed(weighted.recall, 2),
+                 fixed(weighted.f1, 2), std::to_string(total_support)});
+  return table.render();
+}
+
+namespace {
+
+ClassificationReport quick_report(const std::vector<int>& y_true,
+                                  const std::vector<int>& y_pred) {
+  return classification_report(y_true, y_pred, {});
+}
+
+}  // namespace
+
+double macro_f1(const std::vector<int>& y_true, const std::vector<int>& y_pred) {
+  return quick_report(y_true, y_pred).macro.f1;
+}
+
+double micro_f1(const std::vector<int>& y_true, const std::vector<int>& y_pred) {
+  return quick_report(y_true, y_pred).micro.f1;
+}
+
+double weighted_f1(const std::vector<int>& y_true, const std::vector<int>& y_pred) {
+  return quick_report(y_true, y_pred).weighted.f1;
+}
+
+}  // namespace fhc::ml

@@ -1,0 +1,61 @@
+// Evaluation metrics: per-class precision/recall/f1/support and the
+// micro/macro/weighted averages the paper reports, plus a renderer that
+// reproduces the scikit-learn classification report layout of Table 4.
+//
+// Definitions (paper Section 3, "Evaluation"):
+//   precision_c = TP_c / (TP_c + FP_c)
+//   recall_c    = TP_c / (TP_c + FN_c)
+//   f1_c        = 2 P R / (P + R)
+//   micro    — computed from global TP/FP/FN (equals accuracy when every
+//              sample gets exactly one prediction, as here);
+//   macro    — unweighted mean over classes;
+//   weighted — support-weighted mean over classes.
+// Classes with zero denominator score 0 (sklearn's zero_division=0).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fhc::ml {
+
+struct ClassMetrics {
+  int label = 0;  // may be kUnknownLabel
+  std::string name;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t support = 0;  // true instances in y_true
+};
+
+struct AverageMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+struct ClassificationReport {
+  std::vector<ClassMetrics> per_class;  // sorted: "-1" first, then by name
+  AverageMetrics micro;
+  AverageMetrics macro;
+  AverageMetrics weighted;
+  double accuracy = 0.0;
+  std::size_t total_support = 0;
+
+  /// sklearn-style text rendering (Table 4's layout).
+  std::string to_string() const;
+};
+
+/// Builds the report from parallel label vectors. Labels may include
+/// kUnknownLabel (-1). `label_names` maps label id -> display name for
+/// ids >= 0; -1 renders as "-1". Classes are included if they appear in
+/// y_true or y_pred (sklearn behaviour).
+ClassificationReport classification_report(const std::vector<int>& y_true,
+                                           const std::vector<int>& y_pred,
+                                           const std::vector<std::string>& label_names);
+
+/// Convenience accessors used by grid search scoring.
+double macro_f1(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+double micro_f1(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+double weighted_f1(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+}  // namespace fhc::ml

@@ -1,0 +1,120 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fhc::ml {
+
+void RandomForest::fit(const Matrix& x, const std::vector<int>& y, int n_classes,
+                       std::span<const double> sample_weight,
+                       const ForestParams& params) {
+  if (params.n_estimators <= 0) {
+    throw std::invalid_argument("RandomForest::fit: n_estimators <= 0");
+  }
+  if (x.rows() != y.size() || x.rows() == 0) {
+    throw std::invalid_argument("RandomForest::fit: bad dataset shape");
+  }
+  std::vector<double> base_weight(x.rows(), 1.0);
+  if (!sample_weight.empty()) {
+    if (sample_weight.size() != x.rows()) {
+      throw std::invalid_argument("RandomForest::fit: weight size mismatch");
+    }
+    std::copy(sample_weight.begin(), sample_weight.end(), base_weight.begin());
+  }
+
+  n_classes_ = n_classes;
+  n_features_ = x.cols();
+  trees_.assign(static_cast<std::size_t>(params.n_estimators), DecisionTree{});
+
+  const std::size_t n = x.rows();
+  fhc::util::parallel_for(trees_.size(), [&](std::size_t t) {
+    // Independent deterministic stream per tree: results do not depend on
+    // which worker trains which tree.
+    std::uint64_t stream = params.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1));
+    fhc::util::Rng rng(fhc::util::splitmix64(stream));
+
+    std::vector<double> weight = base_weight;
+    if (params.bootstrap) {
+      // Draw n samples with replacement; fold multiplicities into the
+      // weights (x stays shared — no per-tree copies of the matrix).
+      std::vector<double> multiplicity(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        multiplicity[static_cast<std::size_t>(rng.next_below(n))] += 1.0;
+      }
+      for (std::size_t i = 0; i < n; ++i) weight[i] *= multiplicity[i];
+      // Zero-weight rows are skipped by the tree through their weights;
+      // a tree must still see at least one positive weight.
+    }
+    trees_[t].fit(x, y, n_classes, weight, params.tree, rng);
+  });
+}
+
+std::vector<double> RandomForest::predict_proba(std::span<const float> row) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  std::vector<double> mean(static_cast<std::size_t>(n_classes_), 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double> proba = tree.predict_proba(row);
+    for (std::size_t c = 0; c < mean.size(); ++c) mean[c] += proba[c];
+  }
+  const double inv = 1.0 / static_cast<double>(trees_.size());
+  for (double& p : mean) p *= inv;
+  return mean;
+}
+
+Matrix RandomForest::predict_proba_matrix(const Matrix& x) const {
+  Matrix out(x.rows(), static_cast<std::size_t>(n_classes_));
+  fhc::util::parallel_for(x.rows(), [&](std::size_t i) {
+    const std::vector<double> proba = predict_proba(x.row(i));
+    auto row = out.row(i);
+    for (std::size_t c = 0; c < proba.size(); ++c) row[c] = static_cast<float>(proba[c]);
+  });
+  return out;
+}
+
+int RandomForest::predict(std::span<const float> row) const {
+  const std::vector<double> proba = predict_proba(row);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+void RandomForest::save(std::ostream& out) const {
+  out << "forest " << n_classes_ << ' ' << n_features_ << ' ' << trees_.size()
+      << '\n';
+  for (const DecisionTree& tree : trees_) tree.save(out);
+}
+
+void RandomForest::load(std::istream& in) {
+  std::string tag;
+  std::size_t tree_count = 0;
+  if (!(in >> tag >> n_classes_ >> n_features_ >> tree_count) || tag != "forest") {
+    throw std::runtime_error("RandomForest::load: bad header");
+  }
+  if (tree_count == 0) throw std::runtime_error("RandomForest::load: empty forest");
+  trees_.assign(tree_count, DecisionTree{});
+  for (DecisionTree& tree : trees_) {
+    tree.load(in);
+    if (tree.n_classes() != n_classes_) {
+      throw std::runtime_error("RandomForest::load: tree class-count mismatch");
+    }
+  }
+}
+
+std::vector<double> RandomForest::feature_importances() const {
+  std::vector<double> mean(n_features_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double>& imp = tree.feature_importances();
+    for (std::size_t f = 0; f < mean.size(); ++f) mean[f] += imp[f];
+  }
+  const double total = std::accumulate(mean.begin(), mean.end(), 0.0);
+  if (total > 0.0) {
+    for (double& m : mean) m /= total;
+  }
+  return mean;
+}
+
+}  // namespace fhc::ml

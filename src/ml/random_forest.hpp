@@ -1,0 +1,70 @@
+// Random Forest classifier (Breiman-style bagging of CART trees).
+//
+// Matches the scikit-learn behaviour the paper relies on:
+//  * bootstrap resampling per tree (implemented as multiplicity weights so
+//    class-balance weights compose multiplicatively),
+//  * per-node feature subsampling (max_features = sqrt by default),
+//  * predict_proba = mean of tree leaf distributions,
+//  * feature_importances = mean of per-tree normalized impurity
+//    importances (Table 5's source).
+//
+// Trees train in parallel on the shared pool; each tree derives its own
+// RNG stream from (forest seed, tree index) so results are independent of
+// thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+#include "ml/matrix.hpp"
+
+namespace fhc::ml {
+
+struct ForestParams {
+  int n_estimators = 200;
+  TreeParams tree;        // tree.max_features = -1 (sqrt) by default here
+  bool bootstrap = true;
+  std::uint64_t seed = 1;
+
+  ForestParams() { tree.max_features = -1; }
+};
+
+class RandomForest {
+ public:
+  /// Fits `n_estimators` trees. `sample_weight` may be empty (all ones);
+  /// balanced class weighting is applied by passing the weights here.
+  void fit(const Matrix& x, const std::vector<int>& y, int n_classes,
+           std::span<const double> sample_weight, const ForestParams& params);
+
+  /// Mean class-probability vector across trees.
+  std::vector<double> predict_proba(std::span<const float> row) const;
+
+  /// Probability matrix for many rows (parallel).
+  Matrix predict_proba_matrix(const Matrix& x) const;
+
+  /// argmax label for one sample.
+  int predict(std::span<const float> row) const;
+
+  /// Mean normalized impurity importances, re-normalized to sum 1.
+  std::vector<double> feature_importances() const;
+
+  int n_classes() const noexcept { return n_classes_; }
+  std::size_t tree_count() const noexcept { return trees_.size(); }
+  const DecisionTree& tree(std::size_t i) const { return trees_.at(i); }
+
+  /// Text serialization of the fitted ensemble (train once, classify in a
+  /// Slurm prolog — the paper's deployment model). Throws
+  /// std::runtime_error on malformed input.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  std::vector<DecisionTree> trees_;
+  int n_classes_ = 0;
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace fhc::ml

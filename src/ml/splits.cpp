@@ -1,0 +1,103 @@
+#include "ml/splits.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fhc::ml {
+
+SampleSplit stratified_split(const std::vector<int>& labels, double test_fraction,
+                             fhc::util::Rng& rng) {
+  if (test_fraction < 0.0 || test_fraction > 1.0) {
+    throw std::invalid_argument("stratified_split: fraction out of [0,1]");
+  }
+  int max_label = -1;
+  for (const int label : labels) max_label = std::max(max_label, label);
+
+  // Bucket sample indices per label.
+  std::vector<std::vector<std::size_t>> buckets(static_cast<std::size_t>(max_label + 1));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) throw std::invalid_argument("stratified_split: negative label");
+    buckets[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+
+  SampleSplit split;
+  for (auto& bucket : buckets) {
+    if (bucket.empty()) continue;
+    rng.shuffle(bucket);
+    // Round-half-up matches the reconstruction of the paper's per-class
+    // test supports; clamp so no side is empty for classes with >= 2.
+    auto n_test = static_cast<std::size_t>(
+        std::floor(test_fraction * static_cast<double>(bucket.size()) + 0.5));
+    if (bucket.size() >= 2) {
+      n_test = std::min(n_test, bucket.size() - 1);
+      if (test_fraction > 0.0) n_test = std::max<std::size_t>(n_test, 1);
+    }
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      (i < n_test ? split.test : split.train).push_back(bucket[i]);
+    }
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+std::vector<std::size_t> class_level_split(std::size_t class_count,
+                                           double unknown_fraction,
+                                           fhc::util::Rng& rng) {
+  auto order = fhc::util::random_permutation(class_count, rng);
+  const auto n_unknown = static_cast<std::size_t>(
+      std::floor(unknown_fraction * static_cast<double>(class_count) + 0.5));
+  order.resize(std::min(n_unknown, class_count));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+TwoPhaseSplit two_phase_split(const std::vector<int>& class_ids, std::size_t class_count,
+                              double unknown_fraction, double test_fraction,
+                              fhc::util::Rng& rng,
+                              const std::vector<int>& unknown_class_ids) {
+  TwoPhaseSplit out;
+  out.class_is_unknown.assign(class_count, false);
+
+  if (!unknown_class_ids.empty()) {
+    for (const int id : unknown_class_ids) {
+      if (id < 0 || static_cast<std::size_t>(id) >= class_count) {
+        throw std::invalid_argument("two_phase_split: bad pinned unknown class id");
+      }
+      out.class_is_unknown[static_cast<std::size_t>(id)] = true;
+    }
+  } else {
+    for (const std::size_t c : class_level_split(class_count, unknown_fraction, rng)) {
+      out.class_is_unknown[c] = true;
+    }
+  }
+
+  // Unknown-pool samples all land in the test set; known-class samples go
+  // through the stratified phase. The stratified split sees only known
+  // samples, with labels re-used as-is (gaps are fine).
+  std::vector<std::size_t> known_indices;
+  std::vector<int> known_labels;
+  for (std::size_t i = 0; i < class_ids.size(); ++i) {
+    const int cid = class_ids[i];
+    if (cid < 0 || static_cast<std::size_t>(cid) >= class_count) {
+      throw std::invalid_argument("two_phase_split: class id out of range");
+    }
+    if (out.class_is_unknown[static_cast<std::size_t>(cid)]) {
+      out.test.push_back(i);
+      ++out.unknown_test_count;
+    } else {
+      known_indices.push_back(i);
+      known_labels.push_back(cid);
+    }
+  }
+
+  const SampleSplit known_split = stratified_split(known_labels, test_fraction, rng);
+  for (const std::size_t k : known_split.train) out.train.push_back(known_indices[k]);
+  for (const std::size_t k : known_split.test) out.test.push_back(known_indices[k]);
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.test.begin(), out.test.end());
+  return out;
+}
+
+}  // namespace fhc::ml

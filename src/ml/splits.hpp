@@ -1,0 +1,54 @@
+// Train/test splitting, including the paper's two-phase protocol.
+//
+// Phase 1 — class-level 80/20: whole classes go to an "unknown" pool that
+// appears only in the test set (their true label becomes kUnknownLabel).
+// Phase 2 — stratified 60/40 on samples of the remaining known classes.
+//
+// The class-level phase can either be random (generic mode) or pin the
+// exact unknown-class list from the paper's Table 3 (replication mode).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fhc::ml {
+
+/// Outcome of a stratified split: index lists into the original arrays.
+struct SampleSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Stratified split: each label contributes ~test_fraction of its samples
+/// to the test side (round-half-up per class, clamped so every class with
+/// >= 2 samples keeps at least one sample on each side). Deterministic in
+/// `rng`.
+SampleSplit stratified_split(const std::vector<int>& labels, double test_fraction,
+                             fhc::util::Rng& rng);
+
+/// Class-level split: returns the indices of classes assigned to the
+/// held-out ("unknown") side, choosing round(unknown_fraction * n) classes
+/// uniformly at random.
+std::vector<std::size_t> class_level_split(std::size_t class_count,
+                                           double unknown_fraction,
+                                           fhc::util::Rng& rng);
+
+/// Full two-phase split over per-sample class ids (0..K-1).
+struct TwoPhaseSplit {
+  std::vector<std::size_t> train;          // known-class training samples
+  std::vector<std::size_t> test;           // known-class test + all unknown
+  std::vector<bool> class_is_unknown;      // size K
+  std::size_t unknown_test_count = 0;      // samples with unknown-pool class
+};
+
+/// `unknown_class_ids` non-empty pins the unknown pool (replication mode);
+/// otherwise phase 1 draws round(unknown_fraction * K) classes at random.
+TwoPhaseSplit two_phase_split(const std::vector<int>& class_ids, std::size_t class_count,
+                              double unknown_fraction, double test_fraction,
+                              fhc::util::Rng& rng,
+                              const std::vector<int>& unknown_class_ids = {});
+
+}  // namespace fhc::ml

@@ -1,0 +1,58 @@
+// Digest comparison: maps two fuzzy digests to a similarity score in
+// [0, 100] (0 = no similarity, 100 = near-identical), following the
+// ssdeep/spamsum comparison pipeline:
+//
+//   1. blocksize compatibility — digests are comparable only when their
+//      blocksizes are equal or differ by exactly one power of two (each
+//      digest carries parts at bs and 2*bs precisely to widen this window);
+//   2. long-run normalization — runs of > 3 identical characters are
+//      collapsed (they carry little information and inflate matches);
+//   3. common 7-gram gate — if the two parts share no substring of
+//      kRollingWindow characters the score is 0; this both suppresses
+//      coincidental matches and acts as the fast path that rejects most
+//      cross-class pairs before the O(n^2) DP;
+//   4. edit distance, scaled to [0, 100] and capped for small blocksizes
+//      (short digests of tiny inputs match too easily).
+//
+// The edit-distance metric is selectable: the paper specifies
+// Damerau–Levenshtein (our default); ssdeep's historical metric is the
+// weighted Levenshtein. Both are available for ablation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "ssdeep/digest.hpp"
+#include "ssdeep/rolling_hash.hpp"
+
+namespace fhc::ssdeep {
+
+enum class EditMetric {
+  kDamerauOsa,           // paper's Equation (1); default
+  kWeightedLevenshtein,  // classic ssdeep (ins/del 1, subst 2)
+};
+
+/// Similarity of two digests in [0, 100]. Returns 0 for incompatible
+/// blocksizes. `metric` selects the edit distance.
+int compare_digests(const FuzzyDigest& a, const FuzzyDigest& b,
+                    EditMetric metric = EditMetric::kDamerauOsa);
+
+/// Convenience: parse-and-compare two "bs:p1:p2" strings; returns -1 when
+/// either digest is malformed (distinguishable from a legitimate 0).
+int compare_digest_strings(std::string_view a, std::string_view b,
+                           EditMetric metric = EditMetric::kDamerauOsa);
+
+// --- building blocks, exposed for unit tests and benches ---------------
+
+/// Collapses runs of more than 3 identical characters to exactly 3.
+std::string eliminate_long_runs(std::string_view s);
+
+/// True if the strings share any substring of kRollingWindow (7) chars.
+bool has_common_substring(std::string_view a, std::string_view b);
+
+/// Core scoring of two digest parts that were produced at `blocksize`.
+/// Inputs are expected to be already run-normalized.
+int score_strings(std::string_view a, std::string_view b, std::uint32_t blocksize,
+                  EditMetric metric);
+
+}  // namespace fhc::ssdeep

@@ -1,0 +1,59 @@
+#include "ssdeep/digest.hpp"
+
+#include <charconv>
+
+#include "util/base64.hpp"
+
+namespace fhc::ssdeep {
+
+std::string FuzzyDigest::to_string() const {
+  std::string out = std::to_string(blocksize);
+  out.push_back(':');
+  out += part1;
+  out.push_back(':');
+  out += part2;
+  return out;
+}
+
+bool valid_blocksize(std::uint32_t bs) noexcept {
+  std::uint64_t candidate = kMinBlocksize;
+  for (std::size_t i = 0; i < kNumBlockhashes; ++i, candidate <<= 1) {
+    if (candidate == bs) return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool all_base64(std::string_view s) {
+  for (const char c : s) {
+    if (fhc::util::kBase64Alphabet.find(c) == std::string_view::npos) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<FuzzyDigest> parse_digest(std::string_view text) {
+  const std::size_t colon1 = text.find(':');
+  if (colon1 == std::string_view::npos) return std::nullopt;
+  const std::size_t colon2 = text.find(':', colon1 + 1);
+  if (colon2 == std::string_view::npos) return std::nullopt;
+
+  const std::string_view bs_text = text.substr(0, colon1);
+  std::uint32_t bs = 0;
+  const auto [ptr, ec] = std::from_chars(bs_text.data(), bs_text.data() + bs_text.size(), bs);
+  if (ec != std::errc{} || ptr != bs_text.data() + bs_text.size()) return std::nullopt;
+  if (!valid_blocksize(bs)) return std::nullopt;
+
+  FuzzyDigest digest;
+  digest.blocksize = bs;
+  digest.part1 = std::string(text.substr(colon1 + 1, colon2 - colon1 - 1));
+  digest.part2 = std::string(text.substr(colon2 + 1));
+  if (digest.part1.size() > kSpamsumLength) return std::nullopt;
+  if (digest.part2.size() > kSpamsumLength / 2) return std::nullopt;
+  if (!all_base64(digest.part1) || !all_base64(digest.part2)) return std::nullopt;
+  return digest;
+}
+
+}  // namespace fhc::ssdeep

@@ -1,0 +1,41 @@
+// Fuzzy digest value type: "blocksize:part1:part2".
+//
+//  * part1 — up to SPAMSUM_LENGTH (64) base64 chars, one per chunk at
+//            `blocksize`,
+//  * part2 — up to SPAMSUM_LENGTH/2 (32) chars at `2 * blocksize`; carrying
+//            both lets two digests whose blocksizes differ by one power of
+//            two still be compared.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fhc::ssdeep {
+
+inline constexpr std::size_t kSpamsumLength = 64;
+inline constexpr std::uint32_t kMinBlocksize = 3;
+inline constexpr std::size_t kNumBlockhashes = 31;
+
+struct FuzzyDigest {
+  std::uint32_t blocksize = kMinBlocksize;
+  std::string part1;  // chunks at blocksize
+  std::string part2;  // chunks at blocksize * 2
+
+  /// Canonical "bs:part1:part2" form (what ssdeep prints).
+  std::string to_string() const;
+
+  bool operator==(const FuzzyDigest&) const = default;
+};
+
+/// Parses "bs:part1:part2". Returns nullopt when malformed: missing
+/// colons, non-numeric or non-positive blocksize, blocksize not of the form
+/// kMinBlocksize * 2^i, over-long parts, or characters outside the base64
+/// alphabet.
+std::optional<FuzzyDigest> parse_digest(std::string_view text);
+
+/// True if `bs` is a legal CTPH blocksize (3 * 2^i within engine range).
+bool valid_blocksize(std::uint32_t bs) noexcept;
+
+}  // namespace fhc::ssdeep

@@ -1,0 +1,102 @@
+#include "ssdeep/edit_distance.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <vector>
+
+namespace fhc::ssdeep {
+
+std::size_t levenshtein(std::string_view a, std::string_view b) {
+  return weighted_levenshtein(a, b, 1, 1, 1);
+}
+
+std::size_t weighted_levenshtein(std::string_view a, std::string_view b,
+                                 std::size_t insert_cost, std::size_t delete_cost,
+                                 std::size_t substitute_cost) {
+  // Two-row DP; rows indexed by prefix length of b.
+  const std::size_t n = b.size();
+  std::vector<std::size_t> prev(n + 1);
+  std::vector<std::size_t> curr(n + 1);
+  for (std::size_t j = 0; j <= n; ++j) prev[j] = j * insert_cost;
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i * delete_cost;
+    const char ai = a[i - 1];
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::size_t del = prev[j] + delete_cost;
+      const std::size_t ins = curr[j - 1] + insert_cost;
+      const std::size_t sub = prev[j - 1] + (ai == b[j - 1] ? 0 : substitute_cost);
+      curr[j] = std::min({del, ins, sub});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[n];
+}
+
+std::size_t damerau_levenshtein_osa(std::string_view a, std::string_view b) {
+  // Three-row DP: the transposition case looks two rows back.
+  const std::size_t n = b.size();
+  std::vector<std::size_t> two_back(n + 1);
+  std::vector<std::size_t> prev(n + 1);
+  std::vector<std::size_t> curr(n + 1);
+  for (std::size_t j = 0; j <= n; ++j) prev[j] = j;
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    const char ai = a[i - 1];
+    for (std::size_t j = 1; j <= n; ++j) {
+      const char bj = b[j - 1];
+      std::size_t best = std::min({prev[j] + 1,                       // deletion
+                                   curr[j - 1] + 1,                   // insertion
+                                   prev[j - 1] + (ai == bj ? 0 : 1)}); // (mis)match
+      if (i > 1 && j > 1 && ai == b[j - 2] && a[i - 2] == bj) {
+        best = std::min(best, two_back[j - 2] + 1);                   // transposition
+      }
+      curr[j] = best;
+    }
+    std::swap(two_back, prev);
+    std::swap(prev, curr);
+  }
+  return prev[n];
+}
+
+std::size_t damerau_levenshtein_full(std::string_view a, std::string_view b) {
+  // Lowrance–Wagner: full (m+2) x (n+2) table plus per-character last-seen
+  // rows. Only used for tests/ablation (digest strings are <= 64 chars), so
+  // clarity wins over memory.
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  const std::size_t inf = m + n;  // safe upper bound
+
+  std::vector<std::vector<std::size_t>> d(m + 2, std::vector<std::size_t>(n + 2, inf));
+  d[1][1] = 0;
+  for (std::size_t i = 0; i <= m; ++i) d[i + 1][1] = i;
+  for (std::size_t j = 0; j <= n; ++j) d[1][j + 1] = j;
+
+  std::array<std::size_t, 256> last_row{};  // last row where each char occurred in a
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    std::size_t last_col = 0;  // last column in this row where a[i-1] == b[j-1]
+    for (std::size_t j = 1; j <= n; ++j) {
+      const auto bj = static_cast<unsigned char>(b[j - 1]);
+      const std::size_t i1 = last_row[bj];
+      const std::size_t j1 = last_col;
+      const bool match = a[i - 1] == b[j - 1];
+      if (match) last_col = j;
+
+      const std::size_t subst = d[i][j] + (match ? 0 : 1);
+      const std::size_t insert = d[i + 1][j] + 1;
+      const std::size_t erase = d[i][j + 1] + 1;
+      std::size_t transpose = inf;
+      if (i1 > 0 && j1 > 0) {
+        transpose = d[i1][j1] + (i - i1 - 1) + 1 + (j - j1 - 1);
+      }
+      d[i + 1][j + 1] = std::min({subst, insert, erase, transpose});
+    }
+    last_row[static_cast<unsigned char>(a[i - 1])] = i;
+  }
+  return d[m + 1][n + 1];
+}
+
+}  // namespace fhc::ssdeep

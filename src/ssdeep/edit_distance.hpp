@@ -1,0 +1,42 @@
+// Edit distances for fuzzy-digest comparison.
+//
+// The paper (Section 3) specifies the Damerau–Levenshtein distance as the
+// comparison metric and spells out the recursion we implement in
+// damerau_levenshtein_osa(); that recursion is the *optimal string
+// alignment* (a.k.a. restricted DL) variant, which never edits a substring
+// twice. We additionally provide:
+//   * levenshtein()                — classic insert/delete/substitute,
+//   * weighted_levenshtein()       — the historical ssdeep/spamsum metric
+//                                    (insert/delete cost 1, substitute 2),
+//   * damerau_levenshtein_full()   — unrestricted DL (Lowrance–Wagner),
+// so the scoring metric is a run-time choice and the variants can be
+// compared in tests and benches.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace fhc::ssdeep {
+
+/// Classic Levenshtein distance (unit costs).
+std::size_t levenshtein(std::string_view a, std::string_view b);
+
+/// Levenshtein with configurable costs. ssdeep's edit_distn uses
+/// (insert=1, delete=1, substitute=2), making the worst case |a|+|b| —
+/// the denominator of the similarity scaling below.
+std::size_t weighted_levenshtein(std::string_view a, std::string_view b,
+                                 std::size_t insert_cost = 1,
+                                 std::size_t delete_cost = 1,
+                                 std::size_t substitute_cost = 2);
+
+/// Damerau–Levenshtein, optimal-string-alignment variant: insertions,
+/// deletions, substitutions and transpositions of *adjacent* symbols, with
+/// no substring edited more than once. Matches Equation (1) of the paper.
+std::size_t damerau_levenshtein_osa(std::string_view a, std::string_view b);
+
+/// Unrestricted Damerau–Levenshtein (Lowrance–Wagner): transposed symbols
+/// may be further edited. Distinguishable from OSA on e.g. "CA" vs "ABC"
+/// (full: 2, OSA: 3).
+std::size_t damerau_levenshtein_full(std::string_view a, std::string_view b);
+
+}  // namespace fhc::ssdeep

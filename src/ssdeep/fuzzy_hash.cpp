@@ -1,0 +1,137 @@
+#include "ssdeep/fuzzy_hash.hpp"
+
+#include "util/base64.hpp"
+
+namespace fhc::ssdeep {
+
+FuzzyHasher::FuzzyHasher() { reset(); }
+
+void FuzzyHasher::reset() {
+  for (auto& level : levels_) {
+    level.h = kHashInit;
+    level.halfh = kHashInit;
+    level.digest.clear();
+    level.halfdigest.clear();
+  }
+  levels_[0].digest.reserve(kSpamsumLength);
+  bh_start_ = 0;
+  bh_end_ = 1;
+  total_size_ = 0;
+  roll_.reset();
+}
+
+void FuzzyHasher::update(std::span<const std::uint8_t> data) {
+  total_size_ += data.size();
+  for (const std::uint8_t c : data) step(c);
+}
+
+void FuzzyHasher::update(std::string_view text) {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+void FuzzyHasher::try_fork_blockhash() {
+  if (bh_end_ >= kNumBlockhashes) return;
+  // The new level inherits the in-progress chunk hashes of the previous
+  // highest level: both have absorbed exactly the same bytes since that
+  // level's last emission.
+  BlockHash& prev = levels_[bh_end_ - 1];
+  BlockHash& next = levels_[bh_end_];
+  next.h = prev.h;
+  next.halfh = prev.halfh;
+  next.digest.clear();
+  next.halfdigest.clear();
+  ++bh_end_;
+}
+
+void FuzzyHasher::try_reduce_blockhash() {
+  if (bh_end_ - bh_start_ < 2) return;  // need at least two live levels
+  // Drop the lowest level only once it can no longer be selected by
+  // digest(): the initial blocksize estimate for the current total size
+  // already points past it, and the next level has enough characters that
+  // the estimate will not be walked back down to this one.
+  if (blocksize_of(bh_start_) * kSpamsumLength >= total_size_) return;
+  if (levels_[bh_start_ + 1].digest.size() < kSpamsumLength / 2) return;
+  ++bh_start_;
+}
+
+void FuzzyHasher::step(std::uint8_t c) {
+  const std::uint32_t h = roll_.update(c);
+
+  for (std::size_t i = bh_start_; i < bh_end_; ++i) {
+    levels_[i].h = fnv_step(c, levels_[i].h);
+    levels_[i].halfh = fnv_step(c, levels_[i].halfh);
+  }
+
+  for (std::size_t i = bh_start_; i < bh_end_; ++i) {
+    const std::uint64_t bs = blocksize_of(i);
+    // Blocksizes are nested powers of two times kMinBlocksize, so once the
+    // trigger fails at one level it fails at every higher level.
+    if (h % bs != bs - 1) break;
+
+    if (levels_[i].digest.empty()) {
+      // First emission at the currently-highest level: bring the next
+      // level to life so it can observe the rest of the stream.
+      if (i == bh_end_ - 1) try_fork_blockhash();
+    }
+    BlockHash& level = levels_[i];
+    if (level.digest.size() < kSpamsumLength - 1) {
+      // Emit one character and start a fresh chunk. If the digest is full
+      // we intentionally do NOT reset, folding the rest of the input into
+      // the final character (spamsum's tail-overflow rule).
+      level.digest.push_back(fhc::util::base64_char(level.h));
+      level.h = kHashInit;
+      if (level.halfdigest.size() < kSpamsumLength / 2 - 1) {
+        level.halfdigest.push_back(fhc::util::base64_char(level.halfh));
+        level.halfh = kHashInit;
+      }
+    } else {
+      try_reduce_blockhash();
+    }
+  }
+}
+
+FuzzyDigest FuzzyHasher::digest() const {
+  // Initial blocksize guess from total size: smallest bs with
+  // bs * kSpamsumLength >= total_size.
+  std::size_t bi = bh_start_;
+  while (blocksize_of(bi) * kSpamsumLength < total_size_ && bi + 1 < kNumBlockhashes) {
+    ++bi;
+  }
+  // Clamp to live levels, then walk down while the digest at the guess is
+  // too short to be discriminative.
+  if (bi >= bh_end_) bi = bh_end_ - 1;
+  while (bi > bh_start_ && levels_[bi].digest.size() < kSpamsumLength / 2) --bi;
+
+  const bool has_tail = roll_.sum() != 0;  // an unfinished chunk is pending
+
+  FuzzyDigest out;
+  out.blocksize = static_cast<std::uint32_t>(blocksize_of(bi));
+  out.part1 = levels_[bi].digest;
+  if (has_tail) out.part1.push_back(fhc::util::base64_char(levels_[bi].h));
+
+  if (bi + 1 < bh_end_) {
+    const BlockHash& next = levels_[bi + 1];
+    out.part2 = next.halfdigest;
+    if (has_tail) out.part2.push_back(fhc::util::base64_char(next.halfh));
+  } else if (has_tail && levels_[bi].digest.empty()) {
+    // Input too small for even one trigger at this level: mirror part1's
+    // single tail character so the digest stays comparable.
+    out.part2.push_back(fhc::util::base64_char(levels_[bi].h));
+  }
+  return out;
+}
+
+FuzzyDigest fuzzy_hash(std::span<const std::uint8_t> data) {
+  FuzzyHasher hasher;
+  hasher.update(data);
+  return hasher.digest();
+}
+
+FuzzyDigest fuzzy_hash(std::string_view text) {
+  FuzzyHasher hasher;
+  hasher.update(text);
+  return hasher.digest();
+}
+
+}  // namespace fhc::ssdeep

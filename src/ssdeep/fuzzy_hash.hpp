@@ -1,0 +1,76 @@
+// Single-pass, multi-blocksize CTPH engine (the ssdeep/spamsum algorithm).
+//
+// The engine maintains up to kNumBlockhashes parallel "block hash" levels,
+// level i corresponding to blocksize kMinBlocksize << i. Every input byte
+// feeds the rolling hash and the per-level FNV chunk hashes; when the
+// rolling hash triggers at a level's blocksize the level emits one base64
+// character and resets its chunk hash. Levels are forked lazily (a level
+// starts existing when the previous one first emits) and retired eagerly
+// (a level whose digest is already longer than the final digest could use
+// is dropped), so the engine is O(1) memory and a genuinely single pass —
+// unlike the original two-pass spamsum which re-reads the input when its
+// initial blocksize guess proves wrong.
+//
+// digest() picks the level whose blocksize best matches the total input
+// size, preferring smaller blocksizes while their digests are long enough
+// to be discriminative (>= kSpamsumLength / 2 characters).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "ssdeep/digest.hpp"
+#include "ssdeep/fnv.hpp"
+#include "ssdeep/rolling_hash.hpp"
+
+namespace fhc::ssdeep {
+
+class FuzzyHasher {
+ public:
+  FuzzyHasher();
+
+  /// Absorbs a buffer; may be called repeatedly (streaming).
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text);
+
+  /// Produces the digest for everything absorbed so far. Non-destructive:
+  /// more input may be absorbed afterwards and digest() called again.
+  FuzzyDigest digest() const;
+
+  /// Total bytes absorbed.
+  std::uint64_t total_size() const noexcept { return total_size_; }
+
+  void reset();
+
+ private:
+  struct BlockHash {
+    std::uint32_t h = kHashInit;      // chunk hash for part1
+    std::uint32_t halfh = kHashInit;  // chunk hash for part2 (2x blocksize)
+    std::string digest;               // up to kSpamsumLength chars
+    std::string halfdigest;           // up to kSpamsumLength / 2 chars
+  };
+
+  static constexpr std::uint64_t blocksize_of(std::size_t level) noexcept {
+    return static_cast<std::uint64_t>(kMinBlocksize) << level;
+  }
+
+  void step(std::uint8_t c);
+  void try_fork_blockhash();
+  void try_reduce_blockhash();
+
+  BlockHash levels_[kNumBlockhashes];
+  std::size_t bh_start_ = 0;  // first live level
+  std::size_t bh_end_ = 1;    // one past last live level
+  std::uint64_t total_size_ = 0;
+  RollingHash roll_;
+};
+
+/// One-shot digest of a byte buffer.
+FuzzyDigest fuzzy_hash(std::span<const std::uint8_t> data);
+
+/// One-shot digest of text (the strings/symbols feature channels).
+FuzzyDigest fuzzy_hash(std::string_view text);
+
+}  // namespace fhc::ssdeep

@@ -1,0 +1,79 @@
+#include "util/base64.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace fhc::util {
+
+std::string base64_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            static_cast<std::uint32_t>(data[i + 2]);
+    out.push_back(kBase64Alphabet[(v >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(v >> 12) & 63]);
+    out.push_back(kBase64Alphabet[(v >> 6) & 63]);
+    out.push_back(kBase64Alphabet[v & 63]);
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kBase64Alphabet[(v >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(v >> 12) & 63]);
+    out.append("==");
+  } else if (rest == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kBase64Alphabet[(v >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(v >> 12) & 63]);
+    out.push_back(kBase64Alphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+namespace {
+
+std::array<std::int8_t, 256> build_reverse_table() {
+  std::array<std::int8_t, 256> table{};
+  table.fill(-1);
+  for (std::size_t i = 0; i < kBase64Alphabet.size(); ++i) {
+    table[static_cast<unsigned char>(kBase64Alphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string base64_decode(std::string_view text) {
+  static const std::array<std::int8_t, 256> kReverse = build_reverse_table();
+  if (text.size() % 4 != 0) throw std::invalid_argument("base64: length not multiple of 4");
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        if (i + 4 != text.size() || j < 2) throw std::invalid_argument("base64: bad padding");
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) throw std::invalid_argument("base64: data after padding");
+      const std::int8_t d = kReverse[static_cast<unsigned char>(c)];
+      if (d < 0) throw std::invalid_argument("base64: invalid character");
+      v = (v << 6) | static_cast<std::uint32_t>(d);
+    }
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<char>((v >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<char>(v & 0xff));
+  }
+  return out;
+}
+
+}  // namespace fhc::util

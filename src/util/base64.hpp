@@ -1,0 +1,32 @@
+// Base64 alphabet and encoding.
+//
+// SSDeep does not base64-encode byte triples; it maps each chunk hash to a
+// single character of the standard base64 alphabet (b64[h % 64]). We expose
+// the alphabet for the CTPH engine and a conventional RFC 4648 encoder for
+// diagnostics/serialization.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace fhc::util {
+
+/// The 64-character alphabet shared with ssdeep/spamsum.
+inline constexpr std::string_view kBase64Alphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Maps the low 6 bits of `h` to a base64 character (spamsum digest step).
+constexpr char base64_char(std::uint64_t h) noexcept {
+  return kBase64Alphabet[static_cast<std::size_t>(h % 64)];
+}
+
+/// RFC 4648 base64 (with '=' padding) of an arbitrary byte buffer.
+std::string base64_encode(std::span<const std::uint8_t> data);
+
+/// Inverse of base64_encode. Throws std::invalid_argument on malformed
+/// input (bad characters, bad padding).
+std::string base64_decode(std::string_view text);
+
+}  // namespace fhc::util

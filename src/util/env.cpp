@@ -1,0 +1,37 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fhc::util {
+
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* value = std::getenv(name.c_str());
+  return value != nullptr && *value != '\0' ? std::string(value) : fallback;
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end != value ? parsed : fallback;
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  return end != value ? parsed : fallback;
+}
+
+double bench_scale() {
+  return std::clamp(env_double("FHC_SCALE", 1.0), 1e-3, 1.0);
+}
+
+std::uint64_t bench_seed() {
+  return static_cast<std::uint64_t>(env_int("FHC_SEED", 42));
+}
+
+}  // namespace fhc::util

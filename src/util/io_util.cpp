@@ -1,0 +1,47 @@
+#include "util/io_util.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace fhc::util {
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_file: cannot open " + path.string());
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  std::vector<std::uint8_t> data(size);
+  if (size > 0 && !in.read(reinterpret_cast<char*>(data.data()),
+                           static_cast<std::streamsize>(size))) {
+    throw std::runtime_error("read_file: short read on " + path.string());
+  }
+  return data;
+}
+
+void write_file(const std::filesystem::path& path, std::span<const std::uint8_t> data) {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_file: cannot open " + path.string());
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw std::runtime_error("write_file: short write on " + path.string());
+}
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  write_file(path, std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+std::vector<std::filesystem::path> list_files(const std::filesystem::path& root) {
+  std::vector<std::filesystem::path> out;
+  if (!std::filesystem::exists(root)) return out;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file()) out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fhc::util

@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Role in the reproduction: the paper contrasts fuzzy hashing against
+// cryptographic hashing, which "can only be used to find exact matches"
+// (Yamamoto et al., ISC'18). Our crypto-exact-match baseline in
+// bench/ablation_models uses this digest.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace fhc::util {
+
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+
+  /// Absorbs `data`; may be called repeatedly (streaming).
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view text) noexcept {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  }
+
+  /// Finalizes and returns the 32-byte digest. The object must be reset()
+  /// before reuse.
+  std::array<std::uint8_t, 32> finish() noexcept;
+
+  /// One-shot convenience: lowercase hex digest of `data`.
+  static std::string hex_digest(std::span<const std::uint8_t> data);
+  static std::string hex_digest(std::string_view text);
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace fhc::util

@@ -1,0 +1,34 @@
+// Small string helpers shared across subsystems.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fhc::util {
+
+/// Splits `text` on `sep`, keeping empty fields ("a::b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `c` is printable ASCII (0x20..0x7e), the `strings`(1) criterion.
+constexpr bool is_printable_ascii(unsigned char c) noexcept {
+  return c >= 0x20 && c <= 0x7e;
+}
+
+/// Lowercases ASCII in place and returns the argument (no locale).
+std::string to_lower(std::string text);
+
+/// Formats `value` with `decimals` fixed decimals (classification report).
+std::string fixed(double value, int decimals);
+
+/// Left/right pads `text` with spaces to `width` (no truncation).
+std::string pad_left(std::string text, std::size_t width);
+std::string pad_right(std::string text, std::size_t width);
+
+}  // namespace fhc::util

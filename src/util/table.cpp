@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace fhc::util {
+
+TextTable::TextTable(std::vector<std::string> headers, std::vector<Align> alignments)
+    : headers_(std::move(headers)), alignments_(std::move(alignments)) {
+  if (headers_.empty()) throw std::invalid_argument("TextTable: no columns");
+  if (alignments_.empty()) {
+    alignments_.assign(headers_.size(), Align::Left);
+  }
+  if (alignments_.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: alignment count != column count");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += alignments_[c] == Align::Left ? pad_right(cells[c], widths[c])
+                                            : pad_left(cells[c], widths[c]);
+    }
+    // Trailing spaces from a final left-aligned column are noise.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line;
+  };
+
+  std::size_t total = (headers_.size() - 1) * 2;
+  for (const std::size_t w : widths) total += w;
+  const std::string rule(total, '-');
+
+  std::string out = render_cells(headers_);
+  out += '\n';
+  out += rule;
+  out += '\n';
+  for (const Row& row : rows_) {
+    if (row.rule_before) {
+      out += rule;
+      out += '\n';
+    }
+    out += render_cells(row.cells);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace fhc::util

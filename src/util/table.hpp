@@ -1,0 +1,42 @@
+// Plain-text table rendering for the bench harness: produces the same
+// row/column layout the paper's tables use (sklearn classification-report
+// style for Table 4, simple two-column layouts for Tables 1/3/5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fhc::util {
+
+/// Column alignment within a rendered table.
+enum class Align { Left, Right };
+
+class TextTable {
+ public:
+  /// `headers` defines the column count; all rows must match it.
+  explicit TextTable(std::vector<std::string> headers,
+                     std::vector<Align> alignments = {});
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders with single-space-padded columns and '-' rules.
+  std::string render() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace fhc::util

@@ -1,0 +1,107 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace fhc::util {
+
+namespace {
+// Set while a thread is executing inside a pool worker. parallel_for uses
+// it to degrade to serial execution instead of deadlocking on wait_idle()
+// when invoked from within a task (nested parallelism).
+thread_local bool t_inside_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 2;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    t_inside_worker = true;
+    task();
+    t_inside_worker = false;
+    {
+      std::lock_guard lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  grain = std::max<std::size_t>(grain, 1);
+  if (pool.size() <= 1 || n <= grain || t_inside_worker) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Dynamic block scheduling: an atomic cursor hands out grain-sized blocks
+  // so uneven per-index cost (e.g. same-class vs cross-class digest
+  // comparisons) still balances across workers.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
+  const std::size_t tasks = std::min(pool.size(), (n + grain - 1) / grain);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    pool.submit([cursor, end, grain, &fn] {
+      for (;;) {
+        const std::size_t lo = cursor->fetch_add(grain);
+        if (lo >= end) return;
+        const std::size_t hi = std::min(end, lo + grain);
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t grain = std::max<std::size_t>(1, n / (pool.size() * 8));
+  parallel_for(pool, 0, n, grain, fn);
+}
+
+}  // namespace fhc::util

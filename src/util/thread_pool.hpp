@@ -1,0 +1,71 @@
+// Fixed-size worker pool with a blocking task queue, plus parallel_for /
+// parallel_reduce helpers used by the similarity-matrix builder and the
+// random forest trainer.
+//
+// Design notes (shared-memory parallelism per the HPC guides):
+//  * Work is partitioned into contiguous index blocks ("grains") so each
+//    worker streams through cache-adjacent data.
+//  * Determinism: parallel_for never reorders side effects that matter —
+//    callers write to disjoint output slots indexed by the loop variable,
+//    so results are independent of scheduling.
+//  * The pool is explicitly sized (default: hardware_concurrency) and can
+//    be shared across subsystems; a size of 0 or 1 degrades to serial
+//    execution in the calling thread, which keeps unit tests simple.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fhc::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. 0 means "use hardware_concurrency", which
+  /// itself falls back to 2 if the runtime reports 0.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw; exceptions escaping a task
+  /// terminate the process (same contract as std::thread).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Process-wide shared pool, created on first use.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across the pool, in contiguous blocks
+/// of at least `grain` indices. fn must be safe to invoke concurrently for
+/// distinct i. Runs serially when the range is small or the pool has a
+/// single worker.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, const std::function<void(std::size_t)>& fn);
+
+/// parallel_for over [0, n) on the shared pool with a heuristic grain.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace fhc::util

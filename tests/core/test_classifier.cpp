@@ -1,0 +1,233 @@
+// The Fuzzy Hash Classifier: fit/predict, thresholds, importances.
+#include "core/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "corpus/corpus.hpp"
+
+namespace fhc::core {
+namespace {
+
+struct Fixture {
+  std::vector<FeatureHashes> train_hashes;
+  std::vector<int> train_labels;
+  std::vector<FeatureHashes> test_hashes;
+  std::vector<int> test_labels;
+  std::vector<std::string> names;
+  std::vector<FeatureHashes> foreign_hashes;  // class never trained on
+};
+
+Fixture make_fixture() {
+  auto specs = corpus::scaled_app_classes(0.12);
+  // Enough known classes that out-of-distribution samples cannot land in a
+  // confidently wrong leaf (with very few classes a random forest assigns
+  // high probability even to all-zero feature rows).
+  const std::set<std::string> known_names{
+      "Velvet", "HMMER",  "BLAT",   "Exonerate", "Trinity",  "Stacks",
+      "canu",   "Subread", "RSEM",  "MUMmer",    "ViennaRNA", "OpenBabel"};
+  const std::set<std::string> foreign_names{"MCL", "Gurobi", "METIS"};
+  std::vector<corpus::AppClassSpec> keep;
+  for (const auto& spec : specs) {
+    if (known_names.count(spec.name) || foreign_names.count(spec.name)) {
+      keep.push_back(spec);
+    }
+  }
+  corpus::Corpus corpus(keep, 42);
+  Fixture fx;
+  int next_label = 0;
+  std::vector<int> label_of_class(static_cast<std::size_t>(corpus.class_count()), -1);
+  for (int c = 0; c < corpus.class_count(); ++c) {
+    const auto& name = corpus.specs()[static_cast<std::size_t>(c)].name;
+    if (foreign_names.count(name)) continue;  // held out entirely
+    label_of_class[static_cast<std::size_t>(c)] = next_label++;
+    fx.names.push_back(name);
+  }
+  for (const auto& ref : corpus.samples()) {
+    const FeatureHashes hashes = extract_feature_hashes(corpus.sample_bytes(ref));
+    const int label = label_of_class[static_cast<std::size_t>(ref.class_idx)];
+    if (label < 0) {
+      fx.foreign_hashes.push_back(hashes);
+    } else if (ref.version_idx == 0) {
+      fx.test_hashes.push_back(hashes);  // hold out the oldest version
+      fx.test_labels.push_back(label);
+    } else {
+      fx.train_hashes.push_back(hashes);
+      fx.train_labels.push_back(label);
+    }
+  }
+  return fx;
+}
+
+const Fixture& fixture() {
+  static const Fixture fx = make_fixture();
+  return fx;
+}
+
+ClassifierConfig quick_config() {
+  ClassifierConfig config;
+  config.forest.n_estimators = 40;
+  config.forest.seed = 3;
+  config.confidence_threshold = 0.25;
+  return config;
+}
+
+TEST(FuzzyHashClassifier, FitAndPredictKnownClasses) {
+  const Fixture& fx = fixture();
+  FuzzyHashClassifier clf;
+  clf.fit(fx.train_hashes, fx.train_labels, fx.names, quick_config());
+  ASSERT_TRUE(clf.fitted());
+
+  int correct = 0;
+  for (std::size_t i = 0; i < fx.test_hashes.size(); ++i) {
+    const Prediction pred = clf.predict(fx.test_hashes[i]);
+    correct += pred.label == fx.test_labels[i] ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(correct) / fx.test_hashes.size(), 0.6);
+}
+
+TEST(FuzzyHashClassifier, PredictionCarriesCalibratedEvidence) {
+  const Fixture& fx = fixture();
+  FuzzyHashClassifier clf;
+  clf.fit(fx.train_hashes, fx.train_labels, fx.names, quick_config());
+  const Prediction pred = clf.predict(fx.test_hashes[0]);
+  ASSERT_EQ(pred.proba.size(), fx.names.size());
+  // Leaf distributions are stored as floats: tolerance is float-level.
+  EXPECT_NEAR(std::accumulate(pred.proba.begin(), pred.proba.end(), 0.0), 1.0, 1e-5);
+  EXPECT_GE(pred.confidence, 0.0);
+  EXPECT_LE(pred.confidence, 1.0);
+  if (pred.label != ml::kUnknownLabel) {
+    EXPECT_DOUBLE_EQ(pred.confidence,
+                     *std::max_element(pred.proba.begin(), pred.proba.end()));
+  }
+}
+
+TEST(FuzzyHashClassifier, ForeignClassFallsBelowThreshold) {
+  const Fixture& fx = fixture();
+  ClassifierConfig config = quick_config();
+  config.confidence_threshold = 0.5;
+  FuzzyHashClassifier clf;
+  clf.fit(fx.train_hashes, fx.train_labels, fx.names, config);
+  int unknown = 0;
+  for (const FeatureHashes& hashes : fx.foreign_hashes) {
+    unknown += clf.predict(hashes).label == ml::kUnknownLabel ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(unknown) / fx.foreign_hashes.size(), 0.5)
+      << "most never-seen-class samples must be flagged unknown";
+}
+
+TEST(FuzzyHashClassifier, ImpossibleThresholdFlagsEverythingUnknown) {
+  const Fixture& fx = fixture();
+  ClassifierConfig config = quick_config();
+  config.confidence_threshold = 1.01;  // confidence can never reach this
+  FuzzyHashClassifier clf;
+  clf.fit(fx.train_hashes, fx.train_labels, fx.names, config);
+  for (std::size_t i = 0; i < fx.test_hashes.size(); i += 3) {
+    EXPECT_EQ(clf.predict(fx.test_hashes[i]).label, ml::kUnknownLabel);
+  }
+}
+
+TEST(FuzzyHashClassifier, ZeroThresholdNeverFlagsUnknown) {
+  const Fixture& fx = fixture();
+  ClassifierConfig config = quick_config();
+  config.confidence_threshold = 0.0;
+  FuzzyHashClassifier clf;
+  clf.fit(fx.train_hashes, fx.train_labels, fx.names, config);
+  for (const FeatureHashes& hashes : fx.foreign_hashes) {
+    EXPECT_NE(clf.predict(hashes).label, ml::kUnknownLabel);
+  }
+}
+
+TEST(FuzzyHashClassifier, BatchMatchesSinglePredictions) {
+  const Fixture& fx = fixture();
+  FuzzyHashClassifier clf;
+  clf.fit(fx.train_hashes, fx.train_labels, fx.names, quick_config());
+  ml::Matrix proba;
+  const std::vector<int> batch = clf.predict_batch(fx.test_hashes, &proba);
+  ASSERT_EQ(batch.size(), fx.test_hashes.size());
+  ASSERT_EQ(proba.rows(), fx.test_hashes.size());
+  for (std::size_t i = 0; i < fx.test_hashes.size(); i += 2) {
+    EXPECT_EQ(batch[i], clf.predict(fx.test_hashes[i]).label);
+  }
+}
+
+TEST(FuzzyHashClassifier, LabelsFromProbaRespectsThreshold) {
+  const Fixture& fx = fixture();
+  FuzzyHashClassifier clf;
+  clf.fit(fx.train_hashes, fx.train_labels, fx.names, quick_config());
+  ml::Matrix proba;
+  clf.predict_batch(fx.test_hashes, &proba);
+
+  const auto strict = clf.labels_from_proba(proba, 0.99);
+  const auto lax = clf.labels_from_proba(proba, 0.0);
+  int strict_unknown = 0;
+  for (const int label : strict) strict_unknown += label == ml::kUnknownLabel ? 1 : 0;
+  int lax_unknown = 0;
+  for (const int label : lax) lax_unknown += label == ml::kUnknownLabel ? 1 : 0;
+  EXPECT_GE(strict_unknown, lax_unknown);
+  EXPECT_EQ(lax_unknown, 0);
+}
+
+TEST(FuzzyHashClassifier, FeatureTypeImportanceNormalized) {
+  const Fixture& fx = fixture();
+  FuzzyHashClassifier clf;
+  clf.fit(fx.train_hashes, fx.train_labels, fx.names, quick_config());
+  const auto importance = clf.feature_type_importance();
+  EXPECT_NEAR(importance[0] + importance[1] + importance[2], 1.0, 1e-9);
+  for (const double imp : importance) {
+    EXPECT_GE(imp, 0.0);
+    EXPECT_LE(imp, 1.0);
+  }
+}
+
+TEST(FuzzyHashClassifier, ColumnImportancesMatchIndexWidth) {
+  const Fixture& fx = fixture();
+  FuzzyHashClassifier clf;
+  clf.fit(fx.train_hashes, fx.train_labels, fx.names, quick_config());
+  EXPECT_EQ(clf.column_importances().size(),
+            static_cast<std::size_t>(3 * clf.index().n_classes()));
+}
+
+TEST(FuzzyHashClassifier, ChannelMaskRestrictsEvidence) {
+  const Fixture& fx = fixture();
+  ClassifierConfig config = quick_config();
+  config.channels = {false, false, true};  // symbols only
+  FuzzyHashClassifier clf;
+  clf.fit(fx.train_hashes, fx.train_labels, fx.names, config);
+  const auto importance = clf.feature_type_importance();
+  EXPECT_DOUBLE_EQ(importance[0], 0.0);
+  EXPECT_DOUBLE_EQ(importance[1], 0.0);
+  EXPECT_NEAR(importance[2], 1.0, 1e-9);
+}
+
+TEST(FuzzyHashClassifier, SetThresholdWithoutRefit) {
+  const Fixture& fx = fixture();
+  FuzzyHashClassifier clf;
+  clf.fit(fx.train_hashes, fx.train_labels, fx.names, quick_config());
+  clf.set_confidence_threshold(1.01);
+  EXPECT_EQ(clf.predict(fx.test_hashes[0]).label, ml::kUnknownLabel);
+  clf.set_confidence_threshold(0.0);
+  EXPECT_NE(clf.predict(fx.test_hashes[0]).label, ml::kUnknownLabel);
+}
+
+TEST(FuzzyHashClassifier, UnfittedThrows) {
+  FuzzyHashClassifier clf;
+  EXPECT_FALSE(clf.fitted());
+  FeatureHashes hashes;
+  EXPECT_THROW(clf.predict(hashes), std::logic_error);
+  EXPECT_THROW(clf.class_names(), std::logic_error);
+}
+
+TEST(FuzzyHashClassifier, RejectsEmptyOrMismatchedTraining) {
+  FuzzyHashClassifier clf;
+  EXPECT_THROW(clf.fit({}, {}, {}, quick_config()), std::invalid_argument);
+  const Fixture& fx = fixture();
+  std::vector<int> bad_labels(fx.train_hashes.size() - 1, 0);
+  EXPECT_THROW(clf.fit(fx.train_hashes, bad_labels, fx.names, quick_config()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fhc::core

@@ -1,0 +1,134 @@
+// Integration: the full paper protocol at reduced scale must reproduce the
+// qualitative results (shape, not exact numbers).
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+
+namespace fhc::core {
+namespace {
+
+/// One shared medium-scale run (expensive: built once for the suite).
+/// 20% scale is the smallest corpus at which the paper-shape properties
+/// (symbols-dominant importance, unknown P > R) are stable; below that,
+/// 3-sample classes dominate and the operating point shifts.
+const ExperimentResult& shared_result() {
+  static const ExperimentResult result = [] {
+    ExperimentConfig config;
+    config.scale = 0.2;  // ~1200 samples
+    config.seed = 42;
+    config.classifier.forest.n_estimators = 100;
+    config.tune_threshold = true;
+    return run_experiment(config);
+  }();
+  return result;
+}
+
+TEST(EndToEnd, HeadlineScoresInPaperBand) {
+  const ExperimentResult& result = shared_result();
+  // Paper: micro 0.89, macro 0.90, weighted 0.90. At reduced scale we
+  // accept a generous band, but all three must clear 0.6 and stay <= 1.
+  EXPECT_GE(result.report.micro.f1, 0.6);
+  EXPECT_GE(result.report.macro.f1, 0.6);
+  EXPECT_GE(result.report.weighted.f1, 0.6);
+  EXPECT_LE(result.report.micro.f1, 1.0);
+}
+
+TEST(EndToEnd, SymbolsAreTheDominantFeature) {
+  const ExperimentResult& result = shared_result();
+  // Paper Table 5: symbols 0.79 >> strings 0.14 > file 0.07.
+  EXPECT_GT(result.importance[2], result.importance[1]);
+  EXPECT_GT(result.importance[2], result.importance[0]);
+  EXPECT_GT(result.importance[2], 0.33) << "symbols must dominate";
+  EXPECT_LT(result.importance[0], 0.25) << "raw file content least informative";
+}
+
+TEST(EndToEnd, UnknownClassPrecisionExceedsRecall) {
+  // Paper Section 5: "A precision value higher than recall shows that our
+  // model confidently labels a sample as unknown and is usually correct."
+  const ExperimentResult& result = shared_result();
+  for (const auto& m : result.report.per_class) {
+    if (m.label == ml::kUnknownLabel) {
+      EXPECT_GT(m.precision, 0.6);
+      EXPECT_GE(m.precision, m.recall - 0.05);
+      return;
+    }
+  }
+  FAIL() << "report must contain the -1 class";
+}
+
+TEST(EndToEnd, MacroF1DegradesAtExtremeThresholds) {
+  // Paper Figure 3: as the confidence threshold grows, macro f1 falls.
+  const ExperimentResult& result = shared_result();
+  ASSERT_GE(result.threshold_curve.size(), 10u);
+  const auto& low = result.threshold_curve[4];    // threshold 0.20
+  const auto& high = result.threshold_curve.back();  // threshold 0.95
+  EXPECT_GT(low.macro_f1, high.macro_f1);
+}
+
+TEST(EndToEnd, SplitCountsScaleWithPaperProtocol) {
+  const ExperimentResult& result = shared_result();
+  // ~20% of classes (19/92) contribute all their samples as unknown.
+  const double unknown_share = static_cast<double>(result.n_unknown_test) /
+                               static_cast<double>(result.n_test);
+  EXPECT_GT(unknown_share, 0.15);
+  EXPECT_LT(unknown_share, 0.5);
+  EXPECT_EQ(result.n_known_classes, 73);
+  EXPECT_EQ(result.n_classes, 92);
+  EXPECT_EQ(result.n_train + result.n_test, result.n_samples);
+}
+
+TEST(EndToEnd, ReportContainsPaperClasses) {
+  const ExperimentResult& result = shared_result();
+  const std::string text = result.report.to_string();
+  EXPECT_NE(text.find("-1"), std::string::npos);
+  EXPECT_NE(text.find("Velvet"), std::string::npos);
+  EXPECT_NE(text.find("kentUtils"), std::string::npos);
+  EXPECT_NE(text.find("micro avg"), std::string::npos);
+}
+
+TEST(EndToEnd, RenderersProduceAllTables) {
+  // Smoke-render every paper artifact from a tiny corpus.
+  ExperimentConfig config;
+  config.scale = 0.02;
+  config.classifier.forest.n_estimators = 20;
+  config.tune_threshold = false;
+  ExperimentData data = prepare_experiment(config);
+
+  // Table 1 needs the full-scale Velvet class (2 executables per version);
+  // at 2% corpus scale the class shrinks to one sample per version.
+  {
+    std::vector<corpus::AppClassSpec> velvet_only{
+        *corpus::find_class(corpus::paper_app_classes(), "Velvet")};
+    corpus::Corpus velvet_corpus(velvet_only, config.seed);
+    const std::string table1 = render_class_inventory(velvet_corpus, "Velvet");
+    EXPECT_NE(table1.find("velveth, velvetg"), std::string::npos);
+    EXPECT_NE(table1.find("1.2.10-goolf-1.4.10"), std::string::npos);
+  }
+
+  const auto example = make_similarity_example(data.corpus, "OpenMalaria",
+                                               FeatureType::kSymbols,
+                                               ssdeep::EditMetric::kDamerauOsa);
+  EXPECT_GT(example.similarity, 0) << "two OpenMalaria versions must be similar";
+  const std::string table2 = render_similarity_example(example);
+  EXPECT_NE(table2.find("OpenMalaria"), std::string::npos);
+  EXPECT_NE(table2.find("Similarity:"), std::string::npos);
+
+  const std::string table3 = render_unknown_classes(data);
+  EXPECT_NE(table3.find("Schrodinger"), std::string::npos);
+  EXPECT_NE(table3.find("CHARMM"), std::string::npos);
+
+  const std::string fig2 = render_class_sizes(data.corpus.specs());
+  EXPECT_NE(fig2.find("FSL"), std::string::npos);
+
+  const std::string table5 = render_feature_importance({0.07, 0.14, 0.79});
+  EXPECT_NE(table5.find("ssdeep-symbols"), std::string::npos);
+  EXPECT_NE(table5.find("0.7900"), std::string::npos);
+
+  const std::string fig3 = render_threshold_curve(
+      {{0.0, 0.9, 0.9, 0.9}, {0.5, 0.8, 0.7, 0.8}}, 0.0);
+  EXPECT_NE(fig3.find("<- chosen"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fhc::core

@@ -1,0 +1,155 @@
+// Similarity feature matrix: layout, exclude-self, channel masks.
+#include "core/feature_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hpp"
+
+namespace fhc::core {
+namespace {
+
+struct SmallData {
+  std::vector<FeatureHashes> hashes;
+  std::vector<int> labels;
+  std::vector<std::string> names;
+};
+
+SmallData make_small_data() {
+  // Three classes, all samples hashed.
+  auto specs = corpus::scaled_app_classes(0.02);
+  std::vector<corpus::AppClassSpec> keep;
+  for (const auto& spec : specs) {
+    if (spec.name == "Velvet" || spec.name == "HMMER" || spec.name == "BLAT") {
+      keep.push_back(spec);
+    }
+  }
+  corpus::Corpus corpus(keep, 42);
+  SmallData data;
+  for (int c = 0; c < corpus.class_count(); ++c) {
+    data.names.push_back(corpus.specs()[static_cast<std::size_t>(c)].name);
+  }
+  for (const auto& ref : corpus.samples()) {
+    data.hashes.push_back(extract_feature_hashes(corpus.sample_bytes(ref)));
+    data.labels.push_back(ref.class_idx);
+  }
+  return data;
+}
+
+const SmallData& small_data() {
+  static const SmallData data = make_small_data();
+  return data;
+}
+
+TEST(TrainIndex, OrganizesDigestsByClassAndChannel) {
+  const auto& data = small_data();
+  TrainIndex index(data.hashes, data.labels, data.names);
+  EXPECT_EQ(index.n_classes(), 3);
+  EXPECT_EQ(index.train_size(), data.hashes.size());
+
+  std::size_t total = 0;
+  for (int c = 0; c < 3; ++c) {
+    const auto& digests = index.digests(FeatureType::kSymbols, c);
+    EXPECT_EQ(digests.size(), index.train_ids(c).size());
+    total += digests.size();
+  }
+  EXPECT_EQ(total, data.hashes.size());
+}
+
+TEST(TrainIndex, FeatureNamesCoverChannelsTimesClasses) {
+  const auto& data = small_data();
+  TrainIndex index(data.hashes, data.labels, data.names);
+  const auto names = index.feature_names();
+  ASSERT_EQ(names.size(), 9u);  // 3 channels x 3 classes
+  EXPECT_EQ(names[0], "ssdeep-file:" + data.names[0]);
+  EXPECT_EQ(names[3], "ssdeep-strings:" + data.names[0]);
+  EXPECT_EQ(names[6], "ssdeep-symbols:" + data.names[0]);
+}
+
+TEST(TrainIndex, RejectsBadLabels) {
+  const auto& data = small_data();
+  auto bad_labels = data.labels;
+  bad_labels[0] = 99;
+  EXPECT_THROW(TrainIndex(data.hashes, bad_labels, data.names),
+               std::invalid_argument);
+}
+
+TEST(FeatureMatrix, OwnClassColumnDominates) {
+  const auto& data = small_data();
+  TrainIndex index(data.hashes, data.labels, data.names);
+  const ml::Matrix x = build_feature_matrix(index, data.hashes,
+                                            ssdeep::EditMetric::kDamerauOsa);
+  ASSERT_EQ(x.rows(), data.hashes.size());
+  ASSERT_EQ(x.cols(), 9u);
+  const int k = 3;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const int own = data.labels[i];
+    // Without exclude-self the own-class symbols column must be 100.
+    EXPECT_EQ(x.at(i, static_cast<std::size_t>(2 * k + own)), 100.0f);
+  }
+}
+
+TEST(FeatureMatrix, ExcludeSelfRemovesThePerfectMatch) {
+  const auto& data = small_data();
+  TrainIndex index(data.hashes, data.labels, data.names);
+  std::vector<int> exclude(data.hashes.size());
+  for (std::size_t i = 0; i < exclude.size(); ++i) exclude[i] = static_cast<int>(i);
+  const ml::Matrix with_self = build_feature_matrix(index, data.hashes,
+                                                    ssdeep::EditMetric::kDamerauOsa);
+  const ml::Matrix without_self = build_feature_matrix(
+      index, data.hashes, ssdeep::EditMetric::kDamerauOsa, exclude);
+  const int k = 3;
+  bool any_lower = false;
+  for (std::size_t i = 0; i < with_self.rows(); ++i) {
+    const auto own = static_cast<std::size_t>(2 * k + data.labels[i]);
+    EXPECT_LE(without_self.at(i, own), with_self.at(i, own));
+    any_lower |= without_self.at(i, own) < with_self.at(i, own);
+  }
+  EXPECT_TRUE(any_lower) << "exclude-self must change at least some rows";
+}
+
+TEST(FeatureMatrix, ChannelMaskZeroesDisabledGroups) {
+  const auto& data = small_data();
+  TrainIndex index(data.hashes, data.labels, data.names);
+  const ChannelMask symbols_only{false, false, true};
+  const ml::Matrix x = build_feature_matrix(index, data.hashes,
+                                            ssdeep::EditMetric::kDamerauOsa, {},
+                                            symbols_only);
+  const int k = 3;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t c = 0; c < static_cast<std::size_t>(2 * k); ++c) {
+      EXPECT_EQ(x.at(i, c), 0.0f);  // file+strings groups zeroed
+    }
+  }
+  // Symbols group still informative.
+  float max_sym = 0.0f;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t c = static_cast<std::size_t>(2 * k); c < x.cols(); ++c) {
+      max_sym = std::max(max_sym, x.at(i, c));
+    }
+  }
+  EXPECT_GT(max_sym, 0.0f);
+}
+
+TEST(FeatureMatrix, ValuesAreBoundedScores) {
+  const auto& data = small_data();
+  TrainIndex index(data.hashes, data.labels, data.names);
+  const ml::Matrix x = build_feature_matrix(index, data.hashes,
+                                            ssdeep::EditMetric::kDamerauOsa);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      EXPECT_GE(x.at(i, c), 0.0f);
+      EXPECT_LE(x.at(i, c), 100.0f);
+    }
+  }
+}
+
+TEST(FeatureMatrix, RejectsMismatchedExcludeIds) {
+  const auto& data = small_data();
+  TrainIndex index(data.hashes, data.labels, data.names);
+  EXPECT_THROW(build_feature_matrix(index, data.hashes,
+                                    ssdeep::EditMetric::kDamerauOsa, {1, 2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fhc::core

@@ -1,0 +1,94 @@
+// Feature extraction: three channels per executable.
+#include "core/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/app_spec.hpp"
+#include "corpus/synth_app.hpp"
+#include "ssdeep/compare.hpp"
+
+namespace fhc::core {
+namespace {
+
+corpus::SampleSynthesizer make_synth(const char* name, std::uint64_t seed = 42) {
+  const corpus::AppClassSpec* spec =
+      corpus::find_class(corpus::paper_app_classes(), name);
+  EXPECT_NE(spec, nullptr);
+  return corpus::SampleSynthesizer(*spec, seed);
+}
+
+TEST(FeatureTypeName, MatchesPaperTableFive) {
+  EXPECT_EQ(feature_type_name(FeatureType::kFile), "ssdeep-file");
+  EXPECT_EQ(feature_type_name(FeatureType::kStrings), "ssdeep-strings");
+  EXPECT_EQ(feature_type_name(FeatureType::kSymbols), "ssdeep-symbols");
+}
+
+TEST(ExtractFeatureHashes, ProducesThreeDistinctChannels) {
+  const auto synth = make_synth("HMMER");
+  const auto image = synth.build(0, 0);
+  const FeatureHashes hashes = extract_feature_hashes(image);
+
+  EXPECT_TRUE(hashes.has_symbols);
+  EXPECT_FALSE(hashes.file.part1.empty());
+  EXPECT_FALSE(hashes.strings.part1.empty());
+  EXPECT_FALSE(hashes.symbols.part1.empty());
+  // The channels hash different texts -> different digests.
+  EXPECT_NE(hashes.file.to_string(), hashes.strings.to_string());
+  EXPECT_NE(hashes.strings.to_string(), hashes.symbols.to_string());
+}
+
+TEST(ExtractFeatureHashes, DeterministicForSameImage) {
+  const auto synth = make_synth("HMMER");
+  const auto image = synth.build(0, 0);
+  const FeatureHashes a = extract_feature_hashes(image);
+  const FeatureHashes b = extract_feature_hashes(image);
+  EXPECT_EQ(a.file, b.file);
+  EXPECT_EQ(a.strings, b.strings);
+  EXPECT_EQ(a.symbols, b.symbols);
+}
+
+TEST(ExtractFeatureHashes, StrippedBinaryLosesSymbolsChannel) {
+  const auto synth = make_synth("HMMER");
+  const auto image = synth.build(0, 0, /*stripped=*/true);
+  const FeatureHashes hashes = extract_feature_hashes(image);
+  EXPECT_FALSE(hashes.has_symbols);
+  EXPECT_TRUE(hashes.symbols.part1.empty());  // digest of empty text
+  // The other two channels survive.
+  EXPECT_FALSE(hashes.file.part1.empty());
+  EXPECT_FALSE(hashes.strings.part1.empty());
+}
+
+TEST(ExtractFeatureHashes, StrippedSymbolsCompareAsZero) {
+  const auto synth = make_synth("HMMER");
+  const FeatureHashes regular = extract_feature_hashes(synth.build(0, 0));
+  const FeatureHashes stripped = extract_feature_hashes(synth.build(0, 0, true));
+  EXPECT_EQ(ssdeep::compare_digests(regular.symbols, stripped.symbols), 0);
+}
+
+TEST(ExtractFeatureHashes, NonElfInputHandledGracefully) {
+  const std::vector<std::uint8_t> text_file{'j', 'u', 's', 't', ' ', 't', 'e',
+                                            'x', 't', ' ', 'd', 'a', 't', 'a'};
+  const FeatureHashes hashes = extract_feature_hashes(text_file);
+  EXPECT_FALSE(hashes.has_symbols);
+  EXPECT_FALSE(hashes.strings.part1.empty());  // strings still extracts text
+}
+
+TEST(FeatureHashesOf, IndexesChannels) {
+  const auto synth = make_synth("Velvet");
+  const FeatureHashes hashes = extract_feature_hashes(synth.build(0, 0));
+  EXPECT_EQ(hashes.of(FeatureType::kFile), hashes.file);
+  EXPECT_EQ(hashes.of(FeatureType::kStrings), hashes.strings);
+  EXPECT_EQ(hashes.of(FeatureType::kSymbols), hashes.symbols);
+}
+
+TEST(ExtractFeatureHashes, SymbolsChannelMostStableAcrossVersions) {
+  const auto synth = make_synth("Exonerate");
+  const FeatureHashes v0 = extract_feature_hashes(synth.build(0, 0));
+  const FeatureHashes v1 = extract_feature_hashes(synth.build(1, 0));
+  const int sym = ssdeep::compare_digests(v0.symbols, v1.symbols);
+  const int file = ssdeep::compare_digests(v0.file, v1.file);
+  EXPECT_GT(sym, file) << "Table 5's stability ordering";
+}
+
+}  // namespace
+}  // namespace fhc::core

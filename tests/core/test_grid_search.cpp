@@ -1,0 +1,90 @@
+// Hyperparameter grid search (paper Section 3's tuning protocol).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pipeline.hpp"
+
+namespace fhc::core {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.scale = 0.02;
+  config.seed = 42;
+  config.classifier.forest.n_estimators = 20;
+  config.tune_threshold = false;
+  config.threshold_grid = {0.1, 0.3, 0.5};
+  return config;
+}
+
+TEST(GridSearch, EvaluatesEveryCombination) {
+  ExperimentConfig config = tiny_config();
+  ExperimentData data = prepare_experiment(config);
+  RfGrid grid;
+  grid.n_estimators = {10, 20};
+  grid.criteria = {ml::Criterion::kGini, ml::Criterion::kEntropy};
+  grid.max_depths = {0, 8};
+  ASSERT_EQ(grid.combination_count(), 8u);
+
+  const GridSearchResult result = grid_search_hyperparameters(config, data, grid);
+  EXPECT_EQ(result.combinations_evaluated, 8u);
+  EXPECT_GT(result.best_score, 0.0);
+  EXPECT_LE(result.best_score, 3.0);  // micro+macro+weighted each <= 1
+}
+
+TEST(GridSearch, BestParamsComeFromTheGrid) {
+  ExperimentConfig config = tiny_config();
+  ExperimentData data = prepare_experiment(config);
+  RfGrid grid;
+  grid.n_estimators = {15, 25};
+  grid.min_samples_leafs = {1, 3};
+
+  const GridSearchResult result = grid_search_hyperparameters(config, data, grid);
+  EXPECT_TRUE(result.best_params.n_estimators == 15 ||
+              result.best_params.n_estimators == 25);
+  EXPECT_TRUE(result.best_params.tree.min_samples_leaf == 1 ||
+              result.best_params.tree.min_samples_leaf == 3);
+  const auto& thresholds = config.threshold_grid;
+  EXPECT_NE(std::find(thresholds.begin(), thresholds.end(), result.best_threshold),
+            thresholds.end());
+}
+
+TEST(GridSearch, DeterministicAcrossRuns) {
+  ExperimentConfig config = tiny_config();
+  ExperimentData data = prepare_experiment(config);
+  RfGrid grid;
+  grid.n_estimators = {12, 18};
+
+  const GridSearchResult a = grid_search_hyperparameters(config, data, grid);
+  const GridSearchResult b = grid_search_hyperparameters(config, data, grid);
+  EXPECT_EQ(a.best_params.n_estimators, b.best_params.n_estimators);
+  EXPECT_DOUBLE_EQ(a.best_score, b.best_score);
+  EXPECT_DOUBLE_EQ(a.best_threshold, b.best_threshold);
+}
+
+TEST(GridSearch, DefaultGridIsSmallButNonTrivial) {
+  const RfGrid grid;
+  EXPECT_GE(grid.combination_count(), 2u);
+  EXPECT_LE(grid.combination_count(), 64u);
+}
+
+TEST(GridSearch, TunedParamsImproveOrMatchUntuned) {
+  // The winning configuration cannot score worse on the inner split than
+  // an arbitrary single grid point (it was selected as the max).
+  ExperimentConfig config = tiny_config();
+  ExperimentData data = prepare_experiment(config);
+  RfGrid wide;
+  wide.n_estimators = {5, 30};
+  wide.max_depths = {2, 0};
+  const GridSearchResult best = grid_search_hyperparameters(config, data, wide);
+
+  RfGrid narrow;
+  narrow.n_estimators = {5};
+  narrow.max_depths = {2};
+  const GridSearchResult single = grid_search_hyperparameters(config, data, narrow);
+  EXPECT_GE(best.best_score, single.best_score);
+}
+
+}  // namespace
+}  // namespace fhc::core

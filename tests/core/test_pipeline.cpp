@@ -1,0 +1,205 @@
+// Experiment pipeline: split protocol, threshold tuning, ablations.
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fhc::core {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.scale = 0.02;  // ~280 samples
+  config.seed = 42;
+  config.classifier.forest.n_estimators = 30;
+  config.tune_threshold = false;
+  config.classifier.confidence_threshold = 0.25;
+  return config;
+}
+
+const ExperimentData& tiny_data() {
+  static ExperimentData data = prepare_experiment(tiny_config());
+  return data;
+}
+
+TEST(PrepareExperiment, HashesEverySample) {
+  const ExperimentData& data = tiny_data();
+  EXPECT_EQ(data.hashes.size(), data.corpus.samples().size());
+  EXPECT_EQ(data.corpus.class_count(), 92);
+}
+
+TEST(PrepareExperiment, PinnedUnknownsMatchTableThree) {
+  const ExperimentData& data = tiny_data();
+  int unknown_classes = 0;
+  for (int c = 0; c < data.corpus.class_count(); ++c) {
+    const bool is_unknown = data.split.class_is_unknown[static_cast<std::size_t>(c)];
+    EXPECT_EQ(is_unknown, data.corpus.specs()[static_cast<std::size_t>(c)].paper_unknown)
+        << data.corpus.specs()[static_cast<std::size_t>(c)].name;
+    unknown_classes += is_unknown ? 1 : 0;
+  }
+  EXPECT_EQ(unknown_classes, 19);
+  EXPECT_EQ(data.model_class_names.size(), 73u);
+}
+
+TEST(PrepareExperiment, TrainTestPartition) {
+  const ExperimentData& data = tiny_data();
+  std::set<std::size_t> seen(data.train_indices.begin(), data.train_indices.end());
+  for (const std::size_t i : data.test_indices) {
+    EXPECT_EQ(seen.count(i), 0u) << "index in both sides";
+    seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), data.hashes.size());
+}
+
+TEST(PrepareExperiment, TrainLabelsAreDenseKnownLabels) {
+  const ExperimentData& data = tiny_data();
+  ASSERT_EQ(data.train_labels.size(), data.train_indices.size());
+  for (const int label : data.train_labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, static_cast<int>(data.model_class_names.size()));
+  }
+}
+
+TEST(PrepareExperiment, TestTruthMarksUnknownPool) {
+  const ExperimentData& data = tiny_data();
+  std::size_t unknown = 0;
+  for (const int label : data.test_truth) unknown += label == ml::kUnknownLabel ? 1 : 0;
+  EXPECT_EQ(unknown, data.split.unknown_test_count);
+  EXPECT_GT(unknown, 0u);
+}
+
+TEST(PrepareExperiment, RandomSplitModeDiffersFromPinned) {
+  ExperimentConfig config = tiny_config();
+  config.pin_paper_unknowns = false;
+  const ExperimentData data = prepare_experiment(config);
+  int mismatches = 0;
+  for (int c = 0; c < data.corpus.class_count(); ++c) {
+    if (data.split.class_is_unknown[static_cast<std::size_t>(c)] !=
+        data.corpus.specs()[static_cast<std::size_t>(c)].paper_unknown) {
+      ++mismatches;
+    }
+  }
+  EXPECT_GT(mismatches, 0) << "random mode should not replicate Table 3 exactly";
+}
+
+TEST(RunExperiment, ProducesPlausibleReport) {
+  ExperimentConfig config = tiny_config();
+  ExperimentData data = prepare_experiment(config);
+  const ExperimentResult result = run_experiment(config, data);
+
+  EXPECT_EQ(result.n_samples, data.hashes.size());
+  EXPECT_EQ(result.n_known_classes, 73);
+  EXPECT_EQ(result.report.total_support, data.test_indices.size());
+  // At 2% scale most classes have 3 samples (2 train / 1 test); this is a
+  // smoke bound — the calibrated band is asserted in test_end_to_end.cpp.
+  EXPECT_GT(result.report.micro.f1, 0.5);
+  EXPECT_GT(result.report.macro.f1, 0.25);
+  // Importances are a distribution over the three channels.
+  EXPECT_NEAR(result.importance[0] + result.importance[1] + result.importance[2],
+              1.0, 1e-9);
+}
+
+TEST(RunExperiment, ThresholdTuningProducesCurve) {
+  ExperimentConfig config = tiny_config();
+  config.tune_threshold = true;
+  config.threshold_grid = {0.0, 0.2, 0.4, 0.6};
+  ExperimentData data = prepare_experiment(config);
+  const ExperimentResult result = run_experiment(config, data);
+  ASSERT_EQ(result.threshold_curve.size(), 4u);
+  for (std::size_t i = 0; i < result.threshold_curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.threshold_curve[i].threshold, config.threshold_grid[i]);
+    EXPECT_GE(result.threshold_curve[i].macro_f1, 0.0);
+    EXPECT_LE(result.threshold_curve[i].macro_f1, 1.0);
+  }
+  // Chosen threshold must be one of the grid points.
+  bool on_grid = false;
+  for (const double t : config.threshold_grid) {
+    on_grid |= t == result.chosen_threshold;
+  }
+  EXPECT_TRUE(on_grid);
+}
+
+TEST(RunExperiment, DeterministicAcrossRuns) {
+  ExperimentConfig config = tiny_config();
+  const ExperimentResult a = run_experiment(config);
+  const ExperimentResult b = run_experiment(config);
+  EXPECT_DOUBLE_EQ(a.report.micro.f1, b.report.micro.f1);
+  EXPECT_DOUBLE_EQ(a.report.macro.f1, b.report.macro.f1);
+  EXPECT_DOUBLE_EQ(a.importance[2], b.importance[2]);
+}
+
+TEST(SweepThresholds, HigherThresholdMeansMoreUnknownPredictions) {
+  ExperimentConfig config = tiny_config();
+  ExperimentData data = prepare_experiment(config);
+  FuzzyHashClassifier clf;
+  clf.fit(data.gather_hashes(data.train_indices), data.train_labels,
+          data.model_class_names, config.classifier);
+  ml::Matrix proba;
+  clf.predict_batch(data.gather_hashes(data.test_indices), &proba);
+
+  const auto count_unknown = [&](double threshold) {
+    int unknown = 0;
+    for (const int label : clf.labels_from_proba(proba, threshold)) {
+      unknown += label == ml::kUnknownLabel ? 1 : 0;
+    }
+    return unknown;
+  };
+  EXPECT_LE(count_unknown(0.1), count_unknown(0.5));
+  EXPECT_LE(count_unknown(0.5), count_unknown(0.9));
+}
+
+TEST(ModelAblation, RunsAllFourModels) {
+  ExperimentConfig config = tiny_config();
+  ExperimentData data = prepare_experiment(config);
+  const auto rows = run_model_ablation(
+      config, data,
+      {ModelKind::kRandomForest, ModelKind::kKnn, ModelKind::kLinearSvm,
+       ModelKind::kCryptoExact});
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& row : rows) {
+    EXPECT_GE(row.micro_f1, 0.0);
+    EXPECT_LE(row.micro_f1, 1.0);
+  }
+}
+
+TEST(ModelAblation, CryptoExactOnlyMatchesDuplicates) {
+  // Every sample is a distinct binary, so exact SHA-256 matching cannot
+  // label any known-class test sample; the micro score equals the share of
+  // unknown-pool samples (all predicted "-1" and all unknowns truly "-1").
+  ExperimentConfig config = tiny_config();
+  ExperimentData data = prepare_experiment(config);
+  const auto rows = run_model_ablation(config, data, {ModelKind::kCryptoExact});
+  ASSERT_EQ(rows.size(), 1u);
+  const double unknown_share = static_cast<double>(data.split.unknown_test_count) /
+                               static_cast<double>(data.test_indices.size());
+  EXPECT_NEAR(rows[0].micro_f1, unknown_share, 1e-9);
+}
+
+TEST(ModelAblation, FuzzyModelsBeatCryptoBaseline) {
+  ExperimentConfig config = tiny_config();
+  ExperimentData data = prepare_experiment(config);
+  const auto rows = run_model_ablation(
+      config, data, {ModelKind::kRandomForest, ModelKind::kCryptoExact});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_GT(rows[0].macro_f1, rows[1].macro_f1)
+      << "the paper's core claim: fuzzy similarity >> exact matching";
+}
+
+TEST(ModelKindName, AllNamed) {
+  EXPECT_FALSE(std::string(model_kind_name(ModelKind::kRandomForest)).empty());
+  EXPECT_FALSE(std::string(model_kind_name(ModelKind::kKnn)).empty());
+  EXPECT_FALSE(std::string(model_kind_name(ModelKind::kLinearSvm)).empty());
+  EXPECT_FALSE(std::string(model_kind_name(ModelKind::kCryptoExact)).empty());
+}
+
+TEST(DefaultThresholdGrid, CoversOperatingRange) {
+  const auto grid = ExperimentConfig::default_threshold_grid();
+  ASSERT_GE(grid.size(), 10u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_NEAR(grid.back(), 0.95, 1e-9);
+  for (std::size_t i = 1; i < grid.size(); ++i) EXPECT_GT(grid[i], grid[i - 1]);
+}
+
+}  // namespace
+}  // namespace fhc::core

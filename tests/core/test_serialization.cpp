@@ -1,0 +1,142 @@
+// Model persistence: save/load roundtrip must preserve predictions exactly
+// (the train-once / classify-in-prolog deployment path).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "core/classifier.hpp"
+#include "corpus/corpus.hpp"
+
+namespace fhc::core {
+namespace {
+
+struct TrainedModel {
+  FuzzyHashClassifier clf;
+  std::vector<FeatureHashes> probes;
+};
+
+TrainedModel make_model() {
+  auto specs = corpus::scaled_app_classes(0.03);
+  std::vector<corpus::AppClassSpec> keep;
+  for (const auto& spec : specs) {
+    if (spec.name == "Velvet" || spec.name == "HMMER" ||
+        spec.name == "Celera Assembler" || spec.name == "BLAT") {
+      keep.push_back(spec);
+    }
+  }
+  corpus::Corpus corpus(keep, 42);
+  std::vector<FeatureHashes> hashes;
+  std::vector<int> labels;
+  std::vector<std::string> names;
+  for (int c = 0; c < corpus.class_count(); ++c) {
+    names.push_back(corpus.specs()[static_cast<std::size_t>(c)].name);
+  }
+  for (const auto& ref : corpus.samples()) {
+    hashes.push_back(extract_feature_hashes(corpus.sample_bytes(ref)));
+    labels.push_back(ref.class_idx);
+  }
+  ClassifierConfig config;
+  config.forest.n_estimators = 25;
+  config.confidence_threshold = 0.2;
+  TrainedModel model;
+  model.clf.fit(hashes, labels, names, config);
+  model.probes.assign(hashes.begin(), hashes.begin() + 8);
+  return model;
+}
+
+const TrainedModel& model() {
+  static const TrainedModel m = make_model();
+  return m;
+}
+
+TEST(Serialization, RoundTripPreservesPredictions) {
+  std::stringstream buffer;
+  model().clf.save(buffer);
+
+  FuzzyHashClassifier restored;
+  restored.load(buffer);
+  ASSERT_TRUE(restored.fitted());
+  EXPECT_EQ(restored.class_names(), model().clf.class_names());
+
+  for (const FeatureHashes& probe : model().probes) {
+    const Prediction a = model().clf.predict(probe);
+    const Prediction b = restored.predict(probe);
+    EXPECT_EQ(a.label, b.label);
+    ASSERT_EQ(a.proba.size(), b.proba.size());
+    for (std::size_t c = 0; c < a.proba.size(); ++c) {
+      EXPECT_NEAR(a.proba[c], b.proba[c], 1e-6);
+    }
+  }
+}
+
+TEST(Serialization, RoundTripPreservesImportances) {
+  std::stringstream buffer;
+  model().clf.save(buffer);
+  FuzzyHashClassifier restored;
+  restored.load(buffer);
+  const auto original = model().clf.feature_type_importance();
+  const auto loaded = restored.feature_type_importance();
+  for (std::size_t f = 0; f < original.size(); ++f) {
+    EXPECT_NEAR(original[f], loaded[f], 1e-9);
+  }
+}
+
+TEST(Serialization, SaveIsDeterministic) {
+  std::stringstream a;
+  std::stringstream b;
+  model().clf.save(a);
+  model().clf.save(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("fhc_model_" + std::to_string(::getpid()) + ".fhc");
+  model().clf.save_file(path.string());
+  const FuzzyHashClassifier restored = FuzzyHashClassifier::load_file(path.string());
+  EXPECT_EQ(restored.class_names(), model().clf.class_names());
+  const Prediction a = model().clf.predict(model().probes[0]);
+  const Prediction b = restored.predict(model().probes[0]);
+  EXPECT_EQ(a.label, b.label);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialization, RejectsBadMagic) {
+  std::stringstream buffer("not-a-model\nmetric 0\n");
+  FuzzyHashClassifier clf;
+  EXPECT_THROW(clf.load(buffer), std::runtime_error);
+}
+
+TEST(Serialization, RejectsTruncatedModel) {
+  std::stringstream buffer;
+  model().clf.save(buffer);
+  const std::string full = buffer.str();
+  // Cut at several depths: header, class names, digests, forest.
+  for (const double fraction : {0.1, 0.4, 0.7, 0.95}) {
+    std::stringstream cut(full.substr(0, static_cast<std::size_t>(
+                                             full.size() * fraction)));
+    FuzzyHashClassifier clf;
+    EXPECT_THROW(clf.load(cut), std::runtime_error) << "fraction " << fraction;
+  }
+}
+
+TEST(Serialization, RejectsUnfittedSave) {
+  FuzzyHashClassifier clf;
+  std::stringstream buffer;
+  EXPECT_THROW(clf.save(buffer), std::logic_error);
+}
+
+TEST(Serialization, LoadedModelThresholdIsAdjustable) {
+  std::stringstream buffer;
+  model().clf.save(buffer);
+  FuzzyHashClassifier restored;
+  restored.load(buffer);
+  restored.set_confidence_threshold(1.01);
+  EXPECT_EQ(restored.predict(model().probes[0]).label, ml::kUnknownLabel);
+}
+
+}  // namespace
+}  // namespace fhc::core

@@ -1,0 +1,145 @@
+// The reconstructed dataset composition must match the paper exactly.
+#include "corpus/app_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fhc::corpus {
+namespace {
+
+TEST(PaperAppClasses, HasNinetyTwoClasses) {
+  EXPECT_EQ(paper_app_classes().size(), 92u);
+}
+
+TEST(PaperAppClasses, TotalsMatchPaper) {
+  // 5333 samples overall (paper Abstract / Section 3).
+  EXPECT_EQ(total_sample_count(paper_app_classes()), 5333);
+}
+
+TEST(PaperAppClasses, UnknownPoolMatchesTableThree) {
+  int unknown_classes = 0;
+  int unknown_samples = 0;
+  for (const AppClassSpec& spec : paper_app_classes()) {
+    if (spec.paper_unknown) {
+      ++unknown_classes;
+      unknown_samples += spec.total_samples;
+    }
+  }
+  EXPECT_EQ(unknown_classes, 19);   // Table 3 rows
+  EXPECT_EQ(unknown_samples, 852);  // Table 3 sum
+}
+
+TEST(PaperAppClasses, KnownSupportMatchesTableFour) {
+  int known_classes = 0;
+  int support_sum = 0;
+  for (const AppClassSpec& spec : paper_app_classes()) {
+    if (!spec.paper_unknown) {
+      ++known_classes;
+      support_sum += spec.paper_test_support;
+    }
+  }
+  EXPECT_EQ(known_classes, 73);
+  EXPECT_EQ(support_sum, 1793);  // 2645 test - 852 unknown
+}
+
+TEST(PaperAppClasses, StratifiedSplitReconstructionIsConsistent) {
+  // For every known class, round-half-up of 40% of the total must equal
+  // the paper's reported test support.
+  for (const AppClassSpec& spec : paper_app_classes()) {
+    if (spec.paper_unknown) continue;
+    const int predicted_test =
+        static_cast<int>(0.4 * spec.total_samples + 0.5);
+    EXPECT_EQ(predicted_test, spec.paper_test_support) << spec.name;
+  }
+}
+
+TEST(PaperAppClasses, EveryClassHasAtLeastThreeSamples) {
+  for (const AppClassSpec& spec : paper_app_classes()) {
+    EXPECT_GE(spec.total_samples, 3) << spec.name;
+  }
+}
+
+TEST(PaperAppClasses, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const AppClassSpec& spec : paper_app_classes()) names.insert(spec.name);
+  EXPECT_EQ(names.size(), 92u);
+}
+
+TEST(PaperAppClasses, LineagePairsShareLineage) {
+  const auto& specs = paper_app_classes();
+  const AppClassSpec* cell1 = find_class(specs, "CellRanger");
+  const AppClassSpec* cell2 = find_class(specs, "Cell-Ranger");
+  ASSERT_NE(cell1, nullptr);
+  ASSERT_NE(cell2, nullptr);
+  EXPECT_EQ(cell1->lineage, cell2->lineage);
+
+  const AppClassSpec* aug1 = find_class(specs, "Augustus");
+  const AppClassSpec* aug2 = find_class(specs, "AUGUSTUS");
+  ASSERT_NE(aug1, nullptr);
+  ASSERT_NE(aug2, nullptr);
+  EXPECT_EQ(aug1->lineage, aug2->lineage);
+  EXPECT_FALSE(aug1->paper_unknown);
+  EXPECT_TRUE(aug2->paper_unknown);
+}
+
+TEST(PaperAppClasses, CellRangerVersionRangesAreDisjoint) {
+  const auto& specs = paper_app_classes();
+  const AppClassSpec* newer = find_class(specs, "CellRanger");
+  const AppClassSpec* older = find_class(specs, "Cell-Ranger");
+  ASSERT_TRUE(newer && older);
+  for (const auto& v_new : newer->version_names) {
+    for (const auto& v_old : older->version_names) EXPECT_NE(v_new, v_old);
+  }
+}
+
+TEST(PaperAppClasses, VelvetMatchesTableOne) {
+  const AppClassSpec* velvet = find_class(paper_app_classes(), "Velvet");
+  ASSERT_NE(velvet, nullptr);
+  EXPECT_EQ(velvet->total_samples, 6);  // 3 versions x 2 executables
+  ASSERT_EQ(velvet->version_names.size(), 3u);
+  ASSERT_EQ(velvet->exec_names.size(), 2u);
+  EXPECT_EQ(velvet->exec_names[0], "velveth");
+  EXPECT_EQ(velvet->exec_names[1], "velvetg");
+}
+
+TEST(PaperAppClasses, OpenMalariaHasTableTwoVersions) {
+  const AppClassSpec* om = find_class(paper_app_classes(), "OpenMalaria");
+  ASSERT_NE(om, nullptr);
+  EXPECT_TRUE(om->paper_unknown);  // Table 3 row
+  ASSERT_GE(om->version_names.size(), 2u);
+  EXPECT_EQ(om->version_names[0], "46.0-iomkl-2019.01");
+  EXPECT_EQ(om->version_names[1], "43.1-foss-2021a");
+}
+
+TEST(PaperAppClasses, FamiliesCoverRelatedProjects) {
+  const auto& specs = paper_app_classes();
+  EXPECT_EQ(find_class(specs, "HTSlib")->family, "htslib");
+  EXPECT_EQ(find_class(specs, "SAMtools")->family, "htslib");
+  EXPECT_EQ(find_class(specs, "TopHat")->family, "tuxedo");
+  EXPECT_EQ(find_class(specs, "Kraken")->family, find_class(specs, "Kraken2")->family);
+  EXPECT_TRUE(find_class(specs, "FSL")->family.empty());
+}
+
+TEST(ScaledAppClasses, ScalesWithFloorOfThree) {
+  const auto scaled = scaled_app_classes(0.1);
+  EXPECT_EQ(scaled.size(), 92u);
+  for (const AppClassSpec& spec : scaled) {
+    EXPECT_GE(spec.total_samples, 3) << spec.name;
+  }
+  const AppClassSpec* fsl = find_class(scaled, "FSL");
+  ASSERT_NE(fsl, nullptr);
+  EXPECT_EQ(fsl->total_samples, 87);  // floor(878 * 0.1)
+}
+
+TEST(ScaledAppClasses, ScaleOneIsIdentity) {
+  EXPECT_EQ(total_sample_count(scaled_app_classes(1.0)), 5333);
+  EXPECT_EQ(total_sample_count(scaled_app_classes(2.0)), 5333);  // clamped
+}
+
+TEST(FindClass, ReturnsNullForMissing) {
+  EXPECT_EQ(find_class(paper_app_classes(), "NotARealApp"), nullptr);
+}
+
+}  // namespace
+}  // namespace fhc::corpus

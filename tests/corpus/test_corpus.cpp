@@ -1,0 +1,115 @@
+// Corpus enumeration, regeneration and on-disk materialization.
+#include "corpus/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "elf/elf_reader.hpp"
+#include "util/io_util.hpp"
+
+namespace fhc::corpus {
+namespace {
+
+std::vector<AppClassSpec> tiny_specs() {
+  // Three small classes for fast tests.
+  auto specs = scaled_app_classes(0.01);
+  std::vector<AppClassSpec> out;
+  for (const auto& spec : specs) {
+    if (spec.name == "Velvet" || spec.name == "OpenMalaria" || spec.name == "HMMER") {
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+TEST(Corpus, EnumeratesDeclaredSampleCounts) {
+  Corpus corpus(tiny_specs(), 42);
+  int expected = 0;
+  for (const auto& spec : corpus.specs()) expected += spec.total_samples;
+  EXPECT_EQ(corpus.samples().size(), static_cast<std::size_t>(expected));
+}
+
+TEST(Corpus, FullScaleEnumerates5333) {
+  Corpus corpus(paper_app_classes(), 42);
+  EXPECT_EQ(corpus.samples().size(), 5333u);
+  EXPECT_EQ(corpus.class_count(), 92);
+}
+
+TEST(Corpus, SampleIndicesAreSequential) {
+  Corpus corpus(tiny_specs(), 42);
+  for (std::size_t i = 0; i < corpus.samples().size(); ++i) {
+    EXPECT_EQ(corpus.samples()[i].sample_idx, static_cast<int>(i));
+  }
+}
+
+TEST(Corpus, RelPathsAreUnique) {
+  Corpus corpus(tiny_specs(), 42);
+  std::set<std::string> paths;
+  for (const SampleRef& ref : corpus.samples()) paths.insert(ref.rel_path());
+  EXPECT_EQ(paths.size(), corpus.samples().size());
+}
+
+TEST(Corpus, RelPathHasSciCoreLayout) {
+  Corpus corpus(tiny_specs(), 42);
+  bool found = false;
+  for (const SampleRef& ref : corpus.samples()) {
+    if (ref.class_name == "Velvet" && ref.exec_name == "velveth") {
+      EXPECT_EQ(ref.rel_path().find("Velvet/"), 0u);
+      EXPECT_NE(ref.rel_path().find("/velveth"), std::string::npos);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Corpus, BytesAreDeterministicAcrossInstances) {
+  Corpus a(tiny_specs(), 42);
+  Corpus b(tiny_specs(), 42);
+  for (std::size_t i = 0; i < a.samples().size(); i += 2) {
+    EXPECT_EQ(a.sample_bytes(a.samples()[i]), b.sample_bytes(b.samples()[i]));
+  }
+}
+
+TEST(Corpus, SamplesOfClassPartitionTheCorpus) {
+  Corpus corpus(tiny_specs(), 42);
+  std::size_t total = 0;
+  for (int c = 0; c < corpus.class_count(); ++c) {
+    const auto ids = corpus.samples_of_class(c);
+    total += ids.size();
+    for (const int id : ids) {
+      EXPECT_EQ(corpus.samples()[static_cast<std::size_t>(id)].class_idx, c);
+    }
+  }
+  EXPECT_EQ(total, corpus.samples().size());
+}
+
+TEST(Corpus, MaterializeWritesAllFiles) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("fhc_corpus_test_" + std::to_string(::getpid()));
+  Corpus corpus(tiny_specs(), 42);
+  const std::size_t written = corpus.materialize(dir);
+  EXPECT_EQ(written, corpus.samples().size());
+
+  const auto files = fhc::util::list_files(dir);
+  EXPECT_EQ(files.size(), corpus.samples().size());
+
+  // Every materialized file parses as ELF and matches in-memory bytes.
+  const SampleRef& first = corpus.samples()[0];
+  const auto on_disk = fhc::util::read_file(dir / first.rel_path());
+  EXPECT_EQ(on_disk, corpus.sample_bytes(first));
+  EXPECT_TRUE(elf::ElfReader::looks_like_elf(on_disk));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Corpus, StrippedBytesDifferFromRegular) {
+  Corpus corpus(tiny_specs(), 42);
+  const SampleRef& ref = corpus.samples()[0];
+  EXPECT_NE(corpus.sample_bytes(ref, /*stripped=*/true),
+            corpus.sample_bytes(ref, /*stripped=*/false));
+}
+
+}  // namespace
+}  // namespace fhc::corpus

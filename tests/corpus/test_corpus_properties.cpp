@@ -1,0 +1,112 @@
+// Property sweeps over the corpus generator (TEST_P across seeds):
+// determinism, structural invariants, and channel-contract stability that
+// the classifier's correctness rests on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "corpus/corpus.hpp"
+#include "elf/elf_reader.hpp"
+#include "elf/symbols_extract.hpp"
+#include "util/sha256.hpp"
+
+namespace fhc::corpus {
+namespace {
+
+std::vector<AppClassSpec> small_specs() {
+  std::vector<AppClassSpec> out;
+  for (const auto& spec : scaled_app_classes(0.02)) {
+    if (spec.name == "HMMER" || spec.name == "Velvet" || spec.name == "XDS" ||
+        spec.name == "MCL" || spec.name == "Kraken2") {
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+class CorpusSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorpusSeedSweep, RegenerationIsBitIdentical) {
+  const std::uint64_t seed = GetParam();
+  Corpus a(small_specs(), seed);
+  Corpus b(small_specs(), seed);
+  for (const SampleRef& ref : a.samples()) {
+    const auto bytes_a = a.sample_bytes(ref);
+    const auto bytes_b = b.sample_bytes(b.samples()[static_cast<std::size_t>(
+        ref.sample_idx)]);
+    EXPECT_EQ(fhc::util::Sha256::hex_digest(bytes_a),
+              fhc::util::Sha256::hex_digest(bytes_b))
+        << ref.rel_path();
+  }
+}
+
+TEST_P(CorpusSeedSweep, AllSamplesAreValidElfWithSymbols) {
+  Corpus corpus(small_specs(), GetParam());
+  for (const SampleRef& ref : corpus.samples()) {
+    const auto image = corpus.sample_bytes(ref);
+    ASSERT_TRUE(elf::ElfReader::looks_like_elf(image)) << ref.rel_path();
+    const elf::ElfReader reader(image);
+    EXPECT_TRUE(reader.has_symtab()) << ref.rel_path();
+    EXPECT_FALSE(elf::global_text_symbols_text(image).empty()) << ref.rel_path();
+  }
+}
+
+TEST_P(CorpusSeedSweep, SamplesAreUniqueBinaries) {
+  // No two samples may be byte-identical — the premise of the SHA-256
+  // baseline comparison (crypto hashing finds nothing to match).
+  Corpus corpus(small_specs(), GetParam());
+  std::set<std::string> digests;
+  for (const SampleRef& ref : corpus.samples()) {
+    digests.insert(fhc::util::Sha256::hex_digest(corpus.sample_bytes(ref)));
+  }
+  EXPECT_EQ(digests.size(), corpus.samples().size());
+}
+
+TEST_P(CorpusSeedSweep, DifferentSeedsProduceDifferentCorpora) {
+  Corpus a(small_specs(), GetParam());
+  Corpus b(small_specs(), GetParam() + 1);
+  const auto& ref = a.samples()[0];
+  EXPECT_NE(a.sample_bytes(ref), b.sample_bytes(b.samples()[0]));
+}
+
+TEST_P(CorpusSeedSweep, VersionDirectoriesAreUniquePerClass) {
+  Corpus corpus(small_specs(), GetParam());
+  for (int c = 0; c < corpus.class_count(); ++c) {
+    const auto& versions = corpus.synthesizer(c).versions();
+    std::set<std::string> names;
+    for (const auto& version : versions) names.insert(version.dir_name);
+    EXPECT_EQ(names.size(), versions.size())
+        << corpus.specs()[static_cast<std::size_t>(c)].name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusSeedSweep, ::testing::Values(1, 7, 42, 1234));
+
+TEST(CorpusStructure, SampleCountsAreSeedIndependent) {
+  // The *structure* (classes, versions, counts) depends only on the spec;
+  // seeds change content and version naming, never counts.
+  Corpus a(small_specs(), 5);
+  Corpus b(small_specs(), 50);
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_EQ(a.samples()[i].class_name, b.samples()[i].class_name);
+    EXPECT_EQ(a.samples()[i].exec_idx, b.samples()[i].exec_idx);
+  }
+}
+
+TEST(CorpusStructure, CommentSectionNamesToolchain) {
+  Corpus corpus(small_specs(), 3);
+  const auto& ref = corpus.samples()[0];
+  const auto image = corpus.sample_bytes(ref);
+  const elf::ElfReader reader(image);
+  const auto comment = reader.section_by_name(".comment");
+  ASSERT_TRUE(comment.has_value());
+  const std::string text(comment->content.begin(), comment->content.end());
+  EXPECT_TRUE(text.find("GCC") != std::string::npos ||
+              text.find("Intel") != std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace fhc::corpus

@@ -1,0 +1,182 @@
+// The sample synthesizer: determinism, structure, and the mutation model's
+// channel-stability contract.
+#include "corpus/synth_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "corpus/app_spec.hpp"
+#include "elf/elf_reader.hpp"
+#include "elf/strings_extract.hpp"
+#include "elf/symbols_extract.hpp"
+#include "ssdeep/compare.hpp"
+#include "ssdeep/fuzzy_hash.hpp"
+
+namespace fhc::corpus {
+namespace {
+
+const AppClassSpec& spec_of(const std::string& name) {
+  const AppClassSpec* spec = find_class(paper_app_classes(), name);
+  EXPECT_NE(spec, nullptr) << name;
+  return *spec;
+}
+
+TEST(SampleSynthesizer, DeterministicBytes) {
+  SampleSynthesizer a(spec_of("Velvet"), 42);
+  SampleSynthesizer b(spec_of("Velvet"), 42);
+  EXPECT_EQ(a.build(0, 0), b.build(0, 0));
+  EXPECT_EQ(a.build(2, 1), b.build(2, 1));
+}
+
+TEST(SampleSynthesizer, DifferentSeedsDifferentBytes) {
+  SampleSynthesizer a(spec_of("Velvet"), 42);
+  SampleSynthesizer b(spec_of("Velvet"), 43);
+  EXPECT_NE(a.build(0, 0), b.build(0, 0));
+}
+
+TEST(SampleSynthesizer, SamplesPerVersionSumToTotal) {
+  for (const char* name : {"Velvet", "FSL", "OpenMalaria", "CapnProto", "Rosetta"}) {
+    SampleSynthesizer synth(spec_of(name), 7);
+    const auto& per_version = synth.samples_per_version();
+    EXPECT_EQ(std::accumulate(per_version.begin(), per_version.end(), 0),
+              spec_of(name).total_samples)
+        << name;
+    EXPECT_EQ(per_version.size(), synth.versions().size());
+  }
+}
+
+TEST(SampleSynthesizer, AtLeastThreeVersionsUnlessPinned) {
+  for (const char* name : {"FSL", "CapnProto", "JAGS", "kentUtils"}) {
+    SampleSynthesizer synth(spec_of(name), 7);
+    EXPECT_GE(synth.versions().size(), 3u) << name;
+  }
+}
+
+TEST(SampleSynthesizer, VelvetUsesPinnedVersionsAndExecs) {
+  SampleSynthesizer synth(spec_of("Velvet"), 1);
+  ASSERT_EQ(synth.versions().size(), 3u);
+  EXPECT_EQ(synth.versions()[0].dir_name, "1.2.10-GCC-10.3.0-mt-kmer_191");
+  EXPECT_EQ(synth.exec_name(0), "velveth");
+  EXPECT_EQ(synth.exec_name(1), "velvetg");
+  // 2 execs per version.
+  for (const int count : synth.samples_per_version()) EXPECT_EQ(count, 2);
+}
+
+TEST(SampleSynthesizer, ExecNamesAreUniqueWithinClass) {
+  SampleSynthesizer synth(spec_of("FSL"), 7);
+  const int execs = *std::max_element(synth.samples_per_version().begin(),
+                                      synth.samples_per_version().end());
+  std::set<std::string> names;
+  for (int e = 0; e < execs; ++e) names.insert(synth.exec_name(e));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(execs));
+}
+
+TEST(SampleSynthesizer, BuildsParseableElf) {
+  SampleSynthesizer synth(spec_of("OpenMalaria"), 7);
+  const auto image = synth.build(0, 0);
+  const elf::ElfReader reader(image);
+  EXPECT_TRUE(reader.has_symtab());
+  EXPECT_TRUE(reader.section_by_name(".text").has_value());
+  EXPECT_TRUE(reader.section_by_name(".rodata").has_value());
+  EXPECT_TRUE(reader.section_by_name(".comment").has_value());
+  EXPECT_FALSE(elf::global_text_symbols_text(image).empty());
+}
+
+TEST(SampleSynthesizer, StrippedVariantHasNoSymtab) {
+  SampleSynthesizer synth(spec_of("OpenMalaria"), 7);
+  const auto image = synth.build(0, 0, /*stripped=*/true);
+  EXPECT_FALSE(elf::has_symbol_table(image));
+}
+
+TEST(SampleSynthesizer, VersionBannerEmbedsVersionAndToolchain) {
+  SampleSynthesizer synth(spec_of("OpenMalaria"), 7);
+  const auto image = synth.build(0, 0);
+  const std::string strings = elf::strings_text(image);
+  EXPECT_NE(strings.find("OpenMalaria version 46.0"), std::string::npos);
+  EXPECT_NE(strings.find("iomkl-2019.01"), std::string::npos);
+  EXPECT_NE(strings.find("/scicore/soft/apps/OpenMalaria/"), std::string::npos);
+}
+
+// --- the mutation model's channel contract -------------------------------
+
+struct ChannelSims {
+  int file = 0;
+  int strings = 0;
+  int symbols = 0;
+};
+
+ChannelSims sims_between(const std::vector<std::uint8_t>& a,
+                         const std::vector<std::uint8_t>& b) {
+  const auto hash3 = [](const std::vector<std::uint8_t>& image) {
+    return std::tuple{ssdeep::fuzzy_hash(std::span<const std::uint8_t>(image)),
+                      ssdeep::fuzzy_hash(elf::strings_text(image)),
+                      ssdeep::fuzzy_hash(elf::global_text_symbols_text(image))};
+  };
+  const auto [fa, sa, ya] = hash3(a);
+  const auto [fb, sb, yb] = hash3(b);
+  return {ssdeep::compare_digests(fa, fb), ssdeep::compare_digests(sa, sb),
+          ssdeep::compare_digests(ya, yb)};
+}
+
+TEST(MutationModel, SymbolsAreTheMostStableChannelAcrossVersions) {
+  // Average over several classes to avoid volatile-class flukes.
+  double file_total = 0.0;
+  double strings_total = 0.0;
+  double symbols_total = 0.0;
+  int count = 0;
+  for (const char* name : {"OpenMalaria", "HMMER", "Exonerate", "Trinity"}) {
+    SampleSynthesizer synth(spec_of(name), 42);
+    const auto sims = sims_between(synth.build(0, 0), synth.build(1, 0));
+    file_total += sims.file;
+    strings_total += sims.strings;
+    symbols_total += sims.symbols;
+    ++count;
+  }
+  EXPECT_GT(symbols_total / count, strings_total / count);
+  EXPECT_GT(strings_total / count, file_total / count);
+  EXPECT_GE(symbols_total / count, 50.0);
+}
+
+TEST(MutationModel, SameClassBeatsCrossClassOnSymbols) {
+  SampleSynthesizer om(spec_of("OpenMalaria"), 42);
+  SampleSynthesizer hmmer(spec_of("HMMER"), 42);
+  const auto same = sims_between(om.build(0, 0), om.build(1, 0));
+  const auto cross = sims_between(om.build(0, 0), hmmer.build(0, 0));
+  EXPECT_GT(same.symbols, cross.symbols);
+  EXPECT_LE(cross.symbols, 30);
+}
+
+TEST(MutationModel, LineagePairsShareSymbolVocabulary) {
+  SampleSynthesizer newer(spec_of("CellRanger"), 42);
+  SampleSynthesizer older(spec_of("Cell-Ranger"), 42);
+  const auto sims = sims_between(newer.build(0, 0), older.build(0, 0));
+  EXPECT_GE(sims.symbols, 40) << "same lineage must stay recognizable";
+}
+
+TEST(MutationModel, AugustusPairSharesLineage) {
+  SampleSynthesizer known(spec_of("Augustus"), 42);
+  SampleSynthesizer unknown(spec_of("AUGUSTUS"), 42);
+  const auto sims = sims_between(known.build(0, 0), unknown.build(0, 0));
+  EXPECT_GE(sims.symbols, 40);
+}
+
+TEST(MutationModel, SameVersionDifferentExecsShareCore) {
+  SampleSynthesizer velvet(spec_of("Velvet"), 42);
+  const auto sims = sims_between(velvet.build(0, 0), velvet.build(0, 1));
+  // velveth and velvetg share the class core but have distinct tool code.
+  EXPECT_GT(sims.symbols, 20);
+  EXPECT_LT(sims.symbols, 95);
+}
+
+TEST(ClassPrefix, NormalizesNames) {
+  EXPECT_EQ(class_prefix("celera assembler"), "celeraassemb");  // 12-char cap
+  EXPECT_EQ(class_prefix("cad-score"), "cadscore");
+  EXPECT_EQ(class_prefix("velvet"), "velvet");
+  EXPECT_EQ(class_prefix(""), "app");
+  EXPECT_EQ(class_prefix("---"), "app");
+}
+
+}  // namespace
+}  // namespace fhc::corpus

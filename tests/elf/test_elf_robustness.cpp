@@ -1,0 +1,107 @@
+// Failure injection: the reader must never crash or read out of bounds on
+// corrupt input — every malformed image either parses or throws ElfError.
+// (The feature extractors sit in a job-submission path; hostile input is
+// the threat model, per the paper's security framing.)
+#include <gtest/gtest.h>
+
+#include "corpus/app_spec.hpp"
+#include "corpus/synth_app.hpp"
+#include "core/features.hpp"
+#include "elf/elf_reader.hpp"
+#include "elf/strings_extract.hpp"
+#include "elf/symbols_extract.hpp"
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace fhc::elf {
+namespace {
+
+std::vector<std::uint8_t> sample_image(std::uint64_t seed) {
+  const corpus::AppClassSpec* spec =
+      corpus::find_class(corpus::paper_app_classes(), "HMMER");
+  corpus::SampleSynthesizer synth(*spec, seed);
+  return synth.build(0, 0);
+}
+
+/// Attempt a full parse + both extractors; returns true on clean success.
+bool try_full_parse(std::span<const std::uint8_t> image) {
+  try {
+    const ElfReader reader(image);
+    (void)reader.symbols();
+    (void)reader.has_symtab();
+    for (const auto& section : reader.sections()) (void)section.name.size();
+    return true;
+  } catch (const ElfError&) {
+    return false;  // clean rejection is acceptable
+  }
+}
+
+class TruncationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TruncationSweep, TruncatedImagesNeverCrash) {
+  auto image = sample_image(1);
+  const auto cut = static_cast<std::size_t>(GetParam() * static_cast<double>(image.size()));
+  image.resize(cut);
+  (void)try_full_parse(image);  // must not crash/UB; throwing is fine
+  // The high-level extractors must be total functions.
+  (void)strings_text(image);
+  (void)global_text_symbols_text(image);
+  (void)has_symbol_table(image);
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, TruncationSweep,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.2, 0.5, 0.9, 0.999));
+
+class CorruptionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorruptionSweep, RandomByteFlipsNeverCrash) {
+  auto image = sample_image(2);
+  fhc::util::Rng rng(GetParam());
+  // Flip 64 random bytes, biased toward the header region where offsets
+  // and counts live.
+  for (int i = 0; i < 64; ++i) {
+    const std::size_t pos = rng.bernoulli(0.5)
+                                ? static_cast<std::size_t>(rng.next_below(256))
+                                : static_cast<std::size_t>(rng.next_below(image.size()));
+    image[pos % image.size()] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+  }
+  (void)try_full_parse(image);
+  (void)core::extract_feature_hashes(image);  // end-to-end feature path
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(Robustness, SectionHeaderOffsetBeyondFile) {
+  auto image = sample_image(3);
+  // e_shoff at offset 40 (8 bytes): point past the end.
+  const std::uint64_t bogus = image.size() + 4096;
+  std::memcpy(image.data() + 40, &bogus, sizeof(bogus));
+  EXPECT_FALSE(try_full_parse(image));
+}
+
+TEST(Robustness, HugeSectionCount) {
+  auto image = sample_image(4);
+  // e_shnum at offset 60 (2 bytes).
+  const std::uint16_t bogus = 0xffff;
+  std::memcpy(image.data() + 60, &bogus, sizeof(bogus));
+  EXPECT_FALSE(try_full_parse(image));
+}
+
+TEST(Robustness, ExtractorsHandleArbitraryBytes) {
+  fhc::util::Rng rng(9);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::uint8_t> junk(static_cast<std::size_t>(rng.next_below(5000)));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng() & 0xff);
+    (void)strings_text(junk);
+    (void)global_text_symbols_text(junk);
+    (void)core::extract_feature_hashes(junk);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fhc::elf

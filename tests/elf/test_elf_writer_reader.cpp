@@ -1,0 +1,175 @@
+// Writer/reader roundtrip and defensive parsing of malformed images.
+#include <gtest/gtest.h>
+
+#include "elf/elf_reader.hpp"
+#include "elf/elf_writer.hpp"
+
+namespace fhc::elf {
+namespace {
+
+ElfSpec sample_spec() {
+  ElfSpec spec;
+  spec.text = {0x55, 0x48, 0x89, 0xe5, 0x90, 0x90, 0x5d, 0xc3,
+               0x55, 0x48, 0x89, 0xe5, 0x31, 0xc0, 0x5d, 0xc3};
+  spec.rodata = {'h', 'e', 'l', 'l', 'o', '\0', 1, 2, 3, 4};
+  spec.comment = "GCC: (GNU) 10.3.0";
+  spec.symbols.push_back({"main", SymbolSection::kText, kStbGlobal, kSttFunc, 0, 8});
+  spec.symbols.push_back({"helper", SymbolSection::kText, kStbGlobal, kSttFunc, 8, 8});
+  spec.symbols.push_back({"greeting", SymbolSection::kRodata, kStbGlobal, kSttObject, 0, 6});
+  spec.symbols.push_back({"local_fn", SymbolSection::kText, kStbLocal, kSttFunc, 0, 4});
+  return spec;
+}
+
+TEST(ElfWriter, ProducesValidMagic) {
+  const auto image = write_elf(sample_spec());
+  ASSERT_GE(image.size(), 64u);
+  EXPECT_TRUE(ElfReader::looks_like_elf(image));
+  EXPECT_EQ(image[0], 0x7f);
+  EXPECT_EQ(image[1], 'E');
+  EXPECT_EQ(image[2], 'L');
+  EXPECT_EQ(image[3], 'F');
+}
+
+TEST(ElfWriter, RoundTripsSections) {
+  const auto image = write_elf(sample_spec());
+  const ElfReader reader(image);
+
+  const auto text = reader.section_by_name(".text");
+  ASSERT_TRUE(text.has_value());
+  EXPECT_EQ(text->header.sh_type, kShtProgbits);
+  EXPECT_TRUE(text->header.sh_flags & kShfExecinstr);
+  EXPECT_EQ(text->content.size(), 16u);
+  EXPECT_EQ(text->content[0], 0x55);
+
+  const auto rodata = reader.section_by_name(".rodata");
+  ASSERT_TRUE(rodata.has_value());
+  EXPECT_FALSE(rodata->header.sh_flags & kShfExecinstr);
+  EXPECT_EQ(rodata->content.size(), 10u);
+
+  const auto comment = reader.section_by_name(".comment");
+  ASSERT_TRUE(comment.has_value());
+  const std::string text_content(comment->content.begin(), comment->content.end());
+  EXPECT_NE(text_content.find("GCC"), std::string::npos);
+}
+
+TEST(ElfWriter, RoundTripsSymbols) {
+  const auto image = write_elf(sample_spec());
+  const ElfReader reader(image);
+  ASSERT_TRUE(reader.has_symtab());
+
+  const auto symbols = reader.symbols();
+  // null symbol + 4 declared.
+  ASSERT_EQ(symbols.size(), 5u);
+
+  bool found_main = false;
+  bool found_local = false;
+  bool found_object = false;
+  for (const Symbol& sym : symbols) {
+    if (sym.name == "main") {
+      found_main = true;
+      EXPECT_EQ(sym.bind, kStbGlobal);
+      EXPECT_EQ(sym.type, kSttFunc);
+      EXPECT_EQ(sym.size, 8u);
+    }
+    if (sym.name == "local_fn") {
+      found_local = true;
+      EXPECT_EQ(sym.bind, kStbLocal);
+    }
+    if (sym.name == "greeting") {
+      found_object = true;
+      EXPECT_EQ(sym.type, kSttObject);
+    }
+  }
+  EXPECT_TRUE(found_main);
+  EXPECT_TRUE(found_local);
+  EXPECT_TRUE(found_object);
+}
+
+TEST(ElfWriter, LocalSymbolsPrecedeGlobals) {
+  const auto image = write_elf(sample_spec());
+  const ElfReader reader(image);
+  const auto symbols = reader.symbols();
+  bool seen_global = false;
+  for (const Symbol& sym : symbols) {
+    if (sym.bind == kStbGlobal) seen_global = true;
+    if (seen_global) EXPECT_NE(sym.bind, kStbLocal) << "local after global";
+  }
+}
+
+TEST(ElfWriter, StrippedImageHasNoSymtab) {
+  ElfSpec spec = sample_spec();
+  spec.stripped = true;
+  const auto image = write_elf(spec);
+  const ElfReader reader(image);
+  EXPECT_FALSE(reader.has_symtab());
+  EXPECT_TRUE(reader.symbols().empty());
+  // But sections are intact.
+  EXPECT_TRUE(reader.section_by_name(".text").has_value());
+  EXPECT_TRUE(reader.section_by_name(".rodata").has_value());
+}
+
+TEST(ElfWriter, RejectsSymbolOutsideSection) {
+  ElfSpec spec = sample_spec();
+  spec.symbols.push_back({"overflow", SymbolSection::kText, kStbGlobal, kSttFunc,
+                          100, 10});  // .text is 16 bytes
+  EXPECT_THROW(write_elf(spec), std::invalid_argument);
+}
+
+TEST(ElfWriter, EmptySectionsAreAllowed) {
+  ElfSpec spec;
+  spec.comment = "empty";
+  const auto image = write_elf(spec);
+  const ElfReader reader(image);
+  EXPECT_TRUE(reader.section_by_name(".text").has_value());
+  EXPECT_EQ(reader.section_by_name(".text")->content.size(), 0u);
+}
+
+TEST(ElfReader, RejectsNonElf) {
+  const std::vector<std::uint8_t> junk{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_FALSE(ElfReader::looks_like_elf(junk));
+  EXPECT_THROW(ElfReader{std::span<const std::uint8_t>(junk)}, ElfError);
+}
+
+TEST(ElfReader, RejectsTruncatedImage) {
+  auto image = write_elf(sample_spec());
+  // Cut the image in the middle of the section payloads: headers at the
+  // end become unreachable.
+  image.resize(image.size() / 2);
+  EXPECT_THROW(ElfReader{std::span<const std::uint8_t>(image)}, ElfError);
+}
+
+TEST(ElfReader, RejectsCorruptShstrndx) {
+  auto image = write_elf(sample_spec());
+  // e_shstrndx lives at offset 62 (uint16).
+  image[62] = 0xff;
+  image[63] = 0xff;
+  EXPECT_THROW(ElfReader{std::span<const std::uint8_t>(image)}, ElfError);
+}
+
+TEST(ElfReader, SectionEnumerationIncludesNull) {
+  const auto image = write_elf(sample_spec());
+  const ElfReader reader(image);
+  ASSERT_FALSE(reader.sections().empty());
+  EXPECT_EQ(reader.sections()[0].header.sh_type, kShtNull);
+  EXPECT_EQ(reader.sections().size(), 7u);  // null,text,rodata,comment,symtab,strtab,shstrtab
+}
+
+TEST(ElfReader, HeaderFieldsAreConsistent) {
+  const auto image = write_elf(sample_spec());
+  const ElfReader reader(image);
+  const Elf64_Ehdr& hdr = reader.header();
+  EXPECT_EQ(hdr.e_type, kEtExec);
+  EXPECT_EQ(hdr.e_machine, kEmX86_64);
+  EXPECT_EQ(hdr.e_phnum, 1u);
+  EXPECT_EQ(hdr.e_ehsize, sizeof(Elf64_Ehdr));
+  EXPECT_EQ(hdr.e_shentsize, sizeof(Elf64_Shdr));
+}
+
+TEST(StInfo, PackAndUnpack) {
+  const unsigned char info = st_info(kStbGlobal, kSttFunc);
+  EXPECT_EQ(st_bind(info), kStbGlobal);
+  EXPECT_EQ(st_type(info), kSttFunc);
+}
+
+}  // namespace
+}  // namespace fhc::elf

@@ -1,0 +1,85 @@
+// The `strings`(1) equivalent.
+#include "elf/strings_extract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fhc::elf {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> out;
+  for (const int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+std::vector<std::uint8_t> from_string(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(ExtractStrings, FindsRunsOfFourOrMore) {
+  const auto data = bytes({'a', 'b', 'c', 'd', 0, 'x', 'y', 0});
+  const auto runs = extract_strings(data);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], "abcd");
+}
+
+TEST(ExtractStrings, RespectsMinLength) {
+  const auto data = from_string("abc");
+  EXPECT_TRUE(extract_strings(data).empty());
+  StringsOptions opts;
+  opts.min_length = 3;
+  const auto runs = extract_strings(data, opts);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], "abc");
+}
+
+TEST(ExtractStrings, RunAtBufferEndIsEmitted) {
+  const auto data = from_string("tail-run");
+  const auto runs = extract_strings(data);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], "tail-run");
+}
+
+TEST(ExtractStrings, SplitsOnNonPrintable) {
+  const auto data = bytes({'f', 'i', 'r', 's', 't', 0x01, 's', 'e', 'c', 'o', 'n', 'd'});
+  const auto runs = extract_strings(data);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], "first");
+  EXPECT_EQ(runs[1], "second");
+}
+
+TEST(ExtractStrings, SpacesAndPunctuationArePrintable) {
+  const auto data = from_string("usage: %s [options] <input>");
+  const auto runs = extract_strings(data);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], "usage: %s [options] <input>");
+}
+
+TEST(ExtractStrings, HighBitBytesTerminateRuns) {
+  const auto data = bytes({'a', 'b', 'c', 'd', 0x80, 0xff, 'e', 'f', 'g', 'h'});
+  const auto runs = extract_strings(data);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], "abcd");
+  EXPECT_EQ(runs[1], "efgh");
+}
+
+TEST(ExtractStrings, EmptyInput) {
+  EXPECT_TRUE(extract_strings({}).empty());
+  EXPECT_TRUE(strings_text({}).empty());
+}
+
+TEST(StringsText, JoinsWithNewlines) {
+  const auto data = bytes({'o', 'n', 'e', '1', 0, 't', 'w', 'o', '2', 0});
+  EXPECT_EQ(strings_text(data), "one1\ntwo2\n");
+}
+
+TEST(StringsText, DeterministicOrderMatchesFileOrder) {
+  const auto data = bytes({'z', 'z', 'z', 'z', 0, 'a', 'a', 'a', 'a', 0});
+  EXPECT_EQ(strings_text(data), "zzzz\naaaa\n");  // file order, not sorted
+}
+
+}  // namespace
+}  // namespace fhc::elf

@@ -1,0 +1,63 @@
+// Balanced class weighting (scikit-learn semantics).
+#include "ml/class_weight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace fhc::ml {
+namespace {
+
+TEST(BalancedClassWeights, MatchesSklearnFormula) {
+  // labels: class 0 x4, class 1 x1 -> w = n / (k * count)
+  const std::vector<int> labels{0, 0, 0, 0, 1};
+  const auto weights = balanced_class_weights(labels);
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(weights[0], 5.0 / (2.0 * 4.0));
+  EXPECT_DOUBLE_EQ(weights[1], 5.0 / (2.0 * 1.0));
+}
+
+TEST(BalancedClassWeights, UniformLabelsGetUnitWeight) {
+  const std::vector<int> labels{0, 0, 1, 1, 2, 2};
+  for (const double w : balanced_class_weights(labels)) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(BalancedClassWeights, AbsentClassGetsZero) {
+  // Label 1 never appears (labels are 0 and 2).
+  const std::vector<int> labels{0, 2, 2, 0};
+  const auto weights = balanced_class_weights(labels);
+  ASSERT_EQ(weights.size(), 3u);
+  EXPECT_DOUBLE_EQ(weights[1], 0.0);
+  EXPECT_GT(weights[0], 0.0);
+}
+
+TEST(BalancedClassWeights, EachClassContributesEqualTotalWeight) {
+  const std::vector<int> labels{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 2};
+  const auto class_weights = balanced_class_weights(labels);
+  std::vector<double> per_class_total(3, 0.0);
+  for (const int label : labels) {
+    per_class_total[static_cast<std::size_t>(label)] +=
+        class_weights[static_cast<std::size_t>(label)];
+  }
+  EXPECT_NEAR(per_class_total[0], per_class_total[1], 1e-12);
+  EXPECT_NEAR(per_class_total[1], per_class_total[2], 1e-12);
+}
+
+TEST(BalancedSampleWeights, ExpandsPerSample) {
+  const std::vector<int> labels{0, 1, 1, 1};
+  const auto weights = balanced_sample_weights(labels);
+  ASSERT_EQ(weights.size(), 4u);
+  EXPECT_DOUBLE_EQ(weights[0], 4.0 / 2.0);        // class 0: 4/(2*1)
+  EXPECT_DOUBLE_EQ(weights[1], 4.0 / (2.0 * 3));  // class 1: 4/(2*3)
+  EXPECT_DOUBLE_EQ(weights[1], weights[2]);
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  EXPECT_NEAR(total, 4.0, 1e-12);  // balanced weights preserve total mass
+}
+
+TEST(BalancedClassWeights, RejectsNegativeLabels) {
+  EXPECT_THROW(balanced_class_weights({0, -1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fhc::ml

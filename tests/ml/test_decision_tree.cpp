@@ -1,0 +1,197 @@
+// CART decision tree: correctness on separable data, stopping rules,
+// weighting semantics, probability outputs, importances.
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ml/matrix.hpp"
+
+namespace fhc::ml {
+namespace {
+
+/// Two well-separated 2-D blobs of `n` points each (classes 0/1).
+struct Blobs {
+  Matrix x;
+  std::vector<int> y;
+};
+
+Blobs make_blobs(std::size_t n, fhc::util::Rng& rng) {
+  Blobs data{Matrix(2 * n, 2), {}};
+  data.y.resize(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data.x.at(i, 0) = static_cast<float>(rng.gaussian() * 0.5 - 3.0);
+    data.x.at(i, 1) = static_cast<float>(rng.gaussian() * 0.5);
+    data.y[i] = 0;
+    data.x.at(n + i, 0) = static_cast<float>(rng.gaussian() * 0.5 + 3.0);
+    data.x.at(n + i, 1) = static_cast<float>(rng.gaussian() * 0.5);
+    data.y[n + i] = 1;
+  }
+  return data;
+}
+
+TEST(DecisionTree, SeparatesLinearlySeparableBlobs) {
+  fhc::util::Rng rng(1);
+  const Blobs data = make_blobs(100, rng);
+  DecisionTree tree;
+  fhc::util::Rng fit_rng(2);
+  tree.fit(data.x, data.y, 2, {}, TreeParams{}, fit_rng);
+
+  int correct = 0;
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    correct += tree.predict(data.x.row(i)) == data.y[i] ? 1 : 0;
+  }
+  EXPECT_EQ(correct, 200);
+}
+
+TEST(DecisionTree, XorNeedsDepthTwo) {
+  // XOR: not linearly separable, trivially solved by a depth-2 tree.
+  Matrix x(4, 2);
+  x.at(0, 0) = 0; x.at(0, 1) = 0;
+  x.at(1, 0) = 0; x.at(1, 1) = 1;
+  x.at(2, 0) = 1; x.at(2, 1) = 0;
+  x.at(3, 0) = 1; x.at(3, 1) = 1;
+  const std::vector<int> y{0, 1, 1, 0};
+  DecisionTree tree;
+  fhc::util::Rng rng(3);
+  tree.fit(x, y, 2, {}, TreeParams{}, rng);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tree.predict(x.row(i)), y[i]);
+  }
+  EXPECT_GE(tree.depth(), 2);
+}
+
+TEST(DecisionTree, PureNodeBecomesLeafImmediately) {
+  Matrix x(5, 1);
+  for (int i = 0; i < 5; ++i) x.at(static_cast<std::size_t>(i), 0) = static_cast<float>(i);
+  const std::vector<int> y{0, 0, 0, 0, 0};
+  DecisionTree tree;
+  fhc::util::Rng rng(4);
+  tree.fit(x, y, 1, {}, TreeParams{}, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.depth(), 0);
+}
+
+TEST(DecisionTree, MaxDepthLimitsGrowth) {
+  fhc::util::Rng rng(5);
+  const Blobs data = make_blobs(200, rng);
+  TreeParams params;
+  params.max_depth = 1;
+  DecisionTree tree;
+  fhc::util::Rng fit_rng(6);
+  tree.fit(data.x, data.y, 2, {}, params, fit_rng);
+  EXPECT_LE(tree.depth(), 1);
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTree, MinSamplesSplitStopsEarly) {
+  fhc::util::Rng rng(7);
+  const Blobs data = make_blobs(50, rng);
+  TreeParams params;
+  params.min_samples_split = 1000;  // larger than the dataset
+  DecisionTree tree;
+  fhc::util::Rng fit_rng(8);
+  tree.fit(data.x, data.y, 2, {}, params, fit_rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(DecisionTree, MinSamplesLeafIsRespected) {
+  // With min_samples_leaf = 40 of 80 samples, only the midpoint split is
+  // admissible; the tree can still separate the blobs.
+  fhc::util::Rng rng(9);
+  const Blobs data = make_blobs(40, rng);
+  TreeParams params;
+  params.min_samples_leaf = 40;
+  DecisionTree tree;
+  fhc::util::Rng fit_rng(10);
+  tree.fit(data.x, data.y, 2, {}, params, fit_rng);
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTree, ProbabilitiesSumToOne) {
+  fhc::util::Rng rng(11);
+  const Blobs data = make_blobs(60, rng);
+  DecisionTree tree;
+  fhc::util::Rng fit_rng(12);
+  tree.fit(data.x, data.y, 2, {}, TreeParams{}, fit_rng);
+  for (std::size_t i = 0; i < data.x.rows(); i += 7) {
+    const auto proba = tree.predict_proba(data.x.row(i));
+    EXPECT_NEAR(std::accumulate(proba.begin(), proba.end(), 0.0), 1.0, 1e-6);
+    for (const double p : proba) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(DecisionTree, SampleWeightActsLikeDuplication) {
+  // A node's majority flips when the minority samples carry enough weight.
+  Matrix x(3, 1);
+  x.at(0, 0) = 0.0f;
+  x.at(1, 0) = 0.0f;
+  x.at(2, 0) = 0.0f;  // identical feature: tree must be a single leaf
+  const std::vector<int> y{0, 0, 1};
+  const std::vector<double> weight{1.0, 1.0, 10.0};
+  DecisionTree tree;
+  fhc::util::Rng rng(13);
+  tree.fit(x, y, 2, weight, TreeParams{}, rng);
+  EXPECT_EQ(tree.predict(x.row(0)), 1) << "weighted minority must win";
+}
+
+TEST(DecisionTree, ImportancesConcentrateOnInformativeFeature) {
+  // Feature 0 informative, feature 1 constant noise.
+  fhc::util::Rng rng(14);
+  const Blobs data = make_blobs(100, rng);
+  DecisionTree tree;
+  fhc::util::Rng fit_rng(15);
+  tree.fit(data.x, data.y, 2, {}, TreeParams{}, fit_rng);
+  const auto& importances = tree.feature_importances();
+  ASSERT_EQ(importances.size(), 2u);
+  EXPECT_GT(importances[0], importances[1]);
+  EXPECT_NEAR(importances[0] + importances[1], 1.0, 1e-9);
+}
+
+TEST(DecisionTree, DeterministicGivenSeed) {
+  fhc::util::Rng rng(16);
+  const Blobs data = make_blobs(80, rng);
+  TreeParams params;
+  params.max_features = 1;  // force randomized feature choice
+  DecisionTree a;
+  DecisionTree b;
+  fhc::util::Rng rng_a(17);
+  fhc::util::Rng rng_b(17);
+  a.fit(data.x, data.y, 2, {}, params, rng_a);
+  b.fit(data.x, data.y, 2, {}, params, rng_b);
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    EXPECT_EQ(a.predict(data.x.row(i)), b.predict(data.x.row(i)));
+  }
+}
+
+TEST(DecisionTree, RejectsBadInput) {
+  Matrix x(2, 1);
+  DecisionTree tree;
+  fhc::util::Rng rng(18);
+  EXPECT_THROW(tree.fit(x, {0}, 1, {}, TreeParams{}, rng), std::invalid_argument);
+  EXPECT_THROW(tree.fit(x, {0, 5}, 2, {}, TreeParams{}, rng), std::invalid_argument);
+  EXPECT_THROW(tree.fit(x, {0, -2}, 2, {}, TreeParams{}, rng), std::invalid_argument);
+  EXPECT_THROW(tree.predict_proba(x.row(0)), std::logic_error);  // unfitted
+}
+
+TEST(DecisionTree, EntropyCriterionAlsoSeparates) {
+  fhc::util::Rng rng(19);
+  const Blobs data = make_blobs(60, rng);
+  TreeParams params;
+  params.criterion = Criterion::kEntropy;
+  DecisionTree tree;
+  fhc::util::Rng fit_rng(20);
+  tree.fit(data.x, data.y, 2, {}, params, fit_rng);
+  int correct = 0;
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    correct += tree.predict(data.x.row(i)) == data.y[i] ? 1 : 0;
+  }
+  EXPECT_EQ(correct, 120);
+}
+
+}  // namespace
+}  // namespace fhc::ml

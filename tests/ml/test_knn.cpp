@@ -1,0 +1,109 @@
+// k-NN baseline.
+#include "ml/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace fhc::ml {
+namespace {
+
+TEST(Knn, NearestNeighbourWinsWithKOne) {
+  Matrix x(4, 1);
+  x.at(0, 0) = 0.0f;
+  x.at(1, 0) = 1.0f;
+  x.at(2, 0) = 10.0f;
+  x.at(3, 0) = 11.0f;
+  const std::vector<int> y{0, 0, 1, 1};
+  KnnClassifier knn;
+  knn.fit(x, y, 2, KnnParams{.k = 1, .distance_weighted = false});
+
+  Matrix probe(1, 1);
+  probe.at(0, 0) = 0.4f;
+  EXPECT_EQ(knn.predict(probe.row(0)), 0);
+  probe.at(0, 0) = 10.6f;
+  EXPECT_EQ(knn.predict(probe.row(0)), 1);
+}
+
+TEST(Knn, MajorityVoteWithLargerK) {
+  Matrix x(5, 1);
+  x.at(0, 0) = 0.0f;
+  x.at(1, 0) = 0.2f;
+  x.at(2, 0) = 0.4f;
+  x.at(3, 0) = 5.0f;
+  x.at(4, 0) = 5.2f;
+  const std::vector<int> y{0, 0, 0, 1, 1};
+  KnnClassifier knn;
+  knn.fit(x, y, 2, KnnParams{.k = 5, .distance_weighted = false});
+  Matrix probe(1, 1);
+  probe.at(0, 0) = 0.3f;
+  EXPECT_EQ(knn.predict(probe.row(0)), 0);  // 3 votes vs 2
+}
+
+TEST(Knn, DistanceWeightingBreaksTies) {
+  // Two class-0 points far away, two class-1 points close: with k = 4 and
+  // distance weighting, class 1 must win despite the tie in counts.
+  Matrix x(4, 1);
+  x.at(0, 0) = -10.0f;
+  x.at(1, 0) = -10.5f;
+  x.at(2, 0) = 1.0f;
+  x.at(3, 0) = 1.2f;
+  const std::vector<int> y{0, 0, 1, 1};
+  KnnClassifier knn;
+  knn.fit(x, y, 2, KnnParams{.k = 4, .distance_weighted = true});
+  Matrix probe(1, 1);
+  probe.at(0, 0) = 1.1f;
+  EXPECT_EQ(knn.predict(probe.row(0)), 1);
+}
+
+TEST(Knn, ProbabilitiesFormDistribution) {
+  fhc::util::Rng rng(1);
+  Matrix x(50, 2);
+  std::vector<int> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.gaussian());
+    x.at(i, 1) = static_cast<float>(rng.gaussian());
+    y[i] = static_cast<int>(i % 3);
+  }
+  KnnClassifier knn;
+  knn.fit(x, y, 3, KnnParams{.k = 7});
+  const auto proba = knn.predict_proba(x.row(0));
+  ASSERT_EQ(proba.size(), 3u);
+  EXPECT_NEAR(std::accumulate(proba.begin(), proba.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(Knn, ExactTrainingPointIsRecalled) {
+  Matrix x(10, 1);
+  std::vector<int> y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x.at(i, 0) = static_cast<float>(i);
+    y[i] = static_cast<int>(i % 2);
+  }
+  KnnClassifier knn;
+  knn.fit(x, y, 2, KnnParams{.k = 1});
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(knn.predict(x.row(i)), y[i]);
+  }
+}
+
+TEST(Knn, KLargerThanDatasetIsClamped) {
+  Matrix x(3, 1);
+  const std::vector<int> y{0, 1, 1};
+  KnnClassifier knn;
+  knn.fit(x, y, 2, KnnParams{.k = 50, .distance_weighted = false});
+  Matrix probe(1, 1);
+  EXPECT_EQ(knn.predict(probe.row(0)), 1);  // global majority
+}
+
+TEST(Knn, RejectsBadInput) {
+  Matrix x(2, 1);
+  KnnClassifier knn;
+  EXPECT_THROW(knn.fit(x, {0}, 2, KnnParams{}), std::invalid_argument);
+  EXPECT_THROW(knn.fit(x, {0, 1}, 2, KnnParams{.k = 0}), std::invalid_argument);
+  EXPECT_THROW(knn.predict_proba(x.row(0)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fhc::ml

@@ -1,0 +1,135 @@
+// Linear SVM (OvR hinge/SGD) baseline.
+#include "ml/linear_svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace fhc::ml {
+namespace {
+
+struct Blobs {
+  Matrix x;
+  std::vector<int> y;
+};
+
+Blobs separable_blobs(std::size_t per_class, int classes, fhc::util::Rng& rng) {
+  // Centers on a circle: every class is linearly separable from the rest,
+  // which one-vs-rest requires (colinear centers would squeeze the middle
+  // class into a region no linear boundary can isolate).
+  Blobs data{Matrix(per_class * static_cast<std::size_t>(classes), 2), {}};
+  data.y.resize(data.x.rows());
+  for (int c = 0; c < classes; ++c) {
+    const double angle = 2.0 * 3.14159265358979 * c / classes;
+    const float cx = static_cast<float>(6.0 * std::cos(angle));
+    const float cy = static_cast<float>(6.0 * std::sin(angle));
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = static_cast<std::size_t>(c) * per_class + i;
+      data.x.at(row, 0) = cx + static_cast<float>(rng.gaussian() * 0.5);
+      data.x.at(row, 1) = cy + static_cast<float>(rng.gaussian() * 0.5);
+      data.y[row] = c;
+    }
+  }
+  return data;
+}
+
+TEST(LinearSvm, SeparatesTwoBlobs) {
+  fhc::util::Rng rng(1);
+  const Blobs data = separable_blobs(60, 2, rng);
+  LinearSvm svm;
+  svm.fit(data.x, data.y, 2, {}, SvmParams{});
+  int correct = 0;
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    correct += svm.predict(data.x.row(i)) == data.y[i] ? 1 : 0;
+  }
+  EXPECT_GE(correct, 118);  // 120 total
+}
+
+TEST(LinearSvm, OneVsRestHandlesThreeClasses) {
+  fhc::util::Rng rng(2);
+  const Blobs data = separable_blobs(50, 3, rng);
+  LinearSvm svm;
+  svm.fit(data.x, data.y, 3, {}, SvmParams{});
+  int correct = 0;
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    correct += svm.predict(data.x.row(i)) == data.y[i] ? 1 : 0;
+  }
+  EXPECT_GE(correct, 140);  // 150 total
+}
+
+TEST(LinearSvm, DecisionFunctionOrdersMargins) {
+  fhc::util::Rng rng(3);
+  const Blobs data = separable_blobs(40, 2, rng);
+  LinearSvm svm;
+  svm.fit(data.x, data.y, 2, {}, SvmParams{});
+  // A point at class 0's center must have margin_0 > margin_1.
+  Matrix probe(1, 2);
+  probe.at(0, 0) = 6.0f;  // class 0 center (angle 0)
+  probe.at(0, 1) = 0.0f;
+  const auto margins = svm.decision_function(probe.row(0));
+  ASSERT_EQ(margins.size(), 2u);
+  EXPECT_GT(margins[0], margins[1]);
+}
+
+TEST(LinearSvm, SoftmaxProbabilitiesFormDistribution) {
+  fhc::util::Rng rng(4);
+  const Blobs data = separable_blobs(30, 3, rng);
+  LinearSvm svm;
+  svm.fit(data.x, data.y, 3, {}, SvmParams{});
+  const auto proba = svm.predict_proba(data.x.row(5));
+  ASSERT_EQ(proba.size(), 3u);
+  EXPECT_NEAR(std::accumulate(proba.begin(), proba.end(), 0.0), 1.0, 1e-9);
+  for (const double p : proba) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LinearSvm, DeterministicGivenSeed) {
+  fhc::util::Rng rng(5);
+  const Blobs data = separable_blobs(30, 2, rng);
+  LinearSvm a;
+  LinearSvm b;
+  a.fit(data.x, data.y, 2, {}, SvmParams{.seed = 99});
+  b.fit(data.x, data.y, 2, {}, SvmParams{.seed = 99});
+  for (std::size_t i = 0; i < data.x.rows(); i += 5) {
+    const auto ma = a.decision_function(data.x.row(i));
+    const auto mb = b.decision_function(data.x.row(i));
+    for (std::size_t c = 0; c < ma.size(); ++c) EXPECT_DOUBLE_EQ(ma[c], mb[c]);
+  }
+}
+
+TEST(LinearSvm, SampleWeightsShiftTheBoundary) {
+  // Overlapping classes; upweighting class 1 should raise its recall.
+  fhc::util::Rng rng(6);
+  Matrix x(100, 1);
+  std::vector<int> y(100);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.gaussian() - 0.4);
+    y[i] = 0;
+    x.at(50 + i, 0) = static_cast<float>(rng.gaussian() + 0.4);
+    y[50 + i] = 1;
+  }
+  const auto recall1 = [&](std::span<const double> weights) {
+    LinearSvm svm;
+    svm.fit(x, y, 2, weights, SvmParams{});
+    int hits = 0;
+    for (std::size_t i = 50; i < 100; ++i) hits += svm.predict(x.row(i)) == 1 ? 1 : 0;
+    return hits;
+  };
+  std::vector<double> boosted(100, 1.0);
+  for (std::size_t i = 50; i < 100; ++i) boosted[i] = 8.0;
+  EXPECT_GE(recall1(boosted), recall1({}));
+}
+
+TEST(LinearSvm, RejectsBadInput) {
+  Matrix x(2, 1);
+  LinearSvm svm;
+  EXPECT_THROW(svm.fit(x, {0}, 2, {}, SvmParams{}), std::invalid_argument);
+  EXPECT_THROW(svm.decision_function(x.row(0)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fhc::ml

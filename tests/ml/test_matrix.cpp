@@ -1,0 +1,66 @@
+// The dense row-major matrix container and the Dataset value type.
+#include "ml/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.hpp"
+
+namespace fhc::ml {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(3, 4, 2.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(m.at(r, c), 2.5f);
+  }
+}
+
+TEST(Matrix, RowSpanIsContiguousView) {
+  Matrix m(2, 3);
+  m.at(1, 0) = 10.0f;
+  m.at(1, 2) = 12.0f;
+  const auto row = m.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_FLOAT_EQ(row[0], 10.0f);
+  EXPECT_FLOAT_EQ(row[2], 12.0f);
+  // Mutation through the span is visible.
+  m.row(1)[1] = 11.0f;
+  EXPECT_FLOAT_EQ(m.at(1, 1), 11.0f);
+}
+
+TEST(Matrix, GatherRowsSelectsAndOrders) {
+  Matrix m(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) m.at(r, 0) = static_cast<float>(r);
+  const std::vector<std::size_t> pick{3, 0, 3};
+  const Matrix g = m.gather_rows(pick);
+  ASSERT_EQ(g.rows(), 3u);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(g.at(2, 0), 3.0f);
+}
+
+TEST(Matrix, GatherRowsRejectsOutOfRange) {
+  Matrix m(2, 2);
+  const std::vector<std::size_t> bad{0, 5};
+  EXPECT_THROW(m.gather_rows(bad), std::out_of_range);
+}
+
+TEST(Dataset, LabelNameHandlesUnknown) {
+  Dataset data;
+  data.class_names = {"Velvet", "HMMER"};
+  EXPECT_EQ(data.label_name(0), "Velvet");
+  EXPECT_EQ(data.label_name(1), "HMMER");
+  EXPECT_EQ(data.label_name(kUnknownLabel), "-1");
+}
+
+}  // namespace
+}  // namespace fhc::ml

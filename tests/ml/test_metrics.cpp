@@ -1,0 +1,151 @@
+// Classification metrics and the sklearn-style report (paper Table 4).
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.hpp"
+
+namespace fhc::ml {
+namespace {
+
+TEST(ClassificationReport, PerfectPredictions) {
+  const std::vector<int> y{0, 1, 2, 0, 1, 2};
+  const auto report = classification_report(y, y, {"a", "b", "c"});
+  EXPECT_DOUBLE_EQ(report.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(report.micro.f1, 1.0);
+  EXPECT_DOUBLE_EQ(report.macro.f1, 1.0);
+  EXPECT_DOUBLE_EQ(report.weighted.f1, 1.0);
+  for (const auto& m : report.per_class) {
+    EXPECT_DOUBLE_EQ(m.precision, 1.0);
+    EXPECT_DOUBLE_EQ(m.recall, 1.0);
+    EXPECT_EQ(m.support, 2u);
+  }
+}
+
+TEST(ClassificationReport, HandComputedBinaryCase) {
+  // y_true: 0 0 0 1 1 ; y_pred: 0 0 1 1 0
+  // class 0: TP=2 FP=1 FN=1 -> P=2/3 R=2/3 F1=2/3
+  // class 1: TP=1 FP=1 FN=1 -> P=1/2 R=1/2 F1=1/2
+  const std::vector<int> y_true{0, 0, 0, 1, 1};
+  const std::vector<int> y_pred{0, 0, 1, 1, 0};
+  const auto report = classification_report(y_true, y_pred, {"neg", "pos"});
+
+  ASSERT_EQ(report.per_class.size(), 2u);
+  const auto& neg = report.per_class[0];
+  EXPECT_EQ(neg.name, "neg");
+  EXPECT_NEAR(neg.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(neg.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(neg.f1, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(neg.support, 3u);
+
+  const auto& pos = report.per_class[1];
+  EXPECT_NEAR(pos.precision, 0.5, 1e-12);
+  EXPECT_NEAR(pos.recall, 0.5, 1e-12);
+
+  // micro = accuracy = 3/5; macro = (2/3 + 1/2)/2; weighted by support.
+  EXPECT_NEAR(report.micro.f1, 0.6, 1e-12);
+  EXPECT_NEAR(report.macro.f1, (2.0 / 3.0 + 0.5) / 2.0, 1e-12);
+  EXPECT_NEAR(report.weighted.f1, (3 * (2.0 / 3.0) + 2 * 0.5) / 5.0, 1e-12);
+}
+
+TEST(ClassificationReport, MicroEqualsAccuracyInMultiClass) {
+  const std::vector<int> y_true{0, 1, 2, 2, 1, 0, 2};
+  const std::vector<int> y_pred{0, 2, 2, 1, 1, 0, 0};
+  const auto report = classification_report(y_true, y_pred, {"a", "b", "c"});
+  EXPECT_DOUBLE_EQ(report.micro.precision, report.accuracy);
+  EXPECT_DOUBLE_EQ(report.micro.recall, report.accuracy);
+  EXPECT_DOUBLE_EQ(report.micro.f1, report.accuracy);
+}
+
+TEST(ClassificationReport, UnknownLabelSortsFirstAsMinusOne) {
+  const std::vector<int> y_true{kUnknownLabel, 0, kUnknownLabel, 1};
+  const std::vector<int> y_pred{kUnknownLabel, 0, 1, 1};
+  const auto report = classification_report(y_true, y_pred, {"Augustus", "BLAT"});
+  ASSERT_GE(report.per_class.size(), 3u);
+  EXPECT_EQ(report.per_class[0].name, "-1");
+  EXPECT_EQ(report.per_class[0].support, 2u);
+  EXPECT_EQ(report.per_class[1].name, "Augustus");
+}
+
+TEST(ClassificationReport, ZeroDivisionYieldsZero) {
+  // Class 1 never predicted and never true -> not in report;
+  // class 2 true but never predicted -> P=0 (no predictions), R=0? No:
+  // R = 0 because TP=0, FN>0; P = 0 by the zero-division rule.
+  const std::vector<int> y_true{0, 0, 2};
+  const std::vector<int> y_pred{0, 0, 0};
+  const auto report = classification_report(y_true, y_pred, {"a", "b", "c"});
+  bool found_c = false;
+  for (const auto& m : report.per_class) {
+    if (m.name == "c") {
+      found_c = true;
+      EXPECT_DOUBLE_EQ(m.precision, 0.0);
+      EXPECT_DOUBLE_EQ(m.recall, 0.0);
+      EXPECT_DOUBLE_EQ(m.f1, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_c);
+}
+
+TEST(ClassificationReport, PredictedOnlyClassAppears) {
+  // sklearn includes labels that occur only in y_pred (support 0).
+  const std::vector<int> y_true{0, 0};
+  const std::vector<int> y_pred{0, 1};
+  const auto report = classification_report(y_true, y_pred, {"a", "b"});
+  bool found_b = false;
+  for (const auto& m : report.per_class) {
+    if (m.name == "b") {
+      found_b = true;
+      EXPECT_EQ(m.support, 0u);
+      EXPECT_DOUBLE_EQ(m.precision, 0.0);  // 1 FP, 0 TP
+    }
+  }
+  EXPECT_TRUE(found_b);
+}
+
+TEST(ClassificationReport, RendersPaperStyleTable) {
+  const std::vector<int> y_true{kUnknownLabel, 0, 1, 1};
+  const std::vector<int> y_pred{kUnknownLabel, 0, 1, 0};
+  const auto report = classification_report(y_true, y_pred, {"BCFtools", "Velvet"});
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("Class"), std::string::npos);
+  EXPECT_NE(text.find("Precision"), std::string::npos);
+  EXPECT_NE(text.find("f1-Score"), std::string::npos);
+  EXPECT_NE(text.find("Support"), std::string::npos);
+  EXPECT_NE(text.find("-1"), std::string::npos);
+  EXPECT_NE(text.find("BCFtools"), std::string::npos);
+  EXPECT_NE(text.find("micro avg"), std::string::npos);
+  EXPECT_NE(text.find("macro avg"), std::string::npos);
+  EXPECT_NE(text.find("weighted avg"), std::string::npos);
+}
+
+TEST(ClassificationReport, RejectsSizeMismatch) {
+  EXPECT_THROW(classification_report({0, 1}, {0}, {}), std::invalid_argument);
+}
+
+TEST(F1Helpers, AgreeWithFullReport) {
+  const std::vector<int> y_true{0, 0, 1, 1, 2};
+  const std::vector<int> y_pred{0, 1, 1, 1, 0};
+  const auto report = classification_report(y_true, y_pred, {});
+  EXPECT_DOUBLE_EQ(macro_f1(y_true, y_pred), report.macro.f1);
+  EXPECT_DOUBLE_EQ(micro_f1(y_true, y_pred), report.micro.f1);
+  EXPECT_DOUBLE_EQ(weighted_f1(y_true, y_pred), report.weighted.f1);
+}
+
+TEST(F1Helpers, PaperHeadlineShapeIsRepresentable) {
+  // Sanity: the three averages are independent quantities; build a case
+  // where macro < micro (large easy class + small hard class).
+  std::vector<int> y_true;
+  std::vector<int> y_pred;
+  for (int i = 0; i < 98; ++i) {
+    y_true.push_back(0);
+    y_pred.push_back(0);
+  }
+  y_true.push_back(1);
+  y_pred.push_back(0);
+  y_true.push_back(1);
+  y_pred.push_back(1);
+  EXPECT_GT(micro_f1(y_true, y_pred), macro_f1(y_true, y_pred));
+}
+
+}  // namespace
+}  // namespace fhc::ml

@@ -1,0 +1,184 @@
+// Random forest: ensemble accuracy, probability averaging, importances,
+// determinism under parallel training.
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace fhc::ml {
+namespace {
+
+struct FourBlobs {
+  Matrix x;
+  std::vector<int> y;
+};
+
+/// Four Gaussian blobs in the 2-D plane corners (classes 0..3).
+FourBlobs make_four_blobs(std::size_t per_class, fhc::util::Rng& rng) {
+  FourBlobs data{Matrix(4 * per_class, 2), {}};
+  data.y.resize(4 * per_class);
+  const float centers[4][2] = {{-3, -3}, {-3, 3}, {3, -3}, {3, 3}};
+  for (int c = 0; c < 4; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = static_cast<std::size_t>(c) * per_class + i;
+      data.x.at(row, 0) = centers[c][0] + static_cast<float>(rng.gaussian() * 0.7);
+      data.x.at(row, 1) = centers[c][1] + static_cast<float>(rng.gaussian() * 0.7);
+      data.y[row] = c;
+    }
+  }
+  return data;
+}
+
+ForestParams quick_params(int trees = 25) {
+  ForestParams params;
+  params.n_estimators = trees;
+  params.seed = 7;
+  return params;
+}
+
+TEST(RandomForest, ClassifiesFourBlobs) {
+  fhc::util::Rng rng(1);
+  const FourBlobs data = make_four_blobs(60, rng);
+  RandomForest forest;
+  forest.fit(data.x, data.y, 4, {}, quick_params());
+  int correct = 0;
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    correct += forest.predict(data.x.row(i)) == data.y[i] ? 1 : 0;
+  }
+  EXPECT_GE(correct, 230);  // 240 total; bootstrap noise allows a few misses
+}
+
+TEST(RandomForest, ProbabilitiesAreAveragedAndNormalized) {
+  fhc::util::Rng rng(2);
+  const FourBlobs data = make_four_blobs(40, rng);
+  RandomForest forest;
+  forest.fit(data.x, data.y, 4, {}, quick_params());
+  for (std::size_t i = 0; i < data.x.rows(); i += 13) {
+    const auto proba = forest.predict_proba(data.x.row(i));
+    ASSERT_EQ(proba.size(), 4u);
+    EXPECT_NEAR(std::accumulate(proba.begin(), proba.end(), 0.0), 1.0, 1e-9);
+  }
+}
+
+TEST(RandomForest, ProbaMatrixMatchesPerRowCalls) {
+  fhc::util::Rng rng(3);
+  const FourBlobs data = make_four_blobs(25, rng);
+  RandomForest forest;
+  forest.fit(data.x, data.y, 4, {}, quick_params(10));
+  const Matrix proba = forest.predict_proba_matrix(data.x);
+  for (std::size_t i = 0; i < data.x.rows(); i += 11) {
+    const auto row_proba = forest.predict_proba(data.x.row(i));
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(proba.at(i, c), row_proba[c], 1e-6);
+    }
+  }
+}
+
+TEST(RandomForest, DeterministicAcrossRuns) {
+  // Parallel tree training must not affect results: per-tree RNG streams
+  // are derived from (seed, tree index), not from scheduling.
+  fhc::util::Rng rng(4);
+  const FourBlobs data = make_four_blobs(30, rng);
+  RandomForest a;
+  RandomForest b;
+  a.fit(data.x, data.y, 4, {}, quick_params());
+  b.fit(data.x, data.y, 4, {}, quick_params());
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    const auto pa = a.predict_proba(data.x.row(i));
+    const auto pb = b.predict_proba(data.x.row(i));
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(pa[c], pb[c]);
+  }
+}
+
+TEST(RandomForest, SeedChangesEnsemble) {
+  fhc::util::Rng rng(5);
+  const FourBlobs data = make_four_blobs(30, rng);
+  ForestParams params_a = quick_params();
+  ForestParams params_b = quick_params();
+  params_b.seed = 8888;
+  RandomForest a;
+  RandomForest b;
+  a.fit(data.x, data.y, 4, {}, params_a);
+  b.fit(data.x, data.y, 4, {}, params_b);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < data.x.rows() && !any_difference; ++i) {
+    const auto pa = a.predict_proba(data.x.row(i));
+    const auto pb = b.predict_proba(data.x.row(i));
+    for (std::size_t c = 0; c < 4; ++c) {
+      if (std::abs(pa[c] - pb[c]) > 1e-12) any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RandomForest, FeatureImportancesSumToOne) {
+  fhc::util::Rng rng(6);
+  const FourBlobs data = make_four_blobs(40, rng);
+  RandomForest forest;
+  forest.fit(data.x, data.y, 4, {}, quick_params());
+  const auto importances = forest.feature_importances();
+  ASSERT_EQ(importances.size(), 2u);
+  EXPECT_NEAR(importances[0] + importances[1], 1.0, 1e-9);
+  // Both features are informative for the 2-D corner blobs.
+  EXPECT_GT(importances[0], 0.2);
+  EXPECT_GT(importances[1], 0.2);
+}
+
+TEST(RandomForest, BalancedWeightsLiftMinorityRecall) {
+  // 190 vs 10 imbalance with overlapping blobs: balanced weights must not
+  // reduce minority-class recall (usually they raise it).
+  fhc::util::Rng rng(7);
+  Matrix x(200, 1);
+  std::vector<int> y(200);
+  for (std::size_t i = 0; i < 190; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.gaussian());
+    y[i] = 0;
+  }
+  for (std::size_t i = 190; i < 200; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.gaussian() + 1.5);
+    y[i] = 1;
+  }
+  const auto recall_minority = [&](std::span<const double> weights) {
+    RandomForest forest;
+    forest.fit(x, y, 2, weights, quick_params(40));
+    int hits = 0;
+    for (std::size_t i = 190; i < 200; ++i) {
+      hits += forest.predict(x.row(i)) == 1 ? 1 : 0;
+    }
+    return hits;
+  };
+  std::vector<double> balanced(200, 1.0);
+  for (std::size_t i = 0; i < 190; ++i) balanced[i] = 200.0 / (2 * 190.0);
+  for (std::size_t i = 190; i < 200; ++i) balanced[i] = 200.0 / (2 * 10.0);
+  EXPECT_GE(recall_minority(balanced), recall_minority({}));
+}
+
+TEST(RandomForest, NoBootstrapMode) {
+  fhc::util::Rng rng(8);
+  const FourBlobs data = make_four_blobs(30, rng);
+  ForestParams params = quick_params(5);
+  params.bootstrap = false;
+  RandomForest forest;
+  forest.fit(data.x, data.y, 4, {}, params);
+  int correct = 0;
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    correct += forest.predict(data.x.row(i)) == data.y[i] ? 1 : 0;
+  }
+  EXPECT_EQ(correct, 120);  // without bootstrap, training data is memorized
+}
+
+TEST(RandomForest, RejectsBadConfig) {
+  Matrix x(2, 1);
+  const std::vector<int> y{0, 1};
+  RandomForest forest;
+  ForestParams params;
+  params.n_estimators = 0;
+  EXPECT_THROW(forest.fit(x, y, 2, {}, params), std::invalid_argument);
+  EXPECT_THROW(forest.predict_proba(x.row(0)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fhc::ml

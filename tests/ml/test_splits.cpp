@@ -1,0 +1,154 @@
+// Stratified and two-phase splitting (the paper's evaluation protocol).
+#include "ml/splits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace fhc::ml {
+namespace {
+
+std::vector<int> make_labels(const std::vector<std::pair<int, int>>& class_counts) {
+  std::vector<int> labels;
+  for (const auto& [label, count] : class_counts) {
+    for (int i = 0; i < count; ++i) labels.push_back(label);
+  }
+  return labels;
+}
+
+TEST(StratifiedSplit, PartitionsAllSamples) {
+  const auto labels = make_labels({{0, 10}, {1, 20}, {2, 5}});
+  fhc::util::Rng rng(1);
+  const SampleSplit split = stratified_split(labels, 0.4, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), labels.size());
+
+  std::set<std::size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), labels.size()) << "no index may appear twice";
+}
+
+TEST(StratifiedSplit, PerClassProportions) {
+  const auto labels = make_labels({{0, 100}, {1, 50}, {2, 10}});
+  fhc::util::Rng rng(2);
+  const SampleSplit split = stratified_split(labels, 0.4, rng);
+  std::map<int, int> test_counts;
+  for (const std::size_t i : split.test) test_counts[labels[i]] += 1;
+  EXPECT_EQ(test_counts[0], 40);
+  EXPECT_EQ(test_counts[1], 20);
+  EXPECT_EQ(test_counts[2], 4);
+}
+
+TEST(StratifiedSplit, RoundHalfUpMatchesPaperReconstruction) {
+  // A class of 25 samples at 40% test -> support 10 (paper: Augustus).
+  const auto labels = make_labels({{0, 25}});
+  fhc::util::Rng rng(3);
+  EXPECT_EQ(stratified_split(labels, 0.4, rng).test.size(), 10u);
+  // A class of 3 -> round(1.2) = 1 (paper: CapnProto support 1).
+  const auto three = make_labels({{0, 3}});
+  fhc::util::Rng rng2(3);
+  EXPECT_EQ(stratified_split(three, 0.4, rng2).test.size(), 1u);
+}
+
+TEST(StratifiedSplit, KeepsBothSidesNonEmptyForTwoPlus) {
+  const auto labels = make_labels({{0, 2}});
+  fhc::util::Rng rng(4);
+  const SampleSplit split = stratified_split(labels, 0.9, rng);
+  EXPECT_EQ(split.train.size(), 1u);
+  EXPECT_EQ(split.test.size(), 1u);
+}
+
+TEST(StratifiedSplit, DeterministicGivenRngState) {
+  const auto labels = make_labels({{0, 30}, {1, 30}});
+  fhc::util::Rng rng1(5);
+  fhc::util::Rng rng2(5);
+  const SampleSplit a = stratified_split(labels, 0.4, rng1);
+  const SampleSplit b = stratified_split(labels, 0.4, rng2);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+}
+
+TEST(StratifiedSplit, RejectsBadInput) {
+  fhc::util::Rng rng(6);
+  EXPECT_THROW(stratified_split({0, -1, 2}, 0.4, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_split({0, 1}, 1.5, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_split({0, 1}, -0.1, rng), std::invalid_argument);
+}
+
+TEST(ClassLevelSplit, PicksRequestedFraction) {
+  fhc::util::Rng rng(7);
+  const auto unknown = class_level_split(92, 0.2, rng);
+  EXPECT_EQ(unknown.size(), 18u);  // round(0.2 * 92)
+  for (const std::size_t c : unknown) EXPECT_LT(c, 92u);
+  EXPECT_TRUE(std::is_sorted(unknown.begin(), unknown.end()));
+}
+
+TEST(ClassLevelSplit, DifferentSeedsDifferentPools) {
+  fhc::util::Rng rng1(8);
+  fhc::util::Rng rng2(9);
+  EXPECT_NE(class_level_split(92, 0.2, rng1), class_level_split(92, 0.2, rng2));
+}
+
+TEST(TwoPhaseSplit, UnknownClassesOnlyInTest) {
+  const auto labels = make_labels({{0, 10}, {1, 10}, {2, 10}, {3, 10}, {4, 10}});
+  fhc::util::Rng rng(10);
+  const TwoPhaseSplit split = two_phase_split(labels, 5, 0.2, 0.4, rng);
+
+  int unknown_classes = 0;
+  for (const bool u : split.class_is_unknown) unknown_classes += u ? 1 : 0;
+  EXPECT_EQ(unknown_classes, 1);  // round(0.2 * 5)
+
+  for (const std::size_t i : split.train) {
+    EXPECT_FALSE(split.class_is_unknown[static_cast<std::size_t>(labels[i])])
+        << "unknown-pool sample leaked into training";
+  }
+  EXPECT_EQ(split.unknown_test_count, 10u);
+  EXPECT_EQ(split.train.size() + split.test.size(), labels.size());
+}
+
+TEST(TwoPhaseSplit, PinnedUnknownListIsRespected) {
+  const auto labels = make_labels({{0, 10}, {1, 10}, {2, 10}});
+  fhc::util::Rng rng(11);
+  const TwoPhaseSplit split = two_phase_split(labels, 3, 0.2, 0.4, rng, {2});
+  EXPECT_FALSE(split.class_is_unknown[0]);
+  EXPECT_FALSE(split.class_is_unknown[1]);
+  EXPECT_TRUE(split.class_is_unknown[2]);
+  EXPECT_EQ(split.unknown_test_count, 10u);
+}
+
+TEST(TwoPhaseSplit, PaperScaleCounts) {
+  // Reproduce the paper's numbers: 92 classes, 19 pinned unknown classes
+  // with 852 samples, 4481 known samples -> 2688 train / 2645 test.
+  std::vector<int> labels;
+  std::vector<int> pinned;
+  // Simplified: 73 known classes of 61-62 samples + 19 unknown matching 852.
+  int cid = 0;
+  for (int c = 0; c < 73; ++c, ++cid) {
+    const int n = c < 28 ? 62 : 61;  // 28*62 + 45*61 = 4481
+    for (int i = 0; i < n; ++i) labels.push_back(cid);
+  }
+  for (int c = 0; c < 19; ++c, ++cid) {
+    const int n = c == 0 ? 96 : 42;  // 96 + 18*42 = 852
+    for (int i = 0; i < n; ++i) labels.push_back(cid);
+    pinned.push_back(cid);
+  }
+  ASSERT_EQ(labels.size(), 5333u);
+
+  fhc::util::Rng rng(12);
+  const TwoPhaseSplit split = two_phase_split(labels, 92, 0.2, 0.4, rng, pinned);
+  EXPECT_EQ(split.unknown_test_count, 852u);
+  EXPECT_EQ(split.train.size() + split.test.size(), 5333u);
+  // Stratified rounding keeps totals within a few samples of the paper.
+  EXPECT_NEAR(static_cast<double>(split.train.size()), 2688.0, 40.0);
+  EXPECT_NEAR(static_cast<double>(split.test.size()), 2645.0, 40.0);
+}
+
+TEST(TwoPhaseSplit, RejectsBadClassIds) {
+  fhc::util::Rng rng(13);
+  EXPECT_THROW(two_phase_split({0, 5}, 3, 0.2, 0.4, rng), std::invalid_argument);
+  EXPECT_THROW(two_phase_split({0, 1}, 3, 0.2, 0.4, rng, {7}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fhc::ml

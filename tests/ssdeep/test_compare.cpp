@@ -1,0 +1,194 @@
+// Digest parsing and the comparison pipeline's building blocks.
+#include "ssdeep/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ssdeep/fuzzy_hash.hpp"
+#include "util/rng.hpp"
+
+namespace fhc::ssdeep {
+namespace {
+
+TEST(ParseDigest, AcceptsCanonicalForm) {
+  const auto digest = parse_digest("48:abcdefg:hijk");
+  ASSERT_TRUE(digest.has_value());
+  EXPECT_EQ(digest->blocksize, 48u);
+  EXPECT_EQ(digest->part1, "abcdefg");
+  EXPECT_EQ(digest->part2, "hijk");
+}
+
+TEST(ParseDigest, AcceptsEmptyParts) {
+  ASSERT_TRUE(parse_digest("3::").has_value());
+  ASSERT_TRUE(parse_digest("3:abc:").has_value());
+}
+
+TEST(ParseDigest, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_digest("").has_value());
+  EXPECT_FALSE(parse_digest("48").has_value());
+  EXPECT_FALSE(parse_digest("48:onlyonecolon").has_value());
+  EXPECT_FALSE(parse_digest("notanumber:a:b").has_value());
+  EXPECT_FALSE(parse_digest(":a:b").has_value());
+  EXPECT_FALSE(parse_digest("-3:a:b").has_value());
+}
+
+TEST(ParseDigest, RejectsInvalidBlocksize) {
+  EXPECT_FALSE(parse_digest("5:abc:def").has_value());   // not 3*2^i
+  EXPECT_FALSE(parse_digest("0:abc:def").has_value());
+  EXPECT_FALSE(parse_digest("7:abc:def").has_value());
+  EXPECT_TRUE(parse_digest("6:abc:def").has_value());
+  EXPECT_TRUE(parse_digest("12:abc:def").has_value());
+  EXPECT_TRUE(parse_digest("1536:abc:def").has_value());
+}
+
+TEST(ParseDigest, RejectsOverlongParts) {
+  const std::string long1(kSpamsumLength + 1, 'a');
+  const std::string long2(kSpamsumLength / 2 + 1, 'a');
+  EXPECT_FALSE(parse_digest("3:" + long1 + ":ab").has_value());
+  EXPECT_FALSE(parse_digest("3:ab:" + long2).has_value());
+}
+
+TEST(ParseDigest, RejectsNonBase64Characters) {
+  EXPECT_FALSE(parse_digest("3:ab!c:d").has_value());
+  EXPECT_FALSE(parse_digest("3:ab c:d").has_value());
+}
+
+TEST(ValidBlocksize, PowersOfTwoTimesThree) {
+  EXPECT_TRUE(valid_blocksize(3));
+  EXPECT_TRUE(valid_blocksize(6));
+  EXPECT_TRUE(valid_blocksize(96));
+  EXPECT_FALSE(valid_blocksize(4));
+  EXPECT_FALSE(valid_blocksize(0));
+  EXPECT_FALSE(valid_blocksize(9));
+}
+
+TEST(EliminateLongRuns, CollapsesToThree) {
+  EXPECT_EQ(eliminate_long_runs("aaaaaa"), "aaa");
+  EXPECT_EQ(eliminate_long_runs("aaabbbb"), "aaabbb");
+  EXPECT_EQ(eliminate_long_runs("abc"), "abc");
+  EXPECT_EQ(eliminate_long_runs(""), "");
+  EXPECT_EQ(eliminate_long_runs("aabbaabb"), "aabbaabb");
+  EXPECT_EQ(eliminate_long_runs("xaaaaay"), "xaaay");
+}
+
+TEST(HasCommonSubstring, RequiresSevenSharedChars) {
+  EXPECT_TRUE(has_common_substring("abcdefghij", "zzabcdefgzz"));
+  EXPECT_FALSE(has_common_substring("abcdefghij", "abcdef"));  // too short
+  EXPECT_FALSE(has_common_substring("abcdefg", "gfedcba"));
+  EXPECT_TRUE(has_common_substring("abcdefg", "abcdefg"));
+}
+
+TEST(HasCommonSubstring, PackingIsInjectiveOnAlphabet) {
+  // 'p' and '0' collide under the naive (c & 0x3f) packing; the proper
+  // 6-bit index must keep them distinct.
+  EXPECT_FALSE(has_common_substring("ppppppp", "0000000"));
+  EXPECT_FALSE(has_common_substring("AAAAAAA", "aaaaaaa"));
+}
+
+TEST(ScoreStrings, ZeroWithoutCommonSubstring) {
+  EXPECT_EQ(score_strings("abcdefghijkl", "mnopqrstuvwx", 96,
+                          EditMetric::kDamerauOsa),
+            0);
+}
+
+TEST(ScoreStrings, ZeroForEmptyOrOverlong) {
+  EXPECT_EQ(score_strings("", "abcdefg", 96, EditMetric::kDamerauOsa), 0);
+  const std::string overlong(kSpamsumLength + 1, 'a');
+  EXPECT_EQ(score_strings(overlong, overlong, 96, EditMetric::kDamerauOsa), 0);
+}
+
+TEST(ScoreStrings, SmallBlocksizeCapsScore) {
+  // Identical short strings at tiny blocksizes must be capped:
+  // cap = bs / 3 * min(len) = 3 / 3 * 8 = 8 at bs = 3.
+  const std::string s = "abcdefgh";
+  const int capped = score_strings(s, s, 3, EditMetric::kDamerauOsa);
+  EXPECT_LE(capped, 8);
+  const int uncapped = score_strings(s, s, 192, EditMetric::kDamerauOsa);
+  EXPECT_GT(uncapped, capped);
+}
+
+TEST(CompareDigests, IdenticalDigestsScoreHundred) {
+  const auto digest = parse_digest("96:abcdefghijklmnop:qrstuvwx");
+  ASSERT_TRUE(digest.has_value());
+  EXPECT_EQ(compare_digests(*digest, *digest), 100);
+}
+
+TEST(CompareDigests, IncompatibleBlocksizesScoreZero) {
+  const auto a = parse_digest("3:abcdefghijklmnop:abcdefghijklmnop");
+  const auto b = parse_digest("48:abcdefghijklmnop:abcdefghijklmnop");
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(compare_digests(*a, *b), 0);  // 16x apart
+}
+
+TEST(CompareDigests, NeighbouringBlocksizesUseCrossParts) {
+  // a at bs, b at 2*bs: a.part2 (2*bs) must be compared with b.part1.
+  const auto a = parse_digest("48:AAAAbbbbCCCCdddd:sharedpiecehere1");
+  const auto b = parse_digest("96:sharedpiecehere1:zzzzzzzz");
+  ASSERT_TRUE(a && b);
+  EXPECT_GT(compare_digests(*a, *b), 0);
+  EXPECT_EQ(compare_digests(*a, *b), compare_digests(*b, *a)) << "symmetry";
+}
+
+TEST(CompareDigests, SymmetryOnRealDigests) {
+  fhc::util::Rng rng(5);
+  for (int round = 0; round < 10; ++round) {
+    std::string x;
+    std::string y;
+    for (int i = 0; i < 8000; ++i) {
+      x.push_back(static_cast<char>('a' + rng.next_below(26)));
+      y.push_back(static_cast<char>('a' + rng.next_below(26)));
+    }
+    // Make them partially related.
+    y.replace(0, 3000, x.substr(0, 3000));
+    const auto da = fuzzy_hash(x);
+    const auto db = fuzzy_hash(y);
+    EXPECT_EQ(compare_digests(da, db), compare_digests(db, da));
+    EXPECT_EQ(compare_digests(da, db, EditMetric::kWeightedLevenshtein),
+              compare_digests(db, da, EditMetric::kWeightedLevenshtein));
+  }
+}
+
+TEST(CompareDigests, ScoresStayInRange) {
+  fhc::util::Rng rng(6);
+  for (int round = 0; round < 20; ++round) {
+    std::string x;
+    std::string y;
+    const auto n = 1000 + rng.next_below(20000);
+    for (std::size_t i = 0; i < n; ++i) {
+      x.push_back(static_cast<char>(rng.next_below(256)));
+      y.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    for (const auto metric :
+         {EditMetric::kDamerauOsa, EditMetric::kWeightedLevenshtein}) {
+      const int score = compare_digests(fuzzy_hash(x), fuzzy_hash(y), metric);
+      EXPECT_GE(score, 0);
+      EXPECT_LE(score, 100);
+    }
+  }
+}
+
+TEST(CompareDigestStrings, ParsesThenCompares) {
+  EXPECT_EQ(compare_digest_strings("3:abc:def", "not a digest"), -1);
+  EXPECT_EQ(compare_digest_strings("bad", "3:abc:def"), -1);
+  EXPECT_EQ(compare_digest_strings("96:abcdefghijklmnop:qrst",
+                                   "96:abcdefghijklmnop:qrst"),
+            100);
+}
+
+TEST(CompareDigests, BothMetricsDetectBlockLevelSimilarity) {
+  // Replace one contiguous 15% block (the realistic binary-diff pattern);
+  // both metrics must detect the remaining similarity.
+  std::string text;
+  fhc::util::Rng rng(7);
+  for (int i = 0; i < 20000; ++i) text.push_back(static_cast<char>(rng.next_below(256)));
+  std::string variant = text;
+  for (std::size_t i = 5000; i < 8000; ++i) {
+    variant[i] = static_cast<char>(rng.next_below(256));
+  }
+  const auto a = fuzzy_hash(text);
+  const auto b = fuzzy_hash(variant);
+  EXPECT_GT(compare_digests(a, b, EditMetric::kDamerauOsa), 30);
+  EXPECT_GT(compare_digests(a, b, EditMetric::kWeightedLevenshtein), 30);
+}
+
+}  // namespace
+}  // namespace fhc::ssdeep

@@ -1,0 +1,136 @@
+// Edit-distance variants: known values, metric relationships, properties.
+#include "ssdeep/edit_distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace fhc::ssdeep {
+namespace {
+
+TEST(Levenshtein, KnownValues) {
+  EXPECT_EQ(levenshtein("", ""), 0u);
+  EXPECT_EQ(levenshtein("abc", "abc"), 0u);
+  EXPECT_EQ(levenshtein("abc", ""), 3u);
+  EXPECT_EQ(levenshtein("", "abc"), 3u);
+  EXPECT_EQ(levenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(levenshtein("flaw", "lawn"), 2u);
+  EXPECT_EQ(levenshtein("abc", "abd"), 1u);
+}
+
+TEST(WeightedLevenshtein, SubstitutionCostsTwoByDefault) {
+  // ssdeep's edit_distn: replace = delete + insert.
+  EXPECT_EQ(weighted_levenshtein("abc", "abd"), 2u);
+  EXPECT_EQ(weighted_levenshtein("abc", "abcd"), 1u);
+  EXPECT_EQ(weighted_levenshtein("abcd", "abc"), 1u);
+  EXPECT_EQ(weighted_levenshtein("abc", "xyz"), 6u);
+}
+
+TEST(WeightedLevenshtein, CustomCosts) {
+  EXPECT_EQ(weighted_levenshtein("abc", "abd", 1, 1, 1), 1u);  // = Levenshtein
+  EXPECT_EQ(weighted_levenshtein("a", "", 1, 5, 2), 5u);       // deletion cost
+  EXPECT_EQ(weighted_levenshtein("", "a", 5, 1, 2), 5u);       // insertion cost
+}
+
+TEST(WeightedLevenshtein, WorstCaseIsCombinedLength) {
+  // With substitution = 2, completely unrelated equal-length strings cost
+  // len(a) + len(b) (the denominator of the ssdeep score scaling).
+  EXPECT_EQ(weighted_levenshtein("aaaa", "bbbb"), 8u);
+}
+
+TEST(DamerauOsa, TranspositionCostsOne) {
+  EXPECT_EQ(damerau_levenshtein_osa("ab", "ba"), 1u);
+  EXPECT_EQ(levenshtein("ab", "ba"), 2u);  // plain LV pays 2
+  EXPECT_EQ(damerau_levenshtein_osa("abcdef", "abdcef"), 1u);
+}
+
+TEST(DamerauOsa, PaperEquationCases) {
+  // The four edit operations of the paper's Equation (1).
+  EXPECT_EQ(damerau_levenshtein_osa("abc", "ab"), 1u);    // deletion
+  EXPECT_EQ(damerau_levenshtein_osa("ab", "abc"), 1u);    // insertion
+  EXPECT_EQ(damerau_levenshtein_osa("abc", "adc"), 1u);   // substitution
+  EXPECT_EQ(damerau_levenshtein_osa("abcd", "acbd"), 1u); // transposition
+  EXPECT_EQ(damerau_levenshtein_osa("", ""), 0u);
+}
+
+TEST(DamerauOsa, RestrictedVsUnrestricted) {
+  // The classic distinguishing case: OSA cannot edit a transposed pair
+  // again, the unrestricted (Lowrance-Wagner) distance can.
+  EXPECT_EQ(damerau_levenshtein_osa("CA", "ABC"), 3u);
+  EXPECT_EQ(damerau_levenshtein_full("CA", "ABC"), 2u);
+}
+
+TEST(DamerauFull, MatchesOsaOnSimpleCases) {
+  EXPECT_EQ(damerau_levenshtein_full("kitten", "sitting"), 3u);
+  EXPECT_EQ(damerau_levenshtein_full("ab", "ba"), 1u);
+  EXPECT_EQ(damerau_levenshtein_full("", "xyz"), 3u);
+  EXPECT_EQ(damerau_levenshtein_full("same", "same"), 0u);
+}
+
+// --- property sweeps over random base64-ish strings ----------------------
+
+std::string random_digest_string(fhc::util::Rng& rng, std::size_t max_len) {
+  static constexpr char kAlpha[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  const auto len = static_cast<std::size_t>(rng.next_below(max_len + 1));
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kAlpha[rng.next_below(64)]);
+  }
+  return out;
+}
+
+class EditDistanceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EditDistanceProperty, MetricRelationsHold) {
+  fhc::util::Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    const std::string a = random_digest_string(rng, 64);
+    const std::string b = random_digest_string(rng, 64);
+    const auto lev = levenshtein(a, b);
+    const auto osa = damerau_levenshtein_osa(a, b);
+    const auto full = damerau_levenshtein_full(a, b);
+    const auto weighted = weighted_levenshtein(a, b);
+
+    // Adding operations can only help: full <= osa <= lev <= weighted.
+    EXPECT_LE(full, osa);
+    EXPECT_LE(osa, lev);
+    EXPECT_LE(lev, weighted);
+    // Bounds.
+    EXPECT_LE(osa, std::max(a.size(), b.size()));
+    EXPECT_LE(weighted, a.size() + b.size());
+    EXPECT_GE(lev, a.size() > b.size() ? a.size() - b.size() : b.size() - a.size());
+  }
+}
+
+TEST_P(EditDistanceProperty, SymmetryAndIdentity) {
+  fhc::util::Rng rng(GetParam() ^ 0xabcd);
+  for (int round = 0; round < 50; ++round) {
+    const std::string a = random_digest_string(rng, 48);
+    const std::string b = random_digest_string(rng, 48);
+    EXPECT_EQ(levenshtein(a, b), levenshtein(b, a));
+    EXPECT_EQ(damerau_levenshtein_osa(a, b), damerau_levenshtein_osa(b, a));
+    EXPECT_EQ(damerau_levenshtein_full(a, b), damerau_levenshtein_full(b, a));
+    EXPECT_EQ(levenshtein(a, a), 0u);
+    EXPECT_EQ(damerau_levenshtein_osa(a, a), 0u);
+    EXPECT_EQ(damerau_levenshtein_full(a, a), 0u);
+  }
+}
+
+TEST_P(EditDistanceProperty, TriangleInequalityForLevenshtein) {
+  fhc::util::Rng rng(GetParam() ^ 0x7777);
+  for (int round = 0; round < 30; ++round) {
+    const std::string a = random_digest_string(rng, 32);
+    const std::string b = random_digest_string(rng, 32);
+    const std::string c = random_digest_string(rng, 32);
+    EXPECT_LE(levenshtein(a, c), levenshtein(a, b) + levenshtein(b, c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistanceProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace fhc::ssdeep

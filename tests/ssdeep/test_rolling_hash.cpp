@@ -1,0 +1,70 @@
+// The CTPH context trigger: spamsum's rolling hash.
+#include "ssdeep/rolling_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fhc::ssdeep {
+namespace {
+
+std::uint32_t hash_of(const std::string& data) {
+  RollingHash roll;
+  std::uint32_t h = 0;
+  for (const char c : data) h = roll.update(static_cast<std::uint8_t>(c));
+  return h;
+}
+
+TEST(RollingHash, FreshHashIsZero) {
+  RollingHash roll;
+  EXPECT_EQ(roll.sum(), 0u);
+}
+
+TEST(RollingHash, DeterministicForSameInput) {
+  EXPECT_EQ(hash_of("abcdefg"), hash_of("abcdefg"));
+  EXPECT_NE(hash_of("abcdefg"), hash_of("abcdefh"));
+}
+
+TEST(RollingHash, DependsOnlyOnTrailingWindow) {
+  // After absorbing >= 7 bytes, two streams that share the last 7 bytes
+  // must agree: h1/h2 see only the window and h3's shift-xor has pushed
+  // all older bits out of the 32-bit accumulator (7 * 5 = 35 > 32).
+  const std::string tail = "0123456";
+  EXPECT_EQ(hash_of("aaaaaaaaaa" + tail), hash_of("zzzz" + tail));
+  EXPECT_EQ(hash_of("completely different prefix " + tail), hash_of(tail));
+}
+
+TEST(RollingHash, UpdateReturnsSum) {
+  RollingHash roll;
+  const auto returned = roll.update('x');
+  EXPECT_EQ(returned, roll.sum());
+}
+
+TEST(RollingHash, ResetClearsState) {
+  RollingHash roll;
+  for (const char c : std::string("some data")) roll.update(static_cast<std::uint8_t>(c));
+  roll.reset();
+  EXPECT_EQ(roll.sum(), 0u);
+  // After reset the stream behaves like a fresh hash.
+  RollingHash fresh;
+  for (const char c : std::string("xyzxyzx")) {
+    EXPECT_EQ(roll.update(static_cast<std::uint8_t>(c)),
+              fresh.update(static_cast<std::uint8_t>(c)));
+  }
+}
+
+TEST(RollingHash, WindowSlideChangesValue) {
+  RollingHash roll;
+  std::vector<std::uint32_t> values;
+  for (const char c : std::string("abcdefghij")) {
+    values.push_back(roll.update(static_cast<std::uint8_t>(c)));
+  }
+  // Distinct sliding windows of distinct content should (generically) give
+  // distinct hashes.
+  EXPECT_NE(values[7], values[8]);
+  EXPECT_NE(values[8], values[9]);
+}
+
+}  // namespace
+}  // namespace fhc::ssdeep

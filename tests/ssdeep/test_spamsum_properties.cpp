@@ -1,0 +1,114 @@
+// Property sweeps over the whole hash-compare stack (TEST_P across seeds):
+// invariants that must hold for arbitrary inputs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ssdeep/compare.hpp"
+#include "ssdeep/fuzzy_hash.hpp"
+#include "util/rng.hpp"
+
+namespace fhc::ssdeep {
+namespace {
+
+std::string random_blob(fhc::util::Rng& rng, std::size_t max_len) {
+  const auto len = static_cast<std::size_t>(rng.next_below(max_len)) + 1;
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng() & 0xff));
+  }
+  return out;
+}
+
+class SpamsumProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpamsumProperty, DigestAlwaysParsesBack) {
+  fhc::util::Rng rng(GetParam());
+  for (int round = 0; round < 25; ++round) {
+    const std::string blob = random_blob(rng, 200000);
+    const FuzzyDigest digest = fuzzy_hash(blob);
+    const auto reparsed = parse_digest(digest.to_string());
+    ASSERT_TRUE(reparsed.has_value()) << digest.to_string();
+    EXPECT_EQ(*reparsed, digest);
+  }
+}
+
+TEST_P(SpamsumProperty, BlocksizeIsConsistentWithLength) {
+  fhc::util::Rng rng(GetParam() ^ 0xb10c);
+  for (int round = 0; round < 15; ++round) {
+    const std::string blob = random_blob(rng, 500000);
+    const FuzzyDigest digest = fuzzy_hash(blob);
+    EXPECT_TRUE(valid_blocksize(digest.blocksize));
+    // The engine only selects blocksizes whose expected digest length is
+    // in range: bs*64 must reach the input size within one halving step
+    // of the ideal guess (the walk-down rule can go lower when digests
+    // are short, but never by more than the fidelity bound below).
+    if (blob.size() > 4096) {
+      const double ideal = static_cast<double>(blob.size()) / kSpamsumLength;
+      EXPECT_LE(static_cast<double>(digest.blocksize), ideal * 8)
+          << "blocksize too large for input of " << blob.size();
+    }
+  }
+}
+
+TEST_P(SpamsumProperty, SelfSimilarityIsMaximal) {
+  fhc::util::Rng rng(GetParam() ^ 0x5e1f);
+  for (int round = 0; round < 10; ++round) {
+    const std::string blob = random_blob(rng, 100000);
+    const FuzzyDigest digest = fuzzy_hash(blob);
+    if (digest.part1.size() > kRollingWindow) {
+      EXPECT_EQ(compare_digests(digest, digest), 100);
+      EXPECT_EQ(compare_digests(digest, digest, EditMetric::kWeightedLevenshtein),
+                100);
+    }
+  }
+}
+
+TEST_P(SpamsumProperty, ScoresBoundedAndSymmetric) {
+  fhc::util::Rng rng(GetParam() ^ 0xb0d9);
+  for (int round = 0; round < 10; ++round) {
+    std::string a = random_blob(rng, 60000);
+    std::string b = a;
+    // Relate them partially so both gate outcomes occur across rounds.
+    const auto cut = b.size() / 2;
+    for (std::size_t i = 0; i < cut; ++i) b[i] = static_cast<char>(rng() & 0xff);
+    const FuzzyDigest da = fuzzy_hash(a);
+    const FuzzyDigest db = fuzzy_hash(b);
+    for (const auto metric :
+         {EditMetric::kDamerauOsa, EditMetric::kWeightedLevenshtein}) {
+      const int ab = compare_digests(da, db, metric);
+      const int ba = compare_digests(db, da, metric);
+      EXPECT_EQ(ab, ba);
+      EXPECT_GE(ab, 0);
+      EXPECT_LE(ab, 100);
+    }
+  }
+}
+
+TEST_P(SpamsumProperty, AppendOnlyGrowthDegradesGracefully) {
+  // Appending data (log-style growth) must not zero the similarity until
+  // the appended part dominates.
+  fhc::util::Rng rng(GetParam() ^ 0xa99e);
+  const std::string base = random_blob(rng, 50000) + std::string(30000, '\0');
+  const std::string grown = base + random_blob(rng, 5000);
+  const int score = compare_digests(fuzzy_hash(base), fuzzy_hash(grown));
+  EXPECT_GE(score, 40);
+}
+
+TEST_P(SpamsumProperty, DisjointInputsRarelyExceedNoiseFloor) {
+  fhc::util::Rng rng(GetParam() ^ 0xd15c);
+  int high_scores = 0;
+  for (int round = 0; round < 20; ++round) {
+    const FuzzyDigest a = fuzzy_hash(random_blob(rng, 40000));
+    const FuzzyDigest b = fuzzy_hash(random_blob(rng, 40000));
+    if (compare_digests(a, b) > 40) ++high_scores;
+  }
+  EXPECT_LE(high_scores, 1) << "unrelated inputs scoring high is a bug";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpamsumProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace fhc::ssdeep

@@ -1,0 +1,66 @@
+// Environment knobs used by the bench harness.
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace fhc::util {
+namespace {
+
+struct EnvGuard {
+  explicit EnvGuard(const char* name) : name_(name) { ::unsetenv(name); }
+  ~EnvGuard() { ::unsetenv(name_); }
+  void set(const char* value) { ::setenv(name_, value, 1); }
+  const char* name_;
+};
+
+TEST(EnvString, FallbackAndOverride) {
+  EnvGuard guard("FHC_TEST_STR");
+  EXPECT_EQ(env_string("FHC_TEST_STR", "fallback"), "fallback");
+  guard.set("value");
+  EXPECT_EQ(env_string("FHC_TEST_STR", "fallback"), "value");
+  guard.set("");
+  EXPECT_EQ(env_string("FHC_TEST_STR", "fallback"), "fallback");
+}
+
+TEST(EnvDouble, ParsesAndFallsBack) {
+  EnvGuard guard("FHC_TEST_DBL");
+  EXPECT_DOUBLE_EQ(env_double("FHC_TEST_DBL", 1.5), 1.5);
+  guard.set("0.25");
+  EXPECT_DOUBLE_EQ(env_double("FHC_TEST_DBL", 1.5), 0.25);
+  guard.set("not-a-number");
+  EXPECT_DOUBLE_EQ(env_double("FHC_TEST_DBL", 1.5), 1.5);
+}
+
+TEST(EnvInt, ParsesAndFallsBack) {
+  EnvGuard guard("FHC_TEST_INT");
+  EXPECT_EQ(env_int("FHC_TEST_INT", 7), 7);
+  guard.set("42");
+  EXPECT_EQ(env_int("FHC_TEST_INT", 7), 42);
+  guard.set("-3");
+  EXPECT_EQ(env_int("FHC_TEST_INT", 7), -3);
+  guard.set("xyz");
+  EXPECT_EQ(env_int("FHC_TEST_INT", 7), 7);
+}
+
+TEST(BenchScale, ClampsToUsableRange) {
+  EnvGuard guard("FHC_SCALE");
+  EXPECT_DOUBLE_EQ(bench_scale(), 1.0);
+  guard.set("0.25");
+  EXPECT_DOUBLE_EQ(bench_scale(), 0.25);
+  guard.set("7.0");
+  EXPECT_DOUBLE_EQ(bench_scale(), 1.0);  // clamp high
+  guard.set("0");
+  EXPECT_DOUBLE_EQ(bench_scale(), 1e-3);  // clamp low
+}
+
+TEST(BenchSeed, DefaultsTo42) {
+  EnvGuard guard("FHC_SEED");
+  EXPECT_EQ(bench_seed(), 42u);
+  guard.set("123");
+  EXPECT_EQ(bench_seed(), 123u);
+}
+
+}  // namespace
+}  // namespace fhc::util

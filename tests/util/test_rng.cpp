@@ -1,0 +1,199 @@
+// Unit + property tests for the deterministic RNG substrate.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace fhc::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministicAndAdvancesState) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  const auto a1 = splitmix64(s1);
+  const auto a2 = splitmix64(s2);
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(splitmix64(s1), a1);  // state advanced -> new output
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  std::uint64_t s1 = 1;
+  std::uint64_t s2 = 2;
+  EXPECT_NE(splitmix64(s1), splitmix64(s2));
+}
+
+TEST(HashStringSeed, DistinguishesStrings) {
+  EXPECT_NE(hash_string_seed("OpenMalaria"), hash_string_seed("OpenMalarib"));
+  EXPECT_NE(hash_string_seed(""), hash_string_seed(" "));
+  EXPECT_EQ(hash_string_seed("Velvet"), hash_string_seed("Velvet"));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(123);
+  Rng b(124);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a();
+  a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(99);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundReturnsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(1234);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Rng rng(555);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(2024);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.08);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(77);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ChoicePicksExistingElements) {
+  Rng rng(3);
+  const std::vector<int> v{5, 6, 7};
+  for (int i = 0; i < 50; ++i) {
+    const int c = rng.choice(v);
+    EXPECT_TRUE(c >= 5 && c <= 7);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(9);
+  Rng parent2(9);
+  Rng child1 = parent1.split(1);
+  Rng child2 = parent2.split(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1(), child2());
+
+  Rng parent3(9);
+  Rng child_a = parent3.split(1);
+  Rng parent4(9);
+  Rng child_b = parent4.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += child_a() == child_b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RandomPermutation, CoversAllIndices) {
+  Rng rng(11);
+  const auto perm = random_permutation(100, rng);
+  std::set<std::size_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 100u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 99u);
+}
+
+TEST(RandomPermutation, EmptyAndSingleton) {
+  Rng rng(1);
+  EXPECT_TRUE(random_permutation(0, rng).empty());
+  const auto one = random_permutation(1, rng);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+// Property sweep: next_below stays unbiased enough across bounds (chi^2-ish
+// loose check on the smallest buckets).
+class RngBoundsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundsProperty, RoughlyUniform) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(bound * 31 + 7);
+  std::vector<int> histogram(static_cast<std::size_t>(bound), 0);
+  const int n = 3000 * static_cast<int>(bound);
+  for (int i = 0; i < n; ++i) {
+    histogram[static_cast<std::size_t>(rng.next_below(bound))] += 1;
+  }
+  const double expected = static_cast<double>(n) / static_cast<double>(bound);
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, expected, expected * 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallBounds, RngBoundsProperty,
+                         ::testing::Values(2, 3, 5, 7, 16));
+
+}  // namespace
+}  // namespace fhc::util

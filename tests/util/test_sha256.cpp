@@ -1,0 +1,87 @@
+// FIPS 180-4 / NIST test vectors and streaming behaviour of SHA-256.
+#include "util/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fhc::util {
+namespace {
+
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(Sha256::hex_digest(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::hex_digest("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::hex_digest("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactlyOneBlock) {
+  // 64 bytes: forces the padding into a second block.
+  const std::string input(64, 'a');
+  EXPECT_EQ(Sha256::hex_digest(input),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes: length fits in the same block as the 0x80 pad byte;
+  // 56 bytes: it does not. Both boundaries must be exact.
+  EXPECT_EQ(Sha256::hex_digest(std::string(55, 'a')),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(Sha256::hex_digest(std::string(56, 'a')),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  const auto digest = hasher.finish();
+  std::string hex;
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const auto byte : digest) {
+    hex.push_back(kHex[byte >> 4]);
+    hex.push_back(kHex[byte & 0xf]);
+  }
+  EXPECT_EQ(hex, "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const std::string data =
+      "The quick brown fox jumps over the lazy dog, repeatedly and at length.";
+  for (std::size_t cut = 0; cut <= data.size(); cut += 7) {
+    Sha256 hasher;
+    hasher.update(data.substr(0, cut));
+    hasher.update(data.substr(cut));
+    const auto streamed = hasher.finish();
+    Sha256 oneshot;
+    oneshot.update(data);
+    EXPECT_EQ(streamed, oneshot.finish()) << "cut at " << cut;
+  }
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 hasher;
+  hasher.update("garbage");
+  hasher.reset();
+  hasher.update("abc");
+  const auto digest = hasher.finish();
+  Sha256 fresh;
+  fresh.update("abc");
+  EXPECT_EQ(digest, fresh.finish());
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::hex_digest("velveth"), Sha256::hex_digest("velvetg"));
+  EXPECT_NE(Sha256::hex_digest("a"), Sha256::hex_digest("b"));
+}
+
+}  // namespace
+}  // namespace fhc::util

@@ -1,0 +1,65 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fhc::util {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(split("a:b:c", ':'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a::c", ':'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(":", ':'), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("", ':'), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ':'), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Join, InvertsSplit) {
+  const std::vector<std::string> parts{"12", "part1", "part2"};
+  EXPECT_EQ(join(parts, ":"), "12:part1:part2");
+  EXPECT_EQ(join({}, ":"), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(Trim, StripsAsciiWhitespace) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\na b\r "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-ws"), "no-ws");
+}
+
+TEST(IsPrintableAscii, MatchesStringsCriterion) {
+  EXPECT_TRUE(is_printable_ascii(' '));
+  EXPECT_TRUE(is_printable_ascii('~'));
+  EXPECT_TRUE(is_printable_ascii('A'));
+  EXPECT_FALSE(is_printable_ascii('\t'));
+  EXPECT_FALSE(is_printable_ascii('\n'));
+  EXPECT_FALSE(is_printable_ascii(0x7f));
+  EXPECT_FALSE(is_printable_ascii(0x80));
+  EXPECT_FALSE(is_printable_ascii(0x00));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("OpenMalaria"), "openmalaria");
+  EXPECT_EQ(to_lower("ABC-123"), "abc-123");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Fixed, FormatsDecimals) {
+  EXPECT_EQ(fixed(0.5, 2), "0.50");
+  EXPECT_EQ(fixed(0.789, 2), "0.79");
+  EXPECT_EQ(fixed(1.0, 0), "1");
+  EXPECT_EQ(fixed(0.07178, 4), "0.0718");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");  // no truncation
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+  EXPECT_EQ(pad_left("", 3), "   ");
+}
+
+}  // namespace
+}  // namespace fhc::util

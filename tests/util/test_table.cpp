@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fhc::util {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable table({"Name", "Count"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // 4 lines: header, rule, 2 rows (trailing newline).
+  int lines = 0;
+  for (const char c : out) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(TextTable, RightAlignmentPadsLeft) {
+  TextTable table({"N", "Value"}, {Align::Left, Align::Right});
+  table.add_row({"x", "7"});
+  const std::string out = table.render();
+  // "Value" is 5 wide; "7" must be right-aligned under it.
+  EXPECT_NE(out.find("    7"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsWidenToLongestCell) {
+  TextTable table({"A"});
+  table.add_row({"short"});
+  table.add_row({"a-much-longer-cell"});
+  const std::string out = table.render();
+  // The rule must span the longest cell.
+  EXPECT_NE(out.find(std::string(18, '-')), std::string::npos);
+}
+
+TEST(TextTable, RuleBeforeRow) {
+  TextTable table({"A"});
+  table.add_row({"x"});
+  table.add_rule();
+  table.add_row({"avg"});
+  const std::string out = table.render();
+  // Two rules total: one under the header, one before "avg".
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("---", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable table({"A", "B"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeaderOrBadAlignments) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+  EXPECT_THROW(TextTable({"A", "B"}, {Align::Left}), std::invalid_argument);
+}
+
+TEST(TextTable, RowCountTracksRows) {
+  TextTable table({"A"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace fhc::util

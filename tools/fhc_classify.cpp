@@ -1,0 +1,53 @@
+// fhc-classify: label executables with a trained model (the Slurm-prolog
+// side of the paper's envisioned workflow).
+//
+//   fhc_classify MODEL FILE...
+//
+// Prints one line per file: predicted class (or -1 for unknown),
+// confidence, and the path. Exit code 0 if all files were known, 3 if any
+// was flagged unknown (convenient for prolog scripting).
+#include <cstdio>
+
+#include "core/classifier.hpp"
+#include "util/io_util.hpp"
+
+using namespace fhc;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: fhc_classify MODEL FILE...\n");
+    return 2;
+  }
+
+  core::FuzzyHashClassifier classifier;
+  try {
+    classifier = core::FuzzyHashClassifier::load_file(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fhc_classify: %s\n", e.what());
+    return 1;
+  }
+
+  int unknowns = 0;
+  int errors = 0;
+  for (int i = 2; i < argc; ++i) {
+    try {
+      const auto image = util::read_file(argv[i]);
+      const core::Prediction pred =
+          classifier.predict(core::extract_feature_hashes(image));
+      if (pred.label == ml::kUnknownLabel) {
+        ++unknowns;
+        std::printf("-1\t%.2f\t%s\n", pred.confidence, argv[i]);
+      } else {
+        std::printf("%s\t%.2f\t%s\n",
+                    classifier.class_names()[static_cast<std::size_t>(pred.label)]
+                        .c_str(),
+                    pred.confidence, argv[i]);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fhc_classify: %s: %s\n", argv[i], e.what());
+      ++errors;
+    }
+  }
+  if (errors > 0) return 1;
+  return unknowns > 0 ? 3 : 0;
+}

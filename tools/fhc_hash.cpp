@@ -1,0 +1,79 @@
+// fhc-hash: ssdeep-style command-line fuzzy hashing.
+//
+//   fhc_hash FILE...            print "digest,filename" per file (all three
+//                               feature channels)
+//   fhc_hash -c DIGEST DIGEST   compare two digest strings (0..100)
+//   fhc_hash -m FILE FILE       hash two files and compare per channel
+#include <cstdio>
+#include <cstring>
+
+#include "core/features.hpp"
+#include "ssdeep/compare.hpp"
+#include "util/io_util.hpp"
+
+using namespace fhc;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fhc_hash FILE...          hash files (3 channels)\n"
+               "       fhc_hash -c DIG1 DIG2     compare two digests\n"
+               "       fhc_hash -m FILE1 FILE2   hash + compare two files\n");
+  return 2;
+}
+
+core::FeatureHashes hash_file(const char* path) {
+  const auto bytes = util::read_file(path);
+  return core::extract_feature_hashes(bytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+
+  if (std::strcmp(argv[1], "-c") == 0) {
+    if (argc != 4) return usage();
+    const int score = ssdeep::compare_digest_strings(argv[2], argv[3]);
+    if (score < 0) {
+      std::fprintf(stderr, "fhc_hash: malformed digest\n");
+      return 1;
+    }
+    std::printf("%d\n", score);
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "-m") == 0) {
+    if (argc != 4) return usage();
+    try {
+      const auto a = hash_file(argv[2]);
+      const auto b = hash_file(argv[3]);
+      for (int f = 0; f < core::kFeatureTypeCount; ++f) {
+        const auto type = static_cast<core::FeatureType>(f);
+        std::printf("%-14s %3d\n",
+                    std::string(core::feature_type_name(type)).c_str(),
+                    ssdeep::compare_digests(a.of(type), b.of(type)));
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fhc_hash: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    try {
+      const auto hashes = hash_file(argv[i]);
+      std::printf("%s,%s,%s,\"%s\"%s\n", hashes.file.to_string().c_str(),
+                  hashes.strings.to_string().c_str(),
+                  hashes.symbols.to_string().c_str(), argv[i],
+                  hashes.has_symbols ? "" : ",stripped");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fhc_hash: %s: %s\n", argv[i], e.what());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// fhc-train: train a Fuzzy Hash Classifier from a labelled directory tree
+// and write the model file.
+//
+//   fhc_train ROOT MODEL [threshold] [n_trees]
+//
+// ROOT follows the sciCORE layout the paper scrapes:
+//   ROOT/<ApplicationClass>/<version>/<executable>
+// Every regular file below ROOT is a sample labelled by its top-level
+// directory. Use `fhc_classify MODEL FILE...` afterwards.
+//
+// Demo without real data: materialize the synthetic corpus first —
+//   FHC_SCALE=0.05 ./build/bench/table3_unknown_classes   (or use the
+//   Corpus::materialize API), then point ROOT at it.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+
+#include "core/classifier.hpp"
+#include "util/io_util.hpp"
+
+using namespace fhc;
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 5) {
+    std::fprintf(stderr, "usage: fhc_train ROOT MODEL [threshold=0.3] [n_trees=200]\n");
+    return 2;
+  }
+  const std::filesystem::path root = argv[1];
+  const std::string model_path = argv[2];
+  const double threshold = argc > 3 ? std::atof(argv[3]) : 0.3;
+  const int n_trees = argc > 4 ? std::atoi(argv[4]) : 200;
+
+  std::vector<core::FeatureHashes> hashes;
+  std::vector<int> labels;
+  std::vector<std::string> class_names;
+  std::map<std::string, int> label_of;
+  std::size_t stripped = 0;
+
+  try {
+    for (const auto& path : util::list_files(root)) {
+      const auto relative = std::filesystem::relative(path, root);
+      if (relative.begin() == relative.end()) continue;
+      const std::string class_name = relative.begin()->string();
+      const auto image = util::read_file(path);
+      core::FeatureHashes sample = core::extract_feature_hashes(image);
+      if (!sample.has_symbols) ++stripped;
+      const auto [it, inserted] =
+          label_of.try_emplace(class_name, static_cast<int>(class_names.size()));
+      if (inserted) class_names.push_back(class_name);
+      hashes.push_back(std::move(sample));
+      labels.push_back(it->second);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fhc_train: %s\n", e.what());
+    return 1;
+  }
+  if (hashes.empty()) {
+    std::fprintf(stderr, "fhc_train: no samples under %s\n", root.c_str());
+    return 1;
+  }
+  std::printf("collected %zu samples in %zu classes (%zu stripped)\n",
+              hashes.size(), class_names.size(), stripped);
+
+  core::ClassifierConfig config;
+  config.forest.n_estimators = n_trees;
+  config.confidence_threshold = threshold;
+  core::FuzzyHashClassifier classifier;
+  try {
+    classifier.fit(hashes, labels, class_names, config);
+    classifier.save_file(model_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fhc_train: %s\n", e.what());
+    return 1;
+  }
+  const auto importance = classifier.feature_type_importance();
+  std::printf("model written to %s (threshold %.2f, %d trees)\n",
+              model_path.c_str(), threshold, n_trees);
+  std::printf("feature importance: file %.3f, strings %.3f, symbols %.3f\n",
+              importance[0], importance[1], importance[2]);
+  return 0;
+}
