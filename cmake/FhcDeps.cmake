@@ -1,0 +1,33 @@
+# Test / bench dependencies: prefer the system packages (the CI image ships
+# libgtest-dev and libbenchmark-dev), fall back to FetchContent on bare
+# machines so `cmake -B build -S .` works anywhere with network access.
+
+include(FetchContent)
+
+find_package(Threads REQUIRED)
+
+find_package(GTest QUIET)
+if(NOT GTest_FOUND)
+  message(STATUS "fhc: system GTest not found, fetching googletest v1.14.0")
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endif()
+
+find_package(benchmark QUIET)
+if(NOT benchmark_FOUND)
+  message(STATUS "fhc: system google-benchmark not found, fetching v1.8.3")
+  FetchContent_Declare(benchmark
+    URL https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz
+    URL_HASH SHA256=6bc180a57d23d4d9515519f92b0c83d61b05b5bab188961f36ac7b06b0d9e9ce)
+  set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(benchmark)
+  # Every benchmark consumer is EXCLUDE_FROM_ALL; keep the fetched library
+  # out of the default build too (FetchContent's own EXCLUDE_FROM_ALL
+  # option needs CMake 3.28, above our 3.20 minimum).
+  set_target_properties(benchmark benchmark_main PROPERTIES EXCLUDE_FROM_ALL TRUE)
+endif()

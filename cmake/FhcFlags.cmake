@@ -1,0 +1,29 @@
+# fhc::flags — the one INTERFACE target every fhc target links. Consumers of
+# the fhc library inherit the warning policy and sanitizer wiring through the
+# library's PUBLIC link, so a target cannot accidentally opt out.
+
+add_library(fhc_flags INTERFACE)
+add_library(fhc::flags ALIAS fhc_flags)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(fhc_flags INTERFACE -Wall -Wextra -Werror)
+elseif(MSVC)
+  target_compile_options(fhc_flags INTERFACE /W4 /WX)
+endif()
+
+# FHC_SANITIZE is a semicolon list ("address;undefined"). Each entry becomes a
+# -fsanitize=<name> on both compile and link so the whole graph — library,
+# tests, tools, examples, benches — runs instrumented.
+if(FHC_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "FHC_SANITIZE requires GCC or Clang (got ${CMAKE_CXX_COMPILER_ID})")
+  endif()
+  set(_fhc_san_flags "")
+  foreach(_san IN LISTS FHC_SANITIZE)
+    list(APPEND _fhc_san_flags "-fsanitize=${_san}")
+  endforeach()
+  list(APPEND _fhc_san_flags -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  target_compile_options(fhc_flags INTERFACE ${_fhc_san_flags})
+  target_link_options(fhc_flags INTERFACE ${_fhc_san_flags})
+  message(STATUS "fhc: sanitizers enabled: ${FHC_SANITIZE}")
+endif()

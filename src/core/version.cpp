@@ -1,0 +1,11 @@
+#include "core/version.hpp"
+
+namespace fhc::core {
+
+const char* version() noexcept { return FHC_VERSION; }
+
+int version_major() noexcept { return FHC_VERSION_MAJOR; }
+int version_minor() noexcept { return FHC_VERSION_MINOR; }
+int version_patch() noexcept { return FHC_VERSION_PATCH; }
+
+}  // namespace fhc::core

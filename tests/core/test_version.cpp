@@ -1,0 +1,41 @@
+// Smoke test for the build contract itself: the CMake-configured version
+// header exists on the include path, the macro and the symbol compiled into
+// libfhc agree, and linking against the library works at all.
+#include "core/version.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+TEST(Version, MacroIsNonEmptySemver) {
+  const std::string v = FHC_VERSION;
+  ASSERT_FALSE(v.empty());
+  // major.minor.patch: exactly two dots, digits everywhere else.
+  int dots = 0;
+  for (char c : v) {
+    if (c == '.') {
+      ++dots;
+    } else {
+      EXPECT_TRUE(c >= '0' && c <= '9') << "unexpected character in " << v;
+    }
+  }
+  EXPECT_EQ(dots, 2) << "not major.minor.patch: " << v;
+}
+
+TEST(Version, LibrarySymbolMatchesHeaderMacro) {
+  EXPECT_STREQ(fhc::core::version(), FHC_VERSION);
+  EXPECT_EQ(fhc::core::version_major(), FHC_VERSION_MAJOR);
+  EXPECT_EQ(fhc::core::version_minor(), FHC_VERSION_MINOR);
+  EXPECT_EQ(fhc::core::version_patch(), FHC_VERSION_PATCH);
+}
+
+TEST(Version, ComponentsComposeTheString) {
+  const std::string composed = std::to_string(fhc::core::version_major()) + "." +
+                               std::to_string(fhc::core::version_minor()) + "." +
+                               std::to_string(fhc::core::version_patch());
+  EXPECT_EQ(composed, fhc::core::version());
+}
+
+}  // namespace

@@ -92,7 +92,9 @@ TEST(ElfWriter, LocalSymbolsPrecedeGlobals) {
   bool seen_global = false;
   for (const Symbol& sym : symbols) {
     if (sym.bind == kStbGlobal) seen_global = true;
-    if (seen_global) EXPECT_NE(sym.bind, kStbLocal) << "local after global";
+    if (seen_global) {
+      EXPECT_NE(sym.bind, kStbLocal) << "local after global";
+    }
   }
 }
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Run the two perf baselines and emit machine-readable results:
+#   BENCH_perf_ssdeep.json and BENCH_perf_forest.json in the current
+#   directory (google-benchmark JSON format).
+#
+# Usage: tools/run_benches.sh [BUILD_DIR]   (default: build)
+#
+# Builds the targets first if the build dir is configured, so a fresh
+# checkout only needs `cmake -B build -S .` before calling this.
+set -eu
+
+BUILD_DIR="${1:-build}"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  echo "error: '$BUILD_DIR' is not a configured build dir (run: cmake -B $BUILD_DIR -S .)" >&2
+  exit 2
+fi
+
+cmake --build "$BUILD_DIR" --target perf_ssdeep perf_forest
+
+for name in perf_ssdeep perf_forest; do
+  echo "== $name -> BENCH_${name}.json"
+  "$BUILD_DIR/bench/$name" \
+    --benchmark_out="BENCH_${name}.json" \
+    --benchmark_out_format=json \
+    --benchmark_counters_tabular=true
+done
