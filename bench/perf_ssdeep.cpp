@@ -1,14 +1,20 @@
 // google-benchmark microbenchmarks for the SSDeep substrate: hashing
-// throughput, digest comparison cost (gated vs DP path), edit distances.
-// These quantify the fast-path claims made in DESIGN.md.
+// throughput, digest comparison cost (gated vs DP path, raw vs prepared),
+// edit distances, and the classifier's feature-row extraction. The
+// prepared-vs-raw pairs quantify what PreparedDigest saves by normalizing
+// each side once instead of on every comparison.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
+#include "core/feature_matrix.hpp"
+#include "core/features.hpp"
 #include "ssdeep/compare.hpp"
 #include "ssdeep/edit_distance.hpp"
 #include "ssdeep/fuzzy_hash.hpp"
+#include "ssdeep/prepared.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -56,6 +62,45 @@ void BM_CompareUnrelatedDigests(benchmark::State& state) {
 }
 BENCHMARK(BM_CompareUnrelatedDigests);
 
+void BM_ComparePreparedRelatedDigests(benchmark::State& state) {
+  // Same digest pair as BM_CompareRelatedDigests, but both sides prepared
+  // once up front — the DP still runs, only the per-call normalization and
+  // gram packing disappear.
+  auto a = random_bytes(2, 100000);
+  auto b = a;
+  for (std::size_t i = 30000; i < 40000; ++i) b[i] ^= 0x5a;
+  const ssdeep::PreparedDigest da(ssdeep::fuzzy_hash(std::span<const std::uint8_t>(a)));
+  const ssdeep::PreparedDigest db(ssdeep::fuzzy_hash(std::span<const std::uint8_t>(b)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssdeep::compare_prepared(da, db));
+  }
+}
+BENCHMARK(BM_ComparePreparedRelatedDigests);
+
+void BM_ComparePreparedUnrelatedDigests(benchmark::State& state) {
+  // The classifier's dominant case (cross-class pair, 7-gram gate
+  // rejects): raw comparison re-runs eliminate_long_runs and re-packs and
+  // re-sorts both gram arrays per call; prepared is a pure merge scan.
+  const ssdeep::PreparedDigest da(
+      ssdeep::fuzzy_hash(std::span<const std::uint8_t>(random_bytes(3, 100000))));
+  const ssdeep::PreparedDigest db(
+      ssdeep::fuzzy_hash(std::span<const std::uint8_t>(random_bytes(4, 100000))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssdeep::compare_prepared(da, db));
+  }
+}
+BENCHMARK(BM_ComparePreparedUnrelatedDigests);
+
+void BM_PrepareDigest(benchmark::State& state) {
+  // One-time preparation cost — paid once per train digest per index
+  // build, amortized over every comparison against it.
+  const auto digest = ssdeep::fuzzy_hash(std::span<const std::uint8_t>(random_bytes(12, 100000)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssdeep::PreparedDigest(digest));
+  }
+}
+BENCHMARK(BM_PrepareDigest);
+
 std::string random_digest_chars(std::uint64_t seed, std::size_t n) {
   static constexpr char kAlpha[] =
       "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
@@ -91,6 +136,102 @@ void BM_HasCommonSubstring(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HasCommonSubstring);
+
+// --- feature-row extraction: the classifier's hot loop -----------------
+
+struct FeatureBenchData {
+  std::vector<core::FeatureHashes> train;
+  std::vector<int> labels;
+  core::TrainIndex index;
+  core::FeatureHashes query;
+};
+
+// 4 classes x 24 training samples; per class, variants of a shared base
+// buffer so same-class pairs exercise the DP and cross-class pairs die at
+// the gate — the mix fill_feature_row sees in the real pipeline.
+const FeatureBenchData& feature_bench_data() {
+  static const FeatureBenchData data = [] {
+    constexpr int kClasses = 4;
+    constexpr int kPerClass = 24;
+    fhc::util::Rng rng(13);
+    std::vector<core::FeatureHashes> train;
+    std::vector<int> labels;
+    std::vector<std::vector<std::uint8_t>> bases;
+    for (int c = 0; c < kClasses; ++c) {
+      bases.push_back(random_bytes(100 + static_cast<std::uint64_t>(c), 60000));
+    }
+    for (int c = 0; c < kClasses; ++c) {
+      for (int v = 0; v < kPerClass; ++v) {
+        auto file = bases[static_cast<std::size_t>(c)];
+        for (std::size_t i = 0; i < 4000; ++i) {
+          file[(static_cast<std::size_t>(v) * 997 + i * 13) % file.size()] ^=
+              static_cast<std::uint8_t>(rng() & 0xff);
+        }
+        core::FeatureHashes hashes;
+        hashes.file = ssdeep::fuzzy_hash(std::span<const std::uint8_t>(file));
+        hashes.strings = ssdeep::fuzzy_hash(
+            std::span<const std::uint8_t>(file).subspan(0, 20000));
+        hashes.symbols = ssdeep::fuzzy_hash(
+            std::span<const std::uint8_t>(file).subspan(20000, 20000));
+        train.push_back(hashes);
+        labels.push_back(c);
+      }
+    }
+    core::TrainIndex index(train, labels, {"A", "B", "C", "D"});
+    core::FeatureHashes query = train[5];  // same class as bucket 0, not identical
+    auto bytes = bases[0];
+    for (std::size_t i = 0; i < 8000; ++i) bytes[i * 7 % bytes.size()] ^= 0x33;
+    query.file = ssdeep::fuzzy_hash(std::span<const std::uint8_t>(bytes));
+    return FeatureBenchData{std::move(train), std::move(labels), std::move(index),
+                            std::move(query)};
+  }();
+  return data;
+}
+
+void BM_FeatureRowPrepared(benchmark::State& state) {
+  // One feature row via the prepared index: query normalized once per
+  // channel, train side prepared at index build, whole buckets skipped on
+  // blocksize.
+  const FeatureBenchData& data = feature_bench_data();
+  std::vector<float> row(static_cast<std::size_t>(3 * data.index.n_classes()));
+  for (auto _ : state) {
+    core::fill_feature_row(data.index, data.query,
+                           ssdeep::EditMetric::kDamerauOsa, -1, row);
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.train.size()) * 3);
+}
+BENCHMARK(BM_FeatureRowPrepared);
+
+void BM_FeatureRowRawLoop(benchmark::State& state) {
+  // The pre-PreparedDigest behaviour: compare_digests against every raw
+  // train digest, re-normalizing both sides per pair.
+  const FeatureBenchData& data = feature_bench_data();
+  const int k = data.index.n_classes();
+  std::vector<float> row(static_cast<std::size_t>(3 * k));
+  for (auto _ : state) {
+    for (int f = 0; f < 3; ++f) {
+      const auto type = static_cast<core::FeatureType>(f);
+      const ssdeep::FuzzyDigest& own = data.query.of(type);
+      for (int c = 0; c < k; ++c) {
+        int best = 0;
+        for (const ssdeep::FuzzyDigest& candidate : data.index.digests(type, c)) {
+          const int score = ssdeep::compare_digests(own, candidate);
+          if (score > best) {
+            best = score;
+            if (best == 100) break;
+          }
+        }
+        row[static_cast<std::size_t>(f * k + c)] = static_cast<float>(best);
+      }
+    }
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.train.size()) * 3);
+}
+BENCHMARK(BM_FeatureRowRawLoop);
 
 void BM_StreamingUpdateChunks(benchmark::State& state) {
   // Streaming in 4 KiB chunks (the Slurm-prolog collection pattern).

@@ -208,6 +208,8 @@ void FuzzyHashClassifier::load(std::istream& in) {
   if (forest_.n_classes() != k) {
     throw std::runtime_error("FuzzyHashClassifier::load: forest/class mismatch");
   }
+  // Rebuilding the index re-prepares every reference digest (normalized
+  // parts + gram arrays) from the raw text loaded above.
   index_ = std::make_unique<TrainIndex>(hashes, labels, std::move(names));
   config_ = config;
 }

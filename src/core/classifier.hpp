@@ -1,6 +1,8 @@
 // The Fuzzy Hash Classifier — the paper's contribution.
 //
-// fit():      train hashes + labels -> reference TrainIndex, leave-self-out
+// fit():      train hashes + labels -> reference TrainIndex (training
+//             digests prepared once: run-normalized parts + presorted
+//             7-gram arrays, bucketed by blocksize), leave-self-out
 //             similarity feature matrix, balanced class weights, Random
 //             Forest.
 // predict():  hashes -> similarity features vs the index -> forest
@@ -82,8 +84,10 @@ class FuzzyHashClassifier {
 
   /// Serializes the fitted model (config, class names, reference digests,
   /// forest) as versioned text — train once on a login node, classify from
-  /// a Slurm prolog without refitting. load() throws std::runtime_error on
-  /// malformed or version-mismatched input.
+  /// a Slurm prolog without refitting. Digests are stored in the raw
+  /// "bs:p1:p2" text form; load() rebuilds the prepared comparison index
+  /// from them. Throws std::runtime_error on malformed or
+  /// version-mismatched input.
   void save(std::ostream& out) const;
   void load(std::istream& in);
   void save_file(const std::string& path) const;

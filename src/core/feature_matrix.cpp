@@ -1,5 +1,6 @@
 #include "core/feature_matrix.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/thread_pool.hpp"
@@ -17,6 +18,8 @@ TrainIndex::TrainIndex(const std::vector<FeatureHashes>& train_hashes,
   digests_.assign(kFeatureTypeCount,
                   std::vector<std::vector<ssdeep::FuzzyDigest>>(
                       static_cast<std::size_t>(k)));
+  prepared_.assign(kFeatureTypeCount, std::vector<std::vector<PreparedBucket>>(
+                                          static_cast<std::size_t>(k)));
   ids_.assign(static_cast<std::size_t>(k), {});
   train_sample_count_ = train_hashes.size();
 
@@ -27,8 +30,23 @@ TrainIndex::TrainIndex(const std::vector<FeatureHashes>& train_hashes,
     }
     const auto c = static_cast<std::size_t>(label);
     for (int f = 0; f < kFeatureTypeCount; ++f) {
-      digests_[static_cast<std::size_t>(f)][c].push_back(
-          train_hashes[i].of(static_cast<FeatureType>(f)));
+      const ssdeep::FuzzyDigest& digest =
+          train_hashes[i].of(static_cast<FeatureType>(f));
+      digests_[static_cast<std::size_t>(f)][c].push_back(digest);
+
+      // Normalize once here, into the bucket of this blocksize (at most
+      // kNumBlockhashes buckets per cell — a linear scan stays cheap).
+      auto& buckets = prepared_[static_cast<std::size_t>(f)][c];
+      auto it = std::find_if(buckets.begin(), buckets.end(),
+                             [&](const PreparedBucket& bucket) {
+                               return bucket.blocksize == digest.blocksize;
+                             });
+      if (it == buckets.end()) {
+        buckets.push_back(PreparedBucket{digest.blocksize, {}, {}});
+        it = buckets.end() - 1;
+      }
+      it->digests.emplace_back(digest);
+      it->ids.push_back(static_cast<int>(i));
     }
     ids_[c].push_back(static_cast<int>(i));
   }
@@ -37,6 +55,11 @@ TrainIndex::TrainIndex(const std::vector<FeatureHashes>& train_hashes,
 const std::vector<ssdeep::FuzzyDigest>& TrainIndex::digests(FeatureType f,
                                                             int c) const {
   return digests_.at(static_cast<std::size_t>(f)).at(static_cast<std::size_t>(c));
+}
+
+const std::vector<TrainIndex::PreparedBucket>& TrainIndex::prepared(FeatureType f,
+                                                                    int c) const {
+  return prepared_.at(static_cast<std::size_t>(f)).at(static_cast<std::size_t>(c));
 }
 
 const std::vector<int>& TrainIndex::train_ids(int c) const {
@@ -68,18 +91,24 @@ void fill_feature_row(const TrainIndex& index, const FeatureHashes& sample,
       for (int c = 0; c < k; ++c) out_row[static_cast<std::size_t>(f * k + c)] = 0.0f;
       continue;
     }
-    const ssdeep::FuzzyDigest& own = sample.of(type);
+    // Normalize the query once per feature type; the train side was
+    // prepared when the index was built.
+    const ssdeep::PreparedDigest own(sample.of(type));
     for (int c = 0; c < k; ++c) {
-      const auto& candidates = index.digests(type, c);
-      const auto& ids = index.train_ids(c);
       int best = 0;
-      for (std::size_t j = 0; j < candidates.size(); ++j) {
-        if (exclude_id >= 0 && ids[j] == exclude_id) continue;
-        const int score = ssdeep::compare_digests(own, candidates[j], metric);
-        if (score > best) {
-          best = score;
-          if (best == 100) break;  // cannot improve
+      for (const TrainIndex::PreparedBucket& bucket : index.prepared(type, c)) {
+        if (!ssdeep::blocksizes_can_pair(own.blocksize(), bucket.blocksize)) {
+          continue;  // nothing in this bucket can score > 0
         }
+        for (std::size_t j = 0; j < bucket.digests.size(); ++j) {
+          if (exclude_id >= 0 && bucket.ids[j] == exclude_id) continue;
+          const int score = ssdeep::compare_prepared(own, bucket.digests[j], metric);
+          if (score > best) {
+            best = score;
+            if (best == 100) break;  // cannot improve
+          }
+        }
+        if (best == 100) break;
       }
       out_row[static_cast<std::size_t>(f * k + c)] = static_cast<float>(best);
     }

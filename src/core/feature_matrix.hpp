@@ -11,18 +11,23 @@
 // (Table 5) are recovered by summing forest importances over each f-group.
 //
 // The pairwise comparisons dominate end-to-end runtime, so the builder
-// parallelizes over samples and relies on the comparison fast path
-// (blocksize gate + common-7-gram gate) to reject most cross-class pairs
-// before the DP edit distance runs.
+// parallelizes over samples, prepares every training digest exactly once
+// (PreparedDigest: run-normalized parts + presorted 7-gram arrays, built
+// at index-construction time — including after model load), and relies on
+// the comparison fast path (whole-bucket blocksize gate + merge-scan
+// 7-gram gate) to reject most cross-class pairs before the DP edit
+// distance runs.
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/features.hpp"
 #include "ml/matrix.hpp"
 #include "ssdeep/compare.hpp"
+#include "ssdeep/prepared.hpp"
 
 namespace fhc::core {
 
@@ -30,6 +35,17 @@ namespace fhc::core {
 /// digests to compare against.
 class TrainIndex {
  public:
+  /// Training digests of one (channel, class) cell that share a blocksize,
+  /// prepared once at index-build time. `ids` holds the original
+  /// train-sample id of each digest (for exclude-self lookups). A query
+  /// skips whole buckets whose blocksize cannot pair with its own
+  /// (equal, double, or half).
+  struct PreparedBucket {
+    std::uint32_t blocksize = 0;
+    std::vector<ssdeep::PreparedDigest> digests;
+    std::vector<int> ids;  // parallel to digests
+  };
+
   /// `labels[i]` in 0..n_classes-1; `class_names.size() == n_classes`.
   TrainIndex(const std::vector<FeatureHashes>& train_hashes,
              const std::vector<int>& labels, std::vector<std::string> class_names);
@@ -38,8 +54,13 @@ class TrainIndex {
   const std::vector<std::string>& class_names() const noexcept { return class_names_; }
   std::size_t train_size() const noexcept { return train_sample_count_; }
 
-  /// Digests of channel `f` for class `c`, parallel to train_ids(c).
+  /// Raw digests of channel `f` for class `c`, parallel to train_ids(c) —
+  /// the serialization/inspection view (save() writes these verbatim).
   const std::vector<ssdeep::FuzzyDigest>& digests(FeatureType f, int c) const;
+
+  /// Prepared digests of channel `f` for class `c`, bucketed by blocksize —
+  /// the comparison view used by fill_feature_row.
+  const std::vector<PreparedBucket>& prepared(FeatureType f, int c) const;
 
   /// Original train-sample ids for class c (for exclude-self lookups).
   const std::vector<int>& train_ids(int c) const;
@@ -51,6 +72,8 @@ class TrainIndex {
   std::vector<std::string> class_names_;
   // [feature][class] -> digests / original ids
   std::vector<std::vector<std::vector<ssdeep::FuzzyDigest>>> digests_;
+  // [feature][class] -> blocksize buckets of prepared digests
+  std::vector<std::vector<std::vector<PreparedBucket>>> prepared_;
   std::vector<std::vector<int>> ids_;
   std::size_t train_sample_count_ = 0;
 };

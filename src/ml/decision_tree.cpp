@@ -267,34 +267,48 @@ void DecisionTree::save(std::ostream& out) const {
 
 void DecisionTree::load(std::istream& in) {
   std::string tag;
-  std::size_t node_count = 0;
-  std::size_t pool_size = 0;
-  std::size_t importance_count = 0;
+  // Counts are read signed: operator>> into an unsigned type wraps a
+  // crafted negative value into a huge allocation instead of failing.
+  long long node_count = 0;
+  long long pool_size = 0;
+  long long importance_count = 0;
   if (!(in >> tag >> n_classes_ >> depth_ >> node_count >> pool_size >>
         importance_count) ||
       tag != "tree") {
     throw std::runtime_error("DecisionTree::load: bad header");
   }
-  if (n_classes_ <= 0 || pool_size % static_cast<std::size_t>(n_classes_) != 0) {
+  // Matches RandomForest::load's cap; far above any real tree (node count
+  // is bounded by 2x the training rows) while keeping the allocation a
+  // crafted header can trigger in the hundreds of MB, not GB.
+  constexpr long long kMaxCount = 1LL << 24;
+  if (depth_ < 0 || node_count < 0 || node_count > kMaxCount || pool_size < 0 ||
+      pool_size > kMaxCount || importance_count < 0 ||
+      importance_count > kMaxCount) {
+    throw std::runtime_error("DecisionTree::load: negative or oversized header");
+  }
+  if (n_classes_ <= 0 ||
+      static_cast<std::size_t>(pool_size) % static_cast<std::size_t>(n_classes_) !=
+          0) {
     throw std::runtime_error("DecisionTree::load: inconsistent sizes");
   }
-  nodes_.assign(node_count, Node{});
+  nodes_.assign(static_cast<std::size_t>(node_count), Node{});
   for (Node& node : nodes_) {
     if (!(in >> node.feature >> node.threshold >> node.left >> node.right >>
           node.proba_offset)) {
       throw std::runtime_error("DecisionTree::load: truncated nodes");
     }
   }
-  proba_pool_.assign(pool_size, 0.0f);
+  proba_pool_.assign(static_cast<std::size_t>(pool_size), 0.0f);
   for (float& p : proba_pool_) {
     if (!(in >> p)) throw std::runtime_error("DecisionTree::load: truncated pool");
   }
-  importances_.assign(importance_count, 0.0);
+  importances_.assign(static_cast<std::size_t>(importance_count), 0.0);
   for (double& imp : importances_) {
     if (!(in >> imp)) throw std::runtime_error("DecisionTree::load: truncated importances");
   }
   // Validate links so a corrupt file cannot cause out-of-range walks.
-  for (const Node& node : nodes_) {
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
     const bool is_leaf = node.proba_offset >= 0;
     if (is_leaf) {
       if (static_cast<std::size_t>(node.proba_offset) +
@@ -303,13 +317,31 @@ void DecisionTree::load(std::istream& in) {
         throw std::runtime_error("DecisionTree::load: leaf offset out of range");
       }
     } else {
-      if (node.left < 0 || node.right < 0 ||
+      // Interior nodes index a feature column in predict_proba; a negative
+      // index would read out of bounds long before the forest's
+      // n_features upper-bound check can catch it.
+      if (node.feature < 0) {
+        throw std::runtime_error("DecisionTree::load: negative feature index");
+      }
+      // build_node emits children after their parent, so legitimate links
+      // always point forward; requiring that makes the walk acyclic — a
+      // crafted back-link would otherwise spin predict_proba forever.
+      if (node.left <= static_cast<std::int32_t>(id) ||
+          node.right <= static_cast<std::int32_t>(id) ||
           static_cast<std::size_t>(node.left) >= nodes_.size() ||
           static_cast<std::size_t>(node.right) >= nodes_.size()) {
         throw std::runtime_error("DecisionTree::load: child link out of range");
       }
     }
   }
+}
+
+int DecisionTree::max_feature_used() const noexcept {
+  int max_feature = -1;
+  for (const Node& node : nodes_) {
+    if (node.proba_offset < 0) max_feature = std::max(max_feature, node.feature);
+  }
+  return max_feature;
 }
 
 }  // namespace fhc::ml

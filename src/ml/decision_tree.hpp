@@ -52,6 +52,11 @@ class DecisionTree {
   std::size_t node_count() const noexcept { return nodes_.size(); }
   int depth() const noexcept { return depth_; }
 
+  /// Largest feature index referenced by any interior node, or -1 for a
+  /// leaf-only tree — lets the forest validate loaded trees against its
+  /// own n_features before predict_proba ever indexes a row.
+  int max_feature_used() const noexcept;
+
   /// Serializes the fitted tree as whitespace-separated text (one line per
   /// node). load() restores an equivalent predictor; throws
   /// std::runtime_error on malformed input.

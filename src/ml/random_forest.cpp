@@ -90,16 +90,40 @@ void RandomForest::save(std::ostream& out) const {
 
 void RandomForest::load(std::istream& in) {
   std::string tag;
-  std::size_t tree_count = 0;
-  if (!(in >> tag >> n_classes_ >> n_features_ >> tree_count) || tag != "forest") {
+  // Signed reads: operator>> into unsigned members would wrap crafted
+  // negative header values into huge positives instead of failing.
+  long long n_classes = 0;
+  long long n_features = 0;
+  long long tree_count = 0;
+  if (!(in >> tag >> n_classes >> n_features >> tree_count) || tag != "forest") {
     throw std::runtime_error("RandomForest::load: bad header");
   }
+  if (n_classes <= 0 || n_features < 0 || tree_count < 0) {
+    throw std::runtime_error("RandomForest::load: negative header value");
+  }
   if (tree_count == 0) throw std::runtime_error("RandomForest::load: empty forest");
-  trees_.assign(tree_count, DecisionTree{});
+  constexpr long long kMaxCount = 1LL << 24;
+  if (tree_count > kMaxCount || n_features > kMaxCount || n_classes > kMaxCount) {
+    // n_classes included: a value above INT_MAX would otherwise wrap
+    // through the int cast and could collide with the trees' class count.
+    throw std::runtime_error("RandomForest::load: oversized header value");
+  }
+  n_classes_ = static_cast<int>(n_classes);
+  n_features_ = static_cast<std::size_t>(n_features);
+  trees_.assign(static_cast<std::size_t>(tree_count), DecisionTree{});
   for (DecisionTree& tree : trees_) {
     tree.load(in);
     if (tree.n_classes() != n_classes_) {
       throw std::runtime_error("RandomForest::load: tree class-count mismatch");
+    }
+    // predict_proba indexes rows of width n_features_ with each interior
+    // node's feature; feature_importances reads importances[0..n_features).
+    // Reject trees that would read out of bounds on either.
+    if (tree.max_feature_used() >= static_cast<int>(n_features_)) {
+      throw std::runtime_error("RandomForest::load: tree feature out of range");
+    }
+    if (tree.feature_importances().size() < n_features_) {
+      throw std::runtime_error("RandomForest::load: importances/features mismatch");
     }
   }
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstddef>
+#include <utility>
 
 #include "ssdeep/edit_distance.hpp"
 #include "util/base64.hpp"
@@ -28,6 +29,12 @@ constexpr std::array<std::uint8_t, 256> kB64Index = make_b64_index();
 
 }  // namespace
 
+bool blocksizes_can_pair(std::uint32_t a, std::uint32_t b) noexcept {
+  const std::uint64_t bs1 = a;
+  const std::uint64_t bs2 = b;
+  return bs1 == bs2 || bs1 == bs2 * 2 || bs2 == bs1 * 2;
+}
+
 std::string eliminate_long_runs(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -41,32 +48,53 @@ std::string eliminate_long_runs(std::string_view s) {
   return out;
 }
 
+namespace {
+
+// Digest characters are base64, i.e. 6 bits each, so a 7-gram packs
+// exactly into 42 bits of a uint64 — compare packed integers instead of
+// substrings. Digests are at most 64 chars, so arrays stay tiny and a
+// sort + merge-scan beats hashing.
+std::pair<std::array<std::uint64_t, kSpamsumLength>, std::size_t> pack_grams(
+    std::string_view s) {
+  std::array<std::uint64_t, kSpamsumLength> grams{};
+  std::size_t count = 0;
+  std::uint64_t packed = 0;
+  constexpr std::uint64_t mask = (1ULL << 42) - 1;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    packed = ((packed << 6) | kB64Index[static_cast<unsigned char>(s[i])]) & mask;
+    if (i + 1 >= kRollingWindow) grams[count++] = packed;
+  }
+  return {grams, count};
+}
+
+}  // namespace
+
 bool has_common_substring(std::string_view a, std::string_view b) {
   if (a.size() < kRollingWindow || b.size() < kRollingWindow) return false;
-  // Digest characters are base64, i.e. 6 bits each, so a 7-gram packs
-  // exactly into 42 bits of a uint64 — compare packed integers instead of
-  // substrings. Digests are at most 64 chars, so arrays stay tiny and a
-  // sort + merge-scan beats hashing.
-  const auto pack_grams = [](std::string_view s) {
-    std::array<std::uint64_t, kSpamsumLength> grams{};
-    std::size_t count = 0;
-    std::uint64_t packed = 0;
-    constexpr std::uint64_t mask = (1ULL << 42) - 1;
-    for (std::size_t i = 0; i < s.size(); ++i) {
-      packed = ((packed << 6) | kB64Index[static_cast<unsigned char>(s[i])]) & mask;
-      if (i + 1 >= kRollingWindow) grams[count++] = packed;
-    }
-    return std::pair{grams, count};
-  };
+  // Digest parts never exceed kSpamsumLength, but this is a public entry
+  // point and pack_grams writes into a fixed 64-slot array.
+  if (a.size() > kSpamsumLength || b.size() > kSpamsumLength) return false;
   auto [ga, na] = pack_grams(a);
   auto [gb, nb] = pack_grams(b);
   std::sort(ga.begin(), ga.begin() + static_cast<std::ptrdiff_t>(na));
   std::sort(gb.begin(), gb.begin() + static_cast<std::ptrdiff_t>(nb));
+  return sorted_grams_intersect({ga.data(), na}, {gb.data(), nb});
+}
+
+std::vector<std::uint64_t> packed_sorted_grams(std::string_view s) {
+  if (s.size() < kRollingWindow || s.size() > kSpamsumLength) return {};
+  auto [grams, count] = pack_grams(s);
+  std::sort(grams.begin(), grams.begin() + static_cast<std::ptrdiff_t>(count));
+  return {grams.begin(), grams.begin() + static_cast<std::ptrdiff_t>(count)};
+}
+
+bool sorted_grams_intersect(std::span<const std::uint64_t> a,
+                            std::span<const std::uint64_t> b) noexcept {
   std::size_t i = 0;
   std::size_t j = 0;
-  while (i < na && j < nb) {
-    if (ga[i] == gb[j]) return true;
-    if (ga[i] < gb[j]) {
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
       ++i;
     } else {
       ++j;
@@ -80,7 +108,11 @@ int score_strings(std::string_view a, std::string_view b, std::uint32_t blocksiz
   if (a.size() > kSpamsumLength || b.size() > kSpamsumLength) return 0;
   if (a.empty() || b.empty()) return 0;
   if (!has_common_substring(a, b)) return 0;
+  return score_strings_pregated(a, b, blocksize, metric);
+}
 
+int score_strings_pregated(std::string_view a, std::string_view b,
+                           std::uint32_t blocksize, EditMetric metric) {
   const std::size_t dist = metric == EditMetric::kDamerauOsa
                                ? damerau_levenshtein_osa(a, b)
                                : weighted_levenshtein(a, b);
@@ -113,7 +145,7 @@ int score_strings(std::string_view a, std::string_view b, std::uint32_t blocksiz
 int compare_digests(const FuzzyDigest& a, const FuzzyDigest& b, EditMetric metric) {
   const std::uint32_t bs1 = a.blocksize;
   const std::uint32_t bs2 = b.blocksize;
-  if (bs1 != bs2 && bs1 != bs2 * 2 && bs2 != bs1 * 2) return 0;
+  if (!blocksizes_can_pair(bs1, bs2)) return 0;
 
   const std::string a1 = eliminate_long_runs(a.part1);
   const std::string a2 = eliminate_long_runs(a.part2);
@@ -125,10 +157,10 @@ int compare_digests(const FuzzyDigest& a, const FuzzyDigest& b, EditMetric metri
     // DP would otherwise cap just below 100 for short strings.
     if (a1 == b1 && a1.size() > kRollingWindow) return 100;
     const int s1 = score_strings(a1, b1, bs1, metric);
-    const int s2 = score_strings(a2, b2, bs1 * 2, metric);
+    const int s2 = score_strings(a2, b2, part2_blocksize(bs1), metric);
     return std::max(s1, s2);
   }
-  if (bs1 == bs2 * 2) {
+  if (bs1 == std::uint64_t{bs2} * 2) {
     // a's part1 lives at the same blocksize as b's part2.
     return score_strings(a1, b2, bs1, metric);
   }

@@ -20,7 +20,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "ssdeep/digest.hpp"
 #include "ssdeep/rolling_hash.hpp"
@@ -42,7 +45,21 @@ int compare_digests(const FuzzyDigest& a, const FuzzyDigest& b,
 int compare_digest_strings(std::string_view a, std::string_view b,
                            EditMetric metric = EditMetric::kDamerauOsa);
 
-// --- building blocks, exposed for unit tests and benches ---------------
+// --- building blocks, exposed for unit tests, benches and the prepared
+// --- path (prepared.hpp) ------------------------------------------------
+
+/// True when digests at these blocksizes are comparable: equal or exactly
+/// one power of two apart. The doubling is done in 64 bits — `bs * 2`
+/// overflows uint32 at the top blocksize (3 << 30) and would otherwise
+/// silently mis-pair digests.
+bool blocksizes_can_pair(std::uint32_t a, std::uint32_t b) noexcept;
+
+/// Blocksize of a digest's part2 (2 * bs), saturated to uint32 so the top
+/// blocksize cannot wrap. Only the small-blocksize score cap reads this
+/// value, so saturation is semantically neutral.
+constexpr std::uint32_t part2_blocksize(std::uint32_t bs) noexcept {
+  return bs > 0xffffffffu / 2 ? 0xffffffffu : bs * 2;
+}
 
 /// Collapses runs of more than 3 identical characters to exactly 3.
 std::string eliminate_long_runs(std::string_view s);
@@ -50,9 +67,25 @@ std::string eliminate_long_runs(std::string_view s);
 /// True if the strings share any substring of kRollingWindow (7) chars.
 bool has_common_substring(std::string_view a, std::string_view b);
 
+/// Sorted array of the 42-bit-packed 7-grams of `s` (empty when `s` is
+/// shorter than the window) — the precomputable half of
+/// has_common_substring, stored by PreparedDigest.
+std::vector<std::uint64_t> packed_sorted_grams(std::string_view s);
+
+/// Merge-scan intersection test over two sorted gram arrays; equivalent to
+/// has_common_substring on the strings they were packed from.
+bool sorted_grams_intersect(std::span<const std::uint64_t> a,
+                            std::span<const std::uint64_t> b) noexcept;
+
 /// Core scoring of two digest parts that were produced at `blocksize`.
 /// Inputs are expected to be already run-normalized.
 int score_strings(std::string_view a, std::string_view b, std::uint32_t blocksize,
                   EditMetric metric);
+
+/// score_strings with the common-substring gate already established by the
+/// caller (e.g. via sorted_grams_intersect on precomputed grams). Both
+/// inputs must be non-empty, at most kSpamsumLength chars, run-normalized.
+int score_strings_pregated(std::string_view a, std::string_view b,
+                           std::uint32_t blocksize, EditMetric metric);
 
 }  // namespace fhc::ssdeep

@@ -1,0 +1,57 @@
+#include "ssdeep/prepared.hpp"
+
+#include <algorithm>
+
+namespace fhc::ssdeep {
+
+namespace {
+
+PreparedPart prepare_part(std::string_view raw) {
+  PreparedPart part;
+  part.text = eliminate_long_runs(raw);
+  part.grams = packed_sorted_grams(part.text);
+  return part;
+}
+
+// Mirrors score_strings on prepared parts: same rejection order (overlong,
+// empty, gate), then the shared post-gate scoring. The overlong check only
+// fires for hand-built digests — parse_digest and fuzzy_hash never exceed
+// kSpamsumLength — but equivalence must hold for those too.
+int score_parts(const PreparedPart& a, const PreparedPart& b,
+                std::uint32_t blocksize, EditMetric metric) {
+  if (a.text.size() > kSpamsumLength || b.text.size() > kSpamsumLength) return 0;
+  if (a.text.empty() || b.text.empty()) return 0;
+  if (!sorted_grams_intersect(a.grams, b.grams)) return 0;
+  return score_strings_pregated(a.text, b.text, blocksize, metric);
+}
+
+}  // namespace
+
+PreparedDigest::PreparedDigest(const FuzzyDigest& raw)
+    : blocksize_(raw.blocksize),
+      part1_(prepare_part(raw.part1)),
+      part2_(prepare_part(raw.part2)) {}
+
+int compare_prepared(const PreparedDigest& a, const PreparedDigest& b,
+                     EditMetric metric) {
+  const std::uint32_t bs1 = a.blocksize();
+  const std::uint32_t bs2 = b.blocksize();
+  if (!blocksizes_can_pair(bs1, bs2)) return 0;
+
+  if (bs1 == bs2) {
+    if (a.part1().text == b.part1().text && a.part1().text.size() > kRollingWindow) {
+      return 100;
+    }
+    const int s1 = score_parts(a.part1(), b.part1(), bs1, metric);
+    const int s2 = score_parts(a.part2(), b.part2(), part2_blocksize(bs1), metric);
+    return std::max(s1, s2);
+  }
+  if (bs1 == std::uint64_t{bs2} * 2) {
+    // a's part1 lives at the same blocksize as b's part2.
+    return score_parts(a.part1(), b.part2(), bs1, metric);
+  }
+  // bs2 == bs1 * 2
+  return score_parts(a.part2(), b.part1(), bs2, metric);
+}
+
+}  // namespace fhc::ssdeep

@@ -1,0 +1,62 @@
+// PreparedDigest: the one-time-normalized form of a FuzzyDigest for
+// repeated comparisons.
+//
+// compare_digests re-derives, for BOTH sides of EVERY call, the two
+// run-normalized parts plus the sorted packed 7-gram arrays behind the
+// common-substring gate. In the classifier that work is re-done millions
+// of times per experiment: every (sample, train-digest) pair goes through
+// the same normalization of train digests that never change. Preparing a
+// digest once hoists all of it:
+//
+//   * part1/part2 after eliminate_long_runs,
+//   * the sorted 42-bit-packed 7-gram array of each part (the gate then
+//     degenerates to a merge scan of two presorted arrays).
+//
+// The raw digest text is deliberately NOT retained — comparison needs only
+// the blocksize and the normalized parts, and indexes that must serialize
+// (core::TrainIndex) keep their own raw view; serialization stays the
+// "bs:p1:p2" text format and loaders prepare from it.
+//
+// compare_prepared is score-identical to compare_digests by construction:
+// both run the same gate ordering and share score_strings_pregated for the
+// DP scoring (tests/ssdeep/test_prepared.cpp holds the property test).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ssdeep/compare.hpp"
+#include "ssdeep/digest.hpp"
+
+namespace fhc::ssdeep {
+
+/// One digest part after long-run elimination, with the sorted packed
+/// 7-gram array for the common-substring gate precomputed.
+struct PreparedPart {
+  std::string text;
+  std::vector<std::uint64_t> grams;
+};
+
+class PreparedDigest {
+ public:
+  PreparedDigest() = default;
+  explicit PreparedDigest(const FuzzyDigest& raw);
+
+  std::uint32_t blocksize() const noexcept { return blocksize_; }
+  const PreparedPart& part1() const noexcept { return part1_; }
+  const PreparedPart& part2() const noexcept { return part2_; }
+
+ private:
+  std::uint32_t blocksize_ = kMinBlocksize;
+  PreparedPart part1_;  // at blocksize
+  PreparedPart part2_;  // at 2 * blocksize
+};
+
+/// Similarity in [0, 100]; bit-identical to compare_digests on the two
+/// digests the operands were prepared from, but without re-normalizing
+/// either side.
+int compare_prepared(const PreparedDigest& a, const PreparedDigest& b,
+                     EditMetric metric = EditMetric::kDamerauOsa);
+
+}  // namespace fhc::ssdeep

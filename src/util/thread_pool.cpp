@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
 
 namespace fhc::util {
 
@@ -44,6 +47,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_) {
+    const std::exception_ptr error = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 ThreadPool& ThreadPool::shared() {
@@ -62,10 +70,19 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
     }
     t_inside_worker = true;
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     t_inside_worker = false;
     {
+      // The worker must be marked done on every path — a throwing task
+      // previously escaped to std::terminate and left in_flight_ stuck,
+      // deadlocking wait_idle() forever.
       std::lock_guard lock(mutex_);
+      if (error && !first_exception_) first_exception_ = std::move(error);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }
@@ -83,19 +100,37 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   // Dynamic block scheduling: an atomic cursor hands out grain-sized blocks
   // so uneven per-index cost (e.g. same-class vs cross-class digest
   // comparisons) still balances across workers.
-  auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
+  //
+  // Exceptions are captured into per-call state, not the pool: on a shared
+  // pool, concurrent parallel_for batches must each receive their own
+  // failure, never another batch's.
+  struct BatchState {
+    std::atomic<std::size_t> cursor;
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->cursor.store(begin);
   const std::size_t tasks = std::min(pool.size(), (n + grain - 1) / grain);
   for (std::size_t t = 0; t < tasks; ++t) {
-    pool.submit([cursor, end, grain, &fn] {
-      for (;;) {
-        const std::size_t lo = cursor->fetch_add(grain);
-        if (lo >= end) return;
-        const std::size_t hi = std::min(end, lo + grain);
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
+    pool.submit([state, end, grain, &fn] {
+      try {
+        while (!state->failed.load(std::memory_order_relaxed)) {
+          const std::size_t lo = state->cursor.fetch_add(grain);
+          if (lo >= end) return;
+          const std::size_t hi = std::min(end, lo + grain);
+          for (std::size_t i = lo; i < hi; ++i) fn(i);
+        }
+      } catch (...) {
+        std::lock_guard lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+        state->failed.store(true, std::memory_order_relaxed);
       }
     });
   }
   pool.wait_idle();
+  if (state->failed.load()) std::rethrow_exception(state->error);
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {

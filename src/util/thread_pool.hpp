@@ -15,6 +15,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -36,11 +37,19 @@ class ThreadPool {
   /// Number of worker threads (>= 1).
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task. Tasks must not throw; exceptions escaping a task
-  /// terminate the process (same contract as std::thread).
+  /// Enqueues a task. An exception escaping a task is captured by the
+  /// worker (first one wins; later ones are dropped) and rethrown from the
+  /// next wait_idle() call — it never reaches the worker thread's
+  /// std::thread boundary, so it cannot std::terminate the process.
+  /// This pool-level capture assumes one wait_idle() client at a time;
+  /// with concurrent waiters the exception surfaces in whichever returns
+  /// first. parallel_for does not rely on it — it scopes failures per
+  /// call, so shared-pool batches cannot receive each other's exceptions.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing, then
+  /// rethrows the first exception captured since the previous wait_idle()
+  /// (clearing it, so the pool stays usable afterwards).
   void wait_idle();
 
   /// Process-wide shared pool, created on first use.
@@ -56,12 +65,15 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_exception_;  // guarded by mutex_
 };
 
 /// Runs fn(i) for i in [begin, end) across the pool, in contiguous blocks
 /// of at least `grain` indices. fn must be safe to invoke concurrently for
 /// distinct i. Runs serially when the range is small or the pool has a
-/// single worker.
+/// single worker. If a body throws, the first exception is rethrown on
+/// the calling thread once the workers drain; which of the remaining
+/// indices still ran is unspecified.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   std::size_t grain, const std::function<void(std::size_t)>& fn);
 

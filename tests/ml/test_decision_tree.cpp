@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <sstream>
+#include <stdexcept>
 
 #include "ml/matrix.hpp"
 
@@ -176,6 +178,84 @@ TEST(DecisionTree, RejectsBadInput) {
   EXPECT_THROW(tree.fit(x, {0, 5}, 2, {}, TreeParams{}, rng), std::invalid_argument);
   EXPECT_THROW(tree.fit(x, {0, -2}, 2, {}, TreeParams{}, rng), std::invalid_argument);
   EXPECT_THROW(tree.predict_proba(x.row(0)), std::logic_error);  // unfitted
+}
+
+// "tree n_classes depth node_count pool_size importance_count", then one
+// node per line (feature threshold left right proba_offset), the leaf
+// probability pool and the importances. A root split on feature 0 with two
+// leaves:
+constexpr const char* kValidTreeText =
+    "tree 2 1 3 4 2\n"
+    "0 0.5 1 2 -1\n"
+    "-1 0 -1 -1 0\n"
+    "-1 0 -1 -1 2\n"
+    "1 0 0.25 0.75\n"
+    "0.5 0.5\n";
+
+TEST(DecisionTreeLoad, AcceptsWellFormedModelText) {
+  std::istringstream in(kValidTreeText);
+  DecisionTree tree;
+  tree.load(in);
+  EXPECT_EQ(tree.n_classes(), 2);
+  EXPECT_EQ(tree.node_count(), 3u);
+  EXPECT_EQ(tree.max_feature_used(), 0);
+  const std::vector<float> left_row{0.2f};
+  const std::vector<float> right_row{0.9f};
+  EXPECT_EQ(tree.predict(left_row), 0);
+  EXPECT_EQ(tree.predict(right_row), 1);
+}
+
+TEST(DecisionTreeLoad, RejectsNegativeFeatureOnInteriorNode) {
+  // Same shape, but the interior node claims feature -2: predict_proba
+  // would index row[-2] out of bounds.
+  std::istringstream in(
+      "tree 2 1 3 4 2\n"
+      "-2 0.5 1 2 -1\n"
+      "-1 0 -1 -1 0\n"
+      "-1 0 -1 -1 2\n"
+      "1 0 0.25 0.75\n"
+      "0.5 0.5\n");
+  DecisionTree tree;
+  EXPECT_THROW(tree.load(in), std::runtime_error);
+}
+
+TEST(DecisionTreeLoad, RejectsBackwardChildLinks) {
+  // build_node always emits children after their parent, so a link at or
+  // before the node's own index is a crafted cycle — predict_proba would
+  // spin forever on it.
+  for (const char* nodes : {
+           "0 0.5 0 0 -1\n",  // self-loop at the root
+           "0 0.5 1 0 -1\n",  // right child points back at the root
+       }) {
+    std::istringstream in(std::string("tree 2 1 2 2 1\n") + nodes +
+                          "-1 0 -1 -1 0\n"
+                          "0.5 0.5\n"
+                          "0\n");
+    DecisionTree tree;
+    EXPECT_THROW(tree.load(in), std::runtime_error) << nodes;
+  }
+}
+
+TEST(DecisionTreeLoad, RejectsNegativeHeaderCounts) {
+  for (const char* text : {
+           "tree 2 1 -3 4 2\n",   // negative node count
+           "tree 2 1 3 -4 2\n",   // negative pool size
+           "tree 2 1 3 4 -2\n",   // negative importance count
+           "tree 2 -1 3 4 2\n",   // negative depth
+           "tree -2 1 3 4 2\n",   // negative class count
+       }) {
+    std::istringstream in(text);
+    DecisionTree tree;
+    EXPECT_THROW(tree.load(in), std::runtime_error) << text;
+  }
+}
+
+TEST(DecisionTreeLoad, MaxFeatureUsedIgnoresLeaves) {
+  std::istringstream in(kValidTreeText);
+  DecisionTree tree;
+  tree.load(in);
+  // Leaves carry feature == -1; only the root's feature 0 counts.
+  EXPECT_EQ(tree.max_feature_used(), 0);
 }
 
 TEST(DecisionTree, EntropyCriterionAlsoSeparates) {

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "util/rng.hpp"
 
@@ -168,6 +171,63 @@ TEST(RandomForest, NoBootstrapMode) {
     correct += forest.predict(data.x.row(i)) == data.y[i] ? 1 : 0;
   }
   EXPECT_EQ(correct, 120);  // without bootstrap, training data is memorized
+}
+
+// One root split on feature 0, two leaves — valid when the forest claims
+// at least one feature and matching importances.
+constexpr const char* kTreeFeature0 =
+    "tree 2 1 3 4 2\n"
+    "0 0.5 1 2 -1\n"
+    "-1 0 -1 -1 0\n"
+    "-1 0 -1 -1 2\n"
+    "1 0 0.25 0.75\n"
+    "0.5 0.5\n";
+
+TEST(RandomForestLoad, AcceptsWellFormedModelText) {
+  std::istringstream in(std::string("forest 2 2 1\n") + kTreeFeature0);
+  RandomForest forest;
+  forest.load(in);
+  EXPECT_EQ(forest.n_classes(), 2);
+  EXPECT_EQ(forest.tree_count(), 1u);
+  const std::vector<float> row{0.9f, 0.0f};
+  EXPECT_EQ(forest.predict(row), 1);
+}
+
+TEST(RandomForestLoad, RejectsTreeFeatureBeyondNFeatures) {
+  // The forest claims 1 feature but the tree splits on feature 5 —
+  // predict_proba would read row[5] out of bounds for every sample.
+  const std::string bad_tree =
+      "tree 2 1 3 4 2\n"
+      "5 0.5 1 2 -1\n"
+      "-1 0 -1 -1 0\n"
+      "-1 0 -1 -1 2\n"
+      "1 0 0.25 0.75\n"
+      "0.5 0.5\n";
+  std::istringstream in("forest 2 1 1\n" + bad_tree);
+  RandomForest forest;
+  EXPECT_THROW(forest.load(in), std::runtime_error);
+}
+
+TEST(RandomForestLoad, RejectsNegativeHeaderValues) {
+  for (const char* header : {
+           "forest 2 -3 1\n",           // negative n_features
+           "forest -2 3 1\n",           // negative n_classes
+           "forest 2 3 -1\n",           // negative tree count
+           "forest 4294967298 2 1\n",   // n_classes wraps to 2 through int
+       }) {
+    std::istringstream in(std::string(header) + kTreeFeature0);
+    RandomForest forest;
+    EXPECT_THROW(forest.load(in), std::runtime_error) << header;
+  }
+}
+
+TEST(RandomForestLoad, RejectsImportancesShorterThanNFeatures) {
+  // feature_importances() sums importances[0..n_features) per tree; a tree
+  // carrying only 2 entries under a 3-feature forest would read past the
+  // end.
+  std::istringstream in(std::string("forest 2 3 1\n") + kTreeFeature0);
+  RandomForest forest;
+  EXPECT_THROW(forest.load(in), std::runtime_error);
 }
 
 TEST(RandomForest, RejectsBadConfig) {

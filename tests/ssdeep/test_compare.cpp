@@ -84,6 +84,15 @@ TEST(HasCommonSubstring, PackingIsInjectiveOnAlphabet) {
   EXPECT_FALSE(has_common_substring("AAAAAAA", "aaaaaaa"));
 }
 
+TEST(HasCommonSubstring, OverlongInputsAreRejectedNotOverflowed) {
+  // The packed-gram scratch array holds kSpamsumLength entries; longer
+  // inputs must be rejected up front, matching score_strings' contract.
+  const std::string overlong(kSpamsumLength + 8, 'x');
+  EXPECT_FALSE(has_common_substring(overlong, overlong));
+  EXPECT_FALSE(has_common_substring(overlong, "abcdefgh"));
+  EXPECT_FALSE(has_common_substring("abcdefgh", overlong));
+}
+
 TEST(ScoreStrings, ZeroWithoutCommonSubstring) {
   EXPECT_EQ(score_strings("abcdefghijkl", "mnopqrstuvwx", 96,
                           EditMetric::kDamerauOsa),
@@ -104,6 +113,47 @@ TEST(ScoreStrings, SmallBlocksizeCapsScore) {
   EXPECT_LE(capped, 8);
   const int uncapped = score_strings(s, s, 192, EditMetric::kDamerauOsa);
   EXPECT_GT(uncapped, capped);
+}
+
+TEST(BlocksizesCanPair, DoublingComputedIn64Bits) {
+  EXPECT_TRUE(blocksizes_can_pair(48, 48));
+  EXPECT_TRUE(blocksizes_can_pair(48, 96));
+  EXPECT_TRUE(blocksizes_can_pair(96, 48));
+  EXPECT_FALSE(blocksizes_can_pair(48, 192));
+  const std::uint32_t top = 3u << 30;
+  EXPECT_TRUE(blocksizes_can_pair(top, top));
+  EXPECT_TRUE(blocksizes_can_pair(top, 3u << 29));
+  EXPECT_TRUE(blocksizes_can_pair(3u << 29, top));
+  // 0x80000000 == top * 2 mod 2^32 — 32-bit doubling used to pair these.
+  EXPECT_FALSE(blocksizes_can_pair(0x80000000u, top));
+  EXPECT_FALSE(blocksizes_can_pair(top, 0x80000000u));
+}
+
+TEST(CompareDigests, TopBlocksizePairingDoesNotWrap) {
+  FuzzyDigest top;
+  top.blocksize = 3u << 30;  // largest valid blocksize
+  top.part1 = "abcdefghijklmnop";
+  top.part2 = "qrstuvwxyz012345";
+
+  // blocksize * 2 wraps to exactly this crafted value in 32 bits; with the
+  // old arithmetic it paired as top's neighbour and scored via part2.
+  FuzzyDigest crafted;
+  crafted.blocksize = 0x80000000u;
+  crafted.part1 = top.part2;
+  crafted.part2 = "AAAABBBBCCCCDDDD";
+  EXPECT_EQ(compare_digests(crafted, top), 0);
+  EXPECT_EQ(compare_digests(top, crafted), 0);
+
+  // Legitimate comparisons at the top blocksize keep working: identical
+  // digests (part2's blocksize saturates instead of wrapping) and the
+  // true adjacent blocksize below.
+  EXPECT_EQ(compare_digests(top, top), 100);
+  FuzzyDigest half;
+  half.blocksize = 3u << 29;
+  half.part1 = "000000111111";
+  half.part2 = top.part1;  // lives at 2 * (3 << 29) == top's blocksize
+  EXPECT_GT(compare_digests(half, top), 0);
+  EXPECT_EQ(compare_digests(half, top), compare_digests(top, half));
 }
 
 TEST(CompareDigests, IdenticalDigestsScoreHundred) {

@@ -1,10 +1,12 @@
-// Thread pool and parallel_for: coverage, determinism of effects, nesting.
+// Thread pool and parallel_for: coverage, determinism of effects, nesting,
+// exception propagation.
 #include "util/thread_pool.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace fhc::util {
@@ -79,6 +81,66 @@ TEST(ParallelFor, SharedPoolConvenienceOverload) {
   std::vector<std::atomic<int>> visits(256);
   parallel_for(256, [&](std::size_t i) { visits[i].fetch_add(1); });
   for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ThrowingTaskSurfacesInWaitIdle) {
+  // Before the fix the exception escaped the worker thread and called
+  // std::terminate, and in_flight_ stayed stuck so wait_idle hung forever.
+  ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  // The exception is cleared and the pool stays usable.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, FirstOfSeveralExceptionsWins) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // later exceptions were dropped, not queued
+}
+
+TEST(ParallelFor, ThrowingBodyRethrowsOnCallingThread) {
+  ThreadPool pool(4);
+  bool caught = false;
+  try {
+    parallel_for(pool, 0, 1000, 1, [](std::size_t i) {
+      if (i == 137) throw std::runtime_error("body failed at 137");
+    });
+  } catch (const std::runtime_error& error) {
+    caught = true;
+    EXPECT_STREQ(error.what(), "body failed at 137");
+  }
+  EXPECT_TRUE(caught);
+  // The pool is still functional after the failed loop.
+  std::atomic<int> total{0};
+  parallel_for(pool, 0, 100, 1, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ParallelFor, ThrowOnSerialFastPathPropagates) {
+  ThreadPool pool(4);
+  // grain >= n forces the serial path; the exception must still surface.
+  EXPECT_THROW(
+      parallel_for(pool, 0, 4, 100,
+                   [](std::size_t) { throw std::invalid_argument("serial"); }),
+      std::invalid_argument);
+}
+
+TEST(ParallelFor, NestedThrowPropagatesThroughOuterLoop) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 8, 1,
+                            [&](std::size_t) {
+                              parallel_for(pool, 0, 10, 1, [](std::size_t j) {
+                                if (j == 5) throw std::runtime_error("nested");
+                              });
+                            }),
+               std::runtime_error);
 }
 
 TEST(ParallelFor, UnevenWorkStillCompletes) {

@@ -25,3 +25,16 @@ for name in perf_ssdeep perf_forest; do
     --benchmark_out_format=json \
     --benchmark_counters_tabular=true
 done
+
+# The perf trajectory tracks the prepared-digest path from PR 2 on: fail
+# loudly if the prepared-vs-raw compare pair or the feature-matrix bench
+# ever drop out of the ssdeep baseline.
+for required in \
+    BM_CompareUnrelatedDigests BM_ComparePreparedUnrelatedDigests \
+    BM_CompareRelatedDigests BM_ComparePreparedRelatedDigests \
+    BM_PrepareDigest BM_FeatureRowPrepared BM_FeatureRowRawLoop; do
+  if ! grep -q "\"$required\"" BENCH_perf_ssdeep.json; then
+    echo "error: BENCH_perf_ssdeep.json is missing $required" >&2
+    exit 1
+  fi
+done
