@@ -9,6 +9,7 @@
 #include "ml/linear_svm.hpp"
 #include "ml/random_forest.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -51,6 +52,26 @@ void BM_ForestFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForestFit)->Arg(512)->Arg(1024)->Arg(2688)->Unit(benchmark::kMillisecond);
+
+/// Train-time pair for BM_ForestFit: the serial reference path (1-thread
+/// pool) at the middle shape. Trees are independent and each derives its
+/// RNG stream from (forest seed, tree index), so this trains the
+/// bit-identical ensemble — the ratio to BM_ForestFit/1024 is the pool
+/// speedup on this host.
+void BM_ForestFitSerial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Synthetic data = make_data(n, 73, 219);
+  const auto weights = ml::balanced_sample_weights(data.y);
+  ml::ForestParams params;
+  params.n_estimators = 50;
+  fhc::util::ThreadPool serial_pool(1);
+  for (auto _ : state) {
+    ml::RandomForest forest;
+    forest.fit(data.x, data.y, data.classes, weights, params, &serial_pool);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_ForestFitSerial)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 void BM_ForestPredictProba(benchmark::State& state) {
   const Synthetic data = make_data(1024, 73, 219);

@@ -1,0 +1,197 @@
+// google-benchmark throughput baselines for fhc::service — batched/sharded
+// classification against the unbatched serial predict() loop the CLI used
+// to run per invocation.
+//
+// The workload models the paper's Slurm-prolog deployment: a node screens
+// every job launch, and launches repeat the same few executables (array
+// jobs, parameter sweeps), so the reference stream here is 4x-repetitive.
+// The pairs to read together (items_per_second):
+//
+//   BM_PredictUnbatched/32            serial predict() over the stream —
+//                                     the pre-service baseline
+//   BM_ServiceBatchRepeatDedup/32     cache OFF: micro-batch + in-batch
+//                                     dedup + class-sharded rows
+//   BM_ServiceBatchRepeatStream/32    cache ON: steady-state prolog
+//                                     traffic (repeats answered from LRU)
+//   BM_ServiceBatchUnique/N           cache OFF, all-distinct stream: the
+//                                     sharding-only win (≈1x on 1 core,
+//                                     scales with the pool on real nodes)
+//   BM_ServiceShards/S                unique stream at fixed batch 32,
+//                                     explicit shard counts
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "service/service.hpp"
+#include "support/synthetic_hashes.hpp"
+
+namespace {
+
+using namespace fhc;
+
+struct ServiceBenchData {
+  std::string model_text;  // FuzzyHashClassifier is move-only: clone via load
+  std::vector<core::FeatureHashes> unique_pool;    // 256 distinct samples
+  std::vector<core::FeatureHashes> repeat_stream;  // 4x-repetitive prolog mix
+
+  core::FuzzyHashClassifier model() const {
+    std::istringstream in(model_text);
+    core::FuzzyHashClassifier clf;
+    clf.load(in);
+    return clf;
+  }
+};
+
+// 6 classes x 16 training samples of the shared synthetic-hash corpus
+// (the same-class-DP / cross-class-gate mix of the real pipeline), 40
+// trees, 256 distinct queries.
+const ServiceBenchData& bench_data() {
+  static const ServiceBenchData data = [] {
+    testsupport::SyntheticHashesParams params;
+    params.classes = 6;
+    params.per_class = 16;
+    params.queries = 256;
+    params.base_seed = 500;
+    params.mutation_seed = 29;
+    const testsupport::SyntheticHashes corpus =
+        testsupport::make_synthetic_hashes(params);
+
+    core::ClassifierConfig config;
+    config.forest.n_estimators = 40;
+    config.forest.seed = 5;
+    config.confidence_threshold = 0.3;
+    core::FuzzyHashClassifier clf;
+    clf.fit(corpus.train, corpus.labels, {"A", "B", "C", "D", "E", "F"}, config);
+
+    ServiceBenchData out;
+    std::ostringstream text;
+    clf.save(text);
+    out.model_text = text.str();
+    out.unique_pool = corpus.queries;
+
+    // Prolog-shaped stream: windows of any size >= 4 see each distinct
+    // binary 4 times (array jobs resubmitting the same executable).
+    for (int i = 0; i < 128; ++i) {
+      out.repeat_stream.push_back(out.unique_pool[static_cast<std::size_t>(i / 4) % 8]);
+    }
+    return out;
+  }();
+  return data;
+}
+
+std::vector<core::FeatureHashes> window(const std::vector<core::FeatureHashes>& pool,
+                                        std::size_t& offset, std::size_t n) {
+  std::vector<core::FeatureHashes> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(pool[(offset + i) % pool.size()]);
+  offset = (offset + n) % pool.size();
+  return out;
+}
+
+service::ServiceConfig bench_config(std::size_t batch, std::size_t cache,
+                                    std::size_t shards = 0) {
+  service::ServiceConfig config;
+  config.max_batch = batch;
+  config.max_delay = std::chrono::milliseconds(50);  // flush on fill, not delay
+  config.cache_capacity = cache;
+  config.shards = shards;
+  return config;
+}
+
+/// Baseline: what every prolog invocation paid before the service — a
+/// serial predict() per sample, no batching, no dedup, no cache.
+void BM_PredictUnbatched(benchmark::State& state) {
+  const ServiceBenchData& data = bench_data();
+  const core::FuzzyHashClassifier clf = data.model();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    const auto samples = window(data.repeat_stream, offset, batch);
+    for (const core::FeatureHashes& sample : samples) {
+      benchmark::DoNotOptimize(clf.predict(sample));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_PredictUnbatched)->Arg(32)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Same stream, cache disabled: the win is micro-batching + in-batch
+/// dedup + sharded rows alone.
+void BM_ServiceBatchRepeatDedup(benchmark::State& state) {
+  const ServiceBenchData& data = bench_data();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  service::ClassificationService svc(data.model(),
+                                     bench_config(batch, /*cache=*/0));
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.classify_batch(window(data.repeat_stream, offset, batch)));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ServiceBatchRepeatDedup)->Arg(32)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Same stream with the LRU on: steady-state prolog traffic, where repeat
+/// binaries skip scoring entirely.
+void BM_ServiceBatchRepeatStream(benchmark::State& state) {
+  const ServiceBenchData& data = bench_data();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  service::ClassificationService svc(data.model(), bench_config(batch, 4096));
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.classify_batch(window(data.repeat_stream, offset, batch)));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ServiceBatchRepeatStream)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// All-distinct stream, cache off: isolates batching + class sharding (the
+/// multi-core win; on a single-core host this tracks the baseline).
+void BM_ServiceBatchUnique(benchmark::State& state) {
+  const ServiceBenchData& data = bench_data();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  service::ClassificationService svc(data.model(), bench_config(batch, /*cache=*/0));
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.classify_batch(window(data.unique_pool, offset, batch)));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ServiceBatchUnique)->Arg(8)->Arg(32)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Shard-count sweep at fixed batch 32 on the distinct stream.
+void BM_ServiceShards(benchmark::State& state) {
+  const ServiceBenchData& data = bench_data();
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  service::ClassificationService svc(data.model(),
+                                     bench_config(32, /*cache=*/0, shards));
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.classify_batch(window(data.unique_pool, offset, 32)));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ServiceShards)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Pure cache path: one hot binary resubmitted (array-job steady state).
+void BM_ServiceCacheHit(benchmark::State& state) {
+  const ServiceBenchData& data = bench_data();
+  service::ClassificationService svc(data.model(), bench_config(32, 4096));
+  benchmark::DoNotOptimize(svc.submit(data.unique_pool[0]).get());  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.submit(data.unique_pool[0]).get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceCacheHit)->UseRealTime();
+
+}  // namespace

@@ -41,11 +41,17 @@ void FuzzyHashClassifier::fit(const std::vector<FeatureHashes>& train_hashes,
 
 Prediction FuzzyHashClassifier::predict(const FeatureHashes& sample) const {
   if (!fitted()) throw std::logic_error("FuzzyHashClassifier: not fitted");
-  const auto width = static_cast<std::size_t>(kFeatureTypeCount * index_->n_classes());
-  std::vector<float> row(width);
+  std::vector<float> row(row_width());
   fill_feature_row(*index_, sample, config_.metric, /*exclude_id=*/-1, row,
                    config_.channels);
+  return predict_from_row(row);
+}
 
+Prediction FuzzyHashClassifier::predict_from_row(std::span<const float> row) const {
+  if (!fitted()) throw std::logic_error("FuzzyHashClassifier: not fitted");
+  if (row.size() != row_width()) {
+    throw std::invalid_argument("predict_from_row: bad row width");
+  }
   Prediction out;
   out.proba = forest_.predict_proba(row);
   const auto best = std::max_element(out.proba.begin(), out.proba.end());
@@ -54,6 +60,11 @@ Prediction FuzzyHashClassifier::predict(const FeatureHashes& sample) const {
   out.label = out.confidence >= config_.confidence_threshold ? argmax
                                                              : ml::kUnknownLabel;
   return out;
+}
+
+std::size_t FuzzyHashClassifier::row_width() const {
+  if (!fitted()) throw std::logic_error("FuzzyHashClassifier: not fitted");
+  return static_cast<std::size_t>(kFeatureTypeCount * index_->n_classes());
 }
 
 std::vector<int> FuzzyHashClassifier::predict_batch(

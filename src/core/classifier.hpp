@@ -56,6 +56,15 @@ class FuzzyHashClassifier {
   /// Predict one sample from its fuzzy hashes.
   Prediction predict(const FeatureHashes& sample) const;
 
+  /// Forest pass over a prebuilt similarity row of row_width() floats —
+  /// predict(s) == predict_from_row(fill_feature_row(index(), s, ...)).
+  /// Lets callers that build rows themselves (the sharded classification
+  /// service) reuse the exact threshold/argmax semantics of predict().
+  Prediction predict_from_row(std::span<const float> row) const;
+
+  /// Width of one similarity feature row (kFeatureTypeCount * n_classes).
+  std::size_t row_width() const;
+
   /// Batch prediction (parallel). Returns labels; `out_proba`, if given,
   /// receives the probability matrix (rows x K).
   std::vector<int> predict_batch(const std::vector<FeatureHashes>& samples,

@@ -78,23 +78,45 @@ std::vector<std::string> TrainIndex::feature_names() const {
   return names;
 }
 
+PreparedQuery::PreparedQuery(const FeatureHashes& sample, const ChannelMask& mask) {
+  for (int f = 0; f < kFeatureTypeCount; ++f) {
+    if (!mask[static_cast<std::size_t>(f)]) continue;
+    channels[static_cast<std::size_t>(f)] =
+        ssdeep::PreparedDigest(sample.of(static_cast<FeatureType>(f)));
+  }
+}
+
 void fill_feature_row(const TrainIndex& index, const FeatureHashes& sample,
                       ssdeep::EditMetric metric, int exclude_id,
                       std::span<float> out_row, const ChannelMask& channels) {
+  // Normalize the query once per feature type; the train side was prepared
+  // when the index was built.
+  const PreparedQuery query(sample, channels);
+  fill_feature_row_slice(index, query, metric, exclude_id, 0, index.n_classes(),
+                         out_row, channels);
+}
+
+void fill_feature_row_slice(const TrainIndex& index, const PreparedQuery& query,
+                            ssdeep::EditMetric metric, int exclude_id,
+                            int class_begin, int class_end,
+                            std::span<float> out_row, const ChannelMask& channels) {
   const int k = index.n_classes();
   if (out_row.size() != static_cast<std::size_t>(kFeatureTypeCount * k)) {
-    throw std::invalid_argument("fill_feature_row: bad row width");
+    throw std::invalid_argument("fill_feature_row_slice: bad row width");
+  }
+  if (class_begin < 0 || class_end > k || class_begin > class_end) {
+    throw std::invalid_argument("fill_feature_row_slice: bad class range");
   }
   for (int f = 0; f < kFeatureTypeCount; ++f) {
-    const auto type = static_cast<FeatureType>(f);
     if (!channels[static_cast<std::size_t>(f)]) {
-      for (int c = 0; c < k; ++c) out_row[static_cast<std::size_t>(f * k + c)] = 0.0f;
+      for (int c = class_begin; c < class_end; ++c) {
+        out_row[static_cast<std::size_t>(f * k + c)] = 0.0f;
+      }
       continue;
     }
-    // Normalize the query once per feature type; the train side was
-    // prepared when the index was built.
-    const ssdeep::PreparedDigest own(sample.of(type));
-    for (int c = 0; c < k; ++c) {
+    const ssdeep::PreparedDigest& own = query.channels[static_cast<std::size_t>(f)];
+    const auto type = static_cast<FeatureType>(f);
+    for (int c = class_begin; c < class_end; ++c) {
       int best = 0;
       for (const TrainIndex::PreparedBucket& bucket : index.prepared(type, c)) {
         if (!ssdeep::blocksizes_can_pair(own.blocksize(), bucket.blocksize)) {

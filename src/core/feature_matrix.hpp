@@ -84,12 +84,35 @@ class TrainIndex {
 using ChannelMask = std::array<bool, kFeatureTypeCount>;
 inline constexpr ChannelMask kAllChannels = {true, true, true};
 
+/// A query's channels prepared once, so repeated or sliced scoring against
+/// the index never re-normalizes the sample side. Channels disabled by the
+/// mask stay default-constructed (they are never compared).
+struct PreparedQuery {
+  std::array<ssdeep::PreparedDigest, kFeatureTypeCount> channels;
+
+  PreparedQuery() = default;
+  explicit PreparedQuery(const FeatureHashes& sample,
+                         const ChannelMask& mask = kAllChannels);
+};
+
 /// Feature row for one sample. `exclude_id >= 0` skips the training sample
 /// with that id (leave-self-out when featurizing training rows).
 void fill_feature_row(const TrainIndex& index, const FeatureHashes& sample,
                       ssdeep::EditMetric metric, int exclude_id,
                       std::span<float> out_row,
                       const ChannelMask& channels = kAllChannels);
+
+/// Columns (f, c) for every channel f and classes c in
+/// [class_begin, class_end) of one feature row — the shard view the
+/// classification service uses to compute one query's similarity row in
+/// parallel slices. `out_row` is the full-width row; only the slice's
+/// columns are written. Covering [0, n_classes) in any partition is
+/// bit-identical to fill_feature_row on the same sample.
+void fill_feature_row_slice(const TrainIndex& index, const PreparedQuery& query,
+                            ssdeep::EditMetric metric, int exclude_id,
+                            int class_begin, int class_end,
+                            std::span<float> out_row,
+                            const ChannelMask& channels = kAllChannels);
 
 /// Full matrix for `samples` (parallel). `exclude_ids` is either empty or
 /// one id per sample (-1 = none).

@@ -13,7 +13,7 @@ namespace fhc::ml {
 
 void RandomForest::fit(const Matrix& x, const std::vector<int>& y, int n_classes,
                        std::span<const double> sample_weight,
-                       const ForestParams& params) {
+                       const ForestParams& params, util::ThreadPool* pool) {
   if (params.n_estimators <= 0) {
     throw std::invalid_argument("RandomForest::fit: n_estimators <= 0");
   }
@@ -33,7 +33,7 @@ void RandomForest::fit(const Matrix& x, const std::vector<int>& y, int n_classes
   trees_.assign(static_cast<std::size_t>(params.n_estimators), DecisionTree{});
 
   const std::size_t n = x.rows();
-  fhc::util::parallel_for(trees_.size(), [&](std::size_t t) {
+  const std::function<void(std::size_t)> fit_tree = [&](std::size_t t) {
     // Independent deterministic stream per tree: results do not depend on
     // which worker trains which tree.
     std::uint64_t stream = params.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1));
@@ -52,7 +52,12 @@ void RandomForest::fit(const Matrix& x, const std::vector<int>& y, int n_classes
       // a tree must still see at least one positive weight.
     }
     trees_[t].fit(x, y, n_classes, weight, params.tree, rng);
-  });
+  };
+  if (pool != nullptr) {
+    fhc::util::parallel_for(*pool, 0, trees_.size(), /*grain=*/1, fit_tree);
+  } else {
+    fhc::util::parallel_for(trees_.size(), fit_tree);
+  }
 }
 
 std::vector<double> RandomForest::predict_proba(std::span<const float> row) const {

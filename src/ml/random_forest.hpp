@@ -21,6 +21,10 @@
 #include "ml/decision_tree.hpp"
 #include "ml/matrix.hpp"
 
+namespace fhc::util {
+class ThreadPool;
+}
+
 namespace fhc::ml {
 
 struct ForestParams {
@@ -36,8 +40,13 @@ class RandomForest {
  public:
   /// Fits `n_estimators` trees. `sample_weight` may be empty (all ones);
   /// balanced class weighting is applied by passing the weights here.
+  /// `pool` selects where the per-tree work runs (nullptr = the shared
+  /// pool); results are bit-identical for any pool because every tree's
+  /// RNG stream is derived from (forest seed, tree index), never from
+  /// scheduling — a 1-thread pool is the serial reference path.
   void fit(const Matrix& x, const std::vector<int>& y, int n_classes,
-           std::span<const double> sample_weight, const ForestParams& params);
+           std::span<const double> sample_weight, const ForestParams& params,
+           util::ThreadPool* pool = nullptr);
 
   /// Mean class-probability vector across trees.
   std::vector<double> predict_proba(std::span<const float> row) const;

@@ -1,0 +1,287 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "core/feature_matrix.hpp"
+#include "ml/matrix.hpp"
+
+namespace fhc::service {
+
+std::string sample_key(const core::FeatureHashes& sample) {
+  // Digest text is base64-ish and never contains the separator, so the
+  // concatenation is injective; equal keys imply equal feature rows.
+  std::string key = sample.file.to_string();
+  key += '\x1f';
+  key += sample.strings.to_string();
+  key += '\x1f';
+  key += sample.symbols.to_string();
+  return key;
+}
+
+ClassificationService::ClassificationService(core::FuzzyHashClassifier model,
+                                             ServiceConfig config,
+                                             util::ThreadPool* pool)
+    : config_(config),
+      pool_(pool != nullptr ? pool : &util::ThreadPool::shared()),
+      model_(std::make_shared<const core::FuzzyHashClassifier>(std::move(model))),
+      cache_(config.cache_capacity, config.cache_shards),
+      latency_ring_(std::max<std::size_t>(config.latency_window, 1), 0.0) {
+  if (!model_->fitted()) {
+    throw std::invalid_argument("ClassificationService: model not fitted");
+  }
+  if (config_.max_batch == 0) config_.max_batch = 1;
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+ClassificationService::~ClassificationService() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatcher_.join();
+}
+
+std::future<core::Prediction> ClassificationService::submit(
+    core::FeatureHashes sample) {
+  Request request;
+  request.sample = std::move(sample);
+  request.key = sample_key(request.sample);
+  std::future<core::Prediction> future = request.promise.get_future();
+
+  // Probe the cache before touching any lock-shared counters so the hot
+  // path (a hit) pays one stats_mutex_ acquisition, and counters land
+  // before the promise — same ordering as score_batch, so a waiter that
+  // observes the future resolve finds its request already counted.
+  if (std::optional<core::Prediction> hit = cache_.get(request.key)) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++counters_.requests;
+      ++counters_.cache_hits;
+      ++counters_.completed;
+      record_latency_locked(request.watch.milliseconds());
+    }
+    request.promise.set_value(*hit);
+    return future;
+  }
+
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++counters_.requests;
+  }
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (stopping_) {
+      // The dispatcher may already have drained and exited; nothing would
+      // ever score this request.
+      request.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("ClassificationService: submit after shutdown")));
+      std::lock_guard stats_lock(stats_mutex_);
+      ++counters_.completed;
+      return future;
+    }
+    pending_.push_back(std::move(request));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::vector<core::Prediction> ClassificationService::classify_batch(
+    const std::vector<core::FeatureHashes>& samples) {
+  std::vector<std::future<core::Prediction>> futures;
+  futures.reserve(samples.size());
+  for (const core::FeatureHashes& sample : samples) futures.push_back(submit(sample));
+  std::vector<core::Prediction> results;
+  results.reserve(samples.size());
+  for (std::future<core::Prediction>& future : futures) results.push_back(future.get());
+  return results;
+}
+
+void ClassificationService::reload(core::FuzzyHashClassifier model) {
+  if (!model.fitted()) {
+    throw std::invalid_argument("ClassificationService::reload: model not fitted");
+  }
+  auto fresh = std::make_shared<const core::FuzzyHashClassifier>(std::move(model));
+  {
+    std::lock_guard lock(model_mutex_);
+    model_ = std::move(fresh);
+    // Invalidate before clearing: a batch still scoring on the old model
+    // re-checks this generation under model_mutex_ and skips its cache
+    // puts, so it cannot repopulate the cache with stale predictions
+    // after the clear below.
+    ++model_generation_;
+  }
+  // Cached predictions came from the previous model.
+  cache_.clear();
+  std::lock_guard lock(stats_mutex_);
+  ++counters_.reloads;
+}
+
+std::shared_ptr<const core::FuzzyHashClassifier> ClassificationService::model() const {
+  std::lock_guard lock(model_mutex_);
+  return model_;
+}
+
+ServiceStats ClassificationService::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  ServiceStats out = counters_;
+  const std::size_t n = std::min(latency_count_, latency_ring_.size());
+  if (n > 0) {
+    std::vector<double> window(latency_ring_.begin(),
+                               latency_ring_.begin() + static_cast<std::ptrdiff_t>(n));
+    std::sort(window.begin(), window.end());
+    // Nearest-rank percentiles: index ceil(p * n) - 1, so a full
+    // 100-sample window reports window[98] as p99, not the max.
+    out.p50_ms = window[(n + 1) / 2 - 1];
+    out.p99_ms = window[(n * 99 + 99) / 100 - 1];
+    out.max_ms = latency_max_;
+  }
+  return out;
+}
+
+void ClassificationService::record_latency_locked(double ms) {
+  latency_ring_[latency_next_] = ms;
+  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  ++latency_count_;
+  latency_max_ = std::max(latency_max_, ms);
+}
+
+void ClassificationService::dispatcher_loop() {
+  std::unique_lock lock(queue_mutex_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stopping_) return;  // drained
+      continue;
+    }
+    // A batch is open. Flush when it fills, when the oldest request's
+    // delay budget runs out, or at shutdown (drain what's left).
+    if (pending_.size() < config_.max_batch && !stopping_) {
+      const std::chrono::duration<double, std::milli> remaining(
+          static_cast<double>(config_.max_delay.count()) -
+          pending_.front().watch.milliseconds());
+      queue_cv_.wait_for(lock, remaining, [this] {
+        return stopping_ || pending_.size() >= config_.max_batch;
+      });
+    }
+    const std::size_t take = std::min(pending_.size(), config_.max_batch);
+    std::vector<Request> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    lock.unlock();
+    score_batch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void ClassificationService::score_batch(std::vector<Request> batch) {
+  // Snapshot the active model: reload() during scoring must not pull the
+  // index out from under this batch.
+  std::shared_ptr<const core::FuzzyHashClassifier> model;
+  std::uint64_t generation = 0;
+  {
+    std::lock_guard lock(model_mutex_);
+    model = model_;
+    generation = model_generation_;
+  }
+
+  // In-batch dedup: identical samples (repeat binaries burst-submitted by
+  // a prolog) are scored once and fanned out.
+  std::unordered_map<std::string, std::size_t> slot_of_key;
+  std::vector<std::size_t> representative;  // unique slot -> batch index
+  std::vector<std::size_t> slot(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto [it, inserted] = slot_of_key.try_emplace(batch[i].key,
+                                                        representative.size());
+    if (inserted) representative.push_back(i);
+    slot[i] = it->second;
+  }
+
+  const std::size_t uniques = representative.size();
+  std::vector<core::Prediction> results(uniques);
+  try {
+    const core::TrainIndex& index = model->index();
+    const core::ClassifierConfig& cfg = model->config();
+    const int k = index.n_classes();
+    std::size_t shards = config_.shards != 0 ? config_.shards : pool_->size();
+    shards = std::clamp<std::size_t>(shards, 1, static_cast<std::size_t>(k));
+
+    // Stage 1: normalize each unique query once per channel.
+    std::vector<core::PreparedQuery> queries(uniques);
+    util::parallel_for(*pool_, 0, uniques, /*grain=*/1, [&](std::size_t u) {
+      queries[u] = core::PreparedQuery(batch[representative[u]].sample, cfg.channels);
+    });
+
+    // Stage 2: every (query, class-slice) pair is one work item, so a
+    // single query's similarity row — the dominant cost — is computed in
+    // parallel slices across the index and reduced by writing disjoint
+    // column ranges of its row.
+    ml::Matrix rows(uniques, model->row_width());
+    util::parallel_for(*pool_, 0, uniques * shards, /*grain=*/1,
+                       [&](std::size_t item) {
+                         const std::size_t u = item / shards;
+                         const std::size_t s = item % shards;
+                         const int begin = static_cast<int>(
+                             s * static_cast<std::size_t>(k) / shards);
+                         const int end = static_cast<int>(
+                             (s + 1) * static_cast<std::size_t>(k) / shards);
+                         core::fill_feature_row_slice(index, queries[u], cfg.metric,
+                                                      /*exclude_id=*/-1, begin, end,
+                                                      rows.row(u), cfg.channels);
+                       });
+
+    // Stage 3: forest pass, identical to serial predict().
+    util::parallel_for(*pool_, 0, uniques, /*grain=*/1, [&](std::size_t u) {
+      results[u] = model->predict_from_row(rows.row(u));
+    });
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++counters_.batches;
+      counters_.completed += batch.size();
+      counters_.largest_batch = std::max<std::uint64_t>(counters_.largest_batch,
+                                                        batch.size());
+    }
+    for (Request& request : batch) request.promise.set_exception(error);
+    return;
+  }
+
+  // Counters before promises: a client that just observed its future
+  // resolve must see the counters already reflecting its request.
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++counters_.batches;
+    counters_.scored += uniques;
+    counters_.dedup_hits += batch.size() - uniques;
+    counters_.completed += batch.size();
+    counters_.largest_batch = std::max<std::uint64_t>(counters_.largest_batch,
+                                                      batch.size());
+    for (Request& request : batch) record_latency_locked(request.watch.milliseconds());
+  }
+  {
+    // Cache puts happen under model_mutex_ after re-checking the
+    // generation: if reload() swapped models mid-batch these results are
+    // stale and must not outlive the reload's cache clear (a concurrent
+    // reload blocks on the mutex, bumps the generation, and clears after
+    // we release — wiping anything we put here).
+    std::lock_guard lock(model_mutex_);
+    if (generation == model_generation_) {
+      for (const std::size_t i : representative) {
+        cache_.put(batch[i].key, results[slot[i]]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(results[slot[i]]);
+  }
+}
+
+}  // namespace fhc::service

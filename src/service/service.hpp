@@ -1,0 +1,160 @@
+// fhc::service — the always-on classification layer over a trained model.
+//
+// The paper's deployment story (Section 5) is continuous screening of
+// every job that lands on a cluster: a Slurm prolog asks "what is this
+// binary?" for each submission, which at fleet scale is sustained
+// classification traffic, not one-shot CLI calls that reload the model
+// per invocation. ClassificationService keeps one FuzzyHashClassifier
+// resident and turns throughput into the first-class metric with four
+// layers, outermost first:
+//
+//   1. a sharded LRU result cache keyed by the sample's digest text —
+//      repeat binaries (the common prolog case) skip scoring entirely;
+//   2. a micro-batching queue: submit() enqueues and returns a future,
+//      a dispatcher thread flushes when `max_batch` requests are pending
+//      or the oldest has waited `max_delay`;
+//   3. in-batch deduplication: identical samples inside one flush are
+//      scored once and fanned out;
+//   4. class-sharded row scoring: one query's similarity row (the
+//      dominant cost) is computed in parallel slices over the TrainIndex
+//      class range (fill_feature_row_slice) and reduced before the
+//      forest pass.
+//
+// Predictions are bit-identical to serial FuzzyHashClassifier::predict
+// on the same inputs: slicing partitions independent columns, dedup and
+// caching return the result of the exact same computation, and the
+// forest pass reuses predict_from_row.
+//
+// reload() swaps the model atomically (shared_ptr snapshot per flush):
+// in-flight batches finish on the model they started with, later
+// flushes use the new one, and the cache is cleared because its entries
+// are stale. The destructor drains the queue — every future obtained
+// from submit() is eventually fulfilled.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "service/lru_cache.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fhc::service {
+
+struct ServiceConfig {
+  std::size_t max_batch = 32;                  // flush at this many pending
+  std::chrono::milliseconds max_delay{2};      // ... or when the oldest waited this
+  std::size_t shards = 0;                      // row slices per batch; 0 = pool size
+  std::size_t cache_capacity = 4096;           // total entries; 0 disables the cache
+  std::size_t cache_shards = 8;
+  std::size_t latency_window = 4096;           // ring of recent latencies (percentiles)
+};
+
+/// One consistent snapshot of the service counters.
+struct ServiceStats {
+  std::uint64_t requests = 0;       // samples submitted
+  std::uint64_t completed = 0;      // futures fulfilled (hits + scored + failed)
+  std::uint64_t batches = 0;        // dispatcher flushes
+  std::uint64_t scored = 0;         // unique rows that went through scoring
+  std::uint64_t cache_hits = 0;     // answered from the LRU at submit()
+  std::uint64_t dedup_hits = 0;     // answered by an identical in-batch sample
+  std::uint64_t reloads = 0;
+  std::uint64_t largest_batch = 0;
+
+  double cache_hit_rate() const {
+    return requests > 0 ? static_cast<double>(cache_hits) / static_cast<double>(requests)
+                        : 0.0;
+  }
+
+  // Request latency (submit -> future fulfilled) over the recent window.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Stable cache/dedup identity of a sample: its exact digest text across
+/// all channels (samples with equal keys produce equal feature rows).
+std::string sample_key(const core::FeatureHashes& sample);
+
+class ClassificationService {
+ public:
+  /// Takes ownership of a fitted model. `pool` is where batch scoring
+  /// runs (nullptr = the process-wide shared pool).
+  explicit ClassificationService(core::FuzzyHashClassifier model,
+                                 ServiceConfig config = {},
+                                 util::ThreadPool* pool = nullptr);
+
+  /// Drains every pending request, then stops the dispatcher.
+  ~ClassificationService();
+
+  ClassificationService(const ClassificationService&) = delete;
+  ClassificationService& operator=(const ClassificationService&) = delete;
+
+  /// Enqueues one sample. The future is fulfilled by the dispatcher (or
+  /// immediately on a cache hit) and carries any scoring exception.
+  std::future<core::Prediction> submit(core::FeatureHashes sample);
+
+  /// Blocking convenience: submits every sample and waits for all
+  /// results, in order. Equivalent to serial predict() on each.
+  std::vector<core::Prediction> classify_batch(
+      const std::vector<core::FeatureHashes>& samples);
+
+  /// Swaps in a new fitted model without dropping in-flight requests
+  /// and clears the result cache. Throws std::invalid_argument if
+  /// `model` is not fitted (the current model stays active).
+  void reload(core::FuzzyHashClassifier model);
+
+  /// The currently active model (in-flight batches may still reference a
+  /// predecessor).
+  std::shared_ptr<const core::FuzzyHashClassifier> model() const;
+
+  ServiceStats stats() const;
+  const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Request {
+    core::FeatureHashes sample;
+    std::string key;
+    std::promise<core::Prediction> promise;
+    util::Stopwatch watch;  // started at submit; read when fulfilled
+  };
+
+  void dispatcher_loop();
+  void score_batch(std::vector<Request> batch);
+  void record_latency_locked(double ms);
+
+  ServiceConfig config_;
+  util::ThreadPool* pool_;  // never null after construction
+
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const core::FuzzyHashClassifier> model_;
+  std::uint64_t model_generation_ = 0;  // bumped by reload(); guards cache puts
+
+  ShardedLruCache cache_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> pending_;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats counters_;               // percentile fields unused here
+  std::vector<double> latency_ring_;    // most recent latency_window samples
+  std::size_t latency_next_ = 0;
+  std::size_t latency_count_ = 0;
+  double latency_max_ = 0.0;
+
+  std::thread dispatcher_;  // last member: joins before the rest tears down
+};
+
+}  // namespace fhc::service

@@ -101,24 +101,29 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   // so uneven per-index cost (e.g. same-class vs cross-class digest
   // comparisons) still balances across workers.
   //
-  // Exceptions are captured into per-call state, not the pool: on a shared
-  // pool, concurrent parallel_for batches must each receive their own
-  // failure, never another batch's.
+  // Completion and exceptions are tracked in per-call state, not the pool:
+  // this call returns as soon as ITS tasks finish rather than at a global
+  // pool-quiescent instant, and concurrent batches each receive their own
+  // failure. (Scheduling is still shared: tasks queue FIFO behind whatever
+  // is already running, so a batch can wait for workers to free up.)
   struct BatchState {
     std::atomic<std::size_t> cursor;
     std::atomic<bool> failed{false};
     std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining = 0;  // tasks of THIS call still running
     std::exception_ptr error;
   };
   auto state = std::make_shared<BatchState>();
   state->cursor.store(begin);
   const std::size_t tasks = std::min(pool.size(), (n + grain - 1) / grain);
+  state->remaining = tasks;
   for (std::size_t t = 0; t < tasks; ++t) {
     pool.submit([state, end, grain, &fn] {
       try {
         while (!state->failed.load(std::memory_order_relaxed)) {
           const std::size_t lo = state->cursor.fetch_add(grain);
-          if (lo >= end) return;
+          if (lo >= end) break;
           const std::size_t hi = std::min(end, lo + grain);
           for (std::size_t i = lo; i < hi; ++i) fn(i);
         }
@@ -127,9 +132,14 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
         if (!state->error) state->error = std::current_exception();
         state->failed.store(true, std::memory_order_relaxed);
       }
+      std::lock_guard lock(state->mutex);
+      if (--state->remaining == 0) state->done_cv.notify_all();
     });
   }
-  pool.wait_idle();
+  {
+    std::unique_lock lock(state->mutex);
+    state->done_cv.wait(lock, [&state] { return state->remaining == 0; });
+  }
   if (state->failed.load()) std::rethrow_exception(state->error);
 }
 

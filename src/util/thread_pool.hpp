@@ -43,8 +43,9 @@ class ThreadPool {
   /// std::thread boundary, so it cannot std::terminate the process.
   /// This pool-level capture assumes one wait_idle() client at a time;
   /// with concurrent waiters the exception surfaces in whichever returns
-  /// first. parallel_for does not rely on it — it scopes failures per
-  /// call, so shared-pool batches cannot receive each other's exceptions.
+  /// first. parallel_for does not rely on it — it scopes completion AND
+  /// failure per call, so shared-pool batches neither wait on each
+  /// other's tasks nor receive each other's exceptions.
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished executing, then
@@ -71,9 +72,12 @@ class ThreadPool {
 /// Runs fn(i) for i in [begin, end) across the pool, in contiguous blocks
 /// of at least `grain` indices. fn must be safe to invoke concurrently for
 /// distinct i. Runs serially when the range is small or the pool has a
-/// single worker. If a body throws, the first exception is rethrown on
-/// the calling thread once the workers drain; which of the remaining
-/// indices still ran is unspecified.
+/// single worker. Returns when THIS call's tasks have finished — not when
+/// the whole pool is idle, so a batch never waits on another batch's
+/// unfinished tasks (it may still queue behind them for worker slots).
+/// If a body throws, the first exception is rethrown on
+/// the calling thread once this call's workers drain; which of the
+/// remaining indices still ran is unspecified.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   std::size_t grain, const std::function<void(std::size_t)>& fn);
 

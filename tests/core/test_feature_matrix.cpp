@@ -151,5 +151,47 @@ TEST(FeatureMatrix, RejectsMismatchedExcludeIds) {
                std::invalid_argument);
 }
 
+TEST(FeatureMatrix, SlicesComposeToFullRow) {
+  // The service computes one row as parallel class slices; any partition
+  // of [0, K) must reproduce fill_feature_row bit-for-bit.
+  const auto& data = small_data();
+  TrainIndex index(data.hashes, data.labels, data.names);
+  const int k = index.n_classes();
+  const auto width = static_cast<std::size_t>(kFeatureTypeCount * k);
+  for (std::size_t i = 0; i < data.hashes.size(); i += 5) {
+    std::vector<float> full(width);
+    fill_feature_row(index, data.hashes[i], ssdeep::EditMetric::kDamerauOsa,
+                     /*exclude_id=*/-1, full);
+    const PreparedQuery query(data.hashes[i]);
+    for (int shards = 1; shards <= k + 1; ++shards) {
+      std::vector<float> sliced(width, -1.0f);
+      for (int s = 0; s < shards; ++s) {
+        fill_feature_row_slice(index, query, ssdeep::EditMetric::kDamerauOsa,
+                               /*exclude_id=*/-1, s * k / shards,
+                               (s + 1) * k / shards, sliced);
+      }
+      EXPECT_EQ(full, sliced) << "shards=" << shards << " sample=" << i;
+    }
+  }
+}
+
+TEST(FeatureMatrix, SliceRejectsBadRanges) {
+  const auto& data = small_data();
+  TrainIndex index(data.hashes, data.labels, data.names);
+  const int k = index.n_classes();
+  const PreparedQuery query(data.hashes[0]);
+  std::vector<float> row(static_cast<std::size_t>(kFeatureTypeCount * k));
+  const auto metric = ssdeep::EditMetric::kDamerauOsa;
+  EXPECT_THROW(fill_feature_row_slice(index, query, metric, -1, -1, k, row),
+               std::invalid_argument);
+  EXPECT_THROW(fill_feature_row_slice(index, query, metric, -1, 0, k + 1, row),
+               std::invalid_argument);
+  EXPECT_THROW(fill_feature_row_slice(index, query, metric, -1, 2, 1, row),
+               std::invalid_argument);
+  std::vector<float> narrow(row.size() - 1);
+  EXPECT_THROW(fill_feature_row_slice(index, query, metric, -1, 0, k, narrow),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace fhc::core

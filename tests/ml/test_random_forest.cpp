@@ -10,6 +10,7 @@
 #include <string>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fhc::ml {
 namespace {
@@ -94,6 +95,33 @@ TEST(RandomForest, DeterministicAcrossRuns) {
     const auto pb = b.predict_proba(data.x.row(i));
     for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(pa[c], pb[c]);
   }
+}
+
+TEST(RandomForest, SerialAndParallelFitAreBitIdentical) {
+  // The serial reference path (1-thread pool) and pool-parallel training
+  // must produce byte-identical ensembles — the whole serialized model is
+  // compared, not just predictions, so any scheduling dependence in
+  // bootstrap draws or node splits would show up.
+  fhc::util::Rng rng(9);
+  const FourBlobs data = make_four_blobs(30, rng);
+  fhc::util::ThreadPool serial_pool(1);
+  fhc::util::ThreadPool wide_pool(4);
+  RandomForest serial;
+  RandomForest parallel;
+  serial.fit(data.x, data.y, 4, {}, quick_params(), &serial_pool);
+  parallel.fit(data.x, data.y, 4, {}, quick_params(), &wide_pool);
+  std::ostringstream serial_text;
+  std::ostringstream parallel_text;
+  serial.save(serial_text);
+  parallel.save(parallel_text);
+  EXPECT_EQ(serial_text.str(), parallel_text.str());
+
+  // The default (shared-pool) path matches both.
+  RandomForest shared;
+  shared.fit(data.x, data.y, 4, {}, quick_params());
+  std::ostringstream shared_text;
+  shared.save(shared_text);
+  EXPECT_EQ(serial_text.str(), shared_text.str());
 }
 
 TEST(RandomForest, SeedChangesEnsemble) {

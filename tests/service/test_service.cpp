@@ -1,0 +1,277 @@
+// ClassificationService: batching, sharding, caching, reload, stats.
+//
+// The load-bearing property everywhere: the service is an *equivalent*
+// front-end to FuzzyHashClassifier::predict — every layer (micro-batch,
+// in-batch dedup, class-sharded rows, LRU cache) must return predictions
+// bit-identical to the serial path.
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "support/synthetic_hashes.hpp"
+
+namespace fhc::service {
+namespace {
+
+struct Fixture {
+  std::vector<core::FeatureHashes> train;
+  std::vector<int> labels;
+  core::FuzzyHashClassifier model;            // threshold 0.3
+  core::FuzzyHashClassifier strict_model;     // threshold 1.01: all unknown
+  std::vector<core::FeatureHashes> queries;   // 16 distinct held-out variants
+};
+
+// 4 classes x 12 samples of the shared synthetic-hash corpus (the real
+// pipeline's comparison mix), in milliseconds of setup.
+Fixture make_fixture() {
+  testsupport::SyntheticHashes data =
+      testsupport::make_synthetic_hashes(testsupport::SyntheticHashesParams{});
+  Fixture fx;
+  fx.train = std::move(data.train);
+  fx.labels = std::move(data.labels);
+  fx.queries = std::move(data.queries);
+
+  core::ClassifierConfig config;
+  config.forest.n_estimators = 20;
+  config.forest.seed = 11;
+  config.confidence_threshold = 0.3;
+  fx.model.fit(fx.train, fx.labels, {"A", "B", "C", "D"}, config);
+
+  config.confidence_threshold = 1.01;
+  fx.strict_model.fit(fx.train, fx.labels, {"A", "B", "C", "D"}, config);
+  return fx;
+}
+
+const Fixture& fixture() {
+  static const Fixture fx = make_fixture();
+  return fx;
+}
+
+/// Deep copy through the text serialization (FuzzyHashClassifier is
+/// move-only); save/load is prediction-identical by the PR 2 property.
+core::FuzzyHashClassifier clone(const core::FuzzyHashClassifier& model) {
+  std::stringstream buffer;
+  model.save(buffer);
+  core::FuzzyHashClassifier copy;
+  copy.load(buffer);
+  return copy;
+}
+
+void expect_identical(const core::Prediction& a, const core::Prediction& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.confidence, b.confidence);
+  ASSERT_EQ(a.proba.size(), b.proba.size());
+  for (std::size_t c = 0; c < a.proba.size(); ++c) EXPECT_EQ(a.proba[c], b.proba[c]);
+}
+
+TEST(ClassificationService, ClassifyBatchBitIdenticalToSerialPredict) {
+  const Fixture& fx = fixture();
+  ClassificationService svc(clone(fx.model));
+  const std::vector<core::Prediction> batch = svc.classify_batch(fx.queries);
+  ASSERT_EQ(batch.size(), fx.queries.size());
+  for (std::size_t i = 0; i < fx.queries.size(); ++i) {
+    expect_identical(batch[i], fx.model.predict(fx.queries[i]));
+  }
+}
+
+TEST(ClassificationService, ShardCountsProduceIdenticalPredictions) {
+  const Fixture& fx = fixture();
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}, std::size_t{16}}) {
+    ServiceConfig config;
+    config.shards = shards;  // 16 > n_classes exercises the clamp
+    ClassificationService svc(clone(fx.model), config);
+    const auto batch = svc.classify_batch(fx.queries);
+    for (std::size_t i = 0; i < fx.queries.size(); ++i) {
+      expect_identical(batch[i], fx.model.predict(fx.queries[i]));
+    }
+  }
+}
+
+TEST(ClassificationService, ConcurrentSubmitsAgreeWithSerialPredict) {
+  const Fixture& fx = fixture();
+  ClassificationService svc(clone(fx.model));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 16;
+  std::vector<std::vector<std::future<core::Prediction>>> futures(kThreads);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto& query =
+            fx.queries[static_cast<std::size_t>(t * 5 + i) % fx.queries.size()];
+        futures[static_cast<std::size_t>(t)].push_back(svc.submit(query));
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const auto& query =
+          fx.queries[static_cast<std::size_t>(t * 5 + i) % fx.queries.size()];
+      expect_identical(futures[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)].get(),
+                       fx.model.predict(query));
+    }
+  }
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.requests, kThreads * kPerThread);
+  EXPECT_EQ(stats.completed, kThreads * kPerThread);
+}
+
+TEST(ClassificationService, CacheHitsReturnIdenticalPredictions) {
+  const Fixture& fx = fixture();
+  ClassificationService svc(clone(fx.model));
+  const core::Prediction first = svc.submit(fx.queries[0]).get();
+  const core::Prediction second = svc.submit(fx.queries[0]).get();
+  expect_identical(second, first);
+  expect_identical(second, fx.model.predict(fx.queries[0]));
+  const ServiceStats stats = svc.stats();
+  EXPECT_GE(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.scored, 1u);
+}
+
+TEST(ClassificationService, InBatchDedupScoresRepeatsOnce) {
+  const Fixture& fx = fixture();
+  ServiceConfig config;
+  config.cache_capacity = 0;  // isolate dedup from the cache
+  config.max_batch = 8;
+  config.max_delay = std::chrono::milliseconds(10000);  // flush only on fill
+  ClassificationService svc(clone(fx.model), config);
+  const std::vector<core::FeatureHashes> repeats(8, fx.queries[1]);
+  const auto batch = svc.classify_batch(repeats);
+  for (const core::Prediction& pred : batch) {
+    expect_identical(pred, fx.model.predict(fx.queries[1]));
+  }
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.scored, 1u);
+  EXPECT_EQ(stats.dedup_hits, 7u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.largest_batch, 8u);
+}
+
+TEST(ClassificationService, ReloadSwapsWithoutDroppingInFlight) {
+  const Fixture& fx = fixture();
+  ClassificationService svc(clone(fx.model));
+  // Keep a stream of requests in flight across the swap.
+  std::vector<std::future<core::Prediction>> futures;
+  for (int round = 0; round < 4; ++round) {
+    for (const core::FeatureHashes& query : fx.queries) {
+      futures.push_back(svc.submit(query));
+    }
+    if (round == 1) svc.reload(clone(fx.strict_model));
+  }
+  // Every future resolves; none is dropped or broken by the swap. Each
+  // result is bit-identical to one of the two models' serial predictions
+  // (which model scored it depends on flush timing).
+  std::size_t resolved = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const core::Prediction pred = futures[i].get();
+    ++resolved;
+    const auto& query = fx.queries[i % fx.queries.size()];
+    const core::Prediction old_pred = fx.model.predict(query);
+    const core::Prediction new_pred = fx.strict_model.predict(query);
+    EXPECT_TRUE(pred.label == old_pred.label || pred.label == new_pred.label);
+  }
+  EXPECT_EQ(resolved, futures.size());
+  EXPECT_EQ(svc.stats().reloads, 1u);
+  // After the swap the strict model (threshold 1.01) answers everything
+  // unknown — including samples the cache answered pre-swap, proving the
+  // cache was invalidated.
+  for (const core::FeatureHashes& query : fx.queries) {
+    EXPECT_EQ(svc.submit(query).get().label, ml::kUnknownLabel);
+  }
+}
+
+TEST(ClassificationService, StatsCountersAreConsistent) {
+  const Fixture& fx = fixture();
+  ClassificationService svc(clone(fx.model));
+  for (int round = 0; round < 3; ++round) svc.classify_batch(fx.queries);
+  const ServiceStats stats = svc.stats();
+  const auto total = static_cast<std::uint64_t>(3 * fx.queries.size());
+  EXPECT_EQ(stats.requests, total);
+  EXPECT_EQ(stats.completed, total);
+  // Every request is answered exactly one way.
+  EXPECT_EQ(stats.scored + stats.cache_hits + stats.dedup_hits, total);
+  EXPECT_GE(stats.cache_hits, static_cast<std::uint64_t>(2 * fx.queries.size()));
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.largest_batch, svc.config().max_batch);
+  EXPECT_GE(stats.cache_hit_rate(), 0.0);
+  EXPECT_LE(stats.cache_hit_rate(), 1.0);
+  EXPECT_LE(stats.p50_ms, stats.p99_ms);
+  EXPECT_LE(stats.p99_ms, stats.max_ms);
+  EXPECT_EQ(stats.reloads, 0u);
+}
+
+TEST(ClassificationService, DestructorDrainsPendingRequests) {
+  const Fixture& fx = fixture();
+  std::vector<std::future<core::Prediction>> futures;
+  {
+    ServiceConfig config;
+    config.max_batch = 64;                                // bigger than the stream
+    config.max_delay = std::chrono::milliseconds(10000);  // only shutdown flushes
+    config.cache_capacity = 0;
+    ClassificationService svc(clone(fx.model), config);
+    for (const core::FeatureHashes& query : fx.queries) {
+      futures.push_back(svc.submit(query));
+    }
+  }  // destructor must drain, not drop
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    expect_identical(futures[i].get(), fx.model.predict(fx.queries[i]));
+  }
+}
+
+TEST(ClassificationService, RejectsUnfittedModels) {
+  EXPECT_THROW(ClassificationService(core::FuzzyHashClassifier{}),
+               std::invalid_argument);
+  const Fixture& fx = fixture();
+  ClassificationService svc(clone(fx.model));
+  EXPECT_THROW(svc.reload(core::FuzzyHashClassifier{}), std::invalid_argument);
+  // The failed reload left the original model active.
+  expect_identical(svc.submit(fx.queries[0]).get(), fx.model.predict(fx.queries[0]));
+  EXPECT_EQ(svc.stats().reloads, 0u);
+}
+
+TEST(ShardedLruCache, EvictsLeastRecentlyUsedPerShard) {
+  core::Prediction value;
+  value.label = 1;
+  value.confidence = 0.75;
+  ShardedLruCache cache(/*capacity=*/2, /*shards=*/1);
+  cache.put("a", value);
+  cache.put("b", value);
+  ASSERT_TRUE(cache.get("a").has_value());  // refresh "a"; "b" is now LRU
+  cache.put("c", value);                    // evicts "b"
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get("a").has_value());
+}
+
+TEST(ShardedLruCache, ZeroCapacityDisables) {
+  core::Prediction value;
+  ShardedLruCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.put("a", value);
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ServiceSampleKey, DistinguishesChannels) {
+  const Fixture& fx = fixture();
+  EXPECT_EQ(sample_key(fx.queries[0]), sample_key(fx.queries[0]));
+  EXPECT_NE(sample_key(fx.queries[0]), sample_key(fx.queries[1]));
+  // Swapping channel contents must change the key: the key is positional.
+  core::FeatureHashes swapped = fx.queries[0];
+  std::swap(swapped.strings, swapped.symbols);
+  EXPECT_NE(sample_key(swapped), sample_key(fx.queries[0]));
+}
+
+}  // namespace
+}  // namespace fhc::service

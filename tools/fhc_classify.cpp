@@ -3,10 +3,20 @@
 //
 //   fhc_classify MODEL FILE...
 //
-// Prints one line per file: predicted class (or -1 for unknown),
-// confidence, and the path. Exit code 0 if all files were known, 3 if any
-// was flagged unknown (convenient for prolog scripting).
+// All readable files are hashed up front and scored through a single
+// predict_batch pass (one parallel feature-matrix build instead of a
+// serial per-file predict loop). Prints one line per classified file:
+// predicted class (or -1 for unknown), confidence, and the path;
+// per-file read/extract failures go to stderr.
+//
+// Exit codes (prolog scripting contract, also in the usage string):
+//   0  every file classified as a known class
+//   1  some file could not be read or hashed (takes precedence over 3)
+//   2  usage error or unreadable model
+//   3  at least one file was flagged unknown
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "core/classifier.hpp"
 #include "util/io_util.hpp"
@@ -15,7 +25,10 @@ using namespace fhc;
 
 int main(int argc, char** argv) {
   if (argc < 3) {
-    std::fprintf(stderr, "usage: fhc_classify MODEL FILE...\n");
+    std::fprintf(stderr,
+                 "usage: fhc_classify MODEL FILE...\n"
+                 "exit codes: 0 all files known; 1 read/extract error (wins over 3);\n"
+                 "            2 usage or model-load error; 3 some file unknown\n");
     return 2;
   }
 
@@ -24,28 +37,44 @@ int main(int argc, char** argv) {
     classifier = core::FuzzyHashClassifier::load_file(argv[1]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fhc_classify: %s\n", e.what());
-    return 1;
+    return 2;
   }
 
-  int unknowns = 0;
+  std::vector<const char*> paths;       // files that hashed successfully
+  std::vector<core::FeatureHashes> samples;  // parallel to paths
   int errors = 0;
   for (int i = 2; i < argc; ++i) {
     try {
       const auto image = util::read_file(argv[i]);
-      const core::Prediction pred =
-          classifier.predict(core::extract_feature_hashes(image));
-      if (pred.label == ml::kUnknownLabel) {
-        ++unknowns;
-        std::printf("-1\t%.2f\t%s\n", pred.confidence, argv[i]);
-      } else {
-        std::printf("%s\t%.2f\t%s\n",
-                    classifier.class_names()[static_cast<std::size_t>(pred.label)]
-                        .c_str(),
-                    pred.confidence, argv[i]);
-      }
+      samples.push_back(core::extract_feature_hashes(image));
+      paths.push_back(argv[i]);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "fhc_classify: %s: %s\n", argv[i], e.what());
       ++errors;
+    }
+  }
+
+  int unknowns = 0;
+  if (!samples.empty()) {
+    // predict_batch stores probabilities in the float Matrix, so the
+    // threshold comparison happens at float granularity (same as every
+    // batch evaluation path); a probability within float epsilon of the
+    // threshold can in principle flag differently than the double-path
+    // serial predict() used by fhc_serve.
+    ml::Matrix proba;
+    const std::vector<int> labels = classifier.predict_batch(samples, &proba);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      double confidence = 0.0;
+      for (const float p : proba.row(i)) confidence = std::max(confidence, double{p});
+      if (labels[i] == ml::kUnknownLabel) {
+        ++unknowns;
+        std::printf("-1\t%.2f\t%s\n", confidence, paths[i]);
+      } else {
+        std::printf("%s\t%.2f\t%s\n",
+                    classifier.class_names()[static_cast<std::size_t>(labels[i])]
+                        .c_str(),
+                    confidence, paths[i]);
+      }
     }
   }
   if (errors > 0) return 1;

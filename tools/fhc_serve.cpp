@@ -1,0 +1,181 @@
+// fhc-serve: resident classification daemon for prolog scripts.
+//
+//   fhc_serve MODEL [max_batch] [cache_capacity]
+//
+// Loads the model once and answers a line-oriented protocol on
+// stdin/stdout, so a Slurm prolog talks to one hot process instead of
+// paying a model load per job:
+//
+//   CLASSIFY <path>...   one reply line per path, in order:
+//                          "<label>\t<confidence>"  (label -1 = unknown)
+//                        or "ERR <message>" for that path
+//   STATS                one line of key=value service counters
+//   RELOAD <model>       swap the model without dropping in-flight work:
+//                          "OK <model>" or "ERR <message>"
+//   QUIT                 "OK bye", exit 0
+//
+// Replies are flushed per command; unknown commands answer "ERR ...".
+// EOF on stdin exits cleanly. Exit codes: 0 clean shutdown, 1 model load
+// error, 2 usage error.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "service/service.hpp"
+#include "util/io_util.hpp"
+
+using namespace fhc;
+
+namespace {
+
+void handle_classify(service::ClassificationService& svc, std::istringstream& args,
+                     std::ostream& out) {
+  // Submit every path first so they land in one micro-batch, then collect
+  // replies in order.
+  std::vector<std::string> paths;
+  std::vector<std::future<core::Prediction>> futures;
+  std::vector<std::string> extract_errors;  // parallel to paths; empty = submitted
+  std::string path;
+  while (args >> path) {
+    paths.push_back(path);
+    extract_errors.emplace_back();
+    try {
+      const auto image = util::read_file(path);
+      futures.push_back(svc.submit(core::extract_feature_hashes(image)));
+    } catch (const std::exception& e) {
+      futures.emplace_back();  // placeholder, never read
+      extract_errors.back() = e.what();
+    }
+  }
+  if (paths.empty()) {
+    out << "ERR CLASSIFY needs at least one path\n";
+    return;
+  }
+  // One model snapshot for the whole reply. A prediction can in principle
+  // outlive a RELOAD, so the label is range-checked against this
+  // snapshot's class list and printed numerically when it cannot be named.
+  const std::shared_ptr<const core::FuzzyHashClassifier> model = svc.model();
+  const std::vector<std::string>& names = model->class_names();
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!extract_errors[i].empty()) {
+      out << "ERR " << extract_errors[i] << '\n';
+      continue;
+    }
+    try {
+      const core::Prediction pred = futures[i].get();
+      char line[64];
+      std::snprintf(line, sizeof line, "%.4f", pred.confidence);
+      if (pred.label >= 0 && static_cast<std::size_t>(pred.label) < names.size()) {
+        out << names[static_cast<std::size_t>(pred.label)] << '\t' << line << '\n';
+      } else {
+        out << pred.label << '\t' << line << '\n';  // kUnknownLabel prints -1
+      }
+    } catch (const std::exception& e) {
+      out << "ERR " << e.what() << '\n';
+    }
+  }
+}
+
+void handle_stats(const service::ClassificationService& svc, std::ostream& out) {
+  const service::ServiceStats s = svc.stats();
+  out << "requests=" << s.requests << " completed=" << s.completed
+      << " batches=" << s.batches << " scored=" << s.scored
+      << " cache_hits=" << s.cache_hits << " dedup_hits=" << s.dedup_hits
+      << " cache_hit_rate=" << s.cache_hit_rate() << " reloads=" << s.reloads
+      << " largest_batch=" << s.largest_batch << " p50_ms=" << s.p50_ms
+      << " p99_ms=" << s.p99_ms << " max_ms=" << s.max_ms << '\n';
+}
+
+}  // namespace
+
+namespace {
+
+/// Parses a non-negative integer argument; false on junk or negatives.
+bool parse_size(const char* text, std::size_t& out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) return false;
+  out = static_cast<std::size_t>(value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto usage = [] {
+    std::fprintf(stderr,
+                 "usage: fhc_serve MODEL [max_batch=32] [cache_capacity=4096]\n"
+                 "protocol (stdin -> stdout, one reply line per request):\n"
+                 "  CLASSIFY <path>...  ->  <label>\\t<confidence> | ERR <msg>\n"
+                 "  STATS               ->  key=value counters\n"
+                 "  RELOAD <model>      ->  OK <model> | ERR <msg>\n"
+                 "  QUIT                ->  OK bye\n");
+    return 2;
+  };
+  if (argc < 2 || argc > 4) return usage();
+
+#ifdef SIGPIPE
+  // Replies often go to a FIFO; a reader that vanishes between request
+  // and reply must not kill the node's resident daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+
+  service::ServiceConfig config;
+  if (argc > 2 && (!parse_size(argv[2], config.max_batch) || config.max_batch == 0)) {
+    std::fprintf(stderr, "fhc_serve: bad max_batch '%s'\n", argv[2]);
+    return usage();
+  }
+  if (argc > 3 && !parse_size(argv[3], config.cache_capacity)) {
+    std::fprintf(stderr, "fhc_serve: bad cache_capacity '%s'\n", argv[3]);
+    return usage();
+  }
+
+  std::unique_ptr<service::ClassificationService> svc;
+  try {
+    svc = std::make_unique<service::ClassificationService>(
+        core::FuzzyHashClassifier::load_file(argv[1]), config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fhc_serve: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "fhc_serve: model %s loaded, ready\n", argv[1]);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream parts(line);
+    std::string command;
+    parts >> command;
+    if (command.empty()) continue;
+    if (command == "CLASSIFY") {
+      handle_classify(*svc, parts, std::cout);
+    } else if (command == "STATS") {
+      handle_stats(*svc, std::cout);
+    } else if (command == "RELOAD") {
+      std::string model_path;
+      if (!(parts >> model_path)) {
+        std::cout << "ERR RELOAD needs a model path\n";
+      } else {
+        try {
+          svc->reload(core::FuzzyHashClassifier::load_file(model_path));
+          std::cout << "OK " << model_path << '\n';
+        } catch (const std::exception& e) {
+          std::cout << "ERR " << e.what() << '\n';
+        }
+      }
+    } else if (command == "QUIT") {
+      std::cout << "OK bye\n";
+      std::cout.flush();
+      return 0;
+    } else {
+      std::cout << "ERR unknown command: " << command << '\n';
+    }
+    std::cout.flush();
+  }
+  return 0;
+}

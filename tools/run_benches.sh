@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Run the two perf baselines and emit machine-readable results:
-#   BENCH_perf_ssdeep.json and BENCH_perf_forest.json in the current
-#   directory (google-benchmark JSON format).
+# Run the perf baselines and emit machine-readable results:
+#   BENCH_perf_ssdeep.json, BENCH_perf_forest.json and
+#   BENCH_perf_service.json in the current directory (google-benchmark
+#   JSON format).
 #
 # Usage: tools/run_benches.sh [BUILD_DIR]   (default: build)
 #
@@ -16,9 +17,9 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   exit 2
 fi
 
-cmake --build "$BUILD_DIR" --target perf_ssdeep perf_forest
+cmake --build "$BUILD_DIR" --target perf_ssdeep perf_forest perf_service
 
-for name in perf_ssdeep perf_forest; do
+for name in perf_ssdeep perf_forest perf_service; do
   echo "== $name -> BENCH_${name}.json"
   "$BUILD_DIR/bench/$name" \
     --benchmark_out="BENCH_${name}.json" \
@@ -35,6 +36,24 @@ for required in \
     BM_PrepareDigest BM_FeatureRowPrepared BM_FeatureRowRawLoop; do
   if ! grep -q "\"$required\"" BENCH_perf_ssdeep.json; then
     echo "error: BENCH_perf_ssdeep.json is missing $required" >&2
+    exit 1
+  fi
+done
+
+# PR 3 on: the batched-vs-unbatched service throughput pair and the
+# serial-vs-parallel forest train-time pair must stay in the baselines.
+for required in \
+    BM_PredictUnbatched/32/real_time BM_ServiceBatchRepeatDedup/32/real_time \
+    BM_ServiceBatchRepeatStream/32/real_time BM_ServiceBatchUnique/32/real_time \
+    BM_ServiceShards/1/real_time BM_ServiceCacheHit/real_time; do
+  if ! grep -q "\"$required\"" BENCH_perf_service.json; then
+    echo "error: BENCH_perf_service.json is missing $required" >&2
+    exit 1
+  fi
+done
+for required in BM_ForestFit/1024 BM_ForestFitSerial/1024; do
+  if ! grep -q "\"$required\"" BENCH_perf_forest.json; then
+    echo "error: BENCH_perf_forest.json is missing $required" >&2
     exit 1
   fi
 done
