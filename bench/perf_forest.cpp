@@ -2,6 +2,9 @@
 // pipeline actually uses (n ~ thousands, d = 3 * 73 = 219, K = 73).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "ml/class_weight.hpp"
@@ -73,19 +76,84 @@ void BM_ForestFitSerial(benchmark::State& state) {
 }
 BENCHMARK(BM_ForestFitSerial)->Arg(1024)->Unit(benchmark::kMillisecond);
 
+/// Shared fitted forest for the predict/load benches — pipeline shape
+/// (73 classes, 219 features), 50 trees over 1024 rows.
+const ml::RandomForest& predict_forest() {
+  static const ml::RandomForest forest = [] {
+    const Synthetic data = make_data(1024, 73, 219);
+    ml::RandomForest f;
+    ml::ForestParams params;
+    params.n_estimators = 50;
+    f.fit(data.x, data.y, data.classes, {}, params);
+    return f;
+  }();
+  return forest;
+}
+
 void BM_ForestPredictProba(benchmark::State& state) {
   const Synthetic data = make_data(1024, 73, 219);
-  ml::RandomForest forest;
-  ml::ForestParams params;
-  params.n_estimators = 50;
-  forest.fit(data.x, data.y, data.classes, {}, params);
+  const ml::RandomForest& forest = predict_forest();
   std::size_t row = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(forest.predict_proba(data.x.row(row)));
     row = (row + 1) % data.x.rows();
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ForestPredictProba);
+
+/// The FlatForest block walk at batch sizes 1/8/64 — compare
+/// items_per_second against the per-row BM_ForestPredictProba baseline.
+/// Tree-major blocking keeps each tree's nodes hot in L1/L2 across the
+/// whole block instead of re-missing the ensemble per row.
+void BM_ForestPredictBlock(benchmark::State& state) {
+  const Synthetic data = make_data(1024, 73, 219);
+  const ml::RandomForest& forest = predict_forest();
+  const auto block = static_cast<std::size_t>(state.range(0));
+  ml::Matrix out(data.x.rows(), 73);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    forest.plan().predict_proba_block(data.x, row, row + block, out);
+    benchmark::DoNotOptimize(out.row(row).data());
+    row = (row + block) % data.x.rows();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(block));
+}
+BENCHMARK(BM_ForestPredictBlock)->Arg(1)->Arg(8)->Arg(64);
+
+/// Model (re)load pair: the text parser vs the binary SoA image — the
+/// RELOAD path cost a resident fhc_serve pays per model swap. The binary
+/// loader copies no node data (the plan attaches to the image) and
+/// parses no floats.
+void BM_ModelLoadText(benchmark::State& state) {
+  std::ostringstream text;
+  predict_forest().save(text);
+  const std::string image = text.str();
+  for (auto _ : state) {
+    ml::RandomForest loaded;
+    std::istringstream in(image);
+    loaded.load(in);
+    benchmark::DoNotOptimize(loaded.tree_count());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_ModelLoadText)->Unit(benchmark::kMillisecond);
+
+void BM_ModelLoadBinary(benchmark::State& state) {
+  std::ostringstream binary(std::ios::binary);
+  predict_forest().save_binary(binary);
+  const std::string image = binary.str();
+  for (auto _ : state) {
+    ml::RandomForest loaded;
+    std::istringstream in(image, std::ios::binary);
+    loaded.load_binary(in);
+    benchmark::DoNotOptimize(loaded.tree_count());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_ModelLoadBinary)->Unit(benchmark::kMillisecond);
 
 void BM_KnnPredict(benchmark::State& state) {
   const Synthetic data = make_data(2688, 73, 219);

@@ -1,6 +1,9 @@
 #include "core/classifier.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <numeric>
@@ -9,6 +12,7 @@
 #include <stdexcept>
 
 #include "ml/class_weight.hpp"
+#include "util/model_map.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fhc::core {
@@ -52,14 +56,59 @@ Prediction FuzzyHashClassifier::predict_from_row(std::span<const float> row) con
   if (row.size() != row_width()) {
     throw std::invalid_argument("predict_from_row: bad row width");
   }
+  return prediction_from_proba(forest_.predict_proba(row));
+}
+
+Prediction FuzzyHashClassifier::prediction_from_proba(std::vector<double> proba) const {
   Prediction out;
-  out.proba = forest_.predict_proba(row);
+  out.proba = std::move(proba);
   const auto best = std::max_element(out.proba.begin(), out.proba.end());
   out.confidence = *best;
   const int argmax = static_cast<int>(best - out.proba.begin());
   out.label = out.confidence >= config_.confidence_threshold ? argmax
                                                              : ml::kUnknownLabel;
   return out;
+}
+
+void FuzzyHashClassifier::predict_rows(const ml::Matrix& rows,
+                                       std::span<Prediction> out,
+                                       util::ThreadPool* pool) const {
+  if (!fitted()) throw std::logic_error("FuzzyHashClassifier: not fitted");
+  if (rows.cols() != row_width() || out.size() != rows.rows()) {
+    throw std::invalid_argument("predict_rows: bad shape");
+  }
+  const ml::FlatForest& plan = forest_.plan();
+  const auto k = static_cast<std::size_t>(forest_.n_classes());
+  const double inv = 1.0 / static_cast<double>(forest_.tree_count());
+  constexpr std::size_t kBlockRows = 64;
+  const auto score_block = [&](std::size_t begin, std::size_t end,
+                               std::span<double> acc) {
+    plan.accumulate_block(rows, begin, end, acc);
+    for (std::size_t r = begin; r < end; ++r) {
+      std::vector<double> proba(k);
+      const double* const sums = acc.data() + (r - begin) * k;
+      // Same value sequence as the serial path's in-place `p *= inv`.
+      for (std::size_t c = 0; c < k; ++c) proba[c] = sums[c] * inv;
+      out[r] = prediction_from_proba(std::move(proba));
+    }
+  };
+  if (pool != nullptr && rows.rows() > kBlockRows) {
+    // Blocks write disjoint out slots, so fanning them across the pool
+    // keeps the result bit-identical to the serial loop below.
+    const std::size_t blocks = (rows.rows() + kBlockRows - 1) / kBlockRows;
+    util::parallel_for(*pool, 0, blocks, /*grain=*/1, [&](std::size_t b) {
+      const std::size_t begin = b * kBlockRows;
+      const std::size_t end = std::min(begin + kBlockRows, rows.rows());
+      std::vector<double> acc((end - begin) * k);
+      score_block(begin, end, acc);
+    });
+    return;
+  }
+  std::vector<double> acc(std::min(kBlockRows, rows.rows()) * k);
+  for (std::size_t begin = 0; begin < rows.rows(); begin += kBlockRows) {
+    const std::size_t end = std::min(begin + kBlockRows, rows.rows());
+    score_block(begin, end, {acc.data(), (end - begin) * k});
+  }
 }
 
 std::size_t FuzzyHashClassifier::row_width() const {
@@ -117,11 +166,20 @@ const std::vector<std::string>& FuzzyHashClassifier::class_names() const {
 
 namespace {
 constexpr const char* kModelMagic = "fhc-fuzzy-hash-classifier-v1";
+// First 8 bytes of a binary model file; distinct from any text model
+// (those start with kModelMagic) so load_file can sniff the format.
+constexpr char kBinaryModelMagic[8] = {'F', 'H', 'C', 'M', 'D', 'L', 'B', '1'};
+
 }  // namespace
 
 void FuzzyHashClassifier::save(std::ostream& out) const {
   if (!fitted()) throw std::logic_error("save: not fitted");
   out << kModelMagic << '\n';
+  save_preamble(out);
+  forest_.save(out);
+}
+
+void FuzzyHashClassifier::save_preamble(std::ostream& out) const {
   out << "metric " << static_cast<int>(config_.metric) << '\n';
   out << "threshold " << config_.confidence_threshold << '\n';
   out << "balanced " << (config_.balanced_class_weights ? 1 : 0) << '\n';
@@ -149,42 +207,47 @@ void FuzzyHashClassifier::save(std::ostream& out) const {
     }
   }
   for (const std::string& row : rows) out << row << '\n';
-
-  forest_.save(out);
 }
 
-void FuzzyHashClassifier::load(std::istream& in) {
-  std::string magic;
-  if (!std::getline(in, magic) || magic != kModelMagic) {
-    throw std::runtime_error("FuzzyHashClassifier::load: bad magic/version");
-  }
+namespace {
+
+/// Everything a model file carries besides the forest — shared between
+/// the text and binary loaders (the binary format embeds the same bytes).
+struct Preamble {
+  ClassifierConfig config;
+  std::vector<std::string> names;
+  std::vector<FeatureHashes> hashes;
+  std::vector<int> labels;
+  int k = 0;
+};
+
+Preamble load_preamble(std::istream& in) {
+  Preamble out;
   std::string tag;
   int metric = 0;
   int balanced = 0;
-  ClassifierConfig config;
   if (!(in >> tag >> metric) || tag != "metric" ||
-      !(in >> tag >> config.confidence_threshold) || tag != "threshold" ||
+      !(in >> tag >> out.config.confidence_threshold) || tag != "threshold" ||
       !(in >> tag >> balanced) || tag != "balanced") {
     throw std::runtime_error("FuzzyHashClassifier::load: bad config block");
   }
-  config.metric = static_cast<ssdeep::EditMetric>(metric);
-  config.balanced_class_weights = balanced != 0;
+  out.config.metric = static_cast<ssdeep::EditMetric>(metric);
+  out.config.balanced_class_weights = balanced != 0;
   if (!(in >> tag) || tag != "channels") {
     throw std::runtime_error("FuzzyHashClassifier::load: bad channels");
   }
-  for (auto& channel : config.channels) {
+  for (auto& channel : out.config.channels) {
     int value = 0;
     if (!(in >> value)) throw std::runtime_error("load: bad channel flag");
     channel = value != 0;
   }
 
-  int k = 0;
-  if (!(in >> tag >> k) || tag != "classes" || k <= 0) {
+  if (!(in >> tag >> out.k) || tag != "classes" || out.k <= 0) {
     throw std::runtime_error("FuzzyHashClassifier::load: bad class count");
   }
   in.ignore();  // consume newline before getline
-  std::vector<std::string> names(static_cast<std::size_t>(k));
-  for (std::string& name : names) {
+  out.names.resize(static_cast<std::size_t>(out.k));
+  for (std::string& name : out.names) {
     if (!std::getline(in, name) || name.empty()) {
       throw std::runtime_error("FuzzyHashClassifier::load: bad class name");
     }
@@ -194,13 +257,13 @@ void FuzzyHashClassifier::load(std::istream& in) {
   if (!(in >> tag >> n_train) || tag != "train" || n_train == 0) {
     throw std::runtime_error("FuzzyHashClassifier::load: bad train block");
   }
-  std::vector<FeatureHashes> hashes(n_train);
-  std::vector<int> labels(n_train);
+  out.hashes.resize(n_train);
+  out.labels.resize(n_train);
   for (std::size_t i = 0; i < n_train; ++i) {
     std::string file_text;
     std::string strings_text;
     std::string symbols_text;
-    if (!(in >> labels[i] >> file_text >> strings_text >> symbols_text)) {
+    if (!(in >> out.labels[i] >> file_text >> strings_text >> symbols_text)) {
       throw std::runtime_error("FuzzyHashClassifier::load: truncated digests");
     }
     const auto file = ssdeep::parse_digest(file_text);
@@ -209,20 +272,99 @@ void FuzzyHashClassifier::load(std::istream& in) {
     if (!file || !strings || !symbols) {
       throw std::runtime_error("FuzzyHashClassifier::load: bad digest");
     }
-    hashes[i].file = *file;
-    hashes[i].strings = *strings;
-    hashes[i].symbols = *symbols;
-    hashes[i].has_symbols = !symbols->part1.empty();
+    out.hashes[i].file = *file;
+    out.hashes[i].strings = *strings;
+    out.hashes[i].symbols = *symbols;
+    out.hashes[i].has_symbols = !symbols->part1.empty();
   }
+  return out;
+}
 
+}  // namespace
+
+void FuzzyHashClassifier::load(std::istream& in) {
+  std::string magic;
+  if (!std::getline(in, magic) || magic != kModelMagic) {
+    throw std::runtime_error("FuzzyHashClassifier::load: bad magic/version");
+  }
+  Preamble preamble = load_preamble(in);
   forest_.load(in);
-  if (forest_.n_classes() != k) {
+  if (forest_.n_classes() != preamble.k) {
     throw std::runtime_error("FuzzyHashClassifier::load: forest/class mismatch");
+  }
+  // predict builds rows of exactly kFeatureTypeCount * k floats; a forest
+  // claiming any other width would read past them (its trees are only
+  // validated against its OWN n_features header).
+  if (forest_.n_features() != static_cast<std::size_t>(kFeatureTypeCount) *
+                                  static_cast<std::size_t>(preamble.k)) {
+    throw std::runtime_error("FuzzyHashClassifier::load: forest/row-width mismatch");
   }
   // Rebuilding the index re-prepares every reference digest (normalized
   // parts + gram arrays) from the raw text loaded above.
-  index_ = std::make_unique<TrainIndex>(hashes, labels, std::move(names));
-  config_ = config;
+  index_ = std::make_unique<TrainIndex>(preamble.hashes, preamble.labels,
+                                        std::move(preamble.names));
+  config_ = preamble.config;
+}
+
+void FuzzyHashClassifier::save_binary(std::ostream& out) const {
+  if (!fitted()) throw std::logic_error("save: not fitted");
+  std::ostringstream preamble_stream;
+  save_preamble(preamble_stream);
+  const std::string preamble = preamble_stream.str();
+  out.write(kBinaryModelMagic, sizeof kBinaryModelMagic);
+  const std::uint64_t preamble_size = preamble.size();
+  out.write(reinterpret_cast<const char*>(&preamble_size), sizeof preamble_size);
+  out.write(preamble.data(), static_cast<std::streamsize>(preamble.size()));
+  // Pad so the forest image lands 8-byte aligned in the file — that is
+  // what lets FlatForest attach directly to an mmap of it.
+  const std::size_t written = 16 + preamble.size();
+  static constexpr char kZeros[8] = {};
+  out.write(kZeros, static_cast<std::streamsize>(
+                ml::FlatForest::align8(written) - written));
+  forest_.save_binary(out);
+  if (!out) throw std::runtime_error("save_binary: write failed");
+}
+
+bool FuzzyHashClassifier::is_binary_model(std::span<const std::byte> bytes) {
+  return bytes.size() >= sizeof kBinaryModelMagic &&
+         std::memcmp(bytes.data(), kBinaryModelMagic, sizeof kBinaryModelMagic) == 0;
+}
+
+void FuzzyHashClassifier::load_binary(std::span<const std::byte> bytes,
+                                      std::shared_ptr<const void> keepalive) {
+  if (!is_binary_model(bytes)) {
+    throw std::runtime_error("FuzzyHashClassifier::load_binary: bad magic");
+  }
+  std::uint64_t preamble_size = 0;
+  if (bytes.size() < 16) {
+    throw std::runtime_error("FuzzyHashClassifier::load_binary: truncated header");
+  }
+  std::memcpy(&preamble_size, bytes.data() + 8, sizeof preamble_size);
+  if (preamble_size > bytes.size() - 16) {
+    throw std::runtime_error("FuzzyHashClassifier::load_binary: truncated preamble");
+  }
+  std::istringstream preamble_stream(
+      std::string(reinterpret_cast<const char*>(bytes.data()) + 16,
+                  static_cast<std::size_t>(preamble_size)));
+  Preamble preamble = load_preamble(preamble_stream);
+
+  const std::size_t forest_offset =
+      ml::FlatForest::align8(16 + static_cast<std::size_t>(preamble_size));
+  if (forest_offset > bytes.size()) {
+    throw std::runtime_error("FuzzyHashClassifier::load_binary: truncated model");
+  }
+  forest_.load_binary(bytes.subspan(forest_offset), std::move(keepalive));
+  if (forest_.n_classes() != preamble.k) {
+    throw std::runtime_error("FuzzyHashClassifier::load_binary: forest/class mismatch");
+  }
+  if (forest_.n_features() != static_cast<std::size_t>(kFeatureTypeCount) *
+                                  static_cast<std::size_t>(preamble.k)) {
+    throw std::runtime_error(
+        "FuzzyHashClassifier::load_binary: forest/row-width mismatch");
+  }
+  index_ = std::make_unique<TrainIndex>(preamble.hashes, preamble.labels,
+                                        std::move(preamble.names));
+  config_ = preamble.config;
 }
 
 void FuzzyHashClassifier::save_file(const std::string& path) const {
@@ -232,10 +374,50 @@ void FuzzyHashClassifier::save_file(const std::string& path) const {
   if (!out) throw std::runtime_error("save_file: write failed for " + path);
 }
 
+void FuzzyHashClassifier::save_binary_file(const std::string& path) const {
+  // Binary models get mmap'd by resident daemons; truncating the live
+  // inode in place would SIGBUS any process still mapping it. Write a
+  // sibling temp file and rename over the target — readers keep their old
+  // mapping, new loads see the new model.
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) throw std::runtime_error("save_binary_file: cannot open " + tmp);
+    save_binary(out);
+    if (!out) throw std::runtime_error("save_binary_file: write failed for " + tmp);
+  } catch (...) {
+    // A failed write (e.g. disk full) must not strand a partial .tmp
+    // beside the model.
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw;
+  }
+  std::error_code error;
+  std::filesystem::rename(tmp, path, error);
+  if (error) {
+    std::filesystem::remove(tmp, error);
+    throw std::runtime_error("save_binary_file: cannot replace " + path);
+  }
+}
+
 FuzzyHashClassifier FuzzyHashClassifier::load_file(const std::string& path) {
-  std::ifstream in(path);
+  // Sniff the first bytes to pick the format: binary models are mmap'd
+  // and attached in place; text models stream through the parser (no
+  // in-memory copy of the file).
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_file: cannot open " + path);
+  char head[sizeof kBinaryModelMagic] = {};
+  in.read(head, sizeof head);
   FuzzyHashClassifier clf;
+  if (in.gcount() == sizeof head &&
+      std::memcmp(head, kBinaryModelMagic, sizeof head) == 0) {
+    in.close();
+    auto map = std::make_shared<util::ModelMap>(path);
+    clf.load_binary(map->bytes(), map);
+    return clf;
+  }
+  in.clear();  // short files leave eof/fail set; rewind for the text parser
+  in.seekg(0);
   clf.load(in);
   return clf;
 }

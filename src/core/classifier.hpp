@@ -16,8 +16,10 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,6 +64,15 @@ class FuzzyHashClassifier {
   /// service) reuse the exact threshold/argmax semantics of predict().
   Prediction predict_from_row(std::span<const float> row) const;
 
+  /// Block forest pass over many prebuilt rows: one tree-major
+  /// FlatForest pass per row block instead of a forest walk per row,
+  /// bit-identical to predict_from_row on each row (same double
+  /// accumulation order). `out.size()` must equal `rows.rows()`. When
+  /// `pool` is given and there is more than one block, blocks fan out
+  /// across it (disjoint output slots — still bit-identical).
+  void predict_rows(const ml::Matrix& rows, std::span<Prediction> out,
+                    util::ThreadPool* pool = nullptr) const;
+
   /// Width of one similarity feature row (kFeatureTypeCount * n_classes).
   std::size_t row_width() const;
 
@@ -100,9 +111,34 @@ class FuzzyHashClassifier {
   void save(std::ostream& out) const;
   void load(std::istream& in);
   void save_file(const std::string& path) const;
+
+  /// Binary model format: an 8-byte magic, the text preamble (config,
+  /// class names, reference digests — identical bytes to the text
+  /// format's midsection) as one length-prefixed block, then the forest's
+  /// binary SoA image. save_binary -> load_binary -> save_binary
+  /// round-trips byte-identically, and loading parses no forest text.
+  void save_binary(std::ostream& out) const;
+  void save_binary_file(const std::string& path) const;
+
+  /// Loads the binary format from `bytes` without copying the forest
+  /// sections — the compiled plan references them in place. `keepalive`
+  /// (e.g. the util::ModelMap the bytes come from) is retained for the
+  /// model's lifetime; pass nullptr only when `bytes` outlives the model.
+  void load_binary(std::span<const std::byte> bytes,
+                   std::shared_ptr<const void> keepalive);
+
+  /// True when `bytes` starts with the binary model magic.
+  static bool is_binary_model(std::span<const std::byte> bytes);
+
+  /// Loads either format: sniffs the magic, mmaps binary models
+  /// (util::ModelMap) for a zero-copy forest load, falls back to the text
+  /// parser otherwise.
   static FuzzyHashClassifier load_file(const std::string& path);
 
  private:
+  void save_preamble(std::ostream& out) const;
+  Prediction prediction_from_proba(std::vector<double> proba) const;
+
   std::unique_ptr<TrainIndex> index_;
   ml::RandomForest forest_;
   ClassifierConfig config_;

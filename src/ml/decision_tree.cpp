@@ -228,6 +228,13 @@ std::int32_t DecisionTree::build_node(BuildContext& ctx,
 }
 
 std::vector<double> DecisionTree::predict_proba(std::span<const float> row) const {
+  std::vector<double> proba(static_cast<std::size_t>(n_classes_), 0.0);
+  accumulate_proba(row, proba);
+  return proba;
+}
+
+void DecisionTree::accumulate_proba(std::span<const float> row,
+                                    std::span<double> out) const {
   if (nodes_.empty()) throw std::logic_error("DecisionTree: not fitted");
   std::size_t node = 0;
   while (nodes_[node].proba_offset < 0) {
@@ -236,11 +243,9 @@ std::vector<double> DecisionTree::predict_proba(std::span<const float> row) cons
         row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right);
   }
   const auto offset = static_cast<std::size_t>(nodes_[node].proba_offset);
-  std::vector<double> proba(static_cast<std::size_t>(n_classes_));
-  for (std::size_t c = 0; c < proba.size(); ++c) {
-    proba[c] = proba_pool_[offset + c];
+  for (std::size_t c = 0; c < static_cast<std::size_t>(n_classes_); ++c) {
+    out[c] += proba_pool_[offset + c];
   }
-  return proba;
 }
 
 int DecisionTree::predict(std::span<const float> row) const {
@@ -306,6 +311,25 @@ void DecisionTree::load(std::istream& in) {
   for (double& imp : importances_) {
     if (!(in >> imp)) throw std::runtime_error("DecisionTree::load: truncated importances");
   }
+  validate_structure();
+}
+
+void DecisionTree::restore(std::vector<Node> nodes, std::vector<float> proba_pool,
+                           std::vector<double> importances, int n_classes,
+                           int depth) {
+  if (n_classes <= 0 || depth < 0 ||
+      proba_pool.size() % static_cast<std::size_t>(n_classes) != 0) {
+    throw std::runtime_error("DecisionTree::restore: inconsistent sizes");
+  }
+  nodes_ = std::move(nodes);
+  proba_pool_ = std::move(proba_pool);
+  importances_ = std::move(importances);
+  n_classes_ = n_classes;
+  depth_ = depth;
+  validate_structure();
+}
+
+void DecisionTree::validate_structure() const {
   // Validate links so a corrupt file cannot cause out-of-range walks.
   for (std::size_t id = 0; id < nodes_.size(); ++id) {
     const Node& node = nodes_[id];
@@ -314,14 +338,14 @@ void DecisionTree::load(std::istream& in) {
       if (static_cast<std::size_t>(node.proba_offset) +
               static_cast<std::size_t>(n_classes_) >
           proba_pool_.size()) {
-        throw std::runtime_error("DecisionTree::load: leaf offset out of range");
+        throw std::runtime_error("DecisionTree: leaf offset out of range");
       }
     } else {
       // Interior nodes index a feature column in predict_proba; a negative
       // index would read out of bounds long before the forest's
       // n_features upper-bound check can catch it.
       if (node.feature < 0) {
-        throw std::runtime_error("DecisionTree::load: negative feature index");
+        throw std::runtime_error("DecisionTree: negative feature index");
       }
       // build_node emits children after their parent, so legitimate links
       // always point forward; requiring that makes the walk acyclic — a
@@ -330,7 +354,7 @@ void DecisionTree::load(std::istream& in) {
           node.right <= static_cast<std::int32_t>(id) ||
           static_cast<std::size_t>(node.left) >= nodes_.size() ||
           static_cast<std::size_t>(node.right) >= nodes_.size()) {
-        throw std::runtime_error("DecisionTree::load: child link out of range");
+        throw std::runtime_error("DecisionTree: child link out of range");
       }
     }
   }

@@ -30,6 +30,16 @@ struct TreeParams {
 
 class DecisionTree {
  public:
+  struct Node {
+    // Internal nodes: feature/threshold and child links; leaves:
+    // probability distribution (left == -1 marks a leaf).
+    int feature = -1;
+    float threshold = 0.0f;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int32_t proba_offset = -1;  // into proba_pool() for leaves
+  };
+
   /// Fits on rows of `x` with labels in 0..n_classes-1. `sample_weight`
   /// may be empty (all ones). `rng` drives feature subsampling only.
   void fit(const Matrix& x, const std::vector<int>& y, int n_classes,
@@ -38,6 +48,11 @@ class DecisionTree {
 
   /// Class-probability vector for one sample (size n_classes).
   std::vector<double> predict_proba(std::span<const float> row) const;
+
+  /// Adds this tree's leaf distribution for `row` into `out` (size
+  /// n_classes) — the allocation-free primitive predict_proba wraps, and
+  /// what the forest's nested reference path accumulates tree by tree.
+  void accumulate_proba(std::span<const float> row, std::span<double> out) const;
 
   /// argmax of predict_proba.
   int predict(std::span<const float> row) const;
@@ -57,24 +72,26 @@ class DecisionTree {
   /// own n_features before predict_proba ever indexes a row.
   int max_feature_used() const noexcept;
 
+  /// Raw fitted structure — what FlatForest packs into its SoA plan.
+  std::span<const Node> nodes() const noexcept { return nodes_; }
+  std::span<const float> proba_pool() const noexcept { return proba_pool_; }
+
   /// Serializes the fitted tree as whitespace-separated text (one line per
   /// node). load() restores an equivalent predictor; throws
   /// std::runtime_error on malformed input.
   void save(std::ostream& out) const;
   void load(std::istream& in);
 
- private:
-  struct Node {
-    // Internal nodes: feature/threshold and child links; leaves:
-    // probability distribution (left == -1 marks a leaf).
-    int feature = -1;
-    float threshold = 0.0f;
-    std::int32_t left = -1;
-    std::int32_t right = -1;
-    std::int32_t proba_offset = -1;  // into proba_pool_ for leaves
-  };
+  /// Rebuilds a fitted tree from raw parts (the binary model-load path).
+  /// Runs the same structural validation as load(); throws
+  /// std::runtime_error when links or offsets are out of range.
+  void restore(std::vector<Node> nodes, std::vector<float> proba_pool,
+               std::vector<double> importances, int n_classes, int depth);
 
+ private:
   struct BuildContext;  // defined in the .cpp
+
+  void validate_structure() const;
 
   std::int32_t build_node(BuildContext& ctx, std::vector<std::size_t>& indices,
                           int current_depth);

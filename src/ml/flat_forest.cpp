@@ -1,0 +1,368 @@
+#include "ml/flat_forest.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace fhc::ml {
+
+namespace {
+
+constexpr std::size_t kMaxCount = std::size_t{1} << 24;  // matches the text loaders
+
+/// Byte offset of every SoA section inside the payload. Section order is
+/// part of the binary format; every section start is 4-byte aligned by
+/// construction (all leading sections hold 4-byte elements) and the
+/// importances section is padded up to 8.
+struct Layout {
+  std::size_t node_base;
+  std::size_t leaf_base;
+  std::size_t depth;
+  std::size_t feature;
+  std::size_t threshold;
+  std::size_t child;
+  std::size_t leaf_offset;
+  std::size_t leaf_pool;
+  std::size_t importances;
+  std::size_t total;
+};
+
+Layout layout_for(const FlatForest::Shape& s) {
+  Layout l{};
+  std::size_t o = 0;
+  l.node_base = o;
+  o += 4 * (s.tree_count + 1);
+  l.leaf_base = o;
+  o += 4 * (s.tree_count + 1);
+  l.depth = o;
+  o += 4 * s.tree_count;
+  l.feature = o;
+  o += 4 * s.total_nodes;
+  l.threshold = o;
+  o += 4 * s.total_nodes;
+  l.child = o;
+  o += 8 * s.total_nodes;
+  l.leaf_offset = o;
+  o += 4 * s.total_nodes;
+  l.leaf_pool = o;
+  o += 4 * s.leaf_pool;
+  o = FlatForest::align8(o);
+  l.importances = o;
+  o += 8 * s.tree_count * s.n_features;
+  l.total = o;
+  return l;
+}
+
+template <typename T>
+std::span<T> section(std::byte* base, std::size_t offset, std::size_t count) {
+  return {reinterpret_cast<T*>(base + offset), count};
+}
+
+template <typename T>
+std::span<const T> section(const std::byte* base, std::size_t offset,
+                           std::size_t count) {
+  return {reinterpret_cast<const T*>(base + offset), count};
+}
+
+}  // namespace
+
+std::size_t FlatForest::payload_size(const Shape& shape) {
+  return layout_for(shape).total;
+}
+
+FlatForest FlatForest::build(std::span<const DecisionTree> trees, int n_classes,
+                             std::size_t n_features) {
+  if (trees.empty() || n_classes <= 0) {
+    throw std::logic_error("FlatForest::build: empty forest");
+  }
+  Shape shape;
+  shape.n_classes = static_cast<std::size_t>(n_classes);
+  shape.n_features = n_features;
+  shape.tree_count = trees.size();
+  for (const DecisionTree& tree : trees) {
+    shape.total_nodes += tree.nodes().size();
+    shape.leaf_pool += tree.proba_pool().size();
+  }
+
+  const Layout layout = layout_for(shape);
+  // Zero-initialized so alignment padding (and every reserved byte) is
+  // deterministic: the buffer is written verbatim by save_binary and the
+  // binary round-trip test compares it byte for byte.
+  auto storage = std::make_shared<std::vector<std::byte>>(layout.total,
+                                                          std::byte{0});
+  std::byte* base = storage->data();
+  auto node_base = section<std::uint32_t>(base, layout.node_base, shape.tree_count + 1);
+  auto leaf_base = section<std::uint32_t>(base, layout.leaf_base, shape.tree_count + 1);
+  auto depth = section<std::uint32_t>(base, layout.depth, shape.tree_count);
+  auto feature = section<std::int32_t>(base, layout.feature, shape.total_nodes);
+  auto threshold = section<float>(base, layout.threshold, shape.total_nodes);
+  auto child = section<std::int32_t>(base, layout.child, 2 * shape.total_nodes);
+  auto leaf_offset = section<std::int32_t>(base, layout.leaf_offset, shape.total_nodes);
+  auto leaf_pool = section<float>(base, layout.leaf_pool, shape.leaf_pool);
+  auto importances = section<double>(base, layout.importances,
+                                     shape.tree_count * shape.n_features);
+
+  std::uint32_t node_cursor = 0;
+  std::uint32_t leaf_cursor = 0;
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    const DecisionTree& tree = trees[t];
+    node_base[t] = node_cursor;
+    leaf_base[t] = leaf_cursor;
+    depth[t] = static_cast<std::uint32_t>(tree.depth());
+    const auto nodes = tree.nodes();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const DecisionTree::Node& node = nodes[i];
+      const std::size_t g = node_cursor + i;
+      if (node.proba_offset >= 0) {
+        // Canonical leaf encoding regardless of what the source node
+        // carried in its unused fields — keeps the payload a pure function
+        // of the predictor.
+        feature[g] = -1;
+        threshold[g] = 0.0f;
+        child[2 * g] = -1;
+        child[2 * g + 1] = -1;
+        leaf_offset[g] = static_cast<std::int32_t>(
+            leaf_cursor + static_cast<std::uint32_t>(node.proba_offset));
+      } else {
+        feature[g] = node.feature;
+        threshold[g] = node.threshold;
+        child[2 * g] = static_cast<std::int32_t>(node_cursor) + node.left;
+        child[2 * g + 1] = static_cast<std::int32_t>(node_cursor) + node.right;
+        leaf_offset[g] = -1;
+      }
+    }
+    const auto pool = tree.proba_pool();
+    std::copy(pool.begin(), pool.end(), leaf_pool.begin() + leaf_cursor);
+    // Trees always carry exactly n_features importances (fit constructs
+    // them that way and the text loader enforces it).
+    const auto& imp = tree.feature_importances();
+    std::copy(imp.begin(), imp.begin() + static_cast<std::ptrdiff_t>(shape.n_features),
+              importances.begin() +
+                  static_cast<std::ptrdiff_t>(t * shape.n_features));
+    node_cursor += static_cast<std::uint32_t>(nodes.size());
+    leaf_cursor += static_cast<std::uint32_t>(pool.size());
+  }
+  node_base[shape.tree_count] = node_cursor;
+  leaf_base[shape.tree_count] = leaf_cursor;
+
+  return attach({storage->data(), storage->size()}, shape, storage);
+}
+
+FlatForest FlatForest::attach(std::span<const std::byte> payload, const Shape& shape,
+                              std::shared_ptr<const void> keepalive) {
+  if (shape.n_classes == 0 || shape.n_classes > kMaxCount ||
+      shape.n_features > kMaxCount || shape.tree_count == 0 ||
+      shape.tree_count > kMaxCount || shape.total_nodes > (kMaxCount << 2) ||
+      shape.leaf_pool > (kMaxCount << 4)) {
+    throw std::runtime_error("FlatForest::attach: unreasonable shape");
+  }
+  const Layout layout = layout_for(shape);
+  if (payload.size() != layout.total) {
+    throw std::runtime_error("FlatForest::attach: payload size mismatch");
+  }
+  if (reinterpret_cast<std::uintptr_t>(payload.data()) % 8 != 0) {
+    throw std::runtime_error("FlatForest::attach: payload misaligned");
+  }
+
+  FlatForest plan;
+  plan.shape_ = shape;
+  plan.payload_ = payload;
+  plan.storage_ = std::move(keepalive);
+  const std::byte* base = payload.data();
+  plan.node_base_ = section<const std::uint32_t>(base, layout.node_base,
+                                                 shape.tree_count + 1);
+  plan.leaf_base_ = section<const std::uint32_t>(base, layout.leaf_base,
+                                                 shape.tree_count + 1);
+  plan.depth_ = section<const std::uint32_t>(base, layout.depth, shape.tree_count);
+  plan.feature_ = section<const std::int32_t>(base, layout.feature, shape.total_nodes);
+  plan.threshold_ = section<const float>(base, layout.threshold, shape.total_nodes);
+  plan.child_ = section<const std::int32_t>(base, layout.child,
+                                            2 * shape.total_nodes);
+  plan.leaf_offset_ = section<const std::int32_t>(base, layout.leaf_offset,
+                                                  shape.total_nodes);
+  plan.leaf_pool_ = section<const float>(base, layout.leaf_pool, shape.leaf_pool);
+  plan.importances_ = section<const double>(base, layout.importances,
+                                            shape.tree_count * shape.n_features);
+
+  // Full structural validation before any walk can happen: prefix sums
+  // must be consistent, every leaf offset must fit a distribution inside
+  // its tree's pool slice, and every interior node must reference a valid
+  // feature and forward in-tree children (forward links make every walk
+  // provably terminate).
+  if (plan.node_base_[0] != 0 ||
+      plan.node_base_[shape.tree_count] != shape.total_nodes ||
+      plan.leaf_base_[0] != 0 || plan.leaf_base_[shape.tree_count] != shape.leaf_pool) {
+    throw std::runtime_error("FlatForest::attach: bad section prefix sums");
+  }
+  for (std::size_t t = 0; t < shape.tree_count; ++t) {
+    const std::uint32_t nb = plan.node_base_[t];
+    const std::uint32_t ne = plan.node_base_[t + 1];
+    const std::uint32_t lb = plan.leaf_base_[t];
+    const std::uint32_t le = plan.leaf_base_[t + 1];
+    if (ne <= nb || le < lb) {
+      throw std::runtime_error("FlatForest::attach: empty or reversed tree");
+    }
+    for (std::uint32_t i = nb; i < ne; ++i) {
+      const std::int32_t off = plan.leaf_offset_[i];
+      if (off >= 0) {
+        if (static_cast<std::uint32_t>(off) < lb ||
+            static_cast<std::uint32_t>(off) + shape.n_classes > le) {
+          throw std::runtime_error("FlatForest::attach: leaf offset out of range");
+        }
+      } else {
+        const std::int32_t f = plan.feature_[i];
+        if (f < 0 || static_cast<std::size_t>(f) >= shape.n_features) {
+          throw std::runtime_error("FlatForest::attach: feature out of range");
+        }
+        const std::int32_t left = plan.child_[2 * i];
+        const std::int32_t right = plan.child_[2 * i + 1];
+        if (left <= static_cast<std::int32_t>(i) ||
+            right <= static_cast<std::int32_t>(i) ||
+            static_cast<std::uint32_t>(left) >= ne ||
+            static_cast<std::uint32_t>(right) >= ne) {
+          throw std::runtime_error("FlatForest::attach: child link out of range");
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+void FlatForest::accumulate_block(const Matrix& rows, std::size_t begin,
+                                  std::size_t end, std::span<double> acc) const {
+  if (!compiled()) throw std::logic_error("FlatForest: not compiled");
+  if (begin > end || end > rows.rows() || rows.cols() < shape_.n_features ||
+      acc.size() != (end - begin) * shape_.n_classes) {
+    throw std::invalid_argument("FlatForest::accumulate_block: bad shape");
+  }
+  std::fill(acc.begin(), acc.end(), 0.0);
+  const std::size_t k = shape_.n_classes;
+  const std::int32_t* const leaf_offset = leaf_offset_.data();
+  const std::int32_t* const feature = feature_.data();
+  const float* const threshold = threshold_.data();
+  const std::int32_t* const child = child_.data();
+  const float* const pool = leaf_pool_.data();
+  // A single row's walk is a serial chain of dependent (usually cold)
+  // loads — the memory latency, not bandwidth, bounds it. Walking a group
+  // of rows through the tree in lockstep gives the out-of-order core
+  // kGroup independent miss chains to overlap, then the leaf
+  // distributions are accumulated in a separate streaming phase. The
+  // phase split changes nothing about the result: per (row, class) the
+  // adds still happen once per tree, trees in ascending order.
+  constexpr std::size_t kGroup = 8;
+  std::uint32_t node[kGroup];
+  const float* row_ptr[kGroup];
+  for (std::size_t t = 0; t < shape_.tree_count; ++t) {
+    const std::uint32_t root = node_base_[t];
+    for (std::size_t r0 = begin; r0 < end; r0 += kGroup) {
+      const std::size_t lanes = std::min(kGroup, end - r0);
+      for (std::size_t g = 0; g < lanes; ++g) {
+        node[g] = root;
+        row_ptr[g] = rows.row(r0 + g).data();
+      }
+      // Phase 1: advance every lane one level per sweep until all lanes
+      // sit on a leaf. Finished lanes cost one predictable re-check.
+      for (;;) {
+        std::size_t active = 0;
+        for (std::size_t g = 0; g < lanes; ++g) {
+          const std::uint32_t n = node[g];
+          if (leaf_offset[n] < 0) {
+            node[g] = static_cast<std::uint32_t>(
+                child[2 * n + (row_ptr[g][static_cast<std::uint32_t>(feature[n])] <=
+                                       threshold[n]
+                                   ? 0
+                                   : 1)]);
+            ++active;
+          }
+        }
+        if (active == 0) break;
+      }
+      // The walk left every lane's leaf address known; fetch them all
+      // before touching any — the distributions live anywhere in a pool
+      // far bigger than L2, and hardware prefetch cannot predict them.
+#if defined(__GNUC__) || defined(__clang__)
+      for (std::size_t g = 0; g < lanes; ++g) {
+        const float* const leaf =
+            pool + static_cast<std::uint32_t>(leaf_offset[node[g]]);
+        for (std::size_t c = 0; c < k; c += 16) {
+          __builtin_prefetch(leaf + c, 0, 1);
+        }
+      }
+#endif
+      // Phase 2: streaming accumulation, rows in order.
+      for (std::size_t g = 0; g < lanes; ++g) {
+        const float* const leaf =
+            pool + static_cast<std::uint32_t>(leaf_offset[node[g]]);
+        double* const out = acc.data() + (r0 + g - begin) * k;
+        for (std::size_t c = 0; c < k; ++c) out[c] += leaf[c];
+      }
+    }
+  }
+}
+
+void FlatForest::predict_proba(std::span<const float> row,
+                               std::span<double> out) const {
+  if (!compiled()) throw std::logic_error("FlatForest: not compiled");
+  if (out.size() != shape_.n_classes) {
+    throw std::invalid_argument("FlatForest::predict_proba: bad output size");
+  }
+  std::fill(out.begin(), out.end(), 0.0);
+  const std::size_t k = shape_.n_classes;
+  const std::int32_t* const leaf_offset = leaf_offset_.data();
+  const std::int32_t* const feature = feature_.data();
+  const float* const threshold = threshold_.data();
+  const std::int32_t* const child = child_.data();
+  const float* const pool = leaf_pool_.data();
+  for (std::size_t t = 0; t < shape_.tree_count; ++t) {
+    std::uint32_t node = node_base_[t];
+    std::int32_t off;
+    while ((off = leaf_offset[node]) < 0) {
+      node = static_cast<std::uint32_t>(
+          child[2 * node +
+                (row[static_cast<std::uint32_t>(feature[node])] <= threshold[node]
+                     ? 0
+                     : 1)]);
+    }
+    const float* const leaf = pool + off;
+    for (std::size_t c = 0; c < k; ++c) out[c] += leaf[c];
+  }
+  const double inv = 1.0 / static_cast<double>(shape_.tree_count);
+  for (double& p : out) p *= inv;
+}
+
+void FlatForest::predict_proba_block(const Matrix& rows, std::size_t begin,
+                                     std::size_t end, Matrix& out) const {
+  if (out.rows() != rows.rows() || out.cols() != shape_.n_classes) {
+    throw std::invalid_argument("FlatForest::predict_proba_block: bad output shape");
+  }
+  // Chunk the range so the double accumulators stay L1-resident while a
+  // tree's nodes are streamed across the whole chunk. The scratch is
+  // thread-local so repeated calls (and pool workers handling different
+  // blocks) allocate once, then never again.
+  constexpr std::size_t kChunkRows = 16;
+  thread_local std::vector<double> scratch;
+  const std::size_t k = shape_.n_classes;
+  if (scratch.size() < kChunkRows * k) scratch.resize(kChunkRows * k);
+  const double inv = 1.0 / static_cast<double>(shape_.tree_count);
+  for (std::size_t chunk = begin; chunk < end; chunk += kChunkRows) {
+    const std::size_t chunk_end = std::min(chunk + kChunkRows, end);
+    const std::size_t n = chunk_end - chunk;
+    accumulate_block(rows, chunk, chunk_end, {scratch.data(), n * k});
+    for (std::size_t r = chunk; r < chunk_end; ++r) {
+      const double* const acc = scratch.data() + (r - chunk) * k;
+      const auto row = out.row(r);
+      for (std::size_t c = 0; c < k; ++c) {
+        row[c] = static_cast<float>(acc[c] * inv);
+      }
+    }
+  }
+}
+
+void FlatForest::predict_proba_block(const Matrix& rows, Matrix& out) const {
+  predict_proba_block(rows, 0, rows.rows(), out);
+}
+
+}  // namespace fhc::ml

@@ -1,6 +1,8 @@
 #include "ml/random_forest.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <istream>
 #include <numeric>
 #include <ostream>
@@ -10,6 +12,73 @@
 #include "util/thread_pool.hpp"
 
 namespace fhc::ml {
+
+namespace {
+
+// Binary model format, version 1. Fixed 64-byte header (all counts
+// little-endian) followed by FlatForest::payload_size(shape) payload
+// bytes. The header starts with an 8-byte magic so FuzzyHashClassifier
+// and tools can sniff the format from the first bytes of a file.
+constexpr char kBinaryMagic[8] = {'F', 'H', 'C', 'F', 'R', 'S', 'T', '1'};
+constexpr std::uint32_t kBinaryVersion = 1;
+
+struct BinaryHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t n_classes;
+  std::uint32_t n_features;
+  std::uint32_t tree_count;
+  std::uint32_t total_nodes;
+  std::uint32_t leaf_pool;
+  std::uint64_t payload_bytes;
+  std::uint8_t reserved[24];
+};
+static_assert(sizeof(BinaryHeader) == 64, "binary header layout drifted");
+
+void require_little_endian(const char* what) {
+  if constexpr (std::endian::native != std::endian::little) {
+    throw std::runtime_error(std::string(what) +
+                             ": binary model format requires a little-endian host");
+  }
+}
+
+FlatForest::Shape shape_from_header(const BinaryHeader& header) {
+  if (std::memcmp(header.magic, kBinaryMagic, sizeof kBinaryMagic) != 0) {
+    throw std::runtime_error("RandomForest::load_binary: bad magic");
+  }
+  if (header.version != kBinaryVersion) {
+    throw std::runtime_error("RandomForest::load_binary: unsupported version");
+  }
+  FlatForest::Shape shape;
+  shape.n_classes = header.n_classes;
+  shape.n_features = header.n_features;
+  shape.tree_count = header.tree_count;
+  shape.total_nodes = header.total_nodes;
+  shape.leaf_pool = header.leaf_pool;
+  // Cap every count before payload_size() touches them (its section math
+  // would overflow on crafted 32-bit-max values) — attach() re-validates,
+  // but this keeps a crafted header from driving a huge read/allocation.
+  constexpr std::size_t kMaxCount = std::size_t{1} << 24;
+  if (shape.n_classes == 0 || shape.n_classes > kMaxCount ||
+      shape.n_features > kMaxCount || shape.tree_count == 0 ||
+      shape.tree_count > kMaxCount || shape.total_nodes > (kMaxCount << 2) ||
+      shape.leaf_pool > (kMaxCount << 4)) {
+    throw std::runtime_error("RandomForest::load_binary: unreasonable header counts");
+  }
+  // The per-count caps still admit a crafted tree_count x n_features
+  // product whose importances section alone is petabytes; bound the total
+  // before the stream loader allocates payload_bytes.
+  constexpr std::uint64_t kMaxPayload = std::uint64_t{1} << 31;
+  if (header.payload_bytes > kMaxPayload) {
+    throw std::runtime_error("RandomForest::load_binary: oversized payload");
+  }
+  if (header.payload_bytes != FlatForest::payload_size(shape)) {
+    throw std::runtime_error("RandomForest::load_binary: inconsistent header");
+  }
+  return shape;
+}
+
+}  // namespace
 
 void RandomForest::fit(const Matrix& x, const std::vector<int>& y, int n_classes,
                        std::span<const double> sample_weight,
@@ -58,26 +127,38 @@ void RandomForest::fit(const Matrix& x, const std::vector<int>& y, int n_classes
   } else {
     fhc::util::parallel_for(trees_.size(), fit_tree);
   }
+  plan_ = FlatForest::build(trees_, n_classes_, n_features_);
 }
 
 std::vector<double> RandomForest::predict_proba(std::span<const float> row) const {
   if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
   std::vector<double> mean(static_cast<std::size_t>(n_classes_), 0.0);
-  for (const DecisionTree& tree : trees_) {
-    const std::vector<double> proba = tree.predict_proba(row);
-    for (std::size_t c = 0; c < mean.size(); ++c) mean[c] += proba[c];
-  }
+  plan_.predict_proba(row, mean);
+  return mean;
+}
+
+std::vector<double> RandomForest::predict_proba_nested(
+    std::span<const float> row) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  std::vector<double> mean(static_cast<std::size_t>(n_classes_), 0.0);
+  for (const DecisionTree& tree : trees_) tree.accumulate_proba(row, mean);
   const double inv = 1.0 / static_cast<double>(trees_.size());
   for (double& p : mean) p *= inv;
   return mean;
 }
 
 Matrix RandomForest::predict_proba_matrix(const Matrix& x) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
   Matrix out(x.rows(), static_cast<std::size_t>(n_classes_));
-  fhc::util::parallel_for(x.rows(), [&](std::size_t i) {
-    const std::vector<double> proba = predict_proba(x.row(i));
-    auto row = out.row(i);
-    for (std::size_t c = 0; c < proba.size(); ++c) row[c] = static_cast<float>(proba[c]);
+  // One pool task per row block (not per row): service micro-batches on
+  // the shared pool no longer queue behind hundreds of single-row tasks,
+  // and each task is one cache-friendly tree-major pass.
+  constexpr std::size_t kBlockRows = 64;
+  const std::size_t blocks = (x.rows() + kBlockRows - 1) / kBlockRows;
+  fhc::util::parallel_for(blocks, [&](std::size_t b) {
+    const std::size_t begin = b * kBlockRows;
+    const std::size_t end = std::min(begin + kBlockRows, x.rows());
+    plan_.predict_proba_block(x, begin, end, out);
   });
   return out;
 }
@@ -127,10 +208,110 @@ void RandomForest::load(std::istream& in) {
     if (tree.max_feature_used() >= static_cast<int>(n_features_)) {
       throw std::runtime_error("RandomForest::load: tree feature out of range");
     }
-    if (tree.feature_importances().size() < n_features_) {
+    // Exact, not just >=: fit always produces one importance per feature,
+    // and the binary format stores exactly n_features per tree — admitting
+    // oversized arrays here would make the binary round-trip lossy.
+    if (tree.feature_importances().size() != n_features_) {
       throw std::runtime_error("RandomForest::load: importances/features mismatch");
     }
   }
+  plan_ = FlatForest::build(trees_, n_classes_, n_features_);
+}
+
+void RandomForest::save_binary(std::ostream& out) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest::save_binary: not fitted");
+  require_little_endian("RandomForest::save_binary");
+  const FlatForest::Shape& shape = plan_.shape();
+  BinaryHeader header{};
+  std::memcpy(header.magic, kBinaryMagic, sizeof kBinaryMagic);
+  header.version = kBinaryVersion;
+  header.n_classes = static_cast<std::uint32_t>(shape.n_classes);
+  header.n_features = static_cast<std::uint32_t>(shape.n_features);
+  header.tree_count = static_cast<std::uint32_t>(shape.tree_count);
+  header.total_nodes = static_cast<std::uint32_t>(shape.total_nodes);
+  header.leaf_pool = static_cast<std::uint32_t>(shape.leaf_pool);
+  header.payload_bytes = plan_.payload().size();
+  out.write(reinterpret_cast<const char*>(&header), sizeof header);
+  // The compiled plan's buffer is the on-disk payload, written verbatim —
+  // save -> load -> save is byte-identical by construction.
+  out.write(reinterpret_cast<const char*>(plan_.payload().data()),
+            static_cast<std::streamsize>(plan_.payload().size()));
+  if (!out) throw std::runtime_error("RandomForest::save_binary: write failed");
+}
+
+void RandomForest::load_binary(std::istream& in) {
+  require_little_endian("RandomForest::load_binary");
+  BinaryHeader header{};
+  if (!in.read(reinterpret_cast<char*>(&header), sizeof header)) {
+    throw std::runtime_error("RandomForest::load_binary: truncated header");
+  }
+  const FlatForest::Shape shape = shape_from_header(header);
+  auto storage = std::make_shared<std::vector<std::byte>>(
+      static_cast<std::size_t>(header.payload_bytes));
+  if (!in.read(reinterpret_cast<char*>(storage->data()),
+               static_cast<std::streamsize>(storage->size()))) {
+    throw std::runtime_error("RandomForest::load_binary: truncated payload");
+  }
+  adopt_plan(FlatForest::attach({storage->data(), storage->size()}, shape, storage));
+}
+
+void RandomForest::load_binary(std::span<const std::byte> bytes,
+                               std::shared_ptr<const void> keepalive) {
+  require_little_endian("RandomForest::load_binary");
+  if (bytes.size() < sizeof(BinaryHeader)) {
+    throw std::runtime_error("RandomForest::load_binary: truncated header");
+  }
+  BinaryHeader header{};
+  std::memcpy(&header, bytes.data(), sizeof header);
+  const FlatForest::Shape shape = shape_from_header(header);
+  if (bytes.size() < sizeof header + header.payload_bytes) {
+    throw std::runtime_error("RandomForest::load_binary: truncated payload");
+  }
+  adopt_plan(FlatForest::attach(
+      bytes.subspan(sizeof header, static_cast<std::size_t>(header.payload_bytes)),
+      shape, std::move(keepalive)));
+}
+
+void RandomForest::adopt_plan(FlatForest plan) {
+  // Rebuild the per-tree view from the validated plan so everything the
+  // nested representation serves (text save, tree() introspection,
+  // feature_importances) keeps working after a binary load. This is
+  // struct-filling, not parsing — the node data itself stays referenced
+  // in place by the plan.
+  const FlatForest::Shape& shape = plan.shape();
+  std::vector<DecisionTree> trees(shape.tree_count);
+  for (std::size_t t = 0; t < shape.tree_count; ++t) {
+    const std::uint32_t nb = plan.node_base()[t];
+    const std::uint32_t ne = plan.node_base()[t + 1];
+    const std::uint32_t lb = plan.leaf_base()[t];
+    const std::uint32_t le = plan.leaf_base()[t + 1];
+    std::vector<DecisionTree::Node> nodes(ne - nb);
+    for (std::uint32_t i = nb; i < ne; ++i) {
+      DecisionTree::Node& node = nodes[i - nb];
+      const std::int32_t off = plan.leaf_offsets()[i];
+      if (off >= 0) {
+        node.proba_offset = off - static_cast<std::int32_t>(lb);
+      } else {
+        node.feature = plan.features()[i];
+        node.threshold = plan.thresholds()[i];
+        node.left = plan.children()[2 * i] - static_cast<std::int32_t>(nb);
+        node.right = plan.children()[2 * i + 1] - static_cast<std::int32_t>(nb);
+      }
+    }
+    std::vector<float> pool(plan.leaf_pool().begin() + lb,
+                            plan.leaf_pool().begin() + le);
+    std::vector<double> importances(
+        plan.importances().begin() + static_cast<std::ptrdiff_t>(t * shape.n_features),
+        plan.importances().begin() +
+            static_cast<std::ptrdiff_t>((t + 1) * shape.n_features));
+    trees[t].restore(std::move(nodes), std::move(pool), std::move(importances),
+                     static_cast<int>(shape.n_classes),
+                     static_cast<int>(plan.depths()[t]));
+  }
+  trees_ = std::move(trees);
+  n_classes_ = static_cast<int>(shape.n_classes);
+  n_features_ = shape.n_features;
+  plan_ = std::move(plan);
 }
 
 std::vector<double> RandomForest::feature_importances() const {

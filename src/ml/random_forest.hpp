@@ -13,12 +13,15 @@
 // thread scheduling.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "ml/decision_tree.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/matrix.hpp"
 
 namespace fhc::util {
@@ -48,19 +51,33 @@ class RandomForest {
            std::span<const double> sample_weight, const ForestParams& params,
            util::ThreadPool* pool = nullptr);
 
-  /// Mean class-probability vector across trees.
+  /// Mean class-probability vector across trees — served by the compiled
+  /// FlatForest plan (bit-identical to the nested reference path).
   std::vector<double> predict_proba(std::span<const float> row) const;
 
-  /// Probability matrix for many rows (parallel).
+  /// Nested reference path: walks each DecisionTree in turn via
+  /// accumulate_proba (no per-tree allocation). The plan must stay
+  /// bit-identical to this — it is what the FlatForest property test
+  /// compares against.
+  std::vector<double> predict_proba_nested(std::span<const float> row) const;
+
+  /// Probability matrix for many rows — row blocks fan out across the
+  /// shared pool (one task per block, not per row), each scored by one
+  /// tree-major predict_proba_block pass.
   Matrix predict_proba_matrix(const Matrix& x) const;
 
   /// argmax label for one sample.
   int predict(std::span<const float> row) const;
 
+  /// The compiled inference plan (valid whenever the forest is fitted or
+  /// loaded).
+  const FlatForest& plan() const noexcept { return plan_; }
+
   /// Mean normalized impurity importances, re-normalized to sum 1.
   std::vector<double> feature_importances() const;
 
   int n_classes() const noexcept { return n_classes_; }
+  std::size_t n_features() const noexcept { return n_features_; }
   std::size_t tree_count() const noexcept { return trees_.size(); }
   const DecisionTree& tree(std::size_t i) const { return trees_.at(i); }
 
@@ -70,8 +87,28 @@ class RandomForest {
   void save(std::ostream& out) const;
   void load(std::istream& in);
 
+  /// Binary model format: a 64-byte little-endian header followed by the
+  /// FlatForest SoA payload written verbatim, so save -> load_binary ->
+  /// save round-trips byte-identically and a loaded file needs no float
+  /// parsing. Throws std::runtime_error on malformed input (and on
+  /// big-endian hosts, which the format does not support).
+  void save_binary(std::ostream& out) const;
+  void load_binary(std::istream& in);
+
+  /// Zero-copy variant: adopts `bytes` (header + payload, e.g. an mmap'd
+  /// model file) without copying the node sections; `keepalive` owns the
+  /// bytes for the lifetime of the plan. `bytes` may extend past the model
+  /// (the mapped file's tail); the payload must start 8-byte aligned.
+  void load_binary(std::span<const std::byte> bytes,
+                   std::shared_ptr<const void> keepalive);
+
  private:
+  /// Installs a validated plan: reconstructs the per-tree view (text save,
+  /// importances, tree() introspection) from the plan's sections.
+  void adopt_plan(FlatForest plan);
+
   std::vector<DecisionTree> trees_;
+  FlatForest plan_;
   int n_classes_ = 0;
   std::size_t n_features_ = 0;
 };

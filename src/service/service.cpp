@@ -237,10 +237,12 @@ void ClassificationService::score_batch(std::vector<Request> batch) {
                                                       rows.row(u), cfg.channels);
                        });
 
-    // Stage 3: forest pass, identical to serial predict().
-    util::parallel_for(*pool_, 0, uniques, /*grain=*/1, [&](std::size_t u) {
-      results[u] = model->predict_from_row(rows.row(u));
-    });
+    // Stage 3: one tree-major FlatForest pass over the whole micro-batch
+    // instead of a forest walk per row — each tree's nodes stay hot
+    // across the batch, and the result is bit-identical to per-row
+    // predict_from_row (same double accumulation order). Batches beyond
+    // one block fan out across the pool inside predict_rows.
+    model->predict_rows(rows, results, pool_);
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
     {

@@ -23,7 +23,9 @@
 // Predictions are bit-identical to serial FuzzyHashClassifier::predict
 // on the same inputs: slicing partitions independent columns, dedup and
 // caching return the result of the exact same computation, and the
-// forest pass reuses predict_from_row.
+// forest pass goes through predict_rows, whose FlatForest block
+// accumulation is bit-identical to per-row predict_from_row (same
+// double-accumulation order per row).
 //
 // reload() swaps the model atomically (shared_ptr snapshot per flush):
 // in-flight batches finish on the model they started with, later

@@ -1,0 +1,67 @@
+#include "util/model_map.hpp"
+
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FHC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define FHC_HAVE_MMAP 0
+#include <fstream>
+#endif
+
+namespace fhc::util {
+
+#if FHC_HAVE_MMAP
+
+ModelMap::ModelMap(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error("ModelMap: cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw std::runtime_error("ModelMap: cannot stat " + path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    // Nothing to map; bytes() is an empty span.
+    ::close(fd);
+    return;
+  }
+  void* addr = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (addr == MAP_FAILED) throw std::runtime_error("ModelMap: mmap failed for " + path);
+  data_ = static_cast<const std::byte*>(addr);
+  mapped_ = true;
+}
+
+ModelMap::~ModelMap() {
+  if (mapped_) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+}
+
+#else  // no mmap: read the file into an owned buffer
+
+ModelMap::ModelMap(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("ModelMap: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  fallback_.resize(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(fallback_.data()), size)) {
+    throw std::runtime_error("ModelMap: read failed for " + path);
+  }
+  data_ = fallback_.data();
+  size_ = fallback_.size();
+}
+
+ModelMap::~ModelMap() = default;
+
+#endif
+
+}  // namespace fhc::util

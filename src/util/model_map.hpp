@@ -1,0 +1,41 @@
+// Read-only memory map of a model file.
+//
+// The binary model format is designed to be consumed in place (FlatForest
+// attaches its SoA sections straight to the mapped bytes), so a
+// `fhc_serve RELOAD` maps the file once instead of re-parsing text — the
+// kernel pages node data in on demand and shares it across processes.
+// On platforms without mmap (or when mapping fails) the file is read into
+// an owned buffer instead; callers see the same bytes() either way.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fhc::util {
+
+class ModelMap {
+ public:
+  /// Maps (or, as a fallback, reads) `path`. Throws std::runtime_error
+  /// when the file cannot be opened or mapped.
+  explicit ModelMap(const std::string& path);
+  ~ModelMap();
+
+  ModelMap(const ModelMap&) = delete;
+  ModelMap& operator=(const ModelMap&) = delete;
+
+  /// The whole file. Page-aligned when mapped() is true.
+  std::span<const std::byte> bytes() const noexcept { return {data_, size_}; }
+
+  /// True when the bytes come from an mmap (false = owned-buffer fallback).
+  bool mapped() const noexcept { return mapped_; }
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::byte> fallback_;  // used when not mapped
+};
+
+}  // namespace fhc::util

@@ -2,8 +2,11 @@
 // (the train-once / classify-in-prolog deployment path).
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
+#include <vector>
 
 #include <unistd.h>
 
@@ -102,6 +105,130 @@ TEST(Serialization, FileRoundTrip) {
   const Prediction b = restored.predict(model().probes[0]);
   EXPECT_EQ(a.label, b.label);
   std::filesystem::remove(path);
+}
+
+TEST(SerializationBinary, SaveLoadSaveIsByteIdentical) {
+  std::ostringstream first_stream(std::ios::binary);
+  model().clf.save_binary(first_stream);
+  const std::string first = first_stream.str();
+
+  // Copy into an aligned buffer (spans into a std::string are not
+  // guaranteed 8-byte aligned; the vector's heap block is).
+  std::vector<std::byte> bytes(first.size());
+  std::memcpy(bytes.data(), first.data(), first.size());
+  FuzzyHashClassifier restored;
+  restored.load_binary({bytes.data(), bytes.size()}, nullptr);
+
+  std::ostringstream second_stream(std::ios::binary);
+  restored.save_binary(second_stream);
+  EXPECT_EQ(first, second_stream.str());
+}
+
+TEST(SerializationBinary, PredictionsAreBitIdentical) {
+  std::ostringstream stream(std::ios::binary);
+  model().clf.save_binary(stream);
+  const std::string image = stream.str();
+  std::vector<std::byte> bytes(image.size());
+  std::memcpy(bytes.data(), image.data(), image.size());
+  FuzzyHashClassifier restored;
+  restored.load_binary({bytes.data(), bytes.size()}, nullptr);
+
+  ASSERT_TRUE(restored.fitted());
+  EXPECT_EQ(restored.class_names(), model().clf.class_names());
+  for (const FeatureHashes& probe : model().probes) {
+    const Prediction a = model().clf.predict(probe);
+    const Prediction b = restored.predict(probe);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.confidence, b.confidence);
+    ASSERT_EQ(a.proba.size(), b.proba.size());
+    for (std::size_t c = 0; c < a.proba.size(); ++c) {
+      // Binary carries raw IEEE bits — exact equality, not closeness.
+      EXPECT_EQ(a.proba[c], b.proba[c]);
+    }
+  }
+  const auto imp_a = model().clf.feature_type_importance();
+  const auto imp_b = restored.feature_type_importance();
+  for (std::size_t f = 0; f < imp_a.size(); ++f) {
+    EXPECT_EQ(imp_a[f], imp_b[f]);
+  }
+}
+
+TEST(SerializationBinary, LoadFileSniffsBothFormats) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto text_path =
+      dir / ("fhc_model_text_" + std::to_string(::getpid()) + ".fhc");
+  const auto binary_path =
+      dir / ("fhc_model_bin_" + std::to_string(::getpid()) + ".fhcb");
+  model().clf.save_file(text_path.string());
+  model().clf.save_binary_file(binary_path.string());
+
+  // The binary file mmaps and attaches the forest zero-copy; the text
+  // file goes through the parser — both must agree exactly.
+  const FuzzyHashClassifier from_text =
+      FuzzyHashClassifier::load_file(text_path.string());
+  const FuzzyHashClassifier from_binary =
+      FuzzyHashClassifier::load_file(binary_path.string());
+  EXPECT_EQ(from_text.class_names(), from_binary.class_names());
+  for (const FeatureHashes& probe : model().probes) {
+    const Prediction a = from_text.predict(probe);
+    const Prediction b = from_binary.predict(probe);
+    EXPECT_EQ(a.label, b.label);
+    ASSERT_EQ(a.proba.size(), b.proba.size());
+    for (std::size_t c = 0; c < a.proba.size(); ++c) {
+      EXPECT_EQ(a.proba[c], b.proba[c]);
+    }
+  }
+  std::filesystem::remove(text_path);
+  std::filesystem::remove(binary_path);
+}
+
+TEST(SerializationBinary, RejectsCorruptImages) {
+  std::ostringstream stream(std::ios::binary);
+  model().clf.save_binary(stream);
+  const std::string image = stream.str();
+  const auto load_image = [](const std::string& data) {
+    std::vector<std::byte> bytes(data.size());
+    if (!data.empty()) std::memcpy(bytes.data(), data.data(), data.size());
+    FuzzyHashClassifier clf;
+    clf.load_binary({bytes.data(), bytes.size()}, nullptr);
+  };
+  // Bad magic.
+  std::string bad = image;
+  bad[0] = 'x';
+  EXPECT_THROW(load_image(bad), std::runtime_error);
+  // Truncation at several depths: header, preamble, forest header,
+  // forest payload.
+  for (const double fraction : {0.0001, 0.01, 0.5, 0.98}) {
+    EXPECT_THROW(load_image(image.substr(
+                     0, static_cast<std::size_t>(image.size() * fraction))),
+                 std::runtime_error)
+        << "fraction " << fraction;
+  }
+}
+
+TEST(Serialization, RejectsForestRowWidthMismatch) {
+  // A crafted model whose forest claims 5 features under a 1-class
+  // preamble (row width 3). The forest passes its own internal checks
+  // (leaf-only tree, 5 importances), so without the classifier-level
+  // width check predict would walk rows narrower than the forest expects.
+  const std::string model_text =
+      "fhc-fuzzy-hash-classifier-v1\n"
+      "metric 0\n"
+      "threshold 0.5\n"
+      "balanced 1\n"
+      "channels 1 1 1\n"
+      "classes 1\n"
+      "OnlyClass\n"
+      "train 1\n"
+      "0 3:: 3:: 3::\n"
+      "forest 1 5 1\n"
+      "tree 1 0 1 1 5\n"
+      "-1 0 -1 -1 0\n"
+      "1\n"
+      "0 0 0 0 0\n";
+  std::stringstream in(model_text);
+  FuzzyHashClassifier clf;
+  EXPECT_THROW(clf.load(in), std::runtime_error);
 }
 
 TEST(Serialization, RejectsBadMagic) {

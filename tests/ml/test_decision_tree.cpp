@@ -111,6 +111,25 @@ TEST(DecisionTree, MinSamplesLeafIsRespected) {
   EXPECT_LE(tree.node_count(), 3u);
 }
 
+TEST(DecisionTree, AccumulateProbaAddsLeafDistribution) {
+  // accumulate_proba is the allocation-free primitive: it ADDS this
+  // tree's leaf distribution into the caller's accumulator (what the
+  // forest's nested reference path and the FlatForest plan both build on).
+  fhc::util::Rng rng(21);
+  const Blobs data = make_blobs(40, rng);
+  DecisionTree tree;
+  fhc::util::Rng fit_rng(22);
+  tree.fit(data.x, data.y, 2, {}, TreeParams{}, fit_rng);
+  const auto row = data.x.row(3);
+  const std::vector<double> proba = tree.predict_proba(row);
+  std::vector<double> acc(2, 0.25);
+  tree.accumulate_proba(row, acc);
+  tree.accumulate_proba(row, acc);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(acc[c], 0.25 + proba[c] + proba[c]);
+  }
+}
+
 TEST(DecisionTree, ProbabilitiesSumToOne) {
   fhc::util::Rng rng(11);
   const Blobs data = make_blobs(60, rng);

@@ -1,0 +1,302 @@
+// FlatForest: the compiled SoA inference plan must be bit-identical to
+// the nested per-tree walk on fitted AND text-loaded forests (including
+// leaf-only and deep trees), and the binary model format must round-trip
+// byte-identically.
+#include "ml/flat_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ml/random_forest.hpp"
+#include "util/rng.hpp"
+
+namespace fhc::ml {
+namespace {
+
+struct Dataset {
+  Matrix x;
+  std::vector<int> y;
+  int classes;
+};
+
+/// Random dataset with mildly class-correlated features so trees grow
+/// real structure (plus noise so they grow deep).
+Dataset make_dataset(std::size_t n, std::size_t features, int classes,
+                     fhc::util::Rng& rng) {
+  Dataset data{Matrix(n, features), std::vector<int>(n), classes};
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(classes)));
+    data.y[i] = cls;
+    for (std::size_t f = 0; f < features; ++f) {
+      const double shift =
+          f % static_cast<std::size_t>(classes) == static_cast<std::size_t>(cls)
+              ? 2.0
+              : 0.0;
+      data.x.at(i, f) = static_cast<float>(shift + rng.gaussian());
+    }
+  }
+  return data;
+}
+
+/// Every probe row must produce EXACTLY the same doubles through the plan
+/// as through the nested reference walk, and the float matrix path must
+/// match the per-row casts exactly.
+void expect_plan_matches_nested(const RandomForest& forest, const Matrix& probes) {
+  ASSERT_TRUE(forest.plan().compiled());
+  const Matrix matrix_proba = forest.predict_proba_matrix(probes);
+  for (std::size_t i = 0; i < probes.rows(); ++i) {
+    const std::vector<double> plan = forest.predict_proba(probes.row(i));
+    const std::vector<double> nested = forest.predict_proba_nested(probes.row(i));
+    ASSERT_EQ(plan.size(), nested.size());
+    for (std::size_t c = 0; c < plan.size(); ++c) {
+      // Bit-identity, not closeness: same float loads, same double adds,
+      // same multiply by 1/n_trees, in the same order.
+      EXPECT_EQ(plan[c], nested[c]) << "row " << i << " class " << c;
+      EXPECT_EQ(matrix_proba.at(i, c), static_cast<float>(nested[c]))
+          << "row " << i << " class " << c;
+    }
+  }
+}
+
+TEST(FlatForest, BitIdenticalToNestedOverRandomForests) {
+  fhc::util::Rng rng(11);
+  int case_index = 0;
+  for (const int max_depth : {0, 1, 3}) {
+    for (const int trees : {1, 9}) {
+      for (const int classes : {2, 5}) {
+        SCOPED_TRACE("case " + std::to_string(case_index++) + " depth " +
+                     std::to_string(max_depth) + " trees " +
+                     std::to_string(trees) + " classes " +
+                     std::to_string(classes));
+        const Dataset data = make_dataset(120, 7, classes, rng);
+        ForestParams params;
+        params.n_estimators = trees;
+        params.tree.max_depth = max_depth;
+        params.seed = static_cast<std::uint64_t>(17 + case_index);
+        params.bootstrap = case_index % 2 == 0;
+        RandomForest forest;
+        forest.fit(data.x, data.y, classes, {}, params);
+        expect_plan_matches_nested(forest, data.x);
+      }
+    }
+  }
+}
+
+TEST(FlatForest, BitIdenticalOnLeafOnlyTrees) {
+  // Single-label data collapses every tree to one leaf — the shallowest
+  // shape the walk must handle (root IS the leaf).
+  fhc::util::Rng rng(12);
+  Dataset data = make_dataset(40, 3, 2, rng);
+  std::fill(data.y.begin(), data.y.end(), 1);
+  ForestParams params;
+  params.n_estimators = 5;
+  RandomForest forest;
+  forest.fit(data.x, data.y, 2, {}, params);
+  for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+    EXPECT_EQ(forest.tree(t).node_count(), 1u);
+  }
+  expect_plan_matches_nested(forest, data.x);
+}
+
+TEST(FlatForest, BitIdenticalOnDeepTrees) {
+  // Pure-noise labels force deep, unbalanced trees.
+  fhc::util::Rng rng(13);
+  Dataset data = make_dataset(300, 4, 3, rng);
+  for (int& label : data.y) {
+    label = static_cast<int>(rng.next_below(3));
+  }
+  ForestParams params;
+  params.n_estimators = 7;
+  RandomForest forest;
+  forest.fit(data.x, data.y, 3, {}, params);
+  int max_depth = 0;
+  for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+    max_depth = std::max(max_depth, forest.tree(t).depth());
+  }
+  EXPECT_GE(max_depth, 8);
+  expect_plan_matches_nested(forest, data.x);
+}
+
+TEST(FlatForest, BitIdenticalAfterTextRoundTrip) {
+  fhc::util::Rng rng(14);
+  const Dataset data = make_dataset(150, 6, 4, rng);
+  ForestParams params;
+  params.n_estimators = 11;
+  RandomForest forest;
+  forest.fit(data.x, data.y, 4, {}, params);
+
+  std::stringstream text;
+  forest.save(text);
+  RandomForest loaded;
+  loaded.load(text);
+  expect_plan_matches_nested(loaded, data.x);
+  for (std::size_t i = 0; i < data.x.rows(); i += 7) {
+    const auto original = forest.predict_proba(data.x.row(i));
+    const auto restored = loaded.predict_proba(data.x.row(i));
+    for (std::size_t c = 0; c < original.size(); ++c) {
+      EXPECT_EQ(original[c], restored[c]);
+    }
+  }
+}
+
+TEST(FlatForest, AccumulateBlockMatchesChunkedCalls) {
+  fhc::util::Rng rng(15);
+  const Dataset data = make_dataset(130, 5, 3, rng);
+  ForestParams params;
+  params.n_estimators = 6;
+  RandomForest forest;
+  forest.fit(data.x, data.y, 3, {}, params);
+
+  // predict_proba_block over an arbitrary sub-range must land in the same
+  // out rows as the full-matrix pass (chunk boundaries included: 130 rows
+  // crosses the 64-row internal chunk twice).
+  Matrix full(data.x.rows(), 3);
+  forest.plan().predict_proba_block(data.x, full);
+  Matrix partial(data.x.rows(), 3, -1.0f);
+  forest.plan().predict_proba_block(data.x, 10, 97, partial);
+  for (std::size_t i = 10; i < 97; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(partial.at(i, c), full.at(i, c));
+    }
+  }
+  // Rows outside the range are untouched.
+  EXPECT_EQ(partial.at(9, 0), -1.0f);
+  EXPECT_EQ(partial.at(97, 0), -1.0f);
+}
+
+RandomForest small_fitted_forest(int trees = 9, int classes = 4) {
+  fhc::util::Rng rng(16);
+  const Dataset data = make_dataset(90, 5, classes, rng);
+  ForestParams params;
+  params.n_estimators = trees;
+  RandomForest forest;
+  forest.fit(data.x, data.y, classes, {}, params);
+  return forest;
+}
+
+std::string binary_image(const RandomForest& forest) {
+  std::ostringstream out(std::ios::binary);
+  forest.save_binary(out);
+  return out.str();
+}
+
+void load_from_string(RandomForest& forest, const std::string& image) {
+  std::istringstream in(image, std::ios::binary);
+  forest.load_binary(in);
+}
+
+TEST(FlatForestBinary, SaveLoadSaveIsByteIdentical) {
+  const RandomForest forest = small_fitted_forest();
+  const std::string first = binary_image(forest);
+  RandomForest loaded;
+  load_from_string(loaded, first);
+  const std::string second = binary_image(loaded);
+  EXPECT_EQ(first, second);
+  // And deterministic across repeated saves.
+  EXPECT_EQ(first, binary_image(forest));
+}
+
+TEST(FlatForestBinary, LoadedForestPredictsIdentically) {
+  fhc::util::Rng rng(17);
+  const Dataset data = make_dataset(90, 5, 4, rng);
+  ForestParams params;
+  params.n_estimators = 9;
+  RandomForest forest;
+  forest.fit(data.x, data.y, 4, {}, params);
+
+  RandomForest loaded;
+  load_from_string(loaded, binary_image(forest));
+  EXPECT_EQ(loaded.n_classes(), forest.n_classes());
+  EXPECT_EQ(loaded.tree_count(), forest.tree_count());
+  expect_plan_matches_nested(loaded, data.x);
+  for (std::size_t i = 0; i < data.x.rows(); i += 5) {
+    const auto original = forest.predict_proba(data.x.row(i));
+    const auto restored = loaded.predict_proba(data.x.row(i));
+    for (std::size_t c = 0; c < original.size(); ++c) {
+      EXPECT_EQ(original[c], restored[c]);
+    }
+  }
+  const auto imp_original = forest.feature_importances();
+  const auto imp_restored = loaded.feature_importances();
+  ASSERT_EQ(imp_original.size(), imp_restored.size());
+  for (std::size_t f = 0; f < imp_original.size(); ++f) {
+    EXPECT_EQ(imp_original[f], imp_restored[f]);
+  }
+}
+
+TEST(FlatForestBinary, BinaryLoadThenTextSaveMatchesOriginalTextSave) {
+  // The binary loader reconstructs the full per-tree view, so text
+  // serialization survives a pass through the binary format byte for
+  // byte.
+  const RandomForest forest = small_fitted_forest();
+  RandomForest loaded;
+  load_from_string(loaded, binary_image(forest));
+  std::ostringstream original_text;
+  std::ostringstream restored_text;
+  forest.save(original_text);
+  loaded.save(restored_text);
+  EXPECT_EQ(original_text.str(), restored_text.str());
+}
+
+TEST(FlatForestBinary, RejectsBadMagicAndVersion) {
+  const RandomForest forest = small_fitted_forest(3, 2);
+  std::string image = binary_image(forest);
+  {
+    std::string bad = image;
+    bad[0] = 'X';
+    RandomForest loaded;
+    EXPECT_THROW(load_from_string(loaded, bad), std::runtime_error);
+  }
+  {
+    std::string bad = image;
+    bad[8] = 99;  // version field
+    RandomForest loaded;
+    EXPECT_THROW(load_from_string(loaded, bad), std::runtime_error);
+  }
+}
+
+TEST(FlatForestBinary, RejectsTruncation) {
+  const RandomForest forest = small_fitted_forest(3, 2);
+  const std::string image = binary_image(forest);
+  for (const double fraction : {0.05, 0.3, 0.7, 0.99}) {
+    RandomForest loaded;
+    EXPECT_THROW(
+        load_from_string(loaded, image.substr(0, static_cast<std::size_t>(
+                                                     image.size() * fraction))),
+        std::runtime_error)
+        << "fraction " << fraction;
+  }
+}
+
+TEST(FlatForestBinary, RejectsBackwardChildLink) {
+  // Craft a back-link in the child[] section: with T trees the sections
+  // before child[] occupy 4*(3T+2) + 8N bytes; the root's left-child slot
+  // is the first child entry. Pointing it at node 0 (itself) must be
+  // rejected — forward links are what make every walk terminate.
+  const RandomForest forest = small_fitted_forest(1, 2);
+  std::string image = binary_image(forest);
+  std::uint32_t total_nodes = 0;
+  std::memcpy(&total_nodes, image.data() + 24, sizeof total_nodes);
+  ASSERT_GT(total_nodes, 1u);  // needs an interior root to corrupt
+  const std::size_t header = 64;
+  const std::size_t child_offset = header + 4 * (3 * 1 + 2) + 8 * total_nodes;
+  const std::int32_t self_link = 0;
+  std::memcpy(image.data() + child_offset, &self_link, sizeof self_link);
+  RandomForest loaded;
+  EXPECT_THROW(load_from_string(loaded, image), std::runtime_error);
+}
+
+TEST(FlatForestBinary, RejectsUnfittedSave) {
+  RandomForest forest;
+  std::ostringstream out;
+  EXPECT_THROW(forest.save_binary(out), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fhc::ml

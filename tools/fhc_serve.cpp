@@ -14,6 +14,11 @@
 //                          "OK <model>" or "ERR <message>"
 //   QUIT                 "OK bye", exit 0
 //
+// MODEL may be the text format or the binary format (`fhc_train
+// --binary`); the loader sniffs the magic. Binary models are mmap'd and
+// the forest is attached zero-copy, so a RELOAD skips the text re-parse
+// entirely — the recommended format for production daemons.
+//
 // Replies are flushed per command; unknown commands answer "ERR ...".
 // EOF on stdin exits cleanly. Exit codes: 0 clean shutdown, 1 model load
 // error, 2 usage error.
@@ -111,6 +116,8 @@ int main(int argc, char** argv) {
   const auto usage = [] {
     std::fprintf(stderr,
                  "usage: fhc_serve MODEL [max_batch=32] [cache_capacity=4096]\n"
+                 "MODEL: text or binary (fhc_train --binary) — binary is\n"
+                 "  mmap'd for zero-copy load/RELOAD\n"
                  "protocol (stdin -> stdout, one reply line per request):\n"
                  "  CLASSIFY <path>...  ->  <label>\\t<confidence> | ERR <msg>\n"
                  "  STATS               ->  key=value counters\n"

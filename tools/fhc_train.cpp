@@ -1,18 +1,23 @@
 // fhc-train: train a Fuzzy Hash Classifier from a labelled directory tree
 // and write the model file.
 //
-//   fhc_train ROOT MODEL [threshold] [n_trees]
+//   fhc_train [--binary] ROOT MODEL [threshold] [n_trees]
 //
 // ROOT follows the sciCORE layout the paper scrapes:
 //   ROOT/<ApplicationClass>/<version>/<executable>
 // Every regular file below ROOT is a sample labelled by its top-level
 // directory. Use `fhc_classify MODEL FILE...` afterwards.
 //
+// --binary writes the binary model format (mmap'd zero-copy forest load —
+// the fast path for `fhc_serve` RELOAD) instead of text; every consumer
+// (`fhc_classify`, `fhc_serve`) sniffs the format automatically.
+//
 // Demo without real data: materialize the synthetic corpus first —
 //   FHC_SCALE=0.05 ./build/bench/table3_unknown_classes   (or use the
 //   Corpus::materialize API), then point ROOT at it.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <map>
 
@@ -22,8 +27,16 @@
 using namespace fhc;
 
 int main(int argc, char** argv) {
+  bool binary = false;
+  if (argc > 1 && std::strcmp(argv[1], "--binary") == 0) {
+    binary = true;
+    --argc;
+    ++argv;
+  }
   if (argc < 3 || argc > 5) {
-    std::fprintf(stderr, "usage: fhc_train ROOT MODEL [threshold=0.3] [n_trees=200]\n");
+    std::fprintf(stderr,
+                 "usage: fhc_train [--binary] ROOT MODEL [threshold=0.3] "
+                 "[n_trees=200]\n");
     return 2;
   }
   const std::filesystem::path root = argv[1];
@@ -68,14 +81,18 @@ int main(int argc, char** argv) {
   core::FuzzyHashClassifier classifier;
   try {
     classifier.fit(hashes, labels, class_names, config);
-    classifier.save_file(model_path);
+    if (binary) {
+      classifier.save_binary_file(model_path);
+    } else {
+      classifier.save_file(model_path);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fhc_train: %s\n", e.what());
     return 1;
   }
   const auto importance = classifier.feature_type_importance();
-  std::printf("model written to %s (threshold %.2f, %d trees)\n",
-              model_path.c_str(), threshold, n_trees);
+  std::printf("%s model written to %s (threshold %.2f, %d trees)\n",
+              binary ? "binary" : "text", model_path.c_str(), threshold, n_trees);
   std::printf("feature importance: file %.3f, strings %.3f, symbols %.3f\n",
               importance[0], importance[1], importance[2]);
   return 0;

@@ -51,7 +51,13 @@ for required in \
     exit 1
   fi
 done
-for required in BM_ForestFit/1024 BM_ForestFitSerial/1024; do
+# PR 4 on: the FlatForest block-inference sweep against the per-row
+# baseline and the text-vs-binary model load pair must stay in the
+# baselines (batched forest inference + zero-copy reload trajectory).
+for required in \
+    BM_ForestFit/1024 BM_ForestFitSerial/1024 \
+    BM_ForestPredictProba BM_ForestPredictBlock/1 BM_ForestPredictBlock/8 \
+    BM_ForestPredictBlock/64 BM_ModelLoadText BM_ModelLoadBinary; do
   if ! grep -q "\"$required\"" BENCH_perf_forest.json; then
     echo "error: BENCH_perf_forest.json is missing $required" >&2
     exit 1
