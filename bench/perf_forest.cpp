@@ -3,11 +3,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "ml/class_weight.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/knn.hpp"
 #include "ml/linear_svm.hpp"
 #include "ml/random_forest.hpp"
@@ -120,6 +122,58 @@ void BM_ForestPredictBlock(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(block));
 }
 BENCHMARK(BM_ForestPredictBlock)->Arg(1)->Arg(8)->Arg(64);
+
+/// Leaf-accumulate pair: the 73-double `+=` per (tree, row) that bounds
+/// the block walk once the descent overlaps its cache misses. The
+/// baseline is the pre-restructure scalar loop (no __restrict, no
+/// unroll); BM_LeafAccumulate runs the production primitive
+/// (FlatForest::accumulate_leaf). Both walk a leaf-pool-sized ring so
+/// the float rows stream from memory the way real leaf rows do.
+constexpr std::size_t kAccClasses = 73;
+constexpr std::size_t kAccLeafRows = 4096;
+
+const std::vector<float>& leaf_pool_fixture() {
+  static const std::vector<float> pool = [] {
+    fhc::util::Rng rng(99);
+    std::vector<float> p(kAccClasses * kAccLeafRows);
+    for (auto& v : p) v = static_cast<float>(rng.gaussian());
+    return p;
+  }();
+  return pool;
+}
+
+void BM_LeafAccumulateScalar(benchmark::State& state) {
+  const std::vector<float>& pool = leaf_pool_fixture();
+  std::vector<double> acc(kAccClasses, 0.0);
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < kAccLeafRows; ++r) {
+      const float* leaf = pool.data() + r * kAccClasses;
+      double* out = acc.data();
+      for (std::size_t c = 0; c < kAccClasses; ++c) out[c] += leaf[c];
+    }
+    benchmark::DoNotOptimize(acc.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kAccLeafRows));
+}
+BENCHMARK(BM_LeafAccumulateScalar);
+
+void BM_LeafAccumulate(benchmark::State& state) {
+  const std::vector<float>& pool = leaf_pool_fixture();
+  std::vector<double> acc(kAccClasses, 0.0);
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < kAccLeafRows; ++r) {
+      ml::FlatForest::accumulate_leaf(
+          acc, std::span<const float>(pool.data() + r * kAccClasses, kAccClasses));
+    }
+    benchmark::DoNotOptimize(acc.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kAccLeafRows));
+}
+BENCHMARK(BM_LeafAccumulate);
 
 /// Model (re)load pair: the text parser vs the binary SoA image — the
 /// RELOAD path cost a resident fhc_serve pays per model swap. The binary

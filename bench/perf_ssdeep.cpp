@@ -5,7 +5,9 @@
 // each side once instead of on every comparison.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -146,42 +148,53 @@ struct FeatureBenchData {
   core::FeatureHashes query;
 };
 
-// 4 classes x 24 training samples; per class, variants of a shared base
-// buffer so same-class pairs exercise the DP and cross-class pairs die at
-// the gate — the mix fill_feature_row sees in the real pipeline.
+// The paper's realistic shape: 73 classes x 12 training samples; per
+// class, variants of a shared base buffer that differ in one contiguous
+// mutated window (the recompiled-binary pattern), so same-class pairs
+// share 7-grams and genuinely run the DP edit distance, while
+// cross-class pairs share nothing — the mix fill_feature_row sees in
+// the real pipeline. At this width the all-pairs scan spends almost all
+// its time merge-scanning cross-class digests that provably score 0;
+// the GramIndex probe never visits them, so the indexed fill's cost is
+// the probe plus the same-class DP both paths must pay.
 const FeatureBenchData& feature_bench_data() {
   static const FeatureBenchData data = [] {
-    constexpr int kClasses = 4;
-    constexpr int kPerClass = 24;
+    constexpr int kClasses = 73;
+    constexpr int kPerClass = 12;
+    constexpr std::size_t kFileSize = 60000;
+    constexpr std::size_t kWindow = 6000;
     fhc::util::Rng rng(13);
     std::vector<core::FeatureHashes> train;
     std::vector<int> labels;
     std::vector<std::vector<std::uint8_t>> bases;
     for (int c = 0; c < kClasses; ++c) {
-      bases.push_back(random_bytes(100 + static_cast<std::uint64_t>(c), 60000));
+      bases.push_back(random_bytes(100 + static_cast<std::uint64_t>(c), kFileSize));
     }
+    const auto variant = [&](int c, std::size_t start) {
+      auto file = bases[static_cast<std::size_t>(c)];
+      for (std::size_t i = 0; i < kWindow; ++i) {
+        file[(start + i) % file.size()] ^= static_cast<std::uint8_t>(rng() & 0xff);
+      }
+      core::FeatureHashes hashes;
+      hashes.file = ssdeep::fuzzy_hash(std::span<const std::uint8_t>(file));
+      hashes.strings = ssdeep::fuzzy_hash(
+          std::span<const std::uint8_t>(file).subspan(0, 20000));
+      hashes.symbols = ssdeep::fuzzy_hash(
+          std::span<const std::uint8_t>(file).subspan(20000, 20000));
+      return hashes;
+    };
     for (int c = 0; c < kClasses; ++c) {
       for (int v = 0; v < kPerClass; ++v) {
-        auto file = bases[static_cast<std::size_t>(c)];
-        for (std::size_t i = 0; i < 4000; ++i) {
-          file[(static_cast<std::size_t>(v) * 997 + i * 13) % file.size()] ^=
-              static_cast<std::uint8_t>(rng() & 0xff);
-        }
-        core::FeatureHashes hashes;
-        hashes.file = ssdeep::fuzzy_hash(std::span<const std::uint8_t>(file));
-        hashes.strings = ssdeep::fuzzy_hash(
-            std::span<const std::uint8_t>(file).subspan(0, 20000));
-        hashes.symbols = ssdeep::fuzzy_hash(
-            std::span<const std::uint8_t>(file).subspan(20000, 20000));
-        train.push_back(hashes);
+        train.push_back(variant(c, static_cast<std::size_t>(v) * 4391));
         labels.push_back(c);
       }
     }
-    core::TrainIndex index(train, labels, {"A", "B", "C", "D"});
-    core::FeatureHashes query = train[5];  // same class as bucket 0, not identical
-    auto bytes = bases[0];
-    for (std::size_t i = 0; i < 8000; ++i) bytes[i * 7 % bytes.size()] ^= 0x33;
-    query.file = ssdeep::fuzzy_hash(std::span<const std::uint8_t>(bytes));
+    std::vector<std::string> names;
+    for (int c = 0; c < kClasses; ++c) names.push_back("class" + std::to_string(c));
+    core::TrainIndex index(train, labels, std::move(names));
+    // Held-out same-class query: a class-0 variant whose mutation window
+    // none of the training variants used.
+    core::FeatureHashes query = variant(0, 53123);
     return FeatureBenchData{std::move(train), std::move(labels), std::move(index),
                             std::move(query)};
   }();
@@ -189,20 +202,45 @@ const FeatureBenchData& feature_bench_data() {
 }
 
 void BM_FeatureRowPrepared(benchmark::State& state) {
-  // One feature row via the prepared index: query normalized once per
-  // channel, train side prepared at index build, whole buckets skipped on
-  // blocksize.
+  // One feature row via the prepared all-pairs scan (the PR 2 baseline):
+  // query normalized once per channel, train side prepared at index
+  // build, whole buckets skipped on blocksize — but every digest in a
+  // pairable bucket still pays its merge-scan gate.
   const FeatureBenchData& data = feature_bench_data();
   std::vector<float> row(static_cast<std::size_t>(3 * data.index.n_classes()));
   for (auto _ : state) {
-    core::fill_feature_row(data.index, data.query,
-                           ssdeep::EditMetric::kDamerauOsa, -1, row);
+    core::fill_feature_row_all_pairs(data.index, data.query,
+                                     ssdeep::EditMetric::kDamerauOsa, -1, row);
     benchmark::DoNotOptimize(row.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(data.train.size()) * 3);
 }
 BENCHMARK(BM_FeatureRowPrepared);
+
+void BM_FeatureRowIndexed(benchmark::State& state) {
+  // The same row via the GramIndex candidate probe: cross-class digests
+  // that share no 7-gram with the query are never touched, so the row
+  // cost collapses to the probe plus the few genuine candidates' DP.
+  const FeatureBenchData& data = feature_bench_data();
+  std::vector<float> row(static_cast<std::size_t>(3 * data.index.n_classes()));
+  core::RowFillStats stats;
+  for (auto _ : state) {
+    core::fill_feature_row(data.index, data.query,
+                           ssdeep::EditMetric::kDamerauOsa, -1, row,
+                           core::kAllChannels, &stats);
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.train.size()) * 3);
+  const auto iters = std::max<std::int64_t>(state.iterations(), 1);
+  const auto visited = static_cast<double>(stats.candidates_scored + stats.index_skipped);
+  state.counters["scored_per_row"] =
+      static_cast<double>(stats.candidates_scored) / static_cast<double>(iters);
+  state.counters["skip_rate"] =
+      visited > 0.0 ? static_cast<double>(stats.index_skipped) / visited : 0.0;
+}
+BENCHMARK(BM_FeatureRowIndexed);
 
 void BM_FeatureRowRawLoop(benchmark::State& state) {
   // The pre-PreparedDigest behaviour: compare_digests against every raw

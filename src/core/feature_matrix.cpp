@@ -50,6 +50,41 @@ TrainIndex::TrainIndex(const std::vector<FeatureHashes>& train_hashes,
     }
     ids_[c].push_back(static_cast<int>(i));
   }
+
+  // Second pass: invert the prepared buckets into the per-channel 7-gram
+  // candidate index. Entry ids are handed out in (cls, bucket, pos)
+  // iteration order — the property a sorted candidate list's class
+  // grouping relies on.
+  gram_index_.resize(kFeatureTypeCount);
+  for (int f = 0; f < kFeatureTypeCount; ++f) {
+    ChannelGramIndex& channel = gram_index_[static_cast<std::size_t>(f)];
+    for (int c = 0; c < k; ++c) {
+      const auto& buckets = prepared_[static_cast<std::size_t>(f)][static_cast<std::size_t>(c)];
+      for (std::size_t b = 0; b < buckets.size(); ++b) {
+        const PreparedBucket& bucket = buckets[b];
+        auto bs_it = std::find_if(
+            channel.by_blocksize.begin(), channel.by_blocksize.end(),
+            [&](const ChannelGramIndex::BlocksizeIndex& bsi) {
+              return bsi.blocksize == bucket.blocksize;
+            });
+        if (bs_it == channel.by_blocksize.end()) {
+          channel.by_blocksize.push_back({bucket.blocksize, {}, {}});
+          bs_it = channel.by_blocksize.end() - 1;
+        }
+        for (std::size_t p = 0; p < bucket.digests.size(); ++p) {
+          const auto entry = static_cast<std::uint32_t>(channel.entries.size());
+          channel.entries.push_back(GramEntry{c, static_cast<std::int32_t>(b),
+                                              static_cast<std::int32_t>(p)});
+          bs_it->part1.add(entry, bucket.digests[p].part1().grams);
+          bs_it->part2.add(entry, bucket.digests[p].part2().grams);
+        }
+      }
+    }
+    for (ChannelGramIndex::BlocksizeIndex& bsi : channel.by_blocksize) {
+      bsi.part1.finalize();
+      bsi.part2.finalize();
+    }
+  }
 }
 
 const std::vector<ssdeep::FuzzyDigest>& TrainIndex::digests(FeatureType f,
@@ -64,6 +99,10 @@ const std::vector<TrainIndex::PreparedBucket>& TrainIndex::prepared(FeatureType 
 
 const std::vector<int>& TrainIndex::train_ids(int c) const {
   return ids_.at(static_cast<std::size_t>(c));
+}
+
+const TrainIndex::ChannelGramIndex& TrainIndex::gram_index(FeatureType f) const {
+  return gram_index_.at(static_cast<std::size_t>(f));
 }
 
 std::vector<std::string> TrainIndex::feature_names() const {
@@ -86,20 +125,10 @@ PreparedQuery::PreparedQuery(const FeatureHashes& sample, const ChannelMask& mas
   }
 }
 
-void fill_feature_row(const TrainIndex& index, const FeatureHashes& sample,
-                      ssdeep::EditMetric metric, int exclude_id,
-                      std::span<float> out_row, const ChannelMask& channels) {
-  // Normalize the query once per feature type; the train side was prepared
-  // when the index was built.
-  const PreparedQuery query(sample, channels);
-  fill_feature_row_slice(index, query, metric, exclude_id, 0, index.n_classes(),
-                         out_row, channels);
-}
+namespace {
 
-void fill_feature_row_slice(const TrainIndex& index, const PreparedQuery& query,
-                            ssdeep::EditMetric metric, int exclude_id,
-                            int class_begin, int class_end,
-                            std::span<float> out_row, const ChannelMask& channels) {
+void validate_slice(const TrainIndex& index, int class_begin, int class_end,
+                    std::span<float> out_row) {
   const int k = index.n_classes();
   if (out_row.size() != static_cast<std::size_t>(kFeatureTypeCount * k)) {
     throw std::invalid_argument("fill_feature_row_slice: bad row width");
@@ -107,6 +136,150 @@ void fill_feature_row_slice(const TrainIndex& index, const PreparedQuery& query,
   if (class_begin < 0 || class_end > k || class_begin > class_end) {
     throw std::invalid_argument("fill_feature_row_slice: bad class range");
   }
+}
+
+/// Digests an all-pairs scan would visit for this (channel, slice):
+/// everything in a blocksize-pairable bucket — the denominator of the
+/// gate counters.
+std::uint64_t pairable_digests(const TrainIndex& index, FeatureType type,
+                               std::uint32_t own_blocksize, int class_begin,
+                               int class_end) {
+  std::uint64_t total = 0;
+  for (int c = class_begin; c < class_end; ++c) {
+    for (const TrainIndex::PreparedBucket& bucket : index.prepared(type, c)) {
+      if (ssdeep::blocksizes_can_pair(own_blocksize, bucket.blocksize)) {
+        total += bucket.digests.size();
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+void fill_feature_row(const TrainIndex& index, const FeatureHashes& sample,
+                      ssdeep::EditMetric metric, int exclude_id,
+                      std::span<float> out_row, const ChannelMask& channels,
+                      RowFillStats* stats) {
+  // Normalize the query once per feature type; the train side was prepared
+  // when the index was built.
+  const PreparedQuery query(sample, channels);
+  fill_feature_row_slice(index, query, metric, exclude_id, 0, index.n_classes(),
+                         out_row, channels, stats);
+}
+
+QueryCandidates::QueryCandidates(const TrainIndex& index,
+                                 const PreparedQuery& query,
+                                 const ChannelMask& channels) {
+  // Probe scratch: reused across channels and calls on this thread —
+  // steady-state probes allocate only the retained id vectors.
+  thread_local ssdeep::CandidateSet scratch;
+  for (int f = 0; f < kFeatureTypeCount; ++f) {
+    if (!channels[static_cast<std::size_t>(f)]) continue;
+    const ssdeep::PreparedDigest& own = query.channels[static_cast<std::size_t>(f)];
+    const TrainIndex::ChannelGramIndex& grams =
+        index.gram_index(static_cast<FeatureType>(f));
+
+    // One probe per pairable blocksize bucket (at most three), matching
+    // the part pairing compare_prepared scores at that blocksize
+    // relation: part1/part2 against their own kind when equal, crosswise
+    // when one side's blocksize doubles the other's.
+    scratch.reset(grams.entries.size());
+    for (const TrainIndex::ChannelGramIndex::BlocksizeIndex& bsi :
+         grams.by_blocksize) {
+      if (!ssdeep::blocksizes_can_pair(own.blocksize(), bsi.blocksize)) continue;
+      if (bsi.blocksize == own.blocksize()) {
+        bsi.part1.collect(own.part1().grams, scratch);
+        bsi.part2.collect(own.part2().grams, scratch);
+      } else if (own.blocksize() == std::uint64_t{bsi.blocksize} * 2) {
+        // The query's part1 lives at the bucket's part2 blocksize.
+        bsi.part2.collect(own.part1().grams, scratch);
+      } else {
+        bsi.part1.collect(own.part2().grams, scratch);
+      }
+    }
+    // Entry ids ascend in (class, bucket, pos) order, so sorting groups
+    // the candidates by class with classes ascending.
+    scratch.sort();
+    per_channel_[static_cast<std::size_t>(f)].assign(scratch.ids().begin(),
+                                                     scratch.ids().end());
+  }
+}
+
+void fill_feature_row_slice(const TrainIndex& index, const PreparedQuery& query,
+                            ssdeep::EditMetric metric, int exclude_id,
+                            int class_begin, int class_end,
+                            std::span<float> out_row, const ChannelMask& channels,
+                            RowFillStats* stats) {
+  const QueryCandidates candidates(index, query, channels);
+  fill_feature_row_slice(index, query, candidates, metric, exclude_id,
+                         class_begin, class_end, out_row, channels, stats);
+}
+
+void fill_feature_row_slice(const TrainIndex& index, const PreparedQuery& query,
+                            const QueryCandidates& candidates,
+                            ssdeep::EditMetric metric, int exclude_id,
+                            int class_begin, int class_end,
+                            std::span<float> out_row, const ChannelMask& channels,
+                            RowFillStats* stats) {
+  const int k = index.n_classes();
+  validate_slice(index, class_begin, class_end, out_row);
+  for (int f = 0; f < kFeatureTypeCount; ++f) {
+    for (int c = class_begin; c < class_end; ++c) {
+      out_row[static_cast<std::size_t>(f * k + c)] = 0.0f;
+    }
+    if (!channels[static_cast<std::size_t>(f)]) continue;
+    const ssdeep::PreparedDigest& own = query.channels[static_cast<std::size_t>(f)];
+    const auto type = static_cast<FeatureType>(f);
+    const TrainIndex::ChannelGramIndex& grams = index.gram_index(type);
+    const std::vector<std::uint32_t>& hits = candidates.of(type);
+
+    // The list is class-grouped, so the slice's share is one contiguous
+    // run — binary-search its start instead of stepping over every
+    // candidate of the classes before class_begin.
+    std::uint64_t scored = 0;
+    std::size_t i = static_cast<std::size_t>(
+        std::partition_point(hits.begin(), hits.end(),
+                             [&](std::uint32_t id) {
+                               return grams.entries[id].cls < class_begin;
+                             }) -
+        hits.begin());
+    while (i < hits.size()) {
+      const int c = grams.entries[hits[i]].cls;
+      if (c >= class_end) break;
+      int best = 0;
+      while (i < hits.size()) {
+        const TrainIndex::GramEntry& entry = grams.entries[hits[i]];
+        if (entry.cls != c) break;
+        ++i;
+        if (best == 100) continue;  // cannot improve; drain the class group
+        const TrainIndex::PreparedBucket& bucket =
+            index.prepared(type, c)[static_cast<std::size_t>(entry.bucket)];
+        const auto pos = static_cast<std::size_t>(entry.pos);
+        if (exclude_id >= 0 && bucket.ids[pos] == exclude_id) continue;
+        const int score = ssdeep::compare_prepared(own, bucket.digests[pos], metric);
+        ++scored;
+        if (score > best) best = score;
+      }
+      out_row[static_cast<std::size_t>(f * k + c)] = static_cast<float>(best);
+    }
+    if (stats != nullptr) {
+      stats->candidates_scored += scored;
+      stats->index_skipped +=
+          pairable_digests(index, type, own.blocksize(), class_begin, class_end) -
+          scored;
+    }
+  }
+}
+
+void fill_feature_row_slice_all_pairs(const TrainIndex& index,
+                                      const PreparedQuery& query,
+                                      ssdeep::EditMetric metric, int exclude_id,
+                                      int class_begin, int class_end,
+                                      std::span<float> out_row,
+                                      const ChannelMask& channels) {
+  const int k = index.n_classes();
+  validate_slice(index, class_begin, class_end, out_row);
   for (int f = 0; f < kFeatureTypeCount; ++f) {
     if (!channels[static_cast<std::size_t>(f)]) {
       for (int c = class_begin; c < class_end; ++c) {
@@ -135,6 +308,16 @@ void fill_feature_row_slice(const TrainIndex& index, const PreparedQuery& query,
       out_row[static_cast<std::size_t>(f * k + c)] = static_cast<float>(best);
     }
   }
+}
+
+void fill_feature_row_all_pairs(const TrainIndex& index,
+                                const FeatureHashes& sample,
+                                ssdeep::EditMetric metric, int exclude_id,
+                                std::span<float> out_row,
+                                const ChannelMask& channels) {
+  const PreparedQuery query(sample, channels);
+  fill_feature_row_slice_all_pairs(index, query, metric, exclude_id, 0,
+                                   index.n_classes(), out_row, channels);
 }
 
 ml::Matrix build_feature_matrix(const TrainIndex& index,

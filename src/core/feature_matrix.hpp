@@ -13,10 +13,16 @@
 // The pairwise comparisons dominate end-to-end runtime, so the builder
 // parallelizes over samples, prepares every training digest exactly once
 // (PreparedDigest: run-normalized parts + presorted 7-gram arrays, built
-// at index-construction time — including after model load), and relies on
-// the comparison fast path (whole-bucket blocksize gate + merge-scan
-// 7-gram gate) to reject most cross-class pairs before the DP edit
-// distance runs.
+// at index-construction time — including after model load), and fills
+// rows candidate-driven: each channel's inverted 7-gram index
+// (ssdeep::GramIndex, one per blocksize bucket) is probed with the
+// query's own grams, yielding the exact set of training digests that can
+// score > 0 — a comparison passes the merge-scan gate only when a 7-gram
+// is shared, so every non-candidate is provably score 0 and is never
+// touched. The all-pairs scan (whole-bucket blocksize gate + per-digest
+// merge-scan gate) is kept as the reference oracle
+// (fill_feature_row_slice_all_pairs); the indexed fill is bit-identical
+// to it (property tests in tests/core/test_feature_matrix.cpp).
 #pragma once
 
 #include <array>
@@ -27,6 +33,7 @@
 #include "core/features.hpp"
 #include "ml/matrix.hpp"
 #include "ssdeep/compare.hpp"
+#include "ssdeep/gram_index.hpp"
 #include "ssdeep/prepared.hpp"
 
 namespace fhc::core {
@@ -44,6 +51,34 @@ class TrainIndex {
     std::uint32_t blocksize = 0;
     std::vector<ssdeep::PreparedDigest> digests;
     std::vector<int> ids;  // parallel to digests
+  };
+
+  /// One prepared training digest of a channel, addressed by the gram
+  /// index: its class, the blocksize bucket it sits in (index into
+  /// prepared(f, cls)), and its position inside that bucket. Entry ids
+  /// are assigned in (cls, bucket, pos) order, so a sorted candidate
+  /// list is grouped by class, classes ascending.
+  struct GramEntry {
+    std::int32_t cls = 0;
+    std::int32_t bucket = 0;
+    std::int32_t pos = 0;
+  };
+
+  /// The inverted 7-gram view of one channel across ALL classes: per
+  /// blocksize bucket, a part1 and a part2 GramIndex whose postings are
+  /// GramEntry ids. A query probes the (at most three) buckets its own
+  /// blocksize can pair with — part1 vs part1 and part2 vs part2 at the
+  /// equal blocksize, crosswise at double/half (matching the part
+  /// pairing compare_prepared scores) — and gets the exact set of
+  /// training digests that can score > 0.
+  struct ChannelGramIndex {
+    struct BlocksizeIndex {
+      std::uint32_t blocksize = 0;
+      ssdeep::GramIndex part1;  // postings: entries whose part1 holds the gram
+      ssdeep::GramIndex part2;
+    };
+    std::vector<GramEntry> entries;
+    std::vector<BlocksizeIndex> by_blocksize;
   };
 
   /// `labels[i]` in 0..n_classes-1; `class_names.size() == n_classes`.
@@ -65,6 +100,10 @@ class TrainIndex {
   /// Original train-sample ids for class c (for exclude-self lookups).
   const std::vector<int>& train_ids(int c) const;
 
+  /// The inverted 7-gram candidate index of channel `f` — the view the
+  /// indexed row fill probes instead of scanning every prepared digest.
+  const ChannelGramIndex& gram_index(FeatureType f) const;
+
   /// Column labels: "ssdeep-file:<Class>", ... (3*K entries).
   std::vector<std::string> feature_names() const;
 
@@ -75,6 +114,8 @@ class TrainIndex {
   // [feature][class] -> blocksize buckets of prepared digests
   std::vector<std::vector<std::vector<PreparedBucket>>> prepared_;
   std::vector<std::vector<int>> ids_;
+  // [feature] -> inverted 7-gram candidate index over every class
+  std::vector<ChannelGramIndex> gram_index_;
   std::size_t train_sample_count_ = 0;
 };
 
@@ -95,12 +136,46 @@ struct PreparedQuery {
                          const ChannelMask& mask = kAllChannels);
 };
 
+/// One query's candidate sets against one TrainIndex: the per-channel
+/// GramIndex probe results (sorted, class-grouped entry ids), computed
+/// once. Slice fills over any class partition share one probe — without
+/// this, a service scoring a row in S parallel slices would repeat the
+/// identical probe S times per channel.
+class QueryCandidates {
+ public:
+  QueryCandidates() = default;
+  QueryCandidates(const TrainIndex& index, const PreparedQuery& query,
+                  const ChannelMask& channels = kAllChannels);
+
+  /// Sorted candidate entry ids of channel `f` (empty for disabled
+  /// channels), indices into index.gram_index(f).entries.
+  const std::vector<std::uint32_t>& of(FeatureType f) const noexcept {
+    return per_channel_[static_cast<std::size_t>(f)];
+  }
+
+ private:
+  std::array<std::vector<std::uint32_t>, kFeatureTypeCount> per_channel_;
+};
+
+/// What the candidate index saved on one (or more, when accumulated) row
+/// fills: of the digests an all-pairs scan would have visited (those in
+/// blocksize-pairable buckets of enabled channels within the class
+/// range), how many were actually scored with compare_prepared versus
+/// never touched — pruned by the GramIndex probe, skipped as the
+/// excluded self, or cut by a class's score-100 early exit.
+struct RowFillStats {
+  std::uint64_t candidates_scored = 0;
+  std::uint64_t index_skipped = 0;
+};
+
 /// Feature row for one sample. `exclude_id >= 0` skips the training sample
-/// with that id (leave-self-out when featurizing training rows).
+/// with that id (leave-self-out when featurizing training rows). `stats`,
+/// when given, accumulates the candidate-index gate counters.
 void fill_feature_row(const TrainIndex& index, const FeatureHashes& sample,
                       ssdeep::EditMetric metric, int exclude_id,
                       std::span<float> out_row,
-                      const ChannelMask& channels = kAllChannels);
+                      const ChannelMask& channels = kAllChannels,
+                      RowFillStats* stats = nullptr);
 
 /// Columns (f, c) for every channel f and classes c in
 /// [class_begin, class_end) of one feature row — the shard view the
@@ -112,7 +187,37 @@ void fill_feature_row_slice(const TrainIndex& index, const PreparedQuery& query,
                             ssdeep::EditMetric metric, int exclude_id,
                             int class_begin, int class_end,
                             std::span<float> out_row,
-                            const ChannelMask& channels = kAllChannels);
+                            const ChannelMask& channels = kAllChannels,
+                            RowFillStats* stats = nullptr);
+
+/// Slice fill over a precomputed probe: identical output to the overload
+/// above, but the GramIndex probe is not repeated — `candidates` must
+/// have been built from the same (index, query, channels).
+void fill_feature_row_slice(const TrainIndex& index, const PreparedQuery& query,
+                            const QueryCandidates& candidates,
+                            ssdeep::EditMetric metric, int exclude_id,
+                            int class_begin, int class_end,
+                            std::span<float> out_row,
+                            const ChannelMask& channels = kAllChannels,
+                            RowFillStats* stats = nullptr);
+
+/// The pre-GramIndex all-pairs scan: every prepared digest of every
+/// blocksize-pairable bucket in the slice is run through
+/// compare_prepared. Kept as the property-test oracle and bench baseline
+/// for the indexed fill, which must reproduce it bit for bit.
+void fill_feature_row_slice_all_pairs(const TrainIndex& index,
+                                      const PreparedQuery& query,
+                                      ssdeep::EditMetric metric, int exclude_id,
+                                      int class_begin, int class_end,
+                                      std::span<float> out_row,
+                                      const ChannelMask& channels = kAllChannels);
+
+/// Full-row convenience over fill_feature_row_slice_all_pairs.
+void fill_feature_row_all_pairs(const TrainIndex& index,
+                                const FeatureHashes& sample,
+                                ssdeep::EditMetric metric, int exclude_id,
+                                std::span<float> out_row,
+                                const ChannelMask& channels = kAllChannels);
 
 /// Full matrix for `samples` (parallel). `exclude_ids` is either empty or
 /// one id per sample (-1 = none).

@@ -67,6 +67,25 @@ std::span<const T> section(const std::byte* base, std::size_t offset,
   return {reinterpret_cast<const T*>(base + offset), count};
 }
 
+/// Leaf-row accumulate: the 73-double `+=` per (tree, row) that bounds
+/// the block walk once the descent overlaps its misses. `__restrict`
+/// licenses the compiler to keep partial sums in registers and the
+/// 4-wide unroll hands it a straight-line cvtps2pd/addpd body; each
+/// acc[c] still receives exactly one `double += float` per call, in
+/// ascending class order, so tree-major callers keep the nested walk's
+/// operation sequence bit for bit.
+inline void add_leaf_row(double* __restrict acc, const float* __restrict leaf,
+                         std::size_t k) {
+  std::size_t c = 0;
+  for (; c + 4 <= k; c += 4) {
+    acc[c + 0] += static_cast<double>(leaf[c + 0]);
+    acc[c + 1] += static_cast<double>(leaf[c + 1]);
+    acc[c + 2] += static_cast<double>(leaf[c + 2]);
+    acc[c + 3] += static_cast<double>(leaf[c + 3]);
+  }
+  for (; c < k; ++c) acc[c] += static_cast<double>(leaf[c]);
+}
+
 }  // namespace
 
 std::size_t FlatForest::payload_size(const Shape& shape) {
@@ -292,12 +311,14 @@ void FlatForest::accumulate_block(const Matrix& rows, std::size_t begin,
         }
       }
 #endif
-      // Phase 2: streaming accumulation, rows in order.
+      // Phase 2: streaming accumulation, rows in order. The leaf rows are
+      // contiguous k-float runs of the pool; the prefetch above started
+      // their loads, add_leaf_row turns each into a vectorizable
+      // convert-and-add over the row accumulator.
       for (std::size_t g = 0; g < lanes; ++g) {
         const float* const leaf =
             pool + static_cast<std::uint32_t>(leaf_offset[node[g]]);
-        double* const out = acc.data() + (r0 + g - begin) * k;
-        for (std::size_t c = 0; c < k; ++c) out[c] += leaf[c];
+        add_leaf_row(acc.data() + (r0 + g - begin) * k, leaf, k);
       }
     }
   }
@@ -326,11 +347,17 @@ void FlatForest::predict_proba(std::span<const float> row,
                      ? 0
                      : 1)]);
     }
-    const float* const leaf = pool + off;
-    for (std::size_t c = 0; c < k; ++c) out[c] += leaf[c];
+    add_leaf_row(out.data(), pool + off, k);
   }
   const double inv = 1.0 / static_cast<double>(shape_.tree_count);
   for (double& p : out) p *= inv;
+}
+
+void FlatForest::accumulate_leaf(std::span<double> acc, std::span<const float> leaf) {
+  if (acc.size() != leaf.size()) {
+    throw std::invalid_argument("FlatForest::accumulate_leaf: size mismatch");
+  }
+  add_leaf_row(acc.data(), leaf.data(), acc.size());
 }
 
 void FlatForest::predict_proba_block(const Matrix& rows, std::size_t begin,

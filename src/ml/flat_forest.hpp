@@ -82,6 +82,16 @@ class FlatForest {
   void accumulate_block(const Matrix& rows, std::size_t begin, std::size_t end,
                         std::span<double> acc) const;
 
+  /// The accumulation primitive of every predict path: adds one
+  /// contiguous leaf distribution into a row accumulator, acc[c] +=
+  /// leaf[c] for each class in ascending order. Restructured for
+  /// vectorization (__restrict operands, 4-wide unroll) — per class
+  /// element it is still exactly one `double += float`, so the
+  /// bit-identity contract with the nested walk is untouched. Exposed
+  /// for the BM_LeafAccumulate bench pair and unit tests; `acc` and
+  /// `leaf` must not overlap and must both hold `n_classes` elements.
+  static void accumulate_leaf(std::span<double> acc, std::span<const float> leaf);
+
   /// Mean class probabilities for one row into caller-owned `out`
   /// (size n_classes) — allocation-free single-row predict.
   void predict_proba(std::span<const float> row, std::span<double> out) const;

@@ -1,6 +1,7 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <stdexcept>
 #include <unordered_map>
@@ -206,6 +207,8 @@ void ClassificationService::score_batch(std::vector<Request> batch) {
 
   const std::size_t uniques = representative.size();
   std::vector<core::Prediction> results(uniques);
+  std::uint64_t gate_scored = 0;
+  std::uint64_t gate_skipped = 0;
   try {
     const core::TrainIndex& index = model->index();
     const core::ClassifierConfig& cfg = model->config();
@@ -213,17 +216,25 @@ void ClassificationService::score_batch(std::vector<Request> batch) {
     std::size_t shards = config_.shards != 0 ? config_.shards : pool_->size();
     shards = std::clamp<std::size_t>(shards, 1, static_cast<std::size_t>(k));
 
-    // Stage 1: normalize each unique query once per channel.
+    // Stage 1: normalize each unique query once per channel and probe
+    // the candidate index once — the candidate sets are slice-independent,
+    // so stage 2's parallel slices share them instead of re-probing.
     std::vector<core::PreparedQuery> queries(uniques);
+    std::vector<core::QueryCandidates> candidates(uniques);
     util::parallel_for(*pool_, 0, uniques, /*grain=*/1, [&](std::size_t u) {
       queries[u] = core::PreparedQuery(batch[representative[u]].sample, cfg.channels);
+      candidates[u] = core::QueryCandidates(index, queries[u], cfg.channels);
     });
 
     // Stage 2: every (query, class-slice) pair is one work item, so a
     // single query's similarity row — the dominant cost — is computed in
     // parallel slices across the index and reduced by writing disjoint
-    // column ranges of its row.
+    // column ranges of its row. Each slice reports its candidate-index
+    // gate counters; slices partition the class range, so the batch
+    // totals match one full-row fill per unique query.
     ml::Matrix rows(uniques, model->row_width());
+    std::atomic<std::uint64_t> scored{0};
+    std::atomic<std::uint64_t> skipped{0};
     util::parallel_for(*pool_, 0, uniques * shards, /*grain=*/1,
                        [&](std::size_t item) {
                          const std::size_t u = item / shards;
@@ -232,10 +243,19 @@ void ClassificationService::score_batch(std::vector<Request> batch) {
                              s * static_cast<std::size_t>(k) / shards);
                          const int end = static_cast<int>(
                              (s + 1) * static_cast<std::size_t>(k) / shards);
-                         core::fill_feature_row_slice(index, queries[u], cfg.metric,
+                         core::RowFillStats slice_stats;
+                         core::fill_feature_row_slice(index, queries[u],
+                                                      candidates[u], cfg.metric,
                                                       /*exclude_id=*/-1, begin, end,
-                                                      rows.row(u), cfg.channels);
+                                                      rows.row(u), cfg.channels,
+                                                      &slice_stats);
+                         scored.fetch_add(slice_stats.candidates_scored,
+                                          std::memory_order_relaxed);
+                         skipped.fetch_add(slice_stats.index_skipped,
+                                           std::memory_order_relaxed);
                        });
+    gate_scored = scored.load(std::memory_order_relaxed);
+    gate_skipped = skipped.load(std::memory_order_relaxed);
 
     // Stage 3: one tree-major FlatForest pass over the whole micro-batch
     // instead of a forest walk per row — each tree's nodes stay hot
@@ -262,6 +282,8 @@ void ClassificationService::score_batch(std::vector<Request> batch) {
     std::lock_guard lock(stats_mutex_);
     ++counters_.batches;
     counters_.scored += uniques;
+    counters_.candidates_scored += gate_scored;
+    counters_.index_skipped += gate_skipped;
     counters_.dedup_hits += batch.size() - uniques;
     counters_.completed += batch.size();
     counters_.largest_batch = std::max<std::uint64_t>(counters_.largest_batch,

@@ -73,6 +73,19 @@ struct ServiceStats {
   std::uint64_t reloads = 0;
   std::uint64_t largest_batch = 0;
 
+  // Candidate-index gate counters, summed over every row slice scored:
+  // of the training digests an all-pairs row fill would have visited,
+  // how many were actually compared vs. pruned by the TrainIndex's
+  // inverted 7-gram candidate index (core::RowFillStats).
+  std::uint64_t candidates_scored = 0;
+  std::uint64_t index_skipped = 0;
+
+  double index_skip_rate() const {
+    const std::uint64_t visited = candidates_scored + index_skipped;
+    return visited > 0 ? static_cast<double>(index_skipped) / static_cast<double>(visited)
+                       : 0.0;
+  }
+
   double cache_hit_rate() const {
     return requests > 0 ? static_cast<double>(cache_hits) / static_cast<double>(requests)
                         : 0.0;

@@ -154,8 +154,14 @@ int compare_digests(const FuzzyDigest& a, const FuzzyDigest& b, EditMetric metri
 
   if (bs1 == bs2) {
     // Identical digests of non-trivial length are a perfect match; the
-    // DP would otherwise cap just below 100 for short strings.
-    if (a1 == b1 && a1.size() > kRollingWindow) return 100;
+    // DP would otherwise cap just below 100 for short strings. Overlong
+    // parts (> kSpamsumLength, hand-built digests only) are excluded so
+    // they uniformly score 0, like every other scoring path treats them
+    // — and so a shared 7-gram remains a necessary condition for any
+    // score > 0 (the invariant the GramIndex candidate probe inverts).
+    if (a1 == b1 && a1.size() > kRollingWindow && a1.size() <= kSpamsumLength) {
+      return 100;
+    }
     const int s1 = score_strings(a1, b1, bs1, metric);
     const int s2 = score_strings(a2, b2, part2_blocksize(bs1), metric);
     return std::max(s1, s2);

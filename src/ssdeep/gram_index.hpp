@@ -1,0 +1,98 @@
+// GramIndex: an inverted index from packed 42-bit 7-grams to posting
+// lists of digest ids — the lookup-structured formulation of the 7-gram
+// gate.
+//
+// compare_prepared can only score > 0 when the two parts being scored
+// share at least one 7-gram (score_parts runs sorted_grams_intersect
+// before the DP and returns 0 when it fails; the identical-part1 == 100
+// fast path requires parts longer than the window and at most
+// kSpamsumLength — exactly the lengths whose gram arrays are equal and
+// non-empty). That makes the gate *invertible*: instead of
+// merge-scanning a query's gram array against every training digest and
+// rejecting almost all of them one by one, index the training side once —
+// gram -> ids of the digests containing it — and probe it with the
+// query's grams. The probe returns the exact candidate set; every digest
+// it does not return is provably score 0 and is never touched. An
+// all-pairs scan over N digests costs N merge scans per query; the probe
+// costs one galloping merge of the query's <= 58 grams against the key
+// array, independent of how many digests share no gram.
+//
+// The index is append-then-seal: add() every digest's presorted gram
+// array (PreparedDigest already stores them), then finalize() to build
+// the CSR layout (sorted unique keys, offsets, postings). CandidateSet is
+// the reusable probe accumulator: it dedups ids across multiple probes
+// (a query probes up to four indexes per channel — part1/part2 across
+// pairable blocksizes) with an epoch-stamped scratch array, so repeated
+// probes allocate nothing in steady state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fhc::ssdeep {
+
+/// Reusable deduplicating accumulator of candidate ids in [0, universe).
+/// reset() is O(1) amortized (epoch stamps, not a clear), insert() is
+/// O(1), and ids() returns the distinct ids inserted since the last
+/// reset, in insertion order until sort() is called.
+class CandidateSet {
+ public:
+  void reset(std::size_t universe);
+
+  void insert(std::uint32_t id) {
+    if (stamp_[id] == epoch_) return;
+    stamp_[id] = epoch_;
+    ids_.push_back(id);
+  }
+
+  /// Sorts the collected ids ascending (callers that assigned ids in a
+  /// meaningful order — e.g. grouped by class — get grouped candidates).
+  void sort();
+
+  std::span<const std::uint32_t> ids() const noexcept { return ids_; }
+  bool empty() const noexcept { return ids_.empty(); }
+
+ private:
+  std::vector<std::uint32_t> stamp_;  // stamp_[id] == epoch_ <=> id collected
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> ids_;
+};
+
+class GramIndex {
+ public:
+  GramIndex() = default;
+
+  /// Registers one digest part's presorted gram array under `id`.
+  /// Duplicate grams within one array produce a single posting. Must not
+  /// be called after finalize().
+  void add(std::uint32_t id, std::span<const std::uint64_t> sorted_grams);
+
+  /// Seals the index: builds the CSR (keys/offsets/postings) layout.
+  /// Idempotent; collect() requires it.
+  void finalize();
+
+  /// Probes with a presorted (possibly duplicated) query gram array and
+  /// inserts the id of every indexed part sharing at least one gram into
+  /// `out`. Equivalent to running sorted_grams_intersect between the
+  /// query array and every add()ed array, without touching non-matches.
+  void collect(std::span<const std::uint64_t> sorted_query_grams,
+               CandidateSet& out) const;
+
+  bool finalized() const noexcept { return finalized_; }
+  std::size_t gram_count() const noexcept { return keys_.size(); }
+  std::size_t posting_count() const noexcept { return postings_.size(); }
+
+ private:
+  bool finalized_ = false;
+  // Build-phase staging: (gram, id) pairs, consumed by finalize().
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> pending_;
+  // Sealed CSR: keys_ sorted unique; postings of keys_[i] are
+  // postings_[offsets_[i] .. offsets_[i+1]), each list sorted ascending.
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> postings_;
+};
+
+}  // namespace fhc::ssdeep

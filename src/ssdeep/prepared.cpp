@@ -39,7 +39,11 @@ int compare_prepared(const PreparedDigest& a, const PreparedDigest& b,
   if (!blocksizes_can_pair(bs1, bs2)) return 0;
 
   if (bs1 == bs2) {
-    if (a.part1().text == b.part1().text && a.part1().text.size() > kRollingWindow) {
+    // Mirrors compare_digests' fast path, including the overlong
+    // exclusion that keeps "shares a 7-gram" necessary for score > 0.
+    if (a.part1().text == b.part1().text &&
+        a.part1().text.size() > kRollingWindow &&
+        a.part1().text.size() <= kSpamsumLength) {
       return 100;
     }
     const int s1 = score_parts(a.part1(), b.part1(), bs1, metric);

@@ -1,9 +1,12 @@
-// Similarity feature matrix: layout, exclude-self, channel masks.
+// Similarity feature matrix: layout, exclude-self, channel masks, and the
+// GramIndex bit-identity property — the candidate-driven fill must
+// reproduce the all-pairs reference scan bit for bit.
 #include "core/feature_matrix.hpp"
 
 #include <gtest/gtest.h>
 
 #include "corpus/corpus.hpp"
+#include "ssdeep/digest.hpp"
 
 namespace fhc::core {
 namespace {
@@ -173,6 +176,192 @@ TEST(FeatureMatrix, SlicesComposeToFullRow) {
       EXPECT_EQ(full, sliced) << "shards=" << shards << " sample=" << i;
     }
   }
+}
+
+// --- GramIndex candidate-driven fill vs. the all-pairs oracle ----------
+
+/// One FeatureHashes whose three channels all carry `digest` (digest-level
+/// adversarial cases don't need distinct channels).
+FeatureHashes uniform_hashes(const std::string& digest_text) {
+  const auto digest = ssdeep::parse_digest(digest_text);
+  EXPECT_TRUE(digest.has_value()) << digest_text;
+  FeatureHashes hashes;
+  hashes.file = *digest;
+  hashes.strings = *digest;
+  hashes.symbols = *digest;
+  return hashes;
+}
+
+/// Asserts the indexed fill equals the all-pairs reference for `sample`
+/// under every combination that matters: both metrics, the given exclude
+/// id, and every slice partition of the class range.
+void expect_indexed_matches_all_pairs(const TrainIndex& index,
+                                      const FeatureHashes& sample,
+                                      int exclude_id,
+                                      const ChannelMask& channels = kAllChannels) {
+  const int k = index.n_classes();
+  const auto width = static_cast<std::size_t>(kFeatureTypeCount * k);
+  for (const auto metric : {ssdeep::EditMetric::kDamerauOsa,
+                            ssdeep::EditMetric::kWeightedLevenshtein}) {
+    std::vector<float> reference(width);
+    fill_feature_row_all_pairs(index, sample, metric, exclude_id, reference,
+                               channels);
+    std::vector<float> indexed(width);
+    fill_feature_row(index, sample, metric, exclude_id, indexed, channels);
+    ASSERT_EQ(reference, indexed) << "full row, metric "
+                                  << static_cast<int>(metric);
+
+    const PreparedQuery query(sample, channels);
+    const QueryCandidates candidates(index, query, channels);
+    for (int shards = 1; shards <= std::min(k, 3) + 1; ++shards) {
+      std::vector<float> sliced(width, -1.0f);
+      std::vector<float> shared(width, -1.0f);
+      for (int s = 0; s < shards; ++s) {
+        fill_feature_row_slice(index, query, metric, exclude_id,
+                               s * k / shards, (s + 1) * k / shards, sliced,
+                               channels);
+        // The service path: one probe shared across every slice.
+        fill_feature_row_slice(index, query, candidates, metric, exclude_id,
+                               s * k / shards, (s + 1) * k / shards, shared,
+                               channels);
+      }
+      // Disabled channels' columns are written by every partition member;
+      // enabled ones by exactly one. Either way the composed row must be
+      // the reference row.
+      ASSERT_EQ(reference, sliced) << "shards=" << shards;
+      ASSERT_EQ(reference, shared) << "shards=" << shards;
+    }
+  }
+}
+
+TEST(GramIndexFill, MatchesAllPairsOnRealCorpus) {
+  const auto& data = small_data();
+  TrainIndex index(data.hashes, data.labels, data.names);
+  for (std::size_t i = 0; i < data.hashes.size(); i += 3) {
+    expect_indexed_matches_all_pairs(index, data.hashes[i], /*exclude_id=*/-1);
+    expect_indexed_matches_all_pairs(index, data.hashes[i],
+                                     static_cast<int>(i));  // leave-self-out
+  }
+}
+
+TEST(GramIndexFill, MatchesAllPairsWithDisabledChannels) {
+  const auto& data = small_data();
+  TrainIndex index(data.hashes, data.labels, data.names);
+  const ChannelMask masks[] = {{false, false, true},
+                               {true, false, false},
+                               {false, false, false}};
+  for (const auto& mask : masks) {
+    expect_indexed_matches_all_pairs(index, data.hashes[1], -1, mask);
+  }
+}
+
+TEST(GramIndexFill, AdversarialShortPartsAndMixedBlocksizes) {
+  // A hand-built corpus hitting the index's edge cases: parts shorter
+  // than the 7-char window (empty gram arrays on both the train and the
+  // query side), single-bucket single-sample classes, duplicate digests
+  // (score-100 early exit), blocksize-double/half pairings where the
+  // crosswise part probe is the only correct one, and an overlong part1
+  // (> kSpamsumLength, constructible only by hand — parse_digest caps
+  // lengths) that packs no grams and must score 0 even against itself.
+  std::string overlong_part;
+  for (std::size_t i = 0; i <= ssdeep::kSpamsumLength; ++i) {
+    overlong_part.push_back(static_cast<char>('A' + (i * 11) % 26));
+  }
+  FeatureHashes overlong;
+  overlong.file = overlong.strings = overlong.symbols =
+      ssdeep::FuzzyDigest{6, overlong_part, ""};
+  const std::vector<FeatureHashes> train = {
+      uniform_hashes("3:abc:xy"),                              // short parts
+      uniform_hashes("3:abc:xy"),                              // duplicate
+      uniform_hashes("6:ABCDEFGHIJKLMNOP:QRSTUVWXYZabcdef"),   // normal, bs 6
+      uniform_hashes("12:QRSTUVWXYZabcdef:ABCDEFGHIJKLMNOP"),  // bs 12, crosswise
+      uniform_hashes("24:zzzzyyyyxxxxwwww:vvvvuuuuttttssss"),  // unpairable island
+      overlong,
+  };
+  const std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  TrainIndex index(train, labels, {"short", "normal", "far"});
+
+  const std::vector<FeatureHashes> queries = {
+      uniform_hashes("3:abc:xy"),                             // short query
+      uniform_hashes("3:ab:c"),                               // even shorter
+      uniform_hashes("6:ABCDEFGHIJKLMNOP:QRSTUVWXYZabcdef"),  // exact dup of id 2
+      uniform_hashes("6:ZYXWVUTSRQPONMLK:QRSTUVWXYZabcdef"),  // part2 matches bs-12 part1
+      uniform_hashes("12:QRSTUVWXYZabcdef:ponmlkjihgfedcba"), // part1 matches bs-6 part2
+      uniform_hashes("48:vvvvuuuuttttssss:zzzzyyyyxxxxwwww"), // pairs only with bs 24
+      uniform_hashes("96:GGGGHHHHIIIIJJJJ:KKKKLLLLMMMMNNNN"), // pairs with nothing
+      overlong,                                               // self-match must stay 0
+  };
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (const int exclude : {-1, 0, 2, 3, 5}) {
+      expect_indexed_matches_all_pairs(index, queries[q], exclude);
+    }
+  }
+}
+
+TEST(GramIndexFill, TrainIndexExposesChannelGramIndexes) {
+  const auto& data = small_data();
+  TrainIndex index(data.hashes, data.labels, data.names);
+  for (int f = 0; f < kFeatureTypeCount; ++f) {
+    const auto& channel = index.gram_index(static_cast<FeatureType>(f));
+    // Every training digest of the channel is an entry exactly once.
+    EXPECT_EQ(channel.entries.size(), data.hashes.size());
+    ASSERT_FALSE(channel.by_blocksize.empty());
+    for (const auto& bsi : channel.by_blocksize) {
+      EXPECT_TRUE(bsi.part1.finalized());
+      EXPECT_TRUE(bsi.part2.finalized());
+    }
+    // Entry ids ascend in class order — the grouping invariant the
+    // candidate walk relies on.
+    for (std::size_t e = 1; e < channel.entries.size(); ++e) {
+      EXPECT_LE(channel.entries[e - 1].cls, channel.entries[e].cls);
+    }
+  }
+}
+
+TEST(GramIndexFill, GateStatsPartitionAcrossSlices) {
+  const auto& data = small_data();
+  TrainIndex index(data.hashes, data.labels, data.names);
+  const int k = index.n_classes();
+  const auto width = static_cast<std::size_t>(kFeatureTypeCount * k);
+  const auto metric = ssdeep::EditMetric::kDamerauOsa;
+
+  std::vector<float> row(width);
+  RowFillStats full;
+  fill_feature_row(index, data.hashes[0], metric, -1, row, kAllChannels, &full);
+  // The corpus has same-class relatives (scored) and the index must prune
+  // at least something for the counters to mean anything.
+  EXPECT_GT(full.candidates_scored, 0u);
+
+  // Any slice partition must report the same totals as the full fill —
+  // the accounting identity the service relies on when it sums per-slice
+  // stats into its batch counters.
+  const PreparedQuery query(data.hashes[0]);
+  for (const int shards : {2, 3}) {
+    RowFillStats sum;
+    std::vector<float> sliced(width);
+    for (int s = 0; s < shards; ++s) {
+      fill_feature_row_slice(index, query, metric, -1, s * k / shards,
+                             (s + 1) * k / shards, sliced, kAllChannels, &sum);
+    }
+    EXPECT_EQ(sum.candidates_scored, full.candidates_scored) << shards;
+    EXPECT_EQ(sum.index_skipped, full.index_skipped) << shards;
+  }
+
+  // scored + skipped covers exactly the digests an all-pairs scan would
+  // visit: those in blocksize-pairable buckets, over all three channels.
+  std::uint64_t pairable = 0;
+  for (int f = 0; f < kFeatureTypeCount; ++f) {
+    const auto type = static_cast<FeatureType>(f);
+    const auto bs = query.channels[static_cast<std::size_t>(f)].blocksize();
+    for (int c = 0; c < k; ++c) {
+      for (const auto& bucket : index.prepared(type, c)) {
+        if (ssdeep::blocksizes_can_pair(bs, bucket.blocksize)) {
+          pairable += bucket.digests.size();
+        }
+      }
+    }
+  }
+  EXPECT_EQ(full.candidates_scored + full.index_skipped, pairable);
 }
 
 TEST(FeatureMatrix, SliceRejectsBadRanges) {

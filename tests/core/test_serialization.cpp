@@ -182,6 +182,45 @@ TEST(SerializationBinary, LoadFileSniffsBothFormats) {
   std::filesystem::remove(binary_path);
 }
 
+TEST(SerializationBinary, GramIndexRebuiltByBothLoaders) {
+  // Model files carry raw digest text only; loading re-prepares the
+  // TrainIndex, which must include the inverted 7-gram candidate index —
+  // for the text parser and the mmap'd binary path alike. The restored
+  // indexed fill must still agree with the all-pairs oracle bit for bit.
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto text_path =
+      dir / ("fhc_model_gram_text_" + std::to_string(::getpid()) + ".fhc");
+  const auto binary_path =
+      dir / ("fhc_model_gram_bin_" + std::to_string(::getpid()) + ".fhcb");
+  model().clf.save_file(text_path.string());
+  model().clf.save_binary_file(binary_path.string());
+
+  for (const auto& path : {text_path, binary_path}) {
+    const FuzzyHashClassifier restored =
+        FuzzyHashClassifier::load_file(path.string());
+    const TrainIndex& index = restored.index();
+    for (int f = 0; f < kFeatureTypeCount; ++f) {
+      const auto& channel = index.gram_index(static_cast<FeatureType>(f));
+      EXPECT_EQ(channel.entries.size(), index.train_size()) << path;
+      for (const auto& bsi : channel.by_blocksize) {
+        EXPECT_TRUE(bsi.part1.finalized()) << path;
+        EXPECT_TRUE(bsi.part2.finalized()) << path;
+      }
+    }
+    const auto width = restored.row_width();
+    for (const FeatureHashes& probe : model().probes) {
+      std::vector<float> indexed(width);
+      std::vector<float> reference(width);
+      fill_feature_row(index, probe, restored.config().metric, -1, indexed);
+      fill_feature_row_all_pairs(index, probe, restored.config().metric, -1,
+                                 reference);
+      EXPECT_EQ(indexed, reference) << path;
+    }
+  }
+  std::filesystem::remove(text_path);
+  std::filesystem::remove(binary_path);
+}
+
 TEST(SerializationBinary, RejectsCorruptImages) {
   std::ostringstream stream(std::ios::binary);
   model().clf.save_binary(stream);

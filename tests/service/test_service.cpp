@@ -207,6 +207,41 @@ TEST(ClassificationService, StatsCountersAreConsistent) {
   EXPECT_EQ(stats.reloads, 0u);
 }
 
+TEST(ClassificationService, GateCountersShowTheIndexWorking) {
+  const Fixture& fx = fixture();
+  ServiceConfig config;
+  config.cache_capacity = 0;  // force every request through scoring
+  ClassificationService svc(clone(fx.model), config);
+  svc.classify_batch(fx.queries);
+  const ServiceStats after_first = svc.stats();
+
+  // Scoring ran, and the candidate index pruned cross-class digests (the
+  // synthetic corpus's classes share no 7-grams across classes).
+  EXPECT_GT(after_first.candidates_scored, 0u);
+  EXPECT_GT(after_first.index_skipped, 0u);
+  EXPECT_GE(after_first.index_skip_rate(), 0.0);
+  EXPECT_LE(after_first.index_skip_rate(), 1.0);
+
+  // Class slices partition each row, so the service totals must equal
+  // one full-width indexed fill per scored query.
+  core::RowFillStats expected;
+  const core::TrainIndex& index = svc.model()->index();
+  const auto metric = svc.model()->config().metric;
+  std::vector<float> row(svc.model()->row_width());
+  for (const core::FeatureHashes& query : fx.queries) {
+    core::fill_feature_row(index, query, metric, -1, row,
+                           svc.model()->config().channels, &expected);
+  }
+  EXPECT_EQ(after_first.candidates_scored, expected.candidates_scored);
+  EXPECT_EQ(after_first.index_skipped, expected.index_skipped);
+
+  // Counters accumulate across batches.
+  svc.classify_batch(fx.queries);
+  const ServiceStats after_second = svc.stats();
+  EXPECT_EQ(after_second.candidates_scored, 2 * after_first.candidates_scored);
+  EXPECT_EQ(after_second.index_skipped, 2 * after_first.index_skipped);
+}
+
 TEST(ClassificationService, DestructorDrainsPendingRequests) {
   const Fixture& fx = fixture();
   std::vector<std::future<core::Prediction>> futures;

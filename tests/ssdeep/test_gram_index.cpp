@@ -1,0 +1,173 @@
+// GramIndex / CandidateSet: the inverted 7-gram candidate index must
+// return exactly the ids whose indexed gram array intersects the query's
+// — the invertibility of the merge-scan gate that the candidate-driven
+// feature-row fill rests on.
+#include "ssdeep/gram_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ssdeep/compare.hpp"
+#include "util/rng.hpp"
+
+namespace fhc::ssdeep {
+namespace {
+
+std::string random_digest_chars(std::uint64_t seed, std::size_t n) {
+  static constexpr char kAlpha[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  util::Rng rng(seed);
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(kAlpha[rng.next_below(64)]);
+  return out;
+}
+
+std::vector<std::uint32_t> sorted_ids(const CandidateSet& set) {
+  std::vector<std::uint32_t> ids(set.ids().begin(), set.ids().end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(CandidateSet, DedupsAndResets) {
+  CandidateSet set;
+  set.reset(8);
+  set.insert(3);
+  set.insert(5);
+  set.insert(3);
+  EXPECT_EQ(sorted_ids(set), (std::vector<std::uint32_t>{3, 5}));
+
+  set.reset(8);
+  EXPECT_TRUE(set.empty());
+  set.insert(3);  // a stale stamp from the previous epoch must not block this
+  EXPECT_EQ(sorted_ids(set), (std::vector<std::uint32_t>{3}));
+}
+
+TEST(CandidateSet, GrowsUniverseAcrossResets) {
+  CandidateSet set;
+  set.reset(2);
+  set.insert(1);
+  set.reset(64);
+  set.insert(63);
+  set.insert(1);
+  EXPECT_EQ(sorted_ids(set), (std::vector<std::uint32_t>{1, 63}));
+}
+
+TEST(CandidateSet, SortOrdersInsertionOrder) {
+  CandidateSet set;
+  set.reset(16);
+  set.insert(9);
+  set.insert(2);
+  set.insert(14);
+  set.sort();
+  ASSERT_EQ(set.ids().size(), 3u);
+  EXPECT_EQ(set.ids()[0], 2u);
+  EXPECT_EQ(set.ids()[1], 9u);
+  EXPECT_EQ(set.ids()[2], 14u);
+}
+
+TEST(GramIndex, CollectMatchesBruteForceIntersection) {
+  // 40 random digest-part strings; probe with 20 more (some sharing a
+  // prefix with an indexed one so real intersections occur).
+  std::vector<std::string> parts;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    parts.push_back(random_digest_chars(100 + i, 24 + (i % 40)));
+  }
+  std::vector<std::vector<std::uint64_t>> grams;
+  GramIndex index;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    grams.push_back(packed_sorted_grams(parts[i]));
+    index.add(static_cast<std::uint32_t>(i), grams.back());
+  }
+  index.finalize();
+
+  for (std::uint64_t q = 0; q < 20; ++q) {
+    std::string probe = q % 2 == 0
+                            ? random_digest_chars(500 + q, 30)
+                            : parts[q * 2].substr(0, 12) +
+                                  random_digest_chars(700 + q, 18);
+    const auto probe_grams = packed_sorted_grams(probe);
+    CandidateSet set;
+    set.reset(parts.size());
+    index.collect(probe_grams, set);
+
+    std::set<std::uint32_t> expected;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (sorted_grams_intersect(probe_grams, grams[i])) {
+        expected.insert(static_cast<std::uint32_t>(i));
+      }
+    }
+    const auto got = sorted_ids(set);
+    EXPECT_EQ(std::vector<std::uint32_t>(expected.begin(), expected.end()), got)
+        << "probe " << q;
+  }
+}
+
+TEST(GramIndex, EmptyQueryGramsYieldNoCandidates) {
+  GramIndex index;
+  const auto grams = packed_sorted_grams(random_digest_chars(1, 32));
+  index.add(0, grams);
+  index.finalize();
+  CandidateSet set;
+  set.reset(1);
+  index.collect({}, set);  // a part shorter than the window packs no grams
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(packed_sorted_grams("abcdef").empty());  // 6 chars < window
+}
+
+TEST(GramIndex, ShortPartsAreNeverIndexed) {
+  GramIndex index;
+  index.add(0, packed_sorted_grams("abc"));  // empty gram array
+  index.add(1, packed_sorted_grams("ABCDEFGH"));
+  index.finalize();
+  CandidateSet set;
+  set.reset(2);
+  index.collect(packed_sorted_grams("ABCDEFGH"), set);
+  EXPECT_EQ(sorted_ids(set), (std::vector<std::uint32_t>{1}));
+}
+
+TEST(GramIndex, DuplicateGramsProduceOnePosting) {
+  // "abcabcabcabcabc..." repeats its 7-grams with period 3.
+  std::string repeated;
+  for (int i = 0; i < 10; ++i) repeated += "abc";
+  const auto grams = packed_sorted_grams(repeated);
+  GramIndex index;
+  index.add(7, grams);
+  index.finalize();
+  EXPECT_EQ(index.gram_count(), 3u);     // only 3 distinct 7-grams
+  EXPECT_EQ(index.posting_count(), 3u);  // one posting each, not 24
+
+  CandidateSet set;
+  set.reset(8);
+  index.collect(grams, set);  // duplicated query grams must not re-insert
+  EXPECT_EQ(sorted_ids(set), (std::vector<std::uint32_t>{7}));
+}
+
+TEST(GramIndex, LifecycleIsEnforced) {
+  GramIndex index;
+  const auto grams = packed_sorted_grams(random_digest_chars(2, 20));
+  CandidateSet set;
+  set.reset(1);
+  EXPECT_THROW(index.collect(grams, set), std::logic_error);
+  index.add(0, grams);
+  index.finalize();
+  EXPECT_THROW(index.add(1, grams), std::logic_error);
+  index.finalize();  // idempotent
+  EXPECT_NO_THROW(index.collect(grams, set));
+}
+
+TEST(GramIndex, EmptyIndexCollectsNothing) {
+  GramIndex index;
+  index.finalize();
+  EXPECT_EQ(index.gram_count(), 0u);
+  CandidateSet set;
+  set.reset(0);
+  index.collect(packed_sorted_grams(random_digest_chars(3, 40)), set);
+  EXPECT_TRUE(set.empty());
+}
+
+}  // namespace
+}  // namespace fhc::ssdeep

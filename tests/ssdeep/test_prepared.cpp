@@ -126,12 +126,23 @@ TEST(ComparePrepared, EquivalentOnEdgeDigests) {
   digests.push_back(FuzzyDigest{3, alt, alt.substr(0, kSpamsumLength / 2)});
   digests.push_back(FuzzyDigest{3u << 30, alt, alt.substr(0, 32)});
   digests.push_back(FuzzyDigest{3u << 29, alt.substr(16), alt});
+  // Overlong run-free part1 (hand-built only): must score 0 everywhere —
+  // including against an identical digest, where the == 100 fast path is
+  // excluded so that "shares a 7-gram" stays necessary for score > 0
+  // (the GramIndex invariant; overlong parts pack no grams).
+  digests.push_back(FuzzyDigest{6, alt + "0", alt.substr(0, 16)});
 
   for (std::size_t i = 0; i < digests.size(); ++i) {
     for (std::size_t j = i; j < digests.size(); ++j) {
       expect_equivalent(digests[i], digests[j]);
     }
   }
+  // Self-compare of the overlong digest: part1 is excluded from the
+  // == 100 fast path (and scores 0 as overlong); with no part2 the whole
+  // compare is 0 — identically in the raw and prepared paths.
+  const FuzzyDigest overlong{6, alt + "0", ""};
+  EXPECT_EQ(compare_digests(overlong, overlong), 0);
+  EXPECT_EQ(compare_prepared(PreparedDigest(overlong), PreparedDigest(overlong)), 0);
 }
 
 TEST(ComparePrepared, KnownScores) {

@@ -92,7 +92,10 @@ void handle_stats(const service::ClassificationService& svc, std::ostream& out) 
   out << "requests=" << s.requests << " completed=" << s.completed
       << " batches=" << s.batches << " scored=" << s.scored
       << " cache_hits=" << s.cache_hits << " dedup_hits=" << s.dedup_hits
-      << " cache_hit_rate=" << s.cache_hit_rate() << " reloads=" << s.reloads
+      << " cache_hit_rate=" << s.cache_hit_rate()
+      << " candidates_scored=" << s.candidates_scored
+      << " index_skipped=" << s.index_skipped
+      << " index_skip_rate=" << s.index_skip_rate() << " reloads=" << s.reloads
       << " largest_batch=" << s.largest_batch << " p50_ms=" << s.p50_ms
       << " p99_ms=" << s.p99_ms << " max_ms=" << s.max_ms << '\n';
 }

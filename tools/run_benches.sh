@@ -29,11 +29,14 @@ done
 
 # The perf trajectory tracks the prepared-digest path from PR 2 on: fail
 # loudly if the prepared-vs-raw compare pair or the feature-matrix bench
-# ever drop out of the ssdeep baseline.
+# ever drop out of the ssdeep baseline. PR 5 on: the GramIndex
+# candidate-driven fill must keep its pair against the prepared all-pairs
+# baseline (BM_FeatureRowIndexed vs BM_FeatureRowPrepared).
 for required in \
     BM_CompareUnrelatedDigests BM_ComparePreparedUnrelatedDigests \
     BM_CompareRelatedDigests BM_ComparePreparedRelatedDigests \
-    BM_PrepareDigest BM_FeatureRowPrepared BM_FeatureRowRawLoop; do
+    BM_PrepareDigest BM_FeatureRowPrepared BM_FeatureRowIndexed \
+    BM_FeatureRowRawLoop; do
   if ! grep -q "\"$required\"" BENCH_perf_ssdeep.json; then
     echo "error: BENCH_perf_ssdeep.json is missing $required" >&2
     exit 1
@@ -54,10 +57,13 @@ done
 # PR 4 on: the FlatForest block-inference sweep against the per-row
 # baseline and the text-vs-binary model load pair must stay in the
 # baselines (batched forest inference + zero-copy reload trajectory).
+# PR 5 on: the leaf-accumulate pair (scalar baseline vs the restructured
+# primitive) tracks the block walk's accumulation bound.
 for required in \
     BM_ForestFit/1024 BM_ForestFitSerial/1024 \
     BM_ForestPredictProba BM_ForestPredictBlock/1 BM_ForestPredictBlock/8 \
-    BM_ForestPredictBlock/64 BM_ModelLoadText BM_ModelLoadBinary; do
+    BM_ForestPredictBlock/64 BM_ModelLoadText BM_ModelLoadBinary \
+    BM_LeafAccumulateScalar BM_LeafAccumulate; do
   if ! grep -q "\"$required\"" BENCH_perf_forest.json; then
     echo "error: BENCH_perf_forest.json is missing $required" >&2
     exit 1
