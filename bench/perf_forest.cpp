@@ -3,16 +3,20 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstring>
+#include <map>
 #include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/classifier.hpp"
 #include "ml/class_weight.hpp"
 #include "ml/flat_forest.hpp"
 #include "ml/knn.hpp"
 #include "ml/linear_svm.hpp"
 #include "ml/random_forest.hpp"
+#include "support/synthetic_hashes.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -208,6 +212,77 @@ void BM_ModelLoadBinary(benchmark::State& state) {
                           static_cast<std::int64_t>(image.size()));
 }
 BENCHMARK(BM_ModelLoadBinary)->Unit(benchmark::kMillisecond);
+
+/// Whole-model reload pair at the paper's class count (K = 73): the v1
+/// blob — which re-prepares every reference digest and rebuilds the
+/// per-channel CSR gram indexes on load — against the v2 sectioned
+/// container, which checksums the mapped bytes and attaches the pools in
+/// place. per_class (the Arg) scales the reference corpus; the v1 cost
+/// grows with it while attach stays O(bytes) — the flatness across
+/// /12 vs /48 is the point of the pair.
+const core::FuzzyHashClassifier& bench_classifier(int per_class) {
+  static std::map<int, core::FuzzyHashClassifier> cache;
+  auto it = cache.find(per_class);
+  if (it == cache.end()) {
+    testsupport::SyntheticHashesParams params;
+    params.classes = 73;
+    params.per_class = per_class;
+    params.queries = 0;
+    const testsupport::SyntheticHashes data =
+        testsupport::make_synthetic_hashes(params);
+    std::vector<std::string> names;
+    for (int c = 0; c < params.classes; ++c) {
+      std::string name = std::to_string(c);
+      name.insert(name.begin(), 'C');
+      names.push_back(std::move(name));
+    }
+    core::ClassifierConfig config;
+    config.forest.n_estimators = 8;  // the pair measures index load, not forest
+    core::FuzzyHashClassifier clf;
+    clf.fit(data.train, data.labels, std::move(names), config);
+    it = cache.emplace(per_class, std::move(clf)).first;
+  }
+  return it->second;
+}
+
+std::vector<std::byte> model_image(int per_class, bool v2) {
+  std::ostringstream out(std::ios::binary);
+  if (v2) {
+    bench_classifier(per_class).save_binary(out);
+  } else {
+    bench_classifier(per_class).save_binary_v1(out);
+  }
+  const std::string image = out.str();
+  std::vector<std::byte> bytes(image.size());
+  std::memcpy(bytes.data(), image.data(), image.size());
+  return bytes;
+}
+
+void BM_ModelLoadBinaryV1(benchmark::State& state) {
+  const std::vector<std::byte> image =
+      model_image(static_cast<int>(state.range(0)), /*v2=*/false);
+  for (auto _ : state) {
+    core::FuzzyHashClassifier loaded;
+    loaded.load_binary({image.data(), image.size()}, nullptr);
+    benchmark::DoNotOptimize(loaded.row_width());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_ModelLoadBinaryV1)->Arg(12)->Arg(48)->Unit(benchmark::kMillisecond);
+
+void BM_ModelAttachV2(benchmark::State& state) {
+  const std::vector<std::byte> image =
+      model_image(static_cast<int>(state.range(0)), /*v2=*/true);
+  for (auto _ : state) {
+    core::FuzzyHashClassifier loaded;
+    loaded.load_binary({image.data(), image.size()}, nullptr);
+    benchmark::DoNotOptimize(loaded.row_width());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_ModelAttachV2)->Arg(12)->Arg(48)->Unit(benchmark::kMillisecond);
 
 void BM_KnnPredict(benchmark::State& state) {
   const Synthetic data = make_data(2688, 73, 219);

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -144,8 +145,9 @@ BENCHMARK(BM_HasCommonSubstring);
 struct FeatureBenchData {
   std::vector<core::FeatureHashes> train;
   std::vector<int> labels;
-  core::TrainIndex index;
+  std::unique_ptr<core::TrainIndex> owned_index;  // TrainIndex is immovable
   core::FeatureHashes query;
+  const core::TrainIndex& index() const { return *owned_index; }
 };
 
 // The paper's realistic shape: 73 classes x 12 training samples; per
@@ -191,7 +193,7 @@ const FeatureBenchData& feature_bench_data() {
     }
     std::vector<std::string> names;
     for (int c = 0; c < kClasses; ++c) names.push_back("class" + std::to_string(c));
-    core::TrainIndex index(train, labels, std::move(names));
+    auto index = std::make_unique<core::TrainIndex>(train, labels, std::move(names));
     // Held-out same-class query: a class-0 variant whose mutation window
     // none of the training variants used.
     core::FeatureHashes query = variant(0, 53123);
@@ -207,9 +209,9 @@ void BM_FeatureRowPrepared(benchmark::State& state) {
   // build, whole buckets skipped on blocksize — but every digest in a
   // pairable bucket still pays its merge-scan gate.
   const FeatureBenchData& data = feature_bench_data();
-  std::vector<float> row(static_cast<std::size_t>(3 * data.index.n_classes()));
+  std::vector<float> row(static_cast<std::size_t>(3 * data.index().n_classes()));
   for (auto _ : state) {
-    core::fill_feature_row_all_pairs(data.index, data.query,
+    core::fill_feature_row_all_pairs(data.index(), data.query,
                                      ssdeep::EditMetric::kDamerauOsa, -1, row);
     benchmark::DoNotOptimize(row.data());
   }
@@ -223,10 +225,10 @@ void BM_FeatureRowIndexed(benchmark::State& state) {
   // that share no 7-gram with the query are never touched, so the row
   // cost collapses to the probe plus the few genuine candidates' DP.
   const FeatureBenchData& data = feature_bench_data();
-  std::vector<float> row(static_cast<std::size_t>(3 * data.index.n_classes()));
+  std::vector<float> row(static_cast<std::size_t>(3 * data.index().n_classes()));
   core::RowFillStats stats;
   for (auto _ : state) {
-    core::fill_feature_row(data.index, data.query,
+    core::fill_feature_row(data.index(), data.query,
                            ssdeep::EditMetric::kDamerauOsa, -1, row,
                            core::kAllChannels, &stats);
     benchmark::DoNotOptimize(row.data());
@@ -246,7 +248,7 @@ void BM_FeatureRowRawLoop(benchmark::State& state) {
   // The pre-PreparedDigest behaviour: compare_digests against every raw
   // train digest, re-normalizing both sides per pair.
   const FeatureBenchData& data = feature_bench_data();
-  const int k = data.index.n_classes();
+  const int k = data.index().n_classes();
   std::vector<float> row(static_cast<std::size_t>(3 * k));
   for (auto _ : state) {
     for (int f = 0; f < 3; ++f) {
@@ -254,7 +256,7 @@ void BM_FeatureRowRawLoop(benchmark::State& state) {
       const ssdeep::FuzzyDigest& own = data.query.of(type);
       for (int c = 0; c < k; ++c) {
         int best = 0;
-        for (const ssdeep::FuzzyDigest& candidate : data.index.digests(type, c)) {
+        for (const ssdeep::FuzzyDigest& candidate : data.index().digests(type, c)) {
           const int score = ssdeep::compare_digests(own, candidate);
           if (score > best) {
             best = score;

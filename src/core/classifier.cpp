@@ -13,6 +13,7 @@
 
 #include "ml/class_weight.hpp"
 #include "util/model_map.hpp"
+#include "util/sectioned.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fhc::core {
@@ -166,9 +167,11 @@ const std::vector<std::string>& FuzzyHashClassifier::class_names() const {
 
 namespace {
 constexpr const char* kModelMagic = "fhc-fuzzy-hash-classifier-v1";
-// First 8 bytes of a binary model file; distinct from any text model
-// (those start with kModelMagic) so load_file can sniff the format.
-constexpr char kBinaryModelMagic[8] = {'F', 'H', 'C', 'M', 'D', 'L', 'B', '1'};
+
+bool starts_with_magic(std::span<const std::byte> bytes, std::string_view magic) {
+  return bytes.size() >= magic.size() &&
+         std::memcmp(bytes.data(), magic.data(), magic.size()) == 0;
+}
 
 }  // namespace
 
@@ -211,18 +214,26 @@ void FuzzyHashClassifier::save_preamble(std::ostream& out) const {
 
 namespace {
 
-/// Everything a model file carries besides the forest — shared between
-/// the text and binary loaders (the binary format embeds the same bytes).
-struct Preamble {
+/// The preamble's header: everything before the digest rows. The v2
+/// loader parses only this eagerly — the rows stay as mapped text until
+/// something actually needs raw digests (save, inspection).
+struct PreambleHeader {
   ClassifierConfig config;
   std::vector<std::string> names;
-  std::vector<FeatureHashes> hashes;
-  std::vector<int> labels;
   int k = 0;
+  std::size_t n_train = 0;
 };
 
-Preamble load_preamble(std::istream& in) {
-  Preamble out;
+/// Everything a model file carries besides the forest — shared between
+/// the text and binary loaders (the binary formats embed the same bytes).
+struct Preamble {
+  PreambleHeader header;
+  std::vector<FeatureHashes> hashes;
+  std::vector<int> labels;
+};
+
+PreambleHeader load_preamble_header(std::istream& in) {
+  PreambleHeader out;
   std::string tag;
   int metric = 0;
   int balanced = 0;
@@ -253,17 +264,21 @@ Preamble load_preamble(std::istream& in) {
     }
   }
 
-  std::size_t n_train = 0;
-  if (!(in >> tag >> n_train) || tag != "train" || n_train == 0) {
+  if (!(in >> tag >> out.n_train) || tag != "train" || out.n_train == 0) {
     throw std::runtime_error("FuzzyHashClassifier::load: bad train block");
   }
-  out.hashes.resize(n_train);
-  out.labels.resize(n_train);
+  return out;
+}
+
+std::pair<std::vector<FeatureHashes>, std::vector<int>> load_digest_rows(
+    std::istream& in, std::size_t n_train) {
+  std::vector<FeatureHashes> hashes(n_train);
+  std::vector<int> labels(n_train);
   for (std::size_t i = 0; i < n_train; ++i) {
     std::string file_text;
     std::string strings_text;
     std::string symbols_text;
-    if (!(in >> out.labels[i] >> file_text >> strings_text >> symbols_text)) {
+    if (!(in >> labels[i] >> file_text >> strings_text >> symbols_text)) {
       throw std::runtime_error("FuzzyHashClassifier::load: truncated digests");
     }
     const auto file = ssdeep::parse_digest(file_text);
@@ -272,12 +287,65 @@ Preamble load_preamble(std::istream& in) {
     if (!file || !strings || !symbols) {
       throw std::runtime_error("FuzzyHashClassifier::load: bad digest");
     }
-    out.hashes[i].file = *file;
-    out.hashes[i].strings = *strings;
-    out.hashes[i].symbols = *symbols;
-    out.hashes[i].has_symbols = !symbols->part1.empty();
+    hashes[i].file = *file;
+    hashes[i].strings = *strings;
+    hashes[i].symbols = *symbols;
+    hashes[i].has_symbols = !symbols->part1.empty();
   }
+  return {std::move(hashes), std::move(labels)};
+}
+
+Preamble load_preamble(std::istream& in) {
+  Preamble out;
+  out.header = load_preamble_header(in);
+  std::tie(out.hashes, out.labels) = load_digest_rows(in, out.header.n_train);
   return out;
+}
+
+/// Splits the preamble text at the end of its header (the newline closing
+/// the "train N" line) without parsing the digest rows: 4 config lines +
+/// the "classes K" line + K name lines + the train line. Returns the
+/// header byte count.
+std::size_t preamble_header_bytes(std::string_view text) {
+  std::size_t pos = 0;
+  int k = 0;
+  const auto next_line = [&]() -> std::string_view {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      throw std::runtime_error("FuzzyHashClassifier::load: truncated preamble");
+    }
+    const std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  };
+  for (int i = 0; i < 4; ++i) next_line();  // metric/threshold/balanced/channels
+  {
+    std::istringstream classes_line{std::string(next_line())};
+    std::string tag;
+    if (!(classes_line >> tag >> k) || tag != "classes" || k <= 0) {
+      throw std::runtime_error("FuzzyHashClassifier::load: bad class count");
+    }
+  }
+  for (int i = 0; i < k; ++i) next_line();  // class names
+  next_line();                              // "train N"
+  return pos;
+}
+
+}  // namespace
+
+namespace {
+
+/// predict builds rows of exactly kFeatureTypeCount * k floats; a forest
+/// claiming any other shape would read past them (its trees are only
+/// validated against its OWN n_features header).
+void check_forest_shape(const ml::RandomForest& forest, int k) {
+  if (forest.n_classes() != k) {
+    throw std::runtime_error("FuzzyHashClassifier::load: forest/class mismatch");
+  }
+  if (forest.n_features() != static_cast<std::size_t>(kFeatureTypeCount) *
+                                 static_cast<std::size_t>(k)) {
+    throw std::runtime_error("FuzzyHashClassifier::load: forest/row-width mismatch");
+  }
 }
 
 }  // namespace
@@ -289,29 +357,47 @@ void FuzzyHashClassifier::load(std::istream& in) {
   }
   Preamble preamble = load_preamble(in);
   forest_.load(in);
-  if (forest_.n_classes() != preamble.k) {
-    throw std::runtime_error("FuzzyHashClassifier::load: forest/class mismatch");
-  }
-  // predict builds rows of exactly kFeatureTypeCount * k floats; a forest
-  // claiming any other width would read past them (its trees are only
-  // validated against its OWN n_features header).
-  if (forest_.n_features() != static_cast<std::size_t>(kFeatureTypeCount) *
-                                  static_cast<std::size_t>(preamble.k)) {
-    throw std::runtime_error("FuzzyHashClassifier::load: forest/row-width mismatch");
-  }
+  check_forest_shape(forest_, preamble.header.k);
   // Rebuilding the index re-prepares every reference digest (normalized
   // parts + gram arrays) from the raw text loaded above.
   index_ = std::make_unique<TrainIndex>(preamble.hashes, preamble.labels,
-                                        std::move(preamble.names));
-  config_ = preamble.config;
+                                        std::move(preamble.header.names));
+  config_ = preamble.header.config;
+}
+
+void FuzzyHashClassifier::build_v2_sections(util::SectionedWriter& writer,
+                                            std::string& preamble,
+                                            std::string& forest) const {
+  std::ostringstream preamble_stream;
+  save_preamble(preamble_stream);
+  preamble = preamble_stream.str();
+  std::ostringstream forest_stream;
+  forest_.save_binary(forest_stream);
+  forest = forest_stream.str();
+  writer.add("preamble", std::as_bytes(std::span<const char>(preamble)));
+  index_->serialize(writer);
+  // The forest image carries its own 64-byte FHCFRST1 header, so inside a
+  // 64-byte-aligned section the SoA payload keeps its 8-byte alignment.
+  writer.add("forest", std::as_bytes(std::span<const char>(forest)));
 }
 
 void FuzzyHashClassifier::save_binary(std::ostream& out) const {
   if (!fitted()) throw std::logic_error("save: not fitted");
+  util::SectionedWriter writer(kBinaryModelMagicV2);
+  std::string preamble;
+  std::string forest;
+  build_v2_sections(writer, preamble, forest);
+  writer.write_to(out);
+  if (!out) throw std::runtime_error("save_binary: write failed");
+}
+
+void FuzzyHashClassifier::save_binary_v1(std::ostream& out) const {
+  if (!fitted()) throw std::logic_error("save: not fitted");
   std::ostringstream preamble_stream;
   save_preamble(preamble_stream);
   const std::string preamble = preamble_stream.str();
-  out.write(kBinaryModelMagic, sizeof kBinaryModelMagic);
+  out.write(kBinaryModelMagicV1.data(),
+            static_cast<std::streamsize>(kBinaryModelMagicV1.size()));
   const std::uint64_t preamble_size = preamble.size();
   out.write(reinterpret_cast<const char*>(&preamble_size), sizeof preamble_size);
   out.write(preamble.data(), static_cast<std::streamsize>(preamble.size()));
@@ -322,19 +408,27 @@ void FuzzyHashClassifier::save_binary(std::ostream& out) const {
   out.write(kZeros, static_cast<std::streamsize>(
                 ml::FlatForest::align8(written) - written));
   forest_.save_binary(out);
-  if (!out) throw std::runtime_error("save_binary: write failed");
+  if (!out) throw std::runtime_error("save_binary_v1: write failed");
 }
 
 bool FuzzyHashClassifier::is_binary_model(std::span<const std::byte> bytes) {
-  return bytes.size() >= sizeof kBinaryModelMagic &&
-         std::memcmp(bytes.data(), kBinaryModelMagic, sizeof kBinaryModelMagic) == 0;
+  return starts_with_magic(bytes, kBinaryModelMagicV1) ||
+         starts_with_magic(bytes, kBinaryModelMagicV2);
 }
 
 void FuzzyHashClassifier::load_binary(std::span<const std::byte> bytes,
                                       std::shared_ptr<const void> keepalive) {
-  if (!is_binary_model(bytes)) {
+  if (starts_with_magic(bytes, kBinaryModelMagicV2)) {
+    load_binary_v2(bytes, std::move(keepalive));
+  } else if (starts_with_magic(bytes, kBinaryModelMagicV1)) {
+    load_binary_v1(bytes, std::move(keepalive));
+  } else {
     throw std::runtime_error("FuzzyHashClassifier::load_binary: bad magic");
   }
+}
+
+void FuzzyHashClassifier::load_binary_v1(std::span<const std::byte> bytes,
+                                         std::shared_ptr<const void> keepalive) {
   std::uint64_t preamble_size = 0;
   if (bytes.size() < 16) {
     throw std::runtime_error("FuzzyHashClassifier::load_binary: truncated header");
@@ -354,17 +448,46 @@ void FuzzyHashClassifier::load_binary(std::span<const std::byte> bytes,
     throw std::runtime_error("FuzzyHashClassifier::load_binary: truncated model");
   }
   forest_.load_binary(bytes.subspan(forest_offset), std::move(keepalive));
-  if (forest_.n_classes() != preamble.k) {
-    throw std::runtime_error("FuzzyHashClassifier::load_binary: forest/class mismatch");
-  }
-  if (forest_.n_features() != static_cast<std::size_t>(kFeatureTypeCount) *
-                                  static_cast<std::size_t>(preamble.k)) {
-    throw std::runtime_error(
-        "FuzzyHashClassifier::load_binary: forest/row-width mismatch");
-  }
+  check_forest_shape(forest_, preamble.header.k);
+  // v1 carries no prepared pools: rebuild the index (re-preparing every
+  // digest) from the preamble text, exactly like the text loader.
   index_ = std::make_unique<TrainIndex>(preamble.hashes, preamble.labels,
-                                        std::move(preamble.names));
-  config_ = preamble.config;
+                                        std::move(preamble.header.names));
+  config_ = preamble.header.config;
+}
+
+void FuzzyHashClassifier::load_binary_v2(std::span<const std::byte> bytes,
+                                         std::shared_ptr<const void> keepalive) {
+  const util::SectionedView container =
+      util::SectionedView::attach(bytes, kBinaryModelMagicV2);
+  // One streaming pass over the payload bytes — the only O(model-size)
+  // work on this path, and still orders of magnitude cheaper than
+  // re-preparing digests or rebuilding CSR indexes.
+  container.verify_checksums();
+
+  const std::span<const std::byte> preamble_bytes = container.section("preamble");
+  const std::string_view preamble_text(
+      reinterpret_cast<const char*>(preamble_bytes.data()), preamble_bytes.size());
+  const std::size_t header_bytes = preamble_header_bytes(preamble_text);
+  std::istringstream header_stream{
+      std::string(preamble_text.substr(0, header_bytes))};
+  PreambleHeader header = load_preamble_header(header_stream);
+
+  forest_.load_binary(container.section("forest"), keepalive);
+  check_forest_shape(forest_, header.k);
+
+  // The digest rows stay as mapped text; the loader below parses them
+  // only if something asks for raw digests (save, inspection). The
+  // keepalive copy in the lambda pins the mapping for the view's sake.
+  const std::string_view rows_text = preamble_text.substr(header_bytes);
+  const std::size_t n_train = header.n_train;
+  TrainIndex::RawDigestLoader raw_loader = [rows_text, n_train, keepalive]() {
+    std::istringstream rows_stream{std::string(rows_text)};
+    return load_digest_rows(rows_stream, n_train);
+  };
+  index_ = TrainIndex::attach(container, std::move(header.names), header.n_train,
+                              std::move(raw_loader), keepalive);
+  config_ = header.config;
 }
 
 void FuzzyHashClassifier::save_file(const std::string& path) const {
@@ -376,28 +499,15 @@ void FuzzyHashClassifier::save_file(const std::string& path) const {
 
 void FuzzyHashClassifier::save_binary_file(const std::string& path) const {
   // Binary models get mmap'd by resident daemons; truncating the live
-  // inode in place would SIGBUS any process still mapping it. Write a
-  // sibling temp file and rename over the target — readers keep their old
-  // mapping, new loads see the new model.
-  const std::string tmp = path + ".tmp";
-  try {
-    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
-    if (!out) throw std::runtime_error("save_binary_file: cannot open " + tmp);
-    save_binary(out);
-    if (!out) throw std::runtime_error("save_binary_file: write failed for " + tmp);
-  } catch (...) {
-    // A failed write (e.g. disk full) must not strand a partial .tmp
-    // beside the model.
-    std::error_code ignored;
-    std::filesystem::remove(tmp, ignored);
-    throw;
-  }
-  std::error_code error;
-  std::filesystem::rename(tmp, path, error);
-  if (error) {
-    std::filesystem::remove(tmp, error);
-    throw std::runtime_error("save_binary_file: cannot replace " + path);
-  }
+  // inode in place would SIGBUS any process still mapping it, and a crash
+  // mid-rewrite must never leave a torn model at `path`. write_file
+  // handles both: sibling temp file, fsync, rename, directory fsync.
+  if (!fitted()) throw std::logic_error("save: not fitted");
+  util::SectionedWriter writer(kBinaryModelMagicV2);
+  std::string preamble;
+  std::string forest;
+  build_v2_sections(writer, preamble, forest);
+  writer.write_file(path);
 }
 
 FuzzyHashClassifier FuzzyHashClassifier::load_file(const std::string& path) {
@@ -406,11 +516,11 @@ FuzzyHashClassifier FuzzyHashClassifier::load_file(const std::string& path) {
   // in-memory copy of the file).
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_file: cannot open " + path);
-  char head[sizeof kBinaryModelMagic] = {};
-  in.read(head, sizeof head);
+  std::array<std::byte, 8> head{};
+  in.read(reinterpret_cast<char*>(head.data()), head.size());
   FuzzyHashClassifier clf;
-  if (in.gcount() == sizeof head &&
-      std::memcmp(head, kBinaryModelMagic, sizeof head) == 0) {
+  if (in.gcount() == static_cast<std::streamsize>(head.size()) &&
+      is_binary_model(head)) {
     in.close();
     auto map = std::make_shared<util::ModelMap>(path);
     clf.load_binary(map->bytes(), map);

@@ -21,6 +21,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/feature_matrix.hpp"
@@ -29,7 +30,19 @@
 #include "ml/random_forest.hpp"
 #include "ssdeep/compare.hpp"
 
+namespace fhc::util {
+class SectionedWriter;
+}  // namespace fhc::util
+
 namespace fhc::core {
+
+/// First 8 bytes of a binary model file; distinct from any text model
+/// (those start with the text magic line) so load_file can sniff the
+/// format. v1 is the legacy monolithic blob (preamble + forest image;
+/// loading rebuilds the TrainIndex), v2 the sectioned container
+/// (util::SectionedView) whose TrainIndex pools attach zero-copy.
+inline constexpr std::string_view kBinaryModelMagicV1 = "FHCMDLB1";
+inline constexpr std::string_view kBinaryModelMagicV2 = "FHCMDLB2";
 
 struct ClassifierConfig {
   ml::ForestParams forest;
@@ -112,22 +125,36 @@ class FuzzyHashClassifier {
   void load(std::istream& in);
   void save_file(const std::string& path) const;
 
-  /// Binary model format: an 8-byte magic, the text preamble (config,
-  /// class names, reference digests — identical bytes to the text
-  /// format's midsection) as one length-prefixed block, then the forest's
-  /// binary SoA image. save_binary -> load_binary -> save_binary
-  /// round-trips byte-identically, and loading parses no forest text.
+  /// Binary model format v2 ("FHCMDLB2"): a util::SectionedWriter
+  /// container holding the text preamble (config, class names, reference
+  /// digests — identical bytes to the text format's midsection), the
+  /// TrainIndex's prepared-digest pools and CSR gram indexes
+  /// (TrainIndex::serialize), and the forest's binary SoA image — every
+  /// section 64-byte aligned and checksummed. save_binary -> load_binary
+  /// -> save_binary round-trips byte-identically, and loading prepares no
+  /// digest and builds no index: everything attaches in place.
   void save_binary(std::ostream& out) const;
+
+  /// save_binary to `path` with the crash discipline a daemon mmap'ing
+  /// the model needs: sibling temp file, fsync, rename, directory fsync
+  /// (util::SectionedWriter::write_file).
   void save_binary_file(const std::string& path) const;
 
-  /// Loads the binary format from `bytes` without copying the forest
-  /// sections — the compiled plan references them in place. `keepalive`
+  /// The legacy v1 writer ("FHCMDLB1": magic, length-prefixed preamble,
+  /// forest image) — kept so the version-sniffing loader and the
+  /// attach-vs-rebuild bench have a v1 producer.
+  void save_binary_v1(std::ostream& out) const;
+
+  /// Loads either binary format from `bytes` without copying the forest
+  /// sections — the compiled plan references them in place; a v2
+  /// container additionally attaches the TrainIndex pools zero-copy
+  /// (v1 rebuilds the index from the preamble digests). `keepalive`
   /// (e.g. the util::ModelMap the bytes come from) is retained for the
   /// model's lifetime; pass nullptr only when `bytes` outlives the model.
   void load_binary(std::span<const std::byte> bytes,
                    std::shared_ptr<const void> keepalive);
 
-  /// True when `bytes` starts with the binary model magic.
+  /// True when `bytes` starts with either binary model magic.
   static bool is_binary_model(std::span<const std::byte> bytes);
 
   /// Loads either format: sniffs the magic, mmaps binary models
@@ -137,6 +164,15 @@ class FuzzyHashClassifier {
 
  private:
   void save_preamble(std::ostream& out) const;
+  /// Fills `preamble`/`forest` and adds every v2 section to `writer`
+  /// (referencing the two strings and the live index pools — all must
+  /// outlive the final write).
+  void build_v2_sections(util::SectionedWriter& writer, std::string& preamble,
+                         std::string& forest) const;
+  void load_binary_v1(std::span<const std::byte> bytes,
+                      std::shared_ptr<const void> keepalive);
+  void load_binary_v2(std::span<const std::byte> bytes,
+                      std::shared_ptr<const void> keepalive);
   Prediction prediction_from_proba(std::vector<double> proba) const;
 
   std::unique_ptr<TrainIndex> index_;

@@ -7,6 +7,38 @@
 
 namespace fhc::core {
 
+namespace {
+
+[[noreturn]] void bad_index(const std::string& what) {
+  throw std::runtime_error("TrainIndex: " + what);
+}
+
+/// Structural validation of one CSR index against the pools it was carved
+/// from: monotonic offsets bracketing the posting array, strictly
+/// ascending keys, postings addressing real entries. Runs on both the
+/// owned and attach paths (linear, memory-bandwidth cheap) so a corrupt
+/// or adversarial model can never index out of bounds.
+void validate_csr(std::span<const std::uint64_t> keys,
+                  std::span<const std::uint32_t> offsets,
+                  std::span<const std::uint32_t> postings, std::size_t universe) {
+  if (offsets.size() != keys.size() + 1) bad_index("CSR offsets size");
+  if (offsets.front() != 0 ||
+      offsets.back() != static_cast<std::uint32_t>(postings.size())) {
+    bad_index("CSR offsets bracket");
+  }
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) bad_index("CSR offsets not monotonic");
+  }
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i - 1] >= keys[i]) bad_index("CSR keys not strictly ascending");
+  }
+  for (const std::uint32_t p : postings) {
+    if (p >= universe) bad_index("CSR posting out of range");
+  }
+}
+
+}  // namespace
+
 TrainIndex::TrainIndex(const std::vector<FeatureHashes>& train_hashes,
                        const std::vector<int>& labels,
                        std::vector<std::string> class_names)
@@ -15,13 +47,23 @@ TrainIndex::TrainIndex(const std::vector<FeatureHashes>& train_hashes,
     throw std::invalid_argument("TrainIndex: size mismatch");
   }
   const int k = n_classes();
+  const auto cells = static_cast<std::size_t>(kFeatureTypeCount) *
+                     static_cast<std::size_t>(k);
+  train_sample_count_ = train_hashes.size();
+
+  // Pass 1: prepare every digest once (run-normalized parts + presorted
+  // gram arrays) into temporary per-(channel, class, blocksize) buckets,
+  // and fill the eager raw-digest view.
+  struct TempBucket {
+    std::uint32_t blocksize = 0;
+    std::vector<ssdeep::PreparedDigest> digests;
+    std::vector<std::int32_t> ids;
+  };
+  std::vector<std::vector<TempBucket>> temp(cells);
+  std::vector<std::vector<std::int32_t>> per_class_ids(static_cast<std::size_t>(k));
   digests_.assign(kFeatureTypeCount,
                   std::vector<std::vector<ssdeep::FuzzyDigest>>(
                       static_cast<std::size_t>(k)));
-  prepared_.assign(kFeatureTypeCount, std::vector<std::vector<PreparedBucket>>(
-                                          static_cast<std::size_t>(k)));
-  ids_.assign(static_cast<std::size_t>(k), {});
-  train_sample_count_ = train_hashes.size();
 
   for (std::size_t i = 0; i < train_hashes.size(); ++i) {
     const int label = labels[i];
@@ -36,69 +78,314 @@ TrainIndex::TrainIndex(const std::vector<FeatureHashes>& train_hashes,
 
       // Normalize once here, into the bucket of this blocksize (at most
       // kNumBlockhashes buckets per cell — a linear scan stays cheap).
-      auto& buckets = prepared_[static_cast<std::size_t>(f)][c];
+      auto& buckets = temp[static_cast<std::size_t>(f) * static_cast<std::size_t>(k) + c];
       auto it = std::find_if(buckets.begin(), buckets.end(),
-                             [&](const PreparedBucket& bucket) {
+                             [&](const TempBucket& bucket) {
                                return bucket.blocksize == digest.blocksize;
                              });
       if (it == buckets.end()) {
-        buckets.push_back(PreparedBucket{digest.blocksize, {}, {}});
+        buckets.push_back(TempBucket{digest.blocksize, {}, {}});
         it = buckets.end() - 1;
       }
       it->digests.emplace_back(digest);
-      it->ids.push_back(static_cast<int>(i));
+      it->ids.push_back(static_cast<std::int32_t>(i));
     }
-    ids_[c].push_back(static_cast<int>(i));
+    per_class_ids[c].push_back(static_cast<std::int32_t>(i));
   }
 
-  // Second pass: invert the prepared buckets into the per-channel 7-gram
-  // candidate index. Entry ids are handed out in (cls, bucket, pos)
-  // iteration order — the property a sorted candidate list's class
-  // grouping relies on.
-  gram_index_.resize(kFeatureTypeCount);
+  // Pass 2: flatten the buckets into the canonical pools — exactly the
+  // byte layout serialize() emits, so the same spans serve both the live
+  // index and the writer, and save -> attach -> save is byte-stable.
+  cell_bucket_counts_store_.reserve(cells);
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    cell_bucket_counts_store_.push_back(
+        static_cast<std::uint32_t>(temp[cell].size()));
+    for (const TempBucket& bucket : temp[cell]) {
+      bucket_meta_store_.push_back(
+          BucketMeta{bucket.blocksize, static_cast<std::uint32_t>(bucket.digests.size())});
+      for (std::size_t p = 0; p < bucket.digests.size(); ++p) {
+        const ssdeep::PreparedDigest& digest = bucket.digests[p];
+        PreparedRec rec;
+        rec.t1_off = text_store_.size();
+        rec.t1_len = static_cast<std::uint32_t>(digest.part1().text.size());
+        text_store_.insert(text_store_.end(), digest.part1().text.begin(),
+                           digest.part1().text.end());
+        rec.g1_off = gram_store_.size();
+        rec.g1_len = static_cast<std::uint32_t>(digest.part1().grams.size());
+        gram_store_.insert(gram_store_.end(), digest.part1().grams.begin(),
+                           digest.part1().grams.end());
+        rec.t2_off = text_store_.size();
+        rec.t2_len = static_cast<std::uint32_t>(digest.part2().text.size());
+        text_store_.insert(text_store_.end(), digest.part2().text.begin(),
+                           digest.part2().text.end());
+        rec.g2_off = gram_store_.size();
+        rec.g2_len = static_cast<std::uint32_t>(digest.part2().grams.size());
+        gram_store_.insert(gram_store_.end(), digest.part2().grams.begin(),
+                           digest.part2().grams.end());
+        recs_store_.push_back(rec);
+        bucket_ids_store_.push_back(bucket.ids[p]);
+      }
+    }
+  }
+  for (const auto& ids : per_class_ids) {
+    class_ids_store_.insert(class_ids_store_.end(), ids.begin(), ids.end());
+  }
+
+  // Pass 3: invert each channel's buckets into the 7-gram candidate
+  // index. Entry ids are handed out in (cls, bucket, pos) iteration
+  // order — the property a sorted candidate list's class grouping relies
+  // on — and the sealed CSR arrays are flattened into the pools in
+  // directory order (blocksizes by first occurrence, part1 then part2).
   for (int f = 0; f < kFeatureTypeCount; ++f) {
-    ChannelGramIndex& channel = gram_index_[static_cast<std::size_t>(f)];
+    struct Builder {
+      std::uint32_t blocksize = 0;
+      ssdeep::GramIndex part1;
+      ssdeep::GramIndex part2;
+    };
+    std::vector<Builder> builders;
+    std::uint32_t entry_count = 0;
     for (int c = 0; c < k; ++c) {
-      const auto& buckets = prepared_[static_cast<std::size_t>(f)][static_cast<std::size_t>(c)];
-      for (std::size_t b = 0; b < buckets.size(); ++b) {
-        const PreparedBucket& bucket = buckets[b];
-        auto bs_it = std::find_if(
-            channel.by_blocksize.begin(), channel.by_blocksize.end(),
-            [&](const ChannelGramIndex::BlocksizeIndex& bsi) {
-              return bsi.blocksize == bucket.blocksize;
-            });
-        if (bs_it == channel.by_blocksize.end()) {
-          channel.by_blocksize.push_back({bucket.blocksize, {}, {}});
-          bs_it = channel.by_blocksize.end() - 1;
+      const auto cell = static_cast<std::size_t>(f) * static_cast<std::size_t>(k) +
+                        static_cast<std::size_t>(c);
+      for (std::size_t b = 0; b < temp[cell].size(); ++b) {
+        const TempBucket& bucket = temp[cell][b];
+        auto bs_it = std::find_if(builders.begin(), builders.end(),
+                                  [&](const Builder& builder) {
+                                    return builder.blocksize == bucket.blocksize;
+                                  });
+        if (bs_it == builders.end()) {
+          builders.push_back(Builder{bucket.blocksize, {}, {}});
+          bs_it = builders.end() - 1;
         }
         for (std::size_t p = 0; p < bucket.digests.size(); ++p) {
-          const auto entry = static_cast<std::uint32_t>(channel.entries.size());
-          channel.entries.push_back(GramEntry{c, static_cast<std::int32_t>(b),
-                                              static_cast<std::int32_t>(p)});
+          const std::uint32_t entry = entry_count++;
+          entries_store_.push_back(GramEntry{c, static_cast<std::int32_t>(b),
+                                             static_cast<std::int32_t>(p)});
           bs_it->part1.add(entry, bucket.digests[p].part1().grams);
           bs_it->part2.add(entry, bucket.digests[p].part2().grams);
         }
       }
     }
-    for (ChannelGramIndex::BlocksizeIndex& bsi : channel.by_blocksize) {
-      bsi.part1.finalize();
-      bsi.part2.finalize();
+    meta_.entry_counts[static_cast<std::size_t>(f)] = entry_count;
+    meta_.dir_counts[static_cast<std::size_t>(f)] =
+        static_cast<std::uint32_t>(builders.size());
+    for (Builder& builder : builders) {
+      builder.part1.finalize();
+      builder.part2.finalize();
+      const ssdeep::GramIndexView v1 = builder.part1.view();
+      const ssdeep::GramIndexView v2 = builder.part2.view();
+      gram_dir_store_.push_back(GramDirEntry{
+          builder.blocksize, static_cast<std::uint32_t>(v1.gram_count()),
+          static_cast<std::uint32_t>(v2.gram_count()),
+          static_cast<std::uint32_t>(v1.posting_count()),
+          static_cast<std::uint32_t>(v2.posting_count())});
+      for (const ssdeep::GramIndexView& v : {v1, v2}) {
+        gram_keys_store_.insert(gram_keys_store_.end(), v.keys().begin(),
+                                v.keys().end());
+        gram_offsets_store_.insert(gram_offsets_store_.end(), v.offsets().begin(),
+                                   v.offsets().end());
+        gram_postings_store_.insert(gram_postings_store_.end(),
+                                    v.postings().begin(), v.postings().end());
+      }
+    }
+  }
+
+  meta_.n_classes = static_cast<std::uint32_t>(k);
+  meta_.train_count = train_sample_count_;
+
+  cell_bucket_counts_ = cell_bucket_counts_store_;
+  bucket_meta_ = bucket_meta_store_;
+  recs_ = recs_store_;
+  text_pool_ = text_store_;
+  gram_pool_ = gram_store_;
+  bucket_ids_ = bucket_ids_store_;
+  class_ids_ = class_ids_store_;
+  entries_ = entries_store_;
+  gram_dir_ = gram_dir_store_;
+  gram_keys_ = gram_keys_store_;
+  gram_offsets_ = gram_offsets_store_;
+  gram_postings_ = gram_postings_store_;
+  wire();
+}
+
+void TrainIndex::wire() {
+  const int k = n_classes();
+  if (k <= 0) bad_index("no classes");
+  const auto cells = static_cast<std::size_t>(kFeatureTypeCount) *
+                     static_cast<std::size_t>(k);
+  if (meta_.n_classes != static_cast<std::uint32_t>(k)) bad_index("meta class count");
+  if (meta_.train_count != train_sample_count_) bad_index("meta train count");
+  if (cell_bucket_counts_.size() != cells) bad_index("cell table size");
+  if (bucket_ids_.size() != recs_.size()) bad_index("bucket id pool size");
+
+  // Buckets: carve each cell's recs/ids out of the pools in table order.
+  std::size_t total_buckets = 0;
+  for (const std::uint32_t n : cell_bucket_counts_) total_buckets += n;
+  if (bucket_meta_.size() != total_buckets) bad_index("bucket table size");
+  buckets_.clear();
+  buckets_.reserve(total_buckets);
+  cell_offsets_.assign(cells + 1, 0);
+  std::size_t rec_at = 0;
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    cell_offsets_[cell] = buckets_.size();
+    for (std::uint32_t b = 0; b < cell_bucket_counts_[cell]; ++b) {
+      const BucketMeta& meta = bucket_meta_[buckets_.size()];
+      if (meta.count > recs_.size() - rec_at) bad_index("bucket overruns rec pool");
+      buckets_.push_back(PreparedBucket{meta.blocksize,
+                                        recs_.subspan(rec_at, meta.count),
+                                        bucket_ids_.subspan(rec_at, meta.count)});
+      rec_at += meta.count;
+    }
+  }
+  cell_offsets_[cells] = buckets_.size();
+  if (rec_at != recs_.size()) bad_index("rec pool size");
+
+  // Every record's text/gram slices must land inside the pools — after
+  // this loop view_of() is branch-free by construction.
+  for (const PreparedRec& rec : recs_) {
+    if (rec.t1_off > text_pool_.size() || rec.t1_len > text_pool_.size() - rec.t1_off ||
+        rec.t2_off > text_pool_.size() || rec.t2_len > text_pool_.size() - rec.t2_off) {
+      bad_index("record text slice out of range");
+    }
+    if (rec.g1_off > gram_pool_.size() || rec.g1_len > gram_pool_.size() - rec.g1_off ||
+        rec.g2_off > gram_pool_.size() || rec.g2_len > gram_pool_.size() - rec.g2_off) {
+      bad_index("record gram slice out of range");
+    }
+  }
+  for (const std::int32_t id : bucket_ids_) {
+    if (id < 0 || static_cast<std::size_t>(id) >= train_sample_count_) {
+      bad_index("bucket train id out of range");
+    }
+  }
+
+  // Per-channel digest counts: each training sample contributes exactly
+  // one digest per channel.
+  for (int f = 0; f < kFeatureTypeCount; ++f) {
+    std::size_t channel_digests = 0;
+    for (std::size_t cell = static_cast<std::size_t>(f) * static_cast<std::size_t>(k);
+         cell < static_cast<std::size_t>(f + 1) * static_cast<std::size_t>(k); ++cell) {
+      for (std::size_t b = cell_offsets_[cell]; b < cell_offsets_[cell + 1]; ++b) {
+        channel_digests += buckets_[b].recs.size();
+      }
+    }
+    if (channel_digests != train_sample_count_ ||
+        meta_.entry_counts[static_cast<std::size_t>(f)] != channel_digests) {
+      bad_index("channel digest count");
+    }
+  }
+
+  // Class id table: class c owns as many ids as channel 0 holds digests
+  // for it.
+  if (class_ids_.size() != train_sample_count_) bad_index("class id pool size");
+  class_id_offsets_.assign(static_cast<std::size_t>(k) + 1, 0);
+  std::size_t id_at = 0;
+  for (int c = 0; c < k; ++c) {
+    class_id_offsets_[static_cast<std::size_t>(c)] = id_at;
+    const auto cell = static_cast<std::size_t>(c);
+    for (std::size_t b = cell_offsets_[cell]; b < cell_offsets_[cell + 1]; ++b) {
+      id_at += buckets_[b].recs.size();
+    }
+  }
+  class_id_offsets_[static_cast<std::size_t>(k)] = id_at;
+  if (id_at != class_ids_.size()) bad_index("class id partition");
+  for (const std::int32_t id : class_ids_) {
+    if (id < 0 || static_cast<std::size_t>(id) >= train_sample_count_) {
+      bad_index("class train id out of range");
+    }
+  }
+
+  // Channel gram indexes: carve each directory entry's CSR arrays from
+  // the pools cumulatively and validate their internal shape.
+  gram_index_.assign(kFeatureTypeCount, ChannelGramIndex{});
+  std::size_t entry_at = 0;
+  std::size_t dir_at = 0;
+  std::size_t key_at = 0;
+  std::size_t off_at = 0;
+  std::size_t post_at = 0;
+  for (int f = 0; f < kFeatureTypeCount; ++f) {
+    ChannelGramIndex& channel = gram_index_[static_cast<std::size_t>(f)];
+    const std::uint32_t n_entries = meta_.entry_counts[static_cast<std::size_t>(f)];
+    if (n_entries > entries_.size() - entry_at) bad_index("entry pool size");
+    channel.entries = entries_.subspan(entry_at, n_entries);
+    entry_at += n_entries;
+
+    const std::uint32_t n_dir = meta_.dir_counts[static_cast<std::size_t>(f)];
+    if (n_dir > gram_dir_.size() - dir_at) bad_index("gram directory size");
+    channel.by_blocksize.reserve(n_dir);
+    for (std::uint32_t d = 0; d < n_dir; ++d) {
+      const GramDirEntry& dir = gram_dir_[dir_at + d];
+      ChannelGramIndex::BlocksizeIndex bsi;
+      bsi.blocksize = dir.blocksize;
+      const auto carve = [&](std::uint32_t n_keys, std::uint32_t n_postings) {
+        if (n_keys > gram_keys_.size() - key_at ||
+            gram_offsets_.size() - off_at < std::size_t{n_keys} + 1 ||
+            n_postings > gram_postings_.size() - post_at) {
+          bad_index("CSR overruns gram pools");
+        }
+        const ssdeep::GramIndexView view(
+            gram_keys_.subspan(key_at, n_keys),
+            gram_offsets_.subspan(off_at, std::size_t{n_keys} + 1),
+            gram_postings_.subspan(post_at, n_postings));
+        key_at += n_keys;
+        off_at += std::size_t{n_keys} + 1;
+        post_at += n_postings;
+        validate_csr(view.keys(), view.offsets(), view.postings(), n_entries);
+        return view;
+      };
+      bsi.part1 = carve(dir.p1_keys, dir.p1_postings);
+      bsi.part2 = carve(dir.p2_keys, dir.p2_postings);
+      channel.by_blocksize.push_back(bsi);
+    }
+    dir_at += n_dir;
+  }
+  if (entry_at != entries_.size() || dir_at != gram_dir_.size() ||
+      key_at != gram_keys_.size() || off_at != gram_offsets_.size() ||
+      post_at != gram_postings_.size()) {
+    bad_index("gram pool sizes");
+  }
+
+  // Every gram entry must address a real (cell, bucket, pos) digest.
+  for (int f = 0; f < kFeatureTypeCount; ++f) {
+    for (const GramEntry& entry : gram_index_[static_cast<std::size_t>(f)].entries) {
+      if (entry.cls < 0 || entry.cls >= k || entry.bucket < 0 || entry.pos < 0) {
+        bad_index("gram entry out of range");
+      }
+      const auto cell = static_cast<std::size_t>(f) * static_cast<std::size_t>(k) +
+                        static_cast<std::size_t>(entry.cls);
+      const std::size_t n_buckets = cell_offsets_[cell + 1] - cell_offsets_[cell];
+      if (static_cast<std::size_t>(entry.bucket) >= n_buckets) {
+        bad_index("gram entry bucket out of range");
+      }
+      const PreparedBucket& bucket =
+          buckets_[cell_offsets_[cell] + static_cast<std::size_t>(entry.bucket)];
+      if (static_cast<std::size_t>(entry.pos) >= bucket.recs.size()) {
+        bad_index("gram entry position out of range");
+      }
     }
   }
 }
 
 const std::vector<ssdeep::FuzzyDigest>& TrainIndex::digests(FeatureType f,
                                                             int c) const {
+  materialize_raw();
   return digests_.at(static_cast<std::size_t>(f)).at(static_cast<std::size_t>(c));
 }
 
-const std::vector<TrainIndex::PreparedBucket>& TrainIndex::prepared(FeatureType f,
-                                                                    int c) const {
-  return prepared_.at(static_cast<std::size_t>(f)).at(static_cast<std::size_t>(c));
+std::span<const TrainIndex::PreparedBucket> TrainIndex::prepared(FeatureType f,
+                                                                 int c) const {
+  if (c < 0 || c >= n_classes()) throw std::out_of_range("TrainIndex::prepared");
+  const auto cell = static_cast<std::size_t>(f) *
+                        static_cast<std::size_t>(n_classes()) +
+                    static_cast<std::size_t>(c);
+  return std::span<const PreparedBucket>(buckets_).subspan(
+      cell_offsets_[cell], cell_offsets_[cell + 1] - cell_offsets_[cell]);
 }
 
-const std::vector<int>& TrainIndex::train_ids(int c) const {
-  return ids_.at(static_cast<std::size_t>(c));
+std::span<const std::int32_t> TrainIndex::train_ids(int c) const {
+  if (c < 0 || c >= n_classes()) throw std::out_of_range("TrainIndex::train_ids");
+  const auto i = static_cast<std::size_t>(c);
+  return class_ids_.subspan(class_id_offsets_[i],
+                            class_id_offsets_[i + 1] - class_id_offsets_[i]);
 }
 
 const TrainIndex::ChannelGramIndex& TrainIndex::gram_index(FeatureType f) const {
@@ -148,7 +435,7 @@ std::uint64_t pairable_digests(const TrainIndex& index, FeatureType type,
   for (int c = class_begin; c < class_end; ++c) {
     for (const TrainIndex::PreparedBucket& bucket : index.prepared(type, c)) {
       if (ssdeep::blocksizes_can_pair(own_blocksize, bucket.blocksize)) {
-        total += bucket.digests.size();
+        total += bucket.recs.size();
       }
     }
   }
@@ -230,6 +517,7 @@ void fill_feature_row_slice(const TrainIndex& index, const PreparedQuery& query,
     }
     if (!channels[static_cast<std::size_t>(f)]) continue;
     const ssdeep::PreparedDigest& own = query.channels[static_cast<std::size_t>(f)];
+    const ssdeep::PreparedDigestView own_view = own.view();
     const auto type = static_cast<FeatureType>(f);
     const TrainIndex::ChannelGramIndex& grams = index.gram_index(type);
     const std::vector<std::uint32_t>& hits = candidates.of(type);
@@ -257,7 +545,8 @@ void fill_feature_row_slice(const TrainIndex& index, const PreparedQuery& query,
             index.prepared(type, c)[static_cast<std::size_t>(entry.bucket)];
         const auto pos = static_cast<std::size_t>(entry.pos);
         if (exclude_id >= 0 && bucket.ids[pos] == exclude_id) continue;
-        const int score = ssdeep::compare_prepared(own, bucket.digests[pos], metric);
+        const int score =
+            ssdeep::compare_prepared(own_view, index.view_of(bucket, pos), metric);
         ++scored;
         if (score > best) best = score;
       }
@@ -288,6 +577,7 @@ void fill_feature_row_slice_all_pairs(const TrainIndex& index,
       continue;
     }
     const ssdeep::PreparedDigest& own = query.channels[static_cast<std::size_t>(f)];
+    const ssdeep::PreparedDigestView own_view = own.view();
     const auto type = static_cast<FeatureType>(f);
     for (int c = class_begin; c < class_end; ++c) {
       int best = 0;
@@ -295,9 +585,10 @@ void fill_feature_row_slice_all_pairs(const TrainIndex& index,
         if (!ssdeep::blocksizes_can_pair(own.blocksize(), bucket.blocksize)) {
           continue;  // nothing in this bucket can score > 0
         }
-        for (std::size_t j = 0; j < bucket.digests.size(); ++j) {
+        for (std::size_t j = 0; j < bucket.recs.size(); ++j) {
           if (exclude_id >= 0 && bucket.ids[j] == exclude_id) continue;
-          const int score = ssdeep::compare_prepared(own, bucket.digests[j], metric);
+          const int score =
+              ssdeep::compare_prepared(own_view, index.view_of(bucket, j), metric);
           if (score > best) {
             best = score;
             if (best == 100) break;  // cannot improve

@@ -12,10 +12,9 @@
 //
 // The pairwise comparisons dominate end-to-end runtime, so the builder
 // parallelizes over samples, prepares every training digest exactly once
-// (PreparedDigest: run-normalized parts + presorted 7-gram arrays, built
-// at index-construction time — including after model load), and fills
-// rows candidate-driven: each channel's inverted 7-gram index
-// (ssdeep::GramIndex, one per blocksize bucket) is probed with the
+// (PreparedDigest: run-normalized parts + presorted 7-gram arrays), and
+// fills rows candidate-driven: each channel's inverted 7-gram index
+// (ssdeep::GramIndexView, one per blocksize bucket) is probed with the
 // query's own grams, yielding the exact set of training digests that can
 // score > 0 — a comparison passes the merge-scan gate only when a 7-gram
 // is shared, so every non-candidate is provably score 0 and is never
@@ -23,11 +22,30 @@
 // merge-scan gate) is kept as the reference oracle
 // (fill_feature_row_slice_all_pairs); the indexed fill is bit-identical
 // to it (property tests in tests/core/test_feature_matrix.cpp).
+//
+// Storage vs view: everything the row fill reads — normalized part text,
+// gram arrays, prepared-digest records, CSR posting lists, entry tables —
+// lives in flat pools, and the structures the fill walks (PreparedBucket,
+// ChannelGramIndex) are spans into them. The pools are either owned
+// vectors, laid out in canonical serialization order by the training
+// constructor, or sections of a memory-mapped v2 model container
+// (TrainIndex::attach), in which case RELOAD does no digest
+// re-preparation and no gram-index rebuild: serialize() dumps the pools
+// verbatim and attach() wires spans back over them after structural
+// validation. The attached index is bit-identical to a text-load rebuild
+// on row fills and gate stats (property tests in
+// tests/core/test_serialization.cpp).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/features.hpp"
@@ -36,22 +54,73 @@
 #include "ssdeep/gram_index.hpp"
 #include "ssdeep/prepared.hpp"
 
+namespace fhc::util {
+class SectionedView;
+class SectionedWriter;
+}  // namespace fhc::util
+
 namespace fhc::core {
+
+/// Section tags of the TrainIndex payload inside a v2 model container
+/// (core/classifier.cpp adds "preamble" and "forest" around them;
+/// tools/fhc_inspect.cpp pretty-prints the lot).
+namespace model_section {
+inline constexpr std::string_view kMeta = "tidxmeta";        // TrainIndex::Meta
+inline constexpr std::string_view kCellBuckets = "cellbkts";  // u32 per (f, c)
+inline constexpr std::string_view kBuckets = "buckets";       // BucketMeta each
+inline constexpr std::string_view kRecords = "preprecs";      // PreparedRec each
+inline constexpr std::string_view kTextPool = "textpool";     // char pool
+inline constexpr std::string_view kGramPool = "grampool";     // u64 gram pool
+inline constexpr std::string_view kBucketIds = "bktids";      // i32 per digest
+inline constexpr std::string_view kClassIds = "clsids";       // i32 per sample
+inline constexpr std::string_view kEntries = "gentries";      // GramEntry each
+inline constexpr std::string_view kGramDir = "gramdir";       // GramDirEntry each
+inline constexpr std::string_view kGramKeys = "gramkeys";     // u64 CSR keys
+inline constexpr std::string_view kGramOffsets = "gramoffs";  // u32 CSR offsets
+inline constexpr std::string_view kPostings = "gpost";        // u32 CSR postings
+}  // namespace model_section
 
 /// The reference index: per known class, per channel, the training
 /// digests to compare against.
 class TrainIndex {
  public:
-  /// Training digests of one (channel, class) cell that share a blocksize,
-  /// prepared once at index-build time. `ids` holds the original
-  /// train-sample id of each digest (for exclude-self lookups). A query
-  /// skips whole buckets whose blocksize cannot pair with its own
-  /// (equal, double, or half).
+  /// One prepared training digest as offsets into the shared text/gram
+  /// pools: normalized part text and sorted packed 7-gram array for each
+  /// of the two parts. Fixed-layout POD — serialized verbatim as the
+  /// "preprecs" section.
+  struct PreparedRec {
+    std::uint64_t t1_off = 0;  // part1 text offset in the char pool
+    std::uint64_t g1_off = 0;  // part1 gram offset in the u64 pool
+    std::uint64_t t2_off = 0;
+    std::uint64_t g2_off = 0;
+    std::uint32_t t1_len = 0;
+    std::uint32_t g1_len = 0;
+    std::uint32_t t2_len = 0;
+    std::uint32_t g2_len = 0;
+  };
+  static_assert(sizeof(PreparedRec) == 48);
+
+  /// Training digests of one (channel, class) cell that share a blocksize.
+  /// `ids` holds the original train-sample id of each digest (for
+  /// exclude-self lookups), parallel to `recs`. A query skips whole
+  /// buckets whose blocksize cannot pair with its own (equal, double, or
+  /// half). Spans point into the index's pools (owned or mapped);
+  /// view_of() materializes a digest view from a (bucket, pos) address.
   struct PreparedBucket {
     std::uint32_t blocksize = 0;
-    std::vector<ssdeep::PreparedDigest> digests;
-    std::vector<int> ids;  // parallel to digests
+    std::span<const PreparedRec> recs;
+    std::span<const std::int32_t> ids;  // parallel to recs
+    std::size_t size() const noexcept { return recs.size(); }
   };
+
+  /// Serialized shape of one bucket ("buckets" section): buckets are
+  /// stored cell-major, `count` digests each, so the bucket's recs/ids
+  /// are the next `count` entries of their pools.
+  struct BucketMeta {
+    std::uint32_t blocksize = 0;
+    std::uint32_t count = 0;
+  };
+  static_assert(sizeof(BucketMeta) == 8);
 
   /// One prepared training digest of a channel, addressed by the gram
   /// index: its class, the blocksize bucket it sits in (index into
@@ -63,9 +132,37 @@ class TrainIndex {
     std::int32_t bucket = 0;
     std::int32_t pos = 0;
   };
+  static_assert(sizeof(GramEntry) == 12);
+
+  /// Serialized shape of one per-blocksize CSR pair ("gramdir" section):
+  /// key/offset/posting array lengths, carved cumulatively from the CSR
+  /// pools in directory order (part1 then part2; each offsets array has
+  /// keys + 1 entries).
+  struct GramDirEntry {
+    std::uint32_t blocksize = 0;
+    std::uint32_t p1_keys = 0;
+    std::uint32_t p2_keys = 0;
+    std::uint32_t p1_postings = 0;
+    std::uint32_t p2_postings = 0;
+  };
+  static_assert(sizeof(GramDirEntry) == 20);
+
+  /// Counts header ("tidxmeta" section) — lets attach() size-check every
+  /// other section before touching it and cross-check against the model
+  /// preamble.
+  struct Meta {
+    std::uint32_t version = 1;
+    std::uint32_t n_classes = 0;
+    std::uint64_t train_count = 0;
+    std::array<std::uint32_t, kFeatureTypeCount> entry_counts{};  // per channel
+    std::array<std::uint32_t, kFeatureTypeCount> dir_counts{};    // per channel
+    std::uint32_t reserved0 = 0;
+    std::uint32_t reserved1 = 0;
+  };
+  static_assert(sizeof(Meta) == 48);
 
   /// The inverted 7-gram view of one channel across ALL classes: per
-  /// blocksize bucket, a part1 and a part2 GramIndex whose postings are
+  /// blocksize bucket, a part1 and a part2 CSR index whose postings are
   /// GramEntry ids. A query probes the (at most three) buckets its own
   /// blocksize can pair with — part1 vs part1 and part2 vs part2 at the
   /// equal blocksize, crosswise at double/half (matching the part
@@ -74,16 +171,48 @@ class TrainIndex {
   struct ChannelGramIndex {
     struct BlocksizeIndex {
       std::uint32_t blocksize = 0;
-      ssdeep::GramIndex part1;  // postings: entries whose part1 holds the gram
-      ssdeep::GramIndex part2;
+      ssdeep::GramIndexView part1;  // postings: entries whose part1 holds the gram
+      ssdeep::GramIndexView part2;
     };
-    std::vector<GramEntry> entries;
+    std::span<const GramEntry> entries;
     std::vector<BlocksizeIndex> by_blocksize;
   };
 
+  /// Produces the raw training rows (hashes in original train order plus
+  /// their labels) for an attached index — called at most once, only when
+  /// digests() or save paths need the raw text. Keeps attach itself
+  /// O(metadata).
+  using RawDigestLoader =
+      std::function<std::pair<std::vector<FeatureHashes>, std::vector<int>>()>;
+
   /// `labels[i]` in 0..n_classes-1; `class_names.size() == n_classes`.
+  /// Prepares every digest and builds the gram indexes (the owned path).
   TrainIndex(const std::vector<FeatureHashes>& train_hashes,
              const std::vector<int>& labels, std::vector<std::string> class_names);
+
+  /// Wires a TrainIndex over the sections of a v2 model container without
+  /// preparing a single digest or building any index: the pools are used
+  /// in place after structural validation (offsets in range, CSR shapes
+  /// consistent, entries addressable). `keepalive` (e.g. the
+  /// util::ModelMap the container is a view of) is retained for the
+  /// index's lifetime. Throws std::runtime_error on any inconsistency.
+  /// Returns by unique_ptr: the index self-references its pools and
+  /// holds a std::once_flag, so it is neither copyable nor movable.
+  static std::unique_ptr<TrainIndex> attach(const util::SectionedView& container,
+                                            std::vector<std::string> class_names,
+                                            std::size_t train_count,
+                                            RawDigestLoader raw_loader,
+                                            std::shared_ptr<const void> keepalive);
+
+  /// Adds the index's sections to `writer`. The emitted bytes reference
+  /// the live pools (zero-copy), so the writer must be written out while
+  /// this index is alive. serialize() of an attach()ed index reproduces
+  /// the original sections byte for byte.
+  void serialize(util::SectionedWriter& writer) const;
+
+  /// True when this index borrows mapped pools (attach path) rather than
+  /// owning them — the construction-path test hook.
+  bool attached() const noexcept { return attached_; }
 
   int n_classes() const noexcept { return static_cast<int>(class_names_.size()); }
   const std::vector<std::string>& class_names() const noexcept { return class_names_; }
@@ -91,14 +220,28 @@ class TrainIndex {
 
   /// Raw digests of channel `f` for class `c`, parallel to train_ids(c) —
   /// the serialization/inspection view (save() writes these verbatim).
+  /// On an attached index the rows are materialized lazily from the
+  /// retained preamble on first use.
   const std::vector<ssdeep::FuzzyDigest>& digests(FeatureType f, int c) const;
 
   /// Prepared digests of channel `f` for class `c`, bucketed by blocksize —
   /// the comparison view used by fill_feature_row.
-  const std::vector<PreparedBucket>& prepared(FeatureType f, int c) const;
+  std::span<const PreparedBucket> prepared(FeatureType f, int c) const;
+
+  /// The prepared-digest view at (bucket, pos) — pure pointer arithmetic
+  /// into the pools, no allocation.
+  ssdeep::PreparedDigestView view_of(const PreparedBucket& bucket,
+                                     std::size_t pos) const noexcept {
+    const PreparedRec& rec = bucket.recs[pos];
+    return {bucket.blocksize,
+            {std::string_view(text_pool_.data() + rec.t1_off, rec.t1_len),
+             gram_pool_.subspan(rec.g1_off, rec.g1_len)},
+            {std::string_view(text_pool_.data() + rec.t2_off, rec.t2_len),
+             gram_pool_.subspan(rec.g2_off, rec.g2_len)}};
+  }
 
   /// Original train-sample ids for class c (for exclude-self lookups).
-  const std::vector<int>& train_ids(int c) const;
+  std::span<const std::int32_t> train_ids(int c) const;
 
   /// The inverted 7-gram candidate index of channel `f` — the view the
   /// indexed row fill probes instead of scanning every prepared digest.
@@ -108,15 +251,62 @@ class TrainIndex {
   std::vector<std::string> feature_names() const;
 
  private:
+  TrainIndex() = default;
+
+  /// Builds the derived wiring (buckets, channel views, id offsets) from
+  /// the pool spans and validates every cross-reference. Shared by the
+  /// owned constructor and attach().
+  void wire();
+  void materialize_raw() const;
+
   std::vector<std::string> class_names_;
-  // [feature][class] -> digests / original ids
-  std::vector<std::vector<std::vector<ssdeep::FuzzyDigest>>> digests_;
-  // [feature][class] -> blocksize buckets of prepared digests
-  std::vector<std::vector<std::vector<PreparedBucket>>> prepared_;
-  std::vector<std::vector<int>> ids_;
-  // [feature] -> inverted 7-gram candidate index over every class
-  std::vector<ChannelGramIndex> gram_index_;
   std::size_t train_sample_count_ = 0;
+  bool attached_ = false;
+  std::shared_ptr<const void> keepalive_;
+  Meta meta_{};
+
+  // Owned storage, laid out in canonical serialization order (empty on
+  // the attach path — there the spans below point into the container).
+  std::vector<std::uint32_t> cell_bucket_counts_store_;
+  std::vector<BucketMeta> bucket_meta_store_;
+  std::vector<PreparedRec> recs_store_;
+  std::vector<char> text_store_;
+  std::vector<std::uint64_t> gram_store_;
+  std::vector<std::int32_t> bucket_ids_store_;
+  std::vector<std::int32_t> class_ids_store_;
+  std::vector<GramEntry> entries_store_;
+  std::vector<GramDirEntry> gram_dir_store_;
+  std::vector<std::uint64_t> gram_keys_store_;
+  std::vector<std::uint32_t> gram_offsets_store_;
+  std::vector<std::uint32_t> gram_postings_store_;
+
+  // Pool views — over the owned vectors or the mapped sections.
+  std::span<const std::uint32_t> cell_bucket_counts_;
+  std::span<const BucketMeta> bucket_meta_;
+  std::span<const PreparedRec> recs_;
+  std::span<const char> text_pool_;
+  std::span<const std::uint64_t> gram_pool_;
+  std::span<const std::int32_t> bucket_ids_;
+  std::span<const std::int32_t> class_ids_;
+  std::span<const GramEntry> entries_;
+  std::span<const GramDirEntry> gram_dir_;
+  std::span<const std::uint64_t> gram_keys_;
+  std::span<const std::uint32_t> gram_offsets_;
+  std::span<const std::uint32_t> gram_postings_;
+
+  // Derived wiring built by wire().
+  std::vector<PreparedBucket> buckets_;        // cell-major, all cells
+  std::vector<std::size_t> cell_offsets_;      // 3*k + 1 entries into buckets_
+  std::vector<std::size_t> class_id_offsets_;  // k + 1 entries into class_ids_
+  std::vector<ChannelGramIndex> gram_index_;   // one per channel
+
+  // Raw digests: eager on the owned path, lazily materialized from
+  // `raw_loader_` on the attach path (serialization/inspection only —
+  // never touched by row fills).
+  RawDigestLoader raw_loader_;
+  mutable std::once_flag raw_once_;
+  // [feature][class] -> digests in original train order
+  mutable std::vector<std::vector<std::vector<ssdeep::FuzzyDigest>>> digests_;
 };
 
 /// Which feature channels participate (all three by default); disabled

@@ -1,0 +1,119 @@
+// TrainIndex <-> sectioned-container I/O: the v2 model format's
+// zero-copy half.
+//
+// serialize() dumps the canonical pools verbatim — the same spans the
+// live index reads — so writing is a sequence of raw section emissions
+// with no per-digest work. attach() is the inverse: it reinterprets the
+// mapped sections as the pools, runs the structural validation shared
+// with the owned constructor (wire()), and the index is live without
+// preparing a digest or building a gram index. Because serialize() reads
+// the views (owned or mapped alike), save -> attach -> save round-trips
+// byte-identically.
+#include <cstring>
+
+#include "core/feature_matrix.hpp"
+#include "util/sectioned.hpp"
+
+namespace fhc::core {
+
+namespace {
+
+template <class T>
+std::span<const std::byte> bytes_of(std::span<const T> items) {
+  return std::as_bytes(items);
+}
+
+}  // namespace
+
+void TrainIndex::serialize(util::SectionedWriter& writer) const {
+  const Meta meta = meta_;
+  writer.add_copy(model_section::kMeta,
+                  std::as_bytes(std::span<const Meta>(&meta, 1)));
+  writer.add(model_section::kCellBuckets, bytes_of(cell_bucket_counts_));
+  writer.add(model_section::kBuckets, bytes_of(bucket_meta_));
+  writer.add(model_section::kRecords, bytes_of(recs_));
+  writer.add(model_section::kTextPool, bytes_of(text_pool_));
+  writer.add(model_section::kGramPool, bytes_of(gram_pool_));
+  writer.add(model_section::kBucketIds, bytes_of(bucket_ids_));
+  writer.add(model_section::kClassIds, bytes_of(class_ids_));
+  writer.add(model_section::kEntries, bytes_of(entries_));
+  writer.add(model_section::kGramDir, bytes_of(gram_dir_));
+  writer.add(model_section::kGramKeys, bytes_of(gram_keys_));
+  writer.add(model_section::kGramOffsets, bytes_of(gram_offsets_));
+  writer.add(model_section::kPostings, bytes_of(gram_postings_));
+}
+
+std::unique_ptr<TrainIndex> TrainIndex::attach(
+    const util::SectionedView& container, std::vector<std::string> class_names,
+    std::size_t train_count, RawDigestLoader raw_loader,
+    std::shared_ptr<const void> keepalive) {
+  std::unique_ptr<TrainIndex> index(new TrainIndex());
+  index->class_names_ = std::move(class_names);
+  index->train_sample_count_ = train_count;
+  index->attached_ = true;
+  index->keepalive_ = std::move(keepalive);
+  index->raw_loader_ = std::move(raw_loader);
+
+  const auto meta_span = util::section_as<Meta>(container, model_section::kMeta);
+  if (meta_span.size() != 1) {
+    throw std::runtime_error("TrainIndex: bad meta section");
+  }
+  index->meta_ = meta_span[0];
+  if (index->meta_.version != Meta{}.version) {
+    throw std::runtime_error("TrainIndex: unsupported index version");
+  }
+
+  index->cell_bucket_counts_ =
+      util::section_as<std::uint32_t>(container, model_section::kCellBuckets);
+  index->bucket_meta_ =
+      util::section_as<BucketMeta>(container, model_section::kBuckets);
+  index->recs_ = util::section_as<PreparedRec>(container, model_section::kRecords);
+  index->text_pool_ = util::section_as<char>(container, model_section::kTextPool);
+  index->gram_pool_ =
+      util::section_as<std::uint64_t>(container, model_section::kGramPool);
+  index->bucket_ids_ =
+      util::section_as<std::int32_t>(container, model_section::kBucketIds);
+  index->class_ids_ =
+      util::section_as<std::int32_t>(container, model_section::kClassIds);
+  index->entries_ = util::section_as<GramEntry>(container, model_section::kEntries);
+  index->gram_dir_ =
+      util::section_as<GramDirEntry>(container, model_section::kGramDir);
+  index->gram_keys_ =
+      util::section_as<std::uint64_t>(container, model_section::kGramKeys);
+  index->gram_offsets_ =
+      util::section_as<std::uint32_t>(container, model_section::kGramOffsets);
+  index->gram_postings_ =
+      util::section_as<std::uint32_t>(container, model_section::kPostings);
+
+  index->wire();
+  return index;
+}
+
+void TrainIndex::materialize_raw() const {
+  // Owned indexes filled digests_ eagerly; attached ones parse the
+  // retained preamble rows exactly once, on the first serialization or
+  // inspection request — never on the classify path.
+  if (!raw_loader_) return;
+  std::call_once(raw_once_, [this] {
+    auto [hashes, labels] = raw_loader_();
+    const int k = n_classes();
+    if (hashes.size() != train_sample_count_ || labels.size() != hashes.size()) {
+      throw std::runtime_error("TrainIndex: raw digest loader size mismatch");
+    }
+    digests_.assign(kFeatureTypeCount,
+                    std::vector<std::vector<ssdeep::FuzzyDigest>>(
+                        static_cast<std::size_t>(k)));
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+      const int label = labels[i];
+      if (label < 0 || label >= k) {
+        throw std::runtime_error("TrainIndex: raw digest loader label out of range");
+      }
+      for (int f = 0; f < kFeatureTypeCount; ++f) {
+        digests_[static_cast<std::size_t>(f)][static_cast<std::size_t>(label)]
+            .push_back(hashes[i].of(static_cast<FeatureType>(f)));
+      }
+    }
+  });
+}
+
+}  // namespace fhc::core

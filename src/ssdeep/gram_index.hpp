@@ -19,11 +19,16 @@
 //
 // The index is append-then-seal: add() every digest's presorted gram
 // array (PreparedDigest already stores them), then finalize() to build
-// the CSR layout (sorted unique keys, offsets, postings). CandidateSet is
-// the reusable probe accumulator: it dedups ids across multiple probes
-// (a query probes up to four indexes per channel — part1/part2 across
-// pairable blocksizes) with an epoch-stamped scratch array, so repeated
-// probes allocate nothing in steady state.
+// the CSR layout (sorted unique keys, offsets, postings). Probing needs
+// only those three arrays, so the probe side is split out as
+// GramIndexView — three spans that can point at the builder's own
+// vectors or at a memory-mapped model's CSR pools (the v2 binary format
+// serializes the arrays verbatim and attaches views, skipping the
+// build entirely). CandidateSet is the reusable probe accumulator: it
+// dedups ids across multiple probes (a query probes up to four indexes
+// per channel — part1/part2 across pairable blocksizes) with an
+// epoch-stamped scratch array, so repeated probes allocate nothing in
+// steady state.
 #pragma once
 
 #include <cstddef>
@@ -60,6 +65,39 @@ class CandidateSet {
   std::vector<std::uint32_t> ids_;
 };
 
+/// Non-owning probe view of a sealed CSR gram index: keys sorted unique,
+/// postings of keys[i] at postings[offsets[i] .. offsets[i+1]). Backed by
+/// either a GramIndex's own vectors or a mapped model's pools; the
+/// backing storage validates shape (core::TrainIndex does so on attach)
+/// and must outlive the view.
+class GramIndexView {
+ public:
+  GramIndexView() = default;
+  GramIndexView(std::span<const std::uint64_t> keys,
+                std::span<const std::uint32_t> offsets,
+                std::span<const std::uint32_t> postings) noexcept
+      : keys_(keys), offsets_(offsets), postings_(postings) {}
+
+  /// Probes with a presorted (possibly duplicated) query gram array and
+  /// inserts the id of every indexed part sharing at least one gram into
+  /// `out`. Equivalent to running sorted_grams_intersect between the
+  /// query array and every indexed array, without touching non-matches.
+  void collect(std::span<const std::uint64_t> sorted_query_grams,
+               CandidateSet& out) const;
+
+  std::size_t gram_count() const noexcept { return keys_.size(); }
+  std::size_t posting_count() const noexcept { return postings_.size(); }
+
+  std::span<const std::uint64_t> keys() const noexcept { return keys_; }
+  std::span<const std::uint32_t> offsets() const noexcept { return offsets_; }
+  std::span<const std::uint32_t> postings() const noexcept { return postings_; }
+
+ private:
+  std::span<const std::uint64_t> keys_;
+  std::span<const std::uint32_t> offsets_;  // keys.size() + 1 entries
+  std::span<const std::uint32_t> postings_;
+};
+
 class GramIndex {
  public:
   GramIndex() = default;
@@ -73,12 +111,13 @@ class GramIndex {
   /// Idempotent; collect() requires it.
   void finalize();
 
-  /// Probes with a presorted (possibly duplicated) query gram array and
-  /// inserts the id of every indexed part sharing at least one gram into
-  /// `out`. Equivalent to running sorted_grams_intersect between the
-  /// query array and every add()ed array, without touching non-matches.
+  /// Probes the sealed index (see GramIndexView::collect).
   void collect(std::span<const std::uint64_t> sorted_query_grams,
                CandidateSet& out) const;
+
+  /// Borrowing view of the sealed CSR — valid while this index lives and
+  /// is not re-built. Requires finalize().
+  GramIndexView view() const;
 
   bool finalized() const noexcept { return finalized_; }
   std::size_t gram_count() const noexcept { return keys_.size(); }
@@ -94,5 +133,10 @@ class GramIndex {
   std::vector<std::uint32_t> offsets_;
   std::vector<std::uint32_t> postings_;
 };
+
+/// Construction-path test hook: process-wide count of CSR builds
+/// (GramIndex::finalize() calls that actually sealed an index). Lets
+/// tests prove the v2 binary attach rebuilt no gram index.
+std::uint64_t gram_index_build_count() noexcept;
 
 }  // namespace fhc::ssdeep

@@ -1,10 +1,13 @@
 #include "ssdeep/prepared.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace fhc::ssdeep {
 
 namespace {
+
+std::atomic<std::uint64_t> g_prepared_count{0};
 
 PreparedPart prepare_part(std::string_view raw) {
   PreparedPart part;
@@ -17,7 +20,7 @@ PreparedPart prepare_part(std::string_view raw) {
 // empty, gate), then the shared post-gate scoring. The overlong check only
 // fires for hand-built digests — parse_digest and fuzzy_hash never exceed
 // kSpamsumLength — but equivalence must hold for those too.
-int score_parts(const PreparedPart& a, const PreparedPart& b,
+int score_parts(const PreparedPartView& a, const PreparedPartView& b,
                 std::uint32_t blocksize, EditMetric metric) {
   if (a.text.size() > kSpamsumLength || b.text.size() > kSpamsumLength) return 0;
   if (a.text.empty() || b.text.empty()) return 0;
@@ -27,35 +30,40 @@ int score_parts(const PreparedPart& a, const PreparedPart& b,
 
 }  // namespace
 
+std::uint64_t prepared_digest_count() noexcept {
+  return g_prepared_count.load(std::memory_order_relaxed);
+}
+
 PreparedDigest::PreparedDigest(const FuzzyDigest& raw)
     : blocksize_(raw.blocksize),
       part1_(prepare_part(raw.part1)),
-      part2_(prepare_part(raw.part2)) {}
+      part2_(prepare_part(raw.part2)) {
+  g_prepared_count.fetch_add(1, std::memory_order_relaxed);
+}
 
-int compare_prepared(const PreparedDigest& a, const PreparedDigest& b,
+int compare_prepared(const PreparedDigestView& a, const PreparedDigestView& b,
                      EditMetric metric) {
-  const std::uint32_t bs1 = a.blocksize();
-  const std::uint32_t bs2 = b.blocksize();
+  const std::uint32_t bs1 = a.blocksize;
+  const std::uint32_t bs2 = b.blocksize;
   if (!blocksizes_can_pair(bs1, bs2)) return 0;
 
   if (bs1 == bs2) {
     // Mirrors compare_digests' fast path, including the overlong
     // exclusion that keeps "shares a 7-gram" necessary for score > 0.
-    if (a.part1().text == b.part1().text &&
-        a.part1().text.size() > kRollingWindow &&
-        a.part1().text.size() <= kSpamsumLength) {
+    if (a.part1.text == b.part1.text && a.part1.text.size() > kRollingWindow &&
+        a.part1.text.size() <= kSpamsumLength) {
       return 100;
     }
-    const int s1 = score_parts(a.part1(), b.part1(), bs1, metric);
-    const int s2 = score_parts(a.part2(), b.part2(), part2_blocksize(bs1), metric);
+    const int s1 = score_parts(a.part1, b.part1, bs1, metric);
+    const int s2 = score_parts(a.part2, b.part2, part2_blocksize(bs1), metric);
     return std::max(s1, s2);
   }
   if (bs1 == std::uint64_t{bs2} * 2) {
     // a's part1 lives at the same blocksize as b's part2.
-    return score_parts(a.part1(), b.part2(), bs1, metric);
+    return score_parts(a.part1, b.part2, bs1, metric);
   }
   // bs2 == bs1 * 2
-  return score_parts(a.part2(), b.part1(), bs2, metric);
+  return score_parts(a.part2, b.part1, bs2, metric);
 }
 
 }  // namespace fhc::ssdeep

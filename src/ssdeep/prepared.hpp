@@ -17,13 +17,24 @@
 // (core::TrainIndex) keep their own raw view; serialization stays the
 // "bs:p1:p2" text format and loaders prepare from it.
 //
+// Storage vs view: comparison itself never needs ownership, only the
+// normalized text and gram array of each part. PreparedDigestView is that
+// non-owning shape — a string_view + gram span per part — and
+// compare_prepared is defined over views, so the identical code path runs
+// whether the bytes live in a PreparedDigest's own vectors (training,
+// text load) or in a memory-mapped model's prepared-digest pools
+// (core::TrainIndex::attach, the v2 binary format). PreparedDigest is the
+// owning storage; view() borrows it.
+//
 // compare_prepared is score-identical to compare_digests by construction:
 // both run the same gate ordering and share score_strings_pregated for the
 // DP scoring (tests/ssdeep/test_prepared.cpp holds the property test).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ssdeep/compare.hpp"
@@ -38,6 +49,20 @@ struct PreparedPart {
   std::vector<std::uint64_t> grams;
 };
 
+/// Non-owning view of a prepared part — what comparison actually reads.
+struct PreparedPartView {
+  std::string_view text;
+  std::span<const std::uint64_t> grams;
+};
+
+/// Non-owning view of a whole prepared digest. Valid as long as the
+/// backing storage (a PreparedDigest, or a mapped model's pools) lives.
+struct PreparedDigestView {
+  std::uint32_t blocksize = kMinBlocksize;
+  PreparedPartView part1;  // at blocksize
+  PreparedPartView part2;  // at 2 * blocksize
+};
+
 class PreparedDigest {
  public:
   PreparedDigest() = default;
@@ -46,6 +71,12 @@ class PreparedDigest {
   std::uint32_t blocksize() const noexcept { return blocksize_; }
   const PreparedPart& part1() const noexcept { return part1_; }
   const PreparedPart& part2() const noexcept { return part2_; }
+
+  PreparedDigestView view() const noexcept {
+    return {blocksize_,
+            {part1_.text, part1_.grams},
+            {part2_.text, part2_.grams}};
+  }
 
  private:
   std::uint32_t blocksize_ = kMinBlocksize;
@@ -56,7 +87,17 @@ class PreparedDigest {
 /// Similarity in [0, 100]; bit-identical to compare_digests on the two
 /// digests the operands were prepared from, but without re-normalizing
 /// either side.
-int compare_prepared(const PreparedDigest& a, const PreparedDigest& b,
+int compare_prepared(const PreparedDigestView& a, const PreparedDigestView& b,
                      EditMetric metric = EditMetric::kDamerauOsa);
+
+inline int compare_prepared(const PreparedDigest& a, const PreparedDigest& b,
+                            EditMetric metric = EditMetric::kDamerauOsa) {
+  return compare_prepared(a.view(), b.view(), metric);
+}
+
+/// Construction-path test hook: process-wide count of digest
+/// normalizations (PreparedDigest built from a FuzzyDigest). Lets tests
+/// prove a code path — e.g. the v2 binary attach — prepared nothing.
+std::uint64_t prepared_digest_count() noexcept;
 
 }  // namespace fhc::ssdeep

@@ -1,0 +1,255 @@
+#include "util/sectioned.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+namespace fhc::util {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 24;  // magic + count + reserved + checksum
+constexpr std::size_t kAlign = 64;
+// A table bigger than this cannot be legitimate (the classifier writes
+// ~16 sections); it bounds the count read from untrusted bytes before any
+// multiplication.
+constexpr std::uint32_t kMaxSections = 4096;
+
+constexpr std::size_t align_up(std::size_t n) {
+  return (n + (kAlign - 1)) & ~(kAlign - 1);
+}
+
+std::array<char, 8> pack_tag(std::string_view tag) {
+  if (tag.empty() || tag.size() > 8) {
+    throw std::invalid_argument("sectioned: tag must be 1..8 chars");
+  }
+  std::array<char, 8> out{};
+  std::memcpy(out.data(), tag.data(), tag.size());
+  return out;
+}
+
+/// The table checksum covers the 16-byte header prefix (magic, count,
+/// reserved) as well as the entries, so no header byte is unprotected.
+std::uint64_t table_checksum_of(std::span<const std::byte> header_prefix,
+                                std::span<const SectionEntry> entries) {
+  return checksum64(std::as_bytes(entries), checksum64(header_prefix));
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::runtime_error("sectioned: " + what);
+}
+
+/// fsync a path opened read-only (used for the directory after rename).
+void fsync_path(const char* path) {
+  const int fd = ::open(path, O_RDONLY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir opens
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::uint64_t checksum64(std::span<const std::byte> bytes,
+                         std::uint64_t state) noexcept {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    std::uint64_t lane = 0;
+    std::memcpy(&lane, bytes.data() + i, 8);
+    state = (state ^ lane) * kPrime;
+  }
+  if (i < bytes.size()) {
+    std::uint64_t lane = 0;  // zero-padded tail lane
+    std::memcpy(&lane, bytes.data() + i, bytes.size() - i);
+    state = (state ^ lane) * kPrime;
+  }
+  // Folding the length in keeps "abc" and "abc\0" (padded tail) distinct.
+  return (state ^ static_cast<std::uint64_t>(bytes.size())) * kPrime;
+}
+
+std::string_view SectionEntry::tag_view() const noexcept {
+  std::size_t len = 0;
+  while (len < tag.size() && tag[len] != '\0') ++len;
+  return {tag.data(), len};
+}
+
+SectionedWriter::SectionedWriter(std::string_view magic) {
+  if (magic.size() != 8) {
+    throw std::invalid_argument("sectioned: magic must be 8 chars");
+  }
+  std::memcpy(magic_.data(), magic.data(), 8);
+}
+
+void SectionedWriter::add(std::string_view tag, std::span<const std::byte> bytes) {
+  const std::array<char, 8> packed = pack_tag(tag);
+  for (const Pending& section : sections_) {
+    if (section.tag == packed) {
+      throw std::invalid_argument("sectioned: duplicate tag '" +
+                                  std::string(tag) + "'");
+    }
+  }
+  sections_.push_back(Pending{packed, bytes});
+}
+
+void SectionedWriter::add_copy(std::string_view tag,
+                               std::span<const std::byte> bytes) {
+  owned_.emplace_back(bytes.begin(), bytes.end());
+  add(tag, owned_.back());
+}
+
+std::size_t SectionedWriter::total_size() const noexcept {
+  std::size_t at = align_up(kHeaderSize + sections_.size() * sizeof(SectionEntry));
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    if (i > 0) at = align_up(at);
+    at += sections_[i].bytes.size();
+  }
+  return at;
+}
+
+void SectionedWriter::write_to(std::ostream& out) const {
+  // Lay the table out first (offsets are deterministic), then stream the
+  // header, table and payloads in order.
+  std::vector<SectionEntry> entries(sections_.size());
+  std::size_t at = align_up(kHeaderSize + sections_.size() * sizeof(SectionEntry));
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    at = align_up(at);
+    entries[i].tag = sections_[i].tag;
+    entries[i].offset = at;
+    entries[i].size = sections_[i].bytes.size();
+    entries[i].checksum = checksum64(sections_[i].bytes);
+    at += sections_[i].bytes.size();
+  }
+
+  out.write(magic_.data(), 8);
+  const auto count = static_cast<std::uint32_t>(sections_.size());
+  const std::uint32_t reserved = 0;
+  std::array<std::byte, 16> header_prefix{};
+  std::memcpy(header_prefix.data(), magic_.data(), 8);
+  std::memcpy(header_prefix.data() + 8, &count, sizeof count);
+  std::memcpy(header_prefix.data() + 12, &reserved, sizeof reserved);
+  const std::uint64_t table_checksum = table_checksum_of(header_prefix, entries);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  out.write(reinterpret_cast<const char*>(&reserved), sizeof reserved);
+  out.write(reinterpret_cast<const char*>(&table_checksum), sizeof table_checksum);
+  out.write(reinterpret_cast<const char*>(entries.data()),
+            static_cast<std::streamsize>(entries.size() * sizeof(SectionEntry)));
+
+  static constexpr char kZeros[kAlign] = {};
+  std::size_t written = kHeaderSize + entries.size() * sizeof(SectionEntry);
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const std::size_t pad = static_cast<std::size_t>(entries[i].offset) - written;
+    out.write(kZeros, static_cast<std::streamsize>(pad));
+    if (!sections_[i].bytes.empty()) {  // empty spans may carry a null data()
+      out.write(reinterpret_cast<const char*>(sections_[i].bytes.data()),
+                static_cast<std::streamsize>(sections_[i].bytes.size()));
+    }
+    written = static_cast<std::size_t>(entries[i].offset) + sections_[i].bytes.size();
+  }
+  if (!out) bad("write failed");
+}
+
+void SectionedWriter::write_file(const std::string& path) const {
+  // Daemons mmap the live model; truncating the inode in place would
+  // SIGBUS them, and renaming an unflushed temp could surface a torn
+  // model after a crash. So: sibling temp -> fsync(file) -> rename ->
+  // fsync(dir). Readers keep their old mapping; a crash at any point
+  // leaves a complete file under `path`.
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) bad("cannot open " + tmp);
+    write_to(out);
+    out.flush();
+    if (!out) bad("write failed for " + tmp);
+    out.close();
+    const int fd = ::open(tmp.c_str(), O_RDONLY);
+    if (fd < 0) bad("cannot reopen " + tmp + " for fsync");
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) bad("fsync failed for " + tmp);
+  } catch (...) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw;
+  }
+  std::error_code error;
+  std::filesystem::rename(tmp, path, error);
+  if (error) {
+    std::filesystem::remove(tmp, error);
+    bad("cannot replace " + path);
+  }
+  const std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  fsync_path(dir.empty() ? "." : dir.c_str());
+}
+
+SectionedView SectionedView::attach(std::span<const std::byte> bytes,
+                                    std::string_view magic) {
+  if (magic.size() != 8) throw std::invalid_argument("sectioned: magic must be 8 chars");
+  if (reinterpret_cast<std::uintptr_t>(bytes.data()) % 8 != 0) {
+    bad("attach base not 8-byte aligned");
+  }
+  if (bytes.size() < kHeaderSize) bad("truncated header");
+  if (std::memcmp(bytes.data(), magic.data(), 8) != 0) bad("bad magic");
+
+  std::uint32_t count = 0;
+  std::uint64_t table_checksum = 0;
+  std::memcpy(&count, bytes.data() + 8, sizeof count);
+  if (count > kMaxSections) bad("implausible section count");
+  std::memcpy(&table_checksum, bytes.data() + 16, sizeof table_checksum);
+  const std::size_t table_end = kHeaderSize + std::size_t{count} * sizeof(SectionEntry);
+  if (table_end > bytes.size()) bad("truncated section table");
+
+  SectionedView view;
+  view.bytes_ = bytes;
+  view.entries_ = {reinterpret_cast<const SectionEntry*>(bytes.data() + kHeaderSize),
+                   count};
+  if (table_checksum_of(bytes.first(16), view.entries_) != table_checksum) {
+    bad("section table checksum mismatch");
+  }
+
+  std::uint64_t prev_end = table_end;
+  for (const SectionEntry& entry : view.entries_) {
+    if (entry.offset % kAlign != 0) bad("section offset not 64-byte aligned");
+    if (entry.offset < prev_end) bad("sections overlap or out of order");
+    if (entry.offset > bytes.size() || entry.size > bytes.size() - entry.offset) {
+      bad("section out of bounds");
+    }
+    prev_end = entry.offset + entry.size;
+  }
+  return view;
+}
+
+bool SectionedView::find(std::string_view tag,
+                         std::span<const std::byte>& out) const noexcept {
+  for (const SectionEntry& entry : entries_) {
+    if (entry.tag_view() == tag) {
+      out = bytes_.subspan(static_cast<std::size_t>(entry.offset),
+                           static_cast<std::size_t>(entry.size));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::span<const std::byte> SectionedView::section(std::string_view tag) const {
+  std::span<const std::byte> out;
+  if (!find(tag, out)) bad("missing section '" + std::string(tag) + "'");
+  return out;
+}
+
+void SectionedView::verify_checksums() const {
+  for (const SectionEntry& entry : entries_) {
+    const auto payload = bytes_.subspan(static_cast<std::size_t>(entry.offset),
+                                        static_cast<std::size_t>(entry.size));
+    if (checksum64(payload) != entry.checksum) {
+      bad("checksum mismatch in section '" + std::string(entry.tag_view()) + "'");
+    }
+  }
+}
+
+}  // namespace fhc::util

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -12,6 +13,9 @@
 
 #include "core/classifier.hpp"
 #include "corpus/corpus.hpp"
+#include "ssdeep/gram_index.hpp"
+#include "ssdeep/prepared.hpp"
+#include "util/sectioned.hpp"
 
 namespace fhc::core {
 namespace {
@@ -153,39 +157,55 @@ TEST(SerializationBinary, PredictionsAreBitIdentical) {
   }
 }
 
-TEST(SerializationBinary, LoadFileSniffsBothFormats) {
+TEST(SerializationBinary, LoadFileSniffsAllThreeFormats) {
   const auto dir = std::filesystem::temp_directory_path();
   const auto text_path =
       dir / ("fhc_model_text_" + std::to_string(::getpid()) + ".fhc");
-  const auto binary_path =
-      dir / ("fhc_model_bin_" + std::to_string(::getpid()) + ".fhcb");
+  const auto v1_path =
+      dir / ("fhc_model_v1_" + std::to_string(::getpid()) + ".fhcb");
+  const auto v2_path =
+      dir / ("fhc_model_v2_" + std::to_string(::getpid()) + ".fhcb");
   model().clf.save_file(text_path.string());
-  model().clf.save_binary_file(binary_path.string());
+  {
+    std::ofstream out(v1_path, std::ios::trunc | std::ios::binary);
+    model().clf.save_binary_v1(out);
+  }
+  model().clf.save_binary_file(v2_path.string());  // v2 is the default
 
-  // The binary file mmaps and attaches the forest zero-copy; the text
-  // file goes through the parser — both must agree exactly.
+  // The v2 file mmaps and attaches forest AND index zero-copy; v1 mmaps
+  // the forest but rebuilds the index; the text file goes through the
+  // parser — all three must agree exactly.
   const FuzzyHashClassifier from_text =
       FuzzyHashClassifier::load_file(text_path.string());
-  const FuzzyHashClassifier from_binary =
-      FuzzyHashClassifier::load_file(binary_path.string());
-  EXPECT_EQ(from_text.class_names(), from_binary.class_names());
+  const FuzzyHashClassifier from_v1 =
+      FuzzyHashClassifier::load_file(v1_path.string());
+  const FuzzyHashClassifier from_v2 =
+      FuzzyHashClassifier::load_file(v2_path.string());
+  EXPECT_FALSE(from_v1.index().attached());
+  EXPECT_TRUE(from_v2.index().attached());
+  EXPECT_EQ(from_text.class_names(), from_v2.class_names());
+  EXPECT_EQ(from_v1.class_names(), from_v2.class_names());
   for (const FeatureHashes& probe : model().probes) {
     const Prediction a = from_text.predict(probe);
-    const Prediction b = from_binary.predict(probe);
+    const Prediction b = from_v2.predict(probe);
+    const Prediction c = from_v1.predict(probe);
     EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(c.label, b.label);
     ASSERT_EQ(a.proba.size(), b.proba.size());
-    for (std::size_t c = 0; c < a.proba.size(); ++c) {
-      EXPECT_EQ(a.proba[c], b.proba[c]);
+    for (std::size_t k = 0; k < a.proba.size(); ++k) {
+      EXPECT_EQ(a.proba[k], b.proba[k]);
+      EXPECT_EQ(c.proba[k], b.proba[k]);
     }
   }
   std::filesystem::remove(text_path);
-  std::filesystem::remove(binary_path);
+  std::filesystem::remove(v1_path);
+  std::filesystem::remove(v2_path);
 }
 
-TEST(SerializationBinary, GramIndexRebuiltByBothLoaders) {
-  // Model files carry raw digest text only; loading re-prepares the
-  // TrainIndex, which must include the inverted 7-gram candidate index —
-  // for the text parser and the mmap'd binary path alike. The restored
+TEST(SerializationBinary, GramIndexLiveFromBothLoaders) {
+  // Both load paths must come up with a working inverted 7-gram candidate
+  // index: the text parser rebuilds it from digest text, the v2 binary
+  // path attaches the serialized CSR pools zero-copy. Either way the
   // indexed fill must still agree with the all-pairs oracle bit for bit.
   const auto dir = std::filesystem::temp_directory_path();
   const auto text_path =
@@ -203,8 +223,8 @@ TEST(SerializationBinary, GramIndexRebuiltByBothLoaders) {
       const auto& channel = index.gram_index(static_cast<FeatureType>(f));
       EXPECT_EQ(channel.entries.size(), index.train_size()) << path;
       for (const auto& bsi : channel.by_blocksize) {
-        EXPECT_TRUE(bsi.part1.finalized()) << path;
-        EXPECT_TRUE(bsi.part2.finalized()) << path;
+        EXPECT_GT(bsi.part1.posting_count() + bsi.part2.posting_count(), 0u)
+            << path;
       }
     }
     const auto width = restored.row_width();
@@ -219,6 +239,201 @@ TEST(SerializationBinary, GramIndexRebuiltByBothLoaders) {
   }
   std::filesystem::remove(text_path);
   std::filesystem::remove(binary_path);
+}
+
+std::vector<std::byte> aligned_image(const std::string& image) {
+  std::vector<std::byte> bytes(image.size());
+  if (!image.empty()) std::memcpy(bytes.data(), image.data(), image.size());
+  return bytes;
+}
+
+std::string binary_image_v2(const FuzzyHashClassifier& clf) {
+  std::ostringstream stream(std::ios::binary);
+  clf.save_binary(stream);
+  return stream.str();
+}
+
+std::string binary_image_v1(const FuzzyHashClassifier& clf) {
+  std::ostringstream stream(std::ios::binary);
+  clf.save_binary_v1(stream);
+  return stream.str();
+}
+
+TEST(SerializationBinary, V2AttachPreparesNoDigestAndBuildsNoIndex) {
+  // The acceptance property of the v2 format: loading must not touch the
+  // digest-preparation or gram-index construction paths at all — the
+  // pools attach in place. The v1 blob, by contrast, rebuilds everything.
+  const std::vector<std::byte> v2 = aligned_image(binary_image_v2(model().clf));
+  const std::vector<std::byte> v1 = aligned_image(binary_image_v1(model().clf));
+
+  FuzzyHashClassifier from_v2;
+  const std::uint64_t prepared_before = ssdeep::prepared_digest_count();
+  const std::uint64_t built_before = ssdeep::gram_index_build_count();
+  from_v2.load_binary({v2.data(), v2.size()}, nullptr);
+  EXPECT_EQ(ssdeep::prepared_digest_count(), prepared_before);
+  EXPECT_EQ(ssdeep::gram_index_build_count(), built_before);
+  EXPECT_TRUE(from_v2.index().attached());
+
+  FuzzyHashClassifier from_v1;
+  from_v1.load_binary({v1.data(), v1.size()}, nullptr);
+  EXPECT_GT(ssdeep::prepared_digest_count(), prepared_before);
+  EXPECT_GT(ssdeep::gram_index_build_count(), built_before);
+  EXPECT_FALSE(from_v1.index().attached());
+}
+
+TEST(SerializationBinary, AttachEqualsRebuildRowsAndGateStats) {
+  // Attach (v2) and rebuild (v1) must be indistinguishable to the row
+  // fill: identical similarity rows AND identical gate counters — the
+  // attached CSR index prunes exactly what the rebuilt one prunes.
+  const std::vector<std::byte> v2 = aligned_image(binary_image_v2(model().clf));
+  const std::vector<std::byte> v1 = aligned_image(binary_image_v1(model().clf));
+  FuzzyHashClassifier from_v2;
+  from_v2.load_binary({v2.data(), v2.size()}, nullptr);
+  FuzzyHashClassifier from_v1;
+  from_v1.load_binary({v1.data(), v1.size()}, nullptr);
+
+  const auto metric = model().clf.config().metric;
+  const auto width = model().clf.row_width();
+  for (const FeatureHashes& probe : model().probes) {
+    std::vector<float> attached_row(width);
+    std::vector<float> rebuilt_row(width);
+    RowFillStats attached_stats;
+    RowFillStats rebuilt_stats;
+    fill_feature_row(from_v2.index(), probe, metric, -1, attached_row,
+                     kAllChannels, &attached_stats);
+    fill_feature_row(from_v1.index(), probe, metric, -1, rebuilt_row,
+                     kAllChannels, &rebuilt_stats);
+    EXPECT_EQ(attached_row, rebuilt_row);
+    EXPECT_EQ(attached_stats.candidates_scored, rebuilt_stats.candidates_scored);
+    EXPECT_EQ(attached_stats.index_skipped, rebuilt_stats.index_skipped);
+  }
+}
+
+TEST(SerializationBinary, V1CompatLoadPredictsIdentically) {
+  const std::vector<std::byte> v1 = aligned_image(binary_image_v1(model().clf));
+  FuzzyHashClassifier restored;
+  restored.load_binary({v1.data(), v1.size()}, nullptr);
+  ASSERT_TRUE(restored.fitted());
+  EXPECT_EQ(restored.class_names(), model().clf.class_names());
+  for (const FeatureHashes& probe : model().probes) {
+    const Prediction a = model().clf.predict(probe);
+    const Prediction b = restored.predict(probe);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.confidence, b.confidence);
+    for (std::size_t c = 0; c < a.proba.size(); ++c) {
+      EXPECT_EQ(a.proba[c], b.proba[c]);
+    }
+  }
+}
+
+TEST(SerializationBinary, AttachedModelSavesIdenticalText) {
+  // Text save from an attached model forces the lazy raw-digest loader
+  // (the pools carry no digest text in parseable form); the output must
+  // still be byte-identical to the fitted model's save.
+  const std::vector<std::byte> v2 = aligned_image(binary_image_v2(model().clf));
+  FuzzyHashClassifier restored;
+  restored.load_binary({v2.data(), v2.size()}, nullptr);
+  ASSERT_TRUE(restored.index().attached());
+  std::stringstream original_text;
+  std::stringstream restored_text;
+  model().clf.save(original_text);
+  restored.save(restored_text);
+  EXPECT_EQ(original_text.str(), restored_text.str());
+}
+
+TEST(SerializationBinary, TrainIndexAttachRoundTripsAdversarialDigests) {
+  // The edge digests from the gram-gate tests: an overlong part (beyond
+  // kSpamsumLength, never gram-indexable), unpairable blocksize islands,
+  // and empty parts. serialize -> attach must reproduce the owned index
+  // bit for bit on fills, and re-serialize byte-identically.
+  const auto uniform = [](std::uint32_t bs, std::string p1, std::string p2) {
+    FeatureHashes h;
+    h.file = h.strings = h.symbols =
+        ssdeep::FuzzyDigest{bs, std::move(p1), std::move(p2)};
+    h.has_symbols = true;
+    return h;
+  };
+  std::string overlong_part;
+  for (int i = 0; i < 65; ++i) {
+    overlong_part.push_back(static_cast<char>('A' + (i * 11) % 26));
+  }
+  const std::vector<FeatureHashes> train = {
+      uniform(3, "abc", "xy"),
+      uniform(3, "abc", "xy"),
+      uniform(6, "ABCDEFGHIJKLMNOP", "QRSTUVWXYZabcdef"),
+      uniform(6, overlong_part, ""),                        // overlong part1
+      uniform(96, "GGGGHHHHIIIIJJJJ", "KKKKLLLLMMMMNNNN"),  // unpairable island
+      uniform(96, "OOOOPPPPQQQQRRRR", ""),                  // island, empty part2
+  };
+  const std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  const TrainIndex owned(train, labels, {"a", "b", "c"});
+
+  util::SectionedWriter writer("FHCTEST2");
+  owned.serialize(writer);
+  std::ostringstream image_stream(std::ios::binary);
+  writer.write_to(image_stream);
+  const std::string image = image_stream.str();
+  const auto buffer = aligned_image(image);
+  const auto view = util::SectionedView::attach(buffer, "FHCTEST2");
+
+  const auto loader = [&train, &labels] { return std::make_pair(train, labels); };
+  const auto attached =
+      TrainIndex::attach(view, {"a", "b", "c"}, train.size(), loader, nullptr);
+  ASSERT_TRUE(attached->attached());
+
+  const auto width = static_cast<std::size_t>(kFeatureTypeCount * 3);
+  const auto metric = ssdeep::EditMetric::kDamerauOsa;
+  const std::vector<FeatureHashes> queries = {
+      train[0], train[3], train[4],
+      uniform(12, "QRSTUVWXYZabcdef", "ponmlkjihgfedcba"),
+      uniform(192, "KKKKLLLLMMMMNNNN", "GGGGHHHHIIIIJJJJ"),
+  };
+  for (const FeatureHashes& query : queries) {
+    for (const int exclude : {-1, 0, 3, 5}) {
+      std::vector<float> owned_row(width);
+      std::vector<float> attached_row(width);
+      RowFillStats owned_stats;
+      RowFillStats attached_stats;
+      fill_feature_row(owned, query, metric, exclude, owned_row, kAllChannels,
+                       &owned_stats);
+      fill_feature_row(*attached, query, metric, exclude, attached_row,
+                       kAllChannels, &attached_stats);
+      EXPECT_EQ(owned_row, attached_row);
+      EXPECT_EQ(owned_stats.candidates_scored, attached_stats.candidates_scored);
+      EXPECT_EQ(owned_stats.index_skipped, attached_stats.index_skipped);
+    }
+  }
+
+  // The attached index re-serializes to the exact same container, and its
+  // lazily materialized raw digests match the originals.
+  util::SectionedWriter second_writer("FHCTEST2");
+  attached->serialize(second_writer);
+  std::ostringstream second_stream(std::ios::binary);
+  second_writer.write_to(second_stream);
+  EXPECT_EQ(image, second_stream.str());
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(attached->digests(FeatureType::kFile, c),
+              owned.digests(FeatureType::kFile, c));
+  }
+}
+
+TEST(SerializationBinary, V2RejectsFlippedSectionBytes) {
+  // A flipped byte inside any section payload must fail the load's
+  // checksum pass — the daemon never serves from a silently corrupt map.
+  const std::string image = binary_image_v2(model().clf);
+  const auto good = aligned_image(image);
+  const auto view = util::SectionedView::attach(good, kBinaryModelMagicV2);
+  for (const util::SectionEntry& entry : view.entries()) {
+    if (entry.size == 0) continue;
+    std::string corrupt = image;
+    const auto pos = static_cast<std::size_t>(entry.offset + entry.size / 2);
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x01);
+    const auto bytes = aligned_image(corrupt);
+    FuzzyHashClassifier clf;
+    EXPECT_THROW(clf.load_binary({bytes.data(), bytes.size()}, nullptr),
+                 std::runtime_error)
+        << "flip in section '" << entry.tag_view() << "' slipped through";
+  }
 }
 
 TEST(SerializationBinary, RejectsCorruptImages) {

@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <future>
 #include <sstream>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "support/synthetic_hashes.hpp"
 
@@ -184,6 +187,53 @@ TEST(ClassificationService, ReloadSwapsWithoutDroppingInFlight) {
   // cache was invalidated.
   for (const core::FeatureHashes& query : fx.queries) {
     EXPECT_EQ(svc.submit(query).get().label, ml::kUnknownLabel);
+  }
+}
+
+TEST(ClassificationService, ReloadV2AttachedModelSurvivesFileReplacement) {
+  // The daemon's RELOAD path with the v2 container: both generations are
+  // mmap'd + attached zero-copy, and the model file is atomically
+  // REPLACED on disk between them. In-flight batches submitted against
+  // the old generation must still resolve after the swap — the keepalive
+  // chain (snapshot -> classifier -> TrainIndex/forest -> ModelMap) pins
+  // the old mapping even though its directory entry is gone.
+  const Fixture& fx = fixture();
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("fhc_service_v2_" + std::to_string(::getpid()) + ".fhcb");
+  fx.model.save_binary_file(path.string());
+  auto first = core::FuzzyHashClassifier::load_file(path.string());
+  ASSERT_TRUE(first.index().attached());
+  ClassificationService svc(std::move(first));
+
+  std::vector<std::future<core::Prediction>> futures;
+  for (int round = 0; round < 4; ++round) {
+    for (const core::FeatureHashes& query : fx.queries) {
+      futures.push_back(svc.submit(query));
+    }
+    if (round == 1) {
+      // Atomic rewrite of the SAME file the live model is mapped from,
+      // then reload from it.
+      fx.strict_model.save_binary_file(path.string());
+      auto second = core::FuzzyHashClassifier::load_file(path.string());
+      ASSERT_TRUE(second.index().attached());
+      svc.reload(std::move(second));
+      std::filesystem::remove(path);  // mappings outlive the name
+    }
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const core::Prediction pred = futures[i].get();
+    const auto& query = fx.queries[i % fx.queries.size()];
+    const core::Prediction old_pred = fx.model.predict(query);
+    const core::Prediction new_pred = fx.strict_model.predict(query);
+    EXPECT_TRUE(pred.label == old_pred.label || pred.label == new_pred.label);
+  }
+  EXPECT_EQ(svc.stats().reloads, 1u);
+  // Post-swap the strict attached model answers everything unknown, and
+  // its predictions are bit-identical to the fitted strict model's.
+  for (const core::FeatureHashes& query : fx.queries) {
+    const core::Prediction pred = svc.submit(query).get();
+    EXPECT_EQ(pred.label, ml::kUnknownLabel);
+    expect_identical(pred, fx.strict_model.predict(query));
   }
 }
 

@@ -1,0 +1,229 @@
+// The sectioned container is the envelope every v2 model crosses a
+// machine boundary in; a malformed file must be a clean error at attach
+// or verify time, never UB. The negative tests here are fuzz-style:
+// truncate at many depths and flip bytes everywhere, asserting the view
+// either refuses to attach or fails verification.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "util/sectioned.hpp"
+
+namespace fhc::util {
+namespace {
+
+constexpr std::string_view kMagic = "TESTSEC1";
+
+std::span<const std::byte> bytes_of(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+/// An 8-byte-aligned copy of a container image (string data is not
+/// guaranteed aligned; the vector's heap block is).
+std::vector<std::byte> aligned(const std::string& image) {
+  std::vector<std::byte> out(image.size());
+  if (!image.empty()) std::memcpy(out.data(), image.data(), image.size());
+  return out;
+}
+
+std::string write_container(const std::vector<std::pair<std::string, std::string>>&
+                                sections) {
+  SectionedWriter writer(kMagic);
+  for (const auto& [tag, payload] : sections) {
+    writer.add_copy(tag, bytes_of(payload));
+  }
+  std::ostringstream out(std::ios::binary);
+  writer.write_to(out);
+  return out.str();
+}
+
+TEST(Sectioned, RoundTripsPayloadsByTag) {
+  const std::string image = write_container(
+      {{"alpha", "first payload"}, {"beta", std::string(1000, 'b')}, {"g", ""}});
+  const auto buffer = aligned(image);
+  const SectionedView view = SectionedView::attach(buffer, kMagic);
+  ASSERT_EQ(view.entries().size(), 3u);
+  EXPECT_NO_THROW(view.verify_checksums());
+
+  const auto alpha = view.section("alpha");
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(alpha.data()), alpha.size()),
+            "first payload");
+  EXPECT_EQ(view.section("beta").size(), 1000u);
+  EXPECT_EQ(view.section("g").size(), 0u);
+
+  std::span<const std::byte> out;
+  EXPECT_TRUE(view.find("alpha", out));
+  EXPECT_FALSE(view.find("missing", out));
+  EXPECT_THROW(view.section("missing"), std::runtime_error);
+}
+
+TEST(Sectioned, SectionsAre64ByteAligned) {
+  const std::string image = write_container(
+      {{"a", "x"}, {"b", std::string(63, 'y')}, {"c", std::string(65, 'z')}});
+  const auto buffer = aligned(image);
+  const SectionedView view = SectionedView::attach(buffer, kMagic);
+  for (const SectionEntry& entry : view.entries()) {
+    EXPECT_EQ(entry.offset % 64, 0u) << entry.tag_view();
+  }
+  // Table order is offset order; payloads do not overlap.
+  std::uint64_t prev_end = 0;
+  for (const SectionEntry& entry : view.entries()) {
+    EXPECT_GE(entry.offset, prev_end);
+    prev_end = entry.offset + entry.size;
+  }
+  EXPECT_EQ(image.size(), prev_end);
+}
+
+TEST(Sectioned, WriteIsDeterministic) {
+  const std::vector<std::pair<std::string, std::string>> sections = {
+      {"one", "payload one"}, {"two", std::string(200, 'q')}};
+  EXPECT_EQ(write_container(sections), write_container(sections));
+}
+
+TEST(Sectioned, TotalSizeMatchesWrittenBytes) {
+  SectionedWriter writer(kMagic);
+  const std::string a(77, 'a');
+  const std::string b(1, 'b');
+  writer.add("a", bytes_of(a));
+  writer.add("b", bytes_of(b));
+  std::ostringstream out(std::ios::binary);
+  writer.write_to(out);
+  EXPECT_EQ(out.str().size(), writer.total_size());
+}
+
+TEST(Sectioned, RejectsDuplicateAndBadTags) {
+  SectionedWriter writer(kMagic);
+  const std::string payload = "p";
+  writer.add("tag", bytes_of(payload));
+  EXPECT_THROW(writer.add("tag", bytes_of(payload)), std::invalid_argument);
+  EXPECT_THROW(writer.add("", bytes_of(payload)), std::invalid_argument);
+  EXPECT_THROW(writer.add("ninechars", bytes_of(payload)), std::invalid_argument);
+  EXPECT_THROW(SectionedWriter("short"), std::invalid_argument);
+}
+
+TEST(Sectioned, RejectsWrongMagic) {
+  const std::string image = write_container({{"a", "x"}});
+  const auto buffer = aligned(image);
+  EXPECT_THROW(SectionedView::attach(buffer, "OTHERMAG"), std::runtime_error);
+}
+
+TEST(Sectioned, TruncationAtEveryDepthIsACleanError) {
+  const std::string image = write_container(
+      {{"alpha", std::string(300, 'a')}, {"beta", std::string(100, 'b')}});
+  // Every prefix must either refuse to attach or fail verify_checksums —
+  // bounds are validated before any payload access, so none may crash.
+  for (std::size_t len = 0; len < image.size(); len += 7) {
+    const auto buffer = aligned(image.substr(0, len));
+    bool rejected = false;
+    try {
+      const SectionedView view = SectionedView::attach(buffer, kMagic);
+      view.verify_checksums();
+    } catch (const std::runtime_error&) {
+      rejected = true;
+    }
+    EXPECT_TRUE(rejected) << "prefix of " << len << " bytes slipped through";
+  }
+}
+
+TEST(Sectioned, EveryByteFlipIsDetected) {
+  const std::string image =
+      write_container({{"alpha", "sensitive bits"}, {"beta", std::string(90, 'b')}});
+  for (std::size_t pos = 0; pos < image.size(); ++pos) {
+    std::string corrupt = image;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x40);
+    const auto buffer = aligned(corrupt);
+    bool rejected = false;
+    try {
+      const SectionedView view = SectionedView::attach(buffer, kMagic);
+      view.verify_checksums();
+    } catch (const std::runtime_error&) {
+      rejected = true;
+    }
+    // Padding bytes are the only ones outside magic/table/payloads, and
+    // flipping those is harmless by design — everything else must trip.
+    const SectionedView good = SectionedView::attach(aligned(image), kMagic);
+    bool in_padding = true;
+    if (pos < 24 + good.entries().size() * sizeof(SectionEntry)) in_padding = false;
+    for (const SectionEntry& entry : good.entries()) {
+      if (pos >= entry.offset && pos < entry.offset + entry.size) in_padding = false;
+    }
+    if (!in_padding) {
+      EXPECT_TRUE(rejected) << "flip at byte " << pos << " slipped through";
+    }
+  }
+}
+
+TEST(Sectioned, RejectsImplausibleSectionCount) {
+  std::string image = write_container({{"a", "x"}});
+  std::uint32_t huge = 1u << 30;
+  std::memcpy(image.data() + 8, &huge, sizeof huge);
+  const auto buffer = aligned(image);
+  EXPECT_THROW(SectionedView::attach(buffer, kMagic), std::runtime_error);
+}
+
+TEST(Sectioned, SectionAsChecksShapeAndAlignment) {
+  const std::string payload(24, 'z');  // 3 x u64
+  const std::string odd(13, 'z');
+  const std::string image = write_container({{"u64s", payload}, {"odd", odd}});
+  const auto buffer = aligned(image);
+  const SectionedView view = SectionedView::attach(buffer, kMagic);
+  EXPECT_EQ(section_as<std::uint64_t>(view, "u64s").size(), 3u);
+  EXPECT_THROW(section_as<std::uint64_t>(view, "odd"), std::runtime_error);
+}
+
+TEST(Sectioned, WriteFileReplacesAtomicallyAndLeavesNoTemp) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("fhc_sectioned_" + std::to_string(::getpid()) + ".bin");
+  const std::string payload_a(100, 'a');
+  SectionedWriter first(kMagic);
+  first.add("data", bytes_of(payload_a));
+  first.write_file(path.string());
+
+  const std::string payload_b(500, 'b');
+  SectionedWriter second(kMagic);
+  second.add("data", bytes_of(payload_b));
+  second.write_file(path.string());
+
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  const auto buffer = aligned(contents.str());
+  const SectionedView view = SectionedView::attach(buffer, kMagic);
+  EXPECT_EQ(view.section("data").size(), 500u);
+  EXPECT_NO_THROW(view.verify_checksums());
+  std::filesystem::remove(path);
+}
+
+TEST(Sectioned, ChecksumProperties) {
+  // The lane checksum must be deterministic, length-sensitive (a
+  // zero-padded tail cannot collide with explicit trailing zeros), and
+  // sensitive to any single-bit flip in any lane position.
+  const std::string abc = "abc";
+  EXPECT_EQ(checksum64(bytes_of(abc)), checksum64(bytes_of(abc)));
+  const std::string abc0 = std::string("abc") + '\0';
+  EXPECT_NE(checksum64(bytes_of(abc)), checksum64(bytes_of(abc0)));
+  const std::string empty;
+  EXPECT_NE(checksum64(bytes_of(empty)), checksum64(bytes_of(abc)));
+
+  const std::string base(37, 'q');  // straddles full and tail lanes
+  const std::uint64_t reference = checksum64(bytes_of(base));
+  for (std::size_t pos = 0; pos < base.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = base;
+      flipped[pos] = static_cast<char>(flipped[pos] ^ (1 << bit));
+      EXPECT_NE(checksum64(bytes_of(flipped)), reference)
+          << "bit " << bit << " of byte " << pos;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fhc::util

@@ -1,0 +1,140 @@
+// fhc-inspect: print what is inside a model file without loading it.
+//
+//   fhc_inspect MODEL
+//
+// For a v2 sectioned container ("FHCMDLB2") this prints the section
+// table — tag, offset, size, checksum, verification status — plus the
+// TrainIndex counts header and the class/digest counts from the model
+// preamble. v1 blobs ("FHCMDLB1") and text models get a shorter summary.
+// Exit status is non-zero when the file is damaged (bad table, checksum
+// mismatch), which makes the tool usable as a model fsck in deploy
+// scripts.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "core/classifier.hpp"
+#include "core/feature_matrix.hpp"
+#include "util/model_map.hpp"
+#include "util/sectioned.hpp"
+
+using namespace fhc;
+
+namespace {
+
+bool starts_with(std::span<const std::byte> bytes, std::string_view magic) {
+  return bytes.size() >= magic.size() &&
+         std::memcmp(bytes.data(), magic.data(), magic.size()) == 0;
+}
+
+/// Pulls "classes K" / "train N" out of preamble text without a full parse.
+void print_preamble_counts(std::string_view text) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    if (line.rfind("classes ", 0) == 0 || line.rfind("train ", 0) == 0) {
+      std::printf("  %.*s\n", static_cast<int>(line.size()), line.data());
+    }
+    if (line.rfind("train ", 0) == 0) return;  // digest rows follow
+    if (nl == std::string_view::npos) return;
+    pos = nl + 1;
+  }
+}
+
+int inspect_v2(const util::ModelMap& map) {
+  util::SectionedView view;
+  try {
+    view = util::SectionedView::attach(map.bytes(), core::kBinaryModelMagicV2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fhc_inspect: damaged container: %s\n", e.what());
+    return 1;
+  }
+  std::printf("format: v2 sectioned container (%.*s), %zu bytes, %zu sections\n",
+              8, reinterpret_cast<const char*>(map.bytes().data()),
+              map.bytes().size(), view.entries().size());
+  std::printf("%-10s %12s %12s  %-16s\n", "tag", "offset", "size", "checksum");
+  for (const util::SectionEntry& entry : view.entries()) {
+    const std::string tag(entry.tag_view());
+    std::printf("%-10s %12" PRIu64 " %12" PRIu64 "  %016" PRIx64 "\n", tag.c_str(),
+                entry.offset, entry.size, entry.checksum);
+  }
+  try {
+    view.verify_checksums();
+    std::printf("checksums: all %zu sections verified\n", view.entries().size());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fhc_inspect: %s\n", e.what());
+    return 1;
+  }
+
+  const auto meta =
+      util::section_as<core::TrainIndex::Meta>(view, core::model_section::kMeta);
+  if (meta.size() == 1) {
+    std::printf("index: version %u, %u classes, %" PRIu64
+                " training samples\n",
+                meta[0].version, meta[0].n_classes, meta[0].train_count);
+    std::printf("index entries per channel: file %u, strings %u, symbols %u\n",
+                meta[0].entry_counts[0], meta[0].entry_counts[1],
+                meta[0].entry_counts[2]);
+  }
+  const auto preamble = view.section("preamble");
+  print_preamble_counts(std::string_view(
+      reinterpret_cast<const char*>(preamble.data()), preamble.size()));
+  return 0;
+}
+
+int inspect_v1(const util::ModelMap& map) {
+  const auto bytes = map.bytes();
+  std::printf("format: v1 monolithic blob (%.*s), %zu bytes\n", 8,
+              reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  if (bytes.size() < 16) {
+    std::fprintf(stderr, "fhc_inspect: truncated v1 header\n");
+    return 1;
+  }
+  std::uint64_t preamble_size = 0;
+  std::memcpy(&preamble_size, bytes.data() + 8, sizeof preamble_size);
+  if (preamble_size > bytes.size() - 16) {
+    std::fprintf(stderr, "fhc_inspect: truncated v1 preamble\n");
+    return 1;
+  }
+  std::printf("preamble: %" PRIu64 " bytes; forest image: %zu bytes\n",
+              preamble_size,
+              bytes.size() - 16 - static_cast<std::size_t>(preamble_size));
+  print_preamble_counts(
+      std::string_view(reinterpret_cast<const char*>(bytes.data()) + 16,
+                       static_cast<std::size_t>(preamble_size)));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: fhc_inspect MODEL\n");
+    return 2;
+  }
+  try {
+    const util::ModelMap map{std::string(argv[1])};
+    if (starts_with(map.bytes(), core::kBinaryModelMagicV2)) {
+      return inspect_v2(map);
+    }
+    if (starts_with(map.bytes(), core::kBinaryModelMagicV1)) {
+      return inspect_v1(map);
+    }
+    std::printf("format: text model, %zu bytes\n", map.bytes().size());
+    const std::string_view text(reinterpret_cast<const char*>(map.bytes().data()),
+                                map.bytes().size());
+    const std::size_t first_nl = text.find('\n');
+    if (first_nl != std::string_view::npos) {
+      std::printf("  magic line: %.*s\n", static_cast<int>(first_nl), text.data());
+      print_preamble_counts(text.substr(first_nl + 1));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fhc_inspect: %s\n", e.what());
+    return 1;
+  }
+}

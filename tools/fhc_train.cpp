@@ -8,9 +8,12 @@
 // Every regular file below ROOT is a sample labelled by its top-level
 // directory. Use `fhc_classify MODEL FILE...` afterwards.
 //
-// --binary writes the binary model format (mmap'd zero-copy forest load —
-// the fast path for `fhc_serve` RELOAD) instead of text; every consumer
-// (`fhc_classify`, `fhc_serve`) sniffs the format automatically.
+// --binary writes the v2 sectioned container ("FHCMDLB2"): prepared
+// digests, per-channel gram indexes, and the forest plan laid out for
+// zero-copy mmap attach, making `fhc_serve` RELOAD O(mmap) at any corpus
+// size. v1 blobs and text models stay readable; every consumer
+// (`fhc_classify`, `fhc_serve`, `fhc_inspect`) sniffs the format
+// automatically.
 //
 // Demo without real data: materialize the synthetic corpus first —
 //   FHC_SCALE=0.05 ./build/bench/table3_unknown_classes   (or use the

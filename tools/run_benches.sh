@@ -59,11 +59,16 @@ done
 # baselines (batched forest inference + zero-copy reload trajectory).
 # PR 5 on: the leaf-accumulate pair (scalar baseline vs the restructured
 # primitive) tracks the block walk's accumulation bound.
+# PR 6 on: the whole-model reload pair — v1 rebuild vs v2 zero-copy
+# attach at both corpus scales (the /48 points show v1 growing with the
+# corpus while attach stays flat).
 for required in \
     BM_ForestFit/1024 BM_ForestFitSerial/1024 \
     BM_ForestPredictProba BM_ForestPredictBlock/1 BM_ForestPredictBlock/8 \
     BM_ForestPredictBlock/64 BM_ModelLoadText BM_ModelLoadBinary \
-    BM_LeafAccumulateScalar BM_LeafAccumulate; do
+    BM_LeafAccumulateScalar BM_LeafAccumulate \
+    BM_ModelLoadBinaryV1/12 BM_ModelLoadBinaryV1/48 \
+    BM_ModelAttachV2/12 BM_ModelAttachV2/48; do
   if ! grep -q "\"$required\"" BENCH_perf_forest.json; then
     echo "error: BENCH_perf_forest.json is missing $required" >&2
     exit 1
