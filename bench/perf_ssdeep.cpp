@@ -14,6 +14,8 @@
 
 #include "core/feature_matrix.hpp"
 #include "core/features.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/synthetic.hpp"
 #include "ssdeep/compare.hpp"
 #include "ssdeep/edit_distance.hpp"
 #include "ssdeep/fuzzy_hash.hpp"
@@ -272,6 +274,73 @@ void BM_FeatureRowRawLoop(benchmark::State& state) {
                           static_cast<std::int64_t>(data.train.size()) * 3);
 }
 BENCHMARK(BM_FeatureRowRawLoop);
+
+void BM_RuntimeTraceHash(benchmark::State& state) {
+  // The runtime channel's per-sample cost: normalize a counter trace
+  // (per-event rate + z-score quantization) and fuzzy-hash the resulting
+  // byte stream. One 240-interval x 4-event trace, the shape of a
+  // four-minute `perf stat -I 1000` collection.
+  const runtime::CounterTrace trace =
+      runtime::synthesize_trace(runtime::hpc_trace_spec(0), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::hash_trace(trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_RuntimeTraceHash);
+
+// Same corpus as feature_bench_data() plus the execution-fingerprint
+// channel (per-class synthetic workload traces), so the bench pair
+// BM_FeatureRowIndexed / BM_FeatureRowIndexedFourChannel isolates what
+// the fourth channel adds to the row fill.
+const FeatureBenchData& feature_bench_data_four_channel() {
+  static const FeatureBenchData data = [] {
+    const FeatureBenchData& base = feature_bench_data();
+    std::vector<core::FeatureHashes> train = base.train;
+    const int k = base.index().n_classes();
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      runtime::attach_trace(
+          train[i], runtime::synthesize_trace(
+                        runtime::hpc_trace_spec(base.labels[i]), 500 + i));
+    }
+    std::vector<std::string> names;
+    for (int c = 0; c < k; ++c) names.push_back("class" + std::to_string(c));
+    auto index = std::make_unique<core::TrainIndex>(
+        train, base.labels, std::move(names), runtime::runtime_channel_set());
+    core::FeatureHashes query = base.query;
+    runtime::attach_trace(
+        query, runtime::synthesize_trace(runtime::hpc_trace_spec(0), 9999));
+    return FeatureBenchData{std::move(train), base.labels, std::move(index),
+                            std::move(query)};
+  }();
+  return data;
+}
+
+void BM_FeatureRowIndexedFourChannel(benchmark::State& state) {
+  // BM_FeatureRowIndexed with the runtime channel in the index: the row
+  // widens from 3k to 4k columns and the probe covers one more channel
+  // whose same-class candidates genuinely run the DP.
+  const FeatureBenchData& data = feature_bench_data_four_channel();
+  std::vector<float> row(data.index().n_channels() *
+                         static_cast<std::size_t>(data.index().n_classes()));
+  core::RowFillStats stats;
+  for (auto _ : state) {
+    core::fill_feature_row(data.index(), data.query,
+                           ssdeep::EditMetric::kDamerauOsa, -1, row,
+                           core::kAllChannels, &stats);
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.train.size()) * 4);
+  const auto iters = std::max<std::int64_t>(state.iterations(), 1);
+  const auto visited = static_cast<double>(stats.candidates_scored + stats.index_skipped);
+  state.counters["scored_per_row"] =
+      static_cast<double>(stats.candidates_scored) / static_cast<double>(iters);
+  state.counters["skip_rate"] =
+      visited > 0.0 ? static_cast<double>(stats.index_skipped) / visited : 0.0;
+}
+BENCHMARK(BM_FeatureRowIndexedFourChannel);
 
 void BM_StreamingUpdateChunks(benchmark::State& state) {
   // Streaming in 4 KiB chunks (the Slurm-prolog collection pattern).

@@ -27,7 +27,9 @@ void FuzzyHashClassifier::fit(const std::vector<FeatureHashes>& train_hashes,
     throw std::invalid_argument("fit: hashes/labels size mismatch");
   }
   config_ = config;
-  index_ = std::make_unique<TrainIndex>(train_hashes, labels, std::move(class_names));
+  index_ = std::make_unique<TrainIndex>(train_hashes, labels,
+                                        std::move(class_names),
+                                        config_.channel_set);
 
   // Leave-self-out featurization of the training rows: sample i's own
   // digests are excluded from the class maxima so no column degenerates to
@@ -114,7 +116,7 @@ void FuzzyHashClassifier::predict_rows(const ml::Matrix& rows,
 
 std::size_t FuzzyHashClassifier::row_width() const {
   if (!fitted()) throw std::logic_error("FuzzyHashClassifier: not fitted");
-  return static_cast<std::size_t>(kFeatureTypeCount * index_->n_classes());
+  return index_->n_channels() * static_cast<std::size_t>(index_->n_classes());
 }
 
 std::vector<int> FuzzyHashClassifier::predict_batch(
@@ -145,15 +147,15 @@ std::vector<double> FuzzyHashClassifier::column_importances() const {
   return forest_.feature_importances();
 }
 
-std::array<double, kFeatureTypeCount> FuzzyHashClassifier::feature_type_importance()
-    const {
+std::vector<double> FuzzyHashClassifier::channel_importance() const {
   const std::vector<double> columns = column_importances();
   const auto k = static_cast<std::size_t>(index_->n_classes());
-  std::array<double, kFeatureTypeCount> grouped{};
-  for (std::size_t f = 0; f < kFeatureTypeCount; ++f) {
+  std::vector<double> grouped(index_->n_channels(), 0.0);
+  for (std::size_t f = 0; f < grouped.size(); ++f) {
     for (std::size_t c = 0; c < k; ++c) grouped[f] += columns[f * k + c];
   }
-  const double total = grouped[0] + grouped[1] + grouped[2];
+  double total = 0.0;
+  for (const double g : grouped) total += g;
   if (total > 0.0) {
     for (double& g : grouped) g /= total;
   }
@@ -183,11 +185,26 @@ void FuzzyHashClassifier::save(std::ostream& out) const {
 }
 
 void FuzzyHashClassifier::save_preamble(std::ostream& out) const {
+  const ChannelSet& channels = index_->channels();
+  const std::size_t n = channels.size();
+  // The channelset block exists only for non-default rosters, so a
+  // static-triple model's preamble is byte-identical to the pre-registry
+  // format (and old parsers reject extended models at the first tag
+  // instead of misreading them).
+  if (!channels.is_static_triple()) {
+    out << "channelset " << n << '\n';
+    for (const ChannelDesc& channel : channels) {
+      out << channel.name << ' ' << static_cast<int>(channel.kind) << '\n';
+    }
+  }
   out << "metric " << static_cast<int>(config_.metric) << '\n';
   out << "threshold " << config_.confidence_threshold << '\n';
   out << "balanced " << (config_.balanced_class_weights ? 1 : 0) << '\n';
-  out << "channels " << config_.channels[0] << ' ' << config_.channels[1] << ' '
-      << config_.channels[2] << '\n';
+  out << "channels";
+  for (std::size_t f = 0; f < n; ++f) {
+    out << ' ' << (config_.channels.enabled(f) ? 1 : 0);
+  }
+  out << '\n';
 
   const int k = index_->n_classes();
   out << "classes " << k << '\n';
@@ -203,8 +220,8 @@ void FuzzyHashClassifier::save_preamble(std::ostream& out) const {
     for (std::size_t j = 0; j < ids.size(); ++j) {
       std::ostringstream row;
       row << c;
-      for (int f = 0; f < kFeatureTypeCount; ++f) {
-        row << ' ' << index_->digests(static_cast<FeatureType>(f), c)[j].to_string();
+      for (std::size_t f = 0; f < n; ++f) {
+        row << ' ' << index_->digests(f, c)[j].to_string();
       }
       rows[static_cast<std::size_t>(ids[j])] = row.str();
     }
@@ -237,7 +254,33 @@ PreambleHeader load_preamble_header(std::istream& in) {
   std::string tag;
   int metric = 0;
   int balanced = 0;
-  if (!(in >> tag >> metric) || tag != "metric" ||
+  if (!(in >> tag)) {
+    throw std::runtime_error("FuzzyHashClassifier::load: bad config block");
+  }
+  // Optional leading channelset block (extended rosters only); its
+  // absence means the legacy static triple, which ClassifierConfig
+  // already defaults to.
+  if (tag == "channelset") {
+    std::size_t n = 0;
+    if (!(in >> n) || n == 0 || n > kMaxChannels) {
+      throw std::runtime_error("FuzzyHashClassifier::load: bad channel count");
+    }
+    std::vector<ChannelDesc> descs;
+    descs.reserve(n);
+    for (std::size_t f = 0; f < n; ++f) {
+      std::string name;
+      int kind = -1;
+      if (!(in >> name >> kind) || (kind != 0 && kind != 1)) {
+        throw std::runtime_error("FuzzyHashClassifier::load: bad channel line");
+      }
+      descs.push_back(ChannelDesc{std::move(name), static_cast<ChannelKind>(kind)});
+    }
+    out.config.channel_set = ChannelSet(std::move(descs));
+    if (!(in >> tag)) {
+      throw std::runtime_error("FuzzyHashClassifier::load: bad config block");
+    }
+  }
+  if (tag != "metric" || !(in >> metric) ||
       !(in >> tag >> out.config.confidence_threshold) || tag != "threshold" ||
       !(in >> tag >> balanced) || tag != "balanced") {
     throw std::runtime_error("FuzzyHashClassifier::load: bad config block");
@@ -247,10 +290,10 @@ PreambleHeader load_preamble_header(std::istream& in) {
   if (!(in >> tag) || tag != "channels") {
     throw std::runtime_error("FuzzyHashClassifier::load: bad channels");
   }
-  for (auto& channel : out.config.channels) {
+  for (std::size_t f = 0; f < out.config.channel_set.size(); ++f) {
     int value = 0;
     if (!(in >> value)) throw std::runtime_error("load: bad channel flag");
-    channel = value != 0;
+    out.config.channels.set(f, value != 0);
   }
 
   if (!(in >> tag >> out.k) || tag != "classes" || out.k <= 0) {
@@ -271,26 +314,27 @@ PreambleHeader load_preamble_header(std::istream& in) {
 }
 
 std::pair<std::vector<FeatureHashes>, std::vector<int>> load_digest_rows(
-    std::istream& in, std::size_t n_train) {
+    std::istream& in, std::size_t n_train, std::size_t n_channels) {
   std::vector<FeatureHashes> hashes(n_train);
   std::vector<int> labels(n_train);
   for (std::size_t i = 0; i < n_train; ++i) {
-    std::string file_text;
-    std::string strings_text;
-    std::string symbols_text;
-    if (!(in >> labels[i] >> file_text >> strings_text >> symbols_text)) {
+    if (!(in >> labels[i])) {
       throw std::runtime_error("FuzzyHashClassifier::load: truncated digests");
     }
-    const auto file = ssdeep::parse_digest(file_text);
-    const auto strings = ssdeep::parse_digest(strings_text);
-    const auto symbols = ssdeep::parse_digest(symbols_text);
-    if (!file || !strings || !symbols) {
-      throw std::runtime_error("FuzzyHashClassifier::load: bad digest");
+    for (std::size_t f = 0; f < n_channels; ++f) {
+      std::string text;
+      if (!(in >> text)) {
+        throw std::runtime_error("FuzzyHashClassifier::load: truncated digests");
+      }
+      const auto digest = ssdeep::parse_digest(text);
+      if (!digest) {
+        throw std::runtime_error("FuzzyHashClassifier::load: bad digest");
+      }
+      hashes[i].set_channel(f, *digest);
     }
-    hashes[i].file = *file;
-    hashes[i].strings = *strings;
-    hashes[i].symbols = *symbols;
-    hashes[i].has_symbols = !symbols->part1.empty();
+    if (n_channels >= 3) {
+      hashes[i].has_symbols = !hashes[i].symbols.part1.empty();
+    }
   }
   return {std::move(hashes), std::move(labels)};
 }
@@ -298,14 +342,15 @@ std::pair<std::vector<FeatureHashes>, std::vector<int>> load_digest_rows(
 Preamble load_preamble(std::istream& in) {
   Preamble out;
   out.header = load_preamble_header(in);
-  std::tie(out.hashes, out.labels) = load_digest_rows(in, out.header.n_train);
+  std::tie(out.hashes, out.labels) =
+      load_digest_rows(in, out.header.n_train, out.header.config.channel_set.size());
   return out;
 }
 
 /// Splits the preamble text at the end of its header (the newline closing
-/// the "train N" line) without parsing the digest rows: 4 config lines +
-/// the "classes K" line + K name lines + the train line. Returns the
-/// header byte count.
+/// the "train N" line) without parsing the digest rows: the optional
+/// channelset block, 4 config lines, the "classes K" line, K name lines,
+/// and the train line. Returns the header byte count.
 std::size_t preamble_header_bytes(std::string_view text) {
   std::size_t pos = 0;
   int k = 0;
@@ -318,6 +363,17 @@ std::size_t preamble_header_bytes(std::string_view text) {
     pos = nl + 1;
     return line;
   };
+  if (text.starts_with("channelset ")) {
+    std::size_t n = 0;
+    {
+      std::istringstream channelset_line{std::string(next_line())};
+      std::string tag;
+      if (!(channelset_line >> tag >> n) || n == 0 || n > kMaxChannels) {
+        throw std::runtime_error("FuzzyHashClassifier::load: bad channel count");
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) next_line();  // channel lines
+  }
   for (int i = 0; i < 4; ++i) next_line();  // metric/threshold/balanced/channels
   {
     std::istringstream classes_line{std::string(next_line())};
@@ -335,15 +391,15 @@ std::size_t preamble_header_bytes(std::string_view text) {
 
 namespace {
 
-/// predict builds rows of exactly kFeatureTypeCount * k floats; a forest
+/// predict builds rows of exactly n_channels * k floats; a forest
 /// claiming any other shape would read past them (its trees are only
 /// validated against its OWN n_features header).
-void check_forest_shape(const ml::RandomForest& forest, int k) {
+void check_forest_shape(const ml::RandomForest& forest, int k,
+                        std::size_t n_channels) {
   if (forest.n_classes() != k) {
     throw std::runtime_error("FuzzyHashClassifier::load: forest/class mismatch");
   }
-  if (forest.n_features() != static_cast<std::size_t>(kFeatureTypeCount) *
-                                 static_cast<std::size_t>(k)) {
+  if (forest.n_features() != n_channels * static_cast<std::size_t>(k)) {
     throw std::runtime_error("FuzzyHashClassifier::load: forest/row-width mismatch");
   }
 }
@@ -357,11 +413,13 @@ void FuzzyHashClassifier::load(std::istream& in) {
   }
   Preamble preamble = load_preamble(in);
   forest_.load(in);
-  check_forest_shape(forest_, preamble.header.k);
+  check_forest_shape(forest_, preamble.header.k,
+                     preamble.header.config.channel_set.size());
   // Rebuilding the index re-prepares every reference digest (normalized
   // parts + gram arrays) from the raw text loaded above.
   index_ = std::make_unique<TrainIndex>(preamble.hashes, preamble.labels,
-                                        std::move(preamble.header.names));
+                                        std::move(preamble.header.names),
+                                        preamble.header.config.channel_set);
   config_ = preamble.header.config;
 }
 
@@ -448,11 +506,13 @@ void FuzzyHashClassifier::load_binary_v1(std::span<const std::byte> bytes,
     throw std::runtime_error("FuzzyHashClassifier::load_binary: truncated model");
   }
   forest_.load_binary(bytes.subspan(forest_offset), std::move(keepalive));
-  check_forest_shape(forest_, preamble.header.k);
+  check_forest_shape(forest_, preamble.header.k,
+                     preamble.header.config.channel_set.size());
   // v1 carries no prepared pools: rebuild the index (re-preparing every
   // digest) from the preamble text, exactly like the text loader.
   index_ = std::make_unique<TrainIndex>(preamble.hashes, preamble.labels,
-                                        std::move(preamble.header.names));
+                                        std::move(preamble.header.names),
+                                        preamble.header.config.channel_set);
   config_ = preamble.header.config;
 }
 
@@ -474,18 +534,21 @@ void FuzzyHashClassifier::load_binary_v2(std::span<const std::byte> bytes,
   PreambleHeader header = load_preamble_header(header_stream);
 
   forest_.load_binary(container.section("forest"), keepalive);
-  check_forest_shape(forest_, header.k);
+  check_forest_shape(forest_, header.k, header.config.channel_set.size());
 
   // The digest rows stay as mapped text; the loader below parses them
   // only if something asks for raw digests (save, inspection). The
   // keepalive copy in the lambda pins the mapping for the view's sake.
   const std::string_view rows_text = preamble_text.substr(header_bytes);
   const std::size_t n_train = header.n_train;
-  TrainIndex::RawDigestLoader raw_loader = [rows_text, n_train, keepalive]() {
+  const std::size_t n_channels = header.config.channel_set.size();
+  TrainIndex::RawDigestLoader raw_loader = [rows_text, n_train, n_channels,
+                                            keepalive]() {
     std::istringstream rows_stream{std::string(rows_text)};
-    return load_digest_rows(rows_stream, n_train);
+    return load_digest_rows(rows_stream, n_train, n_channels);
   };
-  index_ = TrainIndex::attach(container, std::move(header.names), header.n_train,
+  index_ = TrainIndex::attach(container, std::move(header.names),
+                              header.config.channel_set, header.n_train,
                               std::move(raw_loader), keepalive);
   config_ = header.config;
 }

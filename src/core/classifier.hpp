@@ -50,6 +50,8 @@ struct ClassifierConfig {
   double confidence_threshold = 0.50;
   bool balanced_class_weights = true;      // paper: inverse-frequency weights
   ChannelMask channels = kAllChannels;     // feature-ablation knob
+  ChannelSet channel_set;                  // feature-channel roster (default:
+                                           // the paper's static triple)
 };
 
 /// One prediction with its evidence.
@@ -86,7 +88,7 @@ class FuzzyHashClassifier {
   void predict_rows(const ml::Matrix& rows, std::span<Prediction> out,
                     util::ThreadPool* pool = nullptr) const;
 
-  /// Width of one similarity feature row (kFeatureTypeCount * n_classes).
+  /// Width of one similarity feature row (n_channels * n_classes).
   std::size_t row_width() const;
 
   /// Batch prediction (parallel). Returns labels; `out_proba`, if given,
@@ -98,12 +100,13 @@ class FuzzyHashClassifier {
   /// lets threshold sweeps reuse one expensive predict_proba pass.
   std::vector<int> labels_from_proba(const ml::Matrix& proba, double threshold) const;
 
-  /// Per-column forest importances (3*K entries).
+  /// Per-column forest importances (n_channels*K entries).
   std::vector<double> column_importances() const;
 
-  /// Importances aggregated to the three feature types and normalized —
-  /// exactly Table 5.
-  std::array<double, kFeatureTypeCount> feature_type_importance() const;
+  /// Importances aggregated per feature channel and normalized — exactly
+  /// Table 5 for a static-triple model; one extra entry per dynamic
+  /// channel otherwise. Order matches index().channels().
+  std::vector<double> channel_importance() const;
 
   const TrainIndex& index() const { return *index_; }
   const ml::RandomForest& forest() const noexcept { return forest_; }
@@ -114,6 +117,11 @@ class FuzzyHashClassifier {
   void set_confidence_threshold(double threshold) {
     config_.confidence_threshold = threshold;
   }
+
+  /// Adjust the channel-ablation mask without refitting (disabled
+  /// channels score constant 0 in the feature row — the trees trained on
+  /// them lose their signal, which is the point of an ablation).
+  void set_channel_mask(const ChannelMask& mask) { config_.channels = mask; }
 
   /// Serializes the fitted model (config, class names, reference digests,
   /// forest) as versioned text — train once on a login node, classify from

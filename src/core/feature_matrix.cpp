@@ -1,6 +1,8 @@
 #include "core/feature_matrix.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cstring>
 #include <stdexcept>
 
 #include "util/thread_pool.hpp"
@@ -39,21 +41,101 @@ void validate_csr(std::span<const std::uint64_t> keys,
 
 }  // namespace
 
+std::string channel_set_to_text(const ChannelSet& channels) {
+  std::string out;
+  for (const ChannelDesc& channel : channels) {
+    out += channel.name;
+    out += ' ';
+    out += std::to_string(static_cast<int>(channel.kind));
+    out += '\n';
+  }
+  return out;
+}
+
+ChannelSet channel_set_from_text(std::string_view text) {
+  std::vector<ChannelDesc> descs;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    if (line.empty()) continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string_view::npos || space == 0) {
+      throw std::runtime_error("channel set: malformed line");
+    }
+    const std::string_view kind_text = line.substr(space + 1);
+    int kind = -1;
+    const auto [end, ec] = std::from_chars(
+        kind_text.data(), kind_text.data() + kind_text.size(), kind);
+    if (ec != std::errc{} || end != kind_text.data() + kind_text.size() ||
+        (kind != 0 && kind != 1)) {
+      throw std::runtime_error("channel set: bad channel kind");
+    }
+    descs.push_back(ChannelDesc{std::string(line.substr(0, space)),
+                                static_cast<ChannelKind>(kind)});
+  }
+  return ChannelSet(std::move(descs));
+}
+
+TrainIndex::MetaInfo TrainIndex::parse_meta(std::span<const std::byte> bytes) {
+  const auto read_u32 = [&](std::size_t off) {
+    std::uint32_t v = 0;
+    std::memcpy(&v, bytes.data() + off, sizeof v);
+    return v;
+  };
+  if (bytes.size() < 16) bad_index("meta section too small");
+  MetaInfo info;
+  info.version = read_u32(0);
+  info.n_classes = read_u32(4);
+  std::memcpy(&info.train_count, bytes.data() + 8, sizeof info.train_count);
+  if (info.version == 1) {
+    if (bytes.size() != sizeof(Meta)) bad_index("meta section size");
+    Meta meta;
+    std::memcpy(&meta, bytes.data(), sizeof meta);
+    info.entry_counts.assign(meta.entry_counts.begin(), meta.entry_counts.end());
+    info.dir_counts.assign(meta.dir_counts.begin(), meta.dir_counts.end());
+  } else if (info.version == 2) {
+    if (bytes.size() < 24) bad_index("meta section too small");
+    const std::uint32_t n = read_u32(16);
+    if (n < 1 || n > kMaxChannels) bad_index("meta channel count");
+    if (bytes.size() != 24 + 8 * static_cast<std::size_t>(n)) {
+      bad_index("meta section size");
+    }
+    info.entry_counts.reserve(n);
+    info.dir_counts.reserve(n);
+    for (std::uint32_t f = 0; f < n; ++f) {
+      info.entry_counts.push_back(read_u32(24 + 4 * static_cast<std::size_t>(f)));
+    }
+    for (std::uint32_t f = 0; f < n; ++f) {
+      info.dir_counts.push_back(
+          read_u32(24 + 4 * static_cast<std::size_t>(n) +
+                   4 * static_cast<std::size_t>(f)));
+    }
+  } else {
+    bad_index("unsupported index version");
+  }
+  return info;
+}
+
 TrainIndex::TrainIndex(const std::vector<FeatureHashes>& train_hashes,
                        const std::vector<int>& labels,
-                       std::vector<std::string> class_names)
-    : class_names_(std::move(class_names)) {
+                       std::vector<std::string> class_names, ChannelSet channels)
+    : class_names_(std::move(class_names)), channels_(std::move(channels)) {
   if (train_hashes.size() != labels.size()) {
     throw std::invalid_argument("TrainIndex: size mismatch");
   }
   const int k = n_classes();
-  const auto cells = static_cast<std::size_t>(kFeatureTypeCount) *
-                     static_cast<std::size_t>(k);
+  const std::size_t n = n_channels();
+  const std::size_t cells = n * static_cast<std::size_t>(k);
   train_sample_count_ = train_hashes.size();
 
   // Pass 1: prepare every digest once (run-normalized parts + presorted
   // gram arrays) into temporary per-(channel, class, blocksize) buckets,
-  // and fill the eager raw-digest view.
+  // and fill the eager raw-digest view. Samples carrying fewer channels
+  // than the set contribute the empty digest on the missing ones.
   struct TempBucket {
     std::uint32_t blocksize = 0;
     std::vector<ssdeep::PreparedDigest> digests;
@@ -61,9 +143,8 @@ TrainIndex::TrainIndex(const std::vector<FeatureHashes>& train_hashes,
   };
   std::vector<std::vector<TempBucket>> temp(cells);
   std::vector<std::vector<std::int32_t>> per_class_ids(static_cast<std::size_t>(k));
-  digests_.assign(kFeatureTypeCount,
-                  std::vector<std::vector<ssdeep::FuzzyDigest>>(
-                      static_cast<std::size_t>(k)));
+  digests_.assign(n, std::vector<std::vector<ssdeep::FuzzyDigest>>(
+                         static_cast<std::size_t>(k)));
 
   for (std::size_t i = 0; i < train_hashes.size(); ++i) {
     const int label = labels[i];
@@ -71,14 +152,13 @@ TrainIndex::TrainIndex(const std::vector<FeatureHashes>& train_hashes,
       throw std::invalid_argument("TrainIndex: label out of range");
     }
     const auto c = static_cast<std::size_t>(label);
-    for (int f = 0; f < kFeatureTypeCount; ++f) {
-      const ssdeep::FuzzyDigest& digest =
-          train_hashes[i].of(static_cast<FeatureType>(f));
-      digests_[static_cast<std::size_t>(f)][c].push_back(digest);
+    for (std::size_t f = 0; f < n; ++f) {
+      const ssdeep::FuzzyDigest& digest = train_hashes[i].channel(f);
+      digests_[f][c].push_back(digest);
 
       // Normalize once here, into the bucket of this blocksize (at most
       // kNumBlockhashes buckets per cell — a linear scan stays cheap).
-      auto& buckets = temp[static_cast<std::size_t>(f) * static_cast<std::size_t>(k) + c];
+      auto& buckets = temp[f * static_cast<std::size_t>(k) + c];
       auto it = std::find_if(buckets.begin(), buckets.end(),
                              [&](const TempBucket& bucket) {
                                return bucket.blocksize == digest.blocksize;
@@ -136,7 +216,10 @@ TrainIndex::TrainIndex(const std::vector<FeatureHashes>& train_hashes,
   // order — the property a sorted candidate list's class grouping relies
   // on — and the sealed CSR arrays are flattened into the pools in
   // directory order (blocksizes by first occurrence, part1 then part2).
-  for (int f = 0; f < kFeatureTypeCount; ++f) {
+  meta_.version = channels_.is_static_triple() ? 1 : 2;
+  meta_.entry_counts.assign(n, 0);
+  meta_.dir_counts.assign(n, 0);
+  for (std::size_t f = 0; f < n; ++f) {
     struct Builder {
       std::uint32_t blocksize = 0;
       ssdeep::GramIndex part1;
@@ -145,8 +228,8 @@ TrainIndex::TrainIndex(const std::vector<FeatureHashes>& train_hashes,
     std::vector<Builder> builders;
     std::uint32_t entry_count = 0;
     for (int c = 0; c < k; ++c) {
-      const auto cell = static_cast<std::size_t>(f) * static_cast<std::size_t>(k) +
-                        static_cast<std::size_t>(c);
+      const std::size_t cell =
+          f * static_cast<std::size_t>(k) + static_cast<std::size_t>(c);
       for (std::size_t b = 0; b < temp[cell].size(); ++b) {
         const TempBucket& bucket = temp[cell][b];
         auto bs_it = std::find_if(builders.begin(), builders.end(),
@@ -166,9 +249,8 @@ TrainIndex::TrainIndex(const std::vector<FeatureHashes>& train_hashes,
         }
       }
     }
-    meta_.entry_counts[static_cast<std::size_t>(f)] = entry_count;
-    meta_.dir_counts[static_cast<std::size_t>(f)] =
-        static_cast<std::uint32_t>(builders.size());
+    meta_.entry_counts[f] = entry_count;
+    meta_.dir_counts[f] = static_cast<std::uint32_t>(builders.size());
     for (Builder& builder : builders) {
       builder.part1.finalize();
       builder.part2.finalize();
@@ -211,16 +293,19 @@ TrainIndex::TrainIndex(const std::vector<FeatureHashes>& train_hashes,
 void TrainIndex::wire() {
   const int k = n_classes();
   if (k <= 0) bad_index("no classes");
-  const auto cells = static_cast<std::size_t>(kFeatureTypeCount) *
-                     static_cast<std::size_t>(k);
+  const std::size_t n = n_channels();
+  const std::size_t cells = n * static_cast<std::size_t>(k);
   if (meta_.n_classes != static_cast<std::uint32_t>(k)) bad_index("meta class count");
   if (meta_.train_count != train_sample_count_) bad_index("meta train count");
+  if (meta_.entry_counts.size() != n || meta_.dir_counts.size() != n) {
+    bad_index("meta channel count");
+  }
   if (cell_bucket_counts_.size() != cells) bad_index("cell table size");
   if (bucket_ids_.size() != recs_.size()) bad_index("bucket id pool size");
 
   // Buckets: carve each cell's recs/ids out of the pools in table order.
   std::size_t total_buckets = 0;
-  for (const std::uint32_t n : cell_bucket_counts_) total_buckets += n;
+  for (const std::uint32_t c : cell_bucket_counts_) total_buckets += c;
   if (bucket_meta_.size() != total_buckets) bad_index("bucket table size");
   buckets_.clear();
   buckets_.reserve(total_buckets);
@@ -260,16 +345,16 @@ void TrainIndex::wire() {
 
   // Per-channel digest counts: each training sample contributes exactly
   // one digest per channel.
-  for (int f = 0; f < kFeatureTypeCount; ++f) {
+  for (std::size_t f = 0; f < n; ++f) {
     std::size_t channel_digests = 0;
-    for (std::size_t cell = static_cast<std::size_t>(f) * static_cast<std::size_t>(k);
-         cell < static_cast<std::size_t>(f + 1) * static_cast<std::size_t>(k); ++cell) {
+    for (std::size_t cell = f * static_cast<std::size_t>(k);
+         cell < (f + 1) * static_cast<std::size_t>(k); ++cell) {
       for (std::size_t b = cell_offsets_[cell]; b < cell_offsets_[cell + 1]; ++b) {
         channel_digests += buckets_[b].recs.size();
       }
     }
     if (channel_digests != train_sample_count_ ||
-        meta_.entry_counts[static_cast<std::size_t>(f)] != channel_digests) {
+        meta_.entry_counts[f] != channel_digests) {
       bad_index("channel digest count");
     }
   }
@@ -296,20 +381,20 @@ void TrainIndex::wire() {
 
   // Channel gram indexes: carve each directory entry's CSR arrays from
   // the pools cumulatively and validate their internal shape.
-  gram_index_.assign(kFeatureTypeCount, ChannelGramIndex{});
+  gram_index_.assign(n, ChannelGramIndex{});
   std::size_t entry_at = 0;
   std::size_t dir_at = 0;
   std::size_t key_at = 0;
   std::size_t off_at = 0;
   std::size_t post_at = 0;
-  for (int f = 0; f < kFeatureTypeCount; ++f) {
-    ChannelGramIndex& channel = gram_index_[static_cast<std::size_t>(f)];
-    const std::uint32_t n_entries = meta_.entry_counts[static_cast<std::size_t>(f)];
+  for (std::size_t f = 0; f < n; ++f) {
+    ChannelGramIndex& channel = gram_index_[f];
+    const std::uint32_t n_entries = meta_.entry_counts[f];
     if (n_entries > entries_.size() - entry_at) bad_index("entry pool size");
     channel.entries = entries_.subspan(entry_at, n_entries);
     entry_at += n_entries;
 
-    const std::uint32_t n_dir = meta_.dir_counts[static_cast<std::size_t>(f)];
+    const std::uint32_t n_dir = meta_.dir_counts[f];
     if (n_dir > gram_dir_.size() - dir_at) bad_index("gram directory size");
     channel.by_blocksize.reserve(n_dir);
     for (std::uint32_t d = 0; d < n_dir; ++d) {
@@ -345,13 +430,13 @@ void TrainIndex::wire() {
   }
 
   // Every gram entry must address a real (cell, bucket, pos) digest.
-  for (int f = 0; f < kFeatureTypeCount; ++f) {
-    for (const GramEntry& entry : gram_index_[static_cast<std::size_t>(f)].entries) {
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const GramEntry& entry : gram_index_[f].entries) {
       if (entry.cls < 0 || entry.cls >= k || entry.bucket < 0 || entry.pos < 0) {
         bad_index("gram entry out of range");
       }
-      const auto cell = static_cast<std::size_t>(f) * static_cast<std::size_t>(k) +
-                        static_cast<std::size_t>(entry.cls);
+      const std::size_t cell =
+          f * static_cast<std::size_t>(k) + static_cast<std::size_t>(entry.cls);
       const std::size_t n_buckets = cell_offsets_[cell + 1] - cell_offsets_[cell];
       if (static_cast<std::size_t>(entry.bucket) >= n_buckets) {
         bad_index("gram entry bucket out of range");
@@ -365,18 +450,18 @@ void TrainIndex::wire() {
   }
 }
 
-const std::vector<ssdeep::FuzzyDigest>& TrainIndex::digests(FeatureType f,
+const std::vector<ssdeep::FuzzyDigest>& TrainIndex::digests(std::size_t f,
                                                             int c) const {
   materialize_raw();
-  return digests_.at(static_cast<std::size_t>(f)).at(static_cast<std::size_t>(c));
+  return digests_.at(f).at(static_cast<std::size_t>(c));
 }
 
-std::span<const TrainIndex::PreparedBucket> TrainIndex::prepared(FeatureType f,
+std::span<const TrainIndex::PreparedBucket> TrainIndex::prepared(std::size_t f,
                                                                  int c) const {
+  if (f >= n_channels()) throw std::out_of_range("TrainIndex::prepared");
   if (c < 0 || c >= n_classes()) throw std::out_of_range("TrainIndex::prepared");
-  const auto cell = static_cast<std::size_t>(f) *
-                        static_cast<std::size_t>(n_classes()) +
-                    static_cast<std::size_t>(c);
+  const std::size_t cell = f * static_cast<std::size_t>(n_classes()) +
+                           static_cast<std::size_t>(c);
   return std::span<const PreparedBucket>(buckets_).subspan(
       cell_offsets_[cell], cell_offsets_[cell + 1] - cell_offsets_[cell]);
 }
@@ -388,27 +473,26 @@ std::span<const std::int32_t> TrainIndex::train_ids(int c) const {
                             class_id_offsets_[i + 1] - class_id_offsets_[i]);
 }
 
-const TrainIndex::ChannelGramIndex& TrainIndex::gram_index(FeatureType f) const {
-  return gram_index_.at(static_cast<std::size_t>(f));
+const TrainIndex::ChannelGramIndex& TrainIndex::gram_index(std::size_t f) const {
+  return gram_index_.at(f);
 }
 
 std::vector<std::string> TrainIndex::feature_names() const {
   std::vector<std::string> names;
-  names.reserve(static_cast<std::size_t>(kFeatureTypeCount * n_classes()));
-  for (int f = 0; f < kFeatureTypeCount; ++f) {
+  names.reserve(n_channels() * static_cast<std::size_t>(n_classes()));
+  for (const ChannelDesc& channel : channels_) {
     for (const std::string& cls : class_names_) {
-      names.push_back(std::string(feature_type_name(static_cast<FeatureType>(f))) +
-                      ":" + cls);
+      names.push_back(channel.name + ":" + cls);
     }
   }
   return names;
 }
 
-PreparedQuery::PreparedQuery(const FeatureHashes& sample, const ChannelMask& mask) {
-  for (int f = 0; f < kFeatureTypeCount; ++f) {
-    if (!mask[static_cast<std::size_t>(f)]) continue;
-    channels[static_cast<std::size_t>(f)] =
-        ssdeep::PreparedDigest(sample.of(static_cast<FeatureType>(f)));
+PreparedQuery::PreparedQuery(const FeatureHashes& sample, const ChannelMask& mask)
+    : channels(sample.channel_count()) {
+  for (std::size_t f = 0; f < channels.size(); ++f) {
+    if (!mask.enabled(f)) continue;
+    channels[f] = ssdeep::PreparedDigest(sample.channel(f));
   }
 }
 
@@ -417,7 +501,7 @@ namespace {
 void validate_slice(const TrainIndex& index, int class_begin, int class_end,
                     std::span<float> out_row) {
   const int k = index.n_classes();
-  if (out_row.size() != static_cast<std::size_t>(kFeatureTypeCount * k)) {
+  if (out_row.size() != index.n_channels() * static_cast<std::size_t>(k)) {
     throw std::invalid_argument("fill_feature_row_slice: bad row width");
   }
   if (class_begin < 0 || class_end > k || class_begin > class_end) {
@@ -428,12 +512,12 @@ void validate_slice(const TrainIndex& index, int class_begin, int class_end,
 /// Digests an all-pairs scan would visit for this (channel, slice):
 /// everything in a blocksize-pairable bucket — the denominator of the
 /// gate counters.
-std::uint64_t pairable_digests(const TrainIndex& index, FeatureType type,
+std::uint64_t pairable_digests(const TrainIndex& index, std::size_t f,
                                std::uint32_t own_blocksize, int class_begin,
                                int class_end) {
   std::uint64_t total = 0;
   for (int c = class_begin; c < class_end; ++c) {
-    for (const TrainIndex::PreparedBucket& bucket : index.prepared(type, c)) {
+    for (const TrainIndex::PreparedBucket& bucket : index.prepared(f, c)) {
       if (ssdeep::blocksizes_can_pair(own_blocksize, bucket.blocksize)) {
         total += bucket.recs.size();
       }
@@ -448,7 +532,7 @@ void fill_feature_row(const TrainIndex& index, const FeatureHashes& sample,
                       ssdeep::EditMetric metric, int exclude_id,
                       std::span<float> out_row, const ChannelMask& channels,
                       RowFillStats* stats) {
-  // Normalize the query once per feature type; the train side was prepared
+  // Normalize the query once per channel; the train side was prepared
   // when the index was built.
   const PreparedQuery query(sample, channels);
   fill_feature_row_slice(index, query, metric, exclude_id, 0, index.n_classes(),
@@ -457,15 +541,15 @@ void fill_feature_row(const TrainIndex& index, const FeatureHashes& sample,
 
 QueryCandidates::QueryCandidates(const TrainIndex& index,
                                  const PreparedQuery& query,
-                                 const ChannelMask& channels) {
+                                 const ChannelMask& channels)
+    : per_channel_(index.n_channels()) {
   // Probe scratch: reused across channels and calls on this thread —
   // steady-state probes allocate only the retained id vectors.
   thread_local ssdeep::CandidateSet scratch;
-  for (int f = 0; f < kFeatureTypeCount; ++f) {
-    if (!channels[static_cast<std::size_t>(f)]) continue;
-    const ssdeep::PreparedDigest& own = query.channels[static_cast<std::size_t>(f)];
-    const TrainIndex::ChannelGramIndex& grams =
-        index.gram_index(static_cast<FeatureType>(f));
+  for (std::size_t f = 0; f < index.n_channels(); ++f) {
+    if (!channels.enabled(f)) continue;
+    const ssdeep::PreparedDigest& own = query.channel(f);
+    const TrainIndex::ChannelGramIndex& grams = index.gram_index(f);
 
     // One probe per pairable blocksize bucket (at most three), matching
     // the part pairing compare_prepared scores at that blocksize
@@ -488,8 +572,7 @@ QueryCandidates::QueryCandidates(const TrainIndex& index,
     // Entry ids ascend in (class, bucket, pos) order, so sorting groups
     // the candidates by class with classes ascending.
     scratch.sort();
-    per_channel_[static_cast<std::size_t>(f)].assign(scratch.ids().begin(),
-                                                     scratch.ids().end());
+    per_channel_[f].assign(scratch.ids().begin(), scratch.ids().end());
   }
 }
 
@@ -511,16 +594,15 @@ void fill_feature_row_slice(const TrainIndex& index, const PreparedQuery& query,
                             RowFillStats* stats) {
   const int k = index.n_classes();
   validate_slice(index, class_begin, class_end, out_row);
-  for (int f = 0; f < kFeatureTypeCount; ++f) {
+  for (std::size_t f = 0; f < index.n_channels(); ++f) {
     for (int c = class_begin; c < class_end; ++c) {
-      out_row[static_cast<std::size_t>(f * k + c)] = 0.0f;
+      out_row[f * static_cast<std::size_t>(k) + static_cast<std::size_t>(c)] = 0.0f;
     }
-    if (!channels[static_cast<std::size_t>(f)]) continue;
-    const ssdeep::PreparedDigest& own = query.channels[static_cast<std::size_t>(f)];
+    if (!channels.enabled(f)) continue;
+    const ssdeep::PreparedDigest& own = query.channel(f);
     const ssdeep::PreparedDigestView own_view = own.view();
-    const auto type = static_cast<FeatureType>(f);
-    const TrainIndex::ChannelGramIndex& grams = index.gram_index(type);
-    const std::vector<std::uint32_t>& hits = candidates.of(type);
+    const TrainIndex::ChannelGramIndex& grams = index.gram_index(f);
+    const std::vector<std::uint32_t>& hits = candidates.of(f);
 
     // The list is class-grouped, so the slice's share is one contiguous
     // run — binary-search its start instead of stepping over every
@@ -542,7 +624,7 @@ void fill_feature_row_slice(const TrainIndex& index, const PreparedQuery& query,
         ++i;
         if (best == 100) continue;  // cannot improve; drain the class group
         const TrainIndex::PreparedBucket& bucket =
-            index.prepared(type, c)[static_cast<std::size_t>(entry.bucket)];
+            index.prepared(f, c)[static_cast<std::size_t>(entry.bucket)];
         const auto pos = static_cast<std::size_t>(entry.pos);
         if (exclude_id >= 0 && bucket.ids[pos] == exclude_id) continue;
         const int score =
@@ -550,12 +632,13 @@ void fill_feature_row_slice(const TrainIndex& index, const PreparedQuery& query,
         ++scored;
         if (score > best) best = score;
       }
-      out_row[static_cast<std::size_t>(f * k + c)] = static_cast<float>(best);
+      out_row[f * static_cast<std::size_t>(k) + static_cast<std::size_t>(c)] =
+          static_cast<float>(best);
     }
     if (stats != nullptr) {
       stats->candidates_scored += scored;
       stats->index_skipped +=
-          pairable_digests(index, type, own.blocksize(), class_begin, class_end) -
+          pairable_digests(index, f, own.blocksize(), class_begin, class_end) -
           scored;
     }
   }
@@ -569,19 +652,18 @@ void fill_feature_row_slice_all_pairs(const TrainIndex& index,
                                       const ChannelMask& channels) {
   const int k = index.n_classes();
   validate_slice(index, class_begin, class_end, out_row);
-  for (int f = 0; f < kFeatureTypeCount; ++f) {
-    if (!channels[static_cast<std::size_t>(f)]) {
+  for (std::size_t f = 0; f < index.n_channels(); ++f) {
+    if (!channels.enabled(f)) {
       for (int c = class_begin; c < class_end; ++c) {
-        out_row[static_cast<std::size_t>(f * k + c)] = 0.0f;
+        out_row[f * static_cast<std::size_t>(k) + static_cast<std::size_t>(c)] = 0.0f;
       }
       continue;
     }
-    const ssdeep::PreparedDigest& own = query.channels[static_cast<std::size_t>(f)];
+    const ssdeep::PreparedDigest& own = query.channel(f);
     const ssdeep::PreparedDigestView own_view = own.view();
-    const auto type = static_cast<FeatureType>(f);
     for (int c = class_begin; c < class_end; ++c) {
       int best = 0;
-      for (const TrainIndex::PreparedBucket& bucket : index.prepared(type, c)) {
+      for (const TrainIndex::PreparedBucket& bucket : index.prepared(f, c)) {
         if (!ssdeep::blocksizes_can_pair(own.blocksize(), bucket.blocksize)) {
           continue;  // nothing in this bucket can score > 0
         }
@@ -596,7 +678,8 @@ void fill_feature_row_slice_all_pairs(const TrainIndex& index,
         }
         if (best == 100) break;
       }
-      out_row[static_cast<std::size_t>(f * k + c)] = static_cast<float>(best);
+      out_row[f * static_cast<std::size_t>(k) + static_cast<std::size_t>(c)] =
+          static_cast<float>(best);
     }
   }
 }
@@ -620,7 +703,7 @@ ml::Matrix build_feature_matrix(const TrainIndex& index,
     throw std::invalid_argument("build_feature_matrix: exclude_ids size mismatch");
   }
   ml::Matrix x(samples.size(),
-               static_cast<std::size_t>(kFeatureTypeCount * index.n_classes()));
+               index.n_channels() * static_cast<std::size_t>(index.n_classes()));
   fhc::util::parallel_for(samples.size(), [&](std::size_t i) {
     const int exclude = exclude_ids.empty() ? -1 : exclude_ids[i];
     fill_feature_row(index, samples[i], metric, exclude, x.row(i), channels);

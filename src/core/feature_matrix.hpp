@@ -7,8 +7,11 @@
 //
 //     x[i, f*K + c] = max_{j in train, y_j = c} sim(h_f(i), h_f(j))
 //
-// giving 3*K columns for K known classes. Feature-type importances
-// (Table 5) are recovered by summing forest importances over each f-group.
+// giving n_channels*K columns for K known classes. The channel roster is
+// a runtime core::ChannelSet carried by the TrainIndex (default: the
+// paper's static triple; the runtime execution-fingerprint channel is the
+// first extension). Channel-type importances (Table 5) are recovered by
+// summing forest importances over each f-group.
 //
 // The pairwise comparisons dominate end-to-end runtime, so the builder
 // parallelizes over samples, prepares every training digest exactly once
@@ -35,14 +38,22 @@
 // validation. The attached index is bit-identical to a text-load rebuild
 // on row fills and gate stats (property tests in
 // tests/core/test_serialization.cpp).
+//
+// Serialization of the channel roster is conditional: a static-triple
+// index emits the exact pre-registry bytes (48-byte version-1 Meta, no
+// channel-names section), so every old model file attaches unchanged;
+// any other ChannelSet emits a version-2 counts header plus a
+// channel-names section ("channels" tag).
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -65,7 +76,8 @@ namespace fhc::core {
 /// (core/classifier.cpp adds "preamble" and "forest" around them;
 /// tools/fhc_inspect.cpp pretty-prints the lot).
 namespace model_section {
-inline constexpr std::string_view kMeta = "tidxmeta";        // TrainIndex::Meta
+inline constexpr std::string_view kMeta = "tidxmeta";        // counts header
+inline constexpr std::string_view kChannels = "channels";    // ChannelSet text
 inline constexpr std::string_view kCellBuckets = "cellbkts";  // u32 per (f, c)
 inline constexpr std::string_view kBuckets = "buckets";       // BucketMeta each
 inline constexpr std::string_view kRecords = "preprecs";      // PreparedRec each
@@ -79,6 +91,11 @@ inline constexpr std::string_view kGramKeys = "gramkeys";     // u64 CSR keys
 inline constexpr std::string_view kGramOffsets = "gramoffs";  // u32 CSR offsets
 inline constexpr std::string_view kPostings = "gpost";        // u32 CSR postings
 }  // namespace model_section
+
+/// ChannelSet <-> the text stored in the "channels" section and the
+/// preamble's channelset block: one "name kind" line per channel.
+std::string channel_set_to_text(const ChannelSet& channels);
+ChannelSet channel_set_from_text(std::string_view text);
 
 /// The reference index: per known class, per channel, the training
 /// digests to compare against.
@@ -147,9 +164,11 @@ class TrainIndex {
   };
   static_assert(sizeof(GramDirEntry) == 20);
 
-  /// Counts header ("tidxmeta" section) — lets attach() size-check every
-  /// other section before touching it and cross-check against the model
-  /// preamble.
+  /// The legacy fixed-shape counts header — the exact 48-byte "tidxmeta"
+  /// section every static-triple model carries (version 1). Non-default
+  /// channel sets serialize the version-2 layout instead: the same first
+  /// 16 bytes, then u32 n_channels + u32 reserved + per-channel
+  /// entry_counts[n] + dir_counts[n]. parse_meta reads either.
   struct Meta {
     std::uint32_t version = 1;
     std::uint32_t n_classes = 0;
@@ -160,6 +179,20 @@ class TrainIndex {
     std::uint32_t reserved1 = 0;
   };
   static_assert(sizeof(Meta) == 48);
+
+  /// The parsed counts header, channel-count-agnostic.
+  struct MetaInfo {
+    std::uint32_t version = 1;  // 1 = static triple, 2 = channel registry
+    std::uint32_t n_classes = 0;
+    std::uint64_t train_count = 0;
+    std::vector<std::uint32_t> entry_counts;  // one per channel
+    std::vector<std::uint32_t> dir_counts;    // one per channel
+  };
+
+  /// Parses a "tidxmeta" section of either version (48-byte version-1
+  /// POD or the version-2 dynamic layout). Throws std::runtime_error on
+  /// any shape mismatch. Shared by attach() and tools/fhc_inspect.
+  static MetaInfo parse_meta(std::span<const std::byte> bytes);
 
   /// The inverted 7-gram view of one channel across ALL classes: per
   /// blocksize bucket, a part1 and a part2 CSR index whose postings are
@@ -186,20 +219,27 @@ class TrainIndex {
       std::function<std::pair<std::vector<FeatureHashes>, std::vector<int>>()>;
 
   /// `labels[i]` in 0..n_classes-1; `class_names.size() == n_classes`.
-  /// Prepares every digest and builds the gram indexes (the owned path).
+  /// Prepares every digest of every channel of `channels` and builds the
+  /// gram indexes (the owned path). Samples carrying fewer channels than
+  /// the set contribute empty digests on the missing ones.
   TrainIndex(const std::vector<FeatureHashes>& train_hashes,
-             const std::vector<int>& labels, std::vector<std::string> class_names);
+             const std::vector<int>& labels, std::vector<std::string> class_names,
+             ChannelSet channels = ChannelSet::static_triple());
 
   /// Wires a TrainIndex over the sections of a v2 model container without
   /// preparing a single digest or building any index: the pools are used
   /// in place after structural validation (offsets in range, CSR shapes
-  /// consistent, entries addressable). `keepalive` (e.g. the
-  /// util::ModelMap the container is a view of) is retained for the
-  /// index's lifetime. Throws std::runtime_error on any inconsistency.
-  /// Returns by unique_ptr: the index self-references its pools and
-  /// holds a std::once_flag, so it is neither copyable nor movable.
+  /// consistent, entries addressable). `channels` is the roster the model
+  /// preamble declared; it is cross-checked against the container's
+  /// counts header (and channel-names section, when present). `keepalive`
+  /// (e.g. the util::ModelMap the container is a view of) is retained for
+  /// the index's lifetime. Throws std::runtime_error on any
+  /// inconsistency. Returns by unique_ptr: the index self-references its
+  /// pools and holds a std::once_flag, so it is neither copyable nor
+  /// movable.
   static std::unique_ptr<TrainIndex> attach(const util::SectionedView& container,
                                             std::vector<std::string> class_names,
+                                            ChannelSet channels,
                                             std::size_t train_count,
                                             RawDigestLoader raw_loader,
                                             std::shared_ptr<const void> keepalive);
@@ -207,7 +247,8 @@ class TrainIndex {
   /// Adds the index's sections to `writer`. The emitted bytes reference
   /// the live pools (zero-copy), so the writer must be written out while
   /// this index is alive. serialize() of an attach()ed index reproduces
-  /// the original sections byte for byte.
+  /// the original sections byte for byte. Static-triple indexes emit the
+  /// legacy version-1 counts header and no channel-names section.
   void serialize(util::SectionedWriter& writer) const;
 
   /// True when this index borrows mapped pools (attach path) rather than
@@ -218,15 +259,26 @@ class TrainIndex {
   const std::vector<std::string>& class_names() const noexcept { return class_names_; }
   std::size_t train_size() const noexcept { return train_sample_count_; }
 
+  /// The channel roster; position f everywhere below refers to
+  /// channels()[f].
+  const ChannelSet& channels() const noexcept { return channels_; }
+  std::size_t n_channels() const noexcept { return channels_.size(); }
+
   /// Raw digests of channel `f` for class `c`, parallel to train_ids(c) —
   /// the serialization/inspection view (save() writes these verbatim).
   /// On an attached index the rows are materialized lazily from the
   /// retained preamble on first use.
-  const std::vector<ssdeep::FuzzyDigest>& digests(FeatureType f, int c) const;
+  const std::vector<ssdeep::FuzzyDigest>& digests(std::size_t f, int c) const;
+  const std::vector<ssdeep::FuzzyDigest>& digests(FeatureType f, int c) const {
+    return digests(static_cast<std::size_t>(f), c);
+  }
 
   /// Prepared digests of channel `f` for class `c`, bucketed by blocksize —
   /// the comparison view used by fill_feature_row.
-  std::span<const PreparedBucket> prepared(FeatureType f, int c) const;
+  std::span<const PreparedBucket> prepared(std::size_t f, int c) const;
+  std::span<const PreparedBucket> prepared(FeatureType f, int c) const {
+    return prepared(static_cast<std::size_t>(f), c);
+  }
 
   /// The prepared-digest view at (bucket, pos) — pure pointer arithmetic
   /// into the pools, no allocation.
@@ -245,9 +297,12 @@ class TrainIndex {
 
   /// The inverted 7-gram candidate index of channel `f` — the view the
   /// indexed row fill probes instead of scanning every prepared digest.
-  const ChannelGramIndex& gram_index(FeatureType f) const;
+  const ChannelGramIndex& gram_index(std::size_t f) const;
+  const ChannelGramIndex& gram_index(FeatureType f) const {
+    return gram_index(static_cast<std::size_t>(f));
+  }
 
-  /// Column labels: "ssdeep-file:<Class>", ... (3*K entries).
+  /// Column labels: "<channel-name>:<Class>" (n_channels*K entries).
   std::vector<std::string> feature_names() const;
 
  private:
@@ -260,10 +315,11 @@ class TrainIndex {
   void materialize_raw() const;
 
   std::vector<std::string> class_names_;
+  ChannelSet channels_;
   std::size_t train_sample_count_ = 0;
   bool attached_ = false;
   std::shared_ptr<const void> keepalive_;
-  Meta meta_{};
+  MetaInfo meta_{};
 
   // Owned storage, laid out in canonical serialization order (empty on
   // the attach path — there the spans below point into the container).
@@ -296,7 +352,7 @@ class TrainIndex {
 
   // Derived wiring built by wire().
   std::vector<PreparedBucket> buckets_;        // cell-major, all cells
-  std::vector<std::size_t> cell_offsets_;      // 3*k + 1 entries into buckets_
+  std::vector<std::size_t> cell_offsets_;      // n_channels*k + 1 entries
   std::vector<std::size_t> class_id_offsets_;  // k + 1 entries into class_ids_
   std::vector<ChannelGramIndex> gram_index_;   // one per channel
 
@@ -309,21 +365,71 @@ class TrainIndex {
   mutable std::vector<std::vector<std::vector<ssdeep::FuzzyDigest>>> digests_;
 };
 
-/// Which feature channels participate (all three by default); disabled
-/// channels produce constant-zero columns, which the trees never split on.
-/// Used by the feature-ablation bench.
-using ChannelMask = std::array<bool, kFeatureTypeCount>;
-inline constexpr ChannelMask kAllChannels = {true, true, true};
+/// Which feature channels participate. Default-constructed (or
+/// kAllChannels) enables every channel of whatever set it meets; a mask
+/// built from explicit flags pins exactly those positions (channels past
+/// its end are disabled — "static-only" against a runtime-channel model
+/// is ChannelMask{true, true, true}). Disabled channels produce
+/// constant-zero columns, which the trees never split on. Used by the
+/// feature-ablation bench and the --channels tool flag.
+class ChannelMask {
+ public:
+  constexpr ChannelMask() = default;  // unrestricted: every channel enabled
+
+  constexpr ChannelMask(std::initializer_list<bool> bits) {
+    if (bits.size() > kMaxChannels) {
+      throw std::invalid_argument("ChannelMask: too many channels");
+    }
+    for (const bool bit : bits) bits_[count_++] = bit;
+  }
+
+  constexpr bool enabled(std::size_t i) const noexcept {
+    return count_ == 0 || (i < count_ && bits_[i]);
+  }
+
+  /// Pins position i (extending the mask with enabled positions up to it).
+  constexpr void set(std::size_t i, bool value) {
+    if (i >= kMaxChannels) {
+      throw std::invalid_argument("ChannelMask: channel out of range");
+    }
+    while (count_ <= i) bits_[count_++] = true;
+    bits_[i] = value;
+  }
+
+  /// 0 = unrestricted; otherwise the number of pinned positions.
+  constexpr std::size_t size() const noexcept { return count_; }
+
+  constexpr bool operator==(const ChannelMask& other) const noexcept {
+    if (count_ != other.count_) return false;
+    for (std::size_t i = 0; i < count_; ++i) {
+      if (bits_[i] != other.bits_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<bool, kMaxChannels> bits_{};
+  std::size_t count_ = 0;
+};
+
+inline constexpr ChannelMask kAllChannels{};
 
 /// A query's channels prepared once, so repeated or sliced scoring against
 /// the index never re-normalizes the sample side. Channels disabled by the
-/// mask stay default-constructed (they are never compared).
+/// mask stay default-constructed (they are never compared); channel()
+/// hands out an empty prepared digest past the sample's own channel count
+/// (it pairs with nothing and scores 0, like a stripped symbols channel).
 struct PreparedQuery {
-  std::array<ssdeep::PreparedDigest, kFeatureTypeCount> channels;
+  std::vector<ssdeep::PreparedDigest> channels;
 
   PreparedQuery() = default;
   explicit PreparedQuery(const FeatureHashes& sample,
                          const ChannelMask& mask = kAllChannels);
+
+  const ssdeep::PreparedDigest& channel(std::size_t f) const noexcept {
+    static const ssdeep::PreparedDigest kEmpty{};
+    return f < channels.size() ? channels[f] : kEmpty;
+  }
 };
 
 /// One query's candidate sets against one TrainIndex: the per-channel
@@ -339,12 +445,12 @@ class QueryCandidates {
 
   /// Sorted candidate entry ids of channel `f` (empty for disabled
   /// channels), indices into index.gram_index(f).entries.
-  const std::vector<std::uint32_t>& of(FeatureType f) const noexcept {
-    return per_channel_[static_cast<std::size_t>(f)];
+  const std::vector<std::uint32_t>& of(std::size_t f) const noexcept {
+    return per_channel_[f];
   }
 
  private:
-  std::array<std::vector<std::uint32_t>, kFeatureTypeCount> per_channel_;
+  std::vector<std::vector<std::uint32_t>> per_channel_;
 };
 
 /// What the candidate index saved on one (or more, when accumulated) row

@@ -1,5 +1,8 @@
 #include "core/features.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "elf/strings_extract.hpp"
 #include "elf/symbols_extract.hpp"
 
@@ -12,6 +15,87 @@ std::string_view feature_type_name(FeatureType type) noexcept {
     case FeatureType::kSymbols: return "ssdeep-symbols";
   }
   return "ssdeep-file";
+}
+
+std::string_view channel_kind_name(ChannelKind kind) noexcept {
+  switch (kind) {
+    case ChannelKind::kStatic: return "static";
+    case ChannelKind::kRuntime: return "runtime";
+  }
+  return "static";
+}
+
+ChannelSet::ChannelSet()
+    : channels_{{std::string(feature_type_name(FeatureType::kFile)),
+                 ChannelKind::kStatic},
+                {std::string(feature_type_name(FeatureType::kStrings)),
+                 ChannelKind::kStatic},
+                {std::string(feature_type_name(FeatureType::kSymbols)),
+                 ChannelKind::kStatic}} {}
+
+ChannelSet::ChannelSet(std::vector<ChannelDesc> channels)
+    : channels_(std::move(channels)) {
+  if (channels_.empty() || channels_.size() > kMaxChannels) {
+    throw std::invalid_argument("ChannelSet: channel count out of range");
+  }
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const std::string& name = channels_[i].name;
+    if (name.empty() || name.find_first_of(" \t\r\n") != std::string::npos) {
+      throw std::invalid_argument(
+          "ChannelSet: channel names must be non-empty and space-free");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (channels_[j].name == name) {
+        throw std::invalid_argument("ChannelSet: duplicate channel name '" +
+                                    name + "'");
+      }
+    }
+  }
+}
+
+const ChannelSet& ChannelSet::static_triple() {
+  static const ChannelSet triple;
+  return triple;
+}
+
+ChannelSet ChannelSet::static_plus(std::string name, ChannelKind kind) {
+  std::vector<ChannelDesc> channels(static_triple().begin(),
+                                    static_triple().end());
+  channels.push_back(ChannelDesc{std::move(name), kind});
+  return ChannelSet(std::move(channels));
+}
+
+bool ChannelSet::is_static_triple() const noexcept {
+  return *this == static_triple();
+}
+
+std::size_t ChannelSet::index_of(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (channels_[i].name == name) return i;
+  }
+  return npos;
+}
+
+const ssdeep::FuzzyDigest& FeatureHashes::channel(std::size_t i) const noexcept {
+  static const ssdeep::FuzzyDigest kEmpty{};
+  switch (i) {
+    case 0: return file;
+    case 1: return strings;
+    case 2: return symbols;
+    default:
+      return i - 3 < extra.size() ? extra[i - 3] : kEmpty;
+  }
+}
+
+void FeatureHashes::set_channel(std::size_t i, ssdeep::FuzzyDigest digest) {
+  switch (i) {
+    case 0: file = std::move(digest); return;
+    case 1: strings = std::move(digest); return;
+    case 2: symbols = std::move(digest); return;
+    default:
+      if (i - 3 >= extra.size()) extra.resize(i - 2);
+      extra[i - 3] = std::move(digest);
+  }
 }
 
 FeatureHashes extract_feature_hashes(std::span<const std::uint8_t> image) {

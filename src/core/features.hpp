@@ -1,17 +1,31 @@
-// Feature extraction: one executable image -> three SSDeep fuzzy hashes.
+// Feature extraction and the feature-channel registry.
 //
-// The paper's feature set (Section 3):
+// The paper's feature set (Section 3) is three static SSDeep channels:
 //   ssdeep-file    — fuzzy hash of the raw binary content,
 //   ssdeep-strings — fuzzy hash of the `strings` output,
 //   ssdeep-symbols — fuzzy hash of the `nm` global text symbols.
 //
+// That triple used to be a compile-time constant (kFeatureTypeCount
+// arrays everywhere). It is now the *default* value of a runtime
+// ChannelSet: an ordered list of channel descriptors (name + kind)
+// carried by TrainIndex/FuzzyHashClassifier and recorded in the model
+// file, so new channels — the first being the runtime
+// execution-fingerprint channel in src/runtime/ — fuse into the same
+// feature matrix, masks, and serialization machinery without another
+// layer-by-layer refactor. Channel order is the column-group order of
+// the feature matrix; the first three positions of the default set keep
+// the paper's Table 5 order.
+//
 // Stripped binaries (no .symtab) yield an empty symbols channel; the
 // digest of the empty text compares as 0 to everything, so such samples
-// lean entirely on the other two channels — mirroring the limitation the
-// paper discusses.
+// lean entirely on the other channels — mirroring the limitation the
+// paper discusses. A sample that carries fewer channels than the model
+// (e.g. a static-only sample against a model with the runtime channel)
+// degrades the same way: the missing channels score 0.
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -22,21 +36,91 @@
 
 namespace fhc::core {
 
-/// Index of each feature channel; also the column-group order in the
-/// feature matrix and the row order of Table 5.
+/// Index of each static feature channel; also the column-group order in
+/// the feature matrix and the row order of Table 5.
 enum class FeatureType : int { kFile = 0, kStrings = 1, kSymbols = 2 };
 
+/// Number of channels in the paper's static triple (the default
+/// ChannelSet) — NOT the channel count of an arbitrary model; use
+/// ChannelSet::size() / TrainIndex::n_channels() for that.
 inline constexpr int kFeatureTypeCount = 3;
+
+/// Hard cap on channels per model — also the inline capacity of
+/// ChannelMask. Eight is far above any current set (static triple +
+/// runtime = 4) while keeping masks trivially copyable.
+inline constexpr std::size_t kMaxChannels = 8;
 
 /// Paper's feature names ("ssdeep-file", "ssdeep-strings", "ssdeep-symbols").
 std::string_view feature_type_name(FeatureType type) noexcept;
 
-/// The three fuzzy hashes of one sample.
+/// What a channel's digests are computed over: the binary at rest or a
+/// trace of it running. Kind is descriptive metadata (surfaced by
+/// fhc_inspect and reports); the scoring machinery treats every channel
+/// identically.
+enum class ChannelKind : int { kStatic = 0, kRuntime = 1 };
+
+std::string_view channel_kind_name(ChannelKind kind) noexcept;
+
+/// One feature channel: a space-free name (it is serialized on a
+/// space-delimited preamble line) and its kind.
+struct ChannelDesc {
+  std::string name;
+  ChannelKind kind = ChannelKind::kStatic;
+
+  bool operator==(const ChannelDesc&) const = default;
+};
+
+/// The ordered channel registry of one model. Position i of every
+/// FeatureHashes, ChannelMask, feature row column group, and serialized
+/// digest row refers to channel i of this set. Default-constructed =
+/// the paper's static triple, and a static-triple model serializes
+/// byte-identically to the pre-registry formats (no channelset block,
+/// legacy index Meta) so old models stay readable bit for bit.
+class ChannelSet {
+ public:
+  /// The static triple (file, strings, symbols).
+  ChannelSet();
+
+  /// Validates: 1..kMaxChannels channels, names non-empty, space-free,
+  /// and unique. Throws std::invalid_argument otherwise.
+  explicit ChannelSet(std::vector<ChannelDesc> channels);
+
+  static const ChannelSet& static_triple();
+
+  /// The static triple plus one appended channel — the common extension
+  /// shape (runtime::runtime_channel_set() uses it).
+  static ChannelSet static_plus(std::string name,
+                                ChannelKind kind = ChannelKind::kRuntime);
+
+  std::size_t size() const noexcept { return channels_.size(); }
+  const ChannelDesc& operator[](std::size_t i) const { return channels_.at(i); }
+  auto begin() const noexcept { return channels_.begin(); }
+  auto end() const noexcept { return channels_.end(); }
+
+  /// True for the exact default triple — the legacy-serialization gate.
+  bool is_static_triple() const noexcept;
+
+  /// Index of the channel named `name`, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t index_of(std::string_view name) const noexcept;
+
+  bool operator==(const ChannelSet&) const = default;
+
+ private:
+  std::vector<ChannelDesc> channels_;
+};
+
+/// The fuzzy hashes of one sample, positional against a ChannelSet:
+/// channel(0..2) are the named static members, channel(3+) live in
+/// `extra`. Samples may carry fewer channels than the model they are
+/// scored against — channel() returns an empty digest (scores 0) past
+/// the end, exactly like a stripped binary's empty symbols channel.
 struct FeatureHashes {
   ssdeep::FuzzyDigest file;
   ssdeep::FuzzyDigest strings;
   ssdeep::FuzzyDigest symbols;
   bool has_symbols = true;  // false for stripped/non-ELF inputs
+  std::vector<ssdeep::FuzzyDigest> extra;  // channels 3..n-1
 
   const ssdeep::FuzzyDigest& of(FeatureType type) const noexcept {
     switch (type) {
@@ -46,9 +130,18 @@ struct FeatureHashes {
     }
     return file;  // unreachable
   }
+
+  /// Channels this sample actually carries (>= the static triple).
+  std::size_t channel_count() const noexcept { return 3 + extra.size(); }
+
+  /// Digest of channel `i`; an empty digest past channel_count().
+  const ssdeep::FuzzyDigest& channel(std::size_t i) const noexcept;
+
+  /// Sets channel `i` (growing `extra` with empty digests as needed).
+  void set_channel(std::size_t i, ssdeep::FuzzyDigest digest);
 };
 
-/// Extracts all three channels from an executable image.
+/// Extracts the three static channels from an executable image.
 FeatureHashes extract_feature_hashes(std::span<const std::uint8_t> image);
 
 }  // namespace fhc::core

@@ -241,7 +241,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config, ExperimentData& 
   result.seconds_predict = timer.seconds();
 
   result.report = ml::classification_report(data.test_truth, pred, clf.class_names());
-  result.importance = clf.feature_type_importance();
+  result.importance = clf.channel_importance();
+  result.channel_names.clear();
+  for (const ChannelDesc& channel : clf.index().channels()) {
+    result.channel_names.push_back(channel.name);
+  }
   return result;
 }
 

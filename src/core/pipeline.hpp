@@ -81,9 +81,10 @@ struct ExperimentData {
 };
 
 struct ExperimentResult {
-  ml::ClassificationReport report;                       // Table 4
-  std::array<double, kFeatureTypeCount> importance{};    // Table 5
-  std::vector<ThresholdPoint> threshold_curve;           // Figure 3
+  ml::ClassificationReport report;              // Table 4
+  std::vector<double> importance;               // Table 5, one per channel
+  std::vector<std::string> channel_names;       // parallel to importance
+  std::vector<ThresholdPoint> threshold_curve;  // Figure 3
   double chosen_threshold = 0.0;
 
   std::size_t n_samples = 0;

@@ -137,12 +137,15 @@ std::string render_class_sizes(const std::vector<corpus::AppClassSpec>& specs) {
   return table.render();
 }
 
-std::string render_feature_importance(
-    const std::array<double, kFeatureTypeCount>& imp) {
+std::string render_feature_importance(const std::vector<double>& imp,
+                                      const ChannelSet& channels) {
+  if (imp.size() != channels.size()) {
+    throw std::invalid_argument(
+        "render_feature_importance: importance/channel count mismatch");
+  }
   TextTable table({"Features", "Importance"}, {Align::Left, Align::Right});
-  for (int f = 0; f < kFeatureTypeCount; ++f) {
-    table.add_row({std::string(feature_type_name(static_cast<FeatureType>(f))),
-                   fixed(imp[static_cast<std::size_t>(f)], 4)});
+  for (std::size_t f = 0; f < channels.size(); ++f) {
+    table.add_row({channels[f].name, fixed(imp[f], 4)});
   }
   return table.render();
 }

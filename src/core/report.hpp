@@ -37,8 +37,11 @@ std::string render_unknown_classes(const ExperimentData& data);
 /// Figure 2: per-class sample counts with a log-scaled ASCII bar.
 std::string render_class_sizes(const std::vector<corpus::AppClassSpec>& specs);
 
-/// Table 5: normalized feature importances.
-std::string render_feature_importance(const std::array<double, kFeatureTypeCount>& imp);
+/// Table 5: normalized feature importances, labelled by channel name
+/// (one row per channel of `channels`; sizes must match).
+std::string render_feature_importance(
+    const std::vector<double>& imp,
+    const ChannelSet& channels = ChannelSet::static_triple());
 
 /// Figure 3: the threshold sweep as a series table.
 std::string render_threshold_curve(const std::vector<ThresholdPoint>& curve,

@@ -9,6 +9,12 @@
 // preparing a digest or building a gram index. Because serialize() reads
 // the views (owned or mapped alike), save -> attach -> save round-trips
 // byte-identically.
+//
+// The counts header is conditional on the channel roster: a static-triple
+// index emits the legacy 48-byte version-1 Meta (so pre-registry model
+// files and new static-triple saves are the same bytes) and no
+// channel-names section; any other ChannelSet emits the version-2
+// dynamic layout plus a "channels" section holding the roster text.
 #include <cstring>
 
 #include "core/feature_matrix.hpp"
@@ -23,12 +29,43 @@ std::span<const std::byte> bytes_of(std::span<const T> items) {
   return std::as_bytes(items);
 }
 
+void append_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof v);
+}
+
 }  // namespace
 
 void TrainIndex::serialize(util::SectionedWriter& writer) const {
-  const Meta meta = meta_;
-  writer.add_copy(model_section::kMeta,
-                  std::as_bytes(std::span<const Meta>(&meta, 1)));
+  if (channels_.is_static_triple()) {
+    Meta meta;
+    meta.version = 1;
+    meta.n_classes = meta_.n_classes;
+    meta.train_count = meta_.train_count;
+    std::copy(meta_.entry_counts.begin(), meta_.entry_counts.end(),
+              meta.entry_counts.begin());
+    std::copy(meta_.dir_counts.begin(), meta_.dir_counts.end(),
+              meta.dir_counts.begin());
+    writer.add_copy(model_section::kMeta,
+                    std::as_bytes(std::span<const Meta>(&meta, 1)));
+  } else {
+    std::vector<std::byte> meta;
+    meta.reserve(24 + 8 * n_channels());
+    append_u32(meta, 2);  // version
+    append_u32(meta, meta_.n_classes);
+    const std::uint64_t train_count = meta_.train_count;
+    const auto* p = reinterpret_cast<const std::byte*>(&train_count);
+    meta.insert(meta.end(), p, p + sizeof train_count);
+    append_u32(meta, static_cast<std::uint32_t>(n_channels()));
+    append_u32(meta, 0);  // reserved
+    for (const std::uint32_t c : meta_.entry_counts) append_u32(meta, c);
+    for (const std::uint32_t c : meta_.dir_counts) append_u32(meta, c);
+    writer.add_copy(model_section::kMeta, meta);
+
+    const std::string roster = channel_set_to_text(channels_);
+    writer.add_copy(model_section::kChannels,
+                    std::as_bytes(std::span<const char>(roster)));
+  }
   writer.add(model_section::kCellBuckets, bytes_of(cell_bucket_counts_));
   writer.add(model_section::kBuckets, bytes_of(bucket_meta_));
   writer.add(model_section::kRecords, bytes_of(recs_));
@@ -45,22 +82,43 @@ void TrainIndex::serialize(util::SectionedWriter& writer) const {
 
 std::unique_ptr<TrainIndex> TrainIndex::attach(
     const util::SectionedView& container, std::vector<std::string> class_names,
-    std::size_t train_count, RawDigestLoader raw_loader,
+    ChannelSet channels, std::size_t train_count, RawDigestLoader raw_loader,
     std::shared_ptr<const void> keepalive) {
   std::unique_ptr<TrainIndex> index(new TrainIndex());
   index->class_names_ = std::move(class_names);
+  index->channels_ = std::move(channels);
   index->train_sample_count_ = train_count;
   index->attached_ = true;
   index->keepalive_ = std::move(keepalive);
   index->raw_loader_ = std::move(raw_loader);
 
-  const auto meta_span = util::section_as<Meta>(container, model_section::kMeta);
-  if (meta_span.size() != 1) {
-    throw std::runtime_error("TrainIndex: bad meta section");
+  std::span<const std::byte> meta_bytes;
+  if (!container.find(model_section::kMeta, meta_bytes)) {
+    throw std::runtime_error("TrainIndex: missing meta section");
   }
-  index->meta_ = meta_span[0];
-  if (index->meta_.version != Meta{}.version) {
-    throw std::runtime_error("TrainIndex: unsupported index version");
+  index->meta_ = parse_meta(meta_bytes);
+  if (index->meta_.version == 1) {
+    // A version-1 container is always a static-triple model; the preamble
+    // the caller parsed must agree.
+    if (!index->channels_.is_static_triple()) {
+      throw std::runtime_error(
+          "TrainIndex: version-1 container with non-default channel set");
+    }
+  } else {
+    if (index->meta_.entry_counts.size() != index->n_channels()) {
+      throw std::runtime_error("TrainIndex: meta channel count mismatch");
+    }
+    // The roster section must match the set declared by the preamble —
+    // a consistency check for hand-edited or truncated containers.
+    std::span<const std::byte> roster_bytes;
+    if (!container.find(model_section::kChannels, roster_bytes)) {
+      throw std::runtime_error("TrainIndex: missing channel-names section");
+    }
+    const ChannelSet roster = channel_set_from_text(std::string_view(
+        reinterpret_cast<const char*>(roster_bytes.data()), roster_bytes.size()));
+    if (!(roster == index->channels_)) {
+      throw std::runtime_error("TrainIndex: channel-names section mismatch");
+    }
   }
 
   index->cell_bucket_counts_ =
@@ -100,17 +158,16 @@ void TrainIndex::materialize_raw() const {
     if (hashes.size() != train_sample_count_ || labels.size() != hashes.size()) {
       throw std::runtime_error("TrainIndex: raw digest loader size mismatch");
     }
-    digests_.assign(kFeatureTypeCount,
-                    std::vector<std::vector<ssdeep::FuzzyDigest>>(
-                        static_cast<std::size_t>(k)));
+    digests_.assign(n_channels(), std::vector<std::vector<ssdeep::FuzzyDigest>>(
+                                      static_cast<std::size_t>(k)));
     for (std::size_t i = 0; i < hashes.size(); ++i) {
       const int label = labels[i];
       if (label < 0 || label >= k) {
         throw std::runtime_error("TrainIndex: raw digest loader label out of range");
       }
-      for (int f = 0; f < kFeatureTypeCount; ++f) {
-        digests_[static_cast<std::size_t>(f)][static_cast<std::size_t>(label)]
-            .push_back(hashes[i].of(static_cast<FeatureType>(f)));
+      for (std::size_t f = 0; f < n_channels(); ++f) {
+        digests_[f][static_cast<std::size_t>(label)].push_back(
+            hashes[i].channel(f));
       }
     }
   });

@@ -1,0 +1,94 @@
+#include "runtime/synthetic.hpp"
+
+#include <random>
+
+namespace fhc::runtime {
+
+namespace {
+
+/// Stable 64-bit mix of the spec name into the run seed (std::hash is
+/// unspecified across implementations; FNV-1a is not).
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+CounterTrace synthesize_trace(const TraceSpec& spec, std::uint64_t seed) {
+  std::mt19937_64 rng(seed ^ fnv1a(spec.name));
+  std::normal_distribution<double> noise(0.0, 1.0);
+  CounterTrace trace;
+  trace.samples.reserve(spec.intervals * spec.events.size());
+  for (std::size_t t = 1; t <= spec.intervals; ++t) {
+    const double time = static_cast<double>(t) * spec.interval_s;
+    for (const EventProfile& event : spec.events) {
+      const int period = event.period > 0 ? event.period : 1;
+      const bool on = static_cast<int>((t - 1) % static_cast<std::size_t>(
+                                                     period)) < event.duty;
+      double rate = event.base_rate * (on ? event.on_multiplier : 1.0);
+      rate += noise(rng) * event.jitter * event.base_rate;
+      if (rate < 0.0) rate = 0.0;
+      trace.samples.push_back(
+          CounterSample{time, rate * spec.interval_s, event.event});
+    }
+  }
+  return trace;
+}
+
+// Duty fractions are NOT free parameters. For a square wave the z-score
+// of each phase is a function of the duty fraction alone
+// (z_on = sqrt((1-d)/d), z_off = -sqrt(d/(1-d)) — the amplitude cancels
+// against the standard deviation), and the fingerprint quantizer puts
+// 16 levels across +/- 2 sigma. A duty fraction whose phase z lands near
+// a bin boundary makes every letter of that phase a coin flip under
+// per-run jitter, and two runs of the *same* spec fingerprint apart. The
+// (period, duty) pairs below are chosen so both phases — and their
+// complements, used by the cache-misses profile — sit at least ~0.25
+// bins away from a boundary.
+
+TraceSpec miner_trace_spec(int variant) {
+  // The cryptominer shape: saturated integer throughput with no real
+  // phase structure — just the periodic share-submission heartbeat that
+  // gives same-application runs a reproducible (hence matchable)
+  // fingerprint. Rates are unusually steady (low jitter: the scratchpad
+  // working set never misses), which is itself part of the signature.
+  const double scale = 1.0 + 0.15 * static_cast<double>(variant);
+  TraceSpec spec;
+  spec.name = "miner-v" + std::to_string(variant);
+  spec.events = {
+      {"cycles", 3.0e9 * scale, 1.5, 32, 4, 0.005},
+      {"instructions", 9.0e9 * scale, 1.6, 32, 4, 0.005},
+      {"cache-misses", 2.0e5 * scale, 2.0, 32, 4, 0.01},
+      {"branches", 6.0e8 * scale, 1.5, 32, 4, 0.005},
+  };
+  return spec;
+}
+
+TraceSpec hpc_trace_spec(int variant) {
+  // Phase-structured solvers: compute bursts alternating with
+  // memory/communication phases. Each variant is a distinct application
+  // (different period, duty fraction, and burst amplitude — so variants
+  // differ in both letter alphabet and run lengths), fingerprinting
+  // apart from each other AND from the miner.
+  TraceSpec spec;
+  spec.name = "hpc-v" + std::to_string(variant);
+  constexpr int kPeriods[] = {10, 16, 22, 28};
+  constexpr int kDuties[] = {3, 7, 11, 19};
+  const int period = kPeriods[variant % 4];
+  const int duty = kDuties[variant % 4];
+  const double burst = 2.0 + 0.5 * static_cast<double>(variant % 5);
+  spec.events = {
+      {"cycles", 2.0e9, burst, period, duty, 0.02},
+      {"instructions", 4.0e9, burst * 1.2, period, duty, 0.02},
+      {"cache-misses", 5.0e7, burst * 3.0, period, period - duty, 0.02},
+      {"branches", 4.0e8, burst, period, duty, 0.02},
+  };
+  return spec;
+}
+
+}  // namespace fhc::runtime

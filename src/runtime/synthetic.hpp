@@ -1,0 +1,57 @@
+// Synthetic counter traces: deterministic per-application phase patterns
+// with per-run jitter, for the miner-detection example, the runtime-layer
+// tests, and the benches. No real perf data ships with the repo, so this
+// plays the role tests/support/synthetic_hashes.hpp plays for the static
+// channels: same-application runs must fingerprint *similar* (long shared
+// quantized substrings survive the per-run jitter) and different
+// applications *dissimilar* (different phase structure), or the runtime
+// channel could not carry signal through the classifier.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/trace.hpp"
+
+namespace fhc::runtime {
+
+/// One event's behavior in a synthetic workload: a base rate modulated by
+/// a square-wave phase pattern (period in intervals, on-phase multiplier)
+/// — the compute/communicate alternation shape of real HPC codes. The
+/// pattern is a deterministic function of the profile; only `jitter_ppm`
+/// of samples get a per-run perturbation.
+struct EventProfile {
+  std::string event;
+  double base_rate = 1e9;     // counts per second off-phase
+  double on_multiplier = 1.0;  // rate multiplier during the on phase
+  int period = 16;             // intervals per full phase cycle (>= 1)
+  int duty = 8;                // on-phase intervals per cycle (0..period)
+  double jitter = 0.02;        // relative sigma of per-run noise
+};
+
+/// A named workload: its event profiles plus generation shape.
+struct TraceSpec {
+  std::string name;
+  std::vector<EventProfile> events;
+  std::size_t intervals = 240;
+  double interval_s = 1.0;
+};
+
+/// Generates one run of `spec`: the deterministic phase pattern plus
+/// run-specific Gaussian jitter derived from `seed`. Same (spec, seed)
+/// is byte-stable; different seeds of one spec fingerprint similar.
+CounterTrace synthesize_trace(const TraceSpec& spec, std::uint64_t seed);
+
+/// A cryptominer's signature: flat, saturated integer throughput — high
+/// steady instructions/cycles, near-zero cache misses, no phase
+/// structure. `variant` perturbs the base rates (different miner builds).
+TraceSpec miner_trace_spec(int variant = 0);
+
+/// A phase-structured HPC solver: alternating compute bursts and
+/// memory/communication phases. `variant` selects period/duty/rate
+/// combinations (distinct applications).
+TraceSpec hpc_trace_spec(int variant = 0);
+
+}  // namespace fhc::runtime

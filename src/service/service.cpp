@@ -14,12 +14,18 @@ namespace fhc::service {
 
 std::string sample_key(const core::FeatureHashes& sample) {
   // Digest text is base64-ish and never contains the separator, so the
-  // concatenation is injective; equal keys imply equal feature rows.
+  // concatenation is injective; equal keys imply equal feature rows. A
+  // three-channel sample produces the exact pre-registry key bytes;
+  // dynamic channels append further separated digests.
   std::string key = sample.file.to_string();
   key += '\x1f';
   key += sample.strings.to_string();
   key += '\x1f';
   key += sample.symbols.to_string();
+  for (const ssdeep::FuzzyDigest& digest : sample.extra) {
+    key += '\x1f';
+    key += digest.to_string();
+  }
   return key;
 }
 

@@ -174,7 +174,7 @@ TEST(FuzzyHashClassifier, FeatureTypeImportanceNormalized) {
   const Fixture& fx = fixture();
   FuzzyHashClassifier clf;
   clf.fit(fx.train_hashes, fx.train_labels, fx.names, quick_config());
-  const auto importance = clf.feature_type_importance();
+  const auto importance = clf.channel_importance();
   EXPECT_NEAR(importance[0] + importance[1] + importance[2], 1.0, 1e-9);
   for (const double imp : importance) {
     EXPECT_GE(imp, 0.0);
@@ -196,7 +196,7 @@ TEST(FuzzyHashClassifier, ChannelMaskRestrictsEvidence) {
   config.channels = {false, false, true};  // symbols only
   FuzzyHashClassifier clf;
   clf.fit(fx.train_hashes, fx.train_labels, fx.names, config);
-  const auto importance = clf.feature_type_importance();
+  const auto importance = clf.channel_importance();
   EXPECT_DOUBLE_EQ(importance[0], 0.0);
   EXPECT_DOUBLE_EQ(importance[1], 0.0);
   EXPECT_NEAR(importance[2], 1.0, 1e-9);

@@ -84,8 +84,8 @@ TEST(Serialization, RoundTripPreservesImportances) {
   model().clf.save(buffer);
   FuzzyHashClassifier restored;
   restored.load(buffer);
-  const auto original = model().clf.feature_type_importance();
-  const auto loaded = restored.feature_type_importance();
+  const auto original = model().clf.channel_importance();
+  const auto loaded = restored.channel_importance();
   for (std::size_t f = 0; f < original.size(); ++f) {
     EXPECT_NEAR(original[f], loaded[f], 1e-9);
   }
@@ -150,8 +150,8 @@ TEST(SerializationBinary, PredictionsAreBitIdentical) {
       EXPECT_EQ(a.proba[c], b.proba[c]);
     }
   }
-  const auto imp_a = model().clf.feature_type_importance();
-  const auto imp_b = restored.feature_type_importance();
+  const auto imp_a = model().clf.channel_importance();
+  const auto imp_b = restored.channel_importance();
   for (std::size_t f = 0; f < imp_a.size(); ++f) {
     EXPECT_EQ(imp_a[f], imp_b[f]);
   }
@@ -378,7 +378,8 @@ TEST(SerializationBinary, TrainIndexAttachRoundTripsAdversarialDigests) {
 
   const auto loader = [&train, &labels] { return std::make_pair(train, labels); };
   const auto attached =
-      TrainIndex::attach(view, {"a", "b", "c"}, train.size(), loader, nullptr);
+      TrainIndex::attach(view, {"a", "b", "c"}, ChannelSet(), train.size(),
+                         loader, nullptr);
   ASSERT_TRUE(attached->attached());
 
   const auto width = static_cast<std::size_t>(kFeatureTypeCount * 3);

@@ -1,13 +1,20 @@
 // fhc-classify: label executables with a trained model (the Slurm-prolog
 // side of the paper's envisioned workflow).
 //
-//   fhc_classify MODEL FILE...
+//   fhc_classify MODEL FILE[@TRACE]...
 //
 // All readable files are hashed up front and scored through a single
 // predict_batch pass (one parallel feature-matrix build instead of a
 // serial per-file predict loop). Prints one line per classified file:
 // predicted class (or -1 for unknown), confidence, and the path;
 // per-file read/extract failures go to stderr.
+//
+// FILE@TRACE pairs the executable with a perf-stat counter trace
+// (CSV or line-JSON, see src/runtime/) hashed into the model's
+// "ssdeep-runtime" channel — for models trained with `fhc_train
+// --runtime`. Against a static-triple model the extra digest is simply
+// ignored; a four-channel model scores a trace-less file 0 on the
+// runtime channel, like a stripped binary on the symbols channel.
 //
 // Exit codes (prolog scripting contract, also in the usage string):
 //   0  every file classified as a known class
@@ -16,9 +23,12 @@
 //   3  at least one file was flagged unknown
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/classifier.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/trace.hpp"
 #include "util/io_util.hpp"
 
 using namespace fhc;
@@ -26,7 +36,7 @@ using namespace fhc;
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: fhc_classify MODEL FILE...\n"
+                 "usage: fhc_classify MODEL FILE[@TRACE]...\n"
                  "exit codes: 0 all files known; 1 read/extract error (wins over 3);\n"
                  "            2 usage or model-load error; 3 some file unknown\n");
     return 2;
@@ -40,13 +50,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<const char*> paths;       // files that hashed successfully
+  std::vector<const char*> paths;       // arguments that hashed successfully
   std::vector<core::FeatureHashes> samples;  // parallel to paths
   int errors = 0;
   for (int i = 2; i < argc; ++i) {
     try {
-      const auto image = util::read_file(argv[i]);
-      samples.push_back(core::extract_feature_hashes(image));
+      const std::string arg = argv[i];
+      const std::size_t at = arg.rfind('@');
+      const std::string file = at == std::string::npos ? arg : arg.substr(0, at);
+      const auto image = util::read_file(file);
+      core::FeatureHashes sample = core::extract_feature_hashes(image);
+      if (at != std::string::npos) {
+        runtime::attach_trace(sample,
+                              runtime::load_trace_file(arg.substr(at + 1)));
+      }
+      samples.push_back(std::move(sample));
       paths.push_back(argv[i]);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "fhc_classify: %s: %s\n", argv[i], e.what());

@@ -4,10 +4,14 @@
 //                               feature channels)
 //   fhc_hash -c DIGEST DIGEST   compare two digest strings (0..100)
 //   fhc_hash -m FILE FILE       hash two files and compare per channel
+//   fhc_hash -t TRACE...        fingerprint perf-stat counter traces and
+//                               print the ssdeep-runtime channel digest
 #include <cstdio>
 #include <cstring>
 
 #include "core/features.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/trace.hpp"
 #include "ssdeep/compare.hpp"
 #include "util/io_util.hpp"
 
@@ -19,7 +23,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: fhc_hash FILE...          hash files (3 channels)\n"
                "       fhc_hash -c DIG1 DIG2     compare two digests\n"
-               "       fhc_hash -m FILE1 FILE2   hash + compare two files\n");
+               "       fhc_hash -m FILE1 FILE2   hash + compare two files\n"
+               "       fhc_hash -t TRACE...      hash counter traces (runtime "
+               "channel)\n");
   return 2;
 }
 
@@ -60,6 +66,23 @@ int main(int argc, char** argv) {
       return 1;
     }
     return 0;
+  }
+
+  if (std::strcmp(argv[1], "-t") == 0) {
+    if (argc < 3) return usage();
+    int trace_failures = 0;
+    for (int i = 2; i < argc; ++i) {
+      try {
+        const runtime::CounterTrace trace = runtime::load_trace_file(argv[i]);
+        const ssdeep::FuzzyDigest digest = runtime::hash_trace(trace);
+        std::printf("%s,\"%s\",%zu samples\n", digest.to_string().c_str(),
+                    argv[i], trace.size());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "fhc_hash: %s: %s\n", argv[i], e.what());
+        ++trace_failures;
+      }
+    }
+    return trace_failures == 0 ? 0 : 1;
   }
 
   int failures = 0;

@@ -4,14 +4,18 @@
 //
 // For a v2 sectioned container ("FHCMDLB2") this prints the section
 // table — tag, offset, size, checksum, verification status — plus the
-// TrainIndex counts header and the class/digest counts from the model
-// preamble. v1 blobs ("FHCMDLB1") and text models get a shorter summary.
-// Exit status is non-zero when the file is damaged (bad table, checksum
-// mismatch), which makes the tool usable as a model fsck in deploy
-// scripts.
+// TrainIndex counts header with a per-channel breakdown labelled by
+// channel *name* (from the "channels" roster section; a version-1 counts
+// header implies the legacy static triple) and the class/digest counts
+// from the model preamble. v1 blobs ("FHCMDLB1") and text models get a
+// shorter summary. Exit status is non-zero when the file is damaged (bad
+// table, checksum mismatch) or internally inconsistent (counts header vs
+// channel roster vs gram-index section sizes), which makes the tool
+// usable as a model fsck in deploy scripts.
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <numeric>
 #include <string>
 #include <string_view>
 
@@ -70,20 +74,94 @@ int inspect_v2(const util::ModelMap& map) {
     return 1;
   }
 
-  const auto meta =
-      util::section_as<core::TrainIndex::Meta>(view, core::model_section::kMeta);
-  if (meta.size() == 1) {
-    std::printf("index: version %u, %u classes, %" PRIu64
-                " training samples\n",
-                meta[0].version, meta[0].n_classes, meta[0].train_count);
-    std::printf("index entries per channel: file %u, strings %u, symbols %u\n",
-                meta[0].entry_counts[0], meta[0].entry_counts[1],
-                meta[0].entry_counts[2]);
+  // Counts header + channel roster, cross-checked against each other and
+  // against the gram-index section sizes they claim to describe.
+  core::TrainIndex::MetaInfo meta;
+  try {
+    meta = core::TrainIndex::parse_meta(view.section(core::model_section::kMeta));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fhc_inspect: bad counts header: %s\n", e.what());
+    return 1;
+  }
+  core::ChannelSet channels;  // default: the legacy static triple
+  std::span<const std::byte> roster_bytes;
+  const bool has_roster =
+      view.find(core::model_section::kChannels, roster_bytes);
+  if (has_roster) {
+    try {
+      channels = core::channel_set_from_text(std::string_view(
+          reinterpret_cast<const char*>(roster_bytes.data()), roster_bytes.size()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fhc_inspect: bad channel roster: %s\n", e.what());
+      return 1;
+    }
+  }
+  std::printf("index: version %u, %u classes, %" PRIu64
+              " training samples, %zu channels%s\n",
+              meta.version, meta.n_classes, meta.train_count,
+              meta.entry_counts.size(),
+              has_roster ? "" : " (implicit static triple)");
+  int status = 0;
+  if (meta.version == 1 && has_roster) {
+    std::fprintf(stderr,
+                 "fhc_inspect: MISMATCH: version-1 counts header next to a "
+                 "channel roster section\n");
+    status = 1;
+  }
+  if (channels.size() != meta.entry_counts.size()) {
+    std::fprintf(stderr,
+                 "fhc_inspect: MISMATCH: counts header declares %zu channels, "
+                 "roster names %zu\n",
+                 meta.entry_counts.size(), channels.size());
+    status = 1;
+  }
+  const std::size_t shown = std::min(channels.size(), meta.entry_counts.size());
+  for (std::size_t f = 0; f < shown; ++f) {
+    std::printf("  channel %zu  %-16s %-8s %10u entries %6u gram buckets\n", f,
+                channels[f].name.c_str(),
+                std::string(core::channel_kind_name(channels[f].kind)).c_str(),
+                meta.entry_counts[f], meta.dir_counts[f]);
+  }
+  // The per-channel counts are the sole description of how the flat
+  // "gentries"/"gramdir" sections split; a disagreement means the header
+  // and the payload come from different models.
+  const auto check_section = [&](std::string_view tag, std::uint64_t want_elems,
+                                 std::size_t elem_size) {
+    std::span<const std::byte> payload;
+    if (!view.find(tag, payload)) {
+      if (want_elems == 0) return;
+      std::fprintf(stderr,
+                   "fhc_inspect: MISMATCH: counts header expects %" PRIu64
+                   " elements but section '%.*s' is absent\n",
+                   want_elems, static_cast<int>(tag.size()), tag.data());
+      status = 1;
+      return;
+    }
+    if (payload.size() != want_elems * elem_size) {
+      std::fprintf(stderr,
+                   "fhc_inspect: MISMATCH: section '%.*s' holds %zu bytes, "
+                   "counts header implies %" PRIu64 "\n",
+                   static_cast<int>(tag.size()), tag.data(), payload.size(),
+                   want_elems * elem_size);
+      status = 1;
+    }
+  };
+  check_section(core::model_section::kEntries,
+                std::accumulate(meta.entry_counts.begin(), meta.entry_counts.end(),
+                                std::uint64_t{0}),
+                sizeof(core::TrainIndex::GramEntry));
+  check_section(core::model_section::kGramDir,
+                std::accumulate(meta.dir_counts.begin(), meta.dir_counts.end(),
+                                std::uint64_t{0}),
+                sizeof(core::TrainIndex::GramDirEntry));
+  if (status == 0) {
+    std::printf("consistency: counts header, channel roster, and gram-index "
+                "sections agree\n");
   }
   const auto preamble = view.section("preamble");
   print_preamble_counts(std::string_view(
       reinterpret_cast<const char*>(preamble.data()), preamble.size()));
-  return 0;
+  return status;
 }
 
 int inspect_v1(const util::ModelMap& map) {

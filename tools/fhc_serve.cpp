@@ -8,7 +8,10 @@
 //
 //   CLASSIFY <path>...   one reply line per path, in order:
 //                          "<label>\t<confidence>"  (label -1 = unknown)
-//                        or "ERR <message>" for that path
+//                        or "ERR <message>" for that path.
+//                        <path> may be "exe@trace": the perf-stat counter
+//                        trace is fingerprinted into the model's
+//                        ssdeep-runtime channel (fhc_train --runtime).
 //   STATS                one line of key=value service counters
 //   RELOAD <model>       swap the model without dropping in-flight work:
 //                          "OK <model>" or "ERR <message>"
@@ -32,6 +35,8 @@
 #include <vector>
 
 #include "core/classifier.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/trace.hpp"
 #include "service/service.hpp"
 #include "util/io_util.hpp"
 
@@ -51,8 +56,15 @@ void handle_classify(service::ClassificationService& svc, std::istringstream& ar
     paths.push_back(path);
     extract_errors.emplace_back();
     try {
-      const auto image = util::read_file(path);
-      futures.push_back(svc.submit(core::extract_feature_hashes(image)));
+      const std::size_t at = path.rfind('@');
+      const auto image =
+          util::read_file(at == std::string::npos ? path : path.substr(0, at));
+      core::FeatureHashes sample = core::extract_feature_hashes(image);
+      if (at != std::string::npos) {
+        runtime::attach_trace(sample,
+                              runtime::load_trace_file(path.substr(at + 1)));
+      }
+      futures.push_back(svc.submit(std::move(sample)));
     } catch (const std::exception& e) {
       futures.emplace_back();  // placeholder, never read
       extract_errors.back() = e.what();
@@ -122,7 +134,8 @@ int main(int argc, char** argv) {
                  "MODEL: text or binary (fhc_train --binary) — binary is\n"
                  "  mmap'd for zero-copy load/RELOAD\n"
                  "protocol (stdin -> stdout, one reply line per request):\n"
-                 "  CLASSIFY <path>...  ->  <label>\\t<confidence> | ERR <msg>\n"
+                 "  CLASSIFY <path[@trace]>...  ->  <label>\\t<confidence> | "
+                 "ERR <msg>\n"
                  "  STATS               ->  key=value counters\n"
                  "  RELOAD <model>      ->  OK <model> | ERR <msg>\n"
                  "  QUIT                ->  OK bye\n");

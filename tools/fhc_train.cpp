@@ -1,12 +1,19 @@
 // fhc-train: train a Fuzzy Hash Classifier from a labelled directory tree
 // and write the model file.
 //
-//   fhc_train [--binary] ROOT MODEL [threshold] [n_trees]
+//   fhc_train [--binary] [--runtime] ROOT MODEL [threshold] [n_trees]
 //
 // ROOT follows the sciCORE layout the paper scrapes:
 //   ROOT/<ApplicationClass>/<version>/<executable>
 // Every regular file below ROOT is a sample labelled by its top-level
 // directory. Use `fhc_classify MODEL FILE...` afterwards.
+//
+// --runtime trains with the execution-fingerprint channel ("ssdeep-runtime")
+// in addition to the static triple: a sample <exe> picks up its counter
+// trace from a sibling <exe>.trace / <exe>.trace.csv / <exe>.trace.json
+// (perf stat -I interval output, CSV or line-JSON — see src/runtime/).
+// Samples without a trace train with an empty runtime digest, exactly like
+// stripped binaries on the symbols channel.
 //
 // --binary writes the v2 sectioned container ("FHCMDLB2"): prepared
 // digests, per-channel gram indexes, and the forest plan laid out for
@@ -25,21 +32,45 @@
 #include <map>
 
 #include "core/classifier.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/trace.hpp"
 #include "util/io_util.hpp"
 
 using namespace fhc;
 
+namespace {
+
+/// Trace-file suffixes recognized next to a sample executable.
+constexpr const char* kTraceSuffixes[] = {".trace", ".trace.csv", ".trace.json"};
+
+bool is_trace_file(const std::filesystem::path& path) {
+  const std::string name = path.filename().string();
+  for (const char* suffix : kTraceSuffixes) {
+    if (name.ends_with(suffix)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool binary = false;
-  if (argc > 1 && std::strcmp(argv[1], "--binary") == 0) {
-    binary = true;
+  bool runtime = false;
+  while (argc > 1) {
+    if (std::strcmp(argv[1], "--binary") == 0) {
+      binary = true;
+    } else if (std::strcmp(argv[1], "--runtime") == 0) {
+      runtime = true;
+    } else {
+      break;
+    }
     --argc;
     ++argv;
   }
   if (argc < 3 || argc > 5) {
     std::fprintf(stderr,
-                 "usage: fhc_train [--binary] ROOT MODEL [threshold=0.3] "
-                 "[n_trees=200]\n");
+                 "usage: fhc_train [--binary] [--runtime] ROOT MODEL "
+                 "[threshold=0.3] [n_trees=200]\n");
     return 2;
   }
   const std::filesystem::path root = argv[1];
@@ -52,15 +83,26 @@ int main(int argc, char** argv) {
   std::vector<std::string> class_names;
   std::map<std::string, int> label_of;
   std::size_t stripped = 0;
+  std::size_t traced = 0;
 
   try {
     for (const auto& path : util::list_files(root)) {
+      if (runtime && is_trace_file(path)) continue;  // sidecar, not a sample
       const auto relative = std::filesystem::relative(path, root);
       if (relative.begin() == relative.end()) continue;
       const std::string class_name = relative.begin()->string();
       const auto image = util::read_file(path);
       core::FeatureHashes sample = core::extract_feature_hashes(image);
       if (!sample.has_symbols) ++stripped;
+      if (runtime) {
+        for (const char* suffix : kTraceSuffixes) {
+          const std::string trace_path = path.string() + suffix;
+          if (!std::filesystem::exists(trace_path)) continue;
+          runtime::attach_trace(sample, runtime::load_trace_file(trace_path));
+          ++traced;
+          break;
+        }
+      }
       const auto [it, inserted] =
           label_of.try_emplace(class_name, static_cast<int>(class_names.size()));
       if (inserted) class_names.push_back(class_name);
@@ -75,12 +117,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fhc_train: no samples under %s\n", root.c_str());
     return 1;
   }
-  std::printf("collected %zu samples in %zu classes (%zu stripped)\n",
-              hashes.size(), class_names.size(), stripped);
+  if (runtime) {
+    std::printf("collected %zu samples in %zu classes (%zu stripped, %zu traced)\n",
+                hashes.size(), class_names.size(), stripped, traced);
+  } else {
+    std::printf("collected %zu samples in %zu classes (%zu stripped)\n",
+                hashes.size(), class_names.size(), stripped);
+  }
 
   core::ClassifierConfig config;
   config.forest.n_estimators = n_trees;
   config.confidence_threshold = threshold;
+  if (runtime) config.channel_set = runtime::runtime_channel_set();
   core::FuzzyHashClassifier classifier;
   try {
     classifier.fit(hashes, labels, class_names, config);
@@ -93,10 +141,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fhc_train: %s\n", e.what());
     return 1;
   }
-  const auto importance = classifier.feature_type_importance();
+  const auto importance = classifier.channel_importance();
+  const core::ChannelSet& channels = classifier.index().channels();
   std::printf("%s model written to %s (threshold %.2f, %d trees)\n",
               binary ? "binary" : "text", model_path.c_str(), threshold, n_trees);
-  std::printf("feature importance: file %.3f, strings %.3f, symbols %.3f\n",
-              importance[0], importance[1], importance[2]);
+  std::printf("channel importance:");
+  for (std::size_t f = 0; f < channels.size(); ++f) {
+    std::printf("%s %s %.3f", f == 0 ? "" : ",", channels[f].name.c_str(),
+                importance[f]);
+  }
+  std::printf("\n");
   return 0;
 }

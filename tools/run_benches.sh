@@ -31,12 +31,16 @@ done
 # loudly if the prepared-vs-raw compare pair or the feature-matrix bench
 # ever drop out of the ssdeep baseline. PR 5 on: the GramIndex
 # candidate-driven fill must keep its pair against the prepared all-pairs
-# baseline (BM_FeatureRowIndexed vs BM_FeatureRowPrepared).
+# baseline (BM_FeatureRowIndexed vs BM_FeatureRowPrepared). PR 7 on: the
+# runtime channel — trace fingerprint+hash cost, and the three-vs-four
+# channel row-fill pair (BM_FeatureRowIndexed vs
+# BM_FeatureRowIndexedFourChannel).
 for required in \
     BM_CompareUnrelatedDigests BM_ComparePreparedUnrelatedDigests \
     BM_CompareRelatedDigests BM_ComparePreparedRelatedDigests \
     BM_PrepareDigest BM_FeatureRowPrepared BM_FeatureRowIndexed \
-    BM_FeatureRowRawLoop; do
+    BM_FeatureRowRawLoop BM_RuntimeTraceHash \
+    BM_FeatureRowIndexedFourChannel; do
   if ! grep -q "\"$required\"" BENCH_perf_ssdeep.json; then
     echo "error: BENCH_perf_ssdeep.json is missing $required" >&2
     exit 1
