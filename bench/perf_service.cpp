@@ -20,13 +20,20 @@
 //                                     explicit shard counts
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <future>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/classifier.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/command_handler.hpp"
 #include "service/service.hpp"
 #include "support/synthetic_hashes.hpp"
 
@@ -193,5 +200,107 @@ void BM_ServiceCacheHit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ServiceCacheHit)->UseRealTime();
+
+// ---- socket front-end (PR 8) ----------------------------------------------
+// The pair to read together (items_per_second): the same steady-state
+// stream submitted in-process vs through the epoll socket server's wire
+// protocol — the delta is the framing + syscall + event-loop cost per
+// request. BM_ServeSocketPipelined's p50/p99 counters are the
+// client-observed per-request latency under N concurrent pipelined
+// connections.
+
+constexpr std::size_t kWireRequestsPerIteration = 256;
+
+/// In-process baseline for the socket pair: direct submit() futures over
+/// the steady-state stream (cache on — the socket side runs the same
+/// config, so the delta isolates the wire).
+void BM_ServiceSubmitInProcess(benchmark::State& state) {
+  const ServiceBenchData& data = bench_data();
+  service::ClassificationService svc(data.model(), bench_config(32, 4096));
+  // Warm the LRU: steady state is the cache-served stream, so the pair
+  // isolates the wire overhead, not first-pass scoring (and not the
+  // micro-batch delay a shallow pipeline would otherwise wait out).
+  for (const core::FeatureHashes& sample : data.unique_pool) {
+    benchmark::DoNotOptimize(svc.classify_batch({sample}));
+  }
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    std::vector<std::future<core::Prediction>> futures;
+    futures.reserve(kWireRequestsPerIteration);
+    for (std::size_t i = 0; i < kWireRequestsPerIteration; ++i) {
+      futures.push_back(svc.submit(data.unique_pool[offset]));
+      offset = (offset + 1) % data.unique_pool.size();
+    }
+    for (std::future<core::Prediction>& future : futures) {
+      benchmark::DoNotOptimize(future.get());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kWireRequestsPerIteration));
+}
+BENCHMARK(BM_ServiceSubmitInProcess)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// The same stream through the socket server: N pipelined connections on
+/// a Unix socket, CLASSIFY_DIGESTS frames, replies decoded client-side.
+void BM_ServeSocketPipelined(benchmark::State& state) {
+  const ServiceBenchData& data = bench_data();
+  const auto connections = static_cast<std::size_t>(state.range(0));
+
+  service::ClassificationService svc(data.model(), bench_config(32, 4096));
+  // Same warm-LRU steady state as BM_ServiceSubmitInProcess.
+  for (const core::FeatureHashes& sample : data.unique_pool) {
+    benchmark::DoNotOptimize(svc.classify_batch({sample}));
+  }
+  service::CommandHandler handler(svc);
+  net::ServerConfig server_config;
+  server_config.unix_path =
+      "/tmp/fhc_bench_" + std::to_string(::getpid()) + ".sock";
+  net::SocketServer server(handler, server_config);
+  server.start();
+
+  std::vector<std::string> frames;
+  frames.reserve(data.unique_pool.size());
+  for (const core::FeatureHashes& sample : data.unique_pool) {
+    std::vector<std::string> digests;
+    for (std::size_t i = 0; i < sample.channel_count(); ++i) {
+      digests.push_back(sample.channel(i).to_string());
+    }
+    std::string frame;
+    net::encode_classify_digests(frame, digests);
+    frames.push_back(std::move(frame));
+  }
+
+  net::LoadOptions options;
+  options.endpoint.unix_path = server_config.unix_path;
+  options.connections = connections;
+  options.pipeline = 8;
+  options.requests =
+      std::max<std::size_t>(kWireRequestsPerIteration / connections, 1);
+  options.connect_retries = 20;
+
+  net::LoadResult last;
+  for (auto _ : state) {
+    last = net::run_load(options, frames);
+    if (!last.ok()) {
+      state.SkipWithError(last.failure.c_str());
+      break;
+    }
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(options.requests * connections));
+  state.counters["p50_ms"] = last.p50_ms;
+  state.counters["p99_ms"] = last.p99_ms;
+  state.counters["max_ms"] = last.max_ms;
+
+  server.stop();
+  server.join();
+}
+BENCHMARK(BM_ServeSocketPipelined)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

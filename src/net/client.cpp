@@ -1,0 +1,255 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <utility>
+
+namespace fhc::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+std::string errno_string(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+int connect_once(const Endpoint& endpoint, std::string& error) {
+  if (!endpoint.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.unix_path.size() >= sizeof(addr.sun_path)) {
+      error = "unix path too long: " + endpoint.unix_path;
+      return -1;
+    }
+    std::memcpy(addr.sun_path, endpoint.unix_path.c_str(),
+                endpoint.unix_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      error = errno_string("socket(AF_UNIX)");
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+      error = errno_string("connect(" + endpoint.unix_path + ")");
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(endpoint.port));
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    error = "bad host: " + endpoint.host;
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    error = errno_string("socket(AF_INET)");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    error = errno_string("connect(" + endpoint.host + ":" +
+                         std::to_string(endpoint.port) + ")");
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+}  // namespace
+
+BlockingClient::~BlockingClient() { close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+std::string BlockingClient::connect(const Endpoint& endpoint, int retries,
+                                    int retry_delay_ms) {
+  close();
+  std::string error;
+  for (int attempt = 0;; ++attempt) {
+    fd_ = connect_once(endpoint, error);
+    if (fd_ >= 0) {
+      reader_ = FrameReader();
+      return {};
+    }
+    if (attempt >= retries) return error;
+    std::this_thread::sleep_for(std::chrono::milliseconds(retry_delay_ms));
+  }
+}
+
+void BlockingClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool BlockingClient::send_bytes(std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t sent =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+bool BlockingClient::read_response(Response& out, std::string* error) {
+  for (;;) {
+    if (std::optional<std::vector<std::uint8_t>> payload = reader_.next()) {
+      const DecodeStatus status = decode_response(*payload, out);
+      if (status != DecodeStatus::kOk) {
+        if (error != nullptr) *error = "malformed response frame";
+        return false;
+      }
+      return true;
+    }
+    if (reader_.error()) {
+      if (error != nullptr) *error = *reader_.error();
+      return false;
+    }
+    char buf[65536];
+    const ssize_t got = ::recv(fd_, buf, sizeof buf, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = errno_string("recv");
+      return false;
+    }
+    if (got == 0) {
+      if (error != nullptr) *error = "connection closed by server";
+      return false;
+    }
+    reader_.feed(std::string_view(buf, static_cast<std::size_t>(got)));
+  }
+}
+
+LoadResult run_load(const LoadOptions& options,
+                    std::span<const std::string> frames) {
+  LoadResult total;
+  if (frames.empty()) {
+    total.failure = "run_load: no request frames";
+    return total;
+  }
+  const std::size_t pipeline = std::max<std::size_t>(options.pipeline, 1);
+
+  struct PerConn {
+    LoadResult result;
+    std::vector<double> latencies_ms;
+  };
+  std::vector<PerConn> per_conn(std::max<std::size_t>(options.connections, 1));
+
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(per_conn.size());
+  for (std::size_t c = 0; c < per_conn.size(); ++c) {
+    threads.emplace_back([&, c] {
+      PerConn& mine = per_conn[c];
+      BlockingClient client;
+      const std::string connect_error =
+          client.connect(options.endpoint, options.connect_retries);
+      if (!connect_error.empty()) {
+        mine.result.failure = connect_error;
+        return;
+      }
+      mine.latencies_ms.reserve(options.requests);
+      std::deque<Clock::time_point> in_flight;
+      std::size_t sent = 0;
+      std::size_t received = 0;
+      while (received < options.requests) {
+        while (sent < options.requests && in_flight.size() < pipeline) {
+          const std::string& frame = frames[sent % frames.size()];
+          in_flight.push_back(Clock::now());
+          if (!client.send_bytes(frame)) {
+            mine.result.failure = "send failed after " +
+                                  std::to_string(sent) + " requests";
+            return;
+          }
+          ++sent;
+          ++mine.result.sent;
+        }
+        Response response;
+        std::string error;
+        if (!client.read_response(response, &error)) {
+          mine.result.failure =
+              error + " (after " + std::to_string(received) + "/" +
+              std::to_string(options.requests) + " replies)";
+          return;
+        }
+        if (in_flight.empty()) {
+          mine.result.failure = "reply without a pending request";
+          return;
+        }
+        const std::chrono::duration<double, std::milli> took =
+            Clock::now() - in_flight.front();
+        in_flight.pop_front();
+        mine.latencies_ms.push_back(took.count());
+        ++received;
+        switch (response.op) {
+          case Opcode::kPrediction:
+            ++mine.result.predictions;
+            break;
+          case Opcode::kBusy:
+            ++mine.result.busy;
+            break;
+          case Opcode::kError:
+            ++mine.result.errors;
+            break;
+          default:  // OK/STATS replies to interleaved control frames
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  total.elapsed_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::vector<double> latencies;
+  for (PerConn& conn : per_conn) {
+    total.sent += conn.result.sent;
+    total.predictions += conn.result.predictions;
+    total.busy += conn.result.busy;
+    total.errors += conn.result.errors;
+    if (!conn.result.failure.empty() && total.failure.empty()) {
+      total.failure = conn.result.failure;
+    }
+    latencies.insert(latencies.end(), conn.latencies_ms.begin(),
+                     conn.latencies_ms.end());
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const std::size_t n = latencies.size();
+    total.p50_ms = latencies[(n + 1) / 2 - 1];
+    total.p99_ms = latencies[(n * 99 + 99) / 100 - 1];
+    total.max_ms = latencies.back();
+  }
+  return total;
+}
+
+}  // namespace fhc::net

@@ -1,0 +1,91 @@
+// fhc::net client side — a small blocking client for the framed socket
+// protocol plus run_load(), the pipelined load-generator core shared by
+// tools/fhc_loadgen, the socket benches, and the net tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace fhc::net {
+
+/// Where to connect: the Unix path wins when non-empty, otherwise
+/// host:port.
+struct Endpoint {
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+};
+
+/// One blocking connection. Not thread-safe; one per thread.
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+
+  /// Connects, retrying `retries` times with `retry_delay_ms` between
+  /// attempts (daemon-startup races). Returns "" on success, the error
+  /// otherwise.
+  std::string connect(const Endpoint& endpoint, int retries = 0,
+                      int retry_delay_ms = 50);
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Sends all of `bytes` (one or more pre-encoded frames).
+  bool send_bytes(std::string_view bytes);
+
+  /// Blocks for the next response frame. On false, `error` (when given)
+  /// explains: peer closed, framing violation, or malformed response.
+  bool read_response(Response& out, std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+struct LoadOptions {
+  Endpoint endpoint;
+  std::size_t connections = 1;
+  std::size_t pipeline = 8;   // frames in flight per connection
+  std::size_t requests = 64;  // total frames per connection
+  int connect_retries = 0;
+};
+
+struct LoadResult {
+  std::size_t sent = 0;
+  std::size_t predictions = 0;
+  std::size_t busy = 0;    // BUSY replies (admission control)
+  std::size_t errors = 0;  // ERROR replies
+  double elapsed_s = 0.0;
+  double p50_ms = 0.0;  // client-observed time-in-pipe percentiles
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  std::string failure;  // non-empty on transport failure / missing replies
+
+  bool ok() const noexcept { return failure.empty(); }
+  double replies() const noexcept {
+    return static_cast<double>(predictions + busy + errors);
+  }
+};
+
+/// Drives `connections` pipelined connections, each cycling through the
+/// pre-encoded request `frames` until it has sent `requests` of them
+/// with at most `pipeline` in flight. Every request gets exactly one
+/// reply (prediction/busy/error); a missing reply or transport error
+/// lands in LoadResult::failure. Latency is measured send-to-reply per
+/// frame (time in pipe, queueing included).
+LoadResult run_load(const LoadOptions& options,
+                    std::span<const std::string> frames);
+
+}  // namespace fhc::net

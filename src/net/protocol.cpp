@@ -1,0 +1,265 @@
+#include "net/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace fhc::net {
+
+namespace {
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+/// Patches the frame header in front of a payload appended after
+/// begin_frame(); keeps every encoder a straight-line append.
+std::size_t begin_frame(std::string& out) {
+  const std::size_t header_at = out.size();
+  put_u32(out, 0);  // patched by end_frame
+  return header_at;
+}
+
+void end_frame(std::string& out, std::size_t header_at) {
+  const auto payload_len =
+      static_cast<std::uint32_t>(out.size() - header_at - kFrameHeaderSize);
+  out[header_at + 0] = static_cast<char>(payload_len & 0xff);
+  out[header_at + 1] = static_cast<char>((payload_len >> 8) & 0xff);
+  out[header_at + 2] = static_cast<char>((payload_len >> 16) & 0xff);
+  out[header_at + 3] = static_cast<char>((payload_len >> 24) & 0xff);
+}
+
+/// Bounds-checked little-endian reader over one frame payload.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t& v) {
+    if (at_ + 1 > bytes_.size()) return false;
+    v = bytes_[at_++];
+    return true;
+  }
+
+  bool u32(std::uint32_t& v) {
+    if (at_ + 4 > bytes_.size()) return false;
+    v = static_cast<std::uint32_t>(bytes_[at_]) |
+        (static_cast<std::uint32_t>(bytes_[at_ + 1]) << 8) |
+        (static_cast<std::uint32_t>(bytes_[at_ + 2]) << 16) |
+        (static_cast<std::uint32_t>(bytes_[at_ + 3]) << 24);
+    at_ += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    if (!u32(lo) || !u32(hi)) return false;
+    v = static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+    return true;
+  }
+
+  bool str(std::string& v) {
+    std::uint32_t len = 0;
+    if (!u32(len)) return false;
+    if (at_ + len > bytes_.size()) return false;  // at_ + len can't wrap: both fit
+    v.assign(reinterpret_cast<const char*>(bytes_.data() + at_), len);
+    at_ += len;
+    return true;
+  }
+
+  bool done() const noexcept { return at_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+void encode_classify_digests(std::string& out,
+                             std::span<const std::string> digests) {
+  const std::size_t header = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(Opcode::kClassifyDigests));
+  put_u8(out, static_cast<std::uint8_t>(digests.size()));
+  for (const std::string& digest : digests) put_string(out, digest);
+  end_frame(out, header);
+}
+
+void encode_classify_path(std::string& out, std::string_view path_spec) {
+  const std::size_t header = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(Opcode::kClassifyPath));
+  put_string(out, path_spec);
+  end_frame(out, header);
+}
+
+namespace {
+void encode_bodyless(std::string& out, Opcode op) {
+  const std::size_t header = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(op));
+  end_frame(out, header);
+}
+
+void encode_text(std::string& out, Opcode op, std::string_view text) {
+  const std::size_t header = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(op));
+  put_string(out, text);
+  end_frame(out, header);
+}
+}  // namespace
+
+void encode_stats(std::string& out) { encode_bodyless(out, Opcode::kStats); }
+void encode_ping(std::string& out) { encode_bodyless(out, Opcode::kPing); }
+void encode_quit(std::string& out) { encode_bodyless(out, Opcode::kQuit); }
+
+void encode_reload(std::string& out, std::string_view model_path) {
+  encode_text(out, Opcode::kReload, model_path);
+}
+
+void encode_prediction(std::string& out, std::int32_t label, double confidence,
+                       std::uint64_t server_micros, std::string_view class_name) {
+  const std::size_t header = begin_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(Opcode::kPrediction));
+  put_u32(out, static_cast<std::uint32_t>(label));
+  put_u64(out, std::bit_cast<std::uint64_t>(confidence));
+  put_u64(out, server_micros);
+  put_string(out, class_name);
+  end_frame(out, header);
+}
+
+void encode_ok(std::string& out, std::string_view text) {
+  encode_text(out, Opcode::kOk, text);
+}
+void encode_stats_text(std::string& out, std::string_view text) {
+  encode_text(out, Opcode::kStatsText, text);
+}
+void encode_error(std::string& out, std::string_view message) {
+  encode_text(out, Opcode::kError, message);
+}
+void encode_busy(std::string& out, std::string_view reason) {
+  encode_text(out, Opcode::kBusy, reason);
+}
+
+DecodeStatus decode_request(std::span<const std::uint8_t> payload, Request& out) {
+  Cursor cursor(payload);
+  std::uint8_t op = 0;
+  if (!cursor.u8(op)) return DecodeStatus::kMalformed;
+  out = Request{};
+  out.op = static_cast<Opcode>(op);
+  switch (out.op) {
+    case Opcode::kClassifyDigests: {
+      std::uint8_t count = 0;
+      if (!cursor.u8(count)) return DecodeStatus::kMalformed;
+      if (count == 0 || count > kMaxDigestChannels) return DecodeStatus::kMalformed;
+      out.digests.resize(count);
+      for (std::string& digest : out.digests) {
+        if (!cursor.str(digest)) return DecodeStatus::kMalformed;
+      }
+      break;
+    }
+    case Opcode::kClassifyPath:
+    case Opcode::kReload:
+      if (!cursor.str(out.text)) return DecodeStatus::kMalformed;
+      break;
+    case Opcode::kStats:
+    case Opcode::kPing:
+    case Opcode::kQuit:
+      break;
+    default:
+      return DecodeStatus::kUnknownOpcode;
+  }
+  return cursor.done() ? DecodeStatus::kOk : DecodeStatus::kMalformed;
+}
+
+DecodeStatus decode_response(std::span<const std::uint8_t> payload, Response& out) {
+  Cursor cursor(payload);
+  std::uint8_t op = 0;
+  if (!cursor.u8(op)) return DecodeStatus::kMalformed;
+  out = Response{};
+  out.op = static_cast<Opcode>(op);
+  switch (out.op) {
+    case Opcode::kPrediction: {
+      std::uint32_t label = 0;
+      std::uint64_t confidence_bits = 0;
+      if (!cursor.u32(label) || !cursor.u64(confidence_bits) ||
+          !cursor.u64(out.server_micros) || !cursor.str(out.text)) {
+        return DecodeStatus::kMalformed;
+      }
+      out.label = static_cast<std::int32_t>(label);
+      out.confidence = std::bit_cast<double>(confidence_bits);
+      break;
+    }
+    case Opcode::kOk:
+    case Opcode::kStatsText:
+    case Opcode::kError:
+    case Opcode::kBusy:
+      if (!cursor.str(out.text)) return DecodeStatus::kMalformed;
+      break;
+    default:
+      return DecodeStatus::kUnknownOpcode;
+  }
+  return cursor.done() ? DecodeStatus::kOk : DecodeStatus::kMalformed;
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> bytes) {
+  if (error_) return;  // poisoned: drop everything
+  // Compact the consumed prefix before growing — steady-state pipelining
+  // keeps the buffer near one frame.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void FrameReader::feed(std::string_view bytes) {
+  feed(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()));
+}
+
+std::optional<std::vector<std::uint8_t>> FrameReader::next() {
+  if (error_) return std::nullopt;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderSize) return std::nullopt;
+  const std::uint8_t* head = buffer_.data() + consumed_;
+  const std::uint32_t payload_len = static_cast<std::uint32_t>(head[0]) |
+                                    (static_cast<std::uint32_t>(head[1]) << 8) |
+                                    (static_cast<std::uint32_t>(head[2]) << 16) |
+                                    (static_cast<std::uint32_t>(head[3]) << 24);
+  if (payload_len == 0) {
+    error_ = "zero-length frame";
+    return std::nullopt;
+  }
+  if (payload_len > max_frame_) {
+    error_ = "frame exceeds maximum payload size (" +
+             std::to_string(payload_len) + " > " + std::to_string(max_frame_) +
+             ")";
+    return std::nullopt;
+  }
+  if (available < kFrameHeaderSize + payload_len) return std::nullopt;
+  std::vector<std::uint8_t> payload(head + kFrameHeaderSize,
+                                    head + kFrameHeaderSize + payload_len);
+  consumed_ += kFrameHeaderSize + payload_len;
+  return payload;
+}
+
+}  // namespace fhc::net

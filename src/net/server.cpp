@@ -1,0 +1,748 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/features.hpp"
+#include "ssdeep/digest.hpp"
+
+namespace fhc::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Builds a FeatureHashes from wire digest texts (channel order). Empty
+/// strings are the empty digest (scores 0, like a stripped channel).
+bool sample_from_digests(const std::vector<std::string>& digests,
+                         core::FeatureHashes& out, std::string& error) {
+  out = core::FeatureHashes{};
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    if (digests[i].empty()) continue;  // empty channel
+    std::optional<ssdeep::FuzzyDigest> parsed = ssdeep::parse_digest(digests[i]);
+    if (!parsed) {
+      error = "malformed digest in channel " + std::to_string(i);
+      return false;
+    }
+    out.set_channel(i, std::move(*parsed));
+  }
+  return true;
+}
+
+}  // namespace
+
+struct SocketServer::Impl {
+  // ---- static wiring -----------------------------------------------------
+  service::CommandHandler& handler;
+  ServerConfig config;
+
+  struct Listener {
+    int fd = -1;
+    bool tcp = false;
+  };
+  std::vector<Listener> listeners;
+  int resolved_tcp_port = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;  // eventfd: completions + stop()
+
+  // ---- connections (event-loop thread only) ------------------------------
+  struct Slot {
+    bool ready = false;
+    std::string bytes;
+  };
+
+  struct Conn {
+    std::uint64_t id = 0;
+    int fd = -1;
+    bool tcp = false;
+    FrameReader reader;
+    std::string wbuf;
+    std::size_t woff = 0;
+    std::deque<Slot> slots;    // reply queue, strictly in request order
+    std::uint64_t base_seq = 0;  // seq of slots.front()
+    std::uint64_t next_seq = 0;
+    std::size_t inflight = 0;  // pending (classify/reload) slots
+    std::uint32_t events = 0;  // currently registered epoll interest
+    bool reads_off = false;    // paused (backpressure) or draining
+    bool closing = false;      // no more reads; close once drained
+    bool reload_wait = false;  // RELOAD in flight: later frames must
+                               // observe the new model, so dispatch
+                               // pauses until it completes
+
+    explicit Conn(std::size_t max_frame) : reader(max_frame) {}
+  };
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  std::uint64_t next_conn_id = 1000;  // ids < 1000 are listeners/wakeups
+  std::size_t global_inflight = 0;
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+
+  // ---- completion worker -------------------------------------------------
+  struct Job {
+    enum Kind { kClassify, kReload, kStop } kind = kStop;
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::future<core::Prediction> future;
+    std::string path;
+    Clock::time_point start{};
+  };
+
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    bool classify = false;
+    std::string bytes;
+  };
+
+  std::mutex jobs_mutex;
+  std::condition_variable jobs_cv;
+  std::deque<Job> jobs;
+  std::mutex completions_mutex;
+  std::deque<Completion> completions;
+  std::thread worker;
+
+  // ---- lifecycle ---------------------------------------------------------
+  std::atomic<bool> stop_requested{false};
+  std::thread loop_thread;  // start() only
+
+  Impl(service::CommandHandler& h, ServerConfig c)
+      : handler(h), config(std::move(c)) {}
+
+  ~Impl() {
+    for (auto& [id, conn] : conns) {
+      if (conn->fd >= 0) ::close(conn->fd);
+    }
+    close_listeners();
+    if (epoll_fd >= 0) ::close(epoll_fd);
+    if (wake_fd >= 0) ::close(wake_fd);
+    if (!config.unix_path.empty()) ::unlink(config.unix_path.c_str());
+  }
+
+  // ---- setup -------------------------------------------------------------
+
+  void setup() {
+    if (config.unix_path.empty() && config.tcp_port < 0) {
+      throw std::invalid_argument(
+          "SocketServer: configure a Unix socket path and/or a TCP port");
+    }
+    if (config.max_pipeline == 0) config.max_pipeline = 1;
+    if (config.max_connections == 0) config.max_connections = 1;
+    if (config.max_inflight == 0) config.max_inflight = 1;
+
+    epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd < 0) throw_errno("epoll_create1");
+    wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd < 0) throw_errno("eventfd");
+    watch(wake_fd, /*key=*/0, EPOLLIN);
+
+    if (!config.unix_path.empty()) add_unix_listener();
+    if (config.tcp_port >= 0) add_tcp_listener();
+    for (std::size_t i = 0; i < listeners.size(); ++i) {
+      watch(listeners[i].fd, /*key=*/1 + i, EPOLLIN);
+    }
+  }
+
+  void add_unix_listener() {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config.unix_path.size() >= sizeof(addr.sun_path)) {
+      throw std::invalid_argument("SocketServer: unix path too long: " +
+                                  config.unix_path);
+    }
+    std::memcpy(addr.sun_path, config.unix_path.c_str(),
+                config.unix_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket(AF_UNIX)");
+    // A previous daemon's stale socket file would fail the bind; the
+    // path is daemon-owned, so replacing it is the standard idiom.
+    ::unlink(config.unix_path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd);
+      throw_errno("bind(" + config.unix_path + ")");
+    }
+    if (::listen(fd, 512) < 0) {
+      ::close(fd);
+      throw_errno("listen(" + config.unix_path + ")");
+    }
+    listeners.push_back({fd, /*tcp=*/false});
+  }
+
+  void add_tcp_listener() {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(config.tcp_port));
+    if (::inet_pton(AF_INET, config.tcp_host.c_str(), &addr.sin_addr) != 1) {
+      throw std::invalid_argument("SocketServer: bad tcp host: " + config.tcp_host);
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd);
+      throw_errno("bind(" + config.tcp_host + ":" +
+                  std::to_string(config.tcp_port) + ")");
+    }
+    if (::listen(fd, 512) < 0) {
+      ::close(fd);
+      throw_errno("listen(tcp)");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      resolved_tcp_port = ntohs(bound.sin_port);
+    }
+    listeners.push_back({fd, /*tcp=*/true});
+  }
+
+  void close_listeners() {
+    for (Listener& listener : listeners) {
+      if (listener.fd >= 0) {
+        if (epoll_fd >= 0) ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listener.fd, nullptr);
+        ::close(listener.fd);
+        listener.fd = -1;
+      }
+    }
+  }
+
+  void watch(int fd, std::uint64_t key, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = key;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) throw_errno("epoll_ctl(ADD)");
+  }
+
+  void update_interest(Conn& conn) {
+    std::uint32_t wanted = 0;
+    if (!conn.reads_off && !conn.closing && !conn.reload_wait) wanted |= EPOLLIN;
+    if (conn.woff < conn.wbuf.size()) wanted |= EPOLLOUT;
+    if (wanted == conn.events) return;
+    epoll_event ev{};
+    ev.events = wanted;
+    ev.data.u64 = conn.id;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+    conn.events = wanted;
+  }
+
+  // ---- event loop --------------------------------------------------------
+
+  void run_loop() {
+    std::vector<epoll_event> events(256);
+    for (;;) {
+      if (stop_requested.load(std::memory_order_relaxed)) begin_drain();
+      if (draining && conns.empty()) break;
+
+      int timeout = -1;
+      if (draining) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            drain_deadline - Clock::now());
+        if (left.count() <= 0) {
+          force_close_all();
+          break;
+        }
+        timeout = static_cast<int>(left.count());
+      }
+
+      const int n = ::epoll_wait(epoll_fd, events.data(),
+                                 static_cast<int>(events.size()), timeout);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("epoll_wait");
+      }
+      for (int i = 0; i < n; ++i) {
+        const std::uint64_t key = events[i].data.u64;
+        const std::uint32_t mask = events[i].events;
+        if (key == 0) {
+          drain_wake();
+        } else if (key <= listeners.size()) {
+          accept_ready(listeners[key - 1]);
+        } else {
+          on_conn_event(key, mask);
+        }
+      }
+    }
+    // Stop the completion worker; every queued job's future resolves
+    // because begin_drain() flushed the service queue and nothing can
+    // submit anymore.
+    {
+      std::lock_guard lock(jobs_mutex);
+      jobs.push_back(Job{});  // kStop
+    }
+    jobs_cv.notify_one();
+    if (worker.joinable()) worker.join();
+  }
+
+  void begin_drain() {
+    if (draining) return;
+    draining = true;
+    drain_deadline =
+        Clock::now() + std::chrono::milliseconds(std::max(config.drain_timeout_ms, 0));
+    close_listeners();
+    for (auto& [id, conn] : conns) {
+      conn->closing = true;
+      update_interest(*conn);
+    }
+    // Queued-but-unflushed requests must not wait out max_delay (or
+    // worse, a huge test configuration) during shutdown.
+    handler.service().flush();
+    // Connections with nothing in flight close immediately; collect ids
+    // first (close_conn mutates the map).
+    std::vector<std::uint64_t> idle;
+    for (auto& [id, conn] : conns) {
+      if (conn->slots.empty() && conn->woff == conn->wbuf.size()) idle.push_back(id);
+    }
+    for (const std::uint64_t id : idle) close_conn(id);
+  }
+
+  void force_close_all() {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns.size());
+    for (auto& [id, conn] : conns) ids.push_back(id);
+    for (const std::uint64_t id : ids) close_conn(id);
+  }
+
+  void drain_wake() {
+    std::uint64_t count = 0;
+    while (::read(wake_fd, &count, sizeof count) > 0) {
+    }
+    std::deque<Completion> ready;
+    {
+      std::lock_guard lock(completions_mutex);
+      ready.swap(completions);
+    }
+    for (Completion& completion : ready) {
+      if (completion.classify && global_inflight > 0) --global_inflight;
+      const auto it = conns.find(completion.conn_id);
+      if (it == conns.end()) continue;  // connection died first
+      Conn& conn = *it->second;
+      if (completion.seq < conn.base_seq) continue;  // stale (should not happen)
+      const std::size_t idx = completion.seq - conn.base_seq;
+      if (idx >= conn.slots.size()) continue;
+      conn.slots[idx].ready = true;
+      conn.slots[idx].bytes = std::move(completion.bytes);
+      if (conn.inflight > 0) --conn.inflight;
+      if (!completion.classify) {
+        // A reload finished: lift the barrier and dispatch the frames
+        // that were buffered behind it against the new model.
+        conn.reload_wait = false;
+        if (!drain_frames(conn)) continue;
+        apply_backpressure(conn);
+      }
+      flush_conn(conn);
+    }
+  }
+
+  void accept_ready(const Listener& listener) {
+    if (listener.fd < 0) return;
+    for (;;) {
+      const int fd =
+          ::accept4(listener.fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        return;  // transient accept errors (ECONNABORTED, EMFILE): keep serving
+      }
+      if (draining || conns.size() >= config.max_connections) {
+        // Admission refusal at the accept gate: an explicit BUSY frame
+        // (best-effort — the socket buffer of a fresh connection takes
+        // it) and an immediate close. Count first: a client that
+        // observes the BUSY/close must find the counter already bumped.
+        handler.service().record_connection_rejected();
+        std::string frame;
+        encode_busy(frame, draining ? "server shutting down"
+                                    : "connection limit reached");
+        (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+        ::close(fd);
+        continue;
+      }
+      if (listener.tcp) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      }
+      auto conn = std::make_unique<Conn>(config.max_frame);
+      conn->id = next_conn_id++;
+      conn->fd = fd;
+      conn->tcp = listener.tcp;
+      conn->events = EPOLLIN;
+      watch(fd, conn->id, EPOLLIN);
+      handler.service().record_connection_opened();
+      conns.emplace(conn->id, std::move(conn));
+    }
+  }
+
+  void on_conn_event(std::uint64_t id, std::uint32_t mask) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;
+    Conn& conn = *it->second;
+    if (mask & (EPOLLHUP | EPOLLERR)) {
+      close_conn(id);
+      return;
+    }
+    if (mask & EPOLLOUT) {
+      flush_conn(conn);
+      if (conns.find(id) == conns.end()) return;  // flush closed it
+    }
+    if (mask & EPOLLIN) read_ready(id);
+  }
+
+  void read_ready(std::uint64_t id) {
+    auto it = conns.find(id);
+    if (it == conns.end()) return;
+    Conn& conn = *it->second;
+    char buf[65536];
+    for (;;) {
+      if (conn.reads_off || conn.closing || conn.reload_wait) break;
+      const ssize_t got = ::recv(conn.fd, buf, sizeof buf, 0);
+      if (got < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        close_conn(id);
+        return;
+      }
+      if (got == 0) {  // peer closed: flush what is owed, then close
+        conn.closing = true;
+        break;
+      }
+      conn.reader.feed(std::string_view(buf, static_cast<std::size_t>(got)));
+      if (!drain_frames(conn)) return;  // connection died mid-dispatch
+      apply_backpressure(conn);
+    }
+    flush_conn(conn);
+  }
+
+  /// Dispatches every buffered frame the connection may currently
+  /// process (dispatch stops at closing and at a reload barrier).
+  /// Returns false when the connection was erased mid-dispatch.
+  bool drain_frames(Conn& conn) {
+    const std::uint64_t id = conn.id;
+    while (!conn.closing && !conn.reload_wait) {
+      std::optional<std::vector<std::uint8_t>> payload = conn.reader.next();
+      if (!payload) break;
+      dispatch(conn, *payload);
+      if (conns.find(id) == conns.end()) return false;
+    }
+    if (conn.reader.error() && !conn.closing) {
+      // Framing violation: the stream can no longer be trusted.
+      append_ready(conn, [&](std::string& out) {
+        encode_error(out, "protocol error: " + *conn.reader.error());
+      });
+      conn.closing = true;
+    }
+    return true;
+  }
+
+  /// Appends one immediately-ready reply slot.
+  template <typename Encode>
+  void append_ready(Conn& conn, Encode&& encode) {
+    Slot slot;
+    slot.ready = true;
+    encode(slot.bytes);
+    conn.slots.push_back(std::move(slot));
+    ++conn.next_seq;
+  }
+
+  /// Appends a pending slot and returns its sequence number.
+  std::uint64_t append_pending(Conn& conn) {
+    conn.slots.emplace_back();
+    ++conn.inflight;
+    return conn.next_seq++;
+  }
+
+  void dispatch(Conn& conn, const std::vector<std::uint8_t>& payload) {
+    Request request;
+    const DecodeStatus status = decode_request(payload, request);
+    if (status == DecodeStatus::kUnknownOpcode) {
+      append_ready(conn, [](std::string& out) {
+        encode_error(out, "unknown opcode");
+      });
+      return;
+    }
+    if (status == DecodeStatus::kMalformed) {
+      append_ready(conn, [](std::string& out) {
+        encode_error(out, "malformed request body");
+      });
+      conn.closing = true;  // framing no longer trustworthy
+      return;
+    }
+
+    switch (request.op) {
+      case Opcode::kClassifyDigests:
+      case Opcode::kClassifyPath:
+        dispatch_classify(conn, request);
+        break;
+      case Opcode::kStats:
+        append_ready(conn, [&](std::string& out) {
+          encode_stats_text(out, handler.stats_line());
+        });
+        break;
+      case Opcode::kPing:
+        append_ready(conn, [](std::string& out) { encode_ok(out, "pong"); });
+        break;
+      case Opcode::kReload: {
+        const std::uint64_t seq = append_pending(conn);
+        // Barrier: frames pipelined behind a RELOAD must observe the new
+        // model, so this connection's dispatch pauses until it completes
+        // (other connections keep flowing against the old snapshot).
+        conn.reload_wait = true;
+        Job job;
+        job.kind = Job::kReload;
+        job.conn_id = conn.id;
+        job.seq = seq;
+        job.path = request.text;
+        job.start = Clock::now();
+        push_job(std::move(job));
+        break;
+      }
+      case Opcode::kQuit:
+        append_ready(conn, [](std::string& out) { encode_ok(out, "bye"); });
+        begin_drain();
+        break;
+      default:  // unreachable: decode_request validated the opcode
+        break;
+    }
+  }
+
+  void dispatch_classify(Conn& conn, Request& request) {
+    // Admission gates, cheapest first; every refusal is an explicit
+    // BUSY reply in the pipeline, never silent queueing.
+    if (conn.inflight >= config.max_pipeline) {
+      append_ready(conn, [](std::string& out) {
+        encode_busy(out, "per-connection pipeline limit reached");
+      });
+      return;
+    }
+    if (global_inflight >= config.max_inflight) {
+      append_ready(conn, [](std::string& out) {
+        encode_busy(out, "server in-flight limit reached");
+      });
+      return;
+    }
+
+    const Clock::time_point start = Clock::now();
+    service::CommandHandler::Submission submission;
+    if (request.op == Opcode::kClassifyDigests) {
+      core::FeatureHashes sample;
+      std::string error;
+      if (!sample_from_digests(request.digests, sample, error)) {
+        // Bad digest text is an input error, not a framing error: the
+        // connection stays usable.
+        append_ready(conn, [&](std::string& out) { encode_error(out, error); });
+        return;
+      }
+      submission = handler.submit_sample(std::move(sample), /*bounded=*/true);
+    } else {
+      submission = handler.submit_path(request.text, /*bounded=*/true);
+    }
+
+    if (!submission.error.empty()) {
+      append_ready(conn, [&](std::string& out) {
+        encode_error(out, submission.error);
+      });
+      return;
+    }
+    if (submission.rejected) {
+      append_ready(conn, [](std::string& out) {
+        encode_busy(out, "service queue full");
+      });
+      return;
+    }
+
+    const std::uint64_t seq = append_pending(conn);
+    ++global_inflight;
+    Job job;
+    job.kind = Job::kClassify;
+    job.conn_id = conn.id;
+    job.seq = seq;
+    job.future = std::move(submission.future);
+    job.start = start;
+    push_job(std::move(job));
+  }
+
+  void apply_backpressure(Conn& conn) {
+    const std::size_t backlog = conn.wbuf.size() - conn.woff;
+    if (!conn.reads_off && backlog > config.write_high_watermark) {
+      conn.reads_off = true;
+    } else if (conn.reads_off && backlog < config.write_high_watermark / 2) {
+      conn.reads_off = false;
+    }
+  }
+
+  void flush_conn(Conn& conn) {
+    // Move the ready prefix of the reply queue into the write buffer.
+    while (!conn.slots.empty() && conn.slots.front().ready) {
+      conn.wbuf += conn.slots.front().bytes;
+      conn.slots.pop_front();
+      ++conn.base_seq;
+    }
+    while (conn.woff < conn.wbuf.size()) {
+      const ssize_t sent = ::send(conn.fd, conn.wbuf.data() + conn.woff,
+                                  conn.wbuf.size() - conn.woff, MSG_NOSIGNAL);
+      if (sent < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        close_conn(conn.id);
+        return;
+      }
+      conn.woff += static_cast<std::size_t>(sent);
+    }
+    if (conn.woff == conn.wbuf.size()) {
+      conn.wbuf.clear();
+      conn.woff = 0;
+    }
+    apply_backpressure(conn);
+    if ((conn.closing || draining) && conn.slots.empty() && conn.wbuf.empty()) {
+      close_conn(conn.id);
+      return;
+    }
+    update_interest(conn);
+  }
+
+  void close_conn(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;
+    Conn& conn = *it->second;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+    // Count before closing: a peer that observes the EOF must find the
+    // counter already decremented.
+    handler.service().record_connection_closed();
+    ::close(conn.fd);
+    conn.fd = -1;
+    // In-flight completions for this connection are dropped on arrival
+    // (conn lookup fails); their global_inflight share is still released
+    // there.
+    conns.erase(it);
+  }
+
+  // ---- completion worker -------------------------------------------------
+
+  void push_job(Job job) {
+    {
+      std::lock_guard lock(jobs_mutex);
+      jobs.push_back(std::move(job));
+    }
+    jobs_cv.notify_one();
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock lock(jobs_mutex);
+        jobs_cv.wait(lock, [this] { return !jobs.empty(); });
+        job = std::move(jobs.front());
+        jobs.pop_front();
+      }
+      if (job.kind == Job::kStop) return;
+
+      Completion completion;
+      completion.conn_id = job.conn_id;
+      completion.seq = job.seq;
+      completion.classify = job.kind == Job::kClassify;
+      if (job.kind == Job::kClassify) {
+        try {
+          const core::Prediction pred = job.future.get();
+          const auto micros =
+              std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                    job.start);
+          // Name the label against the current model snapshot, exactly
+          // like the stdio front-end (a prediction can outlive a RELOAD;
+          // out-of-range labels stay numeric via the empty name).
+          const std::shared_ptr<const core::FuzzyHashClassifier> model =
+              handler.service().model();
+          const std::vector<std::string>& names = model->class_names();
+          std::string_view name;
+          if (pred.label >= 0 &&
+              static_cast<std::size_t>(pred.label) < names.size()) {
+            name = names[static_cast<std::size_t>(pred.label)];
+          }
+          encode_prediction(completion.bytes, pred.label, pred.confidence,
+                            static_cast<std::uint64_t>(micros.count()), name);
+        } catch (const std::exception& e) {
+          encode_error(completion.bytes, e.what());
+        }
+      } else {
+        const service::CommandHandler::ReloadResult result =
+            handler.reload(job.path);
+        if (result.ok) {
+          encode_ok(completion.bytes, result.message);
+        } else {
+          encode_error(completion.bytes, result.message);
+        }
+      }
+
+      {
+        std::lock_guard lock(completions_mutex);
+        completions.push_back(std::move(completion));
+      }
+      wake();
+    }
+  }
+
+  void wake() {
+    const std::uint64_t one = 1;
+    ssize_t rc;
+    do {
+      rc = ::write(wake_fd, &one, sizeof one);
+    } while (rc < 0 && errno == EINTR);
+  }
+};
+
+SocketServer::SocketServer(service::CommandHandler& handler, ServerConfig config)
+    : impl_(std::make_unique<Impl>(handler, std::move(config))) {
+  impl_->setup();
+}
+
+SocketServer::~SocketServer() {
+  stop();
+  join();
+}
+
+void SocketServer::run() {
+  impl_->worker = std::thread([this] { impl_->worker_loop(); });
+  impl_->run_loop();
+}
+
+void SocketServer::start() {
+  impl_->loop_thread = std::thread([this] { run(); });
+}
+
+void SocketServer::stop() {
+  impl_->stop_requested.store(true, std::memory_order_relaxed);
+  impl_->wake();
+}
+
+void SocketServer::join() {
+  if (impl_->loop_thread.joinable()) impl_->loop_thread.join();
+}
+
+int SocketServer::tcp_port() const noexcept { return impl_->resolved_tcp_port; }
+
+const std::string& SocketServer::unix_socket_path() const noexcept {
+  return impl_->config.unix_path;
+}
+
+}  // namespace fhc::net

@@ -1,0 +1,86 @@
+// service::CommandHandler — the front-end-neutral command core of the
+// classification daemon.
+//
+// fhc_serve grew a second front-end (the fhc::net socket server) next to
+// the original stdin/stdout line protocol. Both speak the same four
+// commands — CLASSIFY, STATS, RELOAD, QUIT — and both must keep the
+// service invariants (one model snapshot per reply set, bit-identical
+// predictions, admission accounting). This class is the single
+// implementation both wrap, so the wire surfaces cannot drift:
+//
+//   * submit_path() / submit_sample(): one CLASSIFY item — feature
+//     extraction (path mode reads the file, an `exe@trace` spec attaches
+//     the perf-stat trace) and submission, optionally through the
+//     bounded try_submit() admission gate;
+//   * format_prediction(): the canonical "<label>\t<confidence>" text;
+//   * stats_line(): the canonical key=value STATS reply;
+//   * reload(): model load + service reload with error capture;
+//   * handle_line(): the whole stdio line protocol (fhc_serve --stdio
+//     and the FIFO recipe), built from the pieces above.
+#pragma once
+
+#include <future>
+#include <iosfwd>
+#include <string>
+
+#include "core/classifier.hpp"
+#include "service/service.hpp"
+
+namespace fhc::service {
+
+class CommandHandler {
+ public:
+  explicit CommandHandler(ClassificationService& svc) : svc_(svc) {}
+
+  CommandHandler(const CommandHandler&) = delete;
+  CommandHandler& operator=(const CommandHandler&) = delete;
+
+  /// One CLASSIFY item in flight. Exactly one of the three states holds:
+  /// `error` non-empty (extraction/read failed, future invalid),
+  /// `rejected` (bounded admission refused — the front-end owes the
+  /// client a BUSY reply), or `future` valid.
+  struct Submission {
+    std::future<core::Prediction> future;
+    std::string error;
+    bool rejected = false;
+  };
+
+  /// Reads `path` (or "exe@trace": the trace is fingerprinted into the
+  /// runtime channel), extracts feature hashes, and submits. Never
+  /// throws — failures land in Submission::error.
+  Submission submit_path(const std::string& path_spec, bool bounded = false);
+
+  /// Submits an already-extracted sample (the socket protocol's digest
+  /// fast path — clients hash locally, the daemon only scores).
+  Submission submit_sample(core::FeatureHashes sample, bool bounded = false);
+
+  /// "<name>\t<confidence>" with the label range-checked against
+  /// `model`'s class list (predictions can outlive a RELOAD); out-of-
+  /// range and unknown labels print numerically (kUnknownLabel = -1).
+  static std::string format_prediction(const core::FuzzyHashClassifier& model,
+                                       const core::Prediction& pred);
+
+  /// The canonical one-line key=value STATS reply (no trailing newline).
+  std::string stats_line() const;
+
+  struct ReloadResult {
+    bool ok = false;
+    std::string message;  // the model path on success, the error otherwise
+  };
+
+  /// Loads `model_path` (text/v1/v2 sniffed) and swaps it in. Never
+  /// throws; in-flight batches finish on their snapshot either way.
+  ReloadResult reload(const std::string& model_path);
+
+  /// Runs one line of the stdio protocol, writing replies (newline-
+  /// terminated, unflushed) to `out`. Returns false on QUIT.
+  bool handle_line(const std::string& line, std::ostream& out);
+
+  ClassificationService& service() noexcept { return svc_; }
+  const ClassificationService& service() const noexcept { return svc_; }
+
+ private:
+  ClassificationService& svc_;
+};
+
+}  // namespace fhc::service

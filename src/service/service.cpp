@@ -55,6 +55,21 @@ ClassificationService::~ClassificationService() {
 
 std::future<core::Prediction> ClassificationService::submit(
     core::FeatureHashes sample) {
+  return enqueue(std::move(sample), /*bounded=*/false, /*rejected=*/nullptr);
+}
+
+bool ClassificationService::try_submit(core::FeatureHashes sample,
+                                       std::future<core::Prediction>& out) {
+  bool rejected = false;
+  std::future<core::Prediction> future =
+      enqueue(std::move(sample), /*bounded=*/true, &rejected);
+  if (rejected) return false;
+  out = std::move(future);
+  return true;
+}
+
+std::future<core::Prediction> ClassificationService::enqueue(
+    core::FeatureHashes sample, bool bounded, bool* rejected) {
   Request request;
   request.sample = std::move(sample);
   request.key = sample_key(request.sample);
@@ -77,24 +92,57 @@ std::future<core::Prediction> ClassificationService::submit(
   }
 
   {
-    std::lock_guard lock(stats_mutex_);
-    ++counters_.requests;
-  }
-  {
     std::lock_guard lock(queue_mutex_);
+    if (bounded && config_.max_queue > 0 && pending_.size() >= config_.max_queue) {
+      // Admission refusal: the caller owes the client a BUSY reply. The
+      // request is never counted as submitted, so the completed ==
+      // requests accounting stays intact. (queue_mutex_ -> stats_mutex_
+      // is the established lock order below.)
+      std::lock_guard stats_lock(stats_mutex_);
+      ++counters_.requests_rejected;
+      *rejected = true;
+      return {};
+    }
     if (stopping_) {
       // The dispatcher may already have drained and exited; nothing would
       // ever score this request.
       request.promise.set_exception(std::make_exception_ptr(
           std::runtime_error("ClassificationService: submit after shutdown")));
       std::lock_guard stats_lock(stats_mutex_);
+      ++counters_.requests;
       ++counters_.completed;
       return future;
     }
     pending_.push_back(std::move(request));
+    std::lock_guard stats_lock(stats_mutex_);
+    ++counters_.requests;
   }
   queue_cv_.notify_one();
   return future;
+}
+
+void ClassificationService::flush() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    flush_requested_ = true;
+  }
+  queue_cv_.notify_all();
+}
+
+void ClassificationService::record_connection_opened() {
+  std::lock_guard lock(stats_mutex_);
+  ++counters_.connections_opened;
+  ++counters_.connections_active;
+}
+
+void ClassificationService::record_connection_closed() {
+  std::lock_guard lock(stats_mutex_);
+  if (counters_.connections_active > 0) --counters_.connections_active;
+}
+
+void ClassificationService::record_connection_rejected() {
+  std::lock_guard lock(stats_mutex_);
+  ++counters_.connections_rejected;
 }
 
 std::vector<core::Prediction> ClassificationService::classify_batch(
@@ -134,8 +182,16 @@ std::shared_ptr<const core::FuzzyHashClassifier> ClassificationService::model() 
 }
 
 ServiceStats ClassificationService::stats() const {
+  // queue_mutex_ -> stats_mutex_ is the established order (submit's
+  // stopping path); read the depth first rather than nesting the other way.
+  std::uint64_t depth = 0;
+  {
+    std::lock_guard lock(queue_mutex_);
+    depth = pending_.size();
+  }
   std::lock_guard lock(stats_mutex_);
   ServiceStats out = counters_;
+  out.queue_depth = depth;
   const std::size_t n = std::min(latency_count_, latency_ring_.size());
   if (n > 0) {
     std::vector<double> window(latency_ring_.begin(),
@@ -160,21 +216,29 @@ void ClassificationService::record_latency_locked(double ms) {
 void ClassificationService::dispatcher_loop() {
   std::unique_lock lock(queue_mutex_);
   for (;;) {
-    queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+    queue_cv_.wait(lock, [this] {
+      return stopping_ || flush_requested_ || !pending_.empty();
+    });
     if (pending_.empty()) {
-      if (stopping_) return;  // drained
+      flush_requested_ = false;  // nothing to flush
+      if (stopping_) return;     // drained
       continue;
     }
     // A batch is open. Flush when it fills, when the oldest request's
-    // delay budget runs out, or at shutdown (drain what's left).
-    if (pending_.size() < config_.max_batch && !stopping_) {
+    // delay budget runs out, at shutdown (drain what's left), or when
+    // flush() asks for an immediate dispatch.
+    if (pending_.size() < config_.max_batch && !stopping_ && !flush_requested_) {
       const std::chrono::duration<double, std::milli> remaining(
           static_cast<double>(config_.max_delay.count()) -
           pending_.front().watch.milliseconds());
       queue_cv_.wait_for(lock, remaining, [this] {
-        return stopping_ || pending_.size() >= config_.max_batch;
+        return stopping_ || flush_requested_ ||
+               pending_.size() >= config_.max_batch;
       });
     }
+    // flush_requested_ stays set until pending_ drains (cleared at loop
+    // top): one flush() call dispatches a whole backlog even when it is
+    // larger than max_batch — graceful shutdown depends on this.
     const std::size_t take = std::min(pending_.size(), config_.max_batch);
     std::vector<Request> batch;
     batch.reserve(take);

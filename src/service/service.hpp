@@ -60,6 +60,11 @@ struct ServiceConfig {
   std::size_t cache_capacity = 4096;           // total entries; 0 disables the cache
   std::size_t cache_shards = 8;
   std::size_t latency_window = 4096;           // ring of recent latencies (percentiles)
+  // Admission bound enforced by try_submit(): a sample arriving while
+  // this many requests already wait for the dispatcher is rejected
+  // instead of queued (0 = unbounded; submit() always queues). Cache
+  // hits never queue, so they are always admitted.
+  std::size_t max_queue = 0;
 };
 
 /// One consistent snapshot of the service counters.
@@ -79,6 +84,15 @@ struct ServiceStats {
   // inverted 7-gram candidate index (core::RowFillStats).
   std::uint64_t candidates_scored = 0;
   std::uint64_t index_skipped = 0;
+
+  // Admission control and front-end connection accounting (the socket
+  // server in fhc::net drives these; the stdio front-end leaves the
+  // connection counters at zero).
+  std::uint64_t connections_opened = 0;    // accepted since start
+  std::uint64_t connections_active = 0;    // currently open
+  std::uint64_t connections_rejected = 0;  // refused at the accept gate
+  std::uint64_t requests_rejected = 0;     // try_submit refusals (queue full)
+  std::uint64_t queue_depth = 0;           // pending (unflushed) at snapshot time
 
   double index_skip_rate() const {
     const std::uint64_t visited = candidates_scored + index_skipped;
@@ -119,6 +133,24 @@ class ClassificationService {
   /// immediately on a cache hit) and carries any scoring exception.
   std::future<core::Prediction> submit(core::FeatureHashes sample);
 
+  /// Bounded admission: like submit(), but refuses the sample (returning
+  /// false, counting requests_rejected, leaving `out` untouched) when
+  /// config().max_queue > 0 and that many requests already wait for the
+  /// dispatcher. Cache hits bypass the queue and are always admitted.
+  /// Front-ends turn a refusal into an explicit BUSY reply instead of
+  /// queueing without bound.
+  bool try_submit(core::FeatureHashes sample, std::future<core::Prediction>& out);
+
+  /// Asks the dispatcher to flush the pending queue now instead of
+  /// waiting out max_delay — graceful-shutdown and drain paths use this
+  /// so queued requests resolve promptly under idle traffic.
+  void flush();
+
+  /// Front-end connection accounting (surfaced through stats()).
+  void record_connection_opened();
+  void record_connection_closed();
+  void record_connection_rejected();
+
   /// Blocking convenience: submits every sample and waits for all
   /// results, in order. Equivalent to serial predict() on each.
   std::vector<core::Prediction> classify_batch(
@@ -147,6 +179,8 @@ class ClassificationService {
   void dispatcher_loop();
   void score_batch(std::vector<Request> batch);
   void record_latency_locked(double ms);
+  std::future<core::Prediction> enqueue(core::FeatureHashes sample, bool bounded,
+                                        bool* rejected);
 
   ServiceConfig config_;
   util::ThreadPool* pool_;  // never null after construction
@@ -157,10 +191,11 @@ class ClassificationService {
 
   ShardedLruCache cache_;
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;  // stats() reads the depth
   std::condition_variable queue_cv_;
   std::deque<Request> pending_;
   bool stopping_ = false;
+  bool flush_requested_ = false;  // flush(): dispatch pending now
 
   mutable std::mutex stats_mutex_;
   ServiceStats counters_;               // percentile fields unused here

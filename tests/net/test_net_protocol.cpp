@@ -1,0 +1,286 @@
+// fhc::net wire protocol: framing and body codecs.
+//
+// The load-bearing properties: every encoder/decoder pair round-trips
+// bit-exactly (confidence is an f64 bit pattern, not text), the
+// FrameReader survives arbitrarily torn reads, and malformed input —
+// truncated at EVERY byte depth, oversized, zero-length, trailing
+// garbage — is rejected deterministically without crashing.
+#include "net/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fhc::net {
+namespace {
+
+/// Feeds `bytes` one byte at a time and collects every completed frame.
+std::vector<std::vector<std::uint8_t>> torn_feed(FrameReader& reader,
+                                                 const std::string& bytes) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (const char byte : bytes) {
+    reader.feed(std::string_view(&byte, 1));
+    while (std::optional<std::vector<std::uint8_t>> frame = reader.next()) {
+      frames.push_back(std::move(*frame));
+    }
+  }
+  return frames;
+}
+
+TEST(NetProtocol, ClassifyDigestsRoundTrip) {
+  const std::vector<std::string> digests = {"3:abc:def", "", "6:xyz:qrs"};
+  std::string wire;
+  encode_classify_digests(wire, digests);
+
+  FrameReader reader;
+  reader.feed(wire);
+  const auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  Request request;
+  ASSERT_EQ(decode_request(*payload, request), DecodeStatus::kOk);
+  EXPECT_EQ(request.op, Opcode::kClassifyDigests);
+  EXPECT_EQ(request.digests, digests);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(NetProtocol, AllRequestOpcodesRoundTrip) {
+  std::string wire;
+  encode_classify_path(wire, "/opt/app/bin/solver@/tmp/trace.txt");
+  encode_stats(wire);
+  encode_reload(wire, "/models/prod.fhcb");
+  encode_ping(wire);
+  encode_quit(wire);
+
+  FrameReader reader;
+  reader.feed(wire);
+  std::vector<Request> requests;
+  while (const auto payload = reader.next()) {
+    Request request;
+    ASSERT_EQ(decode_request(*payload, request), DecodeStatus::kOk);
+    requests.push_back(std::move(request));
+  }
+  ASSERT_EQ(requests.size(), 5u);
+  EXPECT_EQ(requests[0].op, Opcode::kClassifyPath);
+  EXPECT_EQ(requests[0].text, "/opt/app/bin/solver@/tmp/trace.txt");
+  EXPECT_EQ(requests[1].op, Opcode::kStats);
+  EXPECT_EQ(requests[2].op, Opcode::kReload);
+  EXPECT_EQ(requests[2].text, "/models/prod.fhcb");
+  EXPECT_EQ(requests[3].op, Opcode::kPing);
+  EXPECT_EQ(requests[4].op, Opcode::kQuit);
+}
+
+TEST(NetProtocol, PredictionRoundTripIsBitExact) {
+  // Confidence travels as the IEEE-754 bit pattern; a value with no
+  // short decimal representation must survive unchanged.
+  const double confidence = 0.1 + 0.2 + 1.0 / 3.0;
+  std::string wire;
+  encode_prediction(wire, -1, confidence, 123456789012345ull, "miniapp_lulesh");
+
+  FrameReader reader;
+  reader.feed(wire);
+  const auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  Response response;
+  ASSERT_EQ(decode_response(*payload, response), DecodeStatus::kOk);
+  EXPECT_EQ(response.op, Opcode::kPrediction);
+  EXPECT_EQ(response.label, -1);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(response.confidence),
+            std::bit_cast<std::uint64_t>(confidence));
+  EXPECT_EQ(response.server_micros, 123456789012345ull);
+  EXPECT_EQ(response.text, "miniapp_lulesh");
+}
+
+TEST(NetProtocol, TextResponsesRoundTrip) {
+  std::string wire;
+  encode_ok(wire, "bye");
+  encode_stats_text(wire, "requests=7 completed=7");
+  encode_error(wire, "malformed digest in channel 2");
+  encode_busy(wire, "service queue full");
+
+  FrameReader reader;
+  reader.feed(wire);
+  std::vector<Response> responses;
+  while (const auto payload = reader.next()) {
+    Response response;
+    ASSERT_EQ(decode_response(*payload, response), DecodeStatus::kOk);
+    responses.push_back(std::move(response));
+  }
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_EQ(responses[0].op, Opcode::kOk);
+  EXPECT_EQ(responses[0].text, "bye");
+  EXPECT_EQ(responses[1].op, Opcode::kStatsText);
+  EXPECT_EQ(responses[1].text, "requests=7 completed=7");
+  EXPECT_EQ(responses[2].op, Opcode::kError);
+  EXPECT_EQ(responses[3].op, Opcode::kBusy);
+  EXPECT_EQ(responses[3].text, "service queue full");
+}
+
+TEST(NetProtocol, TornReadsReassembleEveryFrame) {
+  // Byte-at-a-time is the worst torn-read case; every intermediate state
+  // of the reader is exercised.
+  const std::vector<std::string> digests = {"3:abcdefgh:ijklmnop", "3:q:r"};
+  std::string wire;
+  encode_classify_digests(wire, digests);
+  encode_ping(wire);
+  encode_classify_path(wire, "/bin/true");
+
+  FrameReader reader;
+  const auto frames = torn_feed(reader, wire);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_FALSE(reader.error().has_value());
+
+  Request request;
+  ASSERT_EQ(decode_request(frames[0], request), DecodeStatus::kOk);
+  EXPECT_EQ(request.digests, digests);
+  ASSERT_EQ(decode_request(frames[1], request), DecodeStatus::kOk);
+  EXPECT_EQ(request.op, Opcode::kPing);
+  ASSERT_EQ(decode_request(frames[2], request), DecodeStatus::kOk);
+  EXPECT_EQ(request.text, "/bin/true");
+}
+
+TEST(NetProtocol, TruncationAtEveryDepthIsMalformed) {
+  // Chop a multi-field payload at every possible byte boundary: no
+  // prefix may decode as kOk (or crash). This sweeps header-truncated
+  // strings, mid-string cuts, and missing fields in one loop.
+  std::string wire;
+  encode_classify_digests(wire, std::vector<std::string>{"3:abc:def", "3:g:h"});
+  const std::vector<std::uint8_t> payload(wire.begin() + kFrameHeaderSize,
+                                          wire.end());
+  for (std::size_t depth = 0; depth < payload.size(); ++depth) {
+    Request request;
+    const auto status = decode_request(
+        std::span<const std::uint8_t>(payload.data(), depth), request);
+    EXPECT_EQ(status, DecodeStatus::kMalformed) << "depth " << depth;
+  }
+  // And the full payload still decodes (the loop above didn't pass by
+  // rejecting everything).
+  Request request;
+  EXPECT_EQ(decode_request(payload, request), DecodeStatus::kOk);
+
+  std::string response_wire;
+  encode_prediction(response_wire, 3, 0.5, 42, "npb_ft");
+  const std::vector<std::uint8_t> response_payload(
+      response_wire.begin() + kFrameHeaderSize, response_wire.end());
+  for (std::size_t depth = 0; depth < response_payload.size(); ++depth) {
+    Response response;
+    const auto status = decode_response(
+        std::span<const std::uint8_t>(response_payload.data(), depth), response);
+    EXPECT_EQ(status, DecodeStatus::kMalformed) << "depth " << depth;
+  }
+}
+
+TEST(NetProtocol, TrailingBytesAreMalformed) {
+  std::string wire;
+  encode_ping(wire);
+  std::vector<std::uint8_t> payload(wire.begin() + kFrameHeaderSize, wire.end());
+  payload.push_back(0x00);  // one stray byte after a valid body
+  Request request;
+  EXPECT_EQ(decode_request(payload, request), DecodeStatus::kMalformed);
+}
+
+TEST(NetProtocol, UnknownOpcodeIsDistinguishedFromMalformed) {
+  const std::vector<std::uint8_t> payload = {0x7d, 0x01, 0x02};
+  Request request;
+  EXPECT_EQ(decode_request(payload, request), DecodeStatus::kUnknownOpcode);
+  Response response;
+  EXPECT_EQ(decode_response(payload, response), DecodeStatus::kUnknownOpcode);
+  // An empty payload has no opcode at all: malformed, not unknown.
+  Request empty;
+  EXPECT_EQ(decode_request(std::span<const std::uint8_t>{}, empty),
+            DecodeStatus::kMalformed);
+}
+
+TEST(NetProtocol, DigestCountLimitsEnforced) {
+  // n = 0 and n > kMaxDigestChannels are both malformed even when the
+  // rest of the body would parse.
+  for (const std::uint8_t count : {std::uint8_t{0}, std::uint8_t{9}}) {
+    std::vector<std::uint8_t> payload = {
+        static_cast<std::uint8_t>(Opcode::kClassifyDigests), count};
+    for (int i = 0; i < count; ++i) {
+      payload.insert(payload.end(), {0, 0, 0, 0});  // empty strings
+    }
+    Request request;
+    EXPECT_EQ(decode_request(payload, request), DecodeStatus::kMalformed)
+        << "count " << int(count);
+  }
+}
+
+TEST(NetProtocol, OversizedFramePoisonsReader) {
+  FrameReader reader(/*max_frame=*/64);
+  std::string header;
+  const std::uint32_t declared = 65;
+  header.push_back(static_cast<char>(declared & 0xff));
+  header.push_back(static_cast<char>((declared >> 8) & 0xff));
+  header.push_back(static_cast<char>((declared >> 16) & 0xff));
+  header.push_back(static_cast<char>((declared >> 24) & 0xff));
+  reader.feed(header);
+  EXPECT_FALSE(reader.next().has_value());
+  ASSERT_TRUE(reader.error().has_value());
+  // Poisoned for good: later (even valid) bytes change nothing.
+  std::string valid;
+  encode_ping(valid);
+  reader.feed(valid);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.error().has_value());
+}
+
+TEST(NetProtocol, ZeroLengthFramePoisonsReader) {
+  FrameReader reader;
+  reader.feed(std::string_view("\0\0\0\0", 4));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.error().has_value());
+}
+
+TEST(NetProtocol, MaxFrameBoundaryIsExact) {
+  // A payload of exactly max_frame passes; one byte more poisons.
+  FrameReader reader(/*max_frame=*/32);
+  std::string wire;
+  encode_classify_path(wire, std::string(32 - 1 - 4, 'x'));  // opcode + u32 len
+  ASSERT_EQ(wire.size(), kFrameHeaderSize + 32);
+  reader.feed(wire);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_FALSE(reader.error().has_value());
+
+  FrameReader strict(/*max_frame=*/31);
+  strict.feed(wire);
+  EXPECT_FALSE(strict.next().has_value());
+  EXPECT_TRUE(strict.error().has_value());
+}
+
+TEST(NetProtocol, LongPipelinedStreamCompactsBuffer) {
+  // Hundreds of frames through one reader in mixed-size chunks: the
+  // consumed-prefix compaction must never corrupt framing.
+  std::string wire;
+  std::vector<std::string> expected;
+  for (int i = 0; i < 500; ++i) {
+    const std::string path = "/bin/app" + std::to_string(i);
+    expected.push_back(path);
+    encode_classify_path(wire, path);
+  }
+  FrameReader reader;
+  std::size_t decoded = 0;
+  std::size_t at = 0;
+  std::size_t chunk = 1;
+  while (at < wire.size()) {
+    const std::size_t take = std::min(chunk, wire.size() - at);
+    reader.feed(std::string_view(wire.data() + at, take));
+    at += take;
+    chunk = chunk % 37 + 1;  // mixed chunk sizes, deterministic
+    while (const auto payload = reader.next()) {
+      Request request;
+      ASSERT_EQ(decode_request(*payload, request), DecodeStatus::kOk);
+      ASSERT_LT(decoded, expected.size());
+      EXPECT_EQ(request.text, expected[decoded]);
+      ++decoded;
+    }
+  }
+  EXPECT_EQ(decoded, expected.size());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace fhc::net

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "service/command_handler.hpp"
+
 #include <filesystem>
 #include <future>
 #include <sstream>
@@ -319,6 +321,177 @@ TEST(ClassificationService, RejectsUnfittedModels) {
   // The failed reload left the original model active.
   expect_identical(svc.submit(fx.queries[0]).get(), fx.model.predict(fx.queries[0]));
   EXPECT_EQ(svc.stats().reloads, 0u);
+}
+
+TEST(ClassificationService, TrySubmitBoundsQueueAndCountsRejections) {
+  const Fixture& fx = fixture();
+  ServiceConfig config;
+  config.max_queue = 2;
+  config.max_batch = 64;
+  config.max_delay = std::chrono::milliseconds(10000);  // park the batch
+  config.cache_capacity = 0;
+  ClassificationService svc(clone(fx.model), config);
+
+  // The dispatcher is waiting out max_delay, so submissions accumulate:
+  // exactly max_queue are admitted, the rest are refused and counted.
+  std::vector<std::future<core::Prediction>> admitted;
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::future<core::Prediction> future;
+    if (svc.try_submit(fx.queries[i], future)) {
+      admitted.push_back(std::move(future));
+    } else {
+      ++rejected;
+      EXPECT_FALSE(future.valid());  // rejection hands back nothing
+    }
+  }
+  EXPECT_EQ(admitted.size(), 2u);
+  EXPECT_EQ(rejected, 6u);
+
+  const ServiceStats held = svc.stats();
+  EXPECT_EQ(held.queue_depth, 2u);  // provably bounded by max_queue
+  EXPECT_EQ(held.requests_rejected, 6u);
+  // Rejected requests are never counted as submitted, so the
+  // completed == requests invariant survives admission control.
+  EXPECT_EQ(held.requests, 2u);
+
+  // flush() releases the parked batch; admitted futures resolve
+  // bit-identically to the serial path and the queue empties.
+  svc.flush();
+  for (std::size_t i = 0; i < admitted.size(); ++i) {
+    expect_identical(admitted[i].get(), fx.model.predict(fx.queries[i]));
+  }
+  const ServiceStats drained = svc.stats();
+  EXPECT_EQ(drained.completed, drained.requests);
+  EXPECT_EQ(drained.queue_depth, 0u);
+
+  // With the queue empty, try_submit admits again.
+  std::future<core::Prediction> future;
+  EXPECT_TRUE(svc.try_submit(fx.queries[0], future));
+  svc.flush();
+  expect_identical(future.get(), fx.model.predict(fx.queries[0]));
+}
+
+TEST(ClassificationService, TrySubmitAdmitsCacheHitsPastFullQueue) {
+  const Fixture& fx = fixture();
+  ServiceConfig config;
+  config.max_queue = 1;
+  config.max_batch = 64;
+  config.max_delay = std::chrono::milliseconds(10000);
+  ClassificationService svc(clone(fx.model), config);
+
+  // Score and cache q0 first.
+  std::future<core::Prediction> warm;
+  ASSERT_TRUE(svc.try_submit(fx.queries[0], warm));
+  svc.flush();
+  expect_identical(warm.get(), fx.model.predict(fx.queries[0]));
+
+  // Fill the queue, then submit the cached sample: a hit never occupies
+  // the queue, so it is admitted even at the bound.
+  std::future<core::Prediction> fills;
+  ASSERT_TRUE(svc.try_submit(fx.queries[1], fills));
+  std::future<core::Prediction> refused;
+  EXPECT_FALSE(svc.try_submit(fx.queries[2], refused));
+  std::future<core::Prediction> hit;
+  EXPECT_TRUE(svc.try_submit(fx.queries[0], hit));
+  expect_identical(hit.get(), fx.model.predict(fx.queries[0]));
+
+  svc.flush();
+  expect_identical(fills.get(), fx.model.predict(fx.queries[1]));
+}
+
+TEST(ClassificationService, FlushDispatchesBacklogLargerThanMaxBatch) {
+  const Fixture& fx = fixture();
+  ServiceConfig config;
+  config.max_batch = 4;
+  config.max_delay = std::chrono::milliseconds(10000);
+  config.cache_capacity = 0;
+  ClassificationService svc(clone(fx.model), config);
+
+  // 12 pending > max_batch: one flush() must drain the whole backlog
+  // (the flush request is sticky until the queue empties) — graceful
+  // daemon shutdown depends on this.
+  std::vector<std::future<core::Prediction>> futures;
+  for (std::size_t i = 0; i < 12; ++i) futures.push_back(svc.submit(fx.queries[i]));
+  svc.flush();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    expect_identical(futures[i].get(), fx.model.predict(fx.queries[i]));
+  }
+  const ServiceStats stats = svc.stats();
+  EXPECT_GE(stats.batches, 3u);  // 12 across batches of <= 4
+  EXPECT_LE(stats.largest_batch, 4u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(ClassificationService, ConnectionCountersTrackTheSocketFrontEnd) {
+  const Fixture& fx = fixture();
+  ClassificationService svc(clone(fx.model));
+  svc.record_connection_opened();
+  svc.record_connection_opened();
+  svc.record_connection_opened();
+  svc.record_connection_closed();
+  svc.record_connection_rejected();
+  svc.record_connection_rejected();
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.connections_opened, 3u);
+  EXPECT_EQ(stats.connections_active, 2u);
+  EXPECT_EQ(stats.connections_rejected, 2u);
+  // Spurious closes (a close racing shutdown) never underflow.
+  svc.record_connection_closed();
+  svc.record_connection_closed();
+  svc.record_connection_closed();
+  EXPECT_EQ(svc.stats().connections_active, 0u);
+}
+
+TEST(CommandHandler, StatsLineCarriesAdmissionCounters) {
+  const Fixture& fx = fixture();
+  ClassificationService svc(clone(fx.model));
+  CommandHandler handler(svc);
+  svc.record_connection_opened();
+  const std::string line = handler.stats_line();
+  EXPECT_NE(line.find("connections_opened=1"), std::string::npos);
+  EXPECT_NE(line.find("connections_active=1"), std::string::npos);
+  EXPECT_NE(line.find("connections_rejected=0"), std::string::npos);
+  EXPECT_NE(line.find("requests_rejected=0"), std::string::npos);
+  EXPECT_NE(line.find("queue_depth=0"), std::string::npos);
+  EXPECT_NE(line.find("requests="), std::string::npos);
+  EXPECT_NE(line.find("p99_ms="), std::string::npos);
+}
+
+TEST(CommandHandler, HandleLineSpeaksTheStdioProtocol) {
+  const Fixture& fx = fixture();
+  ClassificationService svc(clone(fx.model));
+  CommandHandler handler(svc);
+
+  std::ostringstream out;
+  EXPECT_TRUE(handler.handle_line("STATS", out));
+  EXPECT_NE(out.str().find("requests=0"), std::string::npos);
+
+  out.str("");
+  EXPECT_TRUE(handler.handle_line("CLASSIFY /nonexistent/binary", out));
+  EXPECT_EQ(out.str().rfind("ERR ", 0), 0u);
+
+  out.str("");
+  EXPECT_TRUE(handler.handle_line("CLASSIFY", out));
+  EXPECT_NE(out.str().find("ERR CLASSIFY needs at least one path"),
+            std::string::npos);
+
+  out.str("");
+  EXPECT_TRUE(handler.handle_line("RELOAD /nonexistent/model", out));
+  EXPECT_EQ(out.str().rfind("ERR ", 0), 0u);
+  EXPECT_EQ(svc.stats().reloads, 0u);
+
+  out.str("");
+  EXPECT_TRUE(handler.handle_line("BOGUS", out));
+  EXPECT_NE(out.str().find("ERR unknown command: BOGUS"), std::string::npos);
+
+  out.str("");
+  EXPECT_TRUE(handler.handle_line("", out));  // blank lines are skipped
+  EXPECT_TRUE(out.str().empty());
+
+  out.str("");
+  EXPECT_FALSE(handler.handle_line("QUIT", out));  // false = exit
+  EXPECT_NE(out.str().find("OK bye"), std::string::npos);
 }
 
 TEST(ShardedLruCache, EvictsLeastRecentlyUsedPerShard) {

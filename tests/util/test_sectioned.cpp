@@ -135,6 +135,8 @@ TEST(Sectioned, TruncationAtEveryDepthIsACleanError) {
 TEST(Sectioned, EveryByteFlipIsDetected) {
   const std::string image =
       write_container({{"alpha", "sensitive bits"}, {"beta", std::string(90, 'b')}});
+  const auto good_buffer = aligned(image);
+  const SectionedView good = SectionedView::attach(good_buffer, kMagic);
   for (std::size_t pos = 0; pos < image.size(); ++pos) {
     std::string corrupt = image;
     corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x40);
@@ -148,7 +150,6 @@ TEST(Sectioned, EveryByteFlipIsDetected) {
     }
     // Padding bytes are the only ones outside magic/table/payloads, and
     // flipping those is harmless by design — everything else must trip.
-    const SectionedView good = SectionedView::attach(aligned(image), kMagic);
     bool in_padding = true;
     if (pos < 24 + good.entries().size() * sizeof(SectionEntry)) in_padding = false;
     for (const SectionEntry& entry : good.entries()) {

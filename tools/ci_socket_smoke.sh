@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# End-to-end socket smoke for CI: train a tiny model from the built tool
+# binaries (a ready-made two-class corpus — no fixtures needed), start
+# fhc_serve on a Unix-domain socket, drive it with fhc_loadgen over
+# pipelined connections, and assert (a) every request got a prediction
+# reply and (b) the QUIT frame shut the daemon down with exit 0.
+#
+# Usage: tools/ci_socket_smoke.sh [BUILD_DIR]   (default: build)
+set -eu
+
+BUILD_DIR="${1:-build}"
+TOOLS="$BUILD_DIR/tools"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+for tool in fhc_train fhc_serve fhc_loadgen fhc_hash fhc_classify; do
+  if [ ! -x "$TOOLS/$tool" ]; then
+    echo "error: $TOOLS/$tool not built" >&2
+    exit 2
+  fi
+done
+
+# Corpus layout is ROOT/<Class>/<version>/<executable>; two binaries per
+# class so leave-one-out style splits inside training stay meaningful.
+mkdir -p "$WORK/corpus/ToolHash/1.0" "$WORK/corpus/ToolTrain/1.0"
+cp "$TOOLS/fhc_hash"  "$WORK/corpus/ToolHash/1.0/a"
+cp "$TOOLS/fhc_hash"  "$WORK/corpus/ToolHash/1.0/b"
+cp "$TOOLS/fhc_train" "$WORK/corpus/ToolTrain/1.0/a"
+cp "$TOOLS/fhc_train" "$WORK/corpus/ToolTrain/1.0/b"
+
+"$TOOLS/fhc_train" --binary "$WORK/corpus" "$WORK/smoke.fhcb"
+
+SOCK="$WORK/ci.sock"
+"$TOOLS/fhc_serve" "$WORK/smoke.fhcb" --unix "$SOCK" &
+SERVE_PID=$!
+
+# --retries inside fhc_loadgen handles the startup race (connect retries
+# with backoff), so no fragile sleep is needed here. --expect-all turns
+# any BUSY/ERROR reply into a non-zero exit; --quit sends the daemon its
+# shutdown frame after the run.
+"$TOOLS/fhc_loadgen" --unix "$SOCK" \
+  --connections 8 --pipeline 4 --requests 32 --retries 100 \
+  --expect-all --stats --quit \
+  "$TOOLS/fhc_classify" "$TOOLS/fhc_hash"
+
+wait "$SERVE_PID"
+echo "socket e2e smoke: OK (clean daemon exit)"

@@ -1,0 +1,246 @@
+// fhc-loadgen: pipelined load generator for the fhc_serve socket
+// front-end.
+//
+//   fhc_loadgen (--unix PATH | --tcp [HOST:]PORT) [options] FILE[@TRACE]...
+//
+// Hashes each FILE locally (the CLASSIFY_DIGESTS fast path — the daemon
+// never touches the filesystem), then drives N pipelined connections
+// that cycle through the request set, and reports throughput and
+// client-observed latency percentiles:
+//
+//   sent=512 predictions=512 busy=0 errors=0 elapsed_s=0.041
+//   rps=12428.7 p50_ms=3.1 p99_ms=8.9 max_ms=11.2
+//
+// options:
+//   --connections N   concurrent connections (default 4)
+//   --pipeline N      frames in flight per connection (default 8)
+//   --requests N      frames per connection (default 64)
+//   --retries N       connect retries, 50 ms apart (default 40 — tolerates
+//                     daemon startup races in scripts)
+//   --stats           print the daemon's STATS line after the run
+//   --quit            send QUIT after the run (graceful daemon shutdown)
+//   --expect-all      exit nonzero unless every reply is a PREDICTION
+//                     (i.e. no BUSY/ERROR)
+//
+// Exit codes: 0 success, 1 transport failure or missing replies (or any
+// non-prediction reply under --expect-all), 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/trace.hpp"
+#include "util/io_util.hpp"
+
+using namespace fhc;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: fhc_loadgen (--unix PATH | --tcp [HOST:]PORT) [options] "
+      "FILE[@TRACE]...\n"
+      "  --connections N  concurrent connections (default 4)\n"
+      "  --pipeline N     frames in flight per connection (default 8)\n"
+      "  --requests N     frames per connection (default 64)\n"
+      "  --retries N      connect retries, 50ms apart (default 40)\n"
+      "  --stats          print the daemon STATS line after the run\n"
+      "  --quit           send QUIT after the run (daemon shuts down)\n"
+      "  --expect-all     fail unless every reply is a PREDICTION\n");
+  return 2;
+}
+
+bool parse_size(const char* text, std::size_t& out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) return false;
+  out = static_cast<std::size_t>(value);
+  return true;
+}
+
+bool parse_tcp_spec(const std::string& spec, std::string& host, int& port) {
+  const std::size_t colon = spec.rfind(':');
+  const std::string port_text =
+      colon == std::string::npos ? spec : spec.substr(colon + 1);
+  char* end = nullptr;
+  const long value = std::strtol(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || value < 0 || value > 65535) {
+    return false;
+  }
+  if (colon != std::string::npos) host = spec.substr(0, colon);
+  port = static_cast<int>(value);
+  return true;
+}
+
+/// Hashes one FILE[@TRACE] spec into a CLASSIFY_DIGESTS frame.
+bool encode_sample_frame(const std::string& spec, std::string& frame,
+                         std::string& error) {
+  try {
+    const std::size_t at = spec.rfind('@');
+    const auto image =
+        util::read_file(at == std::string::npos ? spec : spec.substr(0, at));
+    core::FeatureHashes sample = core::extract_feature_hashes(image);
+    if (at != std::string::npos) {
+      runtime::attach_trace(sample, runtime::load_trace_file(spec.substr(at + 1)));
+    }
+    std::vector<std::string> digests;
+    digests.reserve(sample.channel_count());
+    for (std::size_t i = 0; i < sample.channel_count(); ++i) {
+      digests.push_back(sample.channel(i).to_string());
+    }
+    net::encode_classify_digests(frame, digests);
+    return true;
+  } catch (const std::exception& e) {
+    error = spec + ": " + e.what();
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::LoadOptions options;
+  options.connections = 4;
+  options.pipeline = 8;
+  options.requests = 64;
+  options.connect_retries = 40;
+  bool want_stats = false;
+  bool want_quit = false;
+  bool expect_all = false;
+  std::vector<std::string> specs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (arg == "--unix") {
+      const char* path = value();
+      if (path == nullptr) return usage();
+      options.endpoint.unix_path = path;
+    } else if (arg == "--tcp") {
+      const char* spec = value();
+      if (spec == nullptr ||
+          !parse_tcp_spec(spec, options.endpoint.host, options.endpoint.port)) {
+        return usage();
+      }
+    } else if (arg == "--connections") {
+      const char* text = value();
+      if (text == nullptr || !parse_size(text, options.connections) ||
+          options.connections == 0) {
+        return usage();
+      }
+    } else if (arg == "--pipeline") {
+      const char* text = value();
+      if (text == nullptr || !parse_size(text, options.pipeline) ||
+          options.pipeline == 0) {
+        return usage();
+      }
+    } else if (arg == "--requests") {
+      const char* text = value();
+      if (text == nullptr || !parse_size(text, options.requests) ||
+          options.requests == 0) {
+        return usage();
+      }
+    } else if (arg == "--retries") {
+      std::size_t retries = 0;
+      const char* text = value();
+      if (text == nullptr || !parse_size(text, retries)) return usage();
+      options.connect_retries = static_cast<int>(retries);
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg == "--quit") {
+      want_quit = true;
+    } else if (arg == "--expect-all") {
+      expect_all = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "fhc_loadgen: unknown option '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      specs.push_back(arg);
+    }
+  }
+  if (options.endpoint.unix_path.empty() && options.endpoint.port < 0) {
+    std::fprintf(stderr, "fhc_loadgen: need --unix or --tcp\n");
+    return usage();
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "fhc_loadgen: need at least one FILE\n");
+    return usage();
+  }
+
+  std::vector<std::string> frames;
+  frames.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    std::string frame;
+    std::string error;
+    if (!encode_sample_frame(spec, frame, error)) {
+      std::fprintf(stderr, "fhc_loadgen: %s\n", error.c_str());
+      return 1;
+    }
+    frames.push_back(std::move(frame));
+  }
+
+  const net::LoadResult result = net::run_load(options, frames);
+  const double rps =
+      result.elapsed_s > 0.0 ? result.replies() / result.elapsed_s : 0.0;
+  std::printf(
+      "sent=%zu predictions=%zu busy=%zu errors=%zu elapsed_s=%.3f\n"
+      "rps=%.1f p50_ms=%.2f p99_ms=%.2f max_ms=%.2f\n",
+      result.sent, result.predictions, result.busy, result.errors,
+      result.elapsed_s, rps, result.p50_ms, result.p99_ms, result.max_ms);
+
+  if (!result.ok()) {
+    std::fprintf(stderr, "fhc_loadgen: %s\n", result.failure.c_str());
+    return 1;
+  }
+
+  // Control frames ride one extra connection after the measured run.
+  if (want_stats || want_quit) {
+    net::BlockingClient client;
+    const std::string connect_error =
+        client.connect(options.endpoint, options.connect_retries);
+    if (!connect_error.empty()) {
+      std::fprintf(stderr, "fhc_loadgen: %s\n", connect_error.c_str());
+      return 1;
+    }
+    std::string bytes;
+    if (want_stats) net::encode_stats(bytes);
+    if (want_quit) net::encode_quit(bytes);
+    if (!client.send_bytes(bytes)) {
+      std::fprintf(stderr, "fhc_loadgen: control send failed\n");
+      return 1;
+    }
+    net::Response response;
+    std::string error;
+    if (want_stats) {
+      if (!client.read_response(response, &error) ||
+          response.op != net::Opcode::kStatsText) {
+        std::fprintf(stderr, "fhc_loadgen: STATS failed: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("%s\n", response.text.c_str());
+    }
+    if (want_quit) {
+      if (!client.read_response(response, &error) ||
+          response.op != net::Opcode::kOk) {
+        std::fprintf(stderr, "fhc_loadgen: QUIT failed: %s\n", error.c_str());
+        return 1;
+      }
+    }
+  }
+
+  if (expect_all && (result.busy > 0 || result.errors > 0)) {
+    std::fprintf(stderr,
+                 "fhc_loadgen: --expect-all: %zu busy, %zu error replies\n",
+                 result.busy, result.errors);
+    return 1;
+  }
+  return 0;
+}

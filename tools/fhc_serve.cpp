@@ -1,10 +1,12 @@
-// fhc-serve: resident classification daemon for prolog scripts.
+// fhc-serve: resident classification daemon.
 //
-//   fhc_serve MODEL [max_batch] [cache_capacity]
+//   fhc_serve MODEL [max_batch] [cache_capacity]          (legacy stdio form)
+//   fhc_serve MODEL [--stdio] [--unix PATH] [--tcp [HOST:]PORT] [options]
 //
-// Loads the model once and answers a line-oriented protocol on
-// stdin/stdout, so a Slurm prolog talks to one hot process instead of
-// paying a model load per job:
+// Loads the model once and serves it through one or both front-ends:
+//
+// stdio (default when no socket is configured, or explicit --stdio): the
+// line protocol a Slurm prolog drives through a pipe or FIFO —
 //
 //   CLASSIFY <path>...   one reply line per path, in order:
 //                          "<label>\t<confidence>"  (label -1 = unknown)
@@ -17,102 +19,34 @@
 //                          "OK <model>" or "ERR <message>"
 //   QUIT                 "OK bye", exit 0
 //
+// sockets (--unix and/or --tcp): the framed binary protocol in
+// src/net/protocol.hpp — pipelined CLASSIFY_DIGESTS / CLASSIFY_PATH /
+// STATS / RELOAD / PING / QUIT over an epoll event loop, with admission
+// control (BUSY frames instead of unbounded queues). One daemon serves
+// thousands of connections; SIGINT/SIGTERM and the QUIT frame drain
+// gracefully. Both front-ends share the same command core, so replies
+// are bit-identical to the stdio protocol's.
+//
 // MODEL may be the text format or the binary format (`fhc_train
 // --binary`); the loader sniffs the magic. Binary models are mmap'd and
 // the forest is attached zero-copy, so a RELOAD skips the text re-parse
 // entirely — the recommended format for production daemons.
 //
-// Replies are flushed per command; unknown commands answer "ERR ...".
-// EOF on stdin exits cleanly. Exit codes: 0 clean shutdown, 1 model load
-// error, 2 usage error.
+// Exit codes: 0 clean shutdown, 1 model load / bind error, 2 usage error.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <future>
+#include <cstring>
 #include <iostream>
-#include <sstream>
+#include <memory>
 #include <string>
-#include <vector>
 
 #include "core/classifier.hpp"
-#include "runtime/fingerprint.hpp"
-#include "runtime/trace.hpp"
+#include "net/server.hpp"
+#include "service/command_handler.hpp"
 #include "service/service.hpp"
-#include "util/io_util.hpp"
 
 using namespace fhc;
-
-namespace {
-
-void handle_classify(service::ClassificationService& svc, std::istringstream& args,
-                     std::ostream& out) {
-  // Submit every path first so they land in one micro-batch, then collect
-  // replies in order.
-  std::vector<std::string> paths;
-  std::vector<std::future<core::Prediction>> futures;
-  std::vector<std::string> extract_errors;  // parallel to paths; empty = submitted
-  std::string path;
-  while (args >> path) {
-    paths.push_back(path);
-    extract_errors.emplace_back();
-    try {
-      const std::size_t at = path.rfind('@');
-      const auto image =
-          util::read_file(at == std::string::npos ? path : path.substr(0, at));
-      core::FeatureHashes sample = core::extract_feature_hashes(image);
-      if (at != std::string::npos) {
-        runtime::attach_trace(sample,
-                              runtime::load_trace_file(path.substr(at + 1)));
-      }
-      futures.push_back(svc.submit(std::move(sample)));
-    } catch (const std::exception& e) {
-      futures.emplace_back();  // placeholder, never read
-      extract_errors.back() = e.what();
-    }
-  }
-  if (paths.empty()) {
-    out << "ERR CLASSIFY needs at least one path\n";
-    return;
-  }
-  // One model snapshot for the whole reply. A prediction can in principle
-  // outlive a RELOAD, so the label is range-checked against this
-  // snapshot's class list and printed numerically when it cannot be named.
-  const std::shared_ptr<const core::FuzzyHashClassifier> model = svc.model();
-  const std::vector<std::string>& names = model->class_names();
-  for (std::size_t i = 0; i < paths.size(); ++i) {
-    if (!extract_errors[i].empty()) {
-      out << "ERR " << extract_errors[i] << '\n';
-      continue;
-    }
-    try {
-      const core::Prediction pred = futures[i].get();
-      char line[64];
-      std::snprintf(line, sizeof line, "%.4f", pred.confidence);
-      if (pred.label >= 0 && static_cast<std::size_t>(pred.label) < names.size()) {
-        out << names[static_cast<std::size_t>(pred.label)] << '\t' << line << '\n';
-      } else {
-        out << pred.label << '\t' << line << '\n';  // kUnknownLabel prints -1
-      }
-    } catch (const std::exception& e) {
-      out << "ERR " << e.what() << '\n';
-    }
-  }
-}
-
-void handle_stats(const service::ClassificationService& svc, std::ostream& out) {
-  const service::ServiceStats s = svc.stats();
-  out << "requests=" << s.requests << " completed=" << s.completed
-      << " batches=" << s.batches << " scored=" << s.scored
-      << " cache_hits=" << s.cache_hits << " dedup_hits=" << s.dedup_hits
-      << " cache_hit_rate=" << s.cache_hit_rate()
-      << " candidates_scored=" << s.candidates_scored
-      << " index_skipped=" << s.index_skipped
-      << " index_skip_rate=" << s.index_skip_rate() << " reloads=" << s.reloads
-      << " largest_batch=" << s.largest_batch << " p50_ms=" << s.p50_ms
-      << " p99_ms=" << s.p99_ms << " max_ms=" << s.max_ms << '\n';
-}
-
-}  // namespace
 
 namespace {
 
@@ -125,80 +59,195 @@ bool parse_size(const char* text, std::size_t& out) {
   return true;
 }
 
+/// "[HOST:]PORT" -> host/port; false on junk.
+bool parse_tcp_spec(const std::string& spec, std::string& host, int& port) {
+  const std::size_t colon = spec.rfind(':');
+  const std::string port_text =
+      colon == std::string::npos ? spec : spec.substr(colon + 1);
+  char* end = nullptr;
+  const long value = std::strtol(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || value < 0 || value > 65535) {
+    return false;
+  }
+  if (colon != std::string::npos) host = spec.substr(0, colon);
+  port = static_cast<int>(value);
+  return true;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: fhc_serve MODEL [max_batch=32] [cache_capacity=4096]   (stdio)\n"
+      "       fhc_serve MODEL [front-ends] [options]\n"
+      "front-ends (default --stdio; sockets may combine, stdio may not):\n"
+      "  --stdio               line protocol on stdin/stdout (FIFO-friendly)\n"
+      "  --unix PATH           framed binary protocol on a Unix socket\n"
+      "  --tcp [HOST:]PORT     framed binary protocol on TCP (default host\n"
+      "                        127.0.0.1; port 0 = ephemeral, printed on stderr)\n"
+      "options:\n"
+      "  --max-batch N         micro-batch size (default 32)\n"
+      "  --cache N             prediction cache capacity (default 4096)\n"
+      "  --max-queue N         service queue bound; over -> BUSY (default 1024,\n"
+      "                        0 = unbounded)\n"
+      "  --max-connections N   concurrent sockets; over -> BUSY+close (1024)\n"
+      "  --max-inflight N      classify requests in flight server-wide (4096)\n"
+      "  --pipeline-depth N    replies in flight per connection; over -> BUSY (64)\n"
+      "stdio protocol (one reply line per request):\n"
+      "  CLASSIFY <path[@trace]>...  ->  <label>\\t<confidence> | ERR <msg>\n"
+      "  STATS               ->  key=value counters\n"
+      "  RELOAD <model>      ->  OK <model> | ERR <msg>\n"
+      "  QUIT                ->  OK bye\n"
+      "socket wire format: see README \"Socket server\" (u32le-framed binary).\n");
+  return 2;
+}
+
+net::SocketServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->stop();  // async-signal-safe
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto usage = [] {
-    std::fprintf(stderr,
-                 "usage: fhc_serve MODEL [max_batch=32] [cache_capacity=4096]\n"
-                 "MODEL: text or binary (fhc_train --binary) — binary is\n"
-                 "  mmap'd for zero-copy load/RELOAD\n"
-                 "protocol (stdin -> stdout, one reply line per request):\n"
-                 "  CLASSIFY <path[@trace]>...  ->  <label>\\t<confidence> | "
-                 "ERR <msg>\n"
-                 "  STATS               ->  key=value counters\n"
-                 "  RELOAD <model>      ->  OK <model> | ERR <msg>\n"
-                 "  QUIT                ->  OK bye\n");
-    return 2;
-  };
-  if (argc < 2 || argc > 4) return usage();
+  if (argc < 2) return usage();
+  const std::string model_path = argv[1];
+
+  service::ServiceConfig service_config;
+  service_config.max_queue = 1024;
+  net::ServerConfig server_config;
+  bool want_stdio = false;
+  bool want_socket = false;
+
+  // Legacy positional form: MODEL [max_batch] [cache_capacity], stdio.
+  const bool legacy = argc <= 4 && (argc < 3 || argv[2][0] != '-');
+  if (legacy) {
+    want_stdio = true;
+    if (argc > 2 &&
+        (!parse_size(argv[2], service_config.max_batch) ||
+         service_config.max_batch == 0)) {
+      std::fprintf(stderr, "fhc_serve: bad max_batch '%s'\n", argv[2]);
+      return usage();
+    }
+    if (argc > 3 && !parse_size(argv[3], service_config.cache_capacity)) {
+      std::fprintf(stderr, "fhc_serve: bad cache_capacity '%s'\n", argv[3]);
+      return usage();
+    }
+  } else {
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> const char* {
+        return ++i < argc ? argv[i] : nullptr;
+      };
+      if (arg == "--stdio") {
+        want_stdio = true;
+      } else if (arg == "--unix") {
+        const char* path = value();
+        if (path == nullptr) return usage();
+        server_config.unix_path = path;
+        want_socket = true;
+      } else if (arg == "--tcp") {
+        const char* spec = value();
+        if (spec == nullptr ||
+            !parse_tcp_spec(spec, server_config.tcp_host, server_config.tcp_port)) {
+          std::fprintf(stderr, "fhc_serve: bad --tcp spec\n");
+          return usage();
+        }
+        want_socket = true;
+      } else if (arg == "--max-batch") {
+        const char* text = value();
+        if (text == nullptr || !parse_size(text, service_config.max_batch) ||
+            service_config.max_batch == 0) {
+          return usage();
+        }
+      } else if (arg == "--cache") {
+        const char* text = value();
+        if (text == nullptr || !parse_size(text, service_config.cache_capacity)) {
+          return usage();
+        }
+      } else if (arg == "--max-queue") {
+        const char* text = value();
+        if (text == nullptr || !parse_size(text, service_config.max_queue)) {
+          return usage();
+        }
+      } else if (arg == "--max-connections") {
+        const char* text = value();
+        if (text == nullptr || !parse_size(text, server_config.max_connections)) {
+          return usage();
+        }
+      } else if (arg == "--max-inflight") {
+        const char* text = value();
+        if (text == nullptr || !parse_size(text, server_config.max_inflight)) {
+          return usage();
+        }
+      } else if (arg == "--pipeline-depth") {
+        const char* text = value();
+        if (text == nullptr || !parse_size(text, server_config.max_pipeline)) {
+          return usage();
+        }
+      } else {
+        std::fprintf(stderr, "fhc_serve: unknown option '%s'\n", arg.c_str());
+        return usage();
+      }
+    }
+    if (!want_stdio && !want_socket) want_stdio = true;
+    if (want_stdio && want_socket) {
+      std::fprintf(stderr,
+                   "fhc_serve: --stdio cannot combine with socket front-ends\n");
+      return usage();
+    }
+  }
 
 #ifdef SIGPIPE
-  // Replies often go to a FIFO; a reader that vanishes between request
-  // and reply must not kill the node's resident daemon.
+  // Replies often go to a FIFO or a vanished client; neither must kill
+  // the node's resident daemon.
   std::signal(SIGPIPE, SIG_IGN);
 #endif
-
-  service::ServiceConfig config;
-  if (argc > 2 && (!parse_size(argv[2], config.max_batch) || config.max_batch == 0)) {
-    std::fprintf(stderr, "fhc_serve: bad max_batch '%s'\n", argv[2]);
-    return usage();
-  }
-  if (argc > 3 && !parse_size(argv[3], config.cache_capacity)) {
-    std::fprintf(stderr, "fhc_serve: bad cache_capacity '%s'\n", argv[3]);
-    return usage();
-  }
 
   std::unique_ptr<service::ClassificationService> svc;
   try {
     svc = std::make_unique<service::ClassificationService>(
-        core::FuzzyHashClassifier::load_file(argv[1]), config);
+        core::FuzzyHashClassifier::load_file(model_path), service_config);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fhc_serve: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr, "fhc_serve: model %s loaded, ready\n", argv[1]);
+  service::CommandHandler handler(*svc);
 
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    std::istringstream parts(line);
-    std::string command;
-    parts >> command;
-    if (command.empty()) continue;
-    if (command == "CLASSIFY") {
-      handle_classify(*svc, parts, std::cout);
-    } else if (command == "STATS") {
-      handle_stats(*svc, std::cout);
-    } else if (command == "RELOAD") {
-      std::string model_path;
-      if (!(parts >> model_path)) {
-        std::cout << "ERR RELOAD needs a model path\n";
-      } else {
-        try {
-          svc->reload(core::FuzzyHashClassifier::load_file(model_path));
-          std::cout << "OK " << model_path << '\n';
-        } catch (const std::exception& e) {
-          std::cout << "ERR " << e.what() << '\n';
-        }
-      }
-    } else if (command == "QUIT") {
-      std::cout << "OK bye\n";
+  if (want_stdio) {
+    std::fprintf(stderr, "fhc_serve: model %s loaded, ready (stdio)\n",
+                 model_path.c_str());
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      const bool keep_going = handler.handle_line(line, std::cout);
       std::cout.flush();
-      return 0;
-    } else {
-      std::cout << "ERR unknown command: " << command << '\n';
+      if (!keep_going) return 0;
     }
-    std::cout.flush();
+    return 0;  // EOF on stdin exits cleanly
   }
+
+  std::unique_ptr<net::SocketServer> server;
+  try {
+    server = std::make_unique<net::SocketServer>(handler, server_config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fhc_serve: %s\n", e.what());
+    return 1;
+  }
+  if (!server->unix_socket_path().empty()) {
+    std::fprintf(stderr, "fhc_serve: listening on unix:%s\n",
+                 server->unix_socket_path().c_str());
+  }
+  if (server->tcp_port() >= 0) {
+    std::fprintf(stderr, "fhc_serve: listening on tcp:%s:%d\n",
+                 server_config.tcp_host.c_str(), server->tcp_port());
+  }
+  std::fprintf(stderr, "fhc_serve: model %s loaded, ready\n", model_path.c_str());
+
+  g_server = server.get();
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  server->run();  // returns after graceful drain (QUIT frame or signal)
+  g_server = nullptr;
+  std::fprintf(stderr, "fhc_serve: drained, bye\n");
   return 0;
 }

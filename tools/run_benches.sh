@@ -49,10 +49,16 @@ done
 
 # PR 3 on: the batched-vs-unbatched service throughput pair and the
 # serial-vs-parallel forest train-time pair must stay in the baselines.
+#
+# PR 8 on: the socket front-end pair — the in-process submit baseline vs
+# the epoll wire path at 1/8/64 pipelined connections (p50/p99 counters
+# are the client-observed per-request latency).
 for required in \
     BM_PredictUnbatched/32/real_time BM_ServiceBatchRepeatDedup/32/real_time \
     BM_ServiceBatchRepeatStream/32/real_time BM_ServiceBatchUnique/32/real_time \
-    BM_ServiceShards/1/real_time BM_ServiceCacheHit/real_time; do
+    BM_ServiceShards/1/real_time BM_ServiceCacheHit/real_time \
+    BM_ServiceSubmitInProcess/real_time BM_ServeSocketPipelined/1/real_time \
+    BM_ServeSocketPipelined/8/real_time BM_ServeSocketPipelined/64/real_time; do
   if ! grep -q "\"$required\"" BENCH_perf_service.json; then
     echo "error: BENCH_perf_service.json is missing $required" >&2
     exit 1
