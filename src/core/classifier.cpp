@@ -5,6 +5,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <istream>
 #include <numeric>
 #include <ostream>
@@ -13,6 +14,7 @@
 
 #include "ml/class_weight.hpp"
 #include "util/model_map.hpp"
+#include "util/rng.hpp"
 #include "util/sectioned.hpp"
 #include "util/thread_pool.hpp"
 
@@ -25,6 +27,10 @@ void FuzzyHashClassifier::fit(const std::vector<FeatureHashes>& train_hashes,
   if (train_hashes.empty()) throw std::invalid_argument("fit: empty training set");
   if (train_hashes.size() != labels.size()) {
     throw std::invalid_argument("fit: hashes/labels size mismatch");
+  }
+  calibration_ = RejectionCalibration{};
+  if (config.calibrate_rejection) {
+    calibration_ = run_calibration(train_hashes, labels, class_names, config);
   }
   config_ = config;
   index_ = std::make_unique<TrainIndex>(train_hashes, labels,
@@ -44,6 +50,82 @@ void FuzzyHashClassifier::fit(const std::vector<FeatureHashes>& train_hashes,
     weights = ml::balanced_sample_weights(labels);
   }
   forest_.fit(x, labels, index_->n_classes(), weights, config_.forest);
+}
+
+RejectionCalibration FuzzyHashClassifier::run_calibration(
+    const std::vector<FeatureHashes>& train_hashes, const std::vector<int>& labels,
+    const std::vector<std::string>& class_names, const ClassifierConfig& config) {
+  // Per-class index buckets, shuffled deterministically. Every class with
+  // >= 2 samples donates at least one holdout sample and keeps at least one
+  // in the calibration split, so the split preserves all K classes (fit
+  // requires contiguous 0..K-1 labels). Singleton classes stay in train.
+  const auto k = class_names.size();
+  std::vector<std::vector<std::size_t>> buckets(k);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0 || static_cast<std::size_t>(labels[i]) >= k) {
+      throw std::invalid_argument("fit: label out of range");
+    }
+    buckets[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+  util::Rng rng(config.calibration_seed);
+  const double fraction = std::clamp(config.calibration_holdout_fraction, 0.0, 0.5);
+  std::vector<std::size_t> holdout;
+  std::vector<char> held(labels.size(), 0);
+  for (auto& bucket : buckets) {
+    if (bucket.size() < 2) continue;
+    rng.shuffle(bucket);
+    const auto want = static_cast<std::size_t>(fraction *
+                                               static_cast<double>(bucket.size()));
+    const std::size_t h = std::clamp<std::size_t>(want, 1, bucket.size() - 1);
+    for (std::size_t j = 0; j < h; ++j) {
+      holdout.push_back(bucket[j]);
+      held[bucket[j]] = 1;
+    }
+  }
+  if (holdout.empty()) {
+    throw std::invalid_argument(
+        "fit: rejection calibration needs a class with >= 2 samples");
+  }
+  std::sort(holdout.begin(), holdout.end());
+
+  std::vector<FeatureHashes> cal_hashes;
+  std::vector<int> cal_labels;
+  cal_hashes.reserve(labels.size() - holdout.size());
+  cal_labels.reserve(labels.size() - holdout.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (held[i] == 0) {
+      cal_hashes.push_back(train_hashes[i]);
+      cal_labels.push_back(labels[i]);
+    }
+  }
+  ClassifierConfig cal_config = config;
+  cal_config.calibrate_rejection = false;
+  FuzzyHashClassifier cal;
+  cal.fit(cal_hashes, cal_labels, class_names, cal_config);
+
+  std::vector<FeatureHashes> held_hashes;
+  held_hashes.reserve(holdout.size());
+  for (const std::size_t i : holdout) held_hashes.push_back(train_hashes[i]);
+  ml::Matrix proba;
+  cal.predict_batch(held_hashes, &proba);
+  std::vector<double> scores(proba.rows());
+  for (std::size_t i = 0; i < proba.rows(); ++i) {
+    const auto row = proba.row(i);
+    scores[i] = *std::max_element(row.begin(), row.end());
+  }
+  std::sort(scores.begin(), scores.end());
+  // Rejection is `confidence < threshold`, so picking the floor(fpr*n)-th
+  // ascending score bounds the held-out rejection count by fpr*n.
+  const double fpr = std::clamp(config.calibration_target_fpr, 0.0, 1.0);
+  const auto idx = std::min(
+      static_cast<std::size_t>(fpr * static_cast<double>(scores.size())),
+      scores.size() - 1);
+  RejectionCalibration out;
+  out.enabled = true;
+  out.threshold = scores[idx];
+  out.target_fpr = fpr;
+  out.holdout_count = static_cast<std::uint32_t>(scores.size());
+  return out;
 }
 
 Prediction FuzzyHashClassifier::predict(const FeatureHashes& sample) const {
@@ -68,8 +150,11 @@ Prediction FuzzyHashClassifier::prediction_from_proba(std::vector<double> proba)
   const auto best = std::max_element(out.proba.begin(), out.proba.end());
   out.confidence = *best;
   const int argmax = static_cast<int>(best - out.proba.begin());
-  out.label = out.confidence >= config_.confidence_threshold ? argmax
+  // With calibration disabled the effective threshold IS the confidence
+  // threshold, so legacy models keep their exact pre-calibration labels.
+  out.label = out.confidence >= effective_reject_threshold() ? argmax
                                                              : ml::kUnknownLabel;
+  out.is_unknown = out.label == ml::kUnknownLabel;
   return out;
 }
 
@@ -125,7 +210,7 @@ std::vector<int> FuzzyHashClassifier::predict_batch(
   const ml::Matrix x =
       build_feature_matrix(*index_, samples, config_.metric, {}, config_.channels);
   ml::Matrix proba = forest_.predict_proba_matrix(x);
-  std::vector<int> labels = labels_from_proba(proba, config_.confidence_threshold);
+  std::vector<int> labels = labels_from_proba(proba, effective_reject_threshold());
   if (out_proba != nullptr) *out_proba = std::move(proba);
   return labels;
 }
@@ -175,6 +260,15 @@ bool starts_with_magic(std::span<const std::byte> bytes, std::string_view magic)
          std::memcmp(bytes.data(), magic.data(), magic.size()) == 0;
 }
 
+/// Round-trip-exact decimal for a calibrated threshold: 17 significant
+/// digits guarantee parse(print(x)) == x, so save -> load -> save is
+/// byte-stable even for data-derived doubles.
+std::string format_exact(double value) {
+  std::ostringstream out;
+  out << std::setprecision(17) << value;
+  return out.str();
+}
+
 }  // namespace
 
 void FuzzyHashClassifier::save(std::ostream& out) const {
@@ -200,6 +294,14 @@ void FuzzyHashClassifier::save_preamble(std::ostream& out) const {
   out << "metric " << static_cast<int>(config_.metric) << '\n';
   out << "threshold " << config_.confidence_threshold << '\n';
   out << "balanced " << (config_.balanced_class_weights ? 1 : 0) << '\n';
+  // Like the channelset block: written only when rejection calibration is
+  // enabled, so uncalibrated models keep the legacy byte layout and old
+  // parsers reject calibrated models at the tag instead of misreading them.
+  if (calibration_.enabled) {
+    out << "calibration " << format_exact(calibration_.threshold) << ' '
+        << format_exact(calibration_.target_fpr) << ' '
+        << calibration_.holdout_count << '\n';
+  }
   out << "channels";
   for (std::size_t f = 0; f < n; ++f) {
     out << ' ' << (config_.channels.enabled(f) ? 1 : 0);
@@ -236,10 +338,18 @@ namespace {
 /// something actually needs raw digests (save, inspection).
 struct PreambleHeader {
   ClassifierConfig config;
+  RejectionCalibration calibration;  // absent line -> disabled ("never reject")
   std::vector<std::string> names;
   int k = 0;
   std::size_t n_train = 0;
 };
+
+/// How many classes/rows a model file may claim before the parser calls it
+/// hostile. Real corpora are two orders of magnitude below both caps; a
+/// crafted header like "classes 2000000000" must fail fast instead of
+/// driving a multi-gigabyte resize (found by fuzz_model_load).
+constexpr int kMaxModelClasses = 1 << 20;
+constexpr std::size_t kMaxModelTrainRows = std::size_t{1} << 24;
 
 /// Everything a model file carries besides the forest — shared between
 /// the text and binary loaders (the binary formats embed the same bytes).
@@ -287,7 +397,28 @@ PreambleHeader load_preamble_header(std::istream& in) {
   }
   out.config.metric = static_cast<ssdeep::EditMetric>(metric);
   out.config.balanced_class_weights = balanced != 0;
-  if (!(in >> tag) || tag != "channels") {
+  if (!(in >> tag)) {
+    throw std::runtime_error("FuzzyHashClassifier::load: bad channels");
+  }
+  // Optional calibration line (rejection-enabled models only); its absence
+  // means the legacy "never reject" default.
+  if (tag == "calibration") {
+    double threshold = 0.0;
+    double target_fpr = 0.0;
+    std::uint32_t holdout = 0;
+    if (!(in >> threshold >> target_fpr >> holdout) || threshold < 0.0 ||
+        threshold > 1.0 || target_fpr < 0.0 || target_fpr > 1.0) {
+      throw std::runtime_error("FuzzyHashClassifier::load: bad calibration");
+    }
+    out.calibration.enabled = true;
+    out.calibration.threshold = threshold;
+    out.calibration.target_fpr = target_fpr;
+    out.calibration.holdout_count = holdout;
+    if (!(in >> tag)) {
+      throw std::runtime_error("FuzzyHashClassifier::load: bad channels");
+    }
+  }
+  if (tag != "channels") {
     throw std::runtime_error("FuzzyHashClassifier::load: bad channels");
   }
   for (std::size_t f = 0; f < out.config.channel_set.size(); ++f) {
@@ -296,7 +427,8 @@ PreambleHeader load_preamble_header(std::istream& in) {
     out.config.channels.set(f, value != 0);
   }
 
-  if (!(in >> tag >> out.k) || tag != "classes" || out.k <= 0) {
+  if (!(in >> tag >> out.k) || tag != "classes" || out.k <= 0 ||
+      out.k > kMaxModelClasses) {
     throw std::runtime_error("FuzzyHashClassifier::load: bad class count");
   }
   in.ignore();  // consume newline before getline
@@ -307,7 +439,8 @@ PreambleHeader load_preamble_header(std::istream& in) {
     }
   }
 
-  if (!(in >> tag >> out.n_train) || tag != "train" || out.n_train == 0) {
+  if (!(in >> tag >> out.n_train) || tag != "train" || out.n_train == 0 ||
+      out.n_train > kMaxModelTrainRows) {
     throw std::runtime_error("FuzzyHashClassifier::load: bad train block");
   }
   return out;
@@ -349,8 +482,9 @@ Preamble load_preamble(std::istream& in) {
 
 /// Splits the preamble text at the end of its header (the newline closing
 /// the "train N" line) without parsing the digest rows: the optional
-/// channelset block, 4 config lines, the "classes K" line, K name lines,
-/// and the train line. Returns the header byte count.
+/// channelset block, 3 config lines, the optional calibration line, the
+/// channels line, the "classes K" line, K name lines, and the train line.
+/// Returns the header byte count.
 std::size_t preamble_header_bytes(std::string_view text) {
   std::size_t pos = 0;
   int k = 0;
@@ -374,11 +508,14 @@ std::size_t preamble_header_bytes(std::string_view text) {
     }
     for (std::size_t i = 0; i < n; ++i) next_line();  // channel lines
   }
-  for (int i = 0; i < 4; ++i) next_line();  // metric/threshold/balanced/channels
+  for (int i = 0; i < 3; ++i) next_line();  // metric/threshold/balanced
+  if (text.substr(pos).starts_with("calibration ")) next_line();
+  next_line();  // channels
   {
     std::istringstream classes_line{std::string(next_line())};
     std::string tag;
-    if (!(classes_line >> tag >> k) || tag != "classes" || k <= 0) {
+    if (!(classes_line >> tag >> k) || tag != "classes" || k <= 0 ||
+        k > kMaxModelClasses) {
       throw std::runtime_error("FuzzyHashClassifier::load: bad class count");
     }
   }
@@ -421,6 +558,7 @@ void FuzzyHashClassifier::load(std::istream& in) {
                                         std::move(preamble.header.names),
                                         preamble.header.config.channel_set);
   config_ = preamble.header.config;
+  calibration_ = preamble.header.calibration;
 }
 
 void FuzzyHashClassifier::build_v2_sections(util::SectionedWriter& writer,
@@ -514,6 +652,7 @@ void FuzzyHashClassifier::load_binary_v1(std::span<const std::byte> bytes,
                                         std::move(preamble.header.names),
                                         preamble.header.config.channel_set);
   config_ = preamble.header.config;
+  calibration_ = preamble.header.calibration;
 }
 
 void FuzzyHashClassifier::load_binary_v2(std::span<const std::byte> bytes,
@@ -551,6 +690,7 @@ void FuzzyHashClassifier::load_binary_v2(std::span<const std::byte> bytes,
                               header.config.channel_set, header.n_train,
                               std::move(raw_loader), keepalive);
   config_ = header.config;
+  calibration_ = header.calibration;
 }
 
 void FuzzyHashClassifier::save_file(const std::string& path) const {

@@ -13,10 +13,19 @@
 // detection recall against known-class accuracy (paper Figure 3); tune it
 // with the pipeline's inner grid search, or set it manually for stricter
 // screening (paper Section 5, "Confidence Threshold").
+//
+// Open-set rejection (paper Table 3's 19-class unknown pool) adds a
+// *calibrated* floor on top: fit() with calibrate_rejection holds out known
+// samples, scores them with a calibration forest, and records the
+// target-FPR quantile of their max probabilities in the model. Predictions
+// below the effective threshold come back as is_unknown / kUnknownLabel
+// instead of a force-label.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <span>
@@ -52,12 +61,35 @@ struct ClassifierConfig {
   ChannelMask channels = kAllChannels;     // feature-ablation knob
   ChannelSet channel_set;                  // feature-channel roster (default:
                                            // the paper's static triple)
+  // Open-set calibration (fit-time only; the *result* is what a model file
+  // carries). When enabled, fit() holds out a stratified known-class slice,
+  // trains a calibration forest on the rest, and picks the rejection
+  // threshold as the calibration_target_fpr-quantile of the held-out
+  // max-probability scores — so at most that fraction of known samples is
+  // rejected as "unknown" (paper Table 3's open-set pool, Figure 3's
+  // threshold trade-off).
+  bool calibrate_rejection = false;
+  double calibration_target_fpr = 0.05;
+  double calibration_holdout_fraction = 0.25;
+  std::uint64_t calibration_seed = 42;
+};
+
+/// The calibrated unknown-rejection decision a fitted/loaded model carries.
+/// Disabled (the default, and what every pre-calibration model file loads
+/// as) means "never reject beyond the deployment confidence threshold" —
+/// exactly the legacy behavior.
+struct RejectionCalibration {
+  bool enabled = false;
+  double threshold = 0.0;       // reject when max-probability < threshold
+  double target_fpr = 0.0;      // known-class rejection budget it was fit to
+  std::uint32_t holdout_count = 0;  // held-out scores behind the quantile
 };
 
 /// One prediction with its evidence.
 struct Prediction {
   int label = ml::kUnknownLabel;  // model label or kUnknownLabel
   double confidence = 0.0;        // winning class probability
+  bool is_unknown = false;        // label was demoted to kUnknownLabel
   std::vector<double> proba;      // full distribution over known classes
 };
 
@@ -111,11 +143,29 @@ class FuzzyHashClassifier {
   const TrainIndex& index() const { return *index_; }
   const ml::RandomForest& forest() const noexcept { return forest_; }
   const ClassifierConfig& config() const noexcept { return config_; }
+  const RejectionCalibration& calibration() const noexcept { return calibration_; }
   const std::vector<std::string>& class_names() const;
 
   /// Adjust the deployment threshold without refitting.
   void set_confidence_threshold(double threshold) {
     config_.confidence_threshold = threshold;
+  }
+
+  /// Deployment override for the unknown-rejection threshold: enables
+  /// rejection at exactly `threshold` without refitting (replaces any
+  /// fit-time calibration). Saved models carry the override.
+  void set_unknown_threshold(double threshold) {
+    calibration_.enabled = true;
+    calibration_.threshold = threshold;
+  }
+
+  /// The max-probability floor predictions must clear to keep their argmax
+  /// label: the deployment confidence threshold, raised to the calibrated
+  /// rejection threshold when calibration is enabled.
+  double effective_reject_threshold() const noexcept {
+    return calibration_.enabled
+               ? std::max(config_.confidence_threshold, calibration_.threshold)
+               : config_.confidence_threshold;
   }
 
   /// Adjust the channel-ablation mask without refitting (disabled
@@ -171,6 +221,13 @@ class FuzzyHashClassifier {
   static FuzzyHashClassifier load_file(const std::string& path);
 
  private:
+  /// Stratified holdout -> calibration fit -> target-FPR quantile of the
+  /// held-out max-probability scores. Deterministic in config.calibration_seed.
+  static RejectionCalibration run_calibration(
+      const std::vector<FeatureHashes>& train_hashes,
+      const std::vector<int>& labels,
+      const std::vector<std::string>& class_names,
+      const ClassifierConfig& config);
   void save_preamble(std::ostream& out) const;
   /// Fills `preamble`/`forest` and adds every v2 section to `writer`
   /// (referencing the two strings and the live index pools — all must
@@ -186,6 +243,7 @@ class FuzzyHashClassifier {
   std::unique_ptr<TrainIndex> index_;
   ml::RandomForest forest_;
   ClassifierConfig config_;
+  RejectionCalibration calibration_;
 };
 
 }  // namespace fhc::core

@@ -214,6 +214,7 @@ LoadResult run_load(const LoadOptions& options,
         switch (response.op) {
           case Opcode::kPrediction:
             ++mine.result.predictions;
+            if (response.is_unknown) ++mine.result.unknown;
             break;
           case Opcode::kBusy:
             ++mine.result.busy;
@@ -234,6 +235,7 @@ LoadResult run_load(const LoadOptions& options,
   for (PerConn& conn : per_conn) {
     total.sent += conn.result.sent;
     total.predictions += conn.result.predictions;
+    total.unknown += conn.result.unknown;
     total.busy += conn.result.busy;
     total.errors += conn.result.errors;
     if (!conn.result.failure.empty() && total.failure.empty()) {

@@ -65,6 +65,7 @@ struct LoadOptions {
 struct LoadResult {
   std::size_t sent = 0;
   std::size_t predictions = 0;
+  std::size_t unknown = 0;  // predictions flagged is_unknown (open-set reject)
   std::size_t busy = 0;    // BUSY replies (admission control)
   std::size_t errors = 0;  // ERROR replies
   double elapsed_s = 0.0;

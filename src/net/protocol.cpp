@@ -131,11 +131,13 @@ void encode_reload(std::string& out, std::string_view model_path) {
   encode_text(out, Opcode::kReload, model_path);
 }
 
-void encode_prediction(std::string& out, std::int32_t label, double confidence,
-                       std::uint64_t server_micros, std::string_view class_name) {
+void encode_prediction(std::string& out, std::int32_t label, bool is_unknown,
+                       double confidence, std::uint64_t server_micros,
+                       std::string_view class_name) {
   const std::size_t header = begin_frame(out);
   put_u8(out, static_cast<std::uint8_t>(Opcode::kPrediction));
   put_u32(out, static_cast<std::uint32_t>(label));
+  put_u8(out, is_unknown ? kPredictionFlagUnknown : 0);
   put_u64(out, std::bit_cast<std::uint64_t>(confidence));
   put_u64(out, server_micros);
   put_string(out, class_name);
@@ -195,12 +197,16 @@ DecodeStatus decode_response(std::span<const std::uint8_t> payload, Response& ou
   switch (out.op) {
     case Opcode::kPrediction: {
       std::uint32_t label = 0;
+      std::uint8_t flags = 0;
       std::uint64_t confidence_bits = 0;
-      if (!cursor.u32(label) || !cursor.u64(confidence_bits) ||
-          !cursor.u64(out.server_micros) || !cursor.str(out.text)) {
+      if (!cursor.u32(label) || !cursor.u8(flags) ||
+          !cursor.u64(confidence_bits) || !cursor.u64(out.server_micros) ||
+          !cursor.str(out.text)) {
         return DecodeStatus::kMalformed;
       }
+      if ((flags & ~kPredictionFlagUnknown) != 0) return DecodeStatus::kMalformed;
       out.label = static_cast<std::int32_t>(label);
+      out.is_unknown = (flags & kPredictionFlagUnknown) != 0;
       out.confidence = std::bit_cast<double>(confidence_bits);
       break;
     }

@@ -35,10 +35,13 @@
 //        replies, then exits.
 //
 // Responses:
-//   0x81 PREDICTION  i32 label | f64 confidence | u64 server_micros |
-//                    string class_name
-//        label -1 = unknown (class_name empty); server_micros is the
-//        per-request wall time from frame decode to completion.
+//   0x81 PREDICTION  i32 label | u8 flags | f64 confidence |
+//                    u64 server_micros | string class_name
+//        label -1 = unknown (class_name empty); flags bit0 set = the
+//        prediction was rejected as unknown (open-set rejection / below
+//        the confidence threshold — always set when label is -1), other
+//        bits reserved (must be zero); server_micros is the per-request
+//        wall time from frame decode to completion.
 //   0x82 OK          string text        (RELOAD/PING/QUIT acknowledgements)
 //   0x83 STATS_TEXT  string text        (the key=value stats line)
 //   0x84 ERROR       string message     (per-request failure)
@@ -94,10 +97,14 @@ struct Request {
 struct Response {
   Opcode op = Opcode::kOk;
   std::int32_t label = 0;
+  bool is_unknown = false;  // PREDICTION flags bit0
   double confidence = 0.0;
   std::uint64_t server_micros = 0;
   std::string text;
 };
+
+/// PREDICTION flags bits (u8 after the label; others reserved as zero).
+inline constexpr std::uint8_t kPredictionFlagUnknown = 0x01;
 
 // ---- encoding ------------------------------------------------------------
 // Each encoder appends one complete frame (header + payload) to `out`.
@@ -109,8 +116,9 @@ void encode_reload(std::string& out, std::string_view model_path);
 void encode_ping(std::string& out);
 void encode_quit(std::string& out);
 
-void encode_prediction(std::string& out, std::int32_t label, double confidence,
-                       std::uint64_t server_micros, std::string_view class_name);
+void encode_prediction(std::string& out, std::int32_t label, bool is_unknown,
+                       double confidence, std::uint64_t server_micros,
+                       std::string_view class_name);
 void encode_ok(std::string& out, std::string_view text);
 void encode_stats_text(std::string& out, std::string_view text);
 void encode_error(std::string& out, std::string_view message);

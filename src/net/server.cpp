@@ -679,7 +679,8 @@ struct SocketServer::Impl {
               static_cast<std::size_t>(pred.label) < names.size()) {
             name = names[static_cast<std::size_t>(pred.label)];
           }
-          encode_prediction(completion.bytes, pred.label, pred.confidence,
+          encode_prediction(completion.bytes, pred.label, pred.is_unknown,
+                            pred.confidence,
                             static_cast<std::uint64_t>(micros.count()), name);
         } catch (const std::exception& e) {
           encode_error(completion.bytes, e.what());

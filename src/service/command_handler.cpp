@@ -71,6 +71,7 @@ std::string CommandHandler::stats_line() const {
       << " index_skipped=" << s.index_skipped
       << " index_skip_rate=" << s.index_skip_rate() << " reloads=" << s.reloads
       << " largest_batch=" << s.largest_batch
+      << " unknown_flagged=" << s.unknown_flagged
       << " connections_opened=" << s.connections_opened
       << " connections_active=" << s.connections_active
       << " connections_rejected=" << s.connections_rejected
@@ -83,7 +84,9 @@ std::string CommandHandler::stats_line() const {
 CommandHandler::ReloadResult CommandHandler::reload(const std::string& model_path) {
   ReloadResult result;
   try {
-    svc_.reload(core::FuzzyHashClassifier::load_file(model_path));
+    core::FuzzyHashClassifier model = core::FuzzyHashClassifier::load_file(model_path);
+    if (unknown_override_) model.set_unknown_threshold(*unknown_override_);
+    svc_.reload(std::move(model));
     result.ok = true;
     result.message = model_path;
   } catch (const std::exception& e) {

@@ -21,6 +21,7 @@
 
 #include <future>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "core/classifier.hpp"
@@ -69,8 +70,17 @@ class CommandHandler {
   };
 
   /// Loads `model_path` (text/v1/v2 sniffed) and swaps it in. Never
-  /// throws; in-flight batches finish on their snapshot either way.
+  /// throws; in-flight batches finish on their snapshot either way. An
+  /// unknown-threshold override set below is re-applied to the fresh
+  /// model, so RELOAD cannot silently drop the deployment knob.
   ReloadResult reload(const std::string& model_path);
+
+  /// Deployment override for the open-set rejection threshold
+  /// (fhc_serve --unknown-threshold): applied to every model swapped in
+  /// via reload(). The caller applies it to the initially-loaded model.
+  void set_unknown_threshold_override(double threshold) {
+    unknown_override_ = threshold;
+  }
 
   /// Runs one line of the stdio protocol, writing replies (newline-
   /// terminated, unflushed) to `out`. Returns false on QUIT.
@@ -81,6 +91,7 @@ class CommandHandler {
 
  private:
   ClassificationService& svc_;
+  std::optional<double> unknown_override_;
 };
 
 }  // namespace fhc::service

@@ -85,6 +85,7 @@ std::future<core::Prediction> ClassificationService::enqueue(
       ++counters_.requests;
       ++counters_.cache_hits;
       ++counters_.completed;
+      if (hit->is_unknown) ++counters_.unknown_flagged;
       record_latency_locked(request.watch.milliseconds());
     }
     request.promise.set_value(*hit);
@@ -358,6 +359,9 @@ void ClassificationService::score_batch(std::vector<Request> batch) {
     counters_.completed += batch.size();
     counters_.largest_batch = std::max<std::uint64_t>(counters_.largest_batch,
                                                       batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (results[slot[i]].is_unknown) ++counters_.unknown_flagged;
+    }
     for (Request& request : batch) record_latency_locked(request.watch.milliseconds());
   }
   {

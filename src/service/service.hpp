@@ -77,6 +77,10 @@ struct ServiceStats {
   std::uint64_t dedup_hits = 0;     // answered by an identical in-batch sample
   std::uint64_t reloads = 0;
   std::uint64_t largest_batch = 0;
+  // Completed requests whose prediction came back is_unknown (open-set
+  // rejection / below the confidence threshold) — cache hits included,
+  // since a hit fans out the same flagged prediction.
+  std::uint64_t unknown_flagged = 0;
 
   // Candidate-index gate counters, summed over every row slice scored:
   // of the training digests an all-pairs row fill would have visited,

@@ -1,0 +1,140 @@
+// Corpus-replay + deterministic-mutation driver for the fuzz targets.
+//
+// Under Clang the targets link libFuzzer (-fsanitize=fuzzer) and this
+// file is not compiled. Everywhere else (the GCC CI matrix) this main
+// replays the checked-in corpora as plain regression inputs, so the
+// `fuzz` ctest label runs the exact same LLVMFuzzerTestOneInput bodies:
+//
+//   fuzz_x [libFuzzer-style -flags, ignored] FILE_OR_DIR...
+//   fuzz_x --mutate N [--seed S] FILE_OR_DIR...
+//
+// --mutate N additionally runs N deterministic mutations of every corpus
+// input through the target (bit flips, byte smashes, truncations,
+// duplications, chunk splices — the classic dumb-fuzz operators, seeded
+// by util::splitmix64 so a failure reproduces from the same command
+// line). It is not coverage-guided, but under ASan/UBSan it reaches the
+// same shallow crash classes libFuzzer finds first, which keeps local
+// fuzzing useful on toolchains without libFuzzer.
+//
+// Unrecognized `-` arguments are skipped so the uniform ctest command
+// `fuzz_x -runs=0 <corpus_dir>` works under both this driver and
+// libFuzzer.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void run_one(const std::vector<std::uint8_t>& bytes) {
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+}
+
+/// One dumb-fuzz mutation pass over `input` (in place).
+void mutate(std::vector<std::uint8_t>& input, fhc::util::Rng& rng) {
+  const std::uint64_t ops = 1 + rng.next_below(4);
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    switch (rng.next_below(5)) {
+      case 0:  // bit flip
+        if (!input.empty()) {
+          input[rng.next_below(input.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.next_below(8));
+        }
+        break;
+      case 1:  // byte smash
+        if (!input.empty()) {
+          input[rng.next_below(input.size())] =
+              static_cast<std::uint8_t>(rng.next_below(256));
+        }
+        break;
+      case 2:  // truncate
+        if (!input.empty()) input.resize(rng.next_below(input.size() + 1));
+        break;
+      case 3: {  // insert a short run
+        const std::size_t at = input.empty() ? 0 : rng.next_below(input.size());
+        const std::size_t n = 1 + rng.next_below(8);
+        input.insert(input.begin() + static_cast<std::ptrdiff_t>(at), n,
+                     static_cast<std::uint8_t>(rng.next_below(256)));
+        break;
+      }
+      default:  // splice: copy one chunk over another
+        if (input.size() >= 2) {
+          const std::size_t from = rng.next_below(input.size());
+          const std::size_t to = rng.next_below(input.size());
+          const std::size_t n =
+              1 + rng.next_below(std::min<std::size_t>(16, input.size() -
+                                                               std::max(from, to)));
+          std::memmove(input.data() + to, input.data() + from, n);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t mutations = 0;
+  std::uint64_t seed = 0x5eedf00dULL;
+  std::vector<std::filesystem::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mutate") == 0 && i + 1 < argc) {
+      mutations = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (argv[i][0] == '-') {
+      // libFuzzer-style flag (-runs=0, -max_len=...): ignore for parity.
+    } else {
+      roots.emplace_back(argv[i]);
+    }
+  }
+
+  std::vector<std::filesystem::path> files;
+  for (const std::filesystem::path& root : roots) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(root, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(root, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (std::filesystem::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::fprintf(stderr, "fuzz driver: no such input: %s\n", root.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic replay order
+
+  run_one({});  // the empty input is always in the implicit corpus
+  std::uint64_t mutated_runs = 0;
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const std::vector<std::uint8_t> bytes = read_file(files[f]);
+    run_one(bytes);
+    fhc::util::Rng rng(seed + f);  // Rng seeds via splitmix64 internally
+    for (std::uint64_t m = 0; m < mutations; ++m) {
+      std::vector<std::uint8_t> variant = bytes;
+      mutate(variant, rng);
+      run_one(variant);
+      ++mutated_runs;
+    }
+  }
+  std::printf("fuzz driver: %zu corpus inputs replayed, %llu mutations run\n",
+              files.size(), static_cast<unsigned long long>(mutated_runs));
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fuzz target: elf::ElfReader + core::extract_feature_hashes on
+// arbitrary bytes.
+//
+// Contracts under test:
+//  * ElfReader either constructs or throws ElfError — never crashes,
+//    never throws anything else, and a constructed reader's accessors
+//    are safe to walk.
+//  * extract_feature_hashes NEVER throws on arbitrary bytes: the
+//    strings/symbols extractors degrade gracefully on non-ELF input
+//    (that is the classifier's front door for untrusted executables, so
+//    an escape here would kill fhc_classify / the daemon's CLASSIFY
+//    path). An unexpected exception escapes to terminate() and the
+//    fuzzer records the input.
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+
+#include "core/features.hpp"
+#include "elf/elf_reader.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  try {
+    const fhc::elf::ElfReader reader(bytes);
+    for (const auto& section : reader.sections()) {
+      (void)section.name.size();
+      (void)section.content.size();
+    }
+    if (reader.has_symtab()) {
+      for (const auto& symbol : reader.symbols()) (void)symbol.name.size();
+    }
+    (void)reader.section_by_name(".text");
+    (void)reader.section_by_name(".comment");
+  } catch (const fhc::elf::ElfError&) {
+    // Malformed ELF: the only acceptable failure mode.
+  }
+  (void)fhc::elf::ElfReader::looks_like_elf(bytes);
+  (void)fhc::core::extract_feature_hashes(bytes);  // must not throw
+  return 0;
+}

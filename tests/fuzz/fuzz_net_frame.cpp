@@ -1,0 +1,144 @@
+// Fuzz target: the framed wire protocol — FrameReader fed the input in
+// torn chunks, every extracted payload run through both decoders, and
+// every successfully decoded frame re-encoded and re-decoded.
+//
+// Contracts under test:
+//  * FrameReader never crashes on arbitrary byte streams, never hands
+//    out a frame after poisoning, and never buffers more than a frame's
+//    worth past max_frame.
+//  * decode_request / decode_response return a status — they never
+//    throw and never read outside the payload span.
+//  * Re-encode fidelity: a request/response that decodes kOk encodes
+//    back to a payload that decodes kOk to the same logical value
+//    (opcode + fields). Asymmetry here means client and server disagree
+//    about the wire format.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace {
+
+using fhc::net::DecodeStatus;
+using fhc::net::Opcode;
+
+void reencode_request(const fhc::net::Request& request, std::string& out) {
+  switch (request.op) {
+    case Opcode::kClassifyDigests:
+      fhc::net::encode_classify_digests(out, request.digests);
+      break;
+    case Opcode::kClassifyPath:
+      fhc::net::encode_classify_path(out, request.text);
+      break;
+    case Opcode::kStats:
+      fhc::net::encode_stats(out);
+      break;
+    case Opcode::kReload:
+      fhc::net::encode_reload(out, request.text);
+      break;
+    case Opcode::kPing:
+      fhc::net::encode_ping(out);
+      break;
+    case Opcode::kQuit:
+      fhc::net::encode_quit(out);
+      break;
+    default:
+      break;
+  }
+}
+
+void reencode_response(const fhc::net::Response& response, std::string& out) {
+  switch (response.op) {
+    case Opcode::kPrediction:
+      fhc::net::encode_prediction(out, response.label, response.is_unknown,
+                                  response.confidence, response.server_micros,
+                                  response.text);
+      break;
+    case Opcode::kOk:
+      fhc::net::encode_ok(out, response.text);
+      break;
+    case Opcode::kStatsText:
+      fhc::net::encode_stats_text(out, response.text);
+      break;
+    case Opcode::kError:
+      fhc::net::encode_error(out, response.text);
+      break;
+    case Opcode::kBusy:
+      fhc::net::encode_busy(out, response.text);
+      break;
+    default:
+      break;
+  }
+}
+
+/// Strips the u32le length framing an encode_* helper prepends, leaving
+/// the payload decode_* expects.
+std::span<const std::uint8_t> payload_of(const std::string& frame) {
+  if (frame.size() < 4) std::abort();  // encoders always frame
+  return {reinterpret_cast<const std::uint8_t*>(frame.data()) + 4,
+          frame.size() - 4};
+}
+
+void check_payload(std::span<const std::uint8_t> payload) {
+  fhc::net::Request request;
+  if (fhc::net::decode_request(payload, request) == DecodeStatus::kOk) {
+    std::string wire;
+    reencode_request(request, wire);
+    fhc::net::Request again;
+    if (fhc::net::decode_request(payload_of(wire), again) != DecodeStatus::kOk ||
+        again.op != request.op || again.digests != request.digests ||
+        again.text != request.text) {
+      std::abort();
+    }
+  }
+  fhc::net::Response response;
+  if (fhc::net::decode_response(payload, response) == DecodeStatus::kOk) {
+    std::string wire;
+    reencode_response(response, wire);
+    fhc::net::Response again;
+    // confidence is compared bitwise, not with ==: a fuzzed payload can
+    // carry a NaN, which re-encodes to the same bits but fails ==.
+    std::uint64_t conf_bits = 0;
+    std::uint64_t again_bits = 0;
+    std::memcpy(&conf_bits, &response.confidence, sizeof conf_bits);
+    if (fhc::net::decode_response(payload_of(wire), again) != DecodeStatus::kOk ||
+        again.op != response.op || again.label != response.label ||
+        again.is_unknown != response.is_unknown ||
+        (std::memcpy(&again_bits, &again.confidence, sizeof again_bits),
+         again_bits != conf_bits) ||
+        again.server_micros != response.server_micros ||
+        again.text != response.text) {
+      std::abort();
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // A small max_frame makes the poisoning path reachable with short
+  // inputs; the chunk size is taken from the input so the fuzzer can
+  // explore torn-read boundaries.
+  fhc::net::FrameReader reader(/*max_frame=*/4096);
+  const std::size_t chunk = size != 0 ? 1 + data[0] % 37 : 1;
+  std::size_t offset = 0;
+  while (offset < size) {
+    const std::size_t n = std::min(chunk, size - offset);
+    reader.feed(std::span<const std::uint8_t>(data + offset, n));
+    offset += n;
+    while (auto frame = reader.next()) {
+      if (reader.error().has_value()) std::abort();  // poisoned readers stop
+      check_payload(*frame);
+    }
+  }
+  // The payload bytes themselves, unframed, are also attacker input.
+  check_payload(std::span<const std::uint8_t>(data, size));
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fuzz target: ssdeep::parse_digest on arbitrary text.
+//
+// Contract under test: parse_digest never crashes or reads out of
+// bounds, and every digest it accepts round-trips — to_string() of the
+// parsed value re-parses to an equal value. A round-trip failure means
+// the parser and printer disagree about the canonical form, which would
+// corrupt models (digests are stored as text rows in the preamble).
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string_view>
+
+#include "ssdeep/digest.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const std::optional<fhc::ssdeep::FuzzyDigest> digest =
+      fhc::ssdeep::parse_digest(text);
+  if (digest.has_value()) {
+    if (!fhc::ssdeep::valid_blocksize(digest->blocksize)) std::abort();
+    const std::optional<fhc::ssdeep::FuzzyDigest> again =
+        fhc::ssdeep::parse_digest(digest->to_string());
+    if (!again.has_value() || *again != *digest) std::abort();
+  }
+  return 0;
+}

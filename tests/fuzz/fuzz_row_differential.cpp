@@ -1,0 +1,102 @@
+// Differential fuzz target: the gram-indexed feature-row fill against
+// the all-pairs oracle, on fuzzer-shaped digest sets.
+//
+// The input is split on newlines; every line that parses as a fuzzy
+// digest becomes one single-channel training sample (labels round-robin
+// over up to 4 classes). For a handful of the samples we then assert
+//
+//   fill_feature_row(...) == fill_feature_row_all_pairs(...)
+//
+// bit-for-bit, for both edit metrics and with/without leave-self-out.
+// The gram index is a *pruning* structure: any divergence from the
+// exhaustive scan means the index dropped (or invented) a candidate —
+// silently wrong similarity features, the worst failure mode a
+// classifier can have. unit tests cover curated digests; this target
+// lets the fuzzer search for pathological blocksize/length combinations
+// the curated set misses.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/feature_matrix.hpp"
+#include "core/features.hpp"
+#include "ssdeep/compare.hpp"
+#include "ssdeep/digest.hpp"
+
+namespace {
+
+constexpr std::size_t kMaxSamples = 64;  // keep one input cheap
+constexpr std::size_t kMaxChecked = 8;   // rows asserted per input
+
+void check_rows_equal(std::span<const float> indexed,
+                      std::span<const float> oracle) {
+  if (indexed.size() != oracle.size()) std::abort();
+  for (std::size_t i = 0; i < indexed.size(); ++i) {
+    // Bit-identity, including signed zero; both paths compute the same
+    // max over the same candidate scores or the column stays 0.
+    if (std::memcmp(&indexed[i], &oracle[i], sizeof(float)) != 0) std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  std::vector<fhc::core::FeatureHashes> samples;
+  std::size_t pos = 0;
+  while (pos <= text.size() && samples.size() < kMaxSamples) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    if (const auto digest = fhc::ssdeep::parse_digest(line)) {
+      fhc::core::FeatureHashes sample;
+      sample.file = *digest;  // single populated channel is enough to probe
+      samples.push_back(std::move(sample));
+    }
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  if (samples.size() < 2) return 0;  // need at least two classes
+
+  const std::size_t n_classes = std::min<std::size_t>(samples.size(), 4);
+  std::vector<int> labels(samples.size());
+  std::vector<std::string> names;
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    names.push_back("class" + std::to_string(c));
+  }
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    labels[i] = static_cast<int>(i % n_classes);
+  }
+
+  const fhc::core::TrainIndex index(samples, labels, names);
+  const std::size_t row_width = index.n_channels() * n_classes;
+  std::vector<float> indexed(row_width);
+  std::vector<float> oracle(row_width);
+
+  const fhc::ssdeep::EditMetric metrics[] = {
+      fhc::ssdeep::EditMetric::kDamerauOsa,
+      fhc::ssdeep::EditMetric::kWeightedLevenshtein};
+  const std::size_t checked = std::min(samples.size(), kMaxChecked);
+  for (std::size_t i = 0; i < checked; ++i) {
+    for (const fhc::ssdeep::EditMetric metric : metrics) {
+      for (const int exclude : {-1, static_cast<int>(i)}) {
+        std::fill(indexed.begin(), indexed.end(), -1.0f);
+        std::fill(oracle.begin(), oracle.end(), -2.0f);
+        fhc::core::fill_feature_row(index, samples[i], metric, exclude,
+                                    indexed);
+        fhc::core::fill_feature_row_all_pairs(index, samples[i], metric,
+                                              exclude, oracle);
+        check_rows_equal(indexed, oracle);
+      }
+    }
+  }
+  return 0;
+}

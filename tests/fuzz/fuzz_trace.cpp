@@ -1,0 +1,35 @@
+// Fuzz target: runtime trace ingestion (perf CSV / line-JSON sniffing)
+// and the fingerprint pipeline behind it.
+//
+// Contracts under test:
+//  * parse_trace either returns a trace or throws std::runtime_error —
+//    never crashes on arbitrary text (this is the `exe@trace` side door
+//    into fhc_classify / fhc_serve, fed by whatever file the operator
+//    names).
+//  * Every trace that parses must fingerprint and attach: the
+//    normalization (rates, z-scores, quantization) has to tolerate
+//    pathological series — one sample, identical timestamps, zero
+//    variance, infinities from tiny intervals — without UB or throwing.
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "core/features.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/trace.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  fhc::runtime::CounterTrace trace;
+  try {
+    trace = fhc::runtime::parse_trace(text);
+  } catch (const std::runtime_error&) {
+    return 0;  // malformed trace: the only acceptable failure mode
+  }
+  // Parsed traces must survive the whole runtime-channel pipeline.
+  (void)fhc::runtime::fingerprint_bytes(trace);
+  fhc::core::FeatureHashes sample;
+  fhc::runtime::attach_trace(sample, trace);
+  return 0;
+}

@@ -1,0 +1,269 @@
+// Seed-corpus generator: writes one minimized, structure-bearing seed
+// set per fuzz target under OUTDIR/<target>/.
+//
+//   make_seed_corpus OUTDIR
+//
+// The seeds are produced by the *real* producers — ssdeep::fuzzy_hash,
+// elf::write_elf, FuzzyHashClassifier::save/save_binary/save_binary_v1,
+// the net encode_* helpers — so every seed starts deep inside the
+// parsers' accept states and mutation explores the interesting
+// boundaries instead of bouncing off the magic check. Deterministic:
+// re-running regenerates byte-identical corpora (the corpora are
+// checked in; this tool exists to regenerate them when formats evolve).
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "elf/elf_writer.hpp"
+#include "net/protocol.hpp"
+#include "runtime/fingerprint.hpp"
+#include "ssdeep/fuzzy_hash.hpp"
+#include "util/rng.hpp"
+
+using namespace fhc;
+
+namespace {
+
+std::filesystem::path g_outdir;
+
+void write_seed(const std::string& target, const std::string& name,
+                std::string_view bytes) {
+  const std::filesystem::path dir = g_outdir / target;
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "make_seed_corpus: cannot write %s/%s\n",
+                 target.c_str(), name.c_str());
+    std::exit(1);
+  }
+}
+
+void write_seed(const std::string& target, const std::string& name,
+                const std::vector<std::uint8_t>& bytes) {
+  write_seed(target, name,
+             std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size()));
+}
+
+/// Deterministic pseudo-text with enough repetition to drive ssdeep's
+/// rolling hash through several chunk boundaries.
+std::string synth_text(std::uint64_t seed, std::size_t length) {
+  util::Rng rng(seed);
+  std::string text;
+  text.reserve(length);
+  static constexpr std::string_view kWords[] = {
+      "mpi_allreduce", "dgemm",  "halo",  "exchange", "solver",
+      "miner",         "sha256", "nonce", "stratum",  "checkpoint"};
+  while (text.size() < length) {
+    text += kWords[rng.next_below(std::size(kWords))];
+    text += rng.next_below(8) == 0 ? '\n' : '_';
+  }
+  return text;
+}
+
+std::vector<std::uint8_t> synth_bytes(std::uint64_t seed, std::size_t length) {
+  const std::string text = synth_text(seed, length);
+  return {text.begin(), text.end()};
+}
+
+/// A tiny fitted classifier shared by the model seeds.
+core::FuzzyHashClassifier make_model(bool calibrated) {
+  std::vector<core::FeatureHashes> hashes;
+  std::vector<int> labels;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < (calibrated ? 6 : 3); ++i) {
+      core::FeatureHashes sample;
+      const std::uint64_t seed =
+          static_cast<std::uint64_t>(c) * 100 + static_cast<std::uint64_t>(i);
+      sample.file = ssdeep::fuzzy_hash(synth_text(seed, 2048));
+      sample.strings = ssdeep::fuzzy_hash(synth_text(seed + 31, 1024));
+      sample.symbols = ssdeep::fuzzy_hash(synth_text(seed + 67, 512));
+      hashes.push_back(std::move(sample));
+      labels.push_back(c);
+    }
+  }
+  core::ClassifierConfig config;
+  config.forest.n_estimators = 8;
+  config.forest.seed = 7;
+  if (calibrated) {
+    config.calibrate_rejection = true;
+    config.calibration_target_fpr = 0.1;
+  }
+  core::FuzzyHashClassifier model;
+  model.fit(hashes, labels, {"lammps", "gromacs", "miner"}, config);
+  return model;
+}
+
+void seed_parse_digest() {
+  const std::string target = "fuzz_parse_digest";
+  int n = 0;
+  for (const std::size_t length : {16, 256, 4096, 65536}) {
+    const auto digest =
+        ssdeep::fuzzy_hash(synth_text(static_cast<std::uint64_t>(length), length));
+    write_seed(target, "digest" + std::to_string(n++), digest.to_string());
+  }
+  write_seed(target, "minimal", "3::");
+  write_seed(target, "no_part2", "6:abc:");
+  write_seed(target, "bad_blocksize", "7:abc:def");
+  write_seed(target, "overlong",
+             "3:" + std::string(ssdeep::kSpamsumLength + 1, 'A') + ":x");
+}
+
+void seed_elf_reader() {
+  const std::string target = "fuzz_elf_reader";
+  elf::ElfSpec spec;
+  spec.text = synth_bytes(1, 512);
+  spec.rodata = synth_bytes(2, 256);
+  spec.comment = "GCC: (GNU) 12.2.0";
+  spec.symbols = {{.name = "mpi_init_"},
+                  {.name = "solve_step", .value = 16},
+                  {.name = "checkpoint_write", .value = 128, .size = 64}};
+  write_seed(target, "full", elf::write_elf(spec));
+  elf::ElfSpec stripped = spec;
+  stripped.stripped = true;
+  stripped.symbols.clear();
+  write_seed(target, "stripped", elf::write_elf(stripped));
+  elf::ElfSpec tiny;
+  tiny.text = {0xc3};
+  write_seed(target, "tiny", elf::write_elf(tiny));
+  write_seed(target, "not_elf", synth_text(3, 128));
+  write_seed(target, "magic_only", std::string_view("\x7f"
+                                                    "ELF",
+                                                    4));
+}
+
+void seed_model_load() {
+  const std::string target = "fuzz_model_load";
+  const core::FuzzyHashClassifier plain = make_model(false);
+  const core::FuzzyHashClassifier calibrated = make_model(true);
+  std::ostringstream text;
+  plain.save(text);
+  write_seed(target, "text_model", text.str());
+  std::ostringstream text_cal;
+  calibrated.save(text_cal);
+  write_seed(target, "text_model_calibrated", text_cal.str());
+  std::ostringstream v1;
+  plain.save_binary_v1(v1);
+  write_seed(target, "binary_v1", v1.str());
+  std::ostringstream v2;
+  plain.save_binary(v2);
+  write_seed(target, "binary_v2", v2.str());
+  std::ostringstream v2_cal;
+  calibrated.save_binary(v2_cal);
+  write_seed(target, "binary_v2_calibrated", v2_cal.str());
+  write_seed(target, "magic_only_v2", core::kBinaryModelMagicV2);
+  // Hand-rolled preamble with a calibration line and huge declared
+  // counts: the ancestor of the kMaxModelClasses / kMaxModelTrainRows
+  // findings. Mutations of the count fields probe the caps directly.
+  write_seed(target, "header_counts",
+             "fhc-fuzzy-hash-classifier-v1\nmetric 0\nthreshold 0.5\n"
+             "balanced 1\ncalibration 0.25 0.05 12\nchannels 1 1 1\n"
+             "classes 2\nalpha\nbeta\ntrain 0\n");
+}
+
+void seed_net_frame() {
+  const std::string target = "fuzz_net_frame";
+  std::string frame;
+  const std::vector<std::string> digests = {
+      ssdeep::fuzzy_hash(synth_text(10, 2048)).to_string(),
+      ssdeep::fuzzy_hash(synth_text(11, 1024)).to_string(),
+      ssdeep::fuzzy_hash(synth_text(12, 512)).to_string()};
+  net::encode_classify_digests(frame, digests);
+  write_seed(target, "classify_digests", frame);
+  frame.clear();
+  net::encode_classify_path(frame, "/opt/apps/solver@run.trace.csv");
+  write_seed(target, "classify_path", frame);
+  frame.clear();
+  net::encode_stats(frame);
+  net::encode_ping(frame);
+  net::encode_quit(frame);
+  write_seed(target, "control_pipeline", frame);
+  frame.clear();
+  net::encode_reload(frame, "/var/lib/fhc/model.fhcb");
+  write_seed(target, "reload", frame);
+  frame.clear();
+  net::encode_prediction(frame, 2, false, 0.875, 1234, "gromacs");
+  write_seed(target, "prediction_known", frame);
+  frame.clear();
+  net::encode_prediction(frame, -1, true, 0.31, 99, "");
+  write_seed(target, "prediction_unknown", frame);
+  frame.clear();
+  net::encode_ok(frame, "model.fhcb");
+  net::encode_stats_text(frame, "requests=4 unknown_flagged=1");
+  net::encode_error(frame, "bad digest");
+  net::encode_busy(frame, "queue full");
+  write_seed(target, "response_pipeline", frame);
+}
+
+void seed_trace() {
+  const std::string target = "fuzz_trace";
+  std::string csv;
+  for (int interval = 1; interval <= 8; ++interval) {
+    for (const char* event : {"cycles", "instructions", "cache-misses"}) {
+      csv += std::to_string(interval) + ".000501,"
+             + std::to_string(1000000 * interval) + ",,"
+             + event + ",1000000,100.00,,\n";
+    }
+  }
+  write_seed(target, "perf_csv", csv);
+  std::string json;
+  for (int interval = 1; interval <= 4; ++interval) {
+    json += "{\"interval\" : " + std::to_string(interval) +
+            ".000501, \"counter-value\" : \"" +
+            std::to_string(500000 * interval) +
+            ".000000\", \"event\" : \"cycles\"}\n";
+  }
+  write_seed(target, "perf_json", json);
+  write_seed(target, "not_counted",
+             "1.0,<not counted>,,cycles,0,0.00,,\n2.0,123,,cycles,1,50.0,,\n");
+  write_seed(target, "single_sample", "1.0,42,,cycles,1,100.0,,\n");
+  write_seed(target, "zero_variance",
+             "1.0,100,,cycles,1,100.0,,\n2.0,100,,cycles,1,100.0,,\n"
+             "3.0,100,,cycles,1,100.0,,\n");
+}
+
+void seed_row_differential() {
+  const std::string target = "fuzz_row_differential";
+  // Digest lists: blocksize ladders are where index pruning must agree
+  // with the exhaustive scan (comparable blocksizes differ by one step).
+  std::string ladder;
+  for (const std::size_t length : {64, 512, 2048, 8192, 32768, 131072}) {
+    ladder += ssdeep::fuzzy_hash(
+                  synth_text(static_cast<std::uint64_t>(length) + 5, length))
+                  .to_string() +
+              "\n";
+  }
+  write_seed(target, "blocksize_ladder", ladder);
+  std::string similar;
+  for (int i = 0; i < 8; ++i) {
+    std::string text = synth_text(77, 4096);
+    text.insert(static_cast<std::size_t>(i) * 100, "variant");
+    similar += ssdeep::fuzzy_hash(text).to_string() + "\n";
+  }
+  write_seed(target, "near_duplicates", similar);
+  write_seed(target, "short_parts", "3:AAAA:AA\n3:BBBB:BB\n6:CCCC:CC\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_seed_corpus OUTDIR\n");
+    return 2;
+  }
+  g_outdir = argv[1];
+  seed_parse_digest();
+  seed_elf_reader();
+  seed_model_load();
+  seed_net_frame();
+  seed_trace();
+  seed_row_differential();
+  std::printf("make_seed_corpus: corpora written under %s\n", argv[1]);
+  return 0;
+}

@@ -78,7 +78,8 @@ TEST(NetProtocol, PredictionRoundTripIsBitExact) {
   // short decimal representation must survive unchanged.
   const double confidence = 0.1 + 0.2 + 1.0 / 3.0;
   std::string wire;
-  encode_prediction(wire, -1, confidence, 123456789012345ull, "miniapp_lulesh");
+  encode_prediction(wire, -1, /*is_unknown=*/true, confidence,
+                    123456789012345ull, "miniapp_lulesh");
 
   FrameReader reader;
   reader.feed(wire);
@@ -88,10 +89,54 @@ TEST(NetProtocol, PredictionRoundTripIsBitExact) {
   ASSERT_EQ(decode_response(*payload, response), DecodeStatus::kOk);
   EXPECT_EQ(response.op, Opcode::kPrediction);
   EXPECT_EQ(response.label, -1);
+  EXPECT_TRUE(response.is_unknown);
   EXPECT_EQ(std::bit_cast<std::uint64_t>(response.confidence),
             std::bit_cast<std::uint64_t>(confidence));
   EXPECT_EQ(response.server_micros, 123456789012345ull);
   EXPECT_EQ(response.text, "miniapp_lulesh");
+}
+
+TEST(NetProtocol, PredictionFlagsByteCarriesUnknown) {
+  std::string wire;
+  encode_prediction(wire, 4, /*is_unknown=*/false, 0.9, 1, "known_app");
+  encode_prediction(wire, -1, /*is_unknown=*/true, 0.2, 2, "");
+
+  FrameReader reader;
+  reader.feed(wire);
+  Response known;
+  Response unknown;
+  auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  ASSERT_EQ(decode_response(*payload, known), DecodeStatus::kOk);
+  payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  ASSERT_EQ(decode_response(*payload, unknown), DecodeStatus::kOk);
+  EXPECT_FALSE(known.is_unknown);
+  EXPECT_EQ(known.label, 4);
+  EXPECT_TRUE(unknown.is_unknown);
+  EXPECT_EQ(unknown.label, -1);
+}
+
+TEST(NetProtocol, PredictionReservedFlagBitsAreMalformed) {
+  // Bits 1..7 of the flags byte are reserved must-be-zero: a peer
+  // setting them speaks a protocol revision we don't, and guessing at
+  // the rest of the body would be worse than rejecting the frame.
+  std::string wire;
+  encode_prediction(wire, 0, /*is_unknown=*/true, 0.5, 7, "app");
+  std::vector<std::uint8_t> payload(wire.begin() + kFrameHeaderSize, wire.end());
+  const std::size_t flags_at = 1 + 4;  // opcode + i32 label
+  ASSERT_EQ(payload[flags_at], kPredictionFlagUnknown);
+  for (int bit = 1; bit < 8; ++bit) {
+    std::vector<std::uint8_t> poked = payload;
+    poked[flags_at] |= static_cast<std::uint8_t>(1u << bit);
+    Response response;
+    EXPECT_EQ(decode_response(poked, response), DecodeStatus::kMalformed)
+        << "reserved bit " << bit;
+  }
+  // Sanity: the unpoked payload still decodes.
+  Response response;
+  EXPECT_EQ(decode_response(payload, response), DecodeStatus::kOk);
+  EXPECT_TRUE(response.is_unknown);
 }
 
 TEST(NetProtocol, TextResponsesRoundTrip) {
@@ -162,7 +207,7 @@ TEST(NetProtocol, TruncationAtEveryDepthIsMalformed) {
   EXPECT_EQ(decode_request(payload, request), DecodeStatus::kOk);
 
   std::string response_wire;
-  encode_prediction(response_wire, 3, 0.5, 42, "npb_ft");
+  encode_prediction(response_wire, 3, false, 0.5, 42, "npb_ft");
   const std::vector<std::uint8_t> response_payload(
       response_wire.begin() + kFrameHeaderSize, response_wire.end());
   for (std::size_t depth = 0; depth < response_payload.size(); ++depth) {

@@ -84,6 +84,7 @@ void expect_prediction_matches(const Response& response,
                                const core::Prediction& expected) {
   ASSERT_EQ(response.op, Opcode::kPrediction);
   EXPECT_EQ(response.label, expected.label);
+  EXPECT_EQ(response.is_unknown, expected.is_unknown);
   // Bit-identical, not approximately equal: the wire carries the f64 bit
   // pattern and the service layer guarantees the serial path's bits.
   EXPECT_EQ(std::bit_cast<std::uint64_t>(response.confidence),
@@ -155,6 +156,39 @@ TEST(SocketServer, UnixRepliesBitIdenticalToSerialPredict) {
       EXPECT_TRUE(response.text.empty());
     }
   }
+}
+
+TEST(SocketServer, UnknownFlagTravelsTheWireBitIdentically) {
+  // Open-set rejection through the socket path: the strict model flags
+  // every query unknown, the PREDICTION frame must carry the flag and
+  // label -1 exactly as serial predict decides, and the daemon's STATS
+  // line must count the rejections.
+  const Fixture& fx = fixture();
+  TestDaemon daemon(clone(fx.strict_model));
+  BlockingClient client;
+  ASSERT_EQ(client.connect(daemon.unix_endpoint(), /*retries=*/20), "");
+  for (const core::FeatureHashes& query : fx.queries) {
+    ASSERT_TRUE(client.send_bytes(classify_frame(query)));
+    Response response;
+    std::string error;
+    ASSERT_TRUE(client.read_response(response, &error)) << error;
+    const core::Prediction expected = fx.strict_model.predict(query);
+    ASSERT_TRUE(expected.is_unknown);  // fixture invariant
+    expect_prediction_matches(response, expected);
+    EXPECT_EQ(response.label, -1);
+    EXPECT_TRUE(response.text.empty());
+  }
+  std::string stats_wire;
+  encode_stats(stats_wire);
+  ASSERT_TRUE(client.send_bytes(stats_wire));
+  Response stats;
+  std::string error;
+  ASSERT_TRUE(client.read_response(stats, &error)) << error;
+  ASSERT_EQ(stats.op, Opcode::kStatsText);
+  EXPECT_NE(stats.text.find("unknown_flagged=" +
+                            std::to_string(fx.queries.size())),
+            std::string::npos)
+      << stats.text;
 }
 
 TEST(SocketServer, TcpRepliesMatchUnixReplies) {

@@ -443,6 +443,46 @@ TEST(ClassificationService, ConnectionCountersTrackTheSocketFrontEnd) {
   EXPECT_EQ(svc.stats().connections_active, 0u);
 }
 
+TEST(ClassificationService, UnknownFlaggedCountsRejectionsIncludingCacheHits) {
+  const Fixture& fx = fixture();
+  // strict_model (threshold 1.01) rejects everything; the counter must
+  // see every completed request, whether it was scored or answered by
+  // the cache.
+  ClassificationService strict(clone(fx.strict_model));
+  const auto first = strict.classify_batch(fx.queries);
+  for (const core::Prediction& pred : first) {
+    EXPECT_TRUE(pred.is_unknown);
+    EXPECT_EQ(pred.label, ml::kUnknownLabel);
+  }
+  EXPECT_EQ(strict.stats().unknown_flagged, fx.queries.size());
+  strict.classify_batch(fx.queries);  // all cache hits
+  const ServiceStats stats = strict.stats();
+  EXPECT_GE(stats.cache_hits, fx.queries.size());
+  EXPECT_EQ(stats.unknown_flagged, 2 * fx.queries.size());
+
+  // A permissive model never bumps the counter.
+  ClassificationService relaxed(clone(fx.model));
+  std::size_t expected = 0;
+  for (const core::Prediction& pred : relaxed.classify_batch(fx.queries)) {
+    if (pred.is_unknown) ++expected;
+  }
+  EXPECT_EQ(relaxed.stats().unknown_flagged, expected);
+}
+
+TEST(ClassificationService, UnknownFlagBitIdenticalToSerialPredict) {
+  // The service's is_unknown must be the serial path's decision exactly —
+  // the socket front-end forwards this bit verbatim, so any divergence
+  // here is a wire-visible lie.
+  const Fixture& fx = fixture();
+  ClassificationService svc(clone(fx.strict_model));
+  const auto batch = svc.classify_batch(fx.queries);
+  for (std::size_t i = 0; i < fx.queries.size(); ++i) {
+    const core::Prediction serial = fx.strict_model.predict(fx.queries[i]);
+    EXPECT_EQ(batch[i].is_unknown, serial.is_unknown) << "query " << i;
+    expect_identical(batch[i], serial);
+  }
+}
+
 TEST(CommandHandler, StatsLineCarriesAdmissionCounters) {
   const Fixture& fx = fixture();
   ClassificationService svc(clone(fx.model));
@@ -455,6 +495,7 @@ TEST(CommandHandler, StatsLineCarriesAdmissionCounters) {
   EXPECT_NE(line.find("requests_rejected=0"), std::string::npos);
   EXPECT_NE(line.find("queue_depth=0"), std::string::npos);
   EXPECT_NE(line.find("requests="), std::string::npos);
+  EXPECT_NE(line.find("unknown_flagged=0"), std::string::npos);
   EXPECT_NE(line.find("p99_ms="), std::string::npos);
 }
 

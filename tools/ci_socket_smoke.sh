@@ -13,7 +13,7 @@ TOOLS="$BUILD_DIR/tools"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
-for tool in fhc_train fhc_serve fhc_loadgen fhc_hash fhc_classify; do
+for tool in fhc_train fhc_serve fhc_loadgen fhc_hash fhc_classify fhc_inspect; do
   if [ ! -x "$TOOLS/$tool" ]; then
     echo "error: $TOOLS/$tool not built" >&2
     exit 2
@@ -28,7 +28,17 @@ cp "$TOOLS/fhc_hash"  "$WORK/corpus/ToolHash/1.0/b"
 cp "$TOOLS/fhc_train" "$WORK/corpus/ToolTrain/1.0/a"
 cp "$TOOLS/fhc_train" "$WORK/corpus/ToolTrain/1.0/b"
 
-"$TOOLS/fhc_train" --binary "$WORK/corpus" "$WORK/smoke.fhcb"
+# --calibrate fits an open-set rejection threshold on a held-out split;
+# fhc_inspect then acts as the model fsck (non-zero on a malformed or
+# missing calibration block).
+"$TOOLS/fhc_train" --binary --calibrate "$WORK/corpus" "$WORK/smoke.fhcb"
+# No pipe: set -e must see fhc_inspect's own exit status (model fsck).
+"$TOOLS/fhc_inspect" "$WORK/smoke.fhcb" > "$WORK/inspect.out"
+cat "$WORK/inspect.out"
+grep -q "calibration: reject below" "$WORK/inspect.out" || {
+  echo "error: calibrated model missing calibration block" >&2
+  exit 1
+}
 
 SOCK="$WORK/ci.sock"
 "$TOOLS/fhc_serve" "$WORK/smoke.fhcb" --unix "$SOCK" &
@@ -40,8 +50,17 @@ SERVE_PID=$!
 # shutdown frame after the run.
 "$TOOLS/fhc_loadgen" --unix "$SOCK" \
   --connections 8 --pipeline 4 --requests 32 --retries 100 \
-  --expect-all --stats --quit \
+  --expect-all --stats \
   "$TOOLS/fhc_classify" "$TOOLS/fhc_hash"
+
+# Open-set assertion: binaries the calibrated model was trained on must
+# come back as known classes (--expect-known fails on any PREDICTION
+# carrying the unknown flag). Only corpus members qualify — fhc_classify
+# above is deliberately foreign traffic and may legitimately be flagged.
+"$TOOLS/fhc_loadgen" --unix "$SOCK" \
+  --connections 2 --pipeline 2 --requests 8 --retries 100 \
+  --expect-all --expect-known --quit \
+  "$TOOLS/fhc_train" "$TOOLS/fhc_hash"
 
 wait "$SERVE_PID"
 echo "socket e2e smoke: OK (clean daemon exit)"

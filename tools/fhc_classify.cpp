@@ -1,7 +1,12 @@
 // fhc-classify: label executables with a trained model (the Slurm-prolog
 // side of the paper's envisioned workflow).
 //
-//   fhc_classify MODEL FILE[@TRACE]...
+//   fhc_classify [--unknown-threshold T] MODEL FILE[@TRACE]...
+//
+// --unknown-threshold T overrides the model's unknown-rejection floor
+// for this run: predictions whose winning probability falls below T are
+// flagged -1 (exit code 3) regardless of the model's trained or
+// calibrated threshold — the deployment-side open-set knob.
 //
 // All readable files are hashed up front and scored through a single
 // predict_batch pass (one parallel feature-matrix build instead of a
@@ -23,6 +28,8 @@
 //   3  at least one file was flagged unknown
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -34,9 +41,27 @@
 using namespace fhc;
 
 int main(int argc, char** argv) {
+  bool have_unknown_threshold = false;
+  double unknown_threshold = 0.0;
+  while (argc > 1 && std::strncmp(argv[1], "--", 2) == 0) {
+    if (std::strcmp(argv[1], "--unknown-threshold") == 0 && argc > 2) {
+      have_unknown_threshold = true;
+      unknown_threshold = std::atof(argv[2]);
+      if (unknown_threshold < 0.0 || unknown_threshold > 1.0) {
+        std::fprintf(stderr,
+                     "fhc_classify: --unknown-threshold must be in [0,1]\n");
+        return 2;
+      }
+      argc -= 2;
+      argv += 2;
+    } else {
+      std::fprintf(stderr, "fhc_classify: unknown option %s\n", argv[1]);
+      return 2;
+    }
+  }
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: fhc_classify MODEL FILE[@TRACE]...\n"
+                 "usage: fhc_classify [--unknown-threshold T] MODEL FILE[@TRACE]...\n"
                  "exit codes: 0 all files known; 1 read/extract error (wins over 3);\n"
                  "            2 usage or model-load error; 3 some file unknown\n");
     return 2;
@@ -49,6 +74,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fhc_classify: %s\n", e.what());
     return 2;
   }
+  if (have_unknown_threshold) classifier.set_unknown_threshold(unknown_threshold);
 
   std::vector<const char*> paths;       // arguments that hashed successfully
   std::vector<core::FeatureHashes> samples;  // parallel to paths

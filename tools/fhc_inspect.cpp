@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstring>
 #include <numeric>
+#include <sstream>
 #include <string>
 #include <string_view>
 
@@ -47,6 +48,54 @@ void print_preamble_counts(std::string_view text) {
     if (nl == std::string_view::npos) return;
     pos = nl + 1;
   }
+}
+
+/// Validates the optional open-set calibration line in the preamble
+/// header: "calibration <threshold> <target_fpr> <holdout_count>" with
+/// threshold/target_fpr in [0,1]. holdout_count 0 marks a manual
+/// deployment override (--unknown-threshold) rather than a fit-time
+/// calibration. Absent means the legacy "never reject" default. Returns
+/// non-zero (and reports on stderr) when the line is present but
+/// malformed — a model that would refuse to load.
+int check_calibration(std::string_view text) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    if (line.rfind("calibration ", 0) == 0) {
+      std::istringstream fields{std::string(line.substr(12))};
+      double threshold = 0.0;
+      double target_fpr = 0.0;
+      std::uint32_t holdout = 0;
+      std::string extra;
+      if (!(fields >> threshold >> target_fpr >> holdout) || (fields >> extra) ||
+          threshold < 0.0 || threshold > 1.0 || target_fpr < 0.0 ||
+          target_fpr > 1.0) {
+        std::fprintf(stderr,
+                     "fhc_inspect: MISMATCH: malformed calibration line "
+                     "'%.*s'\n",
+                     static_cast<int>(line.size()), line.data());
+        return 1;
+      }
+      if (holdout == 0) {
+        std::printf("  calibration: reject below %.6f (manual override)\n",
+                    threshold);
+      } else {
+        std::printf(
+            "  calibration: reject below %.6f (target FPR %.3f, %u held out)\n",
+            threshold, target_fpr, holdout);
+      }
+      return 0;
+    }
+    // The calibration line can only sit in the config block, before the
+    // class-name lines (which may contain arbitrary text).
+    if (line.rfind("classes ", 0) == 0) break;
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  std::printf("  calibration: none (never reject beyond the threshold)\n");
+  return 0;
 }
 
 int inspect_v2(const util::ModelMap& map) {
@@ -159,8 +208,10 @@ int inspect_v2(const util::ModelMap& map) {
                 "sections agree\n");
   }
   const auto preamble = view.section("preamble");
-  print_preamble_counts(std::string_view(
-      reinterpret_cast<const char*>(preamble.data()), preamble.size()));
+  const std::string_view preamble_text(
+      reinterpret_cast<const char*>(preamble.data()), preamble.size());
+  print_preamble_counts(preamble_text);
+  if (check_calibration(preamble_text) != 0) status = 1;
   return status;
 }
 
@@ -181,10 +232,11 @@ int inspect_v1(const util::ModelMap& map) {
   std::printf("preamble: %" PRIu64 " bytes; forest image: %zu bytes\n",
               preamble_size,
               bytes.size() - 16 - static_cast<std::size_t>(preamble_size));
-  print_preamble_counts(
-      std::string_view(reinterpret_cast<const char*>(bytes.data()) + 16,
-                       static_cast<std::size_t>(preamble_size)));
-  return 0;
+  const std::string_view preamble_text(
+      reinterpret_cast<const char*>(bytes.data()) + 16,
+      static_cast<std::size_t>(preamble_size));
+  print_preamble_counts(preamble_text);
+  return check_calibration(preamble_text);
 }
 
 }  // namespace
@@ -209,6 +261,7 @@ int main(int argc, char** argv) {
     if (first_nl != std::string_view::npos) {
       std::printf("  magic line: %.*s\n", static_cast<int>(first_nl), text.data());
       print_preamble_counts(text.substr(first_nl + 1));
+      return check_calibration(text.substr(first_nl + 1));
     }
     return 0;
   } catch (const std::exception& e) {

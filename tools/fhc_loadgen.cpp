@@ -21,9 +21,14 @@
 //   --quit            send QUIT after the run (graceful daemon shutdown)
 //   --expect-all      exit nonzero unless every reply is a PREDICTION
 //                     (i.e. no BUSY/ERROR)
+//   --expect-known    exit nonzero if any PREDICTION reply carries the
+//                     is_unknown flag — asserts the daemon did not
+//                     silently force-label (or silently reject) samples
+//                     it was trained on
 //
 // Exit codes: 0 success, 1 transport failure or missing replies (or any
-// non-prediction reply under --expect-all), 2 usage error.
+// non-prediction reply under --expect-all, or any unknown-flagged
+// prediction under --expect-known), 2 usage error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,7 +57,8 @@ int usage() {
       "  --retries N      connect retries, 50ms apart (default 40)\n"
       "  --stats          print the daemon STATS line after the run\n"
       "  --quit           send QUIT after the run (daemon shuts down)\n"
-      "  --expect-all     fail unless every reply is a PREDICTION\n");
+      "  --expect-all     fail unless every reply is a PREDICTION\n"
+      "  --expect-known   fail if any prediction is flagged unknown\n");
   return 2;
 }
 
@@ -113,6 +119,7 @@ int main(int argc, char** argv) {
   bool want_stats = false;
   bool want_quit = false;
   bool expect_all = false;
+  bool expect_known = false;
   std::vector<std::string> specs;
 
   for (int i = 1; i < argc; ++i) {
@@ -159,6 +166,8 @@ int main(int argc, char** argv) {
       want_quit = true;
     } else if (arg == "--expect-all") {
       expect_all = true;
+    } else if (arg == "--expect-known") {
+      expect_known = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "fhc_loadgen: unknown option '%s'\n", arg.c_str());
       return usage();
@@ -191,10 +200,11 @@ int main(int argc, char** argv) {
   const double rps =
       result.elapsed_s > 0.0 ? result.replies() / result.elapsed_s : 0.0;
   std::printf(
-      "sent=%zu predictions=%zu busy=%zu errors=%zu elapsed_s=%.3f\n"
+      "sent=%zu predictions=%zu unknown=%zu busy=%zu errors=%zu elapsed_s=%.3f\n"
       "rps=%.1f p50_ms=%.2f p99_ms=%.2f max_ms=%.2f\n",
-      result.sent, result.predictions, result.busy, result.errors,
-      result.elapsed_s, rps, result.p50_ms, result.p99_ms, result.max_ms);
+      result.sent, result.predictions, result.unknown, result.busy,
+      result.errors, result.elapsed_s, rps, result.p50_ms, result.p99_ms,
+      result.max_ms);
 
   if (!result.ok()) {
     std::fprintf(stderr, "fhc_loadgen: %s\n", result.failure.c_str());
@@ -240,6 +250,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "fhc_loadgen: --expect-all: %zu busy, %zu error replies\n",
                  result.busy, result.errors);
+    return 1;
+  }
+  if (expect_known && result.unknown > 0) {
+    std::fprintf(stderr,
+                 "fhc_loadgen: --expect-known: %zu of %zu predictions "
+                 "flagged unknown\n",
+                 result.unknown, result.predictions);
     return 1;
   }
   return 0;

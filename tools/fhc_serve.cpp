@@ -89,6 +89,9 @@ int usage() {
       "  --cache N             prediction cache capacity (default 4096)\n"
       "  --max-queue N         service queue bound; over -> BUSY (default 1024,\n"
       "                        0 = unbounded)\n"
+      "  --unknown-threshold T open-set floor: predictions under max-prob T\n"
+      "                        are flagged unknown (overrides the model's\n"
+      "                        calibrated threshold; survives RELOAD)\n"
       "  --max-connections N   concurrent sockets; over -> BUSY+close (1024)\n"
       "  --max-inflight N      classify requests in flight server-wide (4096)\n"
       "  --pipeline-depth N    replies in flight per connection; over -> BUSY (64)\n"
@@ -118,6 +121,8 @@ int main(int argc, char** argv) {
   net::ServerConfig server_config;
   bool want_stdio = false;
   bool want_socket = false;
+  bool have_unknown_threshold = false;
+  double unknown_threshold = 0.0;
 
   // Legacy positional form: MODEL [max_batch] [cache_capacity], stdio.
   const bool legacy = argc <= 4 && (argc < 3 || argv[2][0] != '-');
@@ -170,6 +175,17 @@ int main(int argc, char** argv) {
         if (text == nullptr || !parse_size(text, service_config.max_queue)) {
           return usage();
         }
+      } else if (arg == "--unknown-threshold") {
+        const char* text = value();
+        char* end = nullptr;
+        unknown_threshold = text != nullptr ? std::strtod(text, &end) : 0.0;
+        if (text == nullptr || end == text || *end != '\0' ||
+            unknown_threshold < 0.0 || unknown_threshold > 1.0) {
+          std::fprintf(stderr,
+                       "fhc_serve: --unknown-threshold must be in [0,1]\n");
+          return usage();
+        }
+        have_unknown_threshold = true;
       } else if (arg == "--max-connections") {
         const char* text = value();
         if (text == nullptr || !parse_size(text, server_config.max_connections)) {
@@ -206,13 +222,20 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<service::ClassificationService> svc;
   try {
-    svc = std::make_unique<service::ClassificationService>(
-        core::FuzzyHashClassifier::load_file(model_path), service_config);
+    core::FuzzyHashClassifier model =
+        core::FuzzyHashClassifier::load_file(model_path);
+    if (have_unknown_threshold) model.set_unknown_threshold(unknown_threshold);
+    svc = std::make_unique<service::ClassificationService>(std::move(model),
+                                                           service_config);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fhc_serve: %s\n", e.what());
     return 1;
   }
   service::CommandHandler handler(*svc);
+  // RELOAD must re-apply the deployment knob to the fresh model.
+  if (have_unknown_threshold) {
+    handler.set_unknown_threshold_override(unknown_threshold);
+  }
 
   if (want_stdio) {
     std::fprintf(stderr, "fhc_serve: model %s loaded, ready (stdio)\n",

@@ -1,7 +1,8 @@
 // fhc-train: train a Fuzzy Hash Classifier from a labelled directory tree
 // and write the model file.
 //
-//   fhc_train [--binary] [--runtime] ROOT MODEL [threshold] [n_trees]
+//   fhc_train [--binary] [--runtime] [--calibrate[=FPR]] ROOT MODEL
+//             [threshold] [n_trees]
 //
 // ROOT follows the sciCORE layout the paper scrapes:
 //   ROOT/<ApplicationClass>/<version>/<executable>
@@ -14,6 +15,13 @@
 // (perf stat -I interval output, CSV or line-JSON — see src/runtime/).
 // Samples without a trace train with an empty runtime digest, exactly like
 // stripped binaries on the symbols channel.
+//
+// --calibrate enables open-set rejection: fit() holds out a stratified
+// slice of the training set, scores it with a calibration forest, and
+// records the FPR-quantile (default 0.05) of the held-out max
+// probabilities in the model as the unknown-rejection threshold —
+// fhc_classify / fhc_serve then flag never-seen applications instead of
+// force-labeling them (paper Table 3's unknown pool).
 //
 // --binary writes the v2 sectioned container ("FHCMDLB2"): prepared
 // digests, per-channel gram indexes, and the forest plan laid out for
@@ -56,11 +64,22 @@ bool is_trace_file(const std::filesystem::path& path) {
 int main(int argc, char** argv) {
   bool binary = false;
   bool runtime = false;
+  bool calibrate = false;
+  double target_fpr = 0.05;
   while (argc > 1) {
     if (std::strcmp(argv[1], "--binary") == 0) {
       binary = true;
     } else if (std::strcmp(argv[1], "--runtime") == 0) {
       runtime = true;
+    } else if (std::strcmp(argv[1], "--calibrate") == 0) {
+      calibrate = true;
+    } else if (std::strncmp(argv[1], "--calibrate=", 12) == 0) {
+      calibrate = true;
+      target_fpr = std::atof(argv[1] + 12);
+      if (target_fpr < 0.0 || target_fpr > 1.0) {
+        std::fprintf(stderr, "fhc_train: --calibrate FPR must be in [0,1]\n");
+        return 2;
+      }
     } else {
       break;
     }
@@ -69,8 +88,8 @@ int main(int argc, char** argv) {
   }
   if (argc < 3 || argc > 5) {
     std::fprintf(stderr,
-                 "usage: fhc_train [--binary] [--runtime] ROOT MODEL "
-                 "[threshold=0.3] [n_trees=200]\n");
+                 "usage: fhc_train [--binary] [--runtime] [--calibrate[=FPR]] "
+                 "ROOT MODEL [threshold=0.3] [n_trees=200]\n");
     return 2;
   }
   const std::filesystem::path root = argv[1];
@@ -128,6 +147,10 @@ int main(int argc, char** argv) {
   core::ClassifierConfig config;
   config.forest.n_estimators = n_trees;
   config.confidence_threshold = threshold;
+  if (calibrate) {
+    config.calibrate_rejection = true;
+    config.calibration_target_fpr = target_fpr;
+  }
   if (runtime) config.channel_set = runtime::runtime_channel_set();
   core::FuzzyHashClassifier classifier;
   try {
@@ -145,6 +168,11 @@ int main(int argc, char** argv) {
   const core::ChannelSet& channels = classifier.index().channels();
   std::printf("%s model written to %s (threshold %.2f, %d trees)\n",
               binary ? "binary" : "text", model_path.c_str(), threshold, n_trees);
+  if (calibrate) {
+    const core::RejectionCalibration& cal = classifier.calibration();
+    std::printf("calibrated unknown threshold %.4f (target FPR %.3f, %u held out)\n",
+                cal.threshold, cal.target_fpr, cal.holdout_count);
+  }
   std::printf("channel importance:");
   for (std::size_t f = 0; f < channels.size(); ++f) {
     std::printf("%s %s %.3f", f == 0 ? "" : ",", channels[f].name.c_str(),
