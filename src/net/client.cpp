@@ -7,6 +7,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <sys/time.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -14,6 +16,8 @@
 #include <deque>
 #include <thread>
 #include <utility>
+
+#include "util/rng.hpp"
 
 namespace fhc::net {
 
@@ -93,11 +97,21 @@ std::string BlockingClient::connect(const Endpoint& endpoint, int retries,
     fd_ = connect_once(endpoint, error);
     if (fd_ >= 0) {
       reader_ = FrameReader();
+      if (recv_timeout_ms_ > 0) set_recv_timeout(recv_timeout_ms_);
       return {};
     }
     if (attempt >= retries) return error;
     std::this_thread::sleep_for(std::chrono::milliseconds(retry_delay_ms));
   }
+}
+
+void BlockingClient::set_recv_timeout(int timeout_ms) {
+  recv_timeout_ms_ = timeout_ms < 0 ? 0 : timeout_ms;
+  if (fd_ < 0) return;  // applied on the next connect()
+  timeval tv{};
+  tv.tv_sec = recv_timeout_ms_ / 1000;
+  tv.tv_usec = (recv_timeout_ms_ % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
 }
 
 void BlockingClient::close() {
@@ -121,30 +135,35 @@ bool BlockingClient::send_bytes(std::string_view bytes) {
   return true;
 }
 
-bool BlockingClient::read_response(Response& out, std::string* error) {
+BlockingClient::ReadStatus BlockingClient::read_response_status(
+    Response& out, std::string* error) {
   for (;;) {
     if (std::optional<std::vector<std::uint8_t>> payload = reader_.next()) {
       const DecodeStatus status = decode_response(*payload, out);
       if (status != DecodeStatus::kOk) {
         if (error != nullptr) *error = "malformed response frame";
-        return false;
+        return ReadStatus::kProtocol;
       }
-      return true;
+      return ReadStatus::kOk;
     }
     if (reader_.error()) {
       if (error != nullptr) *error = *reader_.error();
-      return false;
+      return ReadStatus::kProtocol;
     }
     char buf[65536];
     const ssize_t got = ::recv(fd_, buf, sizeof buf, 0);
     if (got < 0) {
       if (errno == EINTR) continue;
-      if (error != nullptr) *error = errno_string("recv");
-      return false;
+      if (error != nullptr) {
+        *error = (errno == EAGAIN || errno == EWOULDBLOCK)
+                     ? "recv timeout"
+                     : errno_string("recv");
+      }
+      return ReadStatus::kTransport;
     }
     if (got == 0) {
       if (error != nullptr) *error = "connection closed by server";
-      return false;
+      return ReadStatus::kTransport;
     }
     reader_.feed(std::string_view(buf, static_cast<std::size_t>(got)));
   }
@@ -172,6 +191,9 @@ LoadResult run_load(const LoadOptions& options,
     threads.emplace_back([&, c] {
       PerConn& mine = per_conn[c];
       BlockingClient client;
+      if (options.recv_timeout_ms > 0) {
+        client.set_recv_timeout(options.recv_timeout_ms);
+      }
       const std::string connect_error =
           client.connect(options.endpoint, options.connect_retries);
       if (!connect_error.empty()) {
@@ -179,24 +201,82 @@ LoadResult run_load(const LoadOptions& options,
         return;
       }
       mine.latencies_ms.reserve(options.requests);
-      std::deque<Clock::time_point> in_flight;
+
+      // One entry per frame in flight, FIFO like the server's reply
+      // order. Retried frames keep their original start (latency is
+      // time-to-final-reply) and carry the retries they have consumed.
+      struct Pending {
+        std::size_t frame_idx = 0;
+        Clock::time_point start{};
+        int attempts = 0;
+      };
+      std::deque<Pending> in_flight;
       std::size_t sent = 0;
       std::size_t received = 0;
+      int reconnect_budget = options.retries;
+
+      // Deterministic jitter: the same seed and connection index replay
+      // the same backoff schedule (base * 2^attempt capped at 1s, then
+      // jittered into [delay/2, delay] so retry herds decorrelate).
+      util::Rng rng(options.retry_seed + 0x9e3779b97f4a7c15ULL * (c + 1));
+      const auto backoff = [&](int attempt) {
+        const std::int64_t base = std::max(options.backoff_ms, 1);
+        std::int64_t delay = base;
+        for (int i = 0; i < attempt && delay < 1000; ++i) delay *= 2;
+        delay = std::min<std::int64_t>(delay, 1000);
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            rng.uniform_int(delay - delay / 2, delay)));
+      };
+
+      // Transport fault: reconnect and replay everything unanswered, in
+      // order (the old connection's unsent replies are gone with it).
+      const auto reconnect_and_resend = [&]() -> std::string {
+        for (;;) {
+          if (reconnect_budget <= 0) return "retry budget exhausted";
+          --reconnect_budget;
+          ++mine.result.reconnects;
+          backoff(options.retries - reconnect_budget);
+          const std::string error =
+              client.connect(options.endpoint, options.connect_retries);
+          if (!error.empty()) continue;  // budget-bounded, keep trying
+          bool resent = true;
+          for (const Pending& pending : in_flight) {
+            if (!client.send_bytes(frames[pending.frame_idx % frames.size()])) {
+              resent = false;
+              break;
+            }
+          }
+          if (resent) return {};
+        }
+      };
+
       while (received < options.requests) {
         while (sent < options.requests && in_flight.size() < pipeline) {
-          const std::string& frame = frames[sent % frames.size()];
-          in_flight.push_back(Clock::now());
-          if (!client.send_bytes(frame)) {
-            mine.result.failure = "send failed after " +
-                                  std::to_string(sent) + " requests";
-            return;
+          const std::size_t frame_idx = sent;
+          in_flight.push_back(Pending{frame_idx, Clock::now(), 0});
+          if (!client.send_bytes(frames[frame_idx % frames.size()])) {
+            const std::string error = reconnect_and_resend();
+            if (!error.empty()) {
+              mine.result.failure = "send failed after " +
+                                    std::to_string(sent) + " requests (" +
+                                    error + ")";
+              return;
+            }
           }
           ++sent;
           ++mine.result.sent;
         }
         Response response;
         std::string error;
-        if (!client.read_response(response, &error)) {
+        const BlockingClient::ReadStatus status =
+            client.read_response_status(response, &error);
+        if (status == BlockingClient::ReadStatus::kTransport &&
+            reconnect_budget > 0) {
+          const std::string reconnect_error = reconnect_and_resend();
+          if (reconnect_error.empty()) continue;
+          error += "; " + reconnect_error;
+        }
+        if (status != BlockingClient::ReadStatus::kOk) {
           mine.result.failure =
               error + " (after " + std::to_string(received) + "/" +
               std::to_string(options.requests) + " replies)";
@@ -206,9 +286,27 @@ LoadResult run_load(const LoadOptions& options,
           mine.result.failure = "reply without a pending request";
           return;
         }
-        const std::chrono::duration<double, std::milli> took =
-            Clock::now() - in_flight.front();
+        Pending pending = in_flight.front();
         in_flight.pop_front();
+        if (response.op == Opcode::kBusy && pending.attempts < options.retries) {
+          // Absorb the BUSY: back off, re-send the same frame at the
+          // tail of the pipeline (server replies stay in send order).
+          ++mine.result.busy_retries;
+          ++pending.attempts;
+          backoff(pending.attempts);
+          if (!client.send_bytes(frames[pending.frame_idx % frames.size()])) {
+            const std::string reconnect_error = reconnect_and_resend();
+            if (!reconnect_error.empty()) {
+              mine.result.failure = "send failed on retry (" +
+                                    reconnect_error + ")";
+              return;
+            }
+          }
+          in_flight.push_back(pending);
+          continue;
+        }
+        const std::chrono::duration<double, std::milli> took =
+            Clock::now() - pending.start;
         mine.latencies_ms.push_back(took.count());
         ++received;
         switch (response.op) {
@@ -221,6 +319,9 @@ LoadResult run_load(const LoadOptions& options,
             break;
           case Opcode::kError:
             ++mine.result.errors;
+            break;
+          case Opcode::kDeadlineExceeded:
+            ++mine.result.deadline_exceeded;
             break;
           default:  // OK/STATS replies to interleaved control frames
             break;
@@ -238,6 +339,9 @@ LoadResult run_load(const LoadOptions& options,
     total.unknown += conn.result.unknown;
     total.busy += conn.result.busy;
     total.errors += conn.result.errors;
+    total.deadline_exceeded += conn.result.deadline_exceeded;
+    total.busy_retries += conn.result.busy_retries;
+    total.reconnects += conn.result.reconnects;
     if (!conn.result.failure.empty() && total.failure.empty()) {
       total.failure = conn.result.failure;
     }

@@ -42,15 +42,34 @@ class BlockingClient {
   bool connected() const noexcept { return fd_ >= 0; }
   void close();
 
+  /// Bounds every blocking read (SO_RCVTIMEO). 0 restores blocking
+  /// forever. Chaos runs set this so a server whose accept/read path is
+  /// being failed cannot hang the client; a timeout surfaces as a
+  /// kTransport read status.
+  void set_recv_timeout(int timeout_ms);
+
   /// Sends all of `bytes` (one or more pre-encoded frames).
   bool send_bytes(std::string_view bytes);
 
-  /// Blocks for the next response frame. On false, `error` (when given)
-  /// explains: peer closed, framing violation, or malformed response.
-  bool read_response(Response& out, std::string* error = nullptr);
+  /// How a read_response() failure should be handled: transport faults
+  /// (peer closed, reset, recv timeout) are retryable by reconnecting;
+  /// protocol faults (framing violation, malformed response) are not —
+  /// the stream itself cannot be trusted.
+  enum class ReadStatus { kOk, kTransport, kProtocol };
+
+  /// Blocks for the next response frame. On failure, `error` (when
+  /// given) explains: peer closed, framing violation, malformed
+  /// response, or recv timeout.
+  ReadStatus read_response_status(Response& out, std::string* error = nullptr);
+
+  /// Compatibility wrapper: read_response_status() == kOk.
+  bool read_response(Response& out, std::string* error = nullptr) {
+    return read_response_status(out, error) == ReadStatus::kOk;
+  }
 
  private:
   int fd_ = -1;
+  int recv_timeout_ms_ = 0;
   FrameReader reader_;
 };
 
@@ -60,14 +79,33 @@ struct LoadOptions {
   std::size_t pipeline = 8;   // frames in flight per connection
   std::size_t requests = 64;  // total frames per connection
   int connect_retries = 0;
+
+  // Retry policy (off when retries == 0). A BUSY reply is re-sent after
+  // an exponential backoff with jitter (base backoff_ms, doubling per
+  // attempt, capped at 1s); a transport fault (reset/close/timeout)
+  // reconnects and re-sends everything still in flight, in order. Both
+  // draw from the same per-request budget. Protocol violations are
+  // never retried. Backoff jitter is seeded (retry_seed + connection
+  // index), so a load run retries identically every time.
+  int retries = 0;
+  int backoff_ms = 5;
+  std::uint64_t retry_seed = 1;
+
+  // Bounds every blocking read when > 0 (see
+  // BlockingClient::set_recv_timeout) — chaos runs set this so injected
+  // server faults cannot hang the generator.
+  int recv_timeout_ms = 0;
 };
 
 struct LoadResult {
   std::size_t sent = 0;
   std::size_t predictions = 0;
   std::size_t unknown = 0;  // predictions flagged is_unknown (open-set reject)
-  std::size_t busy = 0;    // BUSY replies (admission control)
+  std::size_t busy = 0;    // BUSY replies left standing (budget exhausted / retries off)
   std::size_t errors = 0;  // ERROR replies
+  std::size_t deadline_exceeded = 0;  // DEADLINE_EXCEEDED replies (shed work)
+  std::size_t busy_retries = 0;       // BUSY replies absorbed by re-sending
+  std::size_t reconnects = 0;         // transport faults absorbed by reconnecting
   double elapsed_s = 0.0;
   double p50_ms = 0.0;  // client-observed time-in-pipe percentiles
   double p99_ms = 0.0;
@@ -76,7 +114,7 @@ struct LoadResult {
 
   bool ok() const noexcept { return failure.empty(); }
   double replies() const noexcept {
-    return static_cast<double>(predictions + busy + errors);
+    return static_cast<double>(predictions + busy + errors + deadline_exceeded);
   }
 };
 

@@ -93,18 +93,24 @@ class Cursor {
 }  // namespace
 
 void encode_classify_digests(std::string& out,
-                             std::span<const std::string> digests) {
+                             std::span<const std::string> digests,
+                             std::optional<std::uint32_t> deadline_ms) {
   const std::size_t header = begin_frame(out);
   put_u8(out, static_cast<std::uint8_t>(Opcode::kClassifyDigests));
-  put_u8(out, static_cast<std::uint8_t>(digests.size()));
+  std::uint8_t count_flags = static_cast<std::uint8_t>(digests.size());
+  if (deadline_ms) count_flags |= kClassifyFlagDeadline;
+  put_u8(out, count_flags);
+  if (deadline_ms) put_u32(out, *deadline_ms);
   for (const std::string& digest : digests) put_string(out, digest);
   end_frame(out, header);
 }
 
-void encode_classify_path(std::string& out, std::string_view path_spec) {
+void encode_classify_path(std::string& out, std::string_view path_spec,
+                          std::optional<std::uint32_t> deadline_ms) {
   const std::size_t header = begin_frame(out);
   put_u8(out, static_cast<std::uint8_t>(Opcode::kClassifyPath));
   put_string(out, path_spec);
+  if (deadline_ms) put_u32(out, *deadline_ms);
   end_frame(out, header);
 }
 
@@ -156,6 +162,9 @@ void encode_error(std::string& out, std::string_view message) {
 void encode_busy(std::string& out, std::string_view reason) {
   encode_text(out, Opcode::kBusy, reason);
 }
+void encode_deadline_exceeded(std::string& out, std::string_view reason) {
+  encode_text(out, Opcode::kDeadlineExceeded, reason);
+}
 
 DecodeStatus decode_request(std::span<const std::uint8_t> payload, Request& out) {
   Cursor cursor(payload);
@@ -165,9 +174,18 @@ DecodeStatus decode_request(std::span<const std::uint8_t> payload, Request& out)
   out.op = static_cast<Opcode>(op);
   switch (out.op) {
     case Opcode::kClassifyDigests: {
-      std::uint8_t count = 0;
-      if (!cursor.u8(count)) return DecodeStatus::kMalformed;
+      std::uint8_t count_flags = 0;
+      if (!cursor.u8(count_flags)) return DecodeStatus::kMalformed;
+      // Reserved flag bits follow the PR 9 discipline: must-be-zero now
+      // so a future writer can claim them without old decoders silently
+      // misreading the body.
+      if ((count_flags & kClassifyReservedMask) != 0) return DecodeStatus::kMalformed;
+      const std::uint8_t count = count_flags & kClassifyCountMask;
       if (count == 0 || count > kMaxDigestChannels) return DecodeStatus::kMalformed;
+      if ((count_flags & kClassifyFlagDeadline) != 0) {
+        if (!cursor.u32(out.deadline_ms)) return DecodeStatus::kMalformed;
+        out.has_deadline = true;
+      }
       out.digests.resize(count);
       for (std::string& digest : out.digests) {
         if (!cursor.str(digest)) return DecodeStatus::kMalformed;
@@ -175,6 +193,14 @@ DecodeStatus decode_request(std::span<const std::uint8_t> payload, Request& out)
       break;
     }
     case Opcode::kClassifyPath:
+      if (!cursor.str(out.text)) return DecodeStatus::kMalformed;
+      // Exactly four trailing bytes are the optional deadline; anything
+      // else trailing falls through to the done() check below.
+      if (!cursor.done()) {
+        if (!cursor.u32(out.deadline_ms)) return DecodeStatus::kMalformed;
+        out.has_deadline = true;
+      }
+      break;
     case Opcode::kReload:
       if (!cursor.str(out.text)) return DecodeStatus::kMalformed;
       break;
@@ -214,6 +240,7 @@ DecodeStatus decode_response(std::span<const std::uint8_t> payload, Response& ou
     case Opcode::kStatsText:
     case Opcode::kError:
     case Opcode::kBusy:
+    case Opcode::kDeadlineExceeded:
       if (!cursor.str(out.text)) return DecodeStatus::kMalformed;
       break;
     default:

@@ -18,15 +18,23 @@
 // little-endian u64.
 //
 // Requests:
-//   0x01 CLASSIFY_DIGESTS  u8 n (1..8) | n x string digest
+//   0x01 CLASSIFY_DIGESTS  u8 count_flags | [u32 deadline_ms] | n x string
 //        Pre-hashed channel digests in model channel order (position 0 =
 //        ssdeep-file, ...). Empty strings are allowed and score 0, like
 //        a stripped binary's symbols channel. The daemon never touches
 //        the filesystem for these — clients hash locally, the daemon
 //        scores. Malformed digest text answers ERROR (connection stays).
-//   0x02 CLASSIFY_PATH     string path
+//        count_flags: low nibble = n (1..8); bit 7 set = a u32
+//        deadline_ms follows (the request's time budget from decode —
+//        work not started by then answers DEADLINE_EXCEEDED); bits 4..6
+//        reserved, must be zero (kMalformed otherwise). Pre-deadline
+//        encoders emit a bare count <= 8, so old frames decode
+//        unchanged.
+//   0x02 CLASSIFY_PATH     string path | [u32 deadline_ms]
 //        Server-side extraction of "exe" or "exe@trace" (the stdio
-//        CLASSIFY semantics; the daemon reads the file).
+//        CLASSIFY semantics; the daemon reads the file). A trailing u32,
+//        when present, is the deadline as above (any other trailing
+//        length stays kMalformed).
 //   0x03 STATS             (empty)
 //   0x04 RELOAD            string model_path
 //   0x05 PING              (empty)
@@ -49,6 +57,11 @@
 //        max_connections / max_pipeline / max_inflight / service queue —
 //        an explicit reject instead of unbounded queueing; back off and
 //        retry)
+//   0x86 DEADLINE_EXCEEDED string reason (the request's deadline or the
+//        server's max_queue_delay passed before scoring started; the
+//        sample was never scored. Unlike BUSY this is not a capacity
+//        signal — retrying with the same budget will likely expire
+//        again.)
 //
 // Framing violations (oversize or zero-length frames, truncated bodies,
 // trailing bytes after a body) answer ERROR and close the connection;
@@ -82,6 +95,7 @@ enum class Opcode : std::uint8_t {
   kStatsText = 0x83,
   kError = 0x84,
   kBusy = 0x85,
+  kDeadlineExceeded = 0x86,
 };
 
 /// One decoded request. `digests` is set for kClassifyDigests, `text`
@@ -90,6 +104,11 @@ struct Request {
   Opcode op = Opcode::kPing;
   std::vector<std::string> digests;
   std::string text;
+  // CLASSIFY deadline (optional wire field): time budget in milliseconds
+  // from frame decode. has_deadline distinguishes "0ms" (expire at once)
+  // from "no deadline".
+  std::uint32_t deadline_ms = 0;
+  bool has_deadline = false;
 };
 
 /// One decoded response. `text` carries the OK/STATS/ERROR/BUSY string
@@ -106,11 +125,20 @@ struct Response {
 /// PREDICTION flags bits (u8 after the label; others reserved as zero).
 inline constexpr std::uint8_t kPredictionFlagUnknown = 0x01;
 
+/// CLASSIFY_DIGESTS count_flags bits: low nibble is the channel count,
+/// bit 7 announces the deadline field, bits 4..6 are reserved-as-zero.
+inline constexpr std::uint8_t kClassifyCountMask = 0x0f;
+inline constexpr std::uint8_t kClassifyFlagDeadline = 0x80;
+inline constexpr std::uint8_t kClassifyReservedMask = 0x70;
+
 // ---- encoding ------------------------------------------------------------
 // Each encoder appends one complete frame (header + payload) to `out`.
+// The optional `deadline_ms` emits the CLASSIFY deadline field.
 
-void encode_classify_digests(std::string& out, std::span<const std::string> digests);
-void encode_classify_path(std::string& out, std::string_view path_spec);
+void encode_classify_digests(std::string& out, std::span<const std::string> digests,
+                             std::optional<std::uint32_t> deadline_ms = std::nullopt);
+void encode_classify_path(std::string& out, std::string_view path_spec,
+                          std::optional<std::uint32_t> deadline_ms = std::nullopt);
 void encode_stats(std::string& out);
 void encode_reload(std::string& out, std::string_view model_path);
 void encode_ping(std::string& out);
@@ -123,6 +151,7 @@ void encode_ok(std::string& out, std::string_view text);
 void encode_stats_text(std::string& out, std::string_view text);
 void encode_error(std::string& out, std::string_view message);
 void encode_busy(std::string& out, std::string_view reason);
+void encode_deadline_exceeded(std::string& out, std::string_view reason);
 
 // ---- decoding ------------------------------------------------------------
 

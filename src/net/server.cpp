@@ -9,6 +9,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -16,6 +17,8 @@
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <new>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
@@ -23,7 +26,9 @@
 #include <vector>
 
 #include "core/features.hpp"
+#include "net/timer_wheel.hpp"
 #include "ssdeep/digest.hpp"
+#include "util/fault_inject.hpp"
 
 namespace fhc::net {
 
@@ -92,6 +97,11 @@ struct SocketServer::Impl {
                                // observe the new model, so dispatch
                                // pauses until it completes
 
+    // Timeout bookkeeping (authoritative; the timer wheel entry is lazy).
+    Clock::time_point last_activity{};  // last byte received
+    Clock::time_point frame_start{};    // first byte of the pending partial frame
+    bool mid_frame = false;             // reader holds an incomplete frame
+
     explicit Conn(std::size_t max_frame) : reader(max_frame) {}
   };
 
@@ -100,6 +110,11 @@ struct SocketServer::Impl {
   std::size_t global_inflight = 0;
   bool draining = false;
   Clock::time_point drain_deadline{};
+
+  // Per-connection timeout machinery (idle / read-progress eviction).
+  TimerWheel wheel;
+  std::vector<std::uint64_t> expired_scratch;
+  int epoll_failures = 0;  // consecutive non-EINTR epoll_wait failures
 
   // ---- completion worker -------------------------------------------------
   struct Job {
@@ -152,6 +167,20 @@ struct SocketServer::Impl {
     if (config.max_pipeline == 0) config.max_pipeline = 1;
     if (config.max_connections == 0) config.max_connections = 1;
     if (config.max_inflight == 0) config.max_inflight = 1;
+
+    if (timeouts_enabled()) {
+      // Wheel tick = a quarter of the tightest timeout, so eviction lag
+      // (one tick of rounding + one tick of drain) stays well inside
+      // the 2x-timeout bound even for aggressive test settings.
+      int tightest = config.idle_timeout_ms > 0 ? config.idle_timeout_ms : 0;
+      if (config.read_progress_timeout_ms > 0) {
+        tightest = tightest > 0
+                       ? std::min(tightest, config.read_progress_timeout_ms)
+                       : config.read_progress_timeout_ms;
+      }
+      const int tick = std::clamp(tightest / 4, 1, 100);
+      wheel = TimerWheel(std::chrono::milliseconds(tick), 512);
+    }
 
     epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
     if (epoll_fd < 0) throw_errno("epoll_create1");
@@ -248,6 +277,77 @@ struct SocketServer::Impl {
     conn.events = wanted;
   }
 
+  // ---- per-connection timeouts -------------------------------------------
+
+  bool timeouts_enabled() const noexcept {
+    return config.idle_timeout_ms > 0 || config.read_progress_timeout_ms > 0;
+  }
+
+  /// Tracks partial-frame state after every drain: the read-progress
+  /// clock anchors at the *first* byte of the pending frame, so a
+  /// slow-loris that trickles one byte per tick still expires.
+  void note_read_progress(Conn& conn) {
+    const bool mid = conn.reader.buffered() > 0;
+    if (mid && !conn.mid_frame) conn.frame_start = Clock::now();
+    conn.mid_frame = mid;
+  }
+
+  /// The connection's authoritative expiry, or nullopt when no
+  /// configured bound currently applies to it.
+  std::optional<Clock::time_point> conn_deadline(const Conn& conn) const {
+    if (conn.mid_frame && config.read_progress_timeout_ms > 0) {
+      return conn.frame_start +
+             std::chrono::milliseconds(config.read_progress_timeout_ms);
+    }
+    if (config.idle_timeout_ms > 0) {
+      return conn.last_activity + std::chrono::milliseconds(config.idle_timeout_ms);
+    }
+    return std::nullopt;
+  }
+
+  /// Eviction is only for connections the server owes nothing: no reply
+  /// slots pending and an empty write buffer — or ones already closing
+  /// whose peer will not drain them.
+  bool evictable(const Conn& conn) const noexcept {
+    return conn.closing || (conn.slots.empty() && conn.wbuf.empty());
+  }
+
+  void evict_conn(Conn& conn, const char* why) {
+    // Counter before the observable effect (the RST/FIN the peer sees),
+    // same discipline as the admission and close paths.
+    handler.service().record_connection_timed_out();
+    std::string frame;
+    encode_error(frame, why);
+    (void)util::fi::send(conn.fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+    close_conn(conn.id);
+  }
+
+  void expire_timers() {
+    if (!timeouts_enabled()) return;
+    const Clock::time_point now = Clock::now();
+    expired_scratch.clear();
+    wheel.expire(now, expired_scratch);
+    for (const std::uint64_t id : expired_scratch) {
+      const auto it = conns.find(id);
+      if (it == conns.end()) continue;  // closed; its entry just lapses
+      Conn& conn = *it->second;
+      const std::optional<Clock::time_point> deadline = conn_deadline(conn);
+      if (deadline && *deadline <= now && evictable(conn)) {
+        evict_conn(conn, conn.mid_frame ? "read timeout: incomplete frame"
+                                        : "idle timeout");
+        continue;
+      }
+      // Lazy revalidation: activity moved the deadline (or the conn has
+      // work in flight) — re-file at the true expiry, or at a polling
+      // interval when no bound applies right now (a later partial frame
+      // must still be caught).
+      const Clock::time_point recheck = deadline
+          ? std::max(*deadline, now)
+          : now + std::chrono::milliseconds(config.read_progress_timeout_ms);
+      wheel.schedule(id, recheck);
+    }
+  }
+
   // ---- event loop --------------------------------------------------------
 
   void run_loop() {
@@ -266,24 +366,56 @@ struct SocketServer::Impl {
         }
         timeout = static_cast<int>(left.count());
       }
+      if (timeouts_enabled() && !conns.empty()) {
+        const int wheel_ms = wheel.next_timeout_ms(Clock::now());
+        if (wheel_ms >= 0 && (timeout < 0 || wheel_ms < timeout)) {
+          timeout = wheel_ms;
+        }
+      }
+      {
+        // Lost-wake guard: an injected eventfd_write failure must not
+        // strand finished completions, so never sleep long while any
+        // are queued.
+        std::lock_guard lock(completions_mutex);
+        if (!completions.empty() && (timeout < 0 || timeout > 20)) timeout = 20;
+      }
 
-      const int n = ::epoll_wait(epoll_fd, events.data(),
-                                 static_cast<int>(events.size()), timeout);
+      const int n = util::fi::epoll_wait(epoll_fd, events.data(),
+                                         static_cast<int>(events.size()), timeout);
       if (n < 0) {
         if (errno == EINTR) continue;
-        throw_errno("epoll_wait");
+        // Tolerate transient (injected or real one-off) failures; a
+        // persistently broken epoll fd still surfaces.
+        if (++epoll_failures > 64) throw_errno("epoll_wait");
+        continue;
       }
+      epoll_failures = 0;
       for (int i = 0; i < n; ++i) {
         const std::uint64_t key = events[i].data.u64;
         const std::uint32_t mask = events[i].events;
-        if (key == 0) {
-          drain_wake();
-        } else if (key <= listeners.size()) {
-          accept_ready(listeners[key - 1]);
-        } else {
-          on_conn_event(key, mask);
+        try {
+          if (key == 0) {
+            drain_wake();
+          } else if (key <= listeners.size()) {
+            accept_ready(listeners[key - 1]);
+          } else {
+            on_conn_event(key, mask);
+          }
+        } catch (const std::bad_alloc&) {
+          // Allocation failure handling one connection must not take
+          // down the daemon: shed that connection and keep serving.
+          if (key > listeners.size()) close_conn(key);
         }
       }
+      // Second half of the lost-wake guard: sweep any completions that
+      // queued without a successful eventfd wake.
+      bool pending_completions = false;
+      {
+        std::lock_guard lock(completions_mutex);
+        pending_completions = !completions.empty();
+      }
+      if (pending_completions) drain_wake();
+      expire_timers();
     }
     // Stop the completion worker; every queued job's future resolves
     // because begin_drain() flushed the service queue and nothing can
@@ -327,7 +459,7 @@ struct SocketServer::Impl {
 
   void drain_wake() {
     std::uint64_t count = 0;
-    while (::read(wake_fd, &count, sizeof count) > 0) {
+    while (util::fi::eventfd_read(wake_fd, count) > 0) {
     }
     std::deque<Completion> ready;
     {
@@ -350,6 +482,7 @@ struct SocketServer::Impl {
         // that were buffered behind it against the new model.
         conn.reload_wait = false;
         if (!drain_frames(conn)) continue;
+        note_read_progress(conn);
         apply_backpressure(conn);
       }
       flush_conn(conn);
@@ -359,8 +492,8 @@ struct SocketServer::Impl {
   void accept_ready(const Listener& listener) {
     if (listener.fd < 0) return;
     for (;;) {
-      const int fd =
-          ::accept4(listener.fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      const int fd = util::fi::accept4(listener.fd, nullptr, nullptr,
+                                       SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) return;
         if (errno == EINTR) continue;
@@ -375,7 +508,7 @@ struct SocketServer::Impl {
         std::string frame;
         encode_busy(frame, draining ? "server shutting down"
                                     : "connection limit reached");
-        (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+        (void)util::fi::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
         ::close(fd);
         continue;
       }
@@ -388,8 +521,17 @@ struct SocketServer::Impl {
       conn->fd = fd;
       conn->tcp = listener.tcp;
       conn->events = EPOLLIN;
+      conn->last_activity = Clock::now();
       watch(fd, conn->id, EPOLLIN);
       handler.service().record_connection_opened();
+      if (timeouts_enabled()) {
+        const std::optional<Clock::time_point> deadline = conn_deadline(*conn);
+        wheel.schedule(conn->id,
+                       deadline ? *deadline
+                                : conn->last_activity +
+                                      std::chrono::milliseconds(
+                                          config.read_progress_timeout_ms));
+      }
       conns.emplace(conn->id, std::move(conn));
     }
   }
@@ -416,7 +558,7 @@ struct SocketServer::Impl {
     char buf[65536];
     for (;;) {
       if (conn.reads_off || conn.closing || conn.reload_wait) break;
-      const ssize_t got = ::recv(conn.fd, buf, sizeof buf, 0);
+      const ssize_t got = util::fi::recv(conn.fd, buf, sizeof buf, 0);
       if (got < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         if (errno == EINTR) continue;
@@ -427,8 +569,11 @@ struct SocketServer::Impl {
         conn.closing = true;
         break;
       }
+      conn.last_activity = Clock::now();
+      util::fi::alloc_guard();  // frame buffer growth is the next allocation
       conn.reader.feed(std::string_view(buf, static_cast<std::size_t>(got)));
       if (!drain_frames(conn)) return;  // connection died mid-dispatch
+      note_read_progress(conn);
       apply_backpressure(conn);
     }
     flush_conn(conn);
@@ -543,6 +688,12 @@ struct SocketServer::Impl {
     }
 
     const Clock::time_point start = Clock::now();
+    // The wire deadline is the client's total time budget; the service
+    // starts the clock at enqueue and sheds expired work before scoring.
+    std::optional<std::chrono::milliseconds> deadline;
+    if (request.has_deadline) {
+      deadline = std::chrono::milliseconds(request.deadline_ms);
+    }
     service::CommandHandler::Submission submission;
     if (request.op == Opcode::kClassifyDigests) {
       core::FeatureHashes sample;
@@ -553,9 +704,10 @@ struct SocketServer::Impl {
         append_ready(conn, [&](std::string& out) { encode_error(out, error); });
         return;
       }
-      submission = handler.submit_sample(std::move(sample), /*bounded=*/true);
+      submission =
+          handler.submit_sample(std::move(sample), /*bounded=*/true, deadline);
     } else {
-      submission = handler.submit_path(request.text, /*bounded=*/true);
+      submission = handler.submit_path(request.text, /*bounded=*/true, deadline);
     }
 
     if (!submission.error.empty()) {
@@ -599,8 +751,9 @@ struct SocketServer::Impl {
       ++conn.base_seq;
     }
     while (conn.woff < conn.wbuf.size()) {
-      const ssize_t sent = ::send(conn.fd, conn.wbuf.data() + conn.woff,
-                                  conn.wbuf.size() - conn.woff, MSG_NOSIGNAL);
+      const ssize_t sent = util::fi::send(conn.fd, conn.wbuf.data() + conn.woff,
+                                          conn.wbuf.size() - conn.woff,
+                                          MSG_NOSIGNAL);
       if (sent < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         if (errno == EINTR) continue;
@@ -682,6 +835,10 @@ struct SocketServer::Impl {
           encode_prediction(completion.bytes, pred.label, pred.is_unknown,
                             pred.confidence,
                             static_cast<std::uint64_t>(micros.count()), name);
+        } catch (const service::DeadlineExceeded& e) {
+          // Shed before scoring: a distinct reply opcode so clients can
+          // tell "too late" from "broken" without parsing text.
+          encode_deadline_exceeded(completion.bytes, e.what());
         } catch (const std::exception& e) {
           encode_error(completion.bytes, e.what());
         }
@@ -704,10 +861,11 @@ struct SocketServer::Impl {
   }
 
   void wake() {
-    const std::uint64_t one = 1;
+    // A failed wake (injected or real) is survivable: the loop caps its
+    // sleep while completions are queued and sweeps them on timeout.
     ssize_t rc;
     do {
-      rc = ::write(wake_fd, &one, sizeof one);
+      rc = util::fi::eventfd_write(wake_fd, 1);
     } while (rc < 0 && errno == EINTR);
   }
 };

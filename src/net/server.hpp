@@ -63,6 +63,18 @@ struct ServerConfig {
 
   // Graceful-shutdown drain bound.
   int drain_timeout_ms = 5000;
+
+  // Per-connection timeouts (0 = off), enforced by a timing wheel folded
+  // into the epoll loop. A connection with nothing owed to it (no reply
+  // slots, empty write buffer) that produced no bytes for
+  // idle_timeout_ms is evicted; a connection sitting on a *partial*
+  // frame whose first byte arrived read_progress_timeout_ms ago is
+  // evicted even if it trickles (slow-loris: progress is measured per
+  // frame, not per byte). Eviction counts
+  // ServiceStats::connections_timed_out, sends a best-effort ERROR
+  // frame, and hard-closes.
+  int idle_timeout_ms = 0;
+  int read_progress_timeout_ms = 0;
 };
 
 class SocketServer {

@@ -1,0 +1,71 @@
+#include "net/timer_wheel.hpp"
+
+#include <algorithm>
+
+namespace fhc::net {
+
+TimerWheel::TimerWheel(std::chrono::milliseconds resolution, std::size_t slots)
+    : resolution_(std::max<std::chrono::milliseconds>(resolution,
+                                                      std::chrono::milliseconds(1))),
+      slots_(std::max<std::size_t>(slots, 2)),
+      epoch_(Clock::now()) {}
+
+std::uint64_t TimerWheel::tick_of(Clock::time_point t) const {
+  if (t <= epoch_) return 0;
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(t - epoch_);
+  // Round deadlines up: firing a tick late is fine, a tick early is not.
+  return static_cast<std::uint64_t>(
+      (elapsed.count() + resolution_.count() - 1) / resolution_.count());
+}
+
+void TimerWheel::schedule(std::uint64_t id, Clock::time_point deadline) {
+  // A deadline at or behind the drain cursor would land in a slot that
+  // was already visited and sleep a whole revolution; file it one tick
+  // ahead instead so the next expire() sees it.
+  const std::uint64_t tick = std::max(tick_of(deadline), cursor_ + 1);
+  slots_[tick % slots_.size()].push_back(Entry{id, tick});
+  ++size_;
+}
+
+void TimerWheel::expire(Clock::time_point now, std::vector<std::uint64_t>& out) {
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - epoch_);
+  const std::uint64_t now_tick = now <= epoch_
+      ? 0
+      : static_cast<std::uint64_t>(elapsed.count() / resolution_.count());
+  if (now_tick <= cursor_) return;
+  // One pass over the slots the cursor sweeps; a jump beyond a full
+  // revolution visits each slot exactly once.
+  const std::uint64_t steps =
+      std::min<std::uint64_t>(now_tick - cursor_, slots_.size());
+  for (std::uint64_t i = 1; i <= steps; ++i) {
+    std::vector<Entry>& slot = slots_[(cursor_ + i) % slots_.size()];
+    std::size_t kept = 0;
+    for (Entry& entry : slot) {
+      if (entry.tick <= now_tick) {
+        out.push_back(entry.id);
+        --size_;
+      } else {
+        slot[kept++] = entry;  // a later revolution's entry stays filed
+      }
+    }
+    slot.resize(kept);
+  }
+  cursor_ = now_tick;
+}
+
+int TimerWheel::next_timeout_ms(Clock::time_point now) const {
+  if (size_ == 0) return -1;
+  std::uint64_t min_tick = ~std::uint64_t{0};
+  for (const std::vector<Entry>& slot : slots_) {
+    for (const Entry& entry : slot) min_tick = std::min(min_tick, entry.tick);
+  }
+  const Clock::time_point fire =
+      epoch_ + resolution_ * static_cast<std::int64_t>(min_tick);
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(fire - now);
+  return static_cast<int>(std::max<std::int64_t>(left.count(), 0));
+}
+
+}  // namespace fhc::net

@@ -1,0 +1,75 @@
+// net::TimerWheel — a hashed timing wheel for per-connection timeouts,
+// folded into the SocketServer epoll loop.
+//
+// The loop needs "evict connection X at time T" for thousands of
+// connections without a per-iteration O(n) scan and without a heap
+// rebalance on every read (reads are the hot path). The classic answer
+// is a timing wheel with lazy revalidation:
+//
+//   * schedule(id, deadline) hashes the deadline's tick into a slot —
+//     O(1), called once per connection (at accept, and again only when
+//     an expiry check finds the deadline has moved);
+//   * activity on a connection just updates its authoritative deadline
+//     field; the wheel entry is NOT touched (no churn on reads);
+//   * expire(now) drains the slots whose ticks have passed and hands the
+//     ids back; the caller compares against the authoritative deadline
+//     and either evicts or re-schedules at the true deadline.
+//
+// Entries whose tick lies more than one wheel revolution ahead simply
+// stay in their slot and are re-filed when the slot comes around — the
+// (id, tick) pair carries the absolute tick, so wrap-around is handled
+// by comparison, not by rounds bookkeeping.
+//
+// Contract: at most one live entry per id (schedule only at accept and
+// from the expire() revalidation path); ids whose connection died are
+// dropped by the caller's lookup failing.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fhc::net {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `resolution` is the tick size (timeout precision); `slots` the wheel
+  /// circumference. A 100ms x 512-slot wheel spans ~51s per revolution —
+  /// longer deadlines just ride around again.
+  explicit TimerWheel(std::chrono::milliseconds resolution =
+                          std::chrono::milliseconds(100),
+                      std::size_t slots = 512);
+
+  /// Files `id` to fire at `deadline` (rounded up to the next tick).
+  void schedule(std::uint64_t id, Clock::time_point deadline);
+
+  /// Moves every id whose tick has passed into `out`. The caller must
+  /// revalidate each against its authoritative deadline.
+  void expire(Clock::time_point now, std::vector<std::uint64_t>& out);
+
+  /// Milliseconds until the earliest filed tick (clamped to >= 0), or
+  /// -1 when the wheel is empty — the epoll_wait timeout.
+  int next_timeout_ms(Clock::time_point now) const;
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    std::uint64_t tick = 0;  // absolute tick index since epoch_
+  };
+
+  std::uint64_t tick_of(Clock::time_point t) const;
+
+  std::chrono::milliseconds resolution_;
+  std::vector<std::vector<Entry>> slots_;
+  Clock::time_point epoch_;
+  std::uint64_t cursor_ = 0;  // last tick already drained
+  std::size_t size_ = 0;
+};
+
+}  // namespace fhc::net

@@ -14,7 +14,8 @@
 namespace fhc::service {
 
 CommandHandler::Submission CommandHandler::submit_path(
-    const std::string& path_spec, bool bounded) {
+    const std::string& path_spec, bool bounded,
+    std::optional<std::chrono::milliseconds> deadline) {
   Submission out;
   core::FeatureHashes sample;
   try {
@@ -30,16 +31,17 @@ CommandHandler::Submission CommandHandler::submit_path(
     out.error = e.what();
     return out;
   }
-  return submit_sample(std::move(sample), bounded);
+  return submit_sample(std::move(sample), bounded, deadline);
 }
 
 CommandHandler::Submission CommandHandler::submit_sample(
-    core::FeatureHashes sample, bool bounded) {
+    core::FeatureHashes sample, bool bounded,
+    std::optional<std::chrono::milliseconds> deadline) {
   Submission out;
   if (bounded) {
-    out.rejected = !svc_.try_submit(std::move(sample), out.future);
+    out.rejected = !svc_.try_submit(std::move(sample), out.future, deadline);
   } else {
-    out.future = svc_.submit(std::move(sample));
+    out.future = svc_.submit(std::move(sample), deadline);
   }
   return out;
 }
@@ -72,9 +74,11 @@ std::string CommandHandler::stats_line() const {
       << " index_skip_rate=" << s.index_skip_rate() << " reloads=" << s.reloads
       << " largest_batch=" << s.largest_batch
       << " unknown_flagged=" << s.unknown_flagged
+      << " deadline_expired=" << s.deadline_expired
       << " connections_opened=" << s.connections_opened
       << " connections_active=" << s.connections_active
       << " connections_rejected=" << s.connections_rejected
+      << " connections_timed_out=" << s.connections_timed_out
       << " requests_rejected=" << s.requests_rejected
       << " queue_depth=" << s.queue_depth << " p50_ms=" << s.p50_ms
       << " p99_ms=" << s.p99_ms << " max_ms=" << s.max_ms;

@@ -19,6 +19,7 @@
 //     and the FIFO recipe), built from the pieces above.
 #pragma once
 
+#include <chrono>
 #include <future>
 #include <iosfwd>
 #include <optional>
@@ -48,12 +49,18 @@ class CommandHandler {
 
   /// Reads `path` (or "exe@trace": the trace is fingerprinted into the
   /// runtime channel), extracts feature hashes, and submits. Never
-  /// throws — failures land in Submission::error.
-  Submission submit_path(const std::string& path_spec, bool bounded = false);
+  /// throws — failures land in Submission::error. `deadline` is the
+  /// request's time budget; expired work resolves the future with
+  /// service::DeadlineExceeded instead of being scored.
+  Submission submit_path(
+      const std::string& path_spec, bool bounded = false,
+      std::optional<std::chrono::milliseconds> deadline = std::nullopt);
 
   /// Submits an already-extracted sample (the socket protocol's digest
   /// fast path — clients hash locally, the daemon only scores).
-  Submission submit_sample(core::FeatureHashes sample, bool bounded = false);
+  Submission submit_sample(
+      core::FeatureHashes sample, bool bounded = false,
+      std::optional<std::chrono::milliseconds> deadline = std::nullopt);
 
   /// "<name>\t<confidence>" with the label range-checked against
   /// `model`'s class list (predictions can outlive a RELOAD); out-of-

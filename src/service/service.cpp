@@ -9,6 +9,7 @@
 
 #include "core/feature_matrix.hpp"
 #include "ml/matrix.hpp"
+#include "util/fault_inject.hpp"
 
 namespace fhc::service {
 
@@ -54,25 +55,33 @@ ClassificationService::~ClassificationService() {
 }
 
 std::future<core::Prediction> ClassificationService::submit(
-    core::FeatureHashes sample) {
-  return enqueue(std::move(sample), /*bounded=*/false, /*rejected=*/nullptr);
+    core::FeatureHashes sample,
+    std::optional<std::chrono::milliseconds> deadline) {
+  return enqueue(std::move(sample), /*bounded=*/false, /*rejected=*/nullptr,
+                 deadline);
 }
 
-bool ClassificationService::try_submit(core::FeatureHashes sample,
-                                       std::future<core::Prediction>& out) {
+bool ClassificationService::try_submit(
+    core::FeatureHashes sample, std::future<core::Prediction>& out,
+    std::optional<std::chrono::milliseconds> deadline) {
   bool rejected = false;
   std::future<core::Prediction> future =
-      enqueue(std::move(sample), /*bounded=*/true, &rejected);
+      enqueue(std::move(sample), /*bounded=*/true, &rejected, deadline);
   if (rejected) return false;
   out = std::move(future);
   return true;
 }
 
 std::future<core::Prediction> ClassificationService::enqueue(
-    core::FeatureHashes sample, bool bounded, bool* rejected) {
+    core::FeatureHashes sample, bool bounded, bool* rejected,
+    std::optional<std::chrono::milliseconds> deadline) {
   Request request;
   request.sample = std::move(sample);
   request.key = sample_key(request.sample);
+  if (deadline) {
+    request.has_deadline = true;
+    request.deadline = std::chrono::steady_clock::now() + *deadline;
+  }
   std::future<core::Prediction> future = request.promise.get_future();
 
   // Probe the cache before touching any lock-shared counters so the hot
@@ -114,6 +123,10 @@ std::future<core::Prediction> ClassificationService::enqueue(
       ++counters_.completed;
       return future;
     }
+    // Chaos allocation hook: queue growth is the service's unbounded
+    // allocation; an injected bad_alloc here must surface as a per-
+    // request failure, not a crash.
+    util::fi::alloc_guard();
     pending_.push_back(std::move(request));
     std::lock_guard stats_lock(stats_mutex_);
     ++counters_.requests;
@@ -144,6 +157,11 @@ void ClassificationService::record_connection_closed() {
 void ClassificationService::record_connection_rejected() {
   std::lock_guard lock(stats_mutex_);
   ++counters_.connections_rejected;
+}
+
+void ClassificationService::record_connection_timed_out() {
+  std::lock_guard lock(stats_mutex_);
+  ++counters_.connections_timed_out;
 }
 
 std::vector<core::Prediction> ClassificationService::classify_batch(
@@ -253,7 +271,51 @@ void ClassificationService::dispatcher_loop() {
   }
 }
 
+std::vector<ClassificationService::Request> ClassificationService::shed_expired(
+    std::vector<Request> batch) {
+  const auto now = std::chrono::steady_clock::now();
+  const double max_age_ms =
+      static_cast<double>(config_.max_queue_delay.count());
+  std::vector<Request> live;
+  std::vector<Request> expired;
+  live.reserve(batch.size());
+  for (Request& request : batch) {
+    const bool over_deadline = request.has_deadline && now >= request.deadline;
+    const bool over_age =
+        max_age_ms > 0.0 && request.watch.milliseconds() > max_age_ms;
+    (over_deadline || over_age ? expired : live).push_back(std::move(request));
+  }
+  if (expired.empty()) return live;
+
+  // Counters before promises, as everywhere: a waiter that observes
+  // DeadlineExceeded must find deadline_expired already bumped. These
+  // requests contribute nothing to scored/candidates_scored — shedding
+  // happens before any scoring stage runs.
+  {
+    std::lock_guard lock(stats_mutex_);
+    counters_.deadline_expired += expired.size();
+    counters_.completed += expired.size();
+    for (Request& request : expired) {
+      record_latency_locked(request.watch.milliseconds());
+    }
+  }
+  for (Request& request : expired) {
+    const char* what = request.has_deadline && now >= request.deadline
+                           ? "deadline exceeded before scoring"
+                           : "queue delay bound exceeded before scoring";
+    request.promise.set_exception(
+        std::make_exception_ptr(DeadlineExceeded(what)));
+  }
+  return live;
+}
+
 void ClassificationService::score_batch(std::vector<Request> batch) {
+  // Expired work is answered first and never reaches a scoring stage —
+  // under overload the capacity goes to requests whose clients are
+  // still waiting.
+  batch = shed_expired(std::move(batch));
+  if (batch.empty()) return;
+
   // Snapshot the active model: reload() during scoring must not pull the
   // index out from under this batch.
   std::shared_ptr<const core::FuzzyHashClassifier> model;

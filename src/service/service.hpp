@@ -42,6 +42,8 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,6 +67,21 @@ struct ServiceConfig {
   // instead of queued (0 = unbounded; submit() always queues). Cache
   // hits never queue, so they are always admitted.
   std::size_t max_queue = 0;
+  // Load shedding by age: a request that waited in the queue longer than
+  // this is answered DeadlineExceeded at flush time instead of scored —
+  // under overload, work the client has likely given up on stops
+  // consuming scoring capacity (0 = off). Per-request deadlines passed
+  // to submit() shed the same way and compose with this bound.
+  std::chrono::milliseconds max_queue_delay{0};
+};
+
+/// Thrown through a request's future when its deadline (or the service's
+/// max_queue_delay) expired before scoring started. Front-ends map it to
+/// the DEADLINE_EXCEEDED wire reply — distinct from BUSY (admission) and
+/// ERROR (the request itself failed).
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// One consistent snapshot of the service counters.
@@ -81,6 +98,14 @@ struct ServiceStats {
   // rejection / below the confidence threshold) — cache hits included,
   // since a hit fans out the same flagged prediction.
   std::uint64_t unknown_flagged = 0;
+  // Requests shed before scoring because their deadline or the queue-age
+  // bound expired (DeadlineExceeded through the future). Counted in
+  // completed as well; never in scored/candidates_scored — an expired
+  // request costs no scoring work.
+  std::uint64_t deadline_expired = 0;
+  // Connections evicted by the socket server's idle / read-progress
+  // timeouts (slow-loris protection).
+  std::uint64_t connections_timed_out = 0;
 
   // Candidate-index gate counters, summed over every row slice scored:
   // of the training digests an all-pairs row fill would have visited,
@@ -135,7 +160,12 @@ class ClassificationService {
 
   /// Enqueues one sample. The future is fulfilled by the dispatcher (or
   /// immediately on a cache hit) and carries any scoring exception.
-  std::future<core::Prediction> submit(core::FeatureHashes sample);
+  /// `deadline` is the request's time budget from now: if it expires
+  /// before scoring starts, the future carries DeadlineExceeded and the
+  /// sample is never scored (a cache hit still answers — it is free).
+  std::future<core::Prediction> submit(
+      core::FeatureHashes sample,
+      std::optional<std::chrono::milliseconds> deadline = std::nullopt);
 
   /// Bounded admission: like submit(), but refuses the sample (returning
   /// false, counting requests_rejected, leaving `out` untouched) when
@@ -143,7 +173,8 @@ class ClassificationService {
   /// dispatcher. Cache hits bypass the queue and are always admitted.
   /// Front-ends turn a refusal into an explicit BUSY reply instead of
   /// queueing without bound.
-  bool try_submit(core::FeatureHashes sample, std::future<core::Prediction>& out);
+  bool try_submit(core::FeatureHashes sample, std::future<core::Prediction>& out,
+                  std::optional<std::chrono::milliseconds> deadline = std::nullopt);
 
   /// Asks the dispatcher to flush the pending queue now instead of
   /// waiting out max_delay — graceful-shutdown and drain paths use this
@@ -154,6 +185,7 @@ class ClassificationService {
   void record_connection_opened();
   void record_connection_closed();
   void record_connection_rejected();
+  void record_connection_timed_out();
 
   /// Blocking convenience: submits every sample and waits for all
   /// results, in order. Equivalent to serial predict() on each.
@@ -178,13 +210,21 @@ class ClassificationService {
     std::string key;
     std::promise<core::Prediction> promise;
     util::Stopwatch watch;  // started at submit; read when fulfilled
+    // Absolute expiry computed at enqueue (steady clock); checked by the
+    // dispatcher before any scoring work starts.
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
   };
 
   void dispatcher_loop();
   void score_batch(std::vector<Request> batch);
+  /// Splits off and answers the batch's expired requests (DeadlineExceeded,
+  /// counted before the promises resolve). Returns the live remainder.
+  std::vector<Request> shed_expired(std::vector<Request> batch);
   void record_latency_locked(double ms);
-  std::future<core::Prediction> enqueue(core::FeatureHashes sample, bool bounded,
-                                        bool* rejected);
+  std::future<core::Prediction> enqueue(
+      core::FeatureHashes sample, bool bounded, bool* rejected,
+      std::optional<std::chrono::milliseconds> deadline);
 
   ServiceConfig config_;
   util::ThreadPool* pool_;  // never null after construction

@@ -1,0 +1,335 @@
+#include "util/fault_inject.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace fhc::util {
+
+namespace {
+
+// Constant-initialized so wrappers are usable from any point of the
+// process lifetime without an init-order dependency.
+constinit FaultInjector g_injector;
+
+struct ErrnoName {
+  const char* name;
+  int value;
+};
+
+constexpr ErrnoName kErrnoNames[] = {
+    {"EIO", EIO},         {"EINTR", EINTR},
+    {"EAGAIN", EAGAIN},   {"ECONNRESET", ECONNRESET},
+    {"ECONNABORTED", ECONNABORTED},
+    {"EMFILE", EMFILE},   {"ENOMEM", ENOMEM},
+    {"ENOSPC", ENOSPC},   {"EPIPE", EPIPE},
+};
+
+bool parse_errno(const std::string& text, int& out) {
+  for (const ErrnoName& entry : kErrnoNames) {
+    if (text == entry.name) {
+      out = entry.value;
+      return true;
+    }
+  }
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value <= 0) return false;
+  out = static_cast<int>(value);
+  return true;
+}
+
+bool parse_site(const std::string& text, FaultSite& out) {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    if (text == fault_site_name(site)) {
+      out = site;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kRead: return "read";
+    case FaultSite::kWrite: return "write";
+    case FaultSite::kAccept: return "accept";
+    case FaultSite::kEpollWait: return "epoll_wait";
+    case FaultSite::kEventfd: return "eventfd";
+    case FaultSite::kMmap: return "mmap";
+    case FaultSite::kFsync: return "fsync";
+    case FaultSite::kRename: return "rename";
+    case FaultSite::kAlloc: return "alloc";
+  }
+  return "?";
+}
+
+int fault_default_errno(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kRead: return ECONNRESET;
+    case FaultSite::kWrite: return EPIPE;
+    case FaultSite::kAccept: return ECONNABORTED;
+    case FaultSite::kEpollWait: return EINTR;
+    case FaultSite::kEventfd: return EAGAIN;
+    case FaultSite::kMmap: return ENOMEM;
+    case FaultSite::kFsync: return EIO;
+    case FaultSite::kRename: return EIO;
+    case FaultSite::kAlloc: return ENOMEM;
+  }
+  return EIO;
+}
+
+FaultInjector& FaultInjector::instance() noexcept { return g_injector; }
+
+void FaultInjector::arm(FaultPlan plan) {
+  std::lock_guard lock(mutex_);
+  rules_ = std::move(plan.rules);
+  for (FaultRule& rule : rules_) {
+    if (rule.error_code == 0) rule.error_code = fault_default_errno(rule.site);
+    // A rule with no trigger at all is fail-at-site (see parse_spec).
+    if (rule.nth == 0 && rule.probability <= 0.0) rule.probability = 1.0;
+  }
+  fired_.assign(rules_.size(), 0);
+  rng_state_ = plan.seed;
+  counters_.fill(SiteCounters{});
+  armed_.store(!rules_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard lock(mutex_);
+  armed_.store(false, std::memory_order_relaxed);
+  rules_.clear();
+  fired_.clear();
+}
+
+int FaultInjector::check(FaultSite site) noexcept {
+  if (!armed_.load(std::memory_order_relaxed)) return 0;
+  std::lock_guard lock(mutex_);
+  const auto idx = static_cast<std::size_t>(site);
+  const std::uint64_t call = ++counters_[idx].calls;
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    const FaultRule& rule = rules_[r];
+    if (rule.site != site || fired_[r] >= rule.max_failures) continue;
+    bool fire = rule.nth != 0 && call == rule.nth;
+    if (!fire && rule.probability > 0.0) {
+      const double u =
+          static_cast<double>(splitmix64(rng_state_) >> 11) * 0x1.0p-53;
+      fire = u < rule.probability;
+    }
+    if (fire) {
+      ++fired_[r];
+      ++counters_[idx].injected;
+      return rule.error_code;
+    }
+  }
+  return 0;
+}
+
+std::array<FaultInjector::SiteCounters, kFaultSiteCount>
+FaultInjector::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const SiteCounters& site : counters_) total += site.injected;
+  return total;
+}
+
+bool FaultInjector::parse_spec(const std::string& spec, FaultPlan& plan,
+                               std::string& error) {
+  plan.rules.clear();
+  for (const std::string& rule_text : split(spec, ';')) {
+    const std::string trimmed(trim(rule_text));
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> parts = split(trimmed, ':');
+    FaultRule rule;
+    if (!parse_site(std::string(trim(parts[0])), rule.site)) {
+      error = "unknown fault site: " + parts[0];
+      return false;
+    }
+    bool has_trigger = false;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      const std::string item(trim(parts[i]));
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos) {
+        error = "expected key=value in fault rule: " + item;
+        return false;
+      }
+      const std::string key = item.substr(0, eq);
+      const std::string value = item.substr(eq + 1);
+      char* end = nullptr;
+      if (key == "nth") {
+        rule.nth = std::strtoull(value.c_str(), &end, 10);
+        if (*end != '\0' || rule.nth == 0) {
+          error = "bad nth: " + value;
+          return false;
+        }
+        has_trigger = true;
+      } else if (key == "p") {
+        rule.probability = std::strtod(value.c_str(), &end);
+        if (*end != '\0' || rule.probability <= 0.0 || rule.probability > 1.0) {
+          error = "bad probability: " + value;
+          return false;
+        }
+        has_trigger = true;
+      } else if (key == "errno") {
+        if (!parse_errno(value, rule.error_code)) {
+          error = "bad errno: " + value;
+          return false;
+        }
+      } else if (key == "max") {
+        rule.max_failures = std::strtoull(value.c_str(), &end, 10);
+        if (*end != '\0' || rule.max_failures == 0) {
+          error = "bad max: " + value;
+          return false;
+        }
+      } else {
+        error = "unknown fault rule key: " + key;
+        return false;
+      }
+    }
+    // Bare "site" (no nth/p) means fail-at-site: every call fails until
+    // max_failures runs out, so lift the one-shot default.
+    if (!has_trigger) rule.max_failures = ~std::uint64_t{0};
+    plan.rules.push_back(rule);
+  }
+  if (plan.rules.empty()) {
+    error = "empty fault spec";
+    return false;
+  }
+  return true;
+}
+
+bool FaultInjector::arm_from_env(std::string& error) {
+  const char* spec = std::getenv("FHC_FAULT");
+  if (spec == nullptr || *spec == '\0') return false;
+  FaultPlan plan;
+  if (const char* seed = std::getenv("FHC_FAULT_SEED")) {
+    plan.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (!parse_spec(spec, plan, error)) return false;
+  arm(std::move(plan));
+  return true;
+}
+
+namespace fi {
+
+int injected(FaultSite site) noexcept {
+  return FaultInjector::instance().check(site);
+}
+
+void alloc_guard() {
+  if (FaultInjector::instance().check(FaultSite::kAlloc) != 0) {
+    throw std::bad_alloc();
+  }
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+ssize_t read(int fd, void* buf, std::size_t count) noexcept {
+  if (const int e = injected(FaultSite::kRead)) {
+    errno = e;
+    return -1;
+  }
+  return ::read(fd, buf, count);
+}
+
+ssize_t write(int fd, const void* buf, std::size_t count) noexcept {
+  if (const int e = injected(FaultSite::kWrite)) {
+    errno = e;
+    return -1;
+  }
+  return ::write(fd, buf, count);
+}
+
+ssize_t recv(int fd, void* buf, std::size_t count, int flags) noexcept {
+  if (const int e = injected(FaultSite::kRead)) {
+    errno = e;
+    return -1;
+  }
+  return ::recv(fd, buf, count, flags);
+}
+
+ssize_t send(int fd, const void* buf, std::size_t count, int flags) noexcept {
+  if (const int e = injected(FaultSite::kWrite)) {
+    errno = e;
+    return -1;
+  }
+  return ::send(fd, buf, count, flags);
+}
+
+int fsync(int fd) noexcept {
+  if (const int e = injected(FaultSite::kFsync)) {
+    errno = e;
+    return -1;
+  }
+  return ::fsync(fd);
+}
+
+void* mmap(void* addr, std::size_t length, int prot, int flags, int fd,
+           off_t offset) noexcept {
+  if (const int e = injected(FaultSite::kMmap)) {
+    errno = e;
+    return MAP_FAILED;
+  }
+  return ::mmap(addr, length, prot, flags, fd, offset);
+}
+
+#endif  // unix
+
+#if defined(__linux__)
+
+int accept4(int fd, ::sockaddr* addr, ::socklen_t* addrlen,
+            int flags) noexcept {
+  if (const int e = injected(FaultSite::kAccept)) {
+    errno = e;
+    return -1;
+  }
+  return ::accept4(fd, addr, addrlen, flags);
+}
+
+int epoll_wait(int epfd, ::epoll_event* events, int maxevents,
+               int timeout) noexcept {
+  if (const int e = injected(FaultSite::kEpollWait)) {
+    errno = e;
+    return -1;
+  }
+  return ::epoll_wait(epfd, events, maxevents, timeout);
+}
+
+ssize_t eventfd_read(int fd, std::uint64_t& value) noexcept {
+  if (const int e = injected(FaultSite::kEventfd)) {
+    errno = e;
+    return -1;
+  }
+  return ::read(fd, &value, sizeof value);
+}
+
+ssize_t eventfd_write(int fd, std::uint64_t value) noexcept {
+  if (const int e = injected(FaultSite::kEventfd)) {
+    errno = e;
+    return -1;
+  }
+  return ::write(fd, &value, sizeof value);
+}
+
+#endif  // linux
+
+}  // namespace fi
+
+}  // namespace fhc::util

@@ -1,0 +1,191 @@
+// util::FaultInjector — deterministic, process-wide fault injection for
+// the serving stack's environment dependencies.
+//
+// Every error branch in the daemon (a recv() that returns ECONNRESET, an
+// accept4() hitting EMFILE, an mmap() denied mid-RELOAD, an fsync()
+// failing under a full disk) is dead code until something exercises it.
+// This layer makes those branches drivable from tests and from the
+// fhc_chaos sweep tool without mocking the kernel: the serving code
+// calls thin `fi::` wrappers instead of raw syscalls, and each wrapper
+// asks the injector whether this call should fail before forwarding to
+// the real thing.
+//
+// Schedules are seeded and deterministic:
+//   * fail-the-Nth-call   — the Nth intercepted call at a site fails
+//                           (per-site counters reset at arm());
+//   * fail-with-probability — each call fails with probability p drawn
+//                           from a SplitMix64 stream seeded at arm();
+//   * fail-at-site        — p = 1.0: every call at the site fails (until
+//                           max_failures is spent).
+//
+// Disarmed cost is one relaxed atomic load per wrapped call — no locks,
+// no counters, no branches beyond the check — so the wrappers are
+// compiled in always (release binaries included) and the chaos harness
+// drives the very binaries that ship.
+//
+// The injector is process-wide: arm() in a test affects every wrapped
+// site in the process. Wrappers are placed only at *server-side* call
+// sites (SocketServer, ModelMap, SectionedWriter), so in-process clients
+// driving a chaos run stay healthy.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/types.h>
+#endif
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+namespace fhc::util {
+
+enum class FaultSite : unsigned {
+  kRead = 0,    // recv()/read() on a connection
+  kWrite,       // send()/write() on a connection
+  kAccept,      // accept4() on a listener
+  kEpollWait,   // the event loop's epoll_wait()
+  kEventfd,     // the wake eventfd (read and write sides)
+  kMmap,        // model file mapping
+  kFsync,       // model save durability barrier
+  kRename,      // model save atomic replace
+  kAlloc,       // allocation guard (throws std::bad_alloc when fired)
+};
+inline constexpr std::size_t kFaultSiteCount = 9;
+
+/// The canonical site names ("read", "write", "accept", "epoll_wait",
+/// "eventfd", "mmap", "fsync", "rename", "alloc") — used by the spec
+/// parser and the chaos tools' reports.
+const char* fault_site_name(FaultSite site) noexcept;
+
+/// The errno a real failure at this site most plausibly carries
+/// (ECONNRESET for read, ECONNABORTED for accept, ENOMEM for mmap, ...).
+/// Chaos sweeps default to it so the exercised branches are the ones
+/// production would take.
+int fault_default_errno(FaultSite site) noexcept;
+
+/// One injection rule. `nth` and `probability` compose: the rule fires on
+/// the exact Nth intercepted call at `site` and/or on any call with
+/// probability p. `max_failures` bounds how many times it fires in total
+/// (so a "fail once then recover" schedule is nth=N, max_failures=1 —
+/// the default).
+struct FaultRule {
+  FaultSite site = FaultSite::kRead;
+  std::uint64_t nth = 0;        // 1-based call index at the site; 0 = off
+  double probability = 0.0;     // per-call failure probability; 1.0 = always
+  int error_code = 0;           // errno to inject; 0 = fault_default_errno(site)
+  std::uint64_t max_failures = 1;
+};
+
+/// A full schedule: the seed drives every probability draw, so the same
+/// plan injects the same faults on every run.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+};
+
+class FaultInjector {
+ public:
+  /// The process-wide instance (constant-initialized; safe to use from
+  /// static constructors and signal-free contexts).
+  static FaultInjector& instance() noexcept;
+
+  /// Installs `plan` and starts injecting. Resets all per-site counters.
+  void arm(FaultPlan plan);
+
+  /// Stops injecting (wrappers become passthrough again) and clears the
+  /// plan. Counters keep their values for post-run assertions.
+  void disarm();
+
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// The hot-path gate called by every wrapper: returns the errno to
+  /// inject at `site`, or 0 to let the real call proceed. Disarmed, this
+  /// is a single relaxed atomic load.
+  int check(FaultSite site) noexcept;
+
+  struct SiteCounters {
+    std::uint64_t calls = 0;     // intercepted while armed
+    std::uint64_t injected = 0;  // failures delivered
+  };
+
+  std::array<SiteCounters, kFaultSiteCount> counters() const;
+  std::uint64_t total_injected() const;
+
+  /// Parses a schedule spec into `plan.rules` (the seed is left alone):
+  ///
+  ///   spec  := rule (';' rule)*
+  ///   rule  := site (':' key '=' value)*
+  ///   site  := read|write|accept|epoll_wait|eventfd|mmap|fsync|rename|alloc
+  ///   key   := nth | p | errno | max
+  ///
+  /// errno accepts a symbolic name (EIO, EINTR, EAGAIN, ECONNRESET,
+  /// ECONNABORTED, EMFILE, ENOMEM, ENOSPC, EPIPE) or a decimal number.
+  /// A rule with neither nth nor p fails every call (fail-at-site).
+  /// Returns false and fills `error` on a malformed spec.
+  static bool parse_spec(const std::string& spec, FaultPlan& plan,
+                         std::string& error);
+
+  /// Arms from the FHC_FAULT environment variable (spec as above) with
+  /// FHC_FAULT_SEED (default 1). Returns true when armed, false when the
+  /// variable is unset; a malformed spec fills `error` and leaves the
+  /// injector disarmed. This is how `fhc_serve` under ci_chaos_smoke.sh
+  /// runs the shipped binary with faults scheduled.
+  bool arm_from_env(std::string& error);
+
+ private:
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;  // armed-path state below
+  std::vector<FaultRule> rules_;
+  std::vector<std::uint64_t> fired_;  // per-rule injection counts
+  std::uint64_t rng_state_ = 1;
+  std::array<SiteCounters, kFaultSiteCount> counters_{};
+};
+
+// ---- injectable syscall wrappers ----------------------------------------
+// Drop-in signatures: same return/errno contract as the real call, with
+// the injector consulted first. Serving code calls these instead of the
+// raw syscall; everything else (clients, one-shot CLI paths) stays raw.
+namespace fi {
+
+#if defined(__unix__) || defined(__APPLE__)
+ssize_t read(int fd, void* buf, std::size_t count) noexcept;
+ssize_t write(int fd, const void* buf, std::size_t count) noexcept;
+ssize_t recv(int fd, void* buf, std::size_t count, int flags) noexcept;
+ssize_t send(int fd, const void* buf, std::size_t count, int flags) noexcept;
+int fsync(int fd) noexcept;
+void* mmap(void* addr, std::size_t length, int prot, int flags, int fd,
+           off_t offset) noexcept;
+#endif
+
+#if defined(__linux__)
+int accept4(int fd, ::sockaddr* addr, ::socklen_t* addrlen,
+            int flags) noexcept;
+int epoll_wait(int epfd, ::epoll_event* events, int maxevents,
+               int timeout) noexcept;
+ssize_t eventfd_read(int fd, std::uint64_t& value) noexcept;
+ssize_t eventfd_write(int fd, std::uint64_t value) noexcept;
+#endif
+
+/// Generic gate for failure points that are not raw syscalls (e.g. the
+/// std::filesystem::rename in the model save path): returns the injected
+/// errno, or 0.
+int injected(FaultSite site) noexcept;
+
+/// Allocation hook: throws std::bad_alloc when a kAlloc rule fires.
+/// Placed in front of the serving stack's unbounded allocations (frame
+/// payload buffers, service queue growth).
+void alloc_guard();
+
+}  // namespace fi
+
+}  // namespace fhc::util

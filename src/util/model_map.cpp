@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/fault_inject.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define FHC_HAVE_MMAP 1
 #include <fcntl.h>
@@ -31,7 +33,7 @@ ModelMap::ModelMap(const std::string& path) {
     ::close(fd);
     return;
   }
-  void* addr = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  void* addr = fi::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);  // the mapping holds its own reference
   if (addr == MAP_FAILED) throw std::runtime_error("ModelMap: mmap failed for " + path);
   data_ = static_cast<const std::byte*>(addr);

@@ -4,10 +4,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
+
+#include "util/fault_inject.hpp"
 
 namespace fhc::util {
 
@@ -169,7 +172,7 @@ void SectionedWriter::write_file(const std::string& path) const {
     out.close();
     const int fd = ::open(tmp.c_str(), O_RDONLY);
     if (fd < 0) bad("cannot reopen " + tmp + " for fsync");
-    const int rc = ::fsync(fd);
+    const int rc = fi::fsync(fd);
     ::close(fd);
     if (rc != 0) bad("fsync failed for " + tmp);
   } catch (...) {
@@ -178,7 +181,11 @@ void SectionedWriter::write_file(const std::string& path) const {
     throw;
   }
   std::error_code error;
-  std::filesystem::rename(tmp, path, error);
+  if (const int injected = fi::injected(FaultSite::kRename); injected != 0) {
+    error = std::error_code(injected, std::generic_category());
+  } else {
+    std::filesystem::rename(tmp, path, error);
+  }
   if (error) {
     std::filesystem::remove(tmp, error);
     bad("cannot replace " + path);

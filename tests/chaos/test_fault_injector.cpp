@@ -1,0 +1,253 @@
+// util::FaultInjector: the deterministic fault-injection core the chaos
+// harness stands on.
+//
+// The load-bearing properties: disarmed wrappers are pure passthrough,
+// an armed nth-call schedule fires on exactly the Nth intercepted call,
+// probability schedules replay bit-identically under the same seed, the
+// spec parser accepts the documented grammar and rejects junk, and the
+// injectable write path (fsync/rename) leaves a previously-written file
+// intact when the save is failed mid-flight.
+#include "util/fault_inject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/sectioned.hpp"
+
+namespace fhc::util {
+namespace {
+
+/// Every test leaves the process-wide injector disarmed.
+struct Disarmer {
+  ~Disarmer() { FaultInjector::instance().disarm(); }
+};
+
+TEST(FaultInjector, DisarmedIsPassthrough) {
+  Disarmer guard;
+  FaultInjector& injector = FaultInjector::instance();
+  injector.disarm();
+  EXPECT_FALSE(injector.armed());
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    EXPECT_EQ(injector.check(static_cast<FaultSite>(i)), 0);
+  }
+}
+
+TEST(FaultInjector, NthCallFiresExactlyOnce) {
+  Disarmer guard;
+  FaultInjector& injector = FaultInjector::instance();
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = FaultSite::kRead;
+  rule.nth = 3;
+  plan.rules.push_back(rule);
+  injector.arm(std::move(plan));
+
+  std::vector<int> results;
+  for (int i = 0; i < 6; ++i) results.push_back(injector.check(FaultSite::kRead));
+  EXPECT_EQ(results, (std::vector<int>{0, 0, ECONNRESET, 0, 0, 0}));
+
+  const auto counters = injector.counters();
+  EXPECT_EQ(counters[static_cast<std::size_t>(FaultSite::kRead)].calls, 6u);
+  EXPECT_EQ(counters[static_cast<std::size_t>(FaultSite::kRead)].injected, 1u);
+  EXPECT_EQ(injector.total_injected(), 1u);
+}
+
+TEST(FaultInjector, SitesAreIndependent) {
+  Disarmer guard;
+  FaultInjector& injector = FaultInjector::instance();
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = FaultSite::kWrite;
+  rule.nth = 1;
+  plan.rules.push_back(rule);
+  injector.arm(std::move(plan));
+
+  // Calls at other sites neither fire nor advance kWrite's counter.
+  EXPECT_EQ(injector.check(FaultSite::kRead), 0);
+  EXPECT_EQ(injector.check(FaultSite::kAccept), 0);
+  EXPECT_EQ(injector.check(FaultSite::kWrite), EPIPE);
+  EXPECT_EQ(injector.check(FaultSite::kWrite), 0);
+}
+
+TEST(FaultInjector, ExplicitErrnoAndMaxFailures) {
+  Disarmer guard;
+  FaultInjector& injector = FaultInjector::instance();
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = FaultSite::kAccept;
+  rule.probability = 1.0;
+  rule.error_code = EMFILE;
+  rule.max_failures = 2;
+  plan.rules.push_back(rule);
+  injector.arm(std::move(plan));
+
+  EXPECT_EQ(injector.check(FaultSite::kAccept), EMFILE);
+  EXPECT_EQ(injector.check(FaultSite::kAccept), EMFILE);
+  EXPECT_EQ(injector.check(FaultSite::kAccept), 0);  // budget spent
+}
+
+TEST(FaultInjector, ProbabilityScheduleIsSeedDeterministic) {
+  Disarmer guard;
+  FaultInjector& injector = FaultInjector::instance();
+  const auto run = [&](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    FaultRule rule;
+    rule.site = FaultSite::kRead;
+    rule.probability = 0.5;
+    rule.max_failures = 1000;
+    plan.rules.push_back(rule);
+    injector.arm(std::move(plan));
+    std::vector<int> outcomes;
+    for (int i = 0; i < 64; ++i) outcomes.push_back(injector.check(FaultSite::kRead));
+    return outcomes;
+  };
+  const std::vector<int> first = run(42);
+  const std::vector<int> second = run(42);
+  const std::vector<int> other = run(43);
+  EXPECT_EQ(first, second);  // same seed -> same schedule
+  EXPECT_NE(first, other);   // different seed -> different draws
+  // p=0.5 over 64 draws: both outcomes must occur.
+  EXPECT_NE(std::count(first.begin(), first.end(), 0), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), ECONNRESET), 0);
+}
+
+TEST(FaultInjector, DefaultErrnosMatchTheSite) {
+  EXPECT_EQ(fault_default_errno(FaultSite::kRead), ECONNRESET);
+  EXPECT_EQ(fault_default_errno(FaultSite::kWrite), EPIPE);
+  EXPECT_EQ(fault_default_errno(FaultSite::kAccept), ECONNABORTED);
+  EXPECT_EQ(fault_default_errno(FaultSite::kEpollWait), EINTR);
+  EXPECT_EQ(fault_default_errno(FaultSite::kMmap), ENOMEM);
+  EXPECT_EQ(fault_default_errno(FaultSite::kFsync), EIO);
+  EXPECT_EQ(fault_default_errno(FaultSite::kRename), EIO);
+  EXPECT_EQ(fault_default_errno(FaultSite::kAlloc), ENOMEM);
+}
+
+TEST(FaultInjector, SiteNamesRoundTrip) {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(FaultInjector::parse_spec(fault_site_name(site), plan, error))
+        << error;
+    ASSERT_EQ(plan.rules.size(), 1u);
+    EXPECT_EQ(plan.rules[0].site, site);
+  }
+}
+
+TEST(FaultInjector, ParseSpecGrammar) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultInjector::parse_spec(
+      "read:nth=3;accept:p=0.25:errno=EMFILE:max=5; write : nth=1 ", plan,
+      error))
+      << error;
+  ASSERT_EQ(plan.rules.size(), 3u);
+  EXPECT_EQ(plan.rules[0].site, FaultSite::kRead);
+  EXPECT_EQ(plan.rules[0].nth, 3u);
+  EXPECT_EQ(plan.rules[1].site, FaultSite::kAccept);
+  EXPECT_DOUBLE_EQ(plan.rules[1].probability, 0.25);
+  EXPECT_EQ(plan.rules[1].error_code, EMFILE);
+  EXPECT_EQ(plan.rules[1].max_failures, 5u);
+  EXPECT_EQ(plan.rules[2].site, FaultSite::kWrite);
+  EXPECT_EQ(plan.rules[2].nth, 1u);
+
+  // Numeric errno accepted too.
+  ASSERT_TRUE(FaultInjector::parse_spec("fsync:errno=5", plan, error)) << error;
+
+  EXPECT_FALSE(FaultInjector::parse_spec("bogus_site", plan, error));
+  EXPECT_FALSE(FaultInjector::parse_spec("read:nth", plan, error));
+  EXPECT_FALSE(FaultInjector::parse_spec("read:nth=abc", plan, error));
+  EXPECT_FALSE(FaultInjector::parse_spec("read:p=2.5", plan, error));
+  EXPECT_FALSE(FaultInjector::parse_spec("read:errno=ENOSUCH", plan, error));
+  EXPECT_FALSE(FaultInjector::parse_spec("", plan, error));
+}
+
+TEST(FaultInjector, ArmFromEnvironment) {
+  Disarmer guard;
+  FaultInjector& injector = FaultInjector::instance();
+  ::setenv("FHC_FAULT", "eventfd:nth=2", 1);
+  ::setenv("FHC_FAULT_SEED", "99", 1);
+  std::string error;
+  EXPECT_TRUE(injector.arm_from_env(error)) << error;
+  EXPECT_TRUE(injector.armed());
+  EXPECT_EQ(injector.check(FaultSite::kEventfd), 0);
+  EXPECT_EQ(injector.check(FaultSite::kEventfd), EAGAIN);
+  injector.disarm();
+
+  ::setenv("FHC_FAULT", "not-a-site", 1);
+  EXPECT_FALSE(injector.arm_from_env(error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(injector.armed());
+
+  ::unsetenv("FHC_FAULT");
+  ::unsetenv("FHC_FAULT_SEED");
+  error.clear();
+  EXPECT_FALSE(injector.arm_from_env(error));
+  EXPECT_TRUE(error.empty());  // unset is not an error
+}
+
+TEST(FaultInjector, AllocGuardThrowsBadAlloc) {
+  Disarmer guard;
+  FaultInjector& injector = FaultInjector::instance();
+  fi::alloc_guard();  // disarmed: no-op
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = FaultSite::kAlloc;
+  rule.nth = 2;
+  plan.rules.push_back(rule);
+  injector.arm(std::move(plan));
+  fi::alloc_guard();  // first call passes
+  EXPECT_THROW(fi::alloc_guard(), std::bad_alloc);
+  fi::alloc_guard();  // budget spent: passes again
+}
+
+/// A failed fsync or rename mid-save must leave the previous file intact
+/// — the atomic-replace contract under injected I/O faults.
+TEST(FaultInjector, FailedSaveLeavesExistingFileIntact) {
+  Disarmer guard;
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("fhc_fault_save_" + std::to_string(::getpid()) + ".bin");
+  const std::string original = "ORIGINAL";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << original;
+  }
+
+  const std::vector<std::byte> payload = {std::byte{1}, std::byte{2},
+                                          std::byte{3}};
+  for (const char* spec : {"fsync:nth=1", "rename:nth=1"}) {
+    FaultPlan plan;
+    std::string parse_error;
+    ASSERT_TRUE(FaultInjector::parse_spec(spec, plan, parse_error))
+        << parse_error;
+    FaultInjector::instance().arm(std::move(plan));
+    SectionedWriter writer("FHCTEST1");
+    writer.add("data", payload);
+    EXPECT_THROW(writer.write_file(path.string()), std::runtime_error) << spec;
+    FaultInjector::instance().disarm();
+
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_EQ(contents, original) << spec;  // old file untouched
+    EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp")) << spec;
+  }
+
+  // Faults spent: the same save now succeeds and replaces the file.
+  SectionedWriter writer("FHCTEST1");
+  writer.add("data", payload);
+  writer.write_file(path.string());
+  EXPECT_GT(std::filesystem::file_size(path), original.size());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace fhc::util

@@ -121,6 +121,185 @@ void check_payload(std::span<const std::uint8_t> payload) {
 
 }  // namespace
 
+#if defined(FHC_LIBFUZZER)
+// Structure-aware mutation: random byte flips almost never produce a
+// frame that clears the length prefix + opcode + per-field bounds
+// checks, so coverage stalls at the decoder's front door. The custom
+// mutator speaks the frame grammar — it emits well-formed frames, tweaks
+// decoded fields and re-encodes, and re-frames blind mutations under a
+// correct length prefix — landing inputs deep in the codec where the
+// interesting bugs live. A slice of the budget still goes to raw
+// LLVMFuzzerMutate so pure framing violations stay covered.
+extern "C" std::size_t LLVMFuzzerMutate(std::uint8_t* data, std::size_t size,
+                                        std::size_t max_size);
+
+namespace {
+
+std::uint64_t mix(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// A plausible ssdeep-ish digest: "<blocksize>:<b64ish>:<b64ish>".
+std::string random_digest(std::uint64_t& state) {
+  static constexpr char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  std::string out = std::to_string(3u << (mix(state) % 8));
+  out += ':';
+  for (int half = 0; half < 2; ++half) {
+    const std::size_t len = mix(state) % 24;
+    for (std::size_t i = 0; i < len; ++i) {
+      out += kAlphabet[mix(state) % (sizeof kAlphabet - 1)];
+    }
+    if (half == 0) out += ':';
+  }
+  return out;
+}
+
+/// Appends one well-formed random frame (request or response) to `out`.
+void random_frame(std::uint64_t& state, std::string& out) {
+  const std::optional<std::uint32_t> deadline =
+      (mix(state) % 2) != 0
+          ? std::optional<std::uint32_t>(
+                static_cast<std::uint32_t>(mix(state) % 5000))
+          : std::nullopt;
+  switch (mix(state) % 10) {
+    case 0: {
+      std::vector<std::string> digests;
+      const std::size_t count = mix(state) % 5;
+      for (std::size_t i = 0; i < count; ++i) {
+        digests.push_back(random_digest(state));
+      }
+      fhc::net::encode_classify_digests(out, digests, deadline);
+      break;
+    }
+    case 1:
+      fhc::net::encode_classify_path(out, "/bin/app@/tmp/trace", deadline);
+      break;
+    case 2:
+      fhc::net::encode_stats(out);
+      break;
+    case 3:
+      fhc::net::encode_reload(out, "/models/prod.fhcb");
+      break;
+    case 4:
+      fhc::net::encode_ping(out);
+      break;
+    case 5: {
+      std::uint64_t conf_bits = mix(state);
+      double confidence;
+      std::memcpy(&confidence, &conf_bits, sizeof confidence);
+      fhc::net::encode_prediction(out, static_cast<std::int32_t>(mix(state) % 7) - 1,
+                                  (mix(state) % 2) != 0, confidence, mix(state),
+                                  random_digest(state));
+      break;
+    }
+    case 6:
+      fhc::net::encode_deadline_exceeded(out, "deadline expired");
+      break;
+    case 7:
+      fhc::net::encode_busy(out, "queue full");
+      break;
+    case 8:
+      fhc::net::encode_error(out, random_digest(state));
+      break;
+    default:
+      fhc::net::encode_quit(out);
+      break;
+  }
+}
+
+std::size_t emit(const std::string& bytes, std::uint8_t* data,
+                 std::size_t max_size) {
+  const std::size_t n = std::min(bytes.size(), max_size);
+  std::memcpy(data, bytes.data(), n);
+  return n;
+}
+
+}  // namespace
+
+extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
+                                               std::size_t size,
+                                               std::size_t max_size,
+                                               unsigned int seed) {
+  std::uint64_t state = seed;
+  switch (mix(state) % 5) {
+    case 0: {
+      // Fresh well-formed pipeline of 1..3 frames.
+      std::string wire;
+      const std::size_t frames = 1 + mix(state) % 3;
+      for (std::size_t i = 0; i < frames; ++i) random_frame(state, wire);
+      return emit(wire, data, max_size);
+    }
+    case 1: {
+      // Decode the leading frame, mutate a decoded field, re-encode —
+      // stays inside the grammar while moving through field space.
+      fhc::net::FrameReader reader(/*max_frame=*/1 << 20);
+      reader.feed(std::span<const std::uint8_t>(data, size));
+      const auto payload = reader.next();
+      fhc::net::Request request;
+      if (!payload.has_value() ||
+          fhc::net::decode_request(*payload, request) != DecodeStatus::kOk) {
+        break;  // nothing decodable: fall through to blind mutation
+      }
+      std::string wire;
+      if (request.op == Opcode::kClassifyDigests) {
+        if (!request.digests.empty() && (mix(state) % 2) != 0) {
+          request.digests[mix(state) % request.digests.size()] =
+              random_digest(state);
+        } else {
+          request.digests.push_back(random_digest(state));
+        }
+        const std::optional<std::uint32_t> deadline =
+            (mix(state) % 2) != 0
+                ? std::optional<std::uint32_t>(
+                      static_cast<std::uint32_t>(mix(state)))
+                : std::nullopt;
+        fhc::net::encode_classify_digests(wire, request.digests, deadline);
+      } else {
+        reencode_request(request, wire);
+        random_frame(state, wire);  // and pipeline something behind it
+      }
+      return emit(wire, data, max_size);
+    }
+    case 2: {
+      // Re-frame: blind-mutate the payload, keep the length prefix
+      // honest so the mutation reaches the decoder instead of dying at
+      // the framing check.
+      if (max_size < 5) break;
+      std::vector<std::uint8_t> payload;
+      if (size > 4) payload.assign(data + 4, data + size);
+      payload.resize(std::max<std::size_t>(payload.size(), 1));
+      payload.resize(max_size - 4);
+      const std::size_t payload_size = LLVMFuzzerMutate(
+          payload.data(), std::min<std::size_t>(payload.size(), size > 4 ? size - 4 : 1),
+          payload.size());
+      if (payload_size == 0) break;
+      const auto len = static_cast<std::uint32_t>(payload_size);
+      std::memcpy(data, &len, 4);
+      std::memcpy(data + 4, payload.data(), payload_size);
+      return 4 + payload_size;
+    }
+    case 3: {
+      // Frame-boundary probe: nudge the length prefix off by a little —
+      // torn/overlong declarations are exactly the poisoning paths.
+      if (size < 4) break;
+      std::uint32_t len = 0;
+      std::memcpy(&len, data, 4);
+      len += static_cast<std::uint32_t>(mix(state) % 7) - 3;
+      std::memcpy(data, &len, 4);
+      return size;
+    }
+    default:
+      break;
+  }
+  return LLVMFuzzerMutate(data, size, max_size);
+}
+#endif  // FHC_LIBFUZZER
+
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   // A small max_frame makes the poisoning path reachable with short

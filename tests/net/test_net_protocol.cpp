@@ -47,6 +47,86 @@ TEST(NetProtocol, ClassifyDigestsRoundTrip) {
   EXPECT_EQ(reader.buffered(), 0u);
 }
 
+TEST(NetProtocol, ClassifyDeadlineRoundTrips) {
+  // The optional deadline field on both CLASSIFY forms, including the
+  // 0ms case — has_deadline distinguishes "expire at once" from "no
+  // deadline".
+  for (const std::uint32_t deadline_ms : {0u, 1u, 250u, 0xffffffffu}) {
+    std::string wire;
+    encode_classify_digests(wire, std::vector<std::string>{"3:abc:def"},
+                            deadline_ms);
+    encode_classify_path(wire, "/opt/app/bin/solver", deadline_ms);
+
+    FrameReader reader;
+    reader.feed(wire);
+    for (int frame = 0; frame < 2; ++frame) {
+      const auto payload = reader.next();
+      ASSERT_TRUE(payload.has_value());
+      Request request;
+      ASSERT_EQ(decode_request(*payload, request), DecodeStatus::kOk);
+      EXPECT_TRUE(request.has_deadline) << deadline_ms;
+      EXPECT_EQ(request.deadline_ms, deadline_ms);
+    }
+  }
+  // Without the field the flag stays down.
+  std::string wire;
+  encode_classify_digests(wire, std::vector<std::string>{"3:abc:def"});
+  FrameReader reader;
+  reader.feed(wire);
+  Request request;
+  ASSERT_EQ(decode_request(*reader.next(), request), DecodeStatus::kOk);
+  EXPECT_FALSE(request.has_deadline);
+  EXPECT_EQ(request.deadline_ms, 0u);
+}
+
+TEST(NetProtocol, ClassifyReservedCountFlagBitsAreMalformed) {
+  // Bits 4..6 of the count_flags byte are reserved must-be-zero.
+  std::string wire;
+  encode_classify_digests(wire, std::vector<std::string>{"3:abc:def"});
+  std::vector<std::uint8_t> payload(wire.begin() + kFrameHeaderSize, wire.end());
+  const std::size_t flags_at = 1;  // opcode
+  for (const std::uint8_t bit : {0x10, 0x20, 0x40}) {
+    std::vector<std::uint8_t> poked = payload;
+    poked[flags_at] |= bit;
+    Request request;
+    EXPECT_EQ(decode_request(poked, request), DecodeStatus::kMalformed)
+        << "reserved bit 0x" << std::hex << int(bit);
+  }
+  Request request;
+  EXPECT_EQ(decode_request(payload, request), DecodeStatus::kOk);
+}
+
+TEST(NetProtocol, TruncatedDeadlineFieldIsMalformed) {
+  // Announce the deadline (bit 7) but cut the frame inside the u32.
+  std::string wire;
+  encode_classify_digests(wire, std::vector<std::string>{"3:abc:def"},
+                          std::uint32_t{1000});
+  const std::vector<std::uint8_t> payload(wire.begin() + kFrameHeaderSize,
+                                          wire.end());
+  ASSERT_TRUE(payload[1] & kClassifyFlagDeadline);
+  // The deadline u32 sits right after opcode + count_flags.
+  for (std::size_t keep = 2; keep < 2 + 4; ++keep) {
+    const std::vector<std::uint8_t> cut(payload.begin(),
+                                        payload.begin() + keep);
+    Request request;
+    EXPECT_EQ(decode_request(cut, request), DecodeStatus::kMalformed)
+        << "cut at byte " << keep;
+  }
+}
+
+TEST(NetProtocol, DeadlineExceededResponseRoundTrips) {
+  std::string wire;
+  encode_deadline_exceeded(wire, "deadline expired before scoring");
+  FrameReader reader;
+  reader.feed(wire);
+  const auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  Response response;
+  ASSERT_EQ(decode_response(*payload, response), DecodeStatus::kOk);
+  EXPECT_EQ(response.op, Opcode::kDeadlineExceeded);
+  EXPECT_EQ(response.text, "deadline expired before scoring");
+}
+
 TEST(NetProtocol, AllRequestOpcodesRoundTrip) {
   std::string wire;
   encode_classify_path(wire, "/opt/app/bin/solver@/tmp/trace.txt");

@@ -16,6 +16,7 @@
 #include <bit>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -410,6 +411,42 @@ TEST(SocketServer, ReloadMidConnectionSwapsModel) {
   ASSERT_TRUE(client.send_bytes(classify_frame(fx.queries[1])));
   ASSERT_TRUE(client.read_response(response, &error)) << error;
   EXPECT_EQ(response.op, Opcode::kPrediction);
+  std::filesystem::remove(path);
+}
+
+TEST(SocketServer, ReloadWithDamagedModelAnswersErrorAndKeepsServing) {
+  // Verify-before-swap over the wire: a RELOAD naming a bit-flipped
+  // model file answers ERROR, the old snapshot keeps serving
+  // bit-identically, and the reload counter stays put.
+  const Fixture& fx = fixture();
+  TestDaemon daemon(clone(fx.model));
+  BlockingClient client;
+  ASSERT_EQ(client.connect(daemon.unix_endpoint(), /*retries=*/20), "");
+
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("fhc_net_damaged_" + std::to_string(::getpid()) + ".fhcb");
+  fx.strict_model.save_binary_file(path.string());
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    const auto size = std::filesystem::file_size(path);
+    file.seekp(static_cast<std::streamoff>(size / 2));
+    const char flip = 0x40;
+    file.write(&flip, 1);
+  }
+
+  std::string wire;
+  encode_reload(wire, path.string());
+  wire += classify_frame(fx.queries[0]);  // pipelined behind the bad reload
+  ASSERT_TRUE(client.send_bytes(wire));
+  Response response;
+  std::string error;
+  ASSERT_TRUE(client.read_response(response, &error)) << error;
+  EXPECT_EQ(response.op, Opcode::kError) << response.text;
+  ASSERT_TRUE(client.read_response(response, &error)) << error;
+  // Old model, not the (strict) one the damaged file carried.
+  expect_prediction_matches(response, fx.model.predict(fx.queries[0]));
+  EXPECT_EQ(daemon.svc.stats().reloads, 0u);
   std::filesystem::remove(path);
 }
 

@@ -1,0 +1,135 @@
+// net::TimerWheel — the hashed timing wheel behind the socket server's
+// idle / read-progress eviction.
+//
+// The load-bearing properties: entries fire only once their tick has
+// passed (never early), expire() drains everything due in one call even
+// across several elapsed ticks, far-future entries survive a full wheel
+// revolution (absolute ticks, not rounds), slot collisions lose no
+// entries, and next_timeout_ms() gives the epoll loop a usable bound
+// (-1 when idle, >= 0 and <= the earliest deadline otherwise).
+#include "net/timer_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+namespace fhc::net {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = TimerWheel::Clock;
+
+std::vector<std::uint64_t> sorted(std::vector<std::uint64_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(TimerWheel, EmptyWheelHasNoTimeout) {
+  TimerWheel wheel(10ms, 16);
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.size(), 0u);
+  EXPECT_EQ(wheel.next_timeout_ms(Clock::now()), -1);
+  std::vector<std::uint64_t> out;
+  wheel.expire(Clock::now(), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TimerWheel, EntryFiresAfterItsDeadlineNotBefore) {
+  TimerWheel wheel(10ms, 16);
+  const Clock::time_point now = Clock::now();
+  wheel.schedule(7, now + 50ms);
+  EXPECT_EQ(wheel.size(), 1u);
+
+  std::vector<std::uint64_t> out;
+  wheel.expire(now + 20ms, out);
+  EXPECT_TRUE(out.empty()) << "fired 30ms early";
+  wheel.expire(now + 200ms, out);
+  EXPECT_EQ(out, std::vector<std::uint64_t>{7});
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, DrainsEverythingDueInOneCall) {
+  TimerWheel wheel(10ms, 16);
+  const Clock::time_point now = Clock::now();
+  wheel.schedule(1, now + 15ms);
+  wheel.schedule(2, now + 35ms);
+  wheel.schedule(3, now + 55ms);
+  wheel.schedule(4, now + 900ms);  // not due
+
+  std::vector<std::uint64_t> out;
+  wheel.expire(now + 100ms, out);  // several ticks elapsed at once
+  EXPECT_EQ(sorted(out), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(wheel.size(), 1u);
+}
+
+TEST(TimerWheel, SlotCollisionsLoseNothing) {
+  // 4 slots x 10ms: ids 10ms apart beyond one revolution share slots.
+  TimerWheel wheel(10ms, 4);
+  const Clock::time_point now = Clock::now();
+  for (std::uint64_t id = 0; id < 12; ++id) {
+    wheel.schedule(id, now + std::chrono::milliseconds(10 * (id + 1)));
+  }
+  EXPECT_EQ(wheel.size(), 12u);
+  std::vector<std::uint64_t> out;
+  wheel.expire(now + 500ms, out);
+  std::vector<std::uint64_t> want(12);
+  for (std::uint64_t id = 0; id < 12; ++id) want[id] = id;
+  EXPECT_EQ(sorted(out), want);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, FarFutureEntryRidesAroundTheWheel) {
+  // One revolution of this wheel is 4 x 10ms = 40ms; schedule well past
+  // it. The entry must neither fire early (when its slot first comes
+  // around) nor get lost.
+  TimerWheel wheel(10ms, 4);
+  const Clock::time_point now = Clock::now();
+  wheel.schedule(42, now + 130ms);
+
+  std::vector<std::uint64_t> out;
+  wheel.expire(now + 60ms, out);  // past the colliding earlier tick
+  EXPECT_TRUE(out.empty()) << "fired a full revolution early";
+  EXPECT_EQ(wheel.size(), 1u);
+  wheel.expire(now + 200ms, out);
+  EXPECT_EQ(out, std::vector<std::uint64_t>{42});
+}
+
+TEST(TimerWheel, NextTimeoutBoundsTheEarliestDeadline) {
+  TimerWheel wheel(10ms, 16);
+  const Clock::time_point now = Clock::now();
+  wheel.schedule(1, now + 80ms);
+  wheel.schedule(2, now + 30ms);
+
+  const int timeout = wheel.next_timeout_ms(now);
+  ASSERT_GE(timeout, 0);
+  // Never sleep past the earliest deadline's tick (rounded up + one
+  // resolution of slack).
+  EXPECT_LE(timeout, 40);
+
+  // Past every deadline the wheel still demands an immediate poll.
+  EXPECT_EQ(wheel.next_timeout_ms(now + 500ms), 0);
+}
+
+TEST(TimerWheel, ExpiredIdsCanBeRescheduled) {
+  // The lazy-revalidation contract: the caller re-schedules an id whose
+  // authoritative deadline moved. The new entry must fire at the new
+  // deadline.
+  TimerWheel wheel(10ms, 16);
+  const Clock::time_point now = Clock::now();
+  wheel.schedule(9, now + 20ms);
+  std::vector<std::uint64_t> out;
+  wheel.expire(now + 50ms, out);
+  ASSERT_EQ(out, std::vector<std::uint64_t>{9});
+
+  wheel.schedule(9, now + 90ms);  // deadline moved: re-file
+  out.clear();
+  wheel.expire(now + 60ms, out);
+  EXPECT_TRUE(out.empty());
+  wheel.expire(now + 150ms, out);
+  EXPECT_EQ(out, std::vector<std::uint64_t>{9});
+}
+
+}  // namespace
+}  // namespace fhc::net

@@ -11,6 +11,7 @@
 #include "service/command_handler.hpp"
 
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <sstream>
 #include <thread>
@@ -533,6 +534,52 @@ TEST(CommandHandler, HandleLineSpeaksTheStdioProtocol) {
   out.str("");
   EXPECT_FALSE(handler.handle_line("QUIT", out));  // false = exit
   EXPECT_NE(out.str().find("OK bye"), std::string::npos);
+}
+
+TEST(CommandHandler, ReloadWithDamagedModelKeepsOldModelServing) {
+  // Verify-before-swap: a RELOAD pointing at a bit-flipped model file
+  // must fail the checksum pass, leave the old snapshot live, and count
+  // no reload.
+  const Fixture& fx = fixture();
+  ClassificationService svc(clone(fx.model));
+  CommandHandler handler(svc);
+
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("fhc_service_damaged_" + std::to_string(::getpid()) +
+                     ".fhcb");
+  fx.strict_model.save_binary_file(path.string());
+  // Flip one byte in the middle of the payload (past the header/table,
+  // inside some section's bytes).
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    const auto size = std::filesystem::file_size(path);
+    ASSERT_GT(size, 128u);
+    file.seekg(static_cast<std::streamoff>(size / 2));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(static_cast<std::streamoff>(size / 2));
+    file.write(&byte, 1);
+  }
+
+  const CommandHandler::ReloadResult result = handler.reload(path.string());
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.message.empty());
+  EXPECT_EQ(svc.stats().reloads, 0u);
+  // The old model still answers, bit-identically to its serial path —
+  // NOT the strict model's all-unknown behaviour.
+  for (const core::FeatureHashes& query : fx.queries) {
+    expect_identical(svc.submit(query).get(), fx.model.predict(query));
+  }
+
+  // Repair the file: the same RELOAD now succeeds and swaps.
+  fx.strict_model.save_binary_file(path.string());
+  const CommandHandler::ReloadResult repaired = handler.reload(path.string());
+  EXPECT_TRUE(repaired.ok) << repaired.message;
+  EXPECT_EQ(svc.stats().reloads, 1u);
+  EXPECT_TRUE(svc.submit(fx.queries[0]).get().is_unknown);
+  std::filesystem::remove(path);
 }
 
 TEST(ShardedLruCache, EvictsLeastRecentlyUsedPerShard) {

@@ -11,7 +11,18 @@ set -eu
 BUILD_DIR="${1:-build}"
 TOOLS="$BUILD_DIR/tools"
 WORK="$(mktemp -d)"
-trap 'rm -rf "$WORK"' EXIT
+WATCHDOG_PID=""
+cleanup() {
+  [ -n "$WATCHDOG_PID" ] && kill "$WATCHDOG_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Hard ceiling: a daemon that never answers QUIT (or a loadgen stuck on
+# a dead socket) must fail the step, not hang the runner. SIGKILL the
+# process group; the stuck `wait` below then surfaces the failure.
+( sleep 120; echo "error: socket smoke watchdog fired" >&2; kill -9 0 ) &
+WATCHDOG_PID=$!
 
 for tool in fhc_train fhc_serve fhc_loadgen fhc_hash fhc_classify fhc_inspect; do
   if [ ! -x "$TOOLS/$tool" ]; then

@@ -15,8 +15,16 @@
 //   --connections N   concurrent connections (default 4)
 //   --pipeline N      frames in flight per connection (default 8)
 //   --requests N      frames per connection (default 64)
-//   --retries N       connect retries, 50 ms apart (default 40 — tolerates
-//                     daemon startup races in scripts)
+//   --retries N       retry budget (default 40): connect retries 50 ms
+//                     apart, plus per-request re-send of BUSY replies and
+//                     reconnect-and-replay of transport faults, both with
+//                     exponential backoff + jitter
+//   --backoff-ms N    base retry backoff (default 5; doubles per attempt,
+//                     capped at 1s, jittered)
+//   --deadline-ms N   attach an N ms deadline to every CLASSIFY frame;
+//                     work the daemon cannot start in time comes back as
+//                     DEADLINE_EXCEEDED instead of queueing
+//   --recv-timeout-ms N  bound every blocking read (chaos runs)
 //   --stats           print the daemon's STATS line after the run
 //   --quit            send QUIT after the run (graceful daemon shutdown)
 //   --expect-all      exit nonzero unless every reply is a PREDICTION
@@ -29,9 +37,11 @@
 // Exit codes: 0 success, 1 transport failure or missing replies (or any
 // non-prediction reply under --expect-all, or any unknown-flagged
 // prediction under --expect-known), 2 usage error.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,7 +64,10 @@ int usage() {
       "  --connections N  concurrent connections (default 4)\n"
       "  --pipeline N     frames in flight per connection (default 8)\n"
       "  --requests N     frames per connection (default 64)\n"
-      "  --retries N      connect retries, 50ms apart (default 40)\n"
+      "  --retries N      retry budget: connect + BUSY re-send + reconnect\n"
+      "  --backoff-ms N   base retry backoff (default 5, exponential+jitter)\n"
+      "  --deadline-ms N  per-request deadline attached to every frame\n"
+      "  --recv-timeout-ms N  bound every blocking read\n"
       "  --stats          print the daemon STATS line after the run\n"
       "  --quit           send QUIT after the run (daemon shuts down)\n"
       "  --expect-all     fail unless every reply is a PREDICTION\n"
@@ -86,6 +99,7 @@ bool parse_tcp_spec(const std::string& spec, std::string& host, int& port) {
 
 /// Hashes one FILE[@TRACE] spec into a CLASSIFY_DIGESTS frame.
 bool encode_sample_frame(const std::string& spec, std::string& frame,
+                         std::optional<std::uint32_t> deadline_ms,
                          std::string& error) {
   try {
     const std::size_t at = spec.rfind('@');
@@ -100,7 +114,7 @@ bool encode_sample_frame(const std::string& spec, std::string& frame,
     for (std::size_t i = 0; i < sample.channel_count(); ++i) {
       digests.push_back(sample.channel(i).to_string());
     }
-    net::encode_classify_digests(frame, digests);
+    net::encode_classify_digests(frame, digests, deadline_ms);
     return true;
   } catch (const std::exception& e) {
     error = spec + ": " + e.what();
@@ -120,6 +134,7 @@ int main(int argc, char** argv) {
   bool want_quit = false;
   bool expect_all = false;
   bool expect_known = false;
+  std::optional<std::uint32_t> deadline_ms;
   std::vector<std::string> specs;
 
   for (int i = 1; i < argc; ++i) {
@@ -160,6 +175,24 @@ int main(int argc, char** argv) {
       const char* text = value();
       if (text == nullptr || !parse_size(text, retries)) return usage();
       options.connect_retries = static_cast<int>(retries);
+      options.retries = static_cast<int>(retries);
+    } else if (arg == "--backoff-ms") {
+      std::size_t backoff = 0;
+      const char* text = value();
+      if (text == nullptr || !parse_size(text, backoff)) return usage();
+      options.backoff_ms = static_cast<int>(backoff);
+    } else if (arg == "--deadline-ms") {
+      std::size_t deadline = 0;
+      const char* text = value();
+      if (text == nullptr || !parse_size(text, deadline) || deadline == 0) {
+        return usage();
+      }
+      deadline_ms = static_cast<std::uint32_t>(deadline);
+    } else if (arg == "--recv-timeout-ms") {
+      std::size_t timeout = 0;
+      const char* text = value();
+      if (text == nullptr || !parse_size(text, timeout)) return usage();
+      options.recv_timeout_ms = static_cast<int>(timeout);
     } else if (arg == "--stats") {
       want_stats = true;
     } else if (arg == "--quit") {
@@ -189,7 +222,7 @@ int main(int argc, char** argv) {
   for (const std::string& spec : specs) {
     std::string frame;
     std::string error;
-    if (!encode_sample_frame(spec, frame, error)) {
+    if (!encode_sample_frame(spec, frame, deadline_ms, error)) {
       std::fprintf(stderr, "fhc_loadgen: %s\n", error.c_str());
       return 1;
     }
@@ -200,10 +233,12 @@ int main(int argc, char** argv) {
   const double rps =
       result.elapsed_s > 0.0 ? result.replies() / result.elapsed_s : 0.0;
   std::printf(
-      "sent=%zu predictions=%zu unknown=%zu busy=%zu errors=%zu elapsed_s=%.3f\n"
+      "sent=%zu predictions=%zu unknown=%zu busy=%zu errors=%zu "
+      "deadline_exceeded=%zu busy_retries=%zu reconnects=%zu elapsed_s=%.3f\n"
       "rps=%.1f p50_ms=%.2f p99_ms=%.2f max_ms=%.2f\n",
       result.sent, result.predictions, result.unknown, result.busy,
-      result.errors, result.elapsed_s, rps, result.p50_ms, result.p99_ms,
+      result.errors, result.deadline_exceeded, result.busy_retries,
+      result.reconnects, result.elapsed_s, rps, result.p50_ms, result.p99_ms,
       result.max_ms);
 
   if (!result.ok()) {

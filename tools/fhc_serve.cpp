@@ -45,6 +45,7 @@
 #include "net/server.hpp"
 #include "service/command_handler.hpp"
 #include "service/service.hpp"
+#include "util/fault_inject.hpp"
 
 using namespace fhc;
 
@@ -95,6 +96,14 @@ int usage() {
       "  --max-connections N   concurrent sockets; over -> BUSY+close (1024)\n"
       "  --max-inflight N      classify requests in flight server-wide (4096)\n"
       "  --pipeline-depth N    replies in flight per connection; over -> BUSY (64)\n"
+      "  --max-queue-delay-ms N  shed queued work older than N ms with\n"
+      "                        DEADLINE_EXCEEDED before scoring (0 = off)\n"
+      "  --idle-timeout-ms N   evict sockets idle for N ms (0 = off)\n"
+      "  --read-timeout-ms N   evict sockets stuck mid-frame for N ms (0 = off;\n"
+      "                        catches slow-loris tricklers)\n"
+      "fault injection: set FHC_FAULT (e.g. \"read:nth=3;accept:p=0.01\") and\n"
+      "FHC_FAULT_SEED to schedule deterministic syscall faults in this daemon\n"
+      "(the chaos harness drives the shipped binary this way).\n"
       "stdio protocol (one reply line per request):\n"
       "  CLASSIFY <path[@trace]>...  ->  <label>\\t<confidence> | ERR <msg>\n"
       "  STATS               ->  key=value counters\n"
@@ -201,6 +210,21 @@ int main(int argc, char** argv) {
         if (text == nullptr || !parse_size(text, server_config.max_pipeline)) {
           return usage();
         }
+      } else if (arg == "--max-queue-delay-ms") {
+        const char* text = value();
+        std::size_t delay = 0;
+        if (text == nullptr || !parse_size(text, delay)) return usage();
+        service_config.max_queue_delay = std::chrono::milliseconds(delay);
+      } else if (arg == "--idle-timeout-ms") {
+        const char* text = value();
+        std::size_t timeout = 0;
+        if (text == nullptr || !parse_size(text, timeout)) return usage();
+        server_config.idle_timeout_ms = static_cast<int>(timeout);
+      } else if (arg == "--read-timeout-ms") {
+        const char* text = value();
+        std::size_t timeout = 0;
+        if (text == nullptr || !parse_size(text, timeout)) return usage();
+        server_config.read_progress_timeout_ms = static_cast<int>(timeout);
       } else {
         std::fprintf(stderr, "fhc_serve: unknown option '%s'\n", arg.c_str());
         return usage();
@@ -219,6 +243,19 @@ int main(int argc, char** argv) {
   // the node's resident daemon.
   std::signal(SIGPIPE, SIG_IGN);
 #endif
+
+  // Chaos harness hook: FHC_FAULT schedules deterministic syscall faults
+  // in the shipped binary (ci_chaos_smoke.sh drives this).
+  {
+    std::string fault_error;
+    if (util::FaultInjector::instance().arm_from_env(fault_error)) {
+      std::fprintf(stderr, "fhc_serve: fault injection armed (FHC_FAULT=%s)\n",
+                   std::getenv("FHC_FAULT"));
+    } else if (!fault_error.empty()) {
+      std::fprintf(stderr, "fhc_serve: bad FHC_FAULT: %s\n", fault_error.c_str());
+      return 2;
+    }
+  }
 
   std::unique_ptr<service::ClassificationService> svc;
   try {
